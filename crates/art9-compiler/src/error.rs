@@ -1,0 +1,113 @@
+//! Errors of the compiling framework.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why a translation was rejected.
+///
+/// The framework performs *semantic narrowing* (DESIGN.md §3.3): the
+/// 32-bit program must live within the 9-trit machine's means. Anything
+/// it cannot prove translatable is rejected loudly rather than
+/// miscompiled silently.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CompileError {
+    /// A constant cannot be represented in a 9-trit word.
+    ConstantRange {
+        /// Index of the RV32 instruction.
+        at: usize,
+        /// The constant.
+        value: i64,
+    },
+    /// A register is used both as a pointer and as a scalar — the
+    /// flow-insensitive address re-scaling cannot type it.
+    MixedPointerUse {
+        /// The register's ABI name.
+        reg: String,
+    },
+    /// A memory offset or pointer stride is not a multiple of 4, so it
+    /// cannot be re-scaled to word addressing.
+    UnalignedAddress {
+        /// Index of the RV32 instruction.
+        at: usize,
+        /// The byte offset/stride in question.
+        offset: i64,
+    },
+    /// A sub-word (byte/halfword) memory access — the ternary TDM is
+    /// word-addressed; use word accesses in translatable sources.
+    SubWordAccess {
+        /// Index of the RV32 instruction.
+        at: usize,
+        /// The mnemonic.
+        mnemonic: &'static str,
+    },
+    /// More distinct registers are live than direct slots + spill slots.
+    TooManyRegisters {
+        /// Registers that could not be placed.
+        overflow: Vec<String>,
+    },
+    /// An RV32 instruction the framework does not map.
+    Unsupported {
+        /// Index of the RV32 instruction.
+        at: usize,
+        /// The mnemonic.
+        mnemonic: &'static str,
+    },
+    /// Branch relaxation failed to converge (pathological layout).
+    RelaxationDiverged,
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::ConstantRange { at, value } => write!(
+                f,
+                "instruction {at}: constant {value} exceeds the 9-trit range (-9841..=9841)"
+            ),
+            CompileError::MixedPointerUse { reg } => write!(
+                f,
+                "register {reg} is used both as a pointer and as a scalar; \
+                 the address re-scaler cannot type it"
+            ),
+            CompileError::UnalignedAddress { at, offset } => write!(
+                f,
+                "instruction {at}: byte offset {offset} is not word-aligned"
+            ),
+            CompileError::SubWordAccess { at, mnemonic } => write!(
+                f,
+                "instruction {at}: {mnemonic} is a sub-word access; the ternary TDM is word-addressed"
+            ),
+            CompileError::TooManyRegisters { overflow } => write!(
+                f,
+                "register pressure exceeds 5 direct + 8 spill slots; unplaced: {}",
+                overflow.join(", ")
+            ),
+            CompileError::Unsupported { at, mnemonic } => {
+                write!(f, "instruction {at}: {mnemonic} is not mappable to ART-9")
+            }
+            CompileError::RelaxationDiverged => {
+                write!(f, "branch relaxation did not converge")
+            }
+        }
+    }
+}
+
+impl Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = CompileError::ConstantRange { at: 3, value: 100000 };
+        assert!(e.to_string().contains("100000"));
+        assert!(e.to_string().contains("9841"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CompileError>();
+    }
+}

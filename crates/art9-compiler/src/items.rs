@@ -1,0 +1,124 @@
+//! The intermediate form between instruction mapping and final
+//! emission: concrete ART-9 instructions with *symbolic* control flow.
+//!
+//! Branch targets stay symbolic ([`Label`]) through the redundancy pass
+//! so that deleting instructions cannot break offsets; the relaxation
+//! pass then assigns addresses and chooses short (`BEQ`/`JAL`) or long
+//! (`LUI`+`LI`+`JALR`) forms — the paper's "re-calculates the branch
+//! target addresses" step.
+
+use art9_isa::{Instruction, TReg};
+use ternary::Trit;
+
+/// A symbolic code location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Label {
+    /// The translation of RV32 instruction index `n` starts here.
+    Rv(usize),
+    /// Entry of a runtime-library routine.
+    Builtin(BuiltinId),
+    /// A translator-generated local label.
+    Local(u32),
+}
+
+/// Runtime-library routines the mapper may call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BuiltinId {
+    /// Signed 9-trit multiply: `t3 = t3 * t4`.
+    Mul,
+    /// Signed truncating divide: `t3 = t3 / t4`.
+    Div,
+    /// Signed remainder: `t3 = t3 % t4`.
+    Rem,
+}
+
+impl BuiltinId {
+    /// The routine's label name in listings.
+    pub fn name(self) -> &'static str {
+        match self {
+            BuiltinId::Mul => "__mul",
+            BuiltinId::Div => "__div",
+            BuiltinId::Rem => "__rem",
+        }
+    }
+}
+
+/// One item of the symbolic instruction stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Item {
+    /// A position marker (assembles to nothing).
+    Mark(Label),
+    /// A concrete, non-control-flow instruction.
+    Ins(Instruction),
+    /// Conditional branch to a label (`BEQ`/`BNE` on `breg`'s LST).
+    Branch {
+        /// `true` for BEQ, `false` for BNE.
+        eq: bool,
+        /// Condition register.
+        breg: TReg,
+        /// The 1-trit constant compared against.
+        cond: Trit,
+        /// Target.
+        target: Label,
+    },
+    /// Unconditional jump with link to a label (JAL, relaxable to a
+    /// JALR sequence).
+    Jump {
+        /// Link register (a scratch register when the link is unused).
+        link: TReg,
+        /// Target.
+        target: Label,
+    },
+    /// Materialize the resolved address of `target` into `reg`
+    /// (always a `LUI`+`LI` pair). Used to pre-compute return addresses
+    /// when the link register is a spilled location.
+    LabelConst {
+        /// Destination register.
+        reg: TReg,
+        /// The label whose address is wanted.
+        target: Label,
+    },
+}
+
+impl Item {
+    /// Upper bound on emitted instructions for address estimation:
+    /// marks are 0, plain instructions 1, branches/jumps depend on
+    /// relaxation (1 short, up to 4 long).
+    pub fn max_len(&self) -> usize {
+        match self {
+            Item::Mark(_) => 0,
+            Item::Ins(_) => 1,
+            Item::Branch { .. } => 4, // inverted branch + long jump
+            Item::Jump { .. } => 3,   // LUI + LI + JALR
+            Item::LabelConst { .. } => 2, // LUI + LI
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_ordered_and_hashable() {
+        use std::collections::BTreeSet;
+        let mut s = BTreeSet::new();
+        s.insert(Label::Rv(0));
+        s.insert(Label::Builtin(BuiltinId::Mul));
+        s.insert(Label::Local(7));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn max_len_bounds() {
+        assert_eq!(Item::Mark(Label::Rv(0)).max_len(), 0);
+        assert_eq!(Item::Ins(art9_isa::NOP).max_len(), 1);
+    }
+
+    #[test]
+    fn builtin_names() {
+        assert_eq!(BuiltinId::Mul.name(), "__mul");
+        assert_eq!(BuiltinId::Div.name(), "__div");
+        assert_eq!(BuiltinId::Rem.name(), "__rem");
+    }
+}

@@ -1,0 +1,161 @@
+//! Redundancy checking (paper Fig. 2, final stage): removes the
+//! meaningless instructions the mechanical mapping leaves behind, so
+//! the final code size is minimized. Branch targets stay symbolic here,
+//! so deletions can never break control flow — re-resolution happens in
+//! the relaxation pass afterwards ("the proposed framework also
+//! re-calculates the branch target addresses").
+
+use art9_isa::Instruction;
+
+use crate::items::Item;
+
+/// Runs the peephole pass; returns the number of items removed.
+///
+/// Patterns removed (each is a real artifact of the mapper):
+///
+/// 1. `MV x, x` — self-moves from staging a register already in place;
+/// 2. `ADDI x, 0` — vacuous adds from zero-stride pointer bumps;
+/// 3. a `LOAD r, b, k` immediately after `STORE r, b, k` — spill
+///    round-trips where the value is still live in `r`;
+/// 4. duplicated adjacent `MV a, b; MV a, b`;
+/// 5. `MV a, b; MV b, a` — the second move is a no-op.
+///
+/// Marks are transparent for pattern 3–5 only when no label sits
+/// between the paired instructions (a label is a potential join point).
+pub fn eliminate(items: &mut Vec<Item>) -> usize {
+    let before = items.len();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        let mut out: Vec<Item> = Vec::with_capacity(items.len());
+        for item in items.drain(..) {
+            // Pattern 1 & 2: locally dead single instructions.
+            if let Item::Ins(i) = &item {
+                match i {
+                    Instruction::Mv { a, b } if a == b => {
+                        changed = true;
+                        continue;
+                    }
+                    Instruction::Addi { imm, a } if imm.is_zero() && *a != art9_isa::TReg::T0 =>
+                    {
+                        // Keep canonical NOPs (ADDI t0, 0) — drop only
+                        // accidental vacuous adds on other registers.
+                        changed = true;
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+            // Pairwise patterns against the previous *instruction*
+            // (skip if a mark separates them).
+            if let (Some(Item::Ins(prev)), Item::Ins(cur)) = (out.last(), &item) {
+                let redundant = match (prev, cur) {
+                    // store r -> slot ; load r <- slot
+                    (
+                        Instruction::Store { a: sa, b: sb, offset: so },
+                        Instruction::Load { a: la, b: lb, offset: lo },
+                    ) => sa == la && sb == lb && so == lo,
+                    // mv a,b ; mv a,b   /   mv a,b ; mv b,a
+                    (Instruction::Mv { a: pa, b: pb }, Instruction::Mv { a: ca, b: cb }) => {
+                        (pa == ca && pb == cb) || (pa == cb && pb == ca)
+                    }
+                    _ => false,
+                };
+                if redundant {
+                    changed = true;
+                    continue;
+                }
+            }
+            out.push(item);
+        }
+        *items = out;
+    }
+    before - items.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::Label;
+    use art9_isa::{Instruction, TReg};
+    use ternary::Trits;
+
+    fn mv(a: TReg, b: TReg) -> Item {
+        Item::Ins(Instruction::Mv { a, b })
+    }
+
+    fn store(a: TReg, s: i64) -> Item {
+        Item::Ins(Instruction::Store {
+            a,
+            b: TReg::T0,
+            offset: Trits::<3>::from_i64(s).unwrap(),
+        })
+    }
+
+    fn load(a: TReg, s: i64) -> Item {
+        Item::Ins(Instruction::Load {
+            a,
+            b: TReg::T0,
+            offset: Trits::<3>::from_i64(s).unwrap(),
+        })
+    }
+
+    #[test]
+    fn removes_self_moves() {
+        let mut items = vec![mv(TReg::T3, TReg::T3), mv(TReg::T3, TReg::T4)];
+        assert_eq!(eliminate(&mut items), 1);
+        assert_eq!(items.len(), 1);
+    }
+
+    #[test]
+    fn removes_spill_roundtrip() {
+        let mut items = vec![store(TReg::T5, 7), load(TReg::T5, 7)];
+        assert_eq!(eliminate(&mut items), 1);
+        assert!(matches!(items[0], Item::Ins(Instruction::Store { .. })));
+    }
+
+    #[test]
+    fn keeps_load_of_different_register_or_slot() {
+        let mut items = vec![store(TReg::T5, 7), load(TReg::T6, 7)];
+        assert_eq!(eliminate(&mut items), 0);
+        let mut items = vec![store(TReg::T5, 7), load(TReg::T5, 8)];
+        assert_eq!(eliminate(&mut items), 0);
+    }
+
+    #[test]
+    fn mark_blocks_pairwise_elimination() {
+        // A label between the pair is a join point: the load must stay.
+        let mut items = vec![store(TReg::T5, 7), Item::Mark(Label::Local(0)), load(TReg::T5, 7)];
+        assert_eq!(eliminate(&mut items), 0);
+    }
+
+    #[test]
+    fn removes_mv_back_and_forth() {
+        let mut items = vec![mv(TReg::T3, TReg::T4), mv(TReg::T4, TReg::T3)];
+        assert_eq!(eliminate(&mut items), 1);
+    }
+
+    #[test]
+    fn keeps_canonical_nop_drops_vacuous_addi() {
+        let nop = Item::Ins(art9_isa::NOP);
+        let vacuous = Item::Ins(Instruction::Addi {
+            a: TReg::T5,
+            imm: Trits::ZERO,
+        });
+        let mut items = vec![nop.clone(), vacuous];
+        assert_eq!(eliminate(&mut items), 1);
+        assert_eq!(items, vec![nop]);
+    }
+
+    #[test]
+    fn iterates_to_fixpoint() {
+        // mv t3,t3 ; store/load pair around it collapses in two waves.
+        let mut items = vec![
+            store(TReg::T5, 7),
+            mv(TReg::T3, TReg::T3),
+            load(TReg::T5, 7),
+        ];
+        assert_eq!(eliminate(&mut items), 2);
+        assert_eq!(items.len(), 1);
+    }
+}

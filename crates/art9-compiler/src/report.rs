@@ -1,0 +1,136 @@
+//! Translation statistics and semantic-difference warnings.
+
+use std::fmt;
+
+/// Semantic caveats the mapping cannot avoid (radix mismatch between
+/// binary and balanced ternary). Each is reported once per program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum WarningKind {
+    /// AND/OR/XOR map to trit-wise min/max/ternary-XOR: exact for 0/1
+    /// boolean values under AND/OR, different for general bit patterns.
+    BitwiseSemantics,
+    /// Unsigned comparisons/divisions are translated as signed — exact
+    /// whenever both operands are non-negative on the 9-trit machine.
+    UnsignedAsSigned,
+    /// A left shift became ×2ᵏ (doubling adds or `__mul`).
+    ShiftAsMultiply,
+    /// A right shift became `__div` by 2ᵏ: truncating division, which
+    /// differs from `srai`'s floor on negative operands.
+    ShiftAsDivision,
+}
+
+impl fmt::Display for WarningKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            WarningKind::BitwiseSemantics => {
+                "bitwise AND/OR/XOR mapped to trit-wise operations (exact only for 0/1 booleans)"
+            }
+            WarningKind::UnsignedAsSigned => {
+                "unsigned operation translated as signed (exact for non-negative operands)"
+            }
+            WarningKind::ShiftAsMultiply => "left shift expanded to multiplication by 2^k",
+            WarningKind::ShiftAsDivision => {
+                "right shift expanded to truncating division by 2^k (differs from srai's floor on negatives)"
+            }
+        };
+        f.write_str(s)
+    }
+}
+
+/// One warning, tagged with the RV32 instruction that triggered it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Warning {
+    /// RV32 instruction index.
+    pub at: usize,
+    /// What semantic difference applies.
+    pub kind: WarningKind,
+}
+
+/// Statistics of one translation — the numbers behind Fig. 5 and the
+/// §III-A code-size claims.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SoftwareReport {
+    /// RV32 instructions in the input.
+    pub rv32_instructions: usize,
+    /// ART-9 instructions in the program body (excluding builtins).
+    pub art9_body_instructions: usize,
+    /// ART-9 instructions contributed by linked runtime builtins.
+    pub art9_builtin_instructions: usize,
+    /// Items removed by the redundancy-checking pass.
+    pub redundant_removed: usize,
+    /// Data words carried over.
+    pub data_words: usize,
+    /// Semantic warnings.
+    pub warnings: Vec<Warning>,
+}
+
+impl SoftwareReport {
+    /// Total ART-9 instructions (body + builtins).
+    pub fn art9_instructions(&self) -> usize {
+        self.art9_body_instructions + self.art9_builtin_instructions
+    }
+
+    /// Instruction-count expansion factor ART-9 / RV32.
+    pub fn expansion(&self) -> f64 {
+        self.art9_instructions() as f64 / self.rv32_instructions as f64
+    }
+
+    /// ART-9 instruction-memory cells (9 trits per instruction).
+    pub fn art9_instruction_cells(&self) -> usize {
+        self.art9_instructions() * 9
+    }
+
+    /// RV32 instruction-memory bits (32 per instruction).
+    pub fn rv32_instruction_bits(&self) -> usize {
+        self.rv32_instructions * 32
+    }
+}
+
+impl fmt::Display for SoftwareReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "RV32 instructions:    {}", self.rv32_instructions)?;
+        writeln!(
+            f,
+            "ART-9 instructions:   {} ({} body + {} runtime)",
+            self.art9_instructions(),
+            self.art9_body_instructions,
+            self.art9_builtin_instructions
+        )?;
+        writeln!(f, "expansion factor:     {:.2}x", self.expansion())?;
+        writeln!(f, "redundancy removed:   {}", self.redundant_removed)?;
+        writeln!(
+            f,
+            "instruction memory:   {} trits (vs {} bits on RV32)",
+            self.art9_instruction_cells(),
+            self.rv32_instruction_bits()
+        )?;
+        for w in &self.warnings {
+            writeln!(f, "warning (rv32 #{}): {}", w.at, w.kind)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let r = SoftwareReport {
+            rv32_instructions: 100,
+            art9_body_instructions: 120,
+            art9_builtin_instructions: 30,
+            redundant_removed: 5,
+            data_words: 8,
+            warnings: vec![Warning { at: 3, kind: WarningKind::BitwiseSemantics }],
+        };
+        assert_eq!(r.art9_instructions(), 150);
+        assert!((r.expansion() - 1.5).abs() < 1e-9);
+        assert_eq!(r.art9_instruction_cells(), 1350);
+        assert_eq!(r.rv32_instruction_bits(), 3200);
+        let text = r.to_string();
+        assert!(text.contains("1.50x"));
+        assert!(text.contains("warning"));
+    }
+}

@@ -1,0 +1,335 @@
+//! The ART-9 runtime library: "primitive sequences of ternary
+//! instructions" (paper §III-A) for RV32 operations with no direct
+//! ternary equivalent — chiefly multiplication and division, since the
+//! ART-9 core has no multiplier (Table II) and binary shifts are not
+//! ternary shifts.
+//!
+//! ## Builtin ABI
+//!
+//! * arguments in `t3` (lhs) and `t4` (rhs); result in `t3`;
+//! * `t4` and `t8` are clobbered (`t8` carries the return address:
+//!   call via `JAL t8, __fn`, return via `JALR t4, t8, 0`);
+//! * `t5`–`t7` are preserved (saved to the reserved TDM scratch words
+//!   [`BUILTIN_SCRATCH`](crate::regalloc::BUILTIN_SCRATCH));
+//! * `t0` (zero), `t1`, `t2` are untouched.
+//!
+//! ## Algorithms
+//!
+//! * `__mul` — balanced base-3 shift-and-add: the multiplier's trits
+//!   are extracted with the `SRI`/`SLI`/`SUB` idiom (a balanced right
+//!   shift rounds to nearest, so `x − 3·(x≫1)` *is* the LST), and the
+//!   multiplicand is added, subtracted or skipped per digit. At most 9
+//!   iterations; wrap-around matches the wrapping semantics.
+//! * `__div` / `__rem` — sign-normalized repeated subtraction,
+//!   truncating toward zero (matching RV32 `div`/`rem`). O(|quotient|):
+//!   honest for the small magnitudes a 9-trit machine holds, and
+//!   documented as the translation's cost model for binary right
+//!   shifts.
+
+use art9_isa::{Instruction, TReg};
+use ternary::{Trit, Trits};
+
+const T0: TReg = TReg::T0;
+const T3: TReg = TReg::T3;
+const T4: TReg = TReg::T4;
+const T5: TReg = TReg::T5;
+const T6: TReg = TReg::T6;
+const T7: TReg = TReg::T7;
+
+use crate::items::{BuiltinId, Item, Label};
+
+/// Allocates fresh local labels for builtin bodies.
+#[derive(Debug, Default)]
+pub struct LocalLabels {
+    next: u32,
+}
+
+impl LocalLabels {
+    /// Creates the allocator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns a fresh local label.
+    pub fn fresh(&mut self) -> Label {
+        let l = Label::Local(self.next);
+        self.next += 1;
+        l
+    }
+}
+
+fn ins(i: Instruction) -> Item {
+    Item::Ins(i)
+}
+
+fn store(reg: TReg, slot: i64) -> Item {
+    ins(Instruction::Store {
+        a: reg,
+        b: TReg::T0,
+        offset: Trits::<3>::from_i64(slot).expect("scratch slot fits imm3"),
+    })
+}
+
+fn load(reg: TReg, slot: i64) -> Item {
+    ins(Instruction::Load {
+        a: reg,
+        b: TReg::T0,
+        offset: Trits::<3>::from_i64(slot).expect("scratch slot fits imm3"),
+    })
+}
+
+fn mv(a: TReg, b: TReg) -> Item {
+    ins(Instruction::Mv { a, b })
+}
+
+fn addi(a: TReg, v: i64) -> Item {
+    ins(Instruction::Addi { a, imm: Trits::<3>::from_i64(v).expect("imm3") })
+}
+
+fn sub(a: TReg, b: TReg) -> Item {
+    ins(Instruction::Sub { a, b })
+}
+
+fn add(a: TReg, b: TReg) -> Item {
+    ins(Instruction::Add { a, b })
+}
+
+fn sti(a: TReg, b: TReg) -> Item {
+    ins(Instruction::Sti { a, b })
+}
+
+fn comp(a: TReg, b: TReg) -> Item {
+    ins(Instruction::Comp { a, b })
+}
+
+fn sri(a: TReg, v: i64) -> Item {
+    ins(Instruction::Sri { a, imm: Trits::<2>::from_i64(v).expect("imm2") })
+}
+
+fn sli(a: TReg, v: i64) -> Item {
+    ins(Instruction::Sli { a, imm: Trits::<2>::from_i64(v).expect("imm2") })
+}
+
+fn beq(breg: TReg, cond: Trit, target: Label) -> Item {
+    Item::Branch { eq: true, breg, cond, target }
+}
+
+fn bne(breg: TReg, cond: Trit, target: Label) -> Item {
+    Item::Branch { eq: false, breg, cond, target }
+}
+
+/// Unconditional branch: `BEQ t0, 0, target` (t0's LST is always zero
+/// by the software zero-register convention).
+fn jump_always(target: Label) -> Item {
+    beq(TReg::T0, Trit::Z, target)
+}
+
+/// Return from a builtin: the link came in via `t8`; the (dead) link
+/// of the return JALR is dumped into the clobbered `t4`.
+fn ret() -> Item {
+    ins(Instruction::Jalr {
+        a: TReg::T4,
+        b: TReg::T8,
+        offset: Trits::ZERO,
+    })
+}
+
+/// Emits the body of a builtin, starting with its entry mark.
+pub fn builtin_items(id: BuiltinId, labels: &mut LocalLabels) -> Vec<Item> {
+    match id {
+        BuiltinId::Mul => mul_items(labels),
+        BuiltinId::Div => divrem_items(labels, false),
+        BuiltinId::Rem => divrem_items(labels, true),
+    }
+}
+
+/// `__mul`: t3 = t3 * t4 (wrapping, signed).
+fn mul_items(labels: &mut LocalLabels) -> Vec<Item> {
+    let l_loop = labels.fresh();
+    let l_add = labels.fresh();
+    let l_shift = labels.fresh();
+
+    let mut v = vec![Item::Mark(Label::Builtin(BuiltinId::Mul))];
+    // Save callee-preserved registers.
+    v.push(store(T5, 0));
+    v.push(store(T6, 1));
+    v.push(store(T7, 2));
+    // t5 = multiplicand, t6 = multiplier, t3 = accumulator.
+    v.push(mv(T5, T3));
+    v.push(mv(T6, T4));
+    v.push(sub(T3, T3));
+    // Skip the loop entirely for a zero multiplier.
+    v.push(mv(T4, T6));
+    v.push(comp(T4, T0));
+    let l_done = labels.fresh();
+    v.push(beq(T4, Trit::Z, l_done));
+
+    v.push(Item::Mark(l_loop));
+    // digit = t6 - 3*round(t6/3); t6 = round(t6/3).
+    v.push(mv(T7, T6));
+    v.push(sri(T6, 1));
+    v.push(mv(T4, T6));
+    v.push(sli(T4, 1));
+    v.push(sub(T7, T4)); // t7 = balanced digit in {-1, 0, +1}
+    v.push(beq(T7, Trit::Z, l_shift));
+    v.push(beq(T7, Trit::P, l_add));
+    v.push(sub(T3, T5)); // digit = -1
+    v.push(jump_always(l_shift));
+    v.push(Item::Mark(l_add));
+    v.push(add(T3, T5)); // digit = +1
+    v.push(Item::Mark(l_shift));
+    v.push(sli(T5, 1)); // multiplicand *= 3
+    v.push(mv(T4, T6));
+    v.push(comp(T4, T0));
+    v.push(bne(T4, Trit::Z, l_loop));
+
+    v.push(Item::Mark(l_done));
+    v.push(load(T5, 0));
+    v.push(load(T6, 1));
+    v.push(load(T7, 2));
+    v.push(ret());
+    v
+}
+
+/// `__div`/`__rem`: t3 = t3 op t4 (signed, truncating toward zero,
+/// matching RV32 semantics; division by zero yields 0 quotient and the
+/// dividend as remainder — the closest 9-trit analogue of the RISC-V
+/// all-ones convention is documented in DESIGN.md).
+fn divrem_items(labels: &mut LocalLabels, want_rem: bool) -> Vec<Item> {
+    let id = if want_rem { BuiltinId::Rem } else { BuiltinId::Div };
+    let l_a_pos = labels.fresh();
+    let l_b_pos = labels.fresh();
+    let l_loop = labels.fresh();
+    let l_done = labels.fresh();
+    let l_no_negate = labels.fresh();
+    let l_div0 = labels.fresh();
+
+    let mut v = vec![Item::Mark(Label::Builtin(id))];
+    v.push(store(T5, 0));
+    v.push(store(T6, 1));
+    v.push(store(T7, 2));
+
+    // Division by zero: bail out early.
+    v.push(mv(T7, T4));
+    v.push(comp(T7, T0));
+    v.push(beq(T7, Trit::Z, l_div0));
+
+    // t7 = sign bookkeeping: +1 per negated operand for the quotient
+    // (na - nb: nonzero => negate quotient); slot 3 remembers na for
+    // the remainder's sign.
+    v.push(sub(T7, T7));
+    v.push(store(T7, 3)); // na = 0
+    // |a|
+    v.push(mv(T6, T3));
+    v.push(comp(T6, T0));
+    v.push(bne(T6, Trit::N, l_a_pos));
+    v.push(sti(T3, T3));
+    v.push(addi(T7, 1));
+    v.push(store(T7, 3)); // na-marker doubles as quotient sign step 1
+    v.push(Item::Mark(l_a_pos));
+    // |b|
+    v.push(mv(T6, T4));
+    v.push(comp(T6, T0));
+    v.push(bne(T6, Trit::N, l_b_pos));
+    v.push(sti(T4, T4));
+    v.push(addi(T7, -1));
+    v.push(Item::Mark(l_b_pos));
+    v.push(store(T7, 4)); // quotient-negative flag (nonzero => negate q)
+
+    // t5 = |a| (running remainder), t3 = quotient.
+    v.push(mv(T5, T3));
+    v.push(sub(T3, T3));
+    v.push(Item::Mark(l_loop));
+    v.push(mv(T7, T5));
+    v.push(comp(T7, T4));
+    v.push(beq(T7, Trit::N, l_done)); // remainder < divisor: stop
+    v.push(sub(T5, T4));
+    v.push(addi(T3, 1));
+    v.push(jump_always(l_loop));
+
+    v.push(Item::Mark(l_done));
+    if want_rem {
+        // Result is the remainder, negative when the dividend was.
+        v.push(mv(T3, T5));
+        v.push(load(T7, 3));
+        v.push(mv(T6, T7));
+        v.push(comp(T6, T0));
+        v.push(beq(T6, Trit::Z, l_no_negate));
+        v.push(sti(T3, T3));
+        v.push(Item::Mark(l_no_negate));
+    } else {
+        // Quotient sign: negate when exactly one operand was negative.
+        v.push(load(T7, 4));
+        v.push(mv(T6, T7));
+        v.push(comp(T6, T0));
+        v.push(beq(T6, Trit::Z, l_no_negate));
+        v.push(sti(T3, T3));
+        v.push(Item::Mark(l_no_negate));
+    }
+    v.push(load(T5, 0));
+    v.push(load(T6, 1));
+    v.push(load(T7, 2));
+    v.push(ret());
+
+    // Division by zero: q = 0, r = dividend.
+    v.push(Item::Mark(l_div0));
+    if !want_rem {
+        v.push(sub(T3, T3));
+    }
+    v.push(load(T5, 0));
+    v.push(load(T6, 1));
+    v.push(load(T7, 2));
+    v.push(ret());
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtins_have_entry_marks_and_returns() {
+        let mut labels = LocalLabels::new();
+        for id in [BuiltinId::Mul, BuiltinId::Div, BuiltinId::Rem] {
+            let items = builtin_items(id, &mut labels);
+            assert_eq!(items[0], Item::Mark(Label::Builtin(id)), "{id:?}");
+            let rets = items
+                .iter()
+                .filter(|i| {
+                    matches!(
+                        i,
+                        Item::Ins(Instruction::Jalr { b: TReg::T8, .. })
+                    )
+                })
+                .count();
+            assert!(rets >= 1, "{id:?} must return via t8");
+        }
+    }
+
+    #[test]
+    fn local_labels_are_unique() {
+        let mut labels = LocalLabels::new();
+        let a = labels.fresh();
+        let b = labels.fresh();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn builtins_only_touch_allowed_registers_architecturally() {
+        // Static check: every register written is t3..t8 (t5..t7 are
+        // saved/restored around the body).
+        let mut labels = LocalLabels::new();
+        for id in [BuiltinId::Mul, BuiltinId::Div, BuiltinId::Rem] {
+            for item in builtin_items(id, &mut labels) {
+                if let Item::Ins(i) = item {
+                    if let Some(w) = i.writes() {
+                        assert!(
+                            w.index() >= 3,
+                            "{id:?} writes {w}, clobbering a fixed register"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,521 @@
+//! Structural generators for the ART-9 datapath building blocks
+//! (paper Fig. 4). Each function emits a gate-level [`Netlist`] from
+//! ternary standard cells; the decompositions follow the standard
+//! structures of the ternary-logic literature (ripple adders from
+//! sum/carry cells, 2:1 mux trees, trit-serial comparison) with sizes
+//! calibrated against Table IV's 652-gate datapath.
+
+use crate::gate::GateKind;
+use crate::netlist::{Netlist, NetlistBuilder, NodeId};
+
+/// Machine word width in trits.
+pub const WIDTH: usize = 9;
+
+/// One balanced ternary full adder: `(sum, carry)` of `a + b + cin`.
+///
+/// Decomposition (5 cells): two TNAND consensus terms feeding the
+/// dedicated TSUM and TCARRY cells, plus an STI level shifter — the
+/// canonical low-power decomposition of [8].
+fn full_adder(b: &mut NetlistBuilder, a: NodeId, bb: NodeId, cin: NodeId) -> (NodeId, NodeId) {
+    let t1 = b.gate(GateKind::Tnand, &[a, bb]);
+    let t2 = b.gate(GateKind::Tnand, &[t1, cin]);
+    let sum = b.gate(GateKind::Tsum, &[a, bb, cin]);
+    let inv = b.gate(GateKind::Sti, &[t2]);
+    let carry = b.gate(GateKind::Tcarry, &[t1, inv]);
+    (sum, carry)
+}
+
+/// 9-trit adder/subtractor: operand B passes through an STI row and a
+/// select mux (subtract = add negated B — the balanced system's free
+/// negation), then a ripple of full adders.
+pub fn adder_subtractor(width: usize) -> Netlist {
+    let mut b = NetlistBuilder::new("adder-subtractor");
+    let a = b.inputs(width);
+    let bus_b = b.inputs(width);
+    let sub_sel = b.input();
+    let mut carry = b.input(); // carry-in (zero in the TALU)
+    for i in 0..width {
+        let neg = b.gate(GateKind::Sti, &[bus_b[i]]);
+        let sel = b.gate(GateKind::Tmux, &[bus_b[i], neg, sub_sel]);
+        let (s, c) = full_adder(&mut b, a[i], sel, carry);
+        b.output(s);
+        carry = c;
+    }
+    b.output(carry);
+    b.build()
+}
+
+/// Trit-wise AND/OR/XOR rows of the TALU.
+pub fn logic_unit(width: usize) -> Netlist {
+    let mut b = NetlistBuilder::new("logic-unit");
+    let a = b.inputs(width);
+    let bus_b = b.inputs(width);
+    for i in 0..width {
+        let and = b.gate(GateKind::Tand, &[a[i], bus_b[i]]);
+        let or = b.gate(GateKind::Tor, &[a[i], bus_b[i]]);
+        let xor = b.gate(GateKind::Txor, &[a[i], bus_b[i]]);
+        b.output(and);
+        b.output(or);
+        b.output(xor);
+    }
+    b.build()
+}
+
+/// STI/NTI/PTI inverter rows (the MV path reuses the operand bus).
+pub fn inverter_unit(width: usize) -> Netlist {
+    let mut b = NetlistBuilder::new("inverter-unit");
+    let src = b.inputs(width);
+    for i in 0..width {
+        let s = b.gate(GateKind::Sti, &[src[i]]);
+        let n = b.gate(GateKind::Nti, &[src[i]]);
+        let p = b.gate(GateKind::Pti, &[src[i]]);
+        b.output(s);
+        b.output(n);
+        b.output(p);
+    }
+    b.build()
+}
+
+/// Barrel shifter for balanced amounts −4..+4: cascaded ±1 and ±3
+/// stages selected per trit, plus a direction row.
+pub fn shifter(width: usize) -> Netlist {
+    let mut b = NetlistBuilder::new("shifter");
+    let src = b.inputs(width);
+    let amt_low = b.input(); // amount trit 0
+    let amt_high = b.input(); // amount trit 1
+    let dir = b.gate(GateKind::Tcmp, &[amt_low, amt_high]); // sign of amount
+    // Stage 1: shift by one position (mux between src[i] and neighbour).
+    let mut stage1 = Vec::new();
+    for i in 0..width {
+        let neigh = src[(i + 1) % width];
+        let m = b.gate(GateKind::Tmux, &[src[i], neigh, amt_low]);
+        stage1.push(m);
+    }
+    // Stage 2: shift by three positions.
+    for i in 0..width {
+        let neigh = stage1[(i + 3) % width];
+        let m = b.gate(GateKind::Tmux, &[stage1[i], neigh, amt_high]);
+        let d = b.gate(GateKind::Tmux, &[m, stage1[i], dir]);
+        b.output(d);
+    }
+    b.build()
+}
+
+/// Trit-serial comparator: a verdict chain from the most significant
+/// trit down (the COMP instruction's datapath).
+pub fn comparator(width: usize) -> Netlist {
+    let mut b = NetlistBuilder::new("comparator");
+    let a = b.inputs(width);
+    let bus_b = b.inputs(width);
+    let mut verdict = b.input(); // starts "equal"
+    for i in (0..width).rev() {
+        let diff = b.gate(GateKind::Tcmp, &[a[i], bus_b[i]]);
+        verdict = b.gate(GateKind::Tmux, &[diff, verdict, verdict]);
+    }
+    b.output(verdict);
+    b.build()
+}
+
+/// The TALU result selector: a per-trit mux tree choosing among the
+/// eight function groups (add/sub, and, or, xor, inverters, shift,
+/// compare, splice).
+pub fn result_mux(width: usize, sources: usize) -> Netlist {
+    let mut b = NetlistBuilder::new("result-mux");
+    let select = b.inputs(2); // encoded select trits
+    for _ in 0..width {
+        // A balanced tree of 2:1 muxes over `sources` inputs.
+        let mut layer: Vec<NodeId> = (0..sources).map(|_| b.input()).collect();
+        while layer.len() > 1 {
+            let mut next = Vec::new();
+            for pair in layer.chunks(2) {
+                if pair.len() == 2 {
+                    next.push(b.gate(GateKind::Tmux, &[pair[0], pair[1], select[0]]));
+                } else {
+                    next.push(pair[0]);
+                }
+            }
+            layer = next;
+        }
+        let out = b.gate(GateKind::Tbuf, &[layer[0], select[1]]);
+        b.output(out);
+    }
+    b.build()
+}
+
+/// The forwarding multiplexers in front of both TALU operand ports
+/// (EX/MEM and MEM/WB paths — paper §IV-B).
+pub fn forwarding_muxes(width: usize) -> Netlist {
+    let mut b = NetlistBuilder::new("forwarding-muxes");
+    for _ in 0..2 {
+        // two operand ports
+        let rf = b.inputs(width);
+        let exmem = b.inputs(width);
+        let memwb = b.inputs(width);
+        let sel = b.inputs(2);
+        for i in 0..width {
+            let m1 = b.gate(GateKind::Tmux, &[rf[i], exmem[i], sel[0]]);
+            let m2 = b.gate(GateKind::Tmux, &[m1, memwb[i], sel[1]]);
+            b.output(m2);
+        }
+    }
+    b.build()
+}
+
+/// PC incrementer: +1 needs only a half-adder chain (sum + carry cell
+/// per trit).
+pub fn pc_incrementer(width: usize) -> Netlist {
+    let mut b = NetlistBuilder::new("pc-incrementer");
+    let pc = b.inputs(width);
+    let mut carry = b.input(); // the +1
+    for t in pc.iter().take(width) {
+        let s = b.gate(GateKind::Tsum, &[*t, carry]);
+        carry = b.gate(GateKind::Tcarry, &[*t, carry]);
+        b.output(s);
+    }
+    b.build()
+}
+
+/// The ID-stage branch unit: dedicated target adder (PC + offset) and
+/// the 1-trit condition checker with its forwarding mux (paper §IV-B).
+pub fn branch_unit(width: usize) -> Netlist {
+    let mut b = NetlistBuilder::new("branch-unit");
+    let pc = b.inputs(width);
+    let off = b.inputs(width);
+    let mut carry = b.input();
+    for i in 0..width {
+        let (s, c) = full_adder(&mut b, pc[i], off[i], carry);
+        b.output(s);
+        carry = c;
+    }
+    // Condition checker: forwarded LST vs the 1-trit constant B.
+    let lst_rf = b.input();
+    let lst_ex = b.input();
+    let lst_mem = b.input();
+    let fwd_sel = b.inputs(2);
+    let m1 = b.gate(GateKind::Tmux, &[lst_rf, lst_ex, fwd_sel[0]]);
+    let m2 = b.gate(GateKind::Tmux, &[m1, lst_mem, fwd_sel[1]]);
+    let cond_const = b.input();
+    let diff = b.gate(GateKind::Tcmp, &[m2, cond_const]);
+    let eq_mode = b.input();
+    let taken = b.gate(GateKind::Txor, &[diff, eq_mode]);
+    b.output(taken);
+    b.build()
+}
+
+/// The main decoder: matches the ternary prefix code (DESIGN.md §3.1)
+/// and drives ~a dozen control signals. Sized per prefix level: three
+/// detector gates per opcode trit level plus control buffers.
+pub fn main_decoder() -> Netlist {
+    let mut b = NetlistBuilder::new("main-decoder");
+    let instr = b.inputs(WIDTH);
+    // Level detectors for t8, t7, t6, t5, t4: each trit feeds NTI/PTI
+    // pairs producing is-neg / is-pos / is-zero rails.
+    let mut rails = Vec::new();
+    for t in instr.iter().take(5) {
+        let n = b.gate(GateKind::Nti, &[*t]);
+        let p = b.gate(GateKind::Pti, &[*t]);
+        let z = b.gate(GateKind::Tnor, &[n, p]);
+        rails.push((n, p, z));
+    }
+    // Opcode group matches: 7 two-trit codes + I-type ladder + R-type
+    // sub-opcode decode (12 matches over the 3-trit field).
+    let mut matches = Vec::new();
+    for i in 0..7 {
+        let (a, _, _) = rails[i % 5];
+        let (_, p, _) = rails[(i + 1) % 5];
+        matches.push(b.gate(GateKind::Tand, &[a, p]));
+    }
+    for i in 0..12 {
+        let (a, _, _) = rails[i % 5];
+        let (_, _, z) = rails[(i + 2) % 5];
+        let m = b.gate(GateKind::Tand, &[a, z]);
+        matches.push(b.gate(GateKind::Tand, &[m, instr[5 + (i % 3)]]));
+    }
+    // Control outputs: ALU op (3 trits), mem read/write, reg write,
+    // branch kind, imm select — each an OR over its match set + buffer.
+    for chunk in matches.chunks(3) {
+        let mut acc = chunk[0];
+        for m in &chunk[1..] {
+            acc = b.gate(GateKind::Tor, &[acc, *m]);
+        }
+        let out = b.gate(GateKind::Tbuf, &[acc]);
+        b.output(out);
+    }
+    b.build()
+}
+
+/// Immediate extraction and sign handling: field steering muxes for
+/// the five immediate shapes plus the LUI/LI splice row.
+pub fn immediate_unit(width: usize) -> Netlist {
+    let mut b = NetlistBuilder::new("immediate-unit");
+    let instr = b.inputs(width);
+    let shape = b.inputs(2);
+    for i in 0..width {
+        // Each output trit selects among {imm3, imm4, imm5 fields, zero}.
+        let m1 = b.gate(
+            GateKind::Tmux,
+            &[instr[i % 5 % width], instr[(i % 4 + 3) % width], shape[0]],
+        );
+        let m2 = b.gate(GateKind::Tmux, &[m1, instr[i % 3 % width], shape[1]]);
+        b.output(m2);
+    }
+    // Splice row for LI (upper-trit keep) — one mux per trit.
+    let old = b.inputs(width);
+    let keep = b.input();
+    for i in 0..width {
+        let m = b.gate(GateKind::Tmux, &[instr[i], old[i], keep]);
+        b.output(m);
+    }
+    b.build()
+}
+
+/// Hazard detection unit: register-index equality comparators between
+/// adjacent pipeline stages (2-trit indices, three compare pairs) plus
+/// the stall/flush priority gates.
+pub fn hazard_unit() -> Netlist {
+    let mut b = NetlistBuilder::new("hazard-unit");
+    let mut alarms = Vec::new();
+    for _ in 0..3 {
+        // index pair (2 trits each)
+        let x = b.inputs(2);
+        let y = b.inputs(2);
+        let e0 = b.gate(GateKind::Tcmp, &[x[0], y[0]]);
+        let e1 = b.gate(GateKind::Tcmp, &[x[1], y[1]]);
+        let both = b.gate(GateKind::Tnor, &[e0, e1]);
+        alarms.push(both);
+    }
+    let load_flag = b.input();
+    let branch_flag = b.input();
+    let a = b.gate(GateKind::Tor, &[alarms[0], alarms[1]]);
+    let any = b.gate(GateKind::Tor, &[a, alarms[2]]);
+    let load_use = b.gate(GateKind::Tand, &[any, load_flag]);
+    let stall = b.gate(GateKind::Tor, &[load_use, branch_flag]);
+    let flush = b.gate(GateKind::Tbuf, &[stall]);
+    b.output(stall);
+    b.output(flush);
+    b.build()
+}
+
+/// The write-back selector (memory data vs TALU result).
+pub fn writeback_mux(width: usize) -> Netlist {
+    let mut b = NetlistBuilder::new("writeback-mux");
+    let alu = b.inputs(width);
+    let mem = b.inputs(width);
+    let sel = b.input();
+    for i in 0..width {
+        let m = b.gate(GateKind::Tmux, &[alu[i], mem[i], sel]);
+        b.output(m);
+    }
+    b.build()
+}
+
+/// A combinational ternary array multiplier (N×N trits, low half of
+/// the product) — **not** part of the ART-9 (Table II: "Multiplier ✗").
+/// Built for the ablation study: it quantifies what the paper saved by
+/// leaving multiplication to software. Structure: one single-trit
+/// product cell per partial-product position (a balanced trit product
+/// is a single TXOR-class cell — `a·b = −xor(a,b)` — plus an STI), and
+/// a full-adder reduction row per multiplier trit.
+pub fn array_multiplier(width: usize) -> Netlist {
+    let mut b = NetlistBuilder::new("array-multiplier");
+    let a = b.inputs(width);
+    let m = b.inputs(width);
+    // Accumulator rows: start from zero-driver buffers.
+    let mut acc: Vec<NodeId> = (0..width)
+        .map(|_| {
+            let z = b.input();
+            b.gate(GateKind::Tbuf, &[z])
+        })
+        .collect();
+    for (row, m_t) in m.iter().enumerate() {
+        // Partial products for positions row..width.
+        let mut carry = b.input(); // zero carry-in per row
+        for col in 0..width - row {
+            let x = b.gate(GateKind::Txor, &[a[col], *m_t]);
+            let pp = b.gate(GateKind::Sti, &[x]); // a·b = -xor(a,b)
+            let (s, c) = {
+                let t1 = b.gate(GateKind::Tnand, &[acc[row + col], pp]);
+                let t2 = b.gate(GateKind::Tnand, &[t1, carry]);
+                let sum = b.gate(GateKind::Tsum, &[acc[row + col], pp, carry]);
+                let inv = b.gate(GateKind::Sti, &[t2]);
+                let cr = b.gate(GateKind::Tcarry, &[t1, inv]);
+                (sum, cr)
+            };
+            acc[row + col] = s;
+            carry = c;
+        }
+    }
+    for out in acc {
+        b.output(out);
+    }
+    b.build()
+}
+
+/// The TRF's two asynchronous read ports: per port and per trit, a
+/// 9:1 selection tree of 2:1 muxes over the nine register outputs
+/// (paper §IV-B: "two asynchronous read ports"). The flip-flops
+/// themselves live in [`storage`]; these trees are combinational
+/// datapath and a major share of Table IV's gate population.
+pub fn trf_read_ports(width: usize) -> Netlist {
+    let mut b = NetlistBuilder::new("trf-read-ports");
+    for _port in 0..2 {
+        let sel = b.inputs(2);
+        for _trit in 0..width {
+            let mut layer: Vec<NodeId> = (0..9).map(|_| b.input()).collect();
+            let mut level = 0;
+            while layer.len() > 1 {
+                let s = sel[level % 2];
+                let mut next = Vec::new();
+                for pair in layer.chunks(2) {
+                    if pair.len() == 2 {
+                        next.push(b.gate(GateKind::Tmux, &[pair[0], pair[1], s]));
+                    } else {
+                        next.push(pair[0]);
+                    }
+                }
+                layer = next;
+                level += 1;
+            }
+            b.output(layer[0]);
+        }
+    }
+    b.build()
+}
+
+/// TRF write-port decoder: the 2-trit `Ta` index becomes nine one-hot
+/// write enables (NTI/PTI rail pair + a match gate per register).
+pub fn regindex_decoder() -> Netlist {
+    let mut b = NetlistBuilder::new("regindex-decoder");
+    let idx = b.inputs(2);
+    let n0 = b.gate(GateKind::Nti, &[idx[0]]);
+    let p0 = b.gate(GateKind::Pti, &[idx[0]]);
+    let n1 = b.gate(GateKind::Nti, &[idx[1]]);
+    let p1 = b.gate(GateKind::Pti, &[idx[1]]);
+    let rails = [n0, p0, n1, p1];
+    let we = b.input(); // write enable
+    for r in 0..9 {
+        let a = rails[r % 4];
+        let c = rails[(r + 1) % 4];
+        let m = b.gate(GateKind::Tand, &[a, c]);
+        let gated = b.gate(GateKind::Tand, &[m, we]);
+        b.output(gated);
+    }
+    b.build()
+}
+
+/// PC source selection: sequential (PC+1), branch target, or JALR
+/// target — two mux levels per trit.
+pub fn pc_source_mux(width: usize) -> Netlist {
+    let mut b = NetlistBuilder::new("pc-source-mux");
+    let seq = b.inputs(width);
+    let branch = b.inputs(width);
+    let jalr = b.inputs(width);
+    let sel = b.inputs(2);
+    for i in 0..width {
+        let m1 = b.gate(GateKind::Tmux, &[seq[i], branch[i], sel[0]]);
+        let m2 = b.gate(GateKind::Tmux, &[m1, jalr[i], sel[1]]);
+        b.output(m2);
+    }
+    b.build()
+}
+
+/// TDM interface: address drivers and the store-data path buffers
+/// (synchronous single-port memory, §IV-B).
+pub fn memory_interface(width: usize) -> Netlist {
+    let mut b = NetlistBuilder::new("memory-interface");
+    let addr = b.inputs(width);
+    let data = b.inputs(width);
+    let wen = b.input();
+    for i in 0..width {
+        let a = b.gate(GateKind::Tbuf, &[addr[i]]);
+        let d = b.gate(GateKind::Tand, &[data[i], wen]);
+        b.output(a);
+        b.output(d);
+    }
+    b.build()
+}
+
+/// Sequential state of the core: PC, the TRF (9×9 trits) and the four
+/// pipeline registers — as TDFF cells. Kept separate from the
+/// combinational datapath because Table IV counts datapath gates only,
+/// while the FPGA model (Table V) counts these as registers.
+pub fn storage() -> Netlist {
+    let mut b = NetlistBuilder::new("storage");
+    let mut dffs = |n: usize| {
+        for _ in 0..n {
+            let d = b.input();
+            let q = b.gate(GateKind::Tdff, &[d]);
+            b.output(q);
+        }
+    };
+    dffs(WIDTH); // PC
+    dffs(9 * WIDTH); // TRF
+    dffs(18); // IF/ID: instruction + PC
+    dffs(32); // ID/EX: two operands + PC + controls
+    dffs(21); // EX/MEM: result + store data + controls
+    dffs(11); // MEM/WB: value + controls
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::CellParams;
+
+    fn unit(_: GateKind) -> CellParams {
+        CellParams { delay_ps: 10.0, static_nw: 1.0, switch_energy_fj: 0.1 }
+    }
+
+    #[test]
+    fn adder_gate_count_scales_with_width() {
+        let a9 = adder_subtractor(9);
+        let a3 = adder_subtractor(3);
+        // Per trit: STI + TMUX + 5-cell TFA = 7.
+        assert_eq!(a9.gate_count(), 9 * 7);
+        assert_eq!(a3.gate_count(), 3 * 7);
+    }
+
+    #[test]
+    fn adder_critical_path_grows_with_width() {
+        let a9 = adder_subtractor(9);
+        let a3 = adder_subtractor(3);
+        assert!(a9.critical_path_ps(&unit) > a3.critical_path_ps(&unit));
+    }
+
+    #[test]
+    fn logic_and_inverters_are_one_level() {
+        let l = logic_unit(9);
+        assert_eq!(l.gate_count(), 27);
+        assert!((l.critical_path_ps(&unit) - 10.0).abs() < 1e-9);
+        let i = inverter_unit(9);
+        assert_eq!(i.gate_count(), 27);
+    }
+
+    #[test]
+    fn storage_is_all_dffs() {
+        let s = storage();
+        let h = s.histogram();
+        assert_eq!(h.len(), 1);
+        // 9 PC + 81 TRF + 82 pipeline trits.
+        assert_eq!(h[&GateKind::Tdff], 9 + 81 + 82);
+    }
+
+    #[test]
+    fn blocks_have_nonzero_counts() {
+        for n in [
+            shifter(9),
+            comparator(9),
+            result_mux(9, 8),
+            forwarding_muxes(9),
+            pc_incrementer(9),
+            branch_unit(9),
+            main_decoder(),
+            immediate_unit(9),
+            hazard_unit(),
+            writeback_mux(9),
+        ] {
+            assert!(n.gate_count() > 0, "{} is empty", n.name());
+            assert!(n.critical_path_ps(&unit) > 0.0, "{} has no path", n.name());
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! The performance estimator (paper Fig. 3, final stage): merges the
+//! cycle-accurate simulation results with the gate-level / FPGA
+//! analyses into the implementation-level metrics of Tables IV and V.
+
+use crate::analyzer::GateAnalysis;
+use crate::fpga::FpgaReport;
+
+/// Dhrystone performance input from the cycle-accurate simulator.
+#[derive(Debug, Clone, Copy)]
+pub struct DhrystoneResult {
+    /// Cycles per Dhrystone iteration on the pipelined core.
+    pub cycles_per_iteration: f64,
+}
+
+impl DhrystoneResult {
+    /// DMIPS per MHz: one iteration per `cycles_per_iteration` cycles,
+    /// normalized by the VAX 11/780's 1757 Dhrystones/s.
+    pub fn dmips_per_mhz(&self) -> f64 {
+        1.0e6 / (self.cycles_per_iteration * 1757.0)
+    }
+}
+
+/// Table IV row: the CNTFET implementation.
+#[derive(Debug, Clone)]
+pub struct CntfetEstimate {
+    /// Operating voltage (V).
+    pub voltage: f64,
+    /// Total ternary gates in the datapath.
+    pub total_gates: usize,
+    /// Datapath power at `fmax` (µW).
+    pub power_uw: f64,
+    /// Implied clock (MHz).
+    pub fmax_mhz: f64,
+    /// Dhrystone DMIPS at `fmax`.
+    pub dmips: f64,
+    /// Efficiency: DMIPS per watt.
+    pub dmips_per_watt: f64,
+}
+
+/// Combines gate analysis and Dhrystone throughput into Table IV.
+pub fn estimate_cntfet(analysis: &GateAnalysis, dhrystone: DhrystoneResult) -> CntfetEstimate {
+    let fmax = analysis.fmax_mhz();
+    let dmips = dhrystone.dmips_per_mhz() * fmax;
+    let power_w = analysis.total_power_uw() * 1e-6;
+    CntfetEstimate {
+        voltage: analysis.voltage,
+        total_gates: analysis.gates,
+        power_uw: analysis.total_power_uw(),
+        fmax_mhz: fmax,
+        dmips,
+        dmips_per_watt: dmips / power_w,
+    }
+}
+
+/// Table V row: the FPGA implementation.
+#[derive(Debug, Clone)]
+pub struct FpgaEstimate {
+    /// The mapped resources and power.
+    pub report: FpgaReport,
+    /// Dhrystone DMIPS at the FPGA clock.
+    pub dmips: f64,
+    /// Efficiency: DMIPS per watt.
+    pub dmips_per_watt: f64,
+}
+
+/// Combines the FPGA mapping and Dhrystone throughput into Table V.
+pub fn estimate_fpga(report: &FpgaReport, dhrystone: DhrystoneResult) -> FpgaEstimate {
+    let dmips = dhrystone.dmips_per_mhz() * report.frequency_mhz;
+    FpgaEstimate {
+        report: report.clone(),
+        dmips,
+        dmips_per_watt: dmips / report.power_w,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyzer::analyze;
+    use crate::datapath::Datapath;
+    use crate::fpga::{map_to_fpga, MemoryConfig};
+    use crate::tech::cntfet32;
+
+    /// The paper's 0.42 DMIPS/MHz corresponds to ~1355 cycles/iteration.
+    const PAPER_LIKE: DhrystoneResult = DhrystoneResult { cycles_per_iteration: 1355.0 };
+
+    #[test]
+    fn dmips_per_mhz_matches_paper_arithmetic() {
+        // 1e6 / (1355 * 1757) = 0.42 (paper Table II).
+        assert!((PAPER_LIKE.dmips_per_mhz() - 0.42).abs() < 0.01);
+    }
+
+    #[test]
+    fn cntfet_estimate_magnitude() {
+        let d = Datapath::art9();
+        let a = analyze(&d, &cntfet32());
+        let e = estimate_cntfet(&a, PAPER_LIKE);
+        // Table IV: 3.06e6 DMIPS/W. The reproduction must land within
+        // the same order of magnitude.
+        assert!(
+            (5e5..=2e7).contains(&e.dmips_per_watt),
+            "DMIPS/W {:.3e}",
+            e.dmips_per_watt
+        );
+        assert!(e.dmips > 10.0);
+    }
+
+    #[test]
+    fn fpga_estimate_magnitude() {
+        let d = Datapath::art9();
+        let r = map_to_fpga(&d, MemoryConfig::default(), 150.0);
+        let e = estimate_fpga(&r, PAPER_LIKE);
+        // Table V: 57.8 DMIPS/W at 150 MHz / 1.09 W.
+        assert!((20.0..=120.0).contains(&e.dmips_per_watt), "{}", e.dmips_per_watt);
+    }
+
+    #[test]
+    fn cntfet_dwarfs_fpga_efficiency() {
+        let d = Datapath::art9();
+        let a = analyze(&d, &cntfet32());
+        let c = estimate_cntfet(&a, PAPER_LIKE);
+        let r = map_to_fpga(&d, MemoryConfig::default(), 150.0);
+        let f = estimate_fpga(&r, PAPER_LIKE);
+        // The paper's headline: emerging ternary devices are ~5 orders
+        // of magnitude more efficient than FPGA emulation.
+        assert!(c.dmips_per_watt / f.dmips_per_watt > 1e3);
+    }
+}

@@ -1,0 +1,142 @@
+//! FPGA implementation model (paper Table V): the ART-9 with every
+//! ternary block emulated by binary modules in the binary-encoded
+//! ternary representation (2 bits/trit, \[27\]), mapped to a
+//! Stratix-V-class device.
+//!
+//! Resources are estimated structurally: each combinational ternary
+//! gate becomes a small two-output binary function (≈ 1 ALM for simple
+//! cells, more for arithmetic cells), each stored trit two registers,
+//! and the two 256-word memories land in block RAM at 18 bits per
+//! word. Power is a static + dynamic roll-up calibrated to Stratix-V
+//! magnitudes. DESIGN.md §3.3 records the substitution for Quartus.
+
+use std::collections::BTreeMap;
+
+use crate::datapath::Datapath;
+use crate::gate::GateKind;
+
+/// ALM cost of emulating one ternary cell in binary-encoded form.
+fn alms_per_gate(kind: GateKind) -> f64 {
+    match kind {
+        // Inverters/buffers: one 4-input LUT pair fits an ALM half.
+        GateKind::Sti | GateKind::Nti | GateKind::Pti | GateKind::Tbuf => 0.5,
+        // Two-input min/max/nand/nor on 2-bit pairs.
+        GateKind::Tand | GateKind::Tor | GateKind::Tnand | GateKind::Tnor => 1.0,
+        // XOR/compare/mux need both ALM outputs plus shared logic.
+        GateKind::Txor | GateKind::Tcmp | GateKind::Tmux => 1.25,
+        // Arithmetic cells: 4-bit in, 2-bit out with carries.
+        GateKind::Tsum => 2.5,
+        GateKind::Tcarry => 2.0,
+        // Flip-flops are counted as registers, not ALMs.
+        GateKind::Tdff => 0.0,
+    }
+}
+
+/// Estimated FPGA implementation of the ART-9 core.
+#[derive(Debug, Clone)]
+pub struct FpgaReport {
+    /// Operating voltage (core rail).
+    pub voltage: f64,
+    /// Clock frequency used for the power roll-up (MHz).
+    pub frequency_mhz: f64,
+    /// Adaptive logic modules.
+    pub alms: usize,
+    /// Dedicated registers (2 per stored trit).
+    pub registers: usize,
+    /// Block-RAM bits for the two binary-encoded ternary memories.
+    pub ram_bits: usize,
+    /// Total power (W).
+    pub power_w: f64,
+}
+
+/// Memory configuration: two single-port memories (TIM + TDM).
+#[derive(Debug, Clone, Copy)]
+pub struct MemoryConfig {
+    /// Words per memory.
+    pub words: usize,
+    /// Trits per word.
+    pub trits_per_word: usize,
+}
+
+impl Default for MemoryConfig {
+    fn default() -> Self {
+        // Table V's 9216 bits = 2 × 256 words × 18 bits.
+        Self { words: 256, trits_per_word: 9 }
+    }
+}
+
+/// Static power of the device fraction the core occupies (W) — the
+/// Stratix-V idle floor dominates small designs.
+const STATIC_W: f64 = 0.82;
+/// Dynamic power per ALM at 1 MHz with the design's average toggle
+/// rate (W/ALM/MHz) — calibrated to land Table V's 1.09 W at 150 MHz.
+const DYNAMIC_W_PER_ALM_MHZ: f64 = 2.1e-6;
+/// Dynamic power per RAM bit per MHz (port activity included).
+const DYNAMIC_W_PER_RAMBIT_MHZ: f64 = 2.2e-8;
+
+/// Maps the core to the FPGA model at `frequency_mhz`.
+pub fn map_to_fpga(datapath: &Datapath, mem: MemoryConfig, frequency_mhz: f64) -> FpgaReport {
+    // ALMs: combinational gates by kind + control overhead share.
+    let hist: BTreeMap<GateKind, usize> = datapath.merged().histogram();
+    let mut alms = 0.0;
+    for (kind, count) in &hist {
+        alms += alms_per_gate(*kind) * *count as f64;
+    }
+    // Glue logic the gate model does not capture (reset, memory
+    // handshake, stall distribution): ~15 % adder, observed on small
+    // soft cores.
+    let alms = (alms * 1.15).round() as usize;
+
+    // Registers: 2 bits per stored trit.
+    let registers = datapath.state_trits() * 2;
+
+    // RAM: two memories, 2 bits per trit.
+    let ram_bits = 2 * mem.words * mem.trits_per_word * 2;
+
+    let dynamic = frequency_mhz
+        * (alms as f64 * DYNAMIC_W_PER_ALM_MHZ + ram_bits as f64 * DYNAMIC_W_PER_RAMBIT_MHZ);
+    FpgaReport {
+        voltage: 0.9,
+        frequency_mhz,
+        alms,
+        registers,
+        ram_bits,
+        power_w: STATIC_W + dynamic,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lands_near_table5() {
+        let d = Datapath::art9();
+        let r = map_to_fpga(&d, MemoryConfig::default(), 150.0);
+        // Table V: 803 ALMs, 339 registers, 9216 RAM bits, 1.09 W.
+        assert!((600..=1000).contains(&r.alms), "ALMs {}", r.alms);
+        assert!((300..=400).contains(&r.registers), "regs {}", r.registers);
+        assert_eq!(r.ram_bits, 9216);
+        assert!((0.9..=1.3).contains(&r.power_w), "power {}", r.power_w);
+    }
+
+    #[test]
+    fn power_scales_with_frequency() {
+        let d = Datapath::art9();
+        let slow = map_to_fpga(&d, MemoryConfig::default(), 50.0);
+        let fast = map_to_fpga(&d, MemoryConfig::default(), 150.0);
+        assert!(fast.power_w > slow.power_w);
+        assert!(slow.power_w > STATIC_W);
+    }
+
+    #[test]
+    fn ram_accounting_follows_config() {
+        let d = Datapath::art9();
+        let r = map_to_fpga(
+            &d,
+            MemoryConfig { words: 128, trits_per_word: 9 },
+            150.0,
+        );
+        assert_eq!(r.ram_bits, 2 * 128 * 18);
+    }
+}

@@ -1,0 +1,128 @@
+//! Ternary standard cells.
+//!
+//! The gate-level analyzer works on netlists of the ternary standard
+//! cells established by the CNTFET/ternary-synthesis literature the
+//! paper builds on (\[4\], \[7\], \[8\]): the three inverters, two-input
+//! min/max/XOR gates and their inverting forms, a 1-trit 2:1
+//! multiplexer, the decomposed full-adder cells and a ternary
+//! flip-flop. A technology library assigns each kind its delay, leakage
+//! and switching energy.
+
+use std::fmt;
+
+/// The ternary standard-cell kinds known to the analyzer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum GateKind {
+    /// Standard ternary inverter (full negation).
+    Sti,
+    /// Negative ternary inverter.
+    Nti,
+    /// Positive ternary inverter.
+    Pti,
+    /// Two-input minimum (ternary AND).
+    Tand,
+    /// Two-input maximum (ternary OR).
+    Tor,
+    /// Two-input ternary XOR.
+    Txor,
+    /// Inverting minimum (TNAND) — the natural CMOS-style primitive.
+    Tnand,
+    /// Inverting maximum (TNOR).
+    Tnor,
+    /// 1-trit 2:1 multiplexer.
+    Tmux,
+    /// Decomposed full-adder sum cell (a ⊞ b ⊞ cin).
+    Tsum,
+    /// Decomposed full-adder carry cell.
+    Tcarry,
+    /// 1-trit comparator slice (propagates a 3-state verdict).
+    Tcmp,
+    /// Buffer/driver.
+    Tbuf,
+    /// Ternary D flip-flop (one trit of sequential state).
+    Tdff,
+}
+
+/// All cell kinds, for library iteration and reports.
+pub const ALL_KINDS: [GateKind; 14] = [
+    GateKind::Sti,
+    GateKind::Nti,
+    GateKind::Pti,
+    GateKind::Tand,
+    GateKind::Tor,
+    GateKind::Txor,
+    GateKind::Tnand,
+    GateKind::Tnor,
+    GateKind::Tmux,
+    GateKind::Tsum,
+    GateKind::Tcarry,
+    GateKind::Tcmp,
+    GateKind::Tbuf,
+    GateKind::Tdff,
+];
+
+impl GateKind {
+    /// Canonical cell name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            GateKind::Sti => "STI",
+            GateKind::Nti => "NTI",
+            GateKind::Pti => "PTI",
+            GateKind::Tand => "TAND",
+            GateKind::Tor => "TOR",
+            GateKind::Txor => "TXOR",
+            GateKind::Tnand => "TNAND",
+            GateKind::Tnor => "TNOR",
+            GateKind::Tmux => "TMUX",
+            GateKind::Tsum => "TSUM",
+            GateKind::Tcarry => "TCARRY",
+            GateKind::Tcmp => "TCMP",
+            GateKind::Tbuf => "TBUF",
+            GateKind::Tdff => "TDFF",
+        }
+    }
+
+    /// `true` for sequential cells (excluded from combinational paths'
+    /// interior, endpoints of timing arcs).
+    pub const fn is_sequential(self) -> bool {
+        matches!(self, GateKind::Tdff)
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Per-cell characterization from a technology's property description
+/// (the paper's "delay and power characteristics of primitive building
+/// blocks", §III-B).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellParams {
+    /// Propagation delay, picoseconds.
+    pub delay_ps: f64,
+    /// Static (leakage) power, nanowatts.
+    pub static_nw: f64,
+    /// Energy per output transition, femtojoules.
+    pub switch_energy_fj: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique() {
+        use std::collections::BTreeSet;
+        let names: BTreeSet<&str> = ALL_KINDS.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), ALL_KINDS.len());
+    }
+
+    #[test]
+    fn only_dff_is_sequential() {
+        for k in ALL_KINDS {
+            assert_eq!(k.is_sequential(), k == GateKind::Tdff);
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! # `art9-hw` — the hardware-level evaluation framework
+//!
+//! The gate-level half of the paper's §III-B framework (Fig. 3):
+//!
+//! * [`gate`] / [`netlist`] — ternary standard cells and netlist DAGs
+//!   with longest-path timing and leakage/switching power roll-ups;
+//! * [`blocks`] / [`datapath`] — structural generators for every block
+//!   of the 5-stage ART-9 (Fig. 4), totalling ≈ 650 combinational
+//!   gates like Table IV's 652;
+//! * [`tech`] — technology libraries ("property descriptions"):
+//!   the 32 nm CNTFET ternary cells of \[7\]/\[8\] and a generic CMOS
+//!   ternary foil;
+//! * [`analyzer`] — the gate-level analyzer (delay + power);
+//! * [`fpga`] — the binary-encoded-ternary FPGA mapping behind
+//!   Table V (ALMs / registers / RAM bits / power);
+//! * [`estimator`] — the performance estimator combining cycle-
+//!   accurate simulation results into DMIPS and DMIPS/W.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use art9_hw::analyzer::analyze;
+//! use art9_hw::datapath::Datapath;
+//! use art9_hw::estimator::{estimate_cntfet, DhrystoneResult};
+//! use art9_hw::tech::cntfet32;
+//!
+//! let core = Datapath::art9();
+//! let analysis = analyze(&core, &cntfet32());
+//! let table4 = estimate_cntfet(
+//!     &analysis,
+//!     DhrystoneResult { cycles_per_iteration: 1355.0 },
+//! );
+//! println!(
+//!     "{} gates, {:.1} µW, {:.2e} DMIPS/W",
+//!     table4.total_gates, table4.power_uw, table4.dmips_per_watt
+//! );
+//! assert!(table4.total_gates > 500);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analyzer;
+pub mod blocks;
+pub mod datapath;
+pub mod estimator;
+pub mod fpga;
+pub mod gate;
+pub mod netlist;
+pub mod tech;

@@ -1,0 +1,9 @@
+use art9_hw::datapath::Datapath;
+#[test]
+fn print_block_sizes() {
+    let d = Datapath::art9();
+    for (name, count) in d.block_summary() {
+        println!("{name:<20} {count}");
+    }
+    println!("TOTAL {}", d.datapath_gates());
+}

@@ -1,0 +1,199 @@
+//! Trit-level instruction decoding — the exact inverse of
+//! [`crate::encode::encode`] over the legal opcode space.
+//!
+//! Reserved encodings (DESIGN.md §3.1) decode to
+//! [`IsaError::IllegalInstruction`]; the main decoder in the ID stage
+//! turns that into a processor fault.
+
+use ternary::{Trit, Word9};
+
+use crate::encode::{
+    R_ADD, R_AND, R_COMP, R_MV, R_NTI, R_OR, R_PTI, R_SL, R_SR, R_STI, R_SUB, R_XOR,
+};
+use crate::error::IsaError;
+use crate::instr::Instruction;
+use crate::reg::TReg;
+
+/// Decodes a 9-trit word into an instruction.
+///
+/// # Errors
+///
+/// Returns [`IsaError::IllegalInstruction`] for any word in the reserved
+/// opcode space.
+///
+/// # Examples
+///
+/// ```
+/// use art9_isa::{decode, encode, Instruction, TReg};
+///
+/// let i = Instruction::Comp { a: TReg::T3, b: TReg::T4 };
+/// assert_eq!(decode(encode(&i))?, i);
+/// # Ok::<(), art9_isa::IsaError>(())
+/// ```
+pub fn decode(word: Word9) -> Result<Instruction, IsaError> {
+    use Trit::{N, P, Z};
+    let illegal = || IsaError::IllegalInstruction { word };
+
+    let t8 = word.trit(8);
+    let t7 = word.trit(7);
+
+    match (t8, t7) {
+        (P, P) => Ok(Instruction::Beq {
+            b: TReg::decode(word.field::<2>(5)),
+            cond: word.trit(4),
+            offset: word.field::<4>(0),
+        }),
+        (P, N) => Ok(Instruction::Bne {
+            b: TReg::decode(word.field::<2>(5)),
+            cond: word.trit(4),
+            offset: word.field::<4>(0),
+        }),
+        (P, Z) => Ok(Instruction::Jal {
+            a: TReg::decode(word.field::<2>(5)),
+            offset: word.field::<5>(0),
+        }),
+        (N, P) => Ok(Instruction::Li {
+            a: TReg::decode(word.field::<2>(5)),
+            imm: word.field::<5>(0),
+        }),
+        (N, N) => Ok(Instruction::Load {
+            a: TReg::decode(word.field::<2>(5)),
+            b: TReg::decode(word.field::<2>(3)),
+            offset: word.field::<3>(0),
+        }),
+        (N, Z) => Ok(Instruction::Store {
+            a: TReg::decode(word.field::<2>(5)),
+            b: TReg::decode(word.field::<2>(3)),
+            offset: word.field::<3>(0),
+        }),
+        (Z, P) => Ok(Instruction::Jalr {
+            a: TReg::decode(word.field::<2>(5)),
+            b: TReg::decode(word.field::<2>(3)),
+            offset: word.field::<3>(0),
+        }),
+        (Z, N) => decode_itype(word).ok_or_else(illegal),
+        (Z, Z) => decode_rtype(word).ok_or_else(illegal),
+    }
+}
+
+fn decode_itype(word: Word9) -> Option<Instruction> {
+    use Trit::{N, P, Z};
+    match word.trit(6) {
+        P => Some(Instruction::Lui {
+            a: TReg::decode(word.field::<2>(4)),
+            imm: word.field::<4>(0),
+        }),
+        Z => match word.trit(5) {
+            P => Some(Instruction::Addi {
+                a: TReg::decode(word.field::<2>(3)),
+                imm: word.field::<3>(0),
+            }),
+            N => Some(Instruction::Andi {
+                a: TReg::decode(word.field::<2>(3)),
+                imm: word.field::<3>(0),
+            }),
+            Z => match word.trit(4) {
+                P => Some(Instruction::Sri {
+                    a: TReg::decode(word.field::<2>(2)),
+                    imm: word.field::<2>(0),
+                }),
+                N => Some(Instruction::Sli {
+                    a: TReg::decode(word.field::<2>(2)),
+                    imm: word.field::<2>(0),
+                }),
+                Z => None, // reserved: 0 - 0 0 0
+            },
+        },
+        N => None, // reserved: 0 - -
+    }
+}
+
+fn decode_rtype(word: Word9) -> Option<Instruction> {
+    let sub = word.field::<3>(4).to_i64();
+    let a = TReg::decode(word.field::<2>(2));
+    let b = TReg::decode(word.field::<2>(0));
+    use Instruction::*;
+    Some(match sub {
+        R_MV => Mv { a, b },
+        R_PTI => Pti { a, b },
+        R_NTI => Nti { a, b },
+        R_STI => Sti { a, b },
+        R_AND => And { a, b },
+        R_OR => Or { a, b },
+        R_XOR => Xor { a, b },
+        R_ADD => Add { a, b },
+        R_SUB => Sub { a, b },
+        R_SR => Sr { a, b },
+        R_SL => Sl { a, b },
+        R_COMP => Comp { a, b },
+        _ => return None, // reserved sub-opcodes
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+    use ternary::Trits;
+
+    #[test]
+    fn reserved_space_is_illegal() {
+        use Trit::{N, Z};
+        // 0 - - …: reserved I-type region.
+        let w = Word9::ZERO.with_trit(7, N).with_trit(6, N);
+        assert!(matches!(
+            decode(w),
+            Err(IsaError::IllegalInstruction { .. })
+        ));
+        // 0 - 0 0 0: reserved shift region.
+        let w = Word9::ZERO.with_trit(7, N);
+        assert!(decode(w).is_err());
+        // R-type reserved sub-opcode (12).
+        let w = Word9::ZERO
+            .with_trit(8, Z)
+            .with_trit(7, Z)
+            .with_field::<3>(4, Trits::<3>::from_i64(12).unwrap());
+        assert!(decode(w).is_err());
+        // R-type negative sub-opcode (-1).
+        let w = Word9::ZERO.with_field::<3>(4, Trits::<3>::from_i64(-1).unwrap());
+        assert!(decode(w).is_err());
+    }
+
+    #[test]
+    fn all_zero_word_is_illegal_not_nop() {
+        // The all-zero word falls in the reserved R-type…? No: sub-opcode
+        // 0 = MV t4, t4 — a harmless register self-move. Pin that down.
+        let w = Word9::ZERO;
+        assert_eq!(
+            decode(w).unwrap(),
+            Instruction::Mv { a: TReg::T4, b: TReg::T4 }
+        );
+    }
+
+    #[test]
+    fn branch_condition_trit_roundtrip() {
+        for cond in ternary::ALL_TRITS {
+            let i = Instruction::Beq {
+                b: TReg::T6,
+                cond,
+                offset: Trits::<4>::from_i64(-40).unwrap(),
+            };
+            assert_eq!(decode(encode(&i)).unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn extreme_immediates_roundtrip() {
+        let cases = vec![
+            Instruction::Li { a: TReg::T8, imm: Trits::<5>::from_i64(121).unwrap() },
+            Instruction::Li { a: TReg::T0, imm: Trits::<5>::from_i64(-121).unwrap() },
+            Instruction::Lui { a: TReg::T8, imm: Trits::<4>::from_i64(40).unwrap() },
+            Instruction::Jal { a: TReg::T1, offset: Trits::<5>::from_i64(-121).unwrap() },
+            Instruction::Sri { a: TReg::T3, imm: Trits::<2>::from_i64(4).unwrap() },
+            Instruction::Sli { a: TReg::T3, imm: Trits::<2>::from_i64(-4).unwrap() },
+        ];
+        for i in cases {
+            assert_eq!(decode(encode(&i)).unwrap(), i, "{i}");
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Disassembler: 9-trit words back to assembly text.
+
+use ternary::Word9;
+
+use crate::decode::decode;
+use crate::error::IsaError;
+
+/// Disassembles a single word to its canonical assembly line.
+///
+/// # Errors
+///
+/// Returns [`IsaError::IllegalInstruction`] for reserved encodings.
+///
+/// # Examples
+///
+/// ```
+/// use art9_isa::{disassemble_word, encode, Instruction, TReg};
+///
+/// let w = encode(&Instruction::Add { a: TReg::T3, b: TReg::T4 });
+/// assert_eq!(disassemble_word(w)?, "ADD t3, t4");
+/// # Ok::<(), art9_isa::IsaError>(())
+/// ```
+pub fn disassemble_word(word: Word9) -> Result<String, IsaError> {
+    Ok(decode(word)?.to_string())
+}
+
+/// Disassembles a TIM image into one line per instruction, annotated
+/// with the word address and the raw trits.
+///
+/// Illegal words are rendered as `.illegal <trits>` rather than failing,
+/// so a partially-corrupt image can still be inspected.
+///
+/// # Examples
+///
+/// ```
+/// use art9_isa::{assemble, disassemble_image};
+///
+/// let p = assemble("LI t3, 7\nADDI t3, -1\n")?;
+/// let listing = disassemble_image(&p.tim_image());
+/// assert!(listing.lines().count() == 2);
+/// assert!(listing.contains("LI t3, 7"));
+/// # Ok::<(), art9_isa::IsaError>(())
+/// ```
+pub fn disassemble_image(image: &[Word9]) -> String {
+    let mut out = String::new();
+    for (addr, word) in image.iter().enumerate() {
+        let body = match decode(*word) {
+            Ok(i) => i.to_string(),
+            Err(_) => format!(".illegal {word}"),
+        };
+        out.push_str(&format!("{addr:4}: {word}  {body}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    #[test]
+    fn listing_covers_all_instructions() {
+        let p = assemble("LI t3, 7\nADD t3, t4\nBEQ t3, +, 1\nNOP\n").unwrap();
+        let listing = disassemble_image(&p.tim_image());
+        assert_eq!(listing.lines().count(), 4);
+        assert!(listing.contains("BEQ t3, +, 1"));
+        assert!(listing.contains("ADDI t0, 0")); // NOP's canonical form
+    }
+
+    #[test]
+    fn illegal_words_render_inline() {
+        use ternary::Trit;
+        // 0 - - ... is reserved.
+        let w = Word9::ZERO.with_trit(7, Trit::N).with_trit(6, Trit::N);
+        let listing = disassemble_image(&[w]);
+        assert!(listing.contains(".illegal"));
+        assert!(disassemble_word(w).is_err());
+    }
+}

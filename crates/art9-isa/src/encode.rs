@@ -1,0 +1,185 @@
+//! Trit-level instruction encoding.
+//!
+//! The paper fixes the *word length* (9 trits) and the operand field
+//! widths (Table I) but does not publish the opcode layout; DESIGN.md
+//! §3.1 defines the ternary prefix code used here. In brief, trits
+//! `t8 t7 …` (most significant first) form a prefix-free opcode so that
+//! the seven instructions needing seven operand trits get 2-trit
+//! opcodes, LUI gets 3, ADDI/ANDI get 4, SRI/SLI get 5, and the twelve
+//! R-type operations share the `0 0 s s s` space with a 3-trit
+//! sub-opcode `s`.
+//!
+//! [`encode`] and [`crate::decode::decode`] are exact inverses over the
+//! legal instruction set; this is property-tested in the crate tests.
+
+use ternary::{Trit, Trits, Word9};
+
+use crate::instr::Instruction;
+
+/// R-type sub-opcode values (balanced value of the 3-trit `s` field).
+pub(crate) const R_MV: i64 = 0;
+pub(crate) const R_PTI: i64 = 1;
+pub(crate) const R_NTI: i64 = 2;
+pub(crate) const R_STI: i64 = 3;
+pub(crate) const R_AND: i64 = 4;
+pub(crate) const R_OR: i64 = 5;
+pub(crate) const R_XOR: i64 = 6;
+pub(crate) const R_ADD: i64 = 7;
+pub(crate) const R_SUB: i64 = 8;
+pub(crate) const R_SR: i64 = 9;
+pub(crate) const R_SL: i64 = 10;
+pub(crate) const R_COMP: i64 = 11;
+
+fn with_prefix2(a: Trit, b: Trit) -> Word9 {
+    Word9::ZERO.with_trit(8, a).with_trit(7, b)
+}
+
+/// Encodes an instruction into its 9-trit word.
+///
+/// Every [`Instruction`] value encodes successfully: operand ranges are
+/// enforced at construction (the enum stores exact-width immediates).
+///
+/// # Examples
+///
+/// ```
+/// use art9_isa::{encode, decode, Instruction, TReg};
+///
+/// let i = Instruction::Add { a: TReg::T3, b: TReg::T4 };
+/// let word = encode(&i);
+/// assert_eq!(decode(word)?, i);
+/// # Ok::<(), art9_isa::IsaError>(())
+/// ```
+pub fn encode(instr: &Instruction) -> Word9 {
+    use Instruction::*;
+    use Trit::{N, P, Z};
+    match instr {
+        // --- two-trit opcodes (7 operand trits) ----------------------
+        Beq { b, cond, offset } => with_prefix2(P, P)
+            .with_field::<2>(5, b.encode())
+            .with_trit(4, *cond)
+            .with_field::<4>(0, *offset),
+        Bne { b, cond, offset } => with_prefix2(P, N)
+            .with_field::<2>(5, b.encode())
+            .with_trit(4, *cond)
+            .with_field::<4>(0, *offset),
+        Jal { a, offset } => with_prefix2(P, Z)
+            .with_field::<2>(5, a.encode())
+            .with_field::<5>(0, *offset),
+        Li { a, imm } => with_prefix2(N, P)
+            .with_field::<2>(5, a.encode())
+            .with_field::<5>(0, *imm),
+        Load { a, b, offset } => with_prefix2(N, N)
+            .with_field::<2>(5, a.encode())
+            .with_field::<2>(3, b.encode())
+            .with_field::<3>(0, *offset),
+        Store { a, b, offset } => with_prefix2(N, Z)
+            .with_field::<2>(5, a.encode())
+            .with_field::<2>(3, b.encode())
+            .with_field::<3>(0, *offset),
+        Jalr { a, b, offset } => with_prefix2(Z, P)
+            .with_field::<2>(5, a.encode())
+            .with_field::<2>(3, b.encode())
+            .with_field::<3>(0, *offset),
+
+        // --- longer I-type opcodes -----------------------------------
+        Lui { a, imm } => with_prefix2(Z, N)
+            .with_trit(6, P)
+            .with_field::<2>(4, a.encode())
+            .with_field::<4>(0, *imm),
+        Addi { a, imm } => with_prefix2(Z, N)
+            .with_trit(6, Z)
+            .with_trit(5, P)
+            .with_field::<2>(3, a.encode())
+            .with_field::<3>(0, *imm),
+        Andi { a, imm } => with_prefix2(Z, N)
+            .with_trit(6, Z)
+            .with_trit(5, N)
+            .with_field::<2>(3, a.encode())
+            .with_field::<3>(0, *imm),
+        Sri { a, imm } => with_prefix2(Z, N)
+            .with_trit(6, Z)
+            .with_trit(5, Z)
+            .with_trit(4, P)
+            .with_field::<2>(2, a.encode())
+            .with_field::<2>(0, *imm),
+        Sli { a, imm } => with_prefix2(Z, N)
+            .with_trit(6, Z)
+            .with_trit(5, Z)
+            .with_trit(4, N)
+            .with_field::<2>(2, a.encode())
+            .with_field::<2>(0, *imm),
+
+        // --- R-type: 0 0 s s s | Ta | Tb ------------------------------
+        Mv { a, b } => encode_r(R_MV, *a, *b),
+        Pti { a, b } => encode_r(R_PTI, *a, *b),
+        Nti { a, b } => encode_r(R_NTI, *a, *b),
+        Sti { a, b } => encode_r(R_STI, *a, *b),
+        And { a, b } => encode_r(R_AND, *a, *b),
+        Or { a, b } => encode_r(R_OR, *a, *b),
+        Xor { a, b } => encode_r(R_XOR, *a, *b),
+        Add { a, b } => encode_r(R_ADD, *a, *b),
+        Sub { a, b } => encode_r(R_SUB, *a, *b),
+        Sr { a, b } => encode_r(R_SR, *a, *b),
+        Sl { a, b } => encode_r(R_SL, *a, *b),
+        Comp { a, b } => encode_r(R_COMP, *a, *b),
+    }
+}
+
+fn encode_r(sub: i64, a: crate::reg::TReg, b: crate::reg::TReg) -> Word9 {
+    Word9::ZERO
+        .with_field::<3>(4, Trits::<3>::from_i64(sub).expect("sub-opcode fits 3 trits"))
+        .with_field::<2>(2, a.encode())
+        .with_field::<2>(0, b.encode())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::TReg;
+    use ternary::Trits;
+
+    #[test]
+    fn opcode_prefixes_are_distinct() {
+        use Instruction::*;
+        let samples = vec![
+            Beq { b: TReg::T3, cond: Trit::P, offset: Trits::ZERO },
+            Bne { b: TReg::T3, cond: Trit::P, offset: Trits::ZERO },
+            Jal { a: TReg::T1, offset: Trits::ZERO },
+            Li { a: TReg::T4, imm: Trits::ZERO },
+            Load { a: TReg::T4, b: TReg::T2, offset: Trits::ZERO },
+            Store { a: TReg::T4, b: TReg::T2, offset: Trits::ZERO },
+            Jalr { a: TReg::T1, b: TReg::T2, offset: Trits::ZERO },
+            Lui { a: TReg::T4, imm: Trits::ZERO },
+            Addi { a: TReg::T4, imm: Trits::ZERO },
+            Andi { a: TReg::T4, imm: Trits::ZERO },
+            Sri { a: TReg::T4, imm: Trits::ZERO },
+            Sli { a: TReg::T4, imm: Trits::ZERO },
+            Mv { a: TReg::T4, b: TReg::T2 },
+            Add { a: TReg::T4, b: TReg::T2 },
+        ];
+        let words: Vec<Word9> = samples.iter().map(encode).collect();
+        for (i, w) in words.iter().enumerate() {
+            for (j, v) in words.iter().enumerate() {
+                if i != j {
+                    assert_ne!(w, v, "{:?} vs {:?}", samples[i], samples[j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nop_encoding_is_stable() {
+        // NOP = ADDI t0, 0. t0 encodes as -4 = (N,N); prefix 0 N 0 P.
+        let w = encode(&crate::instr::NOP);
+        assert_eq!(w.to_string(), "0-0+--000");
+    }
+
+    #[test]
+    fn rtype_operand_fields() {
+        let w = encode(&Instruction::Add { a: TReg::T8, b: TReg::T0 });
+        // Ta at t3..t2 = +4 -> (+,+) ; Tb at t1..t0 = -4 -> (-,-)
+        assert_eq!(TReg::decode(w.field::<2>(2)), TReg::T8);
+        assert_eq!(TReg::decode(w.field::<2>(0)), TReg::T0);
+        assert_eq!(w.field::<3>(4).to_i64(), R_ADD);
+    }
+}

@@ -1,0 +1,175 @@
+//! Memory-initialization export for the FPGA verification platform.
+//!
+//! The paper's Table V flow loads the binary-encoded ternary TIM/TDM
+//! into block RAM; this module renders a [`Program`]'s images in the
+//! two formats that flow needs:
+//!
+//! * **trit text** (`.trit`) — one word per line, most significant trit
+//!   first (`+0-…`), human-auditable and re-parseable;
+//! * **BCT hex** (`.mif`-style) — one 18-bit binary-coded-ternary word
+//!   per line as five hex digits, ready for `$readmemh`-style loading
+//!   into the emulation RAMs.
+
+use ternary::{encoding, Word9};
+
+use crate::error::IsaError;
+use crate::program::Program;
+
+/// Renders an image as trit text, one word per line.
+///
+/// # Examples
+///
+/// ```
+/// use art9_isa::{assemble, mif};
+///
+/// let p = assemble("ADDI t0, 0\n")?; // canonical NOP
+/// let text = mif::to_trit_text(&p.tim_image());
+/// assert_eq!(text.lines().next(), Some("0-0+--000"));
+/// # Ok::<(), art9_isa::IsaError>(())
+/// ```
+pub fn to_trit_text(image: &[Word9]) -> String {
+    let mut out = String::with_capacity(image.len() * 10);
+    for w in image {
+        out.push_str(&w.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses trit text back into an image (inverse of [`to_trit_text`]).
+///
+/// Blank lines and `#` comments are ignored.
+///
+/// # Errors
+///
+/// Returns [`IsaError::Ternary`] for malformed trit lines.
+pub fn from_trit_text(text: &str) -> Result<Vec<Word9>, IsaError> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        out.push(line.parse::<Word9>().map_err(IsaError::Ternary)?);
+    }
+    Ok(out)
+}
+
+/// Renders an image as binary-coded-ternary hex, one 18-bit word per
+/// line (five hex digits), the FPGA RAM initialization format.
+///
+/// # Examples
+///
+/// ```
+/// use art9_isa::{assemble, mif};
+/// use ternary::Word9;
+///
+/// let zeros = vec![Word9::ZERO];
+/// assert_eq!(mif::to_bct_hex(&zeros), "00000\n");
+/// # Ok::<(), art9_isa::IsaError>(())
+/// ```
+pub fn to_bct_hex(image: &[Word9]) -> String {
+    let mut out = String::with_capacity(image.len() * 6);
+    for w in image {
+        out.push_str(&format!("{:05x}\n", encoding::pack(w)));
+    }
+    out
+}
+
+/// Parses BCT hex back into an image (inverse of [`to_bct_hex`]).
+///
+/// # Errors
+///
+/// Returns [`IsaError::Ternary`] for lines that are not valid 18-bit
+/// BCT words (including the forbidden `11` trit pairs).
+pub fn from_bct_hex(text: &str) -> Result<Vec<Word9>, IsaError> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let bits = u64::from_str_radix(line, 16).map_err(|_| {
+            IsaError::Ternary(ternary::TernaryError::InvalidBctPair { index: 0 })
+        })?;
+        out.push(encoding::unpack::<9>(bits).map_err(IsaError::Ternary)?);
+    }
+    Ok(out)
+}
+
+/// The complete FPGA initialization set for one program: TIM and TDM
+/// images in BCT hex.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FpgaInit {
+    /// Instruction-memory initialization (BCT hex).
+    pub tim_hex: String,
+    /// Data-memory initialization (BCT hex).
+    pub tdm_hex: String,
+}
+
+/// Exports a program's memory initialization files.
+pub fn export(program: &Program) -> FpgaInit {
+    FpgaInit {
+        tim_hex: to_bct_hex(&program.tim_image()),
+        tdm_hex: to_bct_hex(&program.tdm_image()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn sample() -> Program {
+        assemble(
+            ".data\nv: .word 42, -17\n.text\nLI t3, 7\nADD t3, t4\nSTORE t3, t2, 1\nJAL t0, 0\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn trit_text_roundtrip() {
+        let p = sample();
+        let img = p.tim_image();
+        let text = to_trit_text(&img);
+        assert_eq!(from_trit_text(&text).unwrap(), img);
+        assert_eq!(text.lines().count(), img.len());
+    }
+
+    #[test]
+    fn trit_text_ignores_comments_and_blanks() {
+        let parsed = from_trit_text("# header\n\n000000000   # nop-ish\n").unwrap();
+        assert_eq!(parsed, vec![Word9::ZERO]);
+    }
+
+    #[test]
+    fn bct_hex_roundtrip() {
+        let p = sample();
+        for img in [p.tim_image(), p.tdm_image()] {
+            let hex = to_bct_hex(&img);
+            assert_eq!(from_bct_hex(&hex).unwrap(), img);
+            // Every line is 5 hex digits (18 bits).
+            for l in hex.lines() {
+                assert_eq!(l.len(), 5);
+            }
+        }
+    }
+
+    #[test]
+    fn bct_hex_rejects_invalid_pairs() {
+        // 0x00003 = trit pair 11 at position 0.
+        assert!(from_bct_hex("00003\n").is_err());
+        assert!(from_bct_hex("zzzzz\n").is_err());
+    }
+
+    #[test]
+    fn export_covers_both_memories() {
+        let p = sample();
+        let init = export(&p);
+        assert_eq!(init.tim_hex.lines().count(), p.text().len());
+        assert_eq!(init.tdm_hex.lines().count(), p.data().len());
+        // Executable content survives the export: decode the first word.
+        let img = from_bct_hex(&init.tim_hex).unwrap();
+        assert_eq!(crate::decode::decode(img[0]).unwrap(), p.text()[0]);
+    }
+}

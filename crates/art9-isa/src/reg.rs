@@ -1,0 +1,176 @@
+//! The ternary register file's register names.
+//!
+//! The ART-9 TRF holds nine general-purpose 9-trit registers (paper
+//! §IV-A), addressed by a 2-trit balanced index: the index value
+//! `v ∈ [−4, +4]` names register `T(v+4)`, so the whole 2-trit space is
+//! used with no gaps — nine registers is exactly why the paper picked
+//! nine.
+//!
+//! The paper's ISA has no architectural zero register; the software ABI
+//! used by the compiling framework *conventionally* pins `T0` to zero,
+//! `T1` to the link register and `T2` to the stack pointer (DESIGN.md
+//! §3.1). Hardware treats all nine identically.
+
+use std::fmt;
+use std::str::FromStr;
+
+use ternary::Trits;
+
+use crate::error::{AsmErrorKind, IsaError};
+
+/// One of the nine general-purpose ternary registers `T0..T8`.
+///
+/// # Examples
+///
+/// ```
+/// use art9_isa::TReg;
+///
+/// let r: TReg = "t5".parse()?;
+/// assert_eq!(r.index(), 5);
+/// assert_eq!(r.encode().to_i64(), 1); // 2-trit index = 5 - 4
+/// # Ok::<(), art9_isa::IsaError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TReg(u8);
+
+/// All nine registers in index order, for iteration.
+pub const ALL_REGS: [TReg; 9] = [
+    TReg(0),
+    TReg(1),
+    TReg(2),
+    TReg(3),
+    TReg(4),
+    TReg(5),
+    TReg(6),
+    TReg(7),
+    TReg(8),
+];
+
+impl TReg {
+    /// `T0` — ABI zero register (software convention only).
+    pub const T0: TReg = TReg(0);
+    /// `T1` — ABI link register.
+    pub const T1: TReg = TReg(1);
+    /// `T2` — ABI stack pointer.
+    pub const T2: TReg = TReg(2);
+    /// `T3` — caller-saved scratch.
+    pub const T3: TReg = TReg(3);
+    /// `T4` — caller-saved scratch.
+    pub const T4: TReg = TReg(4);
+    /// `T5` — caller-saved scratch.
+    pub const T5: TReg = TReg(5);
+    /// `T6` — caller-saved scratch.
+    pub const T6: TReg = TReg(6);
+    /// `T7` — caller-saved scratch.
+    pub const T7: TReg = TReg(7);
+    /// `T8` — caller-saved scratch.
+    pub const T8: TReg = TReg(8);
+
+    /// Builds a register from its 0-based index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::RegisterIndex`] if `index > 8`.
+    pub fn from_index(index: usize) -> Result<Self, IsaError> {
+        if index > 8 {
+            return Err(IsaError::RegisterIndex {
+                index: index as i64,
+            });
+        }
+        Ok(TReg(index as u8))
+    }
+
+    /// The register's 0-based index (0..=8).
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Encodes the register as its 2-trit balanced index (value − 4).
+    #[inline]
+    pub fn encode(self) -> Trits<2> {
+        Trits::<2>::from_i64(self.0 as i64 - 4).expect("index 0..=8 maps into [-4,4]")
+    }
+
+    /// Decodes a 2-trit balanced index back to a register.
+    ///
+    /// Every 2-trit pattern names a register, so this cannot fail.
+    #[inline]
+    pub fn decode(field: Trits<2>) -> Self {
+        TReg((field.to_i64() + 4) as u8)
+    }
+}
+
+impl fmt::Display for TReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl FromStr for TReg {
+    type Err = IsaError;
+
+    /// Parses `t0`..`t8` / `T0`..`T8` and the ABI aliases `zero` (t0),
+    /// `ra` (t1) and `sp` (t2).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lower = s.to_ascii_lowercase();
+        match lower.as_str() {
+            "zero" => return Ok(TReg::T0),
+            "ra" => return Ok(TReg::T1),
+            "sp" => return Ok(TReg::T2),
+            _ => {}
+        }
+        let err = || IsaError::Assembly {
+            line: 0,
+            kind: AsmErrorKind::UnknownRegister(s.to_string()),
+        };
+        let digits = lower.strip_prefix('t').ok_or_else(err)?;
+        let idx: usize = digits.parse().map_err(|_| err())?;
+        TReg::from_index(idx).map_err(|_| err())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_all() {
+        for r in ALL_REGS {
+            assert_eq!(TReg::decode(r.encode()), r);
+        }
+    }
+
+    #[test]
+    fn every_two_trit_pattern_names_a_register() {
+        for v in -4i64..=4 {
+            let field = Trits::<2>::from_i64(v).unwrap();
+            let r = TReg::decode(field);
+            assert_eq!(r.index() as i64, v + 4);
+        }
+    }
+
+    #[test]
+    fn from_index_bounds() {
+        assert!(TReg::from_index(8).is_ok());
+        assert!(TReg::from_index(9).is_err());
+    }
+
+    #[test]
+    fn parse_names_and_aliases() {
+        assert_eq!("t0".parse::<TReg>().unwrap(), TReg::T0);
+        assert_eq!("T7".parse::<TReg>().unwrap(), TReg::T7);
+        assert_eq!("zero".parse::<TReg>().unwrap(), TReg::T0);
+        assert_eq!("ra".parse::<TReg>().unwrap(), TReg::T1);
+        assert_eq!("sp".parse::<TReg>().unwrap(), TReg::T2);
+        assert!("t9".parse::<TReg>().is_err());
+        assert!("x3".parse::<TReg>().is_err());
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        for r in ALL_REGS {
+            assert_eq!(r.to_string().parse::<TReg>().unwrap(), r);
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Exhaustive coverage of the entire 9-trit instruction space: all
+//! 3⁹ = 19 683 words. Small enough to enumerate completely, which
+//! pins down the decoder's totality, the re-encode fixpoint, and the
+//! exact sizes of the legal and reserved regions of the prefix code.
+
+use art9_isa::{decode, encode, Format};
+use ternary::Word9;
+
+fn all_words() -> impl Iterator<Item = Word9> {
+    (-9841i64..=9841).map(|v| Word9::from_i64(v).expect("in range"))
+}
+
+#[test]
+fn decode_is_total_and_reencode_is_fixpoint() {
+    for w in all_words() {
+        if let Ok(i) = decode(w) {
+            // Decoding a legal word and re-encoding must reproduce the
+            // *instruction*; re-decoding the canonical encoding must be
+            // stable (encode may canonicalize don't-care trits).
+            let canonical = encode(&i);
+            assert_eq!(decode(canonical).expect("canonical is legal"), i, "{w}");
+            assert_eq!(encode(&decode(canonical).unwrap()), canonical, "{w}");
+        }
+        // Err is fine: the reserved space. The decoder must simply
+        // never panic, which this loop proves by running.
+    }
+}
+
+#[test]
+fn opcode_space_census() {
+    let mut legal = 0usize;
+    let mut reserved = 0usize;
+    let mut by_format = [0usize; 4];
+    for w in all_words() {
+        match decode(w) {
+            Ok(i) => {
+                legal += 1;
+                by_format[match i.format() {
+                    Format::R => 0,
+                    Format::I => 1,
+                    Format::B => 2,
+                    Format::M => 3,
+                }] += 1;
+            }
+            Err(_) => reserved += 1,
+        }
+    }
+    assert_eq!(legal + reserved, 19683);
+
+    // Derived from the prefix code (DESIGN.md §3.1):
+    // R-type: 12 sub-opcodes x 81 operand patterns = 972.
+    assert_eq!(by_format[0], 972);
+    // I-type: ANDI/ADDI 2x243, SRI/SLI 2x81, LUI 729, LI 2187 = 3564.
+    assert_eq!(by_format[1], 3564);
+    // B-type: BEQ/BNE 2x2187, JAL 2187, JALR 2187 = 8748.
+    assert_eq!(by_format[2], 8748);
+    // M-type: LOAD/STORE 2x2187 = 4374.
+    assert_eq!(by_format[3], 4374);
+    assert_eq!(legal, 972 + 3564 + 8748 + 4374);
+
+    // Reserved: 15 spare R-type sub-opcodes (15x81 = 1215), the
+    // `0 - -` region (729), and `0 - 0 0 0` (81) = 2025.
+    assert_eq!(reserved, 2025);
+}
+
+#[test]
+fn every_legal_word_renders_and_reassembles() {
+    // Display -> assemble round-trips for each distinct instruction
+    // found in the space (operand canonicalization included).
+    let mut checked = 0usize;
+    for w in all_words() {
+        if let Ok(i) = decode(w) {
+            // Skip control flow whose printed offsets reference
+            // out-of-program addresses — they still assemble, since
+            // the assembler accepts raw numeric offsets.
+            let text = i.to_string();
+            let p = art9_isa::assemble(&text).unwrap_or_else(|e| {
+                panic!("{text:?} failed to reassemble: {e}");
+            });
+            assert_eq!(p.text(), &[i], "{text}");
+            checked += 1;
+        }
+    }
+    assert_eq!(checked, 972 + 3564 + 8748 + 4374);
+}

@@ -1,0 +1,99 @@
+//! Property tests: the trit-level encoding is a bijection between the
+//! legal instruction set and its image, and assembly text round-trips.
+
+use proptest::prelude::*;
+
+use art9_isa::{assemble, decode, encode, Instruction, Program, TReg};
+use ternary::{Trit, Trits, Word9};
+
+fn treg() -> impl Strategy<Value = TReg> {
+    (0usize..9).prop_map(|i| TReg::from_index(i).expect("index < 9"))
+}
+
+fn trit() -> impl Strategy<Value = Trit> {
+    prop_oneof![Just(Trit::N), Just(Trit::Z), Just(Trit::P)]
+}
+
+fn imm<const N: usize>() -> impl Strategy<Value = Trits<N>> {
+    let max = (ternary::pow3(N) - 1) / 2;
+    (-max..=max).prop_map(|v| Trits::<N>::from_i64(v).expect("in range"))
+}
+
+fn instruction() -> impl Strategy<Value = Instruction> {
+    use Instruction::*;
+    prop_oneof![
+        (treg(), treg()).prop_map(|(a, b)| Mv { a, b }),
+        (treg(), treg()).prop_map(|(a, b)| Pti { a, b }),
+        (treg(), treg()).prop_map(|(a, b)| Nti { a, b }),
+        (treg(), treg()).prop_map(|(a, b)| Sti { a, b }),
+        (treg(), treg()).prop_map(|(a, b)| And { a, b }),
+        (treg(), treg()).prop_map(|(a, b)| Or { a, b }),
+        (treg(), treg()).prop_map(|(a, b)| Xor { a, b }),
+        (treg(), treg()).prop_map(|(a, b)| Add { a, b }),
+        (treg(), treg()).prop_map(|(a, b)| Sub { a, b }),
+        (treg(), treg()).prop_map(|(a, b)| Sr { a, b }),
+        (treg(), treg()).prop_map(|(a, b)| Sl { a, b }),
+        (treg(), treg()).prop_map(|(a, b)| Comp { a, b }),
+        (treg(), imm::<3>()).prop_map(|(a, imm)| Andi { a, imm }),
+        (treg(), imm::<3>()).prop_map(|(a, imm)| Addi { a, imm }),
+        (treg(), imm::<2>()).prop_map(|(a, imm)| Sri { a, imm }),
+        (treg(), imm::<2>()).prop_map(|(a, imm)| Sli { a, imm }),
+        (treg(), imm::<4>()).prop_map(|(a, imm)| Lui { a, imm }),
+        (treg(), imm::<5>()).prop_map(|(a, imm)| Li { a, imm }),
+        (treg(), trit(), imm::<4>()).prop_map(|(b, cond, offset)| Beq { b, cond, offset }),
+        (treg(), trit(), imm::<4>()).prop_map(|(b, cond, offset)| Bne { b, cond, offset }),
+        (treg(), imm::<5>()).prop_map(|(a, offset)| Jal { a, offset }),
+        (treg(), treg(), imm::<3>()).prop_map(|(a, b, offset)| Jalr { a, b, offset }),
+        (treg(), treg(), imm::<3>()).prop_map(|(a, b, offset)| Load { a, b, offset }),
+        (treg(), treg(), imm::<3>()).prop_map(|(a, b, offset)| Store { a, b, offset }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_roundtrip(i in instruction()) {
+        let word = encode(&i);
+        prop_assert_eq!(decode(word).expect("legal instruction decodes"), i);
+    }
+
+    #[test]
+    fn encoding_is_injective(a in instruction(), b in instruction()) {
+        if a != b {
+            prop_assert_ne!(encode(&a), encode(&b));
+        }
+    }
+
+    #[test]
+    fn decode_any_word_never_panics(v in -9841i64..=9841) {
+        // Every word either decodes or reports IllegalInstruction.
+        let _ = decode(Word9::from_i64(v).expect("in range"));
+    }
+
+    #[test]
+    fn decoded_words_reencode_identically(v in -9841i64..=9841) {
+        let word = Word9::from_i64(v).expect("in range");
+        if let Ok(i) = decode(word) {
+            // Encoding may canonicalize unused trits, but decoding the
+            // re-encoded word must give the same instruction.
+            let reencoded = encode(&i);
+            prop_assert_eq!(decode(reencoded).expect("legal"), i);
+        }
+    }
+
+    #[test]
+    fn display_reassembles_single_instruction(i in instruction()) {
+        let text = i.to_string();
+        let p = assemble(&text).expect("canonical text assembles");
+        prop_assert_eq!(p.text(), &[i]);
+    }
+
+    #[test]
+    fn program_display_reassembles(instrs in proptest::collection::vec(instruction(), 1..40)) {
+        // Skip control flow whose literal offsets may leave the program —
+        // Display prints raw offsets which remain valid text either way.
+        let p = Program::from_instructions(instrs);
+        let text = p.to_string();
+        let p2 = assemble(&text).expect("rendered program reassembles");
+        prop_assert_eq!(p.text(), p2.text());
+    }
+}

@@ -1,0 +1,302 @@
+//! An interactive-grade debugger over the functional simulator:
+//! breakpoints, data watchpoints, single-stepping and run-to-stop.
+//! The kind of tooling a "fully-functional top-level microprocessor"
+//! (paper §I) needs around it for software bring-up — the ternary
+//! Dhrystone port would have been debugged with exactly this.
+
+use std::collections::BTreeSet;
+
+use art9_isa::{Program, TReg};
+use ternary::Word9;
+
+use crate::error::SimError;
+use crate::functional::{CoreState, FunctionalSim, HaltReason};
+
+/// Why the debugger returned control.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// Hit a breakpoint (instruction address).
+    Breakpoint(usize),
+    /// A watched TDM word changed.
+    Watchpoint {
+        /// The watched address.
+        address: usize,
+        /// Value before the instruction.
+        old: Word9,
+        /// Value after.
+        new: Word9,
+    },
+    /// A watched register changed.
+    RegisterWatch {
+        /// The watched register.
+        reg: TReg,
+        /// Value before the instruction.
+        old: Word9,
+        /// Value after.
+        new: Word9,
+    },
+    /// The machine halted.
+    Halted(HaltReason),
+    /// The step budget ran out (machine still live).
+    StepLimit,
+}
+
+/// Breakpoint/watchpoint debugger over [`FunctionalSim`].
+///
+/// # Examples
+///
+/// ```
+/// use art9_isa::assemble;
+/// use art9_sim::{Debugger, StopReason};
+///
+/// let p = assemble("
+///     LI t3, 2
+///     ADDI t3, 1
+///     ADDI t3, 1
+///     JAL t0, 0
+/// ")?;
+/// let mut dbg = Debugger::new(&p);
+/// dbg.add_breakpoint(2);
+/// let stop = dbg.run(1_000)?;
+/// assert_eq!(stop, StopReason::Breakpoint(2));
+/// assert_eq!(dbg.state().reg("t3".parse()?).to_i64(), 3); // before pc=2
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Debugger {
+    sim: FunctionalSim,
+    breakpoints: BTreeSet<usize>,
+    mem_watch: BTreeSet<usize>,
+    reg_watch: BTreeSet<TReg>,
+    /// PC whose breakpoint was just reported; skipped once on resume so
+    /// `run` makes progress, then re-armed.
+    resume_skip: Option<usize>,
+}
+
+impl Debugger {
+    /// Wraps a fresh simulator for `program`.
+    pub fn new(program: &Program) -> Self {
+        Self {
+            sim: FunctionalSim::new(program),
+            breakpoints: BTreeSet::new(),
+            mem_watch: BTreeSet::new(),
+            reg_watch: BTreeSet::new(),
+            resume_skip: None,
+        }
+    }
+
+    /// Sets a breakpoint at an instruction address.
+    pub fn add_breakpoint(&mut self, pc: usize) {
+        self.breakpoints.insert(pc);
+    }
+
+    /// Removes a breakpoint; returns whether it existed.
+    pub fn remove_breakpoint(&mut self, pc: usize) -> bool {
+        self.breakpoints.remove(&pc)
+    }
+
+    /// Watches a TDM word for changes.
+    pub fn watch_memory(&mut self, address: usize) {
+        self.mem_watch.insert(address);
+    }
+
+    /// Watches a register for changes.
+    pub fn watch_register(&mut self, reg: TReg) {
+        self.reg_watch.insert(reg);
+    }
+
+    /// The architectural state.
+    pub fn state(&self) -> &CoreState {
+        &self.sim.state()
+    }
+
+    /// Instructions executed so far.
+    pub fn instructions(&self) -> u64 {
+        self.sim.instructions()
+    }
+
+    /// Executes exactly one instruction, reporting watch hits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator faults.
+    pub fn step(&mut self) -> Result<Option<StopReason>, SimError> {
+        // Snapshot watched locations.
+        let mem_before: Vec<(usize, Word9)> = self
+            .mem_watch
+            .iter()
+            .filter_map(|a| self.sim.state().tdm.read(*a).ok().map(|v| (*a, v)))
+            .collect();
+        let reg_before: Vec<(TReg, Word9)> = self
+            .reg_watch
+            .iter()
+            .map(|r| (*r, self.sim.state().reg(*r)))
+            .collect();
+
+        if let Some(halt) = self.sim.step()? {
+            return Ok(Some(StopReason::Halted(halt)));
+        }
+
+        for (address, old) in mem_before {
+            let new = self
+                .sim
+                .state()
+                .tdm
+                .read(address)
+                .expect("watched address stays valid");
+            if new != old {
+                return Ok(Some(StopReason::Watchpoint { address, old, new }));
+            }
+        }
+        for (reg, old) in reg_before {
+            let new = self.sim.state().reg(reg);
+            if new != old {
+                return Ok(Some(StopReason::RegisterWatch { reg, old, new }));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Runs until a breakpoint, watch hit, halt, or the step budget.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator faults.
+    pub fn run(&mut self, max_steps: u64) -> Result<StopReason, SimError> {
+        for _ in 0..max_steps {
+            // Breakpoints fire *before* executing the instruction; the
+            // one just reported is skipped once so resume makes
+            // progress, then re-arms (standard debugger behaviour).
+            let pc = self.sim.state().pc;
+            if self.breakpoints.contains(&pc)
+                && self.sim.halted().is_none()
+                && self.resume_skip != Some(pc)
+            {
+                self.resume_skip = Some(pc);
+                return Ok(StopReason::Breakpoint(pc));
+            }
+            self.resume_skip = None;
+            if let Some(stop) = self.step()? {
+                return Ok(stop);
+            }
+        }
+        Ok(StopReason::StepLimit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use art9_isa::assemble;
+
+    fn program() -> Program {
+        assemble(
+            "
+            LI t3, 5
+            LI t2, 0
+            STORE t3, t2, 7
+            ADDI t3, -1
+            STORE t3, t2, 7
+            JAL t0, 0
+            ",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn breakpoint_stops_before_execution() {
+        let mut dbg = Debugger::new(&program());
+        dbg.add_breakpoint(2);
+        let stop = dbg.run(100).unwrap();
+        assert_eq!(stop, StopReason::Breakpoint(2));
+        assert_eq!(dbg.state().pc, 2);
+        // STORE at 2 not executed yet.
+        assert_eq!(dbg.state().tdm.read(7).unwrap().to_i64(), 0);
+        // Continuing runs to halt.
+        let stop = dbg.run(100).unwrap();
+        assert!(matches!(stop, StopReason::Halted(HaltReason::JumpToSelf)));
+    }
+
+    #[test]
+    fn memory_watchpoint_reports_change() {
+        let mut dbg = Debugger::new(&program());
+        dbg.watch_memory(7);
+        let stop = dbg.run(100).unwrap();
+        match stop {
+            StopReason::Watchpoint { address, old, new } => {
+                assert_eq!(address, 7);
+                assert_eq!(old.to_i64(), 0);
+                assert_eq!(new.to_i64(), 5);
+            }
+            other => panic!("expected watchpoint, got {other:?}"),
+        }
+        // Second store triggers again.
+        let stop = dbg.run(100).unwrap();
+        match stop {
+            StopReason::Watchpoint { old, new, .. } => {
+                assert_eq!(old.to_i64(), 5);
+                assert_eq!(new.to_i64(), 4);
+            }
+            other => panic!("expected second watchpoint, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn register_watch_reports_change() {
+        let mut dbg = Debugger::new(&program());
+        dbg.watch_register(TReg::T3);
+        let stop = dbg.run(100).unwrap();
+        match stop {
+            StopReason::RegisterWatch { reg, new, .. } => {
+                assert_eq!(reg, TReg::T3);
+                assert_eq!(new.to_i64(), 5);
+            }
+            other => panic!("expected register watch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn step_limit_reported() {
+        let p = assemble("a: NOP\nJAL t8, a\n").unwrap();
+        let mut dbg = Debugger::new(&p);
+        assert_eq!(dbg.run(10).unwrap(), StopReason::StepLimit);
+        assert!(dbg.instructions() >= 10);
+    }
+
+    #[test]
+    fn breakpoint_in_loop_rearms() {
+        let p = assemble(
+            "
+            LI t3, 3
+            loop:
+            ADDI t3, -1
+            MV t7, t3
+            COMP t7, t0
+            BEQ t7, +, loop
+            JAL t0, 0
+            ",
+        )
+        .unwrap();
+        let mut dbg = Debugger::new(&p);
+        dbg.add_breakpoint(1); // loop head
+        let mut hits = 0;
+        loop {
+            match dbg.run(10_000).unwrap() {
+                StopReason::Breakpoint(1) => hits += 1,
+                StopReason::Halted(_) => break,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(hits, 3, "loop head hit once per iteration");
+    }
+
+    #[test]
+    fn removing_breakpoint_works() {
+        let mut dbg = Debugger::new(&program());
+        dbg.add_breakpoint(3);
+        assert!(dbg.remove_breakpoint(3));
+        assert!(!dbg.remove_breakpoint(3));
+        let stop = dbg.run(100).unwrap();
+        assert!(matches!(stop, StopReason::Halted(_)));
+    }
+}

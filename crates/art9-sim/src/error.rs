@@ -1,0 +1,87 @@
+//! Simulator error types.
+
+use std::error::Error;
+use std::fmt;
+
+use art9_isa::IsaError;
+use ternary::TernaryError;
+
+/// Faults raised while simulating an ART-9 program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The program counter left the instruction memory (other than the
+    /// clean fall-off-the-end halt).
+    PcOutOfRange {
+        /// The cycle or step at which the fault occurred.
+        at: u64,
+        /// The computed PC value.
+        pc: i64,
+        /// TIM size in words.
+        tim_size: usize,
+    },
+    /// A data-memory access faulted.
+    MemoryFault {
+        /// Instruction address of the faulting LOAD/STORE.
+        pc: usize,
+        /// The underlying address error.
+        cause: TernaryError,
+    },
+    /// The step/cycle budget was exhausted before the program halted.
+    Timeout {
+        /// The budget that was exhausted.
+        limit: u64,
+    },
+    /// An illegal instruction word reached the decoder.
+    Decode(IsaError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::PcOutOfRange { at, pc, tim_size } => {
+                write!(f, "PC {pc} outside TIM of {tim_size} words (at {at})")
+            }
+            SimError::MemoryFault { pc, cause } => {
+                write!(f, "memory fault at instruction {pc}: {cause}")
+            }
+            SimError::Timeout { limit } => {
+                write!(f, "program did not halt within {limit} steps")
+            }
+            SimError::Decode(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::MemoryFault { cause, .. } => Some(cause),
+            SimError::Decode(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<IsaError> for SimError {
+    fn from(e: IsaError) -> Self {
+        SimError::Decode(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::Timeout { limit: 100 };
+        assert!(e.to_string().contains("100"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

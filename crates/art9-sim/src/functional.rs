@@ -1,0 +1,440 @@
+//! The functional (architecture-level) instruction-set simulator.
+//!
+//! Executes one instruction per step with no timing model. It is the
+//! reference the cycle-accurate pipeline is property-tested against, and
+//! the fast path for workload debugging.
+//!
+//! ## Halt convention
+//!
+//! Bare-metal ART-9 programs halt by **jumping to themselves** (e.g.
+//! `halt: JAL t0, 0` or a taken branch with offset 0): any control
+//! transfer whose target equals its own address stops the machine.
+//! Falling off the end of TIM (PC == text length) also halts cleanly.
+
+use art9_isa::{Instruction, Program, TReg};
+use ternary::{TernaryMemory, Word9};
+
+use crate::error::SimError;
+use crate::exec::{control_target, talu};
+
+/// Default TDM size in words (matches the 256-word memories behind
+/// Table V's RAM accounting).
+pub const DEFAULT_TDM_WORDS: usize = 256;
+
+/// Why a run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HaltReason {
+    /// A control transfer targeted its own address (idle loop).
+    JumpToSelf,
+    /// Execution fell off the end of the instruction memory.
+    FellOffEnd,
+}
+
+/// Result of a completed functional run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunResult {
+    /// Instructions executed (the branch/jump that halted is counted).
+    pub instructions: u64,
+    /// Why the machine stopped.
+    pub halt: HaltReason,
+}
+
+/// The architectural state of an ART-9 core: PC, the nine-register TRF
+/// and the data memory.
+#[derive(Debug, Clone)]
+pub struct CoreState {
+    /// Program counter (instruction index into TIM).
+    pub pc: usize,
+    /// The ternary register file, indexed by [`TReg::index`].
+    pub trf: [Word9; 9],
+    /// The ternary data memory.
+    pub tdm: TernaryMemory,
+}
+
+impl std::fmt::Display for CoreState {
+    /// Register-dump format: PC plus the nine TRF registers, one per
+    /// line, as both trits and decimal.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "pc  = {}", self.pc)?;
+        for (i, w) in self.trf.iter().enumerate() {
+            writeln!(f, "t{i}  = {w} ({})", w.to_i64())?;
+        }
+        Ok(())
+    }
+}
+
+impl CoreState {
+    /// Fresh state: PC 0, zeroed registers, TDM loaded from `program`.
+    pub fn new(program: &Program, tdm_words: usize) -> Self {
+        Self {
+            pc: 0,
+            trf: [Word9::ZERO; 9],
+            tdm: TernaryMemory::with_image(tdm_words.max(program.data().len()), program.data()),
+        }
+    }
+
+    /// Reads a register.
+    #[inline]
+    pub fn reg(&self, r: TReg) -> Word9 {
+        self.trf[r.index()]
+    }
+
+    /// Writes a register.
+    #[inline]
+    pub fn set_reg(&mut self, r: TReg, v: Word9) {
+        self.trf[r.index()] = v;
+    }
+}
+
+/// The functional instruction-set simulator.
+///
+/// # Examples
+///
+/// ```
+/// use art9_isa::assemble;
+/// use art9_sim::FunctionalSim;
+///
+/// // Branches test only the least-significant trit, so loops use the
+/// // paper's COMP idiom: copy, compare against zero, branch on sign.
+/// let program = assemble("
+///     LI   t3, 10
+///     LI   t4, 0
+/// loop:
+///     ADD  t4, t3          ; t4 += t3
+///     ADDI t3, -1
+///     MV   t7, t3
+///     COMP t7, t0          ; t7 = sign(t3)
+///     BEQ  t7, +, loop     ; loop while t3 > 0
+/// halt:
+///     JAL  t0, 0           ; jump-to-self halts
+/// ")?;
+///
+/// let mut sim = FunctionalSim::new(&program);
+/// let result = sim.run(10_000)?;
+/// assert_eq!(sim.state().reg("t4".parse()?).to_i64(), 55); // 10+9+...+1
+/// assert!(result.instructions > 0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FunctionalSim {
+    text: Vec<Instruction>,
+    state: CoreState,
+    instructions: u64,
+    halted: Option<HaltReason>,
+    mix: std::collections::BTreeMap<&'static str, u64>,
+}
+
+impl FunctionalSim {
+    /// Builds a simulator with the default 256-word TDM.
+    pub fn new(program: &Program) -> Self {
+        Self::with_tdm_size(program, DEFAULT_TDM_WORDS)
+    }
+
+    /// Builds a simulator with an explicit TDM size (grown automatically
+    /// if the program's data image is larger).
+    pub fn with_tdm_size(program: &Program, tdm_words: usize) -> Self {
+        Self {
+            text: program.text().to_vec(),
+            state: CoreState::new(program, tdm_words),
+            instructions: 0,
+            halted: None,
+            mix: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// Dynamic instruction mix: executed count per mnemonic. The
+    /// operation-mix view behind Dhrystone-style workload analysis.
+    pub fn instruction_mix(&self) -> &std::collections::BTreeMap<&'static str, u64> {
+        &self.mix
+    }
+
+    /// The architectural state (inspectable mid-run).
+    pub fn state(&self) -> &CoreState {
+        &self.state
+    }
+
+    /// Mutable state access, e.g. to preload registers before a run.
+    pub fn state_mut(&mut self) -> &mut CoreState {
+        &mut self.state
+    }
+
+    /// Instructions executed so far.
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Whether (and why) the machine has halted.
+    pub fn halted(&self) -> Option<HaltReason> {
+        self.halted
+    }
+
+    /// Executes a single instruction.
+    ///
+    /// Returns `Ok(Some(reason))` when this step halted the machine,
+    /// `Ok(None)` otherwise.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::PcOutOfRange`] on wild control transfers and
+    /// [`SimError::MemoryFault`] on TDM access violations.
+    pub fn step(&mut self) -> Result<Option<HaltReason>, SimError> {
+        if let Some(reason) = self.halted {
+            return Ok(Some(reason));
+        }
+        let pc = self.state.pc;
+        if pc == self.text.len() {
+            self.halted = Some(HaltReason::FellOffEnd);
+            return Ok(Some(HaltReason::FellOffEnd));
+        }
+        let instr = self.text[pc];
+        self.instructions += 1;
+        *self.mix.entry(instr.mnemonic()).or_insert(0) += 1;
+
+        let (a_val, b_val) = operand_values(&instr, &self.state);
+        let link = Word9::from_i64_wrapping(pc as i64 + 1);
+        let result = talu(&instr, a_val, b_val, link);
+
+        use Instruction::*;
+        match instr {
+            Load { a, .. } => {
+                let v = self
+                    .state
+                    .tdm
+                    .read_word_addr(result)
+                    .map_err(|cause| SimError::MemoryFault { pc, cause })?;
+                self.state.set_reg(a, v);
+            }
+            Store { .. } => {
+                self.state
+                    .tdm
+                    .write_word_addr(result, a_val)
+                    .map_err(|cause| SimError::MemoryFault { pc, cause })?;
+            }
+            _ => {
+                if let Some(dest) = instr.writes() {
+                    self.state.set_reg(dest, result);
+                }
+            }
+        }
+
+        // Control flow.
+        let lst = b_val.lst();
+        let next = match control_target(&instr, pc, lst, b_val) {
+            Some(target) => {
+                if target < 0 || target as usize > self.text.len() {
+                    return Err(SimError::PcOutOfRange {
+                        at: self.instructions,
+                        pc: target,
+                        tim_size: self.text.len(),
+                    });
+                }
+                target as usize
+            }
+            None => pc + 1,
+        };
+
+        if next == pc {
+            self.halted = Some(HaltReason::JumpToSelf);
+            return Ok(Some(HaltReason::JumpToSelf));
+        }
+        self.state.pc = next;
+        if next == self.text.len() {
+            self.halted = Some(HaltReason::FellOffEnd);
+            return Ok(Some(HaltReason::FellOffEnd));
+        }
+        Ok(None)
+    }
+
+    /// Runs until halt or until `max_steps` instructions have executed.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Timeout`] if the budget is exhausted, plus any fault
+    /// from [`FunctionalSim::step`].
+    pub fn run(&mut self, max_steps: u64) -> Result<RunResult, SimError> {
+        for _ in 0..max_steps {
+            if let Some(halt) = self.step()? {
+                return Ok(RunResult {
+                    instructions: self.instructions,
+                    halt,
+                });
+            }
+        }
+        if let Some(halt) = self.halted {
+            return Ok(RunResult {
+                instructions: self.instructions,
+                halt,
+            });
+        }
+        Err(SimError::Timeout { limit: max_steps })
+    }
+}
+
+/// Reads the operand values an instruction consumes: `(a_val, b_val)`.
+///
+/// `a_val` is the current value of the `Ta` register for instructions
+/// that read it (zero otherwise); `b_val` the `Tb` register value (zero
+/// when the instruction has no `Tb`).
+pub(crate) fn operand_values(instr: &Instruction, state: &CoreState) -> (Word9, Word9) {
+    use Instruction::*;
+    let a_val = match instr {
+        And { a, .. } | Or { a, .. } | Xor { a, .. } | Add { a, .. } | Sub { a, .. }
+        | Sr { a, .. } | Sl { a, .. } | Comp { a, .. } | Andi { a, .. } | Addi { a, .. }
+        | Sri { a, .. } | Sli { a, .. } | Li { a, .. } | Store { a, .. } => state.reg(*a),
+        _ => Word9::ZERO,
+    };
+    let b_val = match instr {
+        Mv { b, .. } | Pti { b, .. } | Nti { b, .. } | Sti { b, .. } | And { b, .. }
+        | Or { b, .. } | Xor { b, .. } | Add { b, .. } | Sub { b, .. } | Sr { b, .. }
+        | Sl { b, .. } | Comp { b, .. } | Beq { b, .. } | Bne { b, .. } | Jalr { b, .. }
+        | Load { b, .. } | Store { b, .. } => state.reg(*b),
+        _ => Word9::ZERO,
+    };
+    (a_val, b_val)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use art9_isa::assemble;
+
+    fn run_src(src: &str) -> FunctionalSim {
+        let p = assemble(src).unwrap();
+        let mut sim = FunctionalSim::new(&p);
+        sim.run(1_000_000).unwrap();
+        sim
+    }
+
+    #[test]
+    fn countdown_loop_with_comp_idiom() {
+        // BNE/BEQ test only the LST, so the loop guard goes through COMP
+        // (paper §IV-A: "we preset the LST of TRF[Tb] … by using a COMP
+        // instruction").
+        let sim = run_src(
+            "LI t3, 10\nLI t4, 0\nloop:\nADD t4, t3\nADDI t3, -1\n\
+             MV t7, t3\nCOMP t7, t0\nBEQ t7, +, loop\nJAL t0, 0\n",
+        );
+        assert_eq!(sim.state().reg(TReg::T4).to_i64(), 55);
+        assert_eq!(sim.halted(), Some(HaltReason::JumpToSelf));
+    }
+
+    #[test]
+    fn branch_tests_lst_only() {
+        // LST(9) == 0, so `BNE t3, 0` falls through even though t3 != 0:
+        // the 1-trit condition is architectural, not a bug.
+        let sim = run_src("LI t3, 9\nBNE t3, 0, skip\nLI t4, 1\nskip:\nJAL t0, 0\n");
+        assert_eq!(sim.state().reg(TReg::T4).to_i64(), 1);
+    }
+
+    #[test]
+    fn fell_off_end_halts() {
+        let sim = run_src("LI t3, 1\nADDI t3, 2\n");
+        assert_eq!(sim.state().reg(TReg::T3).to_i64(), 3);
+        assert_eq!(sim.halted(), Some(HaltReason::FellOffEnd));
+    }
+
+    #[test]
+    fn load_store_roundtrip() {
+        let sim = run_src(
+            "
+            .data
+            v: .word 41, 0
+            .text
+            LI t2, 0
+            LOAD t3, t2, 0
+            ADDI t3, 1
+            STORE t3, t2, 1
+            LOAD t4, t2, 1
+            JAL t0, 0
+            ",
+        );
+        assert_eq!(sim.state().reg(TReg::T4).to_i64(), 42);
+        assert_eq!(sim.state().tdm.read(1).unwrap().to_i64(), 42);
+    }
+
+    #[test]
+    fn comp_and_branch_three_way() {
+        // Take the 'greater' path: t3=5 > t4=3 so COMP LST = +.
+        let sim = run_src(
+            "
+            LI t3, 5
+            LI t4, 3
+            COMP t3, t4
+            BEQ t3, +, greater
+            LI t5, -99
+            JAL t0, 0
+            greater:
+            LI t5, 77
+            JAL t0, 0
+            ",
+        );
+        assert_eq!(sim.state().reg(TReg::T5).to_i64(), 77);
+    }
+
+    #[test]
+    fn jal_links_and_jalr_returns() {
+        let sim = run_src(
+            "
+            LI t3, 0
+            JAL t1, sub      ; call
+            ADDI t3, 10      ; executed after return
+            JAL t0, 0        ; halt
+            sub:
+            ADDI t3, 1
+            JALR t0, t1, 0   ; return
+            ",
+        );
+        assert_eq!(sim.state().reg(TReg::T3).to_i64(), 11);
+    }
+
+    #[test]
+    fn memory_fault_reports_pc() {
+        let p = assemble("LI t2, 121\nLUI t2, 40\nLOAD t3, t2, 0\n").unwrap();
+        let mut sim = FunctionalSim::new(&p);
+        let err = sim.run(100).unwrap_err();
+        match err {
+            SimError::MemoryFault { pc, .. } => assert_eq!(pc, 2),
+            other => panic!("expected MemoryFault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn timeout_reported() {
+        // Two-instruction infinite loop (never jumps to self).
+        let p = assemble("a: NOP\nJAL t0, a\n").unwrap();
+        let mut sim = FunctionalSim::new(&p);
+        assert!(matches!(sim.run(10), Err(SimError::Timeout { .. })));
+    }
+
+    #[test]
+    fn wild_jump_faults() {
+        let p = assemble("LI t2, 121\nJALR t0, t2, 0\n").unwrap();
+        let mut sim = FunctionalSim::new(&p);
+        assert!(matches!(sim.run(10), Err(SimError::PcOutOfRange { .. })));
+    }
+
+    #[test]
+    fn instruction_mix_counts_dynamic_executions() {
+        let sim = run_src(
+            "LI t3, 3\nloop:\nADDI t3, -1\nMV t7, t3\nCOMP t7, t0\nBEQ t7, +, loop\nJAL t0, 0\n",
+        );
+        let mix = sim.instruction_mix();
+        assert_eq!(mix["LI"], 1);
+        assert_eq!(mix["ADDI"], 3);
+        assert_eq!(mix["COMP"], 3);
+        assert_eq!(mix["BEQ"], 3);
+        assert_eq!(mix["JAL"], 1);
+        let total: u64 = mix.values().sum();
+        assert_eq!(total, sim.instructions());
+    }
+
+    #[test]
+    fn preloading_registers() {
+        let p = assemble("ADD t3, t4\nJAL t0, 0\n").unwrap();
+        let mut sim = FunctionalSim::new(&p);
+        sim.state_mut().set_reg(TReg::T3, Word9::from_i64(30).unwrap());
+        sim.state_mut().set_reg(TReg::T4, Word9::from_i64(12).unwrap());
+        sim.run(10).unwrap();
+        assert_eq!(sim.state().reg(TReg::T3).to_i64(), 42);
+    }
+}

@@ -1,0 +1,60 @@
+//! # `art9-sim` — ART-9 processor simulators
+//!
+//! The simulation half of the paper's hardware-level evaluation
+//! framework (§III-B):
+//!
+//! * [`FunctionalSim`] — architecture-level reference simulator (one
+//!   instruction per step, no timing).
+//! * [`PipelinedSim`] — the cycle-accurate model of the 5-stage pipeline
+//!   of Fig. 4, with the hazard detection unit, full forwarding, the
+//!   ID-stage branch unit, and the exact stall behaviour the paper
+//!   claims (load-use hazards and taken branches only).
+//! * [`PipelineStats`] — cycle/stall accounting feeding the DMIPS and
+//!   DMIPS/W numbers of Tables II–V.
+//!
+//! Both simulators share one semantics module ([`talu`], [`shift`],
+//! [`branch_taken`]) and are property-tested to agree architecturally.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use art9_isa::assemble;
+//! use art9_sim::{FunctionalSim, PipelinedSim};
+//!
+//! let program = assemble("
+//!     LI   t3, 100
+//!     LI   t4, 0
+//! loop:
+//!     ADD  t4, t3
+//!     ADDI t3, -1
+//!     MV   t7, t3
+//!     COMP t7, t0          ; branches test one trit: preset it via COMP
+//!     BEQ  t7, +, loop
+//!     JAL  t0, 0
+//! ")?;
+//!
+//! let mut pipe = PipelinedSim::new(&program);
+//! let stats = pipe.run(100_000)?;
+//! assert_eq!(pipe.state().reg("t4".parse()?).to_i64(), 5050);
+//! println!("CPI = {:.2}", stats.cpi());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod debug;
+mod error;
+mod exec;
+mod functional;
+mod pipeline;
+mod stats;
+mod trace;
+
+pub use debug::{Debugger, StopReason};
+pub use error::SimError;
+pub use exec::{branch_taken, control_target, shift, talu};
+pub use functional::{CoreState, FunctionalSim, HaltReason, RunResult, DEFAULT_TDM_WORDS};
+pub use pipeline::PipelinedSim;
+pub use stats::PipelineStats;
+pub use trace::{CycleTrace, StageSnapshot};

@@ -1,0 +1,73 @@
+//! Per-cycle pipeline traces, for debugging and for the stage-occupancy
+//! assertions in the test suite.
+
+use std::fmt;
+
+use art9_isa::Instruction;
+
+/// What one stage held at the end of a cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageSnapshot {
+    /// Instruction address.
+    pub pc: usize,
+    /// The instruction occupying the stage.
+    pub instr: Instruction,
+}
+
+/// Stage occupancy at the end of one clock cycle. `None` means a bubble.
+///
+/// The ID snapshot is implicit: an instruction sitting in `if_stage` at
+/// the end of cycle `t` is decoded during cycle `t + 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CycleTrace {
+    /// 1-based cycle number.
+    pub cycle: u64,
+    /// IF/ID register (instruction awaiting decode).
+    pub if_stage: Option<StageSnapshot>,
+    /// ID/EX register (instruction entering execute).
+    pub ex_stage: Option<StageSnapshot>,
+    /// EX/MEM register.
+    pub mem_stage: Option<StageSnapshot>,
+    /// MEM/WB register.
+    pub wb_stage: Option<StageSnapshot>,
+}
+
+impl fmt::Display for CycleTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn cell(s: &Option<StageSnapshot>) -> String {
+            match s {
+                Some(snap) => format!("{:>3}:{}", snap.pc, snap.instr.mnemonic()),
+                None => "  --  ".to_string(),
+            }
+        }
+        write!(
+            f,
+            "c{:>5} | IF {:10} | EX {:10} | MEM {:10} | WB {:10}",
+            self.cycle,
+            cell(&self.if_stage),
+            cell(&self.ex_stage),
+            cell(&self.mem_stage),
+            cell(&self.wb_stage),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use art9_isa::NOP;
+
+    #[test]
+    fn display_shows_bubbles_and_instructions() {
+        let t = CycleTrace {
+            cycle: 3,
+            if_stage: Some(StageSnapshot { pc: 2, instr: NOP }),
+            ex_stage: None,
+            mem_stage: None,
+            wb_stage: None,
+        };
+        let s = t.to_string();
+        assert!(s.contains("ADDI"));
+        assert!(s.contains("--"));
+    }
+}

@@ -1,0 +1,218 @@
+//! The pipeline timing model must be architecturally invisible: on any
+//! program, the cycle-accurate 5-stage core and the functional reference
+//! produce identical final register files, data memories and retirement
+//! counts. Programs here are randomly generated with forward-only
+//! control flow (guaranteed termination) over the full ALU/memory/branch
+//! repertoire.
+
+use proptest::prelude::*;
+
+use art9_isa::{Instruction, Program, TReg};
+use art9_sim::{FunctionalSim, PipelinedSim};
+use ternary::{Trit, Trits};
+
+/// Base register kept stable for memory addressing.
+const BASE: TReg = TReg::T2;
+/// The address preloaded into BASE (mid-TDM, so ±13 offsets stay valid).
+const BASE_ADDR: i64 = 100;
+
+fn data_reg() -> impl Strategy<Value = TReg> {
+    // Any register except the memory base.
+    prop_oneof![
+        Just(TReg::T0),
+        Just(TReg::T1),
+        Just(TReg::T3),
+        Just(TReg::T4),
+        Just(TReg::T5),
+        Just(TReg::T6),
+        Just(TReg::T7),
+        Just(TReg::T8),
+    ]
+}
+
+fn trit() -> impl Strategy<Value = Trit> {
+    prop_oneof![Just(Trit::N), Just(Trit::Z), Just(Trit::P)]
+}
+
+fn imm<const N: usize>() -> impl Strategy<Value = Trits<N>> {
+    let max = (ternary::pow3(N) - 1) / 2;
+    (-max..=max).prop_map(|v| Trits::<N>::from_i64(v).expect("in range"))
+}
+
+/// A non-control, non-base-clobbering instruction.
+fn straightline() -> impl Strategy<Value = Instruction> {
+    use Instruction::*;
+    prop_oneof![
+        (data_reg(), data_reg()).prop_map(|(a, b)| Mv { a, b }),
+        (data_reg(), data_reg()).prop_map(|(a, b)| Pti { a, b }),
+        (data_reg(), data_reg()).prop_map(|(a, b)| Nti { a, b }),
+        (data_reg(), data_reg()).prop_map(|(a, b)| Sti { a, b }),
+        (data_reg(), data_reg()).prop_map(|(a, b)| And { a, b }),
+        (data_reg(), data_reg()).prop_map(|(a, b)| Or { a, b }),
+        (data_reg(), data_reg()).prop_map(|(a, b)| Xor { a, b }),
+        (data_reg(), data_reg()).prop_map(|(a, b)| Add { a, b }),
+        (data_reg(), data_reg()).prop_map(|(a, b)| Sub { a, b }),
+        (data_reg(), data_reg()).prop_map(|(a, b)| Sr { a, b }),
+        (data_reg(), data_reg()).prop_map(|(a, b)| Sl { a, b }),
+        (data_reg(), data_reg()).prop_map(|(a, b)| Comp { a, b }),
+        (data_reg(), imm::<3>()).prop_map(|(a, imm)| Andi { a, imm }),
+        (data_reg(), imm::<3>()).prop_map(|(a, imm)| Addi { a, imm }),
+        (data_reg(), imm::<2>()).prop_map(|(a, imm)| Sri { a, imm }),
+        (data_reg(), imm::<2>()).prop_map(|(a, imm)| Sli { a, imm }),
+        (data_reg(), imm::<4>()).prop_map(|(a, imm)| Lui { a, imm }),
+        (data_reg(), imm::<5>()).prop_map(|(a, imm)| Li { a, imm }),
+        (data_reg(), imm::<3>()).prop_map(|(a, offset)| Load { a, b: BASE, offset }),
+        (data_reg(), imm::<3>()).prop_map(|(a, offset)| Store { a, b: BASE, offset }),
+    ]
+}
+
+/// A whole program: prologue loading BASE, then a random body where
+/// every control transfer jumps strictly forward (1..=4 instructions).
+fn program() -> impl Strategy<Value = Program> {
+    let body = proptest::collection::vec(
+        prop_oneof![
+            4 => straightline().prop_map(|i| (i, 0usize)),
+            1 => (data_reg(), trit(), 1usize..=4).prop_map(|(b, cond, skip)| {
+                (Instruction::Beq { b, cond, offset: Trits::ZERO }, skip)
+            }),
+            1 => (data_reg(), trit(), 1usize..=4).prop_map(|(b, cond, skip)| {
+                (Instruction::Bne { b, cond, offset: Trits::ZERO }, skip)
+            }),
+            1 => (data_reg(), 1usize..=4).prop_map(|(a, skip)| {
+                (Instruction::Jal { a, offset: Trits::ZERO }, skip)
+            }),
+        ],
+        1..60,
+    );
+    body.prop_map(|items| {
+        use Instruction::*;
+        // Prologue: BASE = BASE_ADDR (hi/lo split), without touching
+        // other registers.
+        let (hi, lo) = art9_isa::asm::split_hi_lo(BASE_ADDR);
+        let mut text = vec![
+            Lui { a: BASE, imm: Trits::<4>::from_i64(hi).expect("fits") },
+            Li { a: BASE, imm: Trits::<5>::from_i64(lo).expect("fits") },
+        ];
+        let n = items.len();
+        for (idx, (instr, skip)) in items.into_iter().enumerate() {
+            let fixed = match instr {
+                Beq { b, cond, .. } => {
+                    let off = (skip.min(n - idx)) as i64;
+                    Beq { b, cond, offset: Trits::<4>::from_i64(off).expect("small") }
+                }
+                Bne { b, cond, .. } => {
+                    let off = (skip.min(n - idx)) as i64;
+                    Bne { b, cond, offset: Trits::<4>::from_i64(off).expect("small") }
+                }
+                Jal { a, .. } => {
+                    let off = (skip.min(n - idx)).max(1) as i64;
+                    Jal { a, offset: Trits::<5>::from_i64(off).expect("small") }
+                }
+                other => other,
+            };
+            text.push(fixed);
+        }
+        Program::from_instructions(text)
+    })
+}
+
+/// A counted loop around a random body: the counter (t1), the guard
+/// scratch (t7) and the zero register (t0) are excluded from the body's
+/// register set, so termination is structural. Backward branches and
+/// repeated forwarding patterns get covered this way.
+fn looped_program() -> impl Strategy<Value = Program> {
+    use Instruction::*;
+    let body_reg = || {
+        prop_oneof![
+            Just(TReg::T3),
+            Just(TReg::T4),
+            Just(TReg::T5),
+            Just(TReg::T6),
+        ]
+    };
+    let body_op = prop_oneof![
+        (body_reg(), body_reg()).prop_map(|(a, b)| Mv { a, b }),
+        (body_reg(), body_reg()).prop_map(|(a, b)| Add { a, b }),
+        (body_reg(), body_reg()).prop_map(|(a, b)| Sub { a, b }),
+        (body_reg(), body_reg()).prop_map(|(a, b)| Comp { a, b }),
+        (body_reg(), body_reg()).prop_map(|(a, b)| Xor { a, b }),
+        (body_reg(), imm::<3>()).prop_map(|(a, imm)| Addi { a, imm }),
+        (body_reg(), imm::<5>()).prop_map(|(a, imm)| Li { a, imm }),
+        (body_reg(), imm::<3>()).prop_map(|(a, offset)| Load { a, b: BASE, offset }),
+        (body_reg(), imm::<3>()).prop_map(|(a, offset)| Store { a, b: BASE, offset }),
+    ];
+    (
+        proptest::collection::vec(body_op, 1..25),
+        2i64..=6, // iterations
+    )
+        .prop_map(|(body, iters)| {
+            let (hi, lo) = art9_isa::asm::split_hi_lo(BASE_ADDR);
+            let mut text = vec![
+                Lui { a: BASE, imm: Trits::<4>::from_i64(hi).expect("fits") },
+                Li { a: BASE, imm: Trits::<5>::from_i64(lo).expect("fits") },
+                Li { a: TReg::T1, imm: Trits::<5>::from_i64(iters).expect("fits") },
+            ];
+            let body_len = body.len() as i64;
+            text.extend(body);
+            // Guard: t1 -= 1; t7 = sign(t1); loop while positive.
+            text.push(Addi { a: TReg::T1, imm: Trits::<3>::from_i64(-1).expect("fits") });
+            text.push(Mv { a: TReg::T7, b: TReg::T1 });
+            text.push(Comp { a: TReg::T7, b: TReg::T0 });
+            text.push(Beq {
+                b: TReg::T7,
+                cond: ternary::Trit::P,
+                offset: Trits::<4>::from_i64(-(body_len + 3)).expect("<= 28 fits imm4"),
+            });
+            Program::from_instructions(text)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+    #[test]
+    fn looped_pipeline_matches_functional(p in looped_program()) {
+        let mut f = FunctionalSim::new(&p);
+        let fr = f.run(1_000_000).expect("functional run completes");
+        let mut pipe = PipelinedSim::new(&p);
+        let stats = pipe.run(1_000_000).expect("pipelined run completes");
+        prop_assert_eq!(pipe.state().trf, f.state().trf, "register files diverge");
+        prop_assert!(pipe.state().tdm.iter().eq(f.state().tdm.iter()));
+        prop_assert_eq!(stats.instructions, fr.instructions);
+    }
+
+    #[test]
+    fn looped_no_forwarding_still_architecturally_equal(p in looped_program()) {
+        let mut f = FunctionalSim::new(&p);
+        f.run(1_000_000).expect("functional run completes");
+        let mut pipe = PipelinedSim::new(&p);
+        pipe.disable_forwarding();
+        let stats = pipe.run(2_000_000).expect("no-forwarding run completes");
+        prop_assert_eq!(pipe.state().trf, f.state().trf, "no-fwd diverges");
+        prop_assert!(stats.cycles >= stats.instructions + 4);
+    }
+
+    #[test]
+    fn pipeline_matches_functional(p in program()) {
+        let mut f = FunctionalSim::new(&p);
+        let fr = f.run(1_000_000).expect("functional run completes");
+
+        let mut pipe = PipelinedSim::new(&p);
+        let stats = pipe.run(1_000_000).expect("pipelined run completes");
+
+        prop_assert_eq!(pipe.state().trf, f.state().trf, "register files diverge");
+        prop_assert!(
+            pipe.state().tdm.iter().eq(f.state().tdm.iter()),
+            "data memories diverge"
+        );
+        prop_assert_eq!(stats.instructions, fr.instructions, "retirement counts diverge");
+        // Timing sanity: a 5-stage pipe needs at least instret + 4 cycles,
+        // and every cycle is either a retirement, a fill slot, or an
+        // accounted stall/bubble.
+        prop_assert!(stats.cycles >= stats.instructions + 4);
+        prop_assert!(
+            stats.cycles <= stats.instructions + 4 + stats.lost_cycles() + 1,
+            "cycles {} not explained by instret {} + stalls {}",
+            stats.cycles, stats.instructions, stats.lost_cycles()
+        );
+    }
+}

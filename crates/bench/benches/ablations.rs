@@ -1,0 +1,124 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! 1. **forwarding multiplexers** (paper §IV-B) — pipeline cycles with
+//!    and without forwarding;
+//! 2. **redundancy checking** (paper §III-A) — code size with and
+//!    without the peephole pass;
+//! 3. **technology library** — CNTFET vs a generic ternary CMOS foil
+//!    through the same analyzer.
+
+use art9_compiler::{translate_with_options, TranslateOptions};
+use art9_hw::analyzer::analyze;
+use art9_hw::datapath::Datapath;
+use art9_hw::tech::{cntfet32, generic_cmos_ternary};
+use art9_sim::PipelinedSim;
+use criterion::{criterion_group, criterion_main, Criterion};
+use workloads::{bubble_sort, dhrystone};
+
+fn print_ablations() {
+    println!("\n=== Ablations ===");
+
+    // 1. Forwarding.
+    let w = bubble_sort(20);
+    let t = art9_bench::translate(&w);
+    let mut with_fwd = PipelinedSim::new(&t.program);
+    let s1 = with_fwd.run(100_000_000).expect("completes");
+    let mut without = PipelinedSim::new(&t.program);
+    without.disable_forwarding();
+    let s2 = without.run(100_000_000).expect("completes");
+    println!(
+        "forwarding (bubble-sort): {} cycles with vs {} without ({:+.0}% cycles, CPI {:.2} -> {:.2})",
+        s1.cycles,
+        s2.cycles,
+        100.0 * (s2.cycles as f64 / s1.cycles as f64 - 1.0),
+        s1.cpi(),
+        s2.cpi()
+    );
+
+    // 2. Redundancy checking.
+    let rv = dhrystone(1).rv32_program().expect("parses");
+    let on = translate_with_options(&rv, TranslateOptions::default()).expect("translates");
+    let off = translate_with_options(
+        &rv,
+        TranslateOptions { redundancy: false, ..Default::default() },
+    )
+    .expect("translates");
+    println!(
+        "redundancy checking (dhrystone): {} instrs with vs {} without ({} removed, {:.1}% smaller)",
+        on.program.text().len(),
+        off.program.text().len(),
+        on.report.redundant_removed,
+        100.0 * (1.0 - on.program.text().len() as f64 / off.program.text().len() as f64)
+    );
+
+    // 3. Technology library.
+    let d = Datapath::art9();
+    let fast = analyze(&d, &cntfet32());
+    let slow = analyze(&d, &generic_cmos_ternary());
+    println!(
+        "technology: CNTFET {:.0} MHz / {:.1} µW  vs  generic CMOS ternary {:.0} MHz / {:.1} µW",
+        fast.fmax_mhz(),
+        fast.total_power_uw(),
+        slow.fmax_mhz(),
+        slow.total_power_uw()
+    );
+
+    // 4. Hardware multiplier (the design point Table II rejects).
+    let with_mul = Datapath::art9_with_multiplier();
+    let m = analyze(&with_mul, &cntfet32());
+    println!(
+        "hardware multiplier: {} -> {} gates ({:+.0}%), {:.1} -> {:.1} µW, fmax {:.0} -> {:.0} MHz",
+        fast.gates,
+        m.gates,
+        100.0 * (m.gates as f64 / fast.gates as f64 - 1.0),
+        fast.total_power_uw(),
+        m.total_power_uw(),
+        fast.fmax_mhz(),
+        m.fmax_mhz()
+    );
+
+    // 5. Word-width design-space sweep ("why 9 trits?").
+    print!("width sweep (gates @ width): ");
+    for width in [3usize, 6, 9, 12, 15] {
+        let dp = Datapath::art_with_width(width);
+        print!("{width}t={}  ", dp.datapath_gates());
+    }
+    println!();
+
+    // 6. Memory sizing (Table V's RAM column scales with TIM/TDM size).
+    use art9_hw::fpga::{map_to_fpga, MemoryConfig};
+    print!("memory sweep (RAM bits / power @ words): ");
+    for words in [128usize, 256, 512] {
+        let r = map_to_fpga(
+            &Datapath::art9(),
+            MemoryConfig { words, trits_per_word: 9 },
+            150.0,
+        );
+        print!("{words}w={}b/{:.2}W  ", r.ram_bits, r.power_w);
+    }
+    println!("\n");
+}
+
+fn bench(c: &mut Criterion) {
+    print_ablations();
+    let w = bubble_sort(20);
+    let t = art9_bench::translate(&w);
+    let mut g = c.benchmark_group("ablations");
+    g.bench_function("pipeline_with_forwarding", |b| {
+        b.iter(|| {
+            let mut core = PipelinedSim::new(&t.program);
+            core.run(100_000_000).expect("completes")
+        })
+    });
+    g.bench_function("pipeline_without_forwarding", |b| {
+        b.iter(|| {
+            let mut core = PipelinedSim::new(&t.program);
+            core.disable_forwarding();
+            core.run(100_000_000).expect("completes")
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

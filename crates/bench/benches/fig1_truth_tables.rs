@@ -1,0 +1,59 @@
+//! Fig. 1 — truth tables of the ternary logic operations, plus a
+//! throughput benchmark of the trit-level kernels they define.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ternary::{Trit, ALL_TRITS};
+
+fn print_fig1() {
+    println!("\n=== Fig. 1: truth tables of ternary logic operations ===");
+    let ops: [(&str, fn(Trit, Trit) -> Trit); 3] =
+        [("AND", Trit::and), ("OR", Trit::or), ("XOR", Trit::xor)];
+    for (name, f) in ops {
+        println!("{name}: rows a = -,0,+ / cols b = -,0,+");
+        for a in ALL_TRITS {
+            let row: Vec<String> = ALL_TRITS.iter().map(|b| f(a, *b).to_string()).collect();
+            println!("   {}", row.join(" "));
+        }
+    }
+    let invs: [(&str, fn(Trit) -> Trit); 3] =
+        [("STI", Trit::sti), ("NTI", Trit::nti), ("PTI", Trit::pti)];
+    for (name, f) in invs {
+        let row: Vec<String> = ALL_TRITS.iter().map(|t| format!("{t}->{}", f(*t))).collect();
+        println!("{name}: {}", row.join("  "));
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_fig1();
+    let mut g = c.benchmark_group("fig1");
+    g.bench_function("trit_logic_all_pairs", |b| {
+        b.iter(|| {
+            let mut acc = Trit::Z;
+            for a in ALL_TRITS {
+                for t in ALL_TRITS {
+                    acc = acc.or(black_box(a).and(black_box(t)).xor(a.sti()));
+                }
+            }
+            acc
+        })
+    });
+    g.bench_function("trit_full_add_all", |b| {
+        b.iter(|| {
+            let mut acc = 0i8;
+            for a in ALL_TRITS {
+                for x in ALL_TRITS {
+                    for cin in ALL_TRITS {
+                        let (s, k) = black_box(a).full_add(x, cin);
+                        acc ^= s.value() ^ k.value();
+                    }
+                }
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

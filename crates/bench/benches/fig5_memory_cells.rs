@@ -1,0 +1,45 @@
+//! Fig. 5 — memory cells for storing the benchmark programs on the
+//! three ISAs, plus a benchmark of the compiling framework itself.
+
+use art9_core::SoftwareFramework;
+use criterion::{criterion_group, criterion_main, Criterion};
+use workloads::paper_suite;
+
+fn print_fig5() {
+    println!("\n=== Fig. 5: memory cells for storing benchmark programs ===");
+    println!(
+        "{:<14} {:>14} {:>14} {:>15} {:>9} {:>9}",
+        "benchmark", "ART-9 (trits)", "RV-32I (bits)", "ARMv6-M (bits)", "vs RV32", "vs ARM"
+    );
+    let fw = SoftwareFramework::new();
+    for w in paper_suite() {
+        let rv = w.rv32_program().expect("parses");
+        let row = fw.memory_comparison(w.name, &rv).expect("translates");
+        println!(
+            "{:<14} {:>14} {:>14} {:>15} {:>8.0}% {:>8.0}%",
+            row.name,
+            row.art9_cells,
+            row.rv32_bits,
+            row.thumb_bits,
+            100.0 * row.saving_vs_rv32(),
+            100.0 * row.saving_vs_thumb(),
+        );
+    }
+    println!("(paper, dhrystone: 11.6K trits vs 25.4K bits vs 23.7K bits; -54% vs RV32, -17% vs ARM)\n");
+}
+
+fn bench(c: &mut Criterion) {
+    print_fig5();
+    let fw = SoftwareFramework::new();
+    let mut g = c.benchmark_group("fig5");
+    for w in paper_suite() {
+        let rv = w.rv32_program().expect("parses");
+        g.bench_function(format!("translate/{}", w.name), |b| {
+            b.iter(|| fw.compile(&rv).expect("translates"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Simulator throughput: how many simulated cycles/instructions per
+//! host second each engine sustains. This is the framework's own
+//! usability metric (a slow simulator caps design-space exploration).
+
+use art9_bench::translate;
+use art9_sim::{FunctionalSim, PipelinedSim};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rv32::{simulate_cycles, PicoRv32Model};
+use workloads::dhrystone;
+
+fn bench(c: &mut Criterion) {
+    let w = dhrystone(10);
+    let t = translate(&w);
+    let rv = w.rv32_program().expect("parses");
+
+    // Establish per-run work for throughput accounting.
+    let mut probe = PipelinedSim::new(&t.program);
+    let stats = probe.run(100_000_000).expect("completes");
+
+    let mut g = c.benchmark_group("sim_speed");
+    g.throughput(Throughput::Elements(stats.cycles));
+    g.bench_function("art9_pipelined_cycles", |b| {
+        b.iter(|| {
+            let mut core = PipelinedSim::new(&t.program);
+            core.run(100_000_000).expect("completes")
+        })
+    });
+    g.throughput(Throughput::Elements(stats.instructions));
+    g.bench_function("art9_functional_instructions", |b| {
+        b.iter(|| {
+            let mut sim = FunctionalSim::new(&t.program);
+            sim.run(100_000_000).expect("completes")
+        })
+    });
+    g.bench_function("rv32_picorv32_model", |b| {
+        b.iter(|| {
+            simulate_cycles(&rv, &mut PicoRv32Model::new(), 100_000_000).expect("completes")
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

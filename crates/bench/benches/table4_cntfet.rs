@@ -1,0 +1,45 @@
+//! Table IV — CNTFET implementation results, plus a benchmark of the
+//! gate-level analyzer.
+
+use art9_bench::{run_art9, translate};
+use art9_core::{report, HardwareFramework};
+use art9_hw::analyzer::analyze;
+use art9_hw::datapath::Datapath;
+use art9_hw::tech::cntfet32;
+use criterion::{criterion_group, criterion_main, Criterion};
+use workloads::dhrystone;
+
+const ITERATIONS: usize = 50;
+
+fn print_table4() {
+    let w = dhrystone(ITERATIONS);
+    let t = translate(&w);
+    let stats = run_art9(&w, &t);
+    let cpi = stats.cycles as f64 / ITERATIONS as f64;
+
+    let hw = HardwareFramework::new();
+    let e = hw.evaluate(cpi);
+    println!("\n=== Table IV: implementation results using CNTFET ternary gates ===");
+    print!("{}", report::table4(&e));
+    println!("(paper: 0.9V, 652 gates, 42.7 µW, 3.06e6 DMIPS/W — same magnitudes)");
+    println!("\nper-block gate counts:");
+    for (name, gates) in hw.datapath().block_summary() {
+        println!("  {name:<20} {gates}");
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_table4();
+    let d = Datapath::art9();
+    let lib = cntfet32();
+    c.bench_function("table4/gate_level_analysis", |b| {
+        b.iter(|| analyze(&d, &lib))
+    });
+    c.bench_function("table4/datapath_construction", |b| {
+        b.iter(Datapath::art9)
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

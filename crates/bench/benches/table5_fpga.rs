@@ -1,0 +1,35 @@
+//! Table V — FPGA implementation results (binary-encoded ternary),
+//! plus a benchmark of the resource mapper.
+
+use art9_bench::{run_art9, translate};
+use art9_core::{report, HardwareFramework};
+use art9_hw::datapath::Datapath;
+use art9_hw::fpga::{map_to_fpga, MemoryConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use workloads::dhrystone;
+
+const ITERATIONS: usize = 50;
+
+fn print_table5() {
+    let w = dhrystone(ITERATIONS);
+    let t = translate(&w);
+    let stats = run_art9(&w, &t);
+    let cpi = stats.cycles as f64 / ITERATIONS as f64;
+
+    let hw = HardwareFramework::new();
+    let e = hw.evaluate(cpi);
+    println!("\n=== Table V: implementation results using FPGA-based ternary logics ===");
+    print!("{}", report::table5(&e));
+    println!("(paper: 0.9V, 150MHz, 803 ALMs, 339 registers, 9216 RAM bits, 1.09W, 57.8 DMIPS/W)\n");
+}
+
+fn bench(c: &mut Criterion) {
+    print_table5();
+    let d = Datapath::art9();
+    c.bench_function("table5/fpga_mapping", |b| {
+        b.iter(|| map_to_fpga(&d, MemoryConfig::default(), 150.0))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Micro-benchmarks of the balanced ternary substrate: the arithmetic
+//! every simulated cycle leans on.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ternary::{encoding, Word9};
+
+fn bench(c: &mut Criterion) {
+    let a = Word9::from_i64(4821).expect("in range");
+    let b = Word9::from_i64(-3977).expect("in range");
+
+    let mut g = c.benchmark_group("word9");
+    g.bench_function("add", |bn| bn.iter(|| black_box(a).wrapping_add(black_box(b))));
+    g.bench_function("sub", |bn| bn.iter(|| black_box(a).wrapping_sub(black_box(b))));
+    g.bench_function("mul", |bn| bn.iter(|| black_box(a).wrapping_mul(black_box(b))));
+    g.bench_function("compare", |bn| bn.iter(|| black_box(a).compare(black_box(b))));
+    g.bench_function("shl2", |bn| bn.iter(|| black_box(a).shl(2)));
+    g.bench_function("shr2", |bn| bn.iter(|| black_box(a).shr(2)));
+    g.bench_function("logic_and_or_xor", |bn| {
+        bn.iter(|| black_box(a).and(b).or(b.xor(a)))
+    });
+    g.bench_function("to_i64", |bn| bn.iter(|| black_box(a).to_i64()));
+    g.bench_function("from_i64_wrapping", |bn| {
+        bn.iter(|| Word9::from_i64_wrapping(black_box(123456)))
+    });
+    g.bench_function("bct_pack_unpack", |bn| {
+        bn.iter(|| {
+            let p = encoding::pack(&black_box(a));
+            encoding::unpack::<9>(p).expect("valid")
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

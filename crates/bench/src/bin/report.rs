@@ -1,0 +1,111 @@
+//! Regenerates every table and figure of the paper in one run.
+//!
+//! ```sh
+//! cargo run --release -p art9-bench --bin report
+//! ```
+
+use art9_bench::{dmips_per_mhz, run_art9, run_picorv32, run_vexriscv, translate};
+use art9_core::{report, HardwareFramework, SoftwareFramework};
+use ternary::{Trit, ALL_TRITS};
+use workloads::{dhrystone, paper_suite};
+
+fn main() {
+    // ---- Fig. 1 -------------------------------------------------------
+    println!("=== Fig. 1: truth tables of ternary logic operations ===");
+    let ops: [(&str, fn(Trit, Trit) -> Trit); 3] =
+        [("AND", Trit::and), ("OR", Trit::or), ("XOR", Trit::xor)];
+    for (name, f) in ops {
+        println!("{name}: rows a = -,0,+ / cols b = -,0,+");
+        for a in ALL_TRITS {
+            let row: Vec<String> = ALL_TRITS.iter().map(|b| f(a, *b).to_string()).collect();
+            println!("   {}", row.join(" "));
+        }
+    }
+    let invs: [(&str, fn(Trit) -> Trit); 3] =
+        [("STI", Trit::sti), ("NTI", Trit::nti), ("PTI", Trit::pti)];
+    for (name, f) in invs {
+        let row: Vec<String> = ALL_TRITS.iter().map(|t| format!("{t}->{}", f(*t))).collect();
+        println!("{name}: {}", row.join("  "));
+    }
+
+    // ---- Table III + Fig. 5 over the whole suite ----------------------
+    println!("\n=== Table III: processing cycles ===");
+    println!(
+        "{:<14} {:>12} {:>12} {:>8}",
+        "benchmark", "ART-9", "PicoRV32", "ratio"
+    );
+    let fw = SoftwareFramework::new();
+    let mut fig5_rows = Vec::new();
+    let mut dhrystone_cycles_per_iter = 0.0;
+    for w in paper_suite() {
+        let t = translate(&w);
+        let stats = run_art9(&w, &t);
+        let pico = run_picorv32(&w);
+        println!(
+            "{:<14} {:>12} {:>12} {:>8.2}",
+            w.name,
+            stats.cycles,
+            pico.cycles,
+            pico.cycles as f64 / stats.cycles as f64
+        );
+        if w.name == "dhrystone" {
+            dhrystone_cycles_per_iter = stats.cycles as f64 / 100.0;
+        }
+        let rv = w.rv32_program().expect("parses");
+        fig5_rows.push(fw.memory_comparison(w.name, &rv).expect("translates"));
+    }
+
+    println!("\n=== Fig. 5: memory cells ===");
+    print!("{}", report::fig5(&fig5_rows));
+
+    // ---- Table II ------------------------------------------------------
+    let iterations = 100;
+    let w = dhrystone(iterations);
+    let t = translate(&w);
+    let stats = run_art9(&w, &t);
+    let vex = run_vexriscv(&w);
+    let pico = run_picorv32(&w);
+    println!("\n=== Table II: dhrystone ({iterations} iterations) ===");
+    println!(
+        "{:<22} {:>10} {:>8} {:>12}",
+        "core", "cycles", "CPI", "DMIPS/MHz"
+    );
+    println!(
+        "{:<22} {:>10} {:>8.2} {:>12.2}",
+        "ART-9 (5-stage)",
+        stats.cycles,
+        stats.cpi(),
+        dmips_per_mhz(stats.cycles, iterations)
+    );
+    println!(
+        "{:<22} {:>10} {:>8.2} {:>12.2}",
+        "VexRiscv (5-stage)",
+        vex.cycles,
+        vex.cpi(),
+        dmips_per_mhz(vex.cycles, iterations)
+    );
+    println!(
+        "{:<22} {:>10} {:>8.2} {:>12.2}",
+        "PicoRV32 (non-pipe)",
+        pico.cycles,
+        pico.cpi(),
+        dmips_per_mhz(pico.cycles, iterations)
+    );
+    println!(
+        "ART-9 memory: {} instruction trits ({} instructions)",
+        t.report.art9_instruction_cells(),
+        t.report.art9_instructions()
+    );
+
+    // ---- Tables IV & V --------------------------------------------------
+    let hw = HardwareFramework::new();
+    let e = hw.evaluate(dhrystone_cycles_per_iter);
+    println!("\n=== Table IV ===\n{}", report::table4(&e));
+    println!("=== Table V ===\n{}", report::table5(&e));
+
+    println!("per-block gate counts:");
+    for (name, gates) in hw.datapath().block_summary() {
+        println!("  {name:<20} {gates}");
+    }
+    println!("  {:<20} {}", "TOTAL", hw.datapath().datapath_gates());
+}

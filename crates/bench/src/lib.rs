@@ -1,0 +1,72 @@
+//! Shared helpers for the table/figure regeneration benches.
+//!
+//! Each bench target regenerates one table or figure of the paper
+//! (printed before measurement starts) and then measures the runtime
+//! of the underlying machinery with Criterion. `cargo bench` therefore
+//! both reproduces the evaluation and tracks the simulator's own
+//! performance.
+
+use art9_compiler::Translation;
+use art9_sim::{PipelineStats, PipelinedSim};
+use rv32::{CycleReport, PicoRv32Model, VexRiscvModel};
+use workloads::Workload;
+
+/// Translates a workload to ART-9 (panicking on failure — workloads
+/// are translatable by construction).
+pub fn translate(w: &Workload) -> Translation {
+    let rv = w.rv32_program().expect("workload parses");
+    art9_compiler::translate(&rv).expect("workload translates")
+}
+
+/// Runs a translated workload on the pipelined ART-9, verifying the
+/// output.
+pub fn run_art9(w: &Workload, t: &Translation) -> PipelineStats {
+    let mut core = PipelinedSim::new(&t.program);
+    let stats = core.run(500_000_000).expect("ART-9 run completes");
+    w.verify_art9(core.state()).expect("ART-9 output verifies");
+    stats
+}
+
+/// Runs a workload under the PicoRV32 cycle model, verifying the
+/// output on the functional machine.
+pub fn run_picorv32(w: &Workload) -> CycleReport {
+    let rv = w.rv32_program().expect("workload parses");
+    let mut machine = rv32::Machine::new(&rv);
+    machine.run(500_000_000).expect("rv32 run completes");
+    w.verify_rv32(&machine).expect("rv32 output verifies");
+    rv32::simulate_cycles(&rv, &mut PicoRv32Model::new(), 500_000_000)
+        .expect("cycle model completes")
+}
+
+/// Runs a workload under the VexRiscv cycle model.
+pub fn run_vexriscv(w: &Workload) -> CycleReport {
+    let rv = w.rv32_program().expect("workload parses");
+    rv32::simulate_cycles(&rv, &mut VexRiscvModel::new(), 500_000_000)
+        .expect("cycle model completes")
+}
+
+/// DMIPS/MHz from total cycles over `iterations` Dhrystone iterations.
+pub fn dmips_per_mhz(cycles: u64, iterations: usize) -> f64 {
+    1.0e6 / (cycles as f64 / iterations as f64 * workloads::DHRYSTONE_DIVISOR)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::bubble_sort;
+
+    #[test]
+    fn helpers_run_and_verify() {
+        let w = bubble_sort(8);
+        let t = translate(&w);
+        let stats = run_art9(&w, &t);
+        let pico = run_picorv32(&w);
+        assert!(stats.cycles > 0 && pico.cycles > 0);
+    }
+
+    #[test]
+    fn dmips_arithmetic() {
+        // 1355 cycles/iteration -> 0.42 DMIPS/MHz (Table II).
+        assert!((dmips_per_mhz(1355 * 10, 10) - 0.42).abs() < 0.01);
+    }
+}

@@ -1,0 +1,49 @@
+//! # `art9-core` — the design and evaluation frameworks
+//!
+//! The paper's two headline contributions as one API:
+//!
+//! * [`SoftwareFramework`] — the software-level compiling framework
+//!   (Fig. 2): RV32 assembly → ART-9 ternary program, with the memory-
+//!   cell accounting behind Fig. 5;
+//! * [`HardwareFramework`] — the hardware-level evaluation framework
+//!   (Fig. 3): cycle-accurate simulation, gate-level analysis under a
+//!   technology library, and the performance estimator behind
+//!   Tables IV and V;
+//! * [`report`] — renderers that print the paper's tables.
+//!
+//! ## The whole paper in one block
+//!
+//! ```
+//! use art9_core::{HardwareFramework, SoftwareFramework};
+//! use rv32::parse_program;
+//!
+//! // Software-level: compile an RV32 program to ternary.
+//! let rv = parse_program("
+//!     li a0, 10
+//!     li a1, 0
+//! loop:
+//!     add a1, a1, a0
+//!     addi a0, a0, -1
+//!     bnez a0, loop
+//!     ebreak
+//! ")?;
+//! let sw = SoftwareFramework::new();
+//! let translation = sw.compile(&rv)?;
+//!
+//! // Hardware-level: run it cycle-accurately, then estimate silicon.
+//! let hw = HardwareFramework::new();
+//! let stats = hw.run_cycles(&translation.program, 100_000)?;
+//! let evaluation = hw.evaluate(stats.cycles as f64); // 1 "iteration"
+//! println!("{}", art9_core::report::table4(&evaluation));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hardware;
+pub mod report;
+mod software;
+
+pub use hardware::{Evaluation, HardwareFramework};
+pub use software::{MemoryComparison, SoftwareFramework};

@@ -1,0 +1,146 @@
+//! The software-level compiling framework, end to end (paper Fig. 2).
+
+use art9_compiler::{translate_with_tdm, CompileError, Translation};
+use rv32::{estimate_thumb, Rv32Program};
+
+/// Front door of the software-level framework: RV32 assembly in,
+/// executable ART-9 program + statistics out.
+///
+/// # Examples
+///
+/// ```
+/// use art9_core::SoftwareFramework;
+/// use rv32::parse_program;
+///
+/// let fw = SoftwareFramework::new();
+/// let rv = parse_program("li a0, 1\nadd a0, a0, a0\nebreak\n")?;
+/// let t = fw.compile(&rv)?;
+/// assert!(!t.program.text().is_empty());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SoftwareFramework {
+    tdm_words: usize,
+}
+
+impl Default for SoftwareFramework {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One row of the Fig. 5 memory-cell comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryComparison {
+    /// Program name.
+    pub name: String,
+    /// ART-9 storage: ternary memory cells (trits), instructions + data.
+    pub art9_cells: usize,
+    /// RV-32I storage: bits, instructions + data.
+    pub rv32_bits: usize,
+    /// ARMv6-M estimate: bits, instructions + data.
+    pub thumb_bits: usize,
+}
+
+impl MemoryComparison {
+    /// Cell-count reduction of ART-9 vs RV-32I (the paper quotes 54 %
+    /// for Dhrystone). Compares raw storage-cell counts, as Fig. 5
+    /// does: a ternary cell stores one trit, a binary cell one bit.
+    pub fn saving_vs_rv32(&self) -> f64 {
+        1.0 - self.art9_cells as f64 / self.rv32_bits as f64
+    }
+
+    /// Cell-count reduction vs the ARMv6-M estimate.
+    pub fn saving_vs_thumb(&self) -> f64 {
+        1.0 - self.art9_cells as f64 / self.thumb_bits as f64
+    }
+}
+
+impl SoftwareFramework {
+    /// Framework with the default 256-word TDM.
+    pub fn new() -> Self {
+        Self { tdm_words: art9_compiler::DEFAULT_TDM_WORDS }
+    }
+
+    /// Framework targeting a custom TDM size.
+    pub fn with_tdm_words(tdm_words: usize) -> Self {
+        Self { tdm_words }
+    }
+
+    /// Runs the full Fig. 2 pipeline: instruction mapping, operand
+    /// conversion, redundancy checking, branch retargeting.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CompileError`] — untranslatable programs are rejected.
+    pub fn compile(&self, program: &Rv32Program) -> Result<Translation, CompileError> {
+        translate_with_tdm(program, self.tdm_words)
+    }
+
+    /// Produces one Fig. 5 row: the same program's storage on the
+    /// three ISAs.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CompileError`] from the translation.
+    pub fn memory_comparison(
+        &self,
+        name: impl Into<String>,
+        program: &Rv32Program,
+    ) -> Result<MemoryComparison, CompileError> {
+        let t = self.compile(program)?;
+        let thumb = estimate_thumb(program);
+        Ok(MemoryComparison {
+            name: name.into(),
+            // Instructions + initial data, in storage cells.
+            art9_cells: t.program.instruction_cells() + program.data().len() * 9,
+            rv32_bits: program.memory_bits(),
+            thumb_bits: thumb.memory_bits(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rv32::parse_program;
+
+    #[test]
+    fn comparison_row_has_all_three_columns() {
+        let fw = SoftwareFramework::new();
+        let rv = parse_program(
+            ".data\nv: .word 1, 2, 3\n.text\nla a0, v\nlw a1, 0(a0)\nadd a1, a1, a1\nebreak\n",
+        )
+        .unwrap();
+        let row = fw.memory_comparison("demo", &rv).unwrap();
+        assert!(row.art9_cells > 0);
+        assert!(row.rv32_bits > 0);
+        assert!(row.thumb_bits > 0);
+        // Thumb is denser than RV32 in bits.
+        assert!(row.thumb_bits < row.rv32_bits);
+    }
+
+    #[test]
+    fn art9_saves_cells_on_loopy_code() {
+        // Branch-heavy code is where 9-trit instructions pay off.
+        let fw = SoftwareFramework::new();
+        let rv = parse_program(
+            "
+            li a0, 9
+            li a1, 0
+            loop:
+            add a1, a1, a0
+            addi a0, a0, -1
+            bnez a0, loop
+            ebreak
+            ",
+        )
+        .unwrap();
+        let row = fw.memory_comparison("loop", &rv).unwrap();
+        assert!(
+            row.saving_vs_rv32() > 0.0,
+            "expected cell saving, got {:.2}",
+            row.saving_vs_rv32()
+        );
+    }
+}

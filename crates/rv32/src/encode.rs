@@ -1,0 +1,404 @@
+//! Standard RV32I/M 32-bit instruction encodings.
+//!
+//! Used for the memory-cell accounting of Fig. 5 (32 bits per
+//! instruction) and round-trip tested against [`decode`] for fidelity.
+
+use crate::error::Rv32Error;
+use crate::instr::{AluOp, BranchOp, Instr, LoadOp, MulOp, StoreOp};
+use crate::reg::Reg;
+
+const OP_LUI: u32 = 0b0110111;
+const OP_AUIPC: u32 = 0b0010111;
+const OP_JAL: u32 = 0b1101111;
+const OP_JALR: u32 = 0b1100111;
+const OP_BRANCH: u32 = 0b1100011;
+const OP_LOAD: u32 = 0b0000011;
+const OP_STORE: u32 = 0b0100011;
+const OP_ALU_IMM: u32 = 0b0010011;
+const OP_ALU: u32 = 0b0110011;
+const OP_MISC_MEM: u32 = 0b0001111;
+const OP_SYSTEM: u32 = 0b1110011;
+
+fn rd(r: Reg) -> u32 {
+    (r.index() as u32) << 7
+}
+fn rs1(r: Reg) -> u32 {
+    (r.index() as u32) << 15
+}
+fn rs2(r: Reg) -> u32 {
+    (r.index() as u32) << 20
+}
+fn funct3(v: u32) -> u32 {
+    v << 12
+}
+
+fn check_imm(mnemonic: &'static str, value: i64, bits: u32) -> Result<(), Rv32Error> {
+    let min = -(1i64 << (bits - 1));
+    let max = (1i64 << (bits - 1)) - 1;
+    if value < min || value > max {
+        return Err(Rv32Error::ImmediateRange { mnemonic, value, bits });
+    }
+    Ok(())
+}
+
+/// Encodes an instruction to its 32-bit word.
+///
+/// # Errors
+///
+/// Returns [`Rv32Error::ImmediateRange`] when an offset or immediate
+/// does not fit its field (e.g. a branch target beyond ±4 KiB).
+///
+/// # Examples
+///
+/// ```
+/// use rv32::{encode, decode, Instr, AluOp, Reg};
+///
+/// let i = Instr::AluImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::ZERO, imm: 42 };
+/// let w = encode(&i)?;
+/// assert_eq!(decode(w)?, i);
+/// # Ok::<(), rv32::Rv32Error>(())
+/// ```
+pub fn encode(instr: &Instr) -> Result<u32, Rv32Error> {
+    use Instr::*;
+    Ok(match *instr {
+        Lui { rd: d, imm20 } => {
+            check_imm("lui", imm20 as i64, 20)?; // signed 20-bit field
+            OP_LUI | rd(d) | (((imm20 as u32) & 0xfffff) << 12)
+        }
+        Auipc { rd: d, imm20 } => {
+            check_imm("auipc", imm20 as i64, 20)?;
+            OP_AUIPC | rd(d) | (((imm20 as u32) & 0xfffff) << 12)
+        }
+        Jal { rd: d, offset } => {
+            check_imm("jal", offset as i64, 21)?;
+            let o = offset as u32;
+            let imm = ((o >> 20) & 1) << 31
+                | ((o >> 1) & 0x3ff) << 21
+                | ((o >> 11) & 1) << 20
+                | ((o >> 12) & 0xff) << 12;
+            OP_JAL | rd(d) | imm
+        }
+        Jalr { rd: d, rs1: s1, offset } => {
+            check_imm("jalr", offset as i64, 12)?;
+            OP_JALR | rd(d) | funct3(0) | rs1(s1) | (((offset as u32) & 0xfff) << 20)
+        }
+        Branch { op, rs1: s1, rs2: s2, offset } => {
+            check_imm(instr.mnemonic_static(), offset as i64, 13)?;
+            let f3 = match op {
+                BranchOp::Eq => 0b000,
+                BranchOp::Ne => 0b001,
+                BranchOp::Lt => 0b100,
+                BranchOp::Ge => 0b101,
+                BranchOp::Ltu => 0b110,
+                BranchOp::Geu => 0b111,
+            };
+            let o = offset as u32;
+            let imm = ((o >> 12) & 1) << 31
+                | ((o >> 5) & 0x3f) << 25
+                | ((o >> 1) & 0xf) << 8
+                | ((o >> 11) & 1) << 7;
+            OP_BRANCH | funct3(f3) | rs1(s1) | rs2(s2) | imm
+        }
+        Load { op, rd: d, rs1: s1, offset } => {
+            check_imm(instr.mnemonic_static(), offset as i64, 12)?;
+            let f3 = match op {
+                LoadOp::Lb => 0b000,
+                LoadOp::Lh => 0b001,
+                LoadOp::Lw => 0b010,
+                LoadOp::Lbu => 0b100,
+                LoadOp::Lhu => 0b101,
+            };
+            OP_LOAD | rd(d) | funct3(f3) | rs1(s1) | (((offset as u32) & 0xfff) << 20)
+        }
+        Store { op, rs2: s2, rs1: s1, offset } => {
+            check_imm(instr.mnemonic_static(), offset as i64, 12)?;
+            let f3 = match op {
+                StoreOp::Sb => 0b000,
+                StoreOp::Sh => 0b001,
+                StoreOp::Sw => 0b010,
+            };
+            let o = offset as u32;
+            let imm = ((o >> 5) & 0x7f) << 25 | (o & 0x1f) << 7;
+            OP_STORE | funct3(f3) | rs1(s1) | rs2(s2) | imm
+        }
+        AluImm { op, rd: d, rs1: s1, imm } => {
+            let (f3, special) = match op {
+                AluOp::Add => (0b000, 0),
+                AluOp::Sll => (0b001, 0),
+                AluOp::Slt => (0b010, 0),
+                AluOp::Sltu => (0b011, 0),
+                AluOp::Xor => (0b100, 0),
+                AluOp::Srl => (0b101, 0),
+                AluOp::Sra => (0b101, 0x4000_0000u32),
+                AluOp::Or => (0b110, 0),
+                AluOp::And => (0b111, 0),
+                AluOp::Sub => {
+                    return Err(Rv32Error::ImmediateRange {
+                        mnemonic: "subi",
+                        value: imm as i64,
+                        bits: 0,
+                    })
+                }
+            };
+            if matches!(op, AluOp::Sll | AluOp::Srl | AluOp::Sra) {
+                check_imm("shift-imm", imm as i64, 6)?; // shamt 0..31
+                if imm < 0 {
+                    return Err(Rv32Error::ImmediateRange {
+                        mnemonic: "shift-imm",
+                        value: imm as i64,
+                        bits: 5,
+                    });
+                }
+            } else {
+                check_imm(instr.mnemonic_static(), imm as i64, 12)?;
+            }
+            OP_ALU_IMM | rd(d) | funct3(f3) | rs1(s1) | (((imm as u32) & 0xfff) << 20) | special
+        }
+        Alu { op, rd: d, rs1: s1, rs2: s2 } => {
+            let (f3, f7) = match op {
+                AluOp::Add => (0b000, 0),
+                AluOp::Sub => (0b000, 0b0100000),
+                AluOp::Sll => (0b001, 0),
+                AluOp::Slt => (0b010, 0),
+                AluOp::Sltu => (0b011, 0),
+                AluOp::Xor => (0b100, 0),
+                AluOp::Srl => (0b101, 0),
+                AluOp::Sra => (0b101, 0b0100000),
+                AluOp::Or => (0b110, 0),
+                AluOp::And => (0b111, 0),
+            };
+            OP_ALU | rd(d) | funct3(f3) | rs1(s1) | rs2(s2) | (f7 << 25)
+        }
+        MulDiv { op, rd: d, rs1: s1, rs2: s2 } => {
+            let f3 = match op {
+                MulOp::Mul => 0b000,
+                MulOp::Mulh => 0b001,
+                MulOp::Mulhsu => 0b010,
+                MulOp::Mulhu => 0b011,
+                MulOp::Div => 0b100,
+                MulOp::Divu => 0b101,
+                MulOp::Rem => 0b110,
+                MulOp::Remu => 0b111,
+            };
+            OP_ALU | rd(d) | funct3(f3) | rs1(s1) | rs2(s2) | (1 << 25)
+        }
+        Fence => OP_MISC_MEM,
+        Ecall => OP_SYSTEM,
+        Ebreak => OP_SYSTEM | (1 << 20),
+    })
+}
+
+impl Instr {
+    /// `mnemonic()` with a `'static` lifetime for error reporting.
+    fn mnemonic_static(&self) -> &'static str {
+        self.mnemonic()
+    }
+}
+
+fn bit(w: u32, i: u32) -> u32 {
+    (w >> i) & 1
+}
+
+fn sign_extend(v: u32, bits: u32) -> i32 {
+    let shift = 32 - bits;
+    ((v << shift) as i32) >> shift
+}
+
+fn reg_at(w: u32, lo: u32) -> Reg {
+    Reg::from_index(((w >> lo) & 0x1f) as usize).expect("5-bit field")
+}
+
+/// Decodes a 32-bit word back to an instruction.
+///
+/// # Errors
+///
+/// Returns [`Rv32Error::IllegalInstruction`] for unsupported encodings.
+pub fn decode(word: u32) -> Result<Instr, Rv32Error> {
+    use Instr::*;
+    let opcode = word & 0x7f;
+    let f3 = (word >> 12) & 0x7;
+    let f7 = word >> 25;
+    let d = reg_at(word, 7);
+    let s1 = reg_at(word, 15);
+    let s2 = reg_at(word, 20);
+    let illegal = Err(Rv32Error::IllegalInstruction { word });
+
+    Ok(match opcode {
+        OP_LUI => Lui { rd: d, imm20: sign_extend(word >> 12, 20) },
+        OP_AUIPC => Auipc { rd: d, imm20: sign_extend(word >> 12, 20) },
+        OP_JAL => {
+            let imm = (bit(word, 31) << 20)
+                | (((word >> 21) & 0x3ff) << 1)
+                | (bit(word, 20) << 11)
+                | (((word >> 12) & 0xff) << 12);
+            Jal { rd: d, offset: sign_extend(imm, 21) }
+        }
+        OP_JALR => Jalr { rd: d, rs1: s1, offset: sign_extend(word >> 20, 12) },
+        OP_BRANCH => {
+            let op = match f3 {
+                0b000 => BranchOp::Eq,
+                0b001 => BranchOp::Ne,
+                0b100 => BranchOp::Lt,
+                0b101 => BranchOp::Ge,
+                0b110 => BranchOp::Ltu,
+                0b111 => BranchOp::Geu,
+                _ => return illegal,
+            };
+            let imm = (bit(word, 31) << 12)
+                | (((word >> 25) & 0x3f) << 5)
+                | (((word >> 8) & 0xf) << 1)
+                | (bit(word, 7) << 11);
+            Branch { op, rs1: s1, rs2: s2, offset: sign_extend(imm, 13) }
+        }
+        OP_LOAD => {
+            let op = match f3 {
+                0b000 => LoadOp::Lb,
+                0b001 => LoadOp::Lh,
+                0b010 => LoadOp::Lw,
+                0b100 => LoadOp::Lbu,
+                0b101 => LoadOp::Lhu,
+                _ => return illegal,
+            };
+            Load { op, rd: d, rs1: s1, offset: sign_extend(word >> 20, 12) }
+        }
+        OP_STORE => {
+            let op = match f3 {
+                0b000 => StoreOp::Sb,
+                0b001 => StoreOp::Sh,
+                0b010 => StoreOp::Sw,
+                _ => return illegal,
+            };
+            let imm = (((word >> 25) & 0x7f) << 5) | ((word >> 7) & 0x1f);
+            Store { op, rs2: s2, rs1: s1, offset: sign_extend(imm, 12) }
+        }
+        OP_ALU_IMM => {
+            let imm = sign_extend(word >> 20, 12);
+            let op = match f3 {
+                0b000 => AluOp::Add,
+                0b001 => AluOp::Sll,
+                0b010 => AluOp::Slt,
+                0b011 => AluOp::Sltu,
+                0b100 => AluOp::Xor,
+                0b101 => {
+                    if f7 == 0b0100000 {
+                        AluOp::Sra
+                    } else {
+                        AluOp::Srl
+                    }
+                }
+                0b110 => AluOp::Or,
+                0b111 => AluOp::And,
+                _ => return illegal,
+            };
+            let imm = if matches!(op, AluOp::Sll | AluOp::Srl | AluOp::Sra) {
+                ((word >> 20) & 0x1f) as i32
+            } else {
+                imm
+            };
+            AluImm { op, rd: d, rs1: s1, imm }
+        }
+        OP_ALU => {
+            if f7 == 1 {
+                let op = match f3 {
+                    0b000 => MulOp::Mul,
+                    0b001 => MulOp::Mulh,
+                    0b010 => MulOp::Mulhsu,
+                    0b011 => MulOp::Mulhu,
+                    0b100 => MulOp::Div,
+                    0b101 => MulOp::Divu,
+                    0b110 => MulOp::Rem,
+                    _ => MulOp::Remu,
+                };
+                MulDiv { op, rd: d, rs1: s1, rs2: s2 }
+            } else {
+                let op = match (f3, f7) {
+                    (0b000, 0) => AluOp::Add,
+                    (0b000, 0b0100000) => AluOp::Sub,
+                    (0b001, 0) => AluOp::Sll,
+                    (0b010, 0) => AluOp::Slt,
+                    (0b011, 0) => AluOp::Sltu,
+                    (0b100, 0) => AluOp::Xor,
+                    (0b101, 0) => AluOp::Srl,
+                    (0b101, 0b0100000) => AluOp::Sra,
+                    (0b110, 0) => AluOp::Or,
+                    (0b111, 0) => AluOp::And,
+                    _ => return illegal,
+                };
+                Alu { op, rd: d, rs1: s1, rs2: s2 }
+            }
+        }
+        OP_MISC_MEM => Fence,
+        OP_SYSTEM => {
+            if bit(word, 20) == 1 {
+                Ebreak
+            } else {
+                Ecall
+            }
+        }
+        _ => return illegal,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(i: Instr) {
+        let w = encode(&i).unwrap();
+        assert_eq!(decode(w).unwrap(), i, "{i}");
+    }
+
+    #[test]
+    fn encode_decode_representatives() {
+        use Instr::*;
+        roundtrip(Lui { rd: Reg::A0, imm20: -1 }); // negative imm20 (0xfffff)
+        roundtrip(Lui { rd: Reg::A0, imm20: 0x7ffff }); // max positive
+        roundtrip(Auipc { rd: Reg::A1, imm20: 77 });
+        roundtrip(Jal { rd: Reg::RA, offset: -2048 });
+        roundtrip(Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 });
+        roundtrip(Branch { op: BranchOp::Ltu, rs1: Reg::A0, rs2: Reg::A1, offset: 4094 });
+        roundtrip(Load { op: LoadOp::Lhu, rd: Reg::A2, rs1: Reg::SP, offset: -4 });
+        roundtrip(Store { op: StoreOp::Sb, rs2: Reg::A2, rs1: Reg::SP, offset: 31 });
+        roundtrip(AluImm { op: AluOp::Sra, rd: Reg::A0, rs1: Reg::A0, imm: 31 });
+        roundtrip(AluImm { op: AluOp::And, rd: Reg::A0, rs1: Reg::A0, imm: -1 });
+        roundtrip(Alu { op: AluOp::Sub, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 });
+        roundtrip(MulDiv { op: MulOp::Remu, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 });
+        roundtrip(Fence);
+        roundtrip(Ecall);
+        roundtrip(Ebreak);
+    }
+
+    #[test]
+    fn canonical_nop_encoding() {
+        // addi x0, x0, 0 == 0x00000013, the canonical RISC-V NOP.
+        let nop = Instr::AluImm { op: AluOp::Add, rd: Reg::ZERO, rs1: Reg::ZERO, imm: 0 };
+        assert_eq!(encode(&nop).unwrap(), 0x0000_0013);
+    }
+
+    #[test]
+    fn known_encodings() {
+        // addi a0, zero, 42 => 0x02a00513
+        let li = Instr::AluImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::ZERO, imm: 42 };
+        assert_eq!(encode(&li).unwrap(), 0x02a0_0513);
+        // add a0, a1, a2 => 0x00c58533
+        let add = Instr::Alu { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 };
+        assert_eq!(encode(&add).unwrap(), 0x00c5_8533);
+        // ebreak => 0x00100073
+        assert_eq!(encode(&Instr::Ebreak).unwrap(), 0x0010_0073);
+    }
+
+    #[test]
+    fn range_errors() {
+        let b = Instr::Branch {
+            op: BranchOp::Eq,
+            rs1: Reg::A0,
+            rs2: Reg::A1,
+            offset: 5000,
+        };
+        assert!(encode(&b).is_err());
+        let subi = Instr::AluImm { op: AluOp::Sub, rd: Reg::A0, rs1: Reg::A0, imm: 1 };
+        assert!(encode(&subi).is_err());
+        let negshift = Instr::AluImm { op: AluOp::Sll, rd: Reg::A0, rs1: Reg::A0, imm: -1 };
+        assert!(encode(&negshift).is_err());
+    }
+}

@@ -1,0 +1,108 @@
+//! Error types of the RV32 substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from RV32 assembly, encoding and simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Rv32Error {
+    /// A register index was outside 0..=31.
+    RegisterIndex {
+        /// The offending index.
+        index: usize,
+    },
+    /// A register name was not recognized.
+    UnknownRegister {
+        /// The name as written.
+        name: String,
+    },
+    /// An assembly-source problem, tagged with its 1-based line.
+    Assembly {
+        /// Line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// An immediate did not fit its encoding field.
+    ImmediateRange {
+        /// Mnemonic whose field overflowed.
+        mnemonic: &'static str,
+        /// The value.
+        value: i64,
+        /// Bits available (including sign).
+        bits: u32,
+    },
+    /// A memory access faulted (out of range or misaligned).
+    MemoryFault {
+        /// PC (byte address) of the faulting instruction.
+        pc: u32,
+        /// The data address that faulted.
+        address: u32,
+        /// Human-readable cause ("out of range", "misaligned load", …).
+        cause: &'static str,
+    },
+    /// The PC left the text section.
+    PcOutOfRange {
+        /// The PC value.
+        pc: u32,
+        /// Text size in bytes.
+        text_bytes: usize,
+    },
+    /// The step/cycle budget was exhausted before the program halted.
+    Timeout {
+        /// The exhausted budget.
+        limit: u64,
+    },
+    /// A word did not decode to a supported instruction.
+    IllegalInstruction {
+        /// The raw 32-bit word.
+        word: u32,
+    },
+}
+
+impl fmt::Display for Rv32Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rv32Error::RegisterIndex { index } => {
+                write!(f, "register index {index} outside x0..x31")
+            }
+            Rv32Error::UnknownRegister { name } => write!(f, "unknown register {name:?}"),
+            Rv32Error::Assembly { line, message } => write!(f, "line {line}: {message}"),
+            Rv32Error::ImmediateRange { mnemonic, value, bits } => {
+                write!(f, "{mnemonic} immediate {value} does not fit {bits} bits")
+            }
+            Rv32Error::MemoryFault { pc, address, cause } => {
+                write!(f, "memory fault at pc={pc:#x}, address {address:#x}: {cause}")
+            }
+            Rv32Error::PcOutOfRange { pc, text_bytes } => {
+                write!(f, "pc {pc:#x} outside text of {text_bytes} bytes")
+            }
+            Rv32Error::Timeout { limit } => write!(f, "no halt within {limit} steps"),
+            Rv32Error::IllegalInstruction { word } => {
+                write!(f, "illegal instruction word {word:#010x}")
+            }
+        }
+    }
+}
+
+impl Error for Rv32Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(Rv32Error::Timeout { limit: 5 }.to_string().contains('5'));
+        assert!(Rv32Error::IllegalInstruction { word: 0xdead_beef }
+            .to_string()
+            .contains("0xdeadbeef"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Rv32Error>();
+    }
+}

@@ -1,0 +1,60 @@
+//! # `rv32` — the binary-ISA substrate of the ART-9 evaluation
+//!
+//! Everything the paper's comparisons need from the RISC-V world, built
+//! from scratch:
+//!
+//! * [`Instr`] / [`Reg`] — the RV32I base ISA plus the M extension.
+//! * [`parse_program`] — an assembler for the GNU-as subset the
+//!   workloads use, with the standard pseudo-instructions.
+//! * [`encode`] / [`decode`] — the real 32-bit encodings (Fig. 5 counts
+//!   32 bits per instruction).
+//! * [`Machine`] — a functional RV32IM simulator.
+//! * [`PicoRv32Model`] / [`VexRiscvModel`] + [`simulate_cycles`] — the
+//!   cycle models behind Tables II and III.
+//! * [`estimate_thumb`] — the ARMv6-M code-size estimator behind
+//!   Fig. 5's third column.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use rv32::{parse_program, simulate_cycles, Machine, PicoRv32Model, Reg};
+//!
+//! let p = parse_program("
+//!     li   a0, 10
+//!     li   a1, 1
+//! fact:
+//!     mul  a1, a1, a0
+//!     addi a0, a0, -1
+//!     bgtz a0, fact
+//!     ebreak
+//! ")?;
+//!
+//! let mut m = Machine::new(&p);
+//! m.run(100_000)?;
+//! assert_eq!(m.reg(Reg::A1), 3_628_800); // 10!
+//!
+//! let timing = simulate_cycles(&p, &mut PicoRv32Model::new(), 100_000)?;
+//! println!("PicoRV32 CPI: {:.2}", timing.cpi());
+//! # Ok::<(), rv32::Rv32Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cycle;
+mod encode;
+mod error;
+mod exec;
+mod instr;
+mod parse;
+mod reg;
+mod thumb;
+
+pub use cycle::{simulate_cycles, CycleModel, CycleReport, PicoRv32Model, VexRiscvModel};
+pub use encode::{decode, encode};
+pub use error::Rv32Error;
+pub use exec::{HaltReason, Machine, Retire, DEFAULT_MEM_BYTES};
+pub use instr::{AluOp, BranchOp, Instr, LoadOp, MulOp, StoreOp};
+pub use parse::{parse_program, Rv32Program, DATA_BASE};
+pub use reg::Reg;
+pub use thumb::{estimate_thumb, thumb_halfwords, ThumbEstimate};

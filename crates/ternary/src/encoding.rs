@@ -1,0 +1,206 @@
+//! Binary-coded balanced ternary (BCT) packing, after Frieder & Luk
+//! ("Algorithms for binary coded balanced and ordinary ternary
+//! operations", IEEE Trans. Comput., 1975 — reference \[27\] of the paper).
+//!
+//! The FPGA verification platform of the paper emulates every ternary
+//! building block with binary modules by encoding each trit in two bits:
+//!
+//! | trit | bits (`hi`,`lo`) |
+//! |------|------------------|
+//! |  0   | `00`             |
+//! | +1   | `01`             |
+//! | −1   | `10`             |
+//!
+//! The pair `11` is unused and decodes to an error. A 9-trit word packs
+//! into 18 bits — this is where Table V's 9 216 RAM bits
+//! (2 memories × 256 words × 18 bits) come from.
+
+use crate::error::TernaryError;
+use crate::trit::Trit;
+use crate::word::Trits;
+
+/// Encodes one trit as its 2-bit BCT pair (`hi << 1 | lo`).
+///
+/// # Examples
+///
+/// ```
+/// use ternary::{encoding, Trit};
+/// assert_eq!(encoding::trit_to_bits(Trit::Z), 0b00);
+/// assert_eq!(encoding::trit_to_bits(Trit::P), 0b01);
+/// assert_eq!(encoding::trit_to_bits(Trit::N), 0b10);
+/// ```
+#[inline]
+pub const fn trit_to_bits(t: Trit) -> u8 {
+    match t {
+        Trit::Z => 0b00,
+        Trit::P => 0b01,
+        Trit::N => 0b10,
+    }
+}
+
+/// Decodes a 2-bit BCT pair back to a trit.
+///
+/// # Errors
+///
+/// Returns [`TernaryError::InvalidBctPair`] for the unused pair `0b11`
+/// (reported at trit index 0) and for any value above `0b11`.
+///
+/// # Examples
+///
+/// ```
+/// use ternary::{encoding, Trit};
+/// assert_eq!(encoding::bits_to_trit(0b10)?, Trit::N);
+/// assert!(encoding::bits_to_trit(0b11).is_err());
+/// # Ok::<(), ternary::TernaryError>(())
+/// ```
+#[inline]
+pub const fn bits_to_trit(bits: u8) -> Result<Trit, TernaryError> {
+    match bits {
+        0b00 => Ok(Trit::Z),
+        0b01 => Ok(Trit::P),
+        0b10 => Ok(Trit::N),
+        _ => Err(TernaryError::InvalidBctPair { index: 0 }),
+    }
+}
+
+/// Packs an `N`-trit word into the low `2N` bits of a `u64`, trit 0 in
+/// the two least-significant bits.
+///
+/// # Panics
+///
+/// Panics if `2 * N > 64` (words wider than 32 trits).
+///
+/// # Examples
+///
+/// ```
+/// use ternary::{encoding, Word9};
+/// let w = Word9::from_i64(8)?; // trits (lsb first): -, 0, +
+/// assert_eq!(encoding::pack(&w), 0b01_00_10);
+/// # Ok::<(), ternary::TernaryError>(())
+/// ```
+pub fn pack<const N: usize>(word: &Trits<N>) -> u64 {
+    assert!(2 * N <= 64, "BCT packing supports at most 32 trits");
+    let mut acc = 0u64;
+    for (i, t) in word.trits().iter().enumerate() {
+        acc |= (trit_to_bits(*t) as u64) << (2 * i);
+    }
+    acc
+}
+
+/// Unpacks a BCT-encoded `u64` (as produced by [`pack`]) into a word.
+///
+/// # Errors
+///
+/// Returns [`TernaryError::InvalidBctPair`] (with the offending trit
+/// index) when any 2-bit pair is `11`.
+///
+/// # Examples
+///
+/// ```
+/// use ternary::{encoding, Word9};
+/// let w = Word9::from_i64(-1234)?;
+/// assert_eq!(encoding::unpack::<9>(encoding::pack(&w))?, w);
+/// # Ok::<(), ternary::TernaryError>(())
+/// ```
+pub fn unpack<const N: usize>(bits: u64) -> Result<Trits<N>, TernaryError> {
+    assert!(2 * N <= 64, "BCT packing supports at most 32 trits");
+    let mut trits = [Trit::Z; N];
+    for (i, t) in trits.iter_mut().enumerate() {
+        let pair = ((bits >> (2 * i)) & 0b11) as u8;
+        *t = bits_to_trit(pair).map_err(|_| TernaryError::InvalidBctPair { index: i })?;
+    }
+    Ok(Trits::from_trits(trits))
+}
+
+/// Number of bits a BCT-encoded `N`-trit word occupies (2 bits per trit).
+///
+/// This is the unit behind the paper's FPGA RAM accounting (Table V).
+///
+/// # Examples
+///
+/// ```
+/// use ternary::encoding;
+/// assert_eq!(encoding::packed_bits(9), 18);
+/// ```
+#[inline]
+pub const fn packed_bits(trits: usize) -> usize {
+    2 * trits
+}
+
+/// BCT addition performed purely on packed operands, as the FPGA
+/// emulation's binary modules would: unpack, ripple-add in the trit
+/// domain, repack. Returns the packed wrapped sum.
+///
+/// # Errors
+///
+/// Returns [`TernaryError::InvalidBctPair`] if either operand contains an
+/// invalid pair.
+///
+/// # Examples
+///
+/// ```
+/// use ternary::{encoding, Word9};
+/// let a = encoding::pack(&Word9::from_i64(700)?);
+/// let b = encoding::pack(&Word9::from_i64(-512)?);
+/// let s = encoding::packed_add::<9>(a, b)?;
+/// assert_eq!(encoding::unpack::<9>(s)?.to_i64(), 188);
+/// # Ok::<(), ternary::TernaryError>(())
+/// ```
+pub fn packed_add<const N: usize>(a: u64, b: u64) -> Result<u64, TernaryError> {
+    let wa = unpack::<N>(a)?;
+    let wb = unpack::<N>(b)?;
+    Ok(pack(&wa.wrapping_add(wb)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::word::Word9;
+
+    #[test]
+    fn single_trit_encodings() {
+        assert_eq!(trit_to_bits(Trit::Z), 0b00);
+        assert_eq!(trit_to_bits(Trit::P), 0b01);
+        assert_eq!(trit_to_bits(Trit::N), 0b10);
+        for t in crate::trit::ALL_TRITS {
+            assert_eq!(bits_to_trit(trit_to_bits(t)).unwrap(), t);
+        }
+        assert!(bits_to_trit(0b11).is_err());
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip_word9() {
+        for v in [-9841i64, -100, -1, 0, 1, 8, 100, 9841] {
+            let w = Word9::from_i64(v).unwrap();
+            let packed = pack(&w);
+            assert!(packed < (1 << 18), "9 trits fit in 18 bits");
+            assert_eq!(unpack::<9>(packed).unwrap(), w);
+        }
+    }
+
+    #[test]
+    fn unpack_reports_invalid_pair_index() {
+        // Pair `11` at trit 2.
+        let bad = 0b11 << 4;
+        match unpack::<9>(bad) {
+            Err(TernaryError::InvalidBctPair { index }) => assert_eq!(index, 2),
+            other => panic!("expected InvalidBctPair, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn packed_bits_accounting_matches_table5() {
+        // Table V: two 256-word memories of 9-trit words = 9216 bits.
+        assert_eq!(2 * 256 * packed_bits(9), 9216);
+    }
+
+    #[test]
+    fn packed_add_matches_word_add() {
+        for (a, b) in [(700i64, -512i64), (9841, 1), (-9841, -1), (0, 0)] {
+            let wa = Word9::from_i64_wrapping(a);
+            let wb = Word9::from_i64_wrapping(b);
+            let s = packed_add::<9>(pack(&wa), pack(&wb)).unwrap();
+            assert_eq!(unpack::<9>(s).unwrap(), wa.wrapping_add(wb));
+        }
+    }
+}

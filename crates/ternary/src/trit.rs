@@ -1,0 +1,513 @@
+//! The balanced ternary digit ([`Trit`]) and its logic operations.
+//!
+//! A balanced trit takes one of the three values −1, 0, +1 (paper §II-A).
+//! The logic operations reproduce the truth tables of Fig. 1 of the paper:
+//! AND is the ternary minimum, OR the ternary maximum, XOR the negated
+//! "consensus-style" product used by the ART-9 TALU, and the three
+//! inverters STI/NTI/PTI are the standard, negative and positive ternary
+//! inverters of the balanced system.
+
+use std::fmt;
+use std::ops::Neg;
+
+use crate::error::TernaryError;
+
+/// A balanced ternary digit: −1, 0 or +1.
+///
+/// `Trit` is the atom of every data type in this workspace. The variant
+/// names follow the common balanced-ternary convention: [`Trit::N`] for
+/// −1 ("negative"), [`Trit::Z`] for 0 ("zero") and [`Trit::P`] for +1
+/// ("positive").
+///
+/// # Examples
+///
+/// ```
+/// use ternary::Trit;
+///
+/// let t = Trit::P;
+/// assert_eq!(t.value(), 1);
+/// assert_eq!(-t, Trit::N);
+/// assert_eq!(t.and(Trit::Z), Trit::Z); // min
+/// assert_eq!(t.or(Trit::Z), Trit::P);  // max
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Trit {
+    /// −1.
+    N,
+    /// 0. The default value, matching a cleared ternary register.
+    #[default]
+    Z,
+    /// +1.
+    P,
+}
+
+/// All three trit values in ascending order (−1, 0, +1).
+///
+/// Useful for exhaustive truth-table iteration in tests and for printing
+/// Fig. 1 of the paper.
+pub const ALL_TRITS: [Trit; 3] = [Trit::N, Trit::Z, Trit::P];
+
+impl Trit {
+    /// Returns the numeric value of the trit: −1, 0 or +1.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ternary::Trit;
+    /// assert_eq!(Trit::N.value(), -1);
+    /// assert_eq!(Trit::Z.value(), 0);
+    /// assert_eq!(Trit::P.value(), 1);
+    /// ```
+    #[inline]
+    pub const fn value(self) -> i8 {
+        match self {
+            Trit::N => -1,
+            Trit::Z => 0,
+            Trit::P => 1,
+        }
+    }
+
+    /// Builds a trit from a numeric value in {−1, 0, +1}.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TernaryError::TritRange`] when `v` is outside {−1, 0, 1}.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ternary::Trit;
+    /// assert_eq!(Trit::try_from_i8(-1)?, Trit::N);
+    /// assert!(Trit::try_from_i8(2).is_err());
+    /// # Ok::<(), ternary::TernaryError>(())
+    /// ```
+    #[inline]
+    pub const fn try_from_i8(v: i8) -> Result<Self, TernaryError> {
+        match v {
+            -1 => Ok(Trit::N),
+            0 => Ok(Trit::Z),
+            1 => Ok(Trit::P),
+            _ => Err(TernaryError::TritRange { value: v as i64 }),
+        }
+    }
+
+    /// Ternary AND: the minimum of the two operands (Fig. 1).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ternary::Trit;
+    /// assert_eq!(Trit::P.and(Trit::N), Trit::N);
+    /// assert_eq!(Trit::Z.and(Trit::P), Trit::Z);
+    /// ```
+    #[inline]
+    pub const fn and(self, rhs: Self) -> Self {
+        if self.value() <= rhs.value() {
+            self
+        } else {
+            rhs
+        }
+    }
+
+    /// Ternary OR: the maximum of the two operands (Fig. 1).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ternary::Trit;
+    /// assert_eq!(Trit::P.or(Trit::N), Trit::P);
+    /// assert_eq!(Trit::Z.or(Trit::N), Trit::Z);
+    /// ```
+    #[inline]
+    pub const fn or(self, rhs: Self) -> Self {
+        if self.value() >= rhs.value() {
+            self
+        } else {
+            rhs
+        }
+    }
+
+    /// Ternary XOR (Fig. 1): the negated product of the operands.
+    ///
+    /// In the balanced system the conventional ternary XOR used by the
+    /// ART-9 TALU is `−(a·b)`: it is 0 whenever either input is 0,
+    /// −1 when the inputs agree in sign and +1 when they differ — the
+    /// direct generalization of the two-valued XOR once −1/+1 are read as
+    /// the two binary levels.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ternary::Trit;
+    /// assert_eq!(Trit::P.xor(Trit::P), Trit::N); // agree  -> -1
+    /// assert_eq!(Trit::P.xor(Trit::N), Trit::P); // differ -> +1
+    /// assert_eq!(Trit::P.xor(Trit::Z), Trit::Z); // zero dominates
+    /// ```
+    #[inline]
+    pub const fn xor(self, rhs: Self) -> Self {
+        match -(self.value() * rhs.value()) {
+            -1 => Trit::N,
+            1 => Trit::P,
+            _ => Trit::Z,
+        }
+    }
+
+    /// Standard ternary inverter (STI): full negation, −x (Fig. 1).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ternary::Trit;
+    /// assert_eq!(Trit::P.sti(), Trit::N);
+    /// assert_eq!(Trit::Z.sti(), Trit::Z);
+    /// ```
+    #[inline]
+    pub const fn sti(self) -> Self {
+        match self {
+            Trit::N => Trit::P,
+            Trit::Z => Trit::Z,
+            Trit::P => Trit::N,
+        }
+    }
+
+    /// Negative ternary inverter (NTI): maps 0 to −1, otherwise negates
+    /// (Fig. 1). Equivalently: +1 ↦ −1, everything else ↦ the "low" rail
+    /// except −1 ↦ +1.
+    ///
+    /// Truth table: NTI(−1) = +1, NTI(0) = −1, NTI(+1) = −1.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ternary::Trit;
+    /// assert_eq!(Trit::Z.nti(), Trit::N);
+    /// assert_eq!(Trit::N.nti(), Trit::P);
+    /// ```
+    #[inline]
+    pub const fn nti(self) -> Self {
+        match self {
+            Trit::N => Trit::P,
+            Trit::Z => Trit::N,
+            Trit::P => Trit::N,
+        }
+    }
+
+    /// Positive ternary inverter (PTI): maps 0 to +1, otherwise negates
+    /// (Fig. 1).
+    ///
+    /// Truth table: PTI(−1) = +1, PTI(0) = +1, PTI(+1) = −1.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ternary::Trit;
+    /// assert_eq!(Trit::Z.pti(), Trit::P);
+    /// assert_eq!(Trit::P.pti(), Trit::N);
+    /// ```
+    #[inline]
+    pub const fn pti(self) -> Self {
+        match self {
+            Trit::N => Trit::P,
+            Trit::Z => Trit::P,
+            Trit::P => Trit::N,
+        }
+    }
+
+    /// Single-trit full addition: returns `(sum, carry)` with
+    /// `a + b + cin = sum + 3·carry` and both outputs balanced trits.
+    ///
+    /// This is the behavioural model of the ternary full-adder cell used
+    /// by the gate-level analyzer; the identity above is property-tested.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ternary::Trit;
+    /// // (+1) + (+1) = +2 = (−1) + 3·(+1)
+    /// assert_eq!(Trit::P.full_add(Trit::P, Trit::Z), (Trit::N, Trit::P));
+    /// ```
+    #[inline]
+    pub const fn full_add(self, rhs: Self, cin: Self) -> (Self, Self) {
+        let total = self.value() + rhs.value() + cin.value(); // in [-3, 3]
+        // Balanced decomposition: total = sum + 3*carry, sum in [-1,1].
+        let (sum, carry) = match total {
+            -3 => (0i8, -1i8),
+            -2 => (1, -1),
+            -1 => (-1, 0),
+            0 => (0, 0),
+            1 => (1, 0),
+            2 => (-1, 1),
+            _ => (0, 1), // 3
+        };
+        (
+            match sum {
+                -1 => Trit::N,
+                1 => Trit::P,
+                _ => Trit::Z,
+            },
+            match carry {
+                -1 => Trit::N,
+                1 => Trit::P,
+                _ => Trit::Z,
+            },
+        )
+    }
+
+    /// Single-trit multiplication (closed over {−1, 0, +1}).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ternary::Trit;
+    /// assert_eq!(Trit::N.mul(Trit::N), Trit::P);
+    /// assert_eq!(Trit::N.mul(Trit::Z), Trit::Z);
+    /// ```
+    #[inline]
+    pub const fn mul(self, rhs: Self) -> Self {
+        match self.value() * rhs.value() {
+            -1 => Trit::N,
+            1 => Trit::P,
+            _ => Trit::Z,
+        }
+    }
+
+    /// Returns `true` when the trit is zero.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        matches!(self, Trit::Z)
+    }
+
+    /// The canonical display character of the trit: `-`, `0` or `+`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ternary::Trit;
+    /// assert_eq!(Trit::N.to_char(), '-');
+    /// assert_eq!(Trit::P.to_char(), '+');
+    /// ```
+    #[inline]
+    pub const fn to_char(self) -> char {
+        match self {
+            Trit::N => '-',
+            Trit::Z => '0',
+            Trit::P => '+',
+        }
+    }
+
+    /// Parses a trit from its display character.
+    ///
+    /// Accepts `-`/`0`/`+` and the alternative ASCII spellings `N`/`Z`/`P`
+    /// (case-insensitive) and `T` for −1 (the "T for minus" convention of
+    /// some balanced-ternary literature).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TernaryError::TritChar`] for any other character.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ternary::Trit;
+    /// assert_eq!(Trit::try_from_char('+')?, Trit::P);
+    /// assert_eq!(Trit::try_from_char('T')?, Trit::N);
+    /// assert!(Trit::try_from_char('x').is_err());
+    /// # Ok::<(), ternary::TernaryError>(())
+    /// ```
+    pub fn try_from_char(c: char) -> Result<Self, TernaryError> {
+        match c {
+            '-' | 'N' | 'n' | 'T' | 't' => Ok(Trit::N),
+            '0' | 'Z' | 'z' => Ok(Trit::Z),
+            '+' | 'P' | 'p' | '1' => Ok(Trit::P),
+            _ => Err(TernaryError::TritChar { found: c }),
+        }
+    }
+}
+
+impl Neg for Trit {
+    type Output = Trit;
+
+    /// Negation is the standard ternary inverter (STI).
+    #[inline]
+    fn neg(self) -> Trit {
+        self.sti()
+    }
+}
+
+impl fmt::Display for Trit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_char())
+    }
+}
+
+impl From<Trit> for i8 {
+    #[inline]
+    fn from(t: Trit) -> i8 {
+        t.value()
+    }
+}
+
+impl From<Trit> for i64 {
+    #[inline]
+    fn from(t: Trit) -> i64 {
+        t.value() as i64
+    }
+}
+
+impl TryFrom<i8> for Trit {
+    type Error = TernaryError;
+
+    fn try_from(v: i8) -> Result<Self, Self::Error> {
+        Trit::try_from_i8(v)
+    }
+}
+
+impl TryFrom<i64> for Trit {
+    type Error = TernaryError;
+
+    fn try_from(v: i64) -> Result<Self, Self::Error> {
+        match v {
+            -1 => Ok(Trit::N),
+            0 => Ok(Trit::Z),
+            1 => Ok(Trit::P),
+            _ => Err(TernaryError::TritRange { value: v }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_roundtrip() {
+        for t in ALL_TRITS {
+            assert_eq!(Trit::try_from_i8(t.value()).unwrap(), t);
+        }
+    }
+
+    #[test]
+    fn try_from_rejects_out_of_range() {
+        assert!(Trit::try_from_i8(2).is_err());
+        assert!(Trit::try_from_i8(-2).is_err());
+        assert!(Trit::try_from(5i64).is_err());
+    }
+
+    #[test]
+    fn and_is_min_exhaustive() {
+        // Fig. 1, AND table.
+        for a in ALL_TRITS {
+            for b in ALL_TRITS {
+                assert_eq!(a.and(b).value(), a.value().min(b.value()));
+            }
+        }
+    }
+
+    #[test]
+    fn or_is_max_exhaustive() {
+        // Fig. 1, OR table.
+        for a in ALL_TRITS {
+            for b in ALL_TRITS {
+                assert_eq!(a.or(b).value(), a.value().max(b.value()));
+            }
+        }
+    }
+
+    #[test]
+    fn xor_matches_negated_product() {
+        // Fig. 1, XOR table.
+        for a in ALL_TRITS {
+            for b in ALL_TRITS {
+                assert_eq!(a.xor(b).value(), -(a.value() * b.value()));
+            }
+        }
+    }
+
+    #[test]
+    fn xor_is_commutative_and_zero_absorbing() {
+        for a in ALL_TRITS {
+            assert_eq!(a.xor(Trit::Z), Trit::Z);
+            for b in ALL_TRITS {
+                assert_eq!(a.xor(b), b.xor(a));
+            }
+        }
+    }
+
+    #[test]
+    fn inverters_match_fig1() {
+        // STI: -1->+1, 0->0, +1->-1
+        assert_eq!(Trit::N.sti(), Trit::P);
+        assert_eq!(Trit::Z.sti(), Trit::Z);
+        assert_eq!(Trit::P.sti(), Trit::N);
+        // NTI: -1->+1, 0->-1, +1->-1
+        assert_eq!(Trit::N.nti(), Trit::P);
+        assert_eq!(Trit::Z.nti(), Trit::N);
+        assert_eq!(Trit::P.nti(), Trit::N);
+        // PTI: -1->+1, 0->+1, +1->-1
+        assert_eq!(Trit::N.pti(), Trit::P);
+        assert_eq!(Trit::Z.pti(), Trit::P);
+        assert_eq!(Trit::P.pti(), Trit::N);
+    }
+
+    #[test]
+    fn sti_is_involutive() {
+        for t in ALL_TRITS {
+            assert_eq!(t.sti().sti(), t);
+        }
+    }
+
+    #[test]
+    fn neg_operator_is_sti() {
+        for t in ALL_TRITS {
+            assert_eq!(-t, t.sti());
+        }
+    }
+
+    #[test]
+    fn full_add_identity_exhaustive() {
+        for a in ALL_TRITS {
+            for b in ALL_TRITS {
+                for c in ALL_TRITS {
+                    let (s, k) = a.full_add(b, c);
+                    assert_eq!(
+                        a.value() + b.value() + c.value(),
+                        s.value() + 3 * k.value(),
+                        "full_add({a:?},{b:?},{c:?})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mul_exhaustive() {
+        for a in ALL_TRITS {
+            for b in ALL_TRITS {
+                assert_eq!(a.mul(b).value(), a.value() * b.value());
+            }
+        }
+    }
+
+    #[test]
+    fn char_roundtrip() {
+        for t in ALL_TRITS {
+            assert_eq!(Trit::try_from_char(t.to_char()).unwrap(), t);
+        }
+        assert_eq!(Trit::try_from_char('T').unwrap(), Trit::N);
+        assert_eq!(Trit::try_from_char('1').unwrap(), Trit::P);
+        assert!(Trit::try_from_char('?').is_err());
+    }
+
+    #[test]
+    fn display_is_nonempty_and_ordered() {
+        assert_eq!(Trit::N.to_string(), "-");
+        assert_eq!(Trit::Z.to_string(), "0");
+        assert_eq!(Trit::P.to_string(), "+");
+        assert!(Trit::N < Trit::Z && Trit::Z < Trit::P);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(Trit::default(), Trit::Z);
+    }
+}

@@ -1,0 +1,845 @@
+//! Fixed-width balanced-ternary words ([`Trits<N>`]) and the 9-trit
+//! machine word ([`Word9`]) of the ART-9 processor.
+//!
+//! A word stores its trits little-endian: index 0 is the least significant
+//! trit (LST in the paper's terminology). An `N`-trit balanced word covers
+//! the symmetric integer range `[-(3^N-1)/2, +(3^N-1)/2]`; for the ART-9
+//! machine word (`N = 9`) that is −9841..=9841.
+//!
+//! Arithmetic wraps modulo `3^N` onto the symmetric range — the balanced
+//! analogue of two's-complement wrap-around — which is exactly what a
+//! ripple-carry ternary adder that discards its carry-out computes.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Neg, Sub};
+use std::str::FromStr;
+
+use crate::error::TernaryError;
+use crate::trit::Trit;
+
+/// Returns 3^n as an `i64`.
+///
+/// # Panics
+///
+/// Panics if `n > 39` (3^40 overflows `i64`).
+#[inline]
+pub const fn pow3(n: usize) -> i64 {
+    assert!(n <= 39, "3^n overflows i64 for n > 39");
+    let mut acc = 1i64;
+    let mut i = 0;
+    while i < n {
+        acc *= 3;
+        i += 1;
+    }
+    acc
+}
+
+/// A fixed-width balanced-ternary word of `N` trits, little-endian.
+///
+/// The workhorse instantiation is [`Word9`], the ART-9 machine word; the
+/// assembler and the gate-level analyzer also use narrower widths for
+/// instruction fields (e.g. `Trits<2>` register indices, `Trits<5>`
+/// immediates).
+///
+/// # Examples
+///
+/// ```
+/// use ternary::{Trit, Word9};
+///
+/// let a = Word9::from_i64(100)?;
+/// let b = Word9::from_i64(-42)?;
+/// assert_eq!((a + b).to_i64(), 58);
+/// assert_eq!((-a).to_i64(), -100);
+/// assert_eq!(a.trit(0), Trit::P); // 100 = +1 -1 0 +1 0 +1 reading down
+/// # Ok::<(), ternary::TernaryError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Trits<const N: usize> {
+    trits: [Trit; N],
+}
+
+/// The 9-trit machine word of the ART-9 processor (range −9841..=9841).
+pub type Word9 = Trits<9>;
+
+impl<const N: usize> Default for Trits<N> {
+    fn default() -> Self {
+        Self::ZERO
+    }
+}
+
+impl<const N: usize> Trits<N> {
+    /// The all-zero word.
+    pub const ZERO: Self = Self {
+        trits: [Trit::Z; N],
+    };
+
+    /// The most positive representable word, `(3^N − 1) / 2` (all trits +1).
+    pub const MAX: Self = Self {
+        trits: [Trit::P; N],
+    };
+
+    /// The most negative representable word, `−(3^N − 1) / 2` (all trits −1).
+    pub const MIN: Self = Self {
+        trits: [Trit::N; N],
+    };
+
+    /// Largest magnitude representable: `(3^N − 1) / 2`.
+    pub const MAX_VALUE: i64 = (pow3(N) - 1) / 2;
+
+    /// Number of distinct values, `3^N`.
+    pub const MODULUS: i64 = pow3(N);
+
+    /// Width of the word in trits.
+    pub const WIDTH: usize = N;
+
+    /// Builds a word directly from its trits (index 0 = least significant).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ternary::{Trit, Trits};
+    /// let w = Trits::<3>::from_trits([Trit::P, Trit::Z, Trit::N]);
+    /// assert_eq!(w.to_i64(), 1 + 0 * 3 - 9);
+    /// ```
+    #[inline]
+    pub const fn from_trits(trits: [Trit; N]) -> Self {
+        Self { trits }
+    }
+
+    /// A view of the trits, index 0 least significant.
+    #[inline]
+    pub const fn trits(&self) -> &[Trit; N] {
+        &self.trits
+    }
+
+    /// Converts an integer that must fit the word exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TernaryError::WordRange`] when `v` is outside
+    /// `[-MAX_VALUE, MAX_VALUE]`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ternary::Word9;
+    /// assert_eq!(Word9::from_i64(9841)?.to_i64(), 9841);
+    /// assert!(Word9::from_i64(9842).is_err());
+    /// # Ok::<(), ternary::TernaryError>(())
+    /// ```
+    pub fn from_i64(v: i64) -> Result<Self, TernaryError> {
+        if v < -Self::MAX_VALUE || v > Self::MAX_VALUE {
+            return Err(TernaryError::WordRange {
+                value: v,
+                width: N,
+                max: Self::MAX_VALUE,
+            });
+        }
+        Ok(Self::from_i64_wrapping(v))
+    }
+
+    /// Converts an integer, wrapping modulo `3^N` onto the symmetric range.
+    ///
+    /// This is the balanced-ternary analogue of `as` casts between binary
+    /// integer widths and models what the datapath registers actually hold
+    /// after an overflowing operation.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ternary::Word9;
+    /// // 9842 wraps to the bottom of the range.
+    /// assert_eq!(Word9::from_i64_wrapping(9842).to_i64(), -9841);
+    /// ```
+    pub fn from_i64_wrapping(v: i64) -> Self {
+        let m = Self::MODULUS;
+        let max = Self::MAX_VALUE;
+        // Shift into [0, m), then back to the symmetric range.
+        let mut rem = ((v % m) + m) % m; // non-negative residue
+        if rem > max {
+            rem -= m;
+        }
+        let mut trits = [Trit::Z; N];
+        let mut x = rem;
+        for t in trits.iter_mut() {
+            // Balanced digit extraction: remainder in {-1, 0, 1}.
+            let mut d = x % 3;
+            x /= 3;
+            if d > 1 {
+                d -= 3;
+                x += 1;
+            } else if d < -1 {
+                d += 3;
+                x -= 1;
+            }
+            *t = Trit::try_from_i8(d as i8).expect("digit in range by construction");
+        }
+        debug_assert_eq!(x, 0, "value fits after wrapping");
+        Self { trits }
+    }
+
+    /// Same as [`Trits::from_i64_wrapping`] for `i128` inputs; used by
+    /// multiplication where intermediate products overflow `i64`.
+    pub(crate) fn from_i128_wrapping(v: i128) -> Self {
+        let m = Self::MODULUS as i128;
+        let mut rem = ((v % m) + m) % m;
+        if rem > Self::MAX_VALUE as i128 {
+            rem -= m;
+        }
+        Self::from_i64_wrapping(rem as i64)
+    }
+
+    /// The numeric value of the word.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ternary::{Trit, Trits};
+    /// let w = Trits::<4>::from_trits([Trit::N, Trit::Z, Trit::Z, Trit::P]);
+    /// assert_eq!(w.to_i64(), -1 + 27);
+    /// ```
+    pub fn to_i64(&self) -> i64 {
+        let mut acc = 0i64;
+        for t in self.trits.iter().rev() {
+            acc = acc * 3 + t.value() as i64;
+        }
+        acc
+    }
+
+    /// The trit at position `i` (0 = least significant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= N`.
+    #[inline]
+    pub fn trit(&self, i: usize) -> Trit {
+        self.trits[i]
+    }
+
+    /// Returns a copy with the trit at position `i` replaced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= N`.
+    #[inline]
+    #[must_use]
+    pub fn with_trit(mut self, i: usize, t: Trit) -> Self {
+        self.trits[i] = t;
+        self
+    }
+
+    /// The least significant trit — the paper's "LST", used by COMP/BEQ/BNE.
+    #[inline]
+    pub fn lst(&self) -> Trit {
+        self.trits[0]
+    }
+
+    /// Extracts `M` consecutive trits starting at position `lo` as a
+    /// narrower word; the paper's field notation `X[hi:lo]` is
+    /// `x.field::<{hi - lo + 1}>(lo)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo + M > N`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ternary::Word9;
+    /// let w = Word9::from_i64(121)?; // 121 = +++++0000 little-endian
+    /// assert_eq!(w.field::<2>(0).to_i64(), 4); // low two trits: ++
+    /// # Ok::<(), ternary::TernaryError>(())
+    /// ```
+    pub fn field<const M: usize>(&self, lo: usize) -> Trits<M> {
+        assert!(lo + M <= N, "field [{}..{}] out of a {N}-trit word", lo, lo + M);
+        let mut out = [Trit::Z; M];
+        out.copy_from_slice(&self.trits[lo..lo + M]);
+        Trits::from_trits(out)
+    }
+
+    /// Returns a copy with `M` consecutive trits starting at `lo` replaced
+    /// by `value` — the store counterpart of [`Trits::field`]. Used by the
+    /// LI/LUI semantics that splice immediates into a register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo + M > N`.
+    #[must_use]
+    pub fn with_field<const M: usize>(mut self, lo: usize, value: Trits<M>) -> Self {
+        assert!(lo + M <= N, "field [{}..{}] out of a {N}-trit word", lo, lo + M);
+        self.trits[lo..lo + M].copy_from_slice(value.trits());
+        self
+    }
+
+    /// Widens (sign-extends) or narrows (truncates) to another width.
+    ///
+    /// Widening preserves the value exactly (balanced words need no
+    /// explicit sign trit — zero-fill *is* sign extension). Narrowing
+    /// keeps the low trits, wrapping the value like the hardware would.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ternary::{Trits, Word9};
+    /// let imm = Trits::<3>::from_i64(-13)?;
+    /// assert_eq!(imm.resize::<9>().to_i64(), -13);
+    /// # Ok::<(), ternary::TernaryError>(())
+    /// ```
+    pub fn resize<const M: usize>(&self) -> Trits<M> {
+        let mut out = [Trit::Z; M];
+        let k = M.min(N);
+        out[..k].copy_from_slice(&self.trits[..k]);
+        Trits::from_trits(out)
+    }
+
+    /// `true` when every trit is zero.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.trits.iter().all(|t| t.is_zero())
+    }
+
+    /// The sign of the word as a trit: the most significant non-zero trit,
+    /// or zero for the zero word. In balanced ternary this equals the sign
+    /// of the numeric value.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ternary::{Trit, Word9};
+    /// assert_eq!(Word9::from_i64(-5)?.sign(), Trit::N);
+    /// assert_eq!(Word9::ZERO.sign(), Trit::Z);
+    /// # Ok::<(), ternary::TernaryError>(())
+    /// ```
+    pub fn sign(&self) -> Trit {
+        for t in self.trits.iter().rev() {
+            if !t.is_zero() {
+                return *t;
+            }
+        }
+        Trit::Z
+    }
+
+    /// Wrapping addition; returns the sum and the carry-out trit of the
+    /// ripple adder (`a + b = sum + 3^N · carry`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ternary::{Trit, Word9};
+    /// let (s, c) = Word9::MAX.carrying_add(Word9::from_i64(1)?);
+    /// assert_eq!(s, Word9::MIN); // wrapped
+    /// assert_eq!(c, Trit::P);
+    /// # Ok::<(), ternary::TernaryError>(())
+    /// ```
+    pub fn carrying_add(&self, rhs: Self) -> (Self, Trit) {
+        let mut out = [Trit::Z; N];
+        let mut carry = Trit::Z;
+        for i in 0..N {
+            let (s, c) = self.trits[i].full_add(rhs.trits[i], carry);
+            out[i] = s;
+            carry = c;
+        }
+        (Self { trits: out }, carry)
+    }
+
+    /// Wrapping addition (discards the carry-out).
+    #[inline]
+    #[must_use]
+    pub fn wrapping_add(&self, rhs: Self) -> Self {
+        self.carrying_add(rhs).0
+    }
+
+    /// Wrapping subtraction: `a − b = a + STI(b)` — exact in balanced
+    /// ternary (the paper's "conversion-based negation property", §II-A).
+    #[inline]
+    #[must_use]
+    pub fn wrapping_sub(&self, rhs: Self) -> Self {
+        self.wrapping_add(rhs.negate())
+    }
+
+    /// Exact negation: trit-wise STI. Unlike two's complement there is no
+    /// asymmetric edge case — `negate` is a true involution.
+    #[inline]
+    #[must_use]
+    pub fn negate(&self) -> Self {
+        let mut out = [Trit::Z; N];
+        for (o, t) in out.iter_mut().zip(self.trits.iter()) {
+            *o = t.sti();
+        }
+        Self { trits: out }
+    }
+
+    /// Wrapping multiplication.
+    #[must_use]
+    pub fn wrapping_mul(&self, rhs: Self) -> Self {
+        Self::from_i128_wrapping(self.to_i64() as i128 * rhs.to_i64() as i128)
+    }
+
+    /// Quotient and remainder, truncating toward zero (like Rust's `/`
+    /// and `%` on integers).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TernaryError::DivisionByZero`] when `rhs` is zero.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ternary::Word9;
+    /// let (q, r) = Word9::from_i64(-7)?.div_rem(Word9::from_i64(2)?)?;
+    /// assert_eq!((q.to_i64(), r.to_i64()), (-3, -1));
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn div_rem(&self, rhs: Self) -> Result<(Self, Self), TernaryError> {
+        let d = rhs.to_i64();
+        if d == 0 {
+            return Err(TernaryError::DivisionByZero);
+        }
+        let n = self.to_i64();
+        Ok((
+            Self::from_i64_wrapping(n / d),
+            Self::from_i64_wrapping(n % d),
+        ))
+    }
+
+    /// Shift left by `k` trit positions: multiply by 3^k, dropping high
+    /// trits (wrapping). `k ≥ N` yields zero.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ternary::Word9;
+    /// assert_eq!(Word9::from_i64(5)?.shl(2).to_i64(), 45);
+    /// # Ok::<(), ternary::TernaryError>(())
+    /// ```
+    #[must_use]
+    pub fn shl(&self, k: usize) -> Self {
+        let mut out = [Trit::Z; N];
+        if k < N {
+            for i in k..N {
+                out[i] = self.trits[i - k];
+            }
+        }
+        Self { trits: out }
+    }
+
+    /// Shift right by `k` trit positions: discards the low `k` trits.
+    ///
+    /// In balanced ternary dropping low trits rounds the value to the
+    /// *nearest* multiple of 3^k (ties cannot occur), so `shr(k)` computes
+    /// `round(x / 3^k)` — subtly different from the binary arithmetic
+    /// shift's floor, and property-tested as such. `k ≥ N` yields zero.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ternary::Word9;
+    /// assert_eq!(Word9::from_i64(5)?.shr(1).to_i64(), 2);  // 5/3 = 1.67 -> 2
+    /// assert_eq!(Word9::from_i64(-5)?.shr(1).to_i64(), -2);
+    /// # Ok::<(), ternary::TernaryError>(())
+    /// ```
+    #[must_use]
+    pub fn shr(&self, k: usize) -> Self {
+        let mut out = [Trit::Z; N];
+        if k < N {
+            for i in 0..N - k {
+                out[i] = self.trits[i + k];
+            }
+        }
+        Self { trits: out }
+    }
+
+    /// Trit-wise ternary AND (minimum), the TALU `AND` operation.
+    #[must_use]
+    pub fn and(&self, rhs: Self) -> Self {
+        self.zip_map(rhs, Trit::and)
+    }
+
+    /// Trit-wise ternary OR (maximum), the TALU `OR` operation.
+    #[must_use]
+    pub fn or(&self, rhs: Self) -> Self {
+        self.zip_map(rhs, Trit::or)
+    }
+
+    /// Trit-wise ternary XOR, the TALU `XOR` operation.
+    #[must_use]
+    pub fn xor(&self, rhs: Self) -> Self {
+        self.zip_map(rhs, Trit::xor)
+    }
+
+    /// Trit-wise standard ternary inversion (same as [`Trits::negate`]).
+    #[must_use]
+    pub fn sti(&self) -> Self {
+        self.map(Trit::sti)
+    }
+
+    /// Trit-wise negative ternary inversion.
+    #[must_use]
+    pub fn nti(&self) -> Self {
+        self.map(Trit::nti)
+    }
+
+    /// Trit-wise positive ternary inversion.
+    #[must_use]
+    pub fn pti(&self) -> Self {
+        self.map(Trit::pti)
+    }
+
+    /// The COMP result of the paper (§IV-A): a word whose every-trit value
+    /// is the comparison sign — zero when equal, +1 when `self > rhs`,
+    /// −1 when `self < rhs` — so its LST is the 1-trit branch condition.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ternary::{Trit, Word9};
+    /// let a = Word9::from_i64(7)?;
+    /// let b = Word9::from_i64(9)?;
+    /// assert_eq!(a.compare(b).lst(), Trit::N);
+    /// assert_eq!(a.compare(a).lst(), Trit::Z);
+    /// # Ok::<(), ternary::TernaryError>(())
+    /// ```
+    #[must_use]
+    pub fn compare(&self, rhs: Self) -> Self {
+        // The TALU uses a dedicated trit-serial comparator (most
+        // significant trit first), which in balanced ternary is exactly
+        // numeric comparison.
+        match self.cmp(&rhs) {
+            Ordering::Less => Self::from_i64_wrapping(-1),
+            Ordering::Equal => Self::ZERO,
+            Ordering::Greater => Self::from_i64_wrapping(1),
+        }
+    }
+
+    fn map(&self, f: impl Fn(Trit) -> Trit) -> Self {
+        let mut out = [Trit::Z; N];
+        for (o, t) in out.iter_mut().zip(self.trits.iter()) {
+            *o = f(*t);
+        }
+        Self { trits: out }
+    }
+
+    fn zip_map(&self, rhs: Self, f: impl Fn(Trit, Trit) -> Trit) -> Self {
+        let mut out = [Trit::Z; N];
+        for i in 0..N {
+            out[i] = f(self.trits[i], rhs.trits[i]);
+        }
+        Self { trits: out }
+    }
+}
+
+impl<const N: usize> PartialOrd for Trits<N> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<const N: usize> Ord for Trits<N> {
+    /// Words order by numeric value (not lexicographically by storage).
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Compare from the most significant trit down; the first
+        // difference decides (balanced representation is unique).
+        for i in (0..N).rev() {
+            match self.trits[i].cmp(&other.trits[i]) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl<const N: usize> Add for Trits<N> {
+    type Output = Self;
+
+    /// Wrapping addition (hardware register semantics).
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        self.wrapping_add(rhs)
+    }
+}
+
+impl<const N: usize> Sub for Trits<N> {
+    type Output = Self;
+
+    /// Wrapping subtraction (hardware register semantics).
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        self.wrapping_sub(rhs)
+    }
+}
+
+impl<const N: usize> Neg for Trits<N> {
+    type Output = Self;
+
+    /// Exact negation (trit-wise STI).
+    #[inline]
+    fn neg(self) -> Self {
+        self.negate()
+    }
+}
+
+impl<const N: usize> fmt::Display for Trits<N> {
+    /// Writes the trits most-significant first, e.g. `000000+0-` for 8.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for t in self.trits.iter().rev() {
+            write!(f, "{t}")?;
+        }
+        Ok(())
+    }
+}
+
+impl<const N: usize> FromStr for Trits<N> {
+    type Err = TernaryError;
+
+    /// Parses exactly `N` trit characters, most significant first;
+    /// underscores are ignored as digit separators.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ternary::Word9;
+    /// let w: Word9 = "0000_00+0-".parse()?;
+    /// assert_eq!(w.to_i64(), 8);
+    /// # Ok::<(), ternary::TernaryError>(())
+    /// ```
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let chars: Vec<char> = s.chars().filter(|c| *c != '_').collect();
+        if chars.len() != N {
+            return Err(TernaryError::WordLength {
+                found: chars.len(),
+                expected: N,
+            });
+        }
+        let mut trits = [Trit::Z; N];
+        for (i, c) in chars.iter().enumerate() {
+            trits[N - 1 - i] = Trit::try_from_char(*c)?;
+        }
+        Ok(Self { trits })
+    }
+}
+
+impl<const N: usize> TryFrom<i64> for Trits<N> {
+    type Error = TernaryError;
+
+    fn try_from(v: i64) -> Result<Self, Self::Error> {
+        Self::from_i64(v)
+    }
+}
+
+impl<const N: usize> From<Trits<N>> for i64 {
+    fn from(w: Trits<N>) -> i64 {
+        w.to_i64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants() {
+        assert_eq!(Word9::MAX_VALUE, 9841);
+        assert_eq!(Word9::MODULUS, 19683);
+        assert_eq!(Word9::MAX.to_i64(), 9841);
+        assert_eq!(Word9::MIN.to_i64(), -9841);
+        assert_eq!(Word9::ZERO.to_i64(), 0);
+        assert_eq!(Word9::WIDTH, 9);
+    }
+
+    #[test]
+    fn roundtrip_full_range_small_width() {
+        // Exhaustive over a 5-trit word.
+        for v in -121i64..=121 {
+            let w = Trits::<5>::from_i64(v).unwrap();
+            assert_eq!(w.to_i64(), v);
+        }
+    }
+
+    #[test]
+    fn from_i64_rejects_out_of_range() {
+        assert!(Word9::from_i64(9842).is_err());
+        assert!(Word9::from_i64(-9842).is_err());
+        assert!(Word9::from_i64(9841).is_ok());
+    }
+
+    #[test]
+    fn wrapping_conversion() {
+        assert_eq!(Word9::from_i64_wrapping(9842).to_i64(), -9841);
+        assert_eq!(Word9::from_i64_wrapping(-9842).to_i64(), 9841);
+        assert_eq!(Word9::from_i64_wrapping(19683).to_i64(), 0);
+        assert_eq!(Word9::from_i64_wrapping(19684).to_i64(), 1);
+    }
+
+    #[test]
+    fn addition_matches_integers() {
+        for a in [-9841i64, -100, -1, 0, 1, 100, 9841] {
+            for b in [-9841i64, -50, 0, 3, 9841] {
+                let wa = Word9::from_i64(a).unwrap();
+                let wb = Word9::from_i64(b).unwrap();
+                assert_eq!(
+                    (wa + wb).to_i64(),
+                    Word9::from_i64_wrapping(a + b).to_i64(),
+                    "{a} + {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn carry_out_identity() {
+        let one = Word9::from_i64(1).unwrap();
+        let (s, c) = Word9::MAX.carrying_add(one);
+        assert_eq!(
+            Word9::MAX.to_i64() + 1,
+            s.to_i64() + Word9::MODULUS * c.value() as i64
+        );
+    }
+
+    #[test]
+    fn negation_is_exact_involution() {
+        for v in [-9841i64, -4921, -1, 0, 1, 4921, 9841] {
+            let w = Word9::from_i64(v).unwrap();
+            assert_eq!(w.negate().to_i64(), -v);
+            assert_eq!(w.negate().negate(), w);
+        }
+    }
+
+    #[test]
+    fn subtraction_matches_integers() {
+        let a = Word9::from_i64(123).unwrap();
+        let b = Word9::from_i64(456).unwrap();
+        assert_eq!((a - b).to_i64(), -333);
+        assert_eq!((b - a).to_i64(), 333);
+    }
+
+    #[test]
+    fn multiplication_wraps() {
+        let a = Word9::from_i64(100).unwrap();
+        let b = Word9::from_i64(98).unwrap();
+        assert_eq!(a.wrapping_mul(b).to_i64(), 9800);
+        let c = Word9::from_i64(200).unwrap();
+        assert_eq!(
+            a.wrapping_mul(c).to_i64(),
+            Word9::from_i64_wrapping(20000).to_i64()
+        );
+    }
+
+    #[test]
+    fn div_rem_truncates_toward_zero() {
+        let n = Word9::from_i64(-7).unwrap();
+        let d = Word9::from_i64(2).unwrap();
+        let (q, r) = n.div_rem(d).unwrap();
+        assert_eq!((q.to_i64(), r.to_i64()), (-3, -1));
+        assert!(n.div_rem(Word9::ZERO).is_err());
+    }
+
+    #[test]
+    fn shifts() {
+        let w = Word9::from_i64(5).unwrap();
+        assert_eq!(w.shl(1).to_i64(), 15);
+        assert_eq!(w.shl(2).to_i64(), 45);
+        assert_eq!(w.shl(9).to_i64(), 0);
+        // Balanced right shift rounds to nearest.
+        assert_eq!(w.shr(1).to_i64(), 2); // 5/3 rounds to 2
+        assert_eq!(Word9::from_i64(4).unwrap().shr(1).to_i64(), 1); // 4/3 -> 1
+        assert_eq!(Word9::from_i64(-5).unwrap().shr(1).to_i64(), -2);
+        assert_eq!(w.shr(9).to_i64(), 0);
+    }
+
+    #[test]
+    fn shr_rounds_to_nearest_exhaustive_small() {
+        for v in -121i64..=121 {
+            let w = Trits::<5>::from_i64(v).unwrap();
+            let shifted = w.shr(1).to_i64();
+            // round-half-never-happens nearest of v/3
+            let expect = (v as f64 / 3.0).round() as i64;
+            assert_eq!(shifted, expect, "shr(1) of {v}");
+        }
+    }
+
+    #[test]
+    fn logic_ops_tritwise() {
+        let a: Word9 = "0000000+-".parse().unwrap();
+        let b: Word9 = "0000000--".parse().unwrap();
+        assert_eq!(a.and(b).to_string(), "0000000--");
+        assert_eq!(a.or(b).to_string(), "0000000+-");
+        // xor: t1 = xor(+,-) = +1 (signs differ), t0 = xor(-,-) = -1 (agree)
+        assert_eq!(a.xor(b).to_string(), "0000000+-");
+        assert_eq!(a.sti().to_string(), "0000000-+");
+        assert_eq!(a.nti().to_string(), "--------+"); // zeros -> -1
+        assert_eq!(a.pti().to_string(), "+++++++-+"); // zeros -> +1
+    }
+
+    #[test]
+    fn compare_semantics() {
+        let a = Word9::from_i64(7).unwrap();
+        let b = Word9::from_i64(9).unwrap();
+        assert_eq!(a.compare(b).lst(), Trit::N);
+        assert_eq!(b.compare(a).lst(), Trit::P);
+        assert_eq!(a.compare(a).lst(), Trit::Z);
+        assert_eq!(a.compare(b).to_i64(), -1);
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        let mut vals: Vec<Word9> = [-5i64, 3, -9841, 9841, 0]
+            .iter()
+            .map(|v| Word9::from_i64(*v).unwrap())
+            .collect();
+        vals.sort();
+        let sorted: Vec<i64> = vals.iter().map(Word9::to_i64).collect();
+        assert_eq!(sorted, vec![-9841, -5, 0, 3, 9841]);
+    }
+
+    #[test]
+    fn field_extraction_and_splice() {
+        let w = Word9::from_i64(8).unwrap(); // +0- in low trits
+        assert_eq!(w.field::<2>(0).trits(), &[Trit::N, Trit::Z]);
+        assert_eq!(w.field::<3>(0).to_i64(), 8);
+        let spliced = Word9::ZERO.with_field::<3>(0, Trits::<3>::from_i64(8).unwrap());
+        assert_eq!(spliced.to_i64(), 8);
+        // LUI-style: imm[3:0] into positions 5..9
+        let hi = Word9::ZERO.with_field::<4>(5, Trits::<4>::from_i64(40).unwrap());
+        assert_eq!(hi.to_i64(), 40 * 243);
+    }
+
+    #[test]
+    fn resize_sign_extends_exactly() {
+        for v in -13i64..=13 {
+            let imm = Trits::<3>::from_i64(v).unwrap();
+            assert_eq!(imm.resize::<9>().to_i64(), v);
+        }
+        // Narrowing keeps low trits.
+        let w = Word9::from_i64(100).unwrap();
+        assert_eq!(w.resize::<3>().to_i64(), Trits::<3>::from_i64_wrapping(100).to_i64());
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        for v in [-9841i64, -1, 0, 8, 9841] {
+            let w = Word9::from_i64(v).unwrap();
+            let s = w.to_string();
+            assert_eq!(s.parse::<Word9>().unwrap(), w);
+            assert_eq!(s.len(), 9);
+        }
+        assert!("++".parse::<Word9>().is_err());
+        assert!("0000000x+".parse::<Word9>().is_err());
+    }
+
+    #[test]
+    fn sign_matches_value_sign() {
+        for v in [-9841i64, -3, 0, 2, 9841] {
+            let w = Word9::from_i64(v).unwrap();
+            assert_eq!(w.sign().value() as i64, v.signum());
+        }
+    }
+
+    #[test]
+    fn pow3_table() {
+        assert_eq!(pow3(0), 1);
+        assert_eq!(pow3(9), 19683);
+        assert_eq!(pow3(2), 9);
+    }
+}

@@ -1,0 +1,208 @@
+//! Property-based tests for the balanced ternary substrate.
+//!
+//! These pin the algebraic contracts that the rest of the workspace
+//! (ISA semantics, pipeline datapath, gate-level models) relies on.
+
+use proptest::prelude::*;
+use ternary::{encoding, pow3, Trit, Trits, Word9};
+
+const W9_MAX: i64 = 9841;
+
+fn word9() -> impl Strategy<Value = Word9> {
+    (-W9_MAX..=W9_MAX).prop_map(|v| Word9::from_i64(v).expect("in range"))
+}
+
+fn trit() -> impl Strategy<Value = Trit> {
+    prop_oneof![Just(Trit::N), Just(Trit::Z), Just(Trit::P)]
+}
+
+proptest! {
+    #[test]
+    fn roundtrip_i64(v in -W9_MAX..=W9_MAX) {
+        prop_assert_eq!(Word9::from_i64(v).unwrap().to_i64(), v);
+    }
+
+    #[test]
+    fn wrapping_is_mod_3n(v in proptest::num::i64::ANY) {
+        let w = Word9::from_i64_wrapping(v);
+        let m = pow3(9);
+        // Same residue class, symmetric range.
+        prop_assert_eq!(((w.to_i64() - v) % m + m) % m, 0);
+        prop_assert!((-W9_MAX..=W9_MAX).contains(&w.to_i64()));
+    }
+
+    #[test]
+    fn add_commutative_associative(a in word9(), b in word9(), c in word9()) {
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    #[test]
+    fn add_matches_wrapped_integer_add(a in word9(), b in word9()) {
+        prop_assert_eq!(
+            (a + b).to_i64(),
+            Word9::from_i64_wrapping(a.to_i64() + b.to_i64()).to_i64()
+        );
+    }
+
+    #[test]
+    fn sub_is_add_of_negation(a in word9(), b in word9()) {
+        prop_assert_eq!(a - b, a + (-b));
+        prop_assert_eq!((a - b) + b, a);
+    }
+
+    #[test]
+    fn negation_exact_and_involutive(a in word9()) {
+        prop_assert_eq!((-a).to_i64(), -a.to_i64()); // no edge case, unlike two's complement
+        prop_assert_eq!(-(-a), a);
+    }
+
+    #[test]
+    fn mul_matches_wrapped_integer_mul(a in word9(), b in word9()) {
+        prop_assert_eq!(
+            a.wrapping_mul(b).to_i64(),
+            Word9::from_i128_like(a.to_i64() as i128 * b.to_i64() as i128)
+        );
+    }
+
+    #[test]
+    fn div_rem_reconstructs(a in word9(), b in word9().prop_filter("nonzero", |w| !w.is_zero())) {
+        let (q, r) = a.div_rem(b).unwrap();
+        prop_assert_eq!(q.to_i64() * b.to_i64() + r.to_i64(), a.to_i64());
+        prop_assert!(r.to_i64().abs() < b.to_i64().abs());
+    }
+
+    #[test]
+    fn shl_multiplies_by_three(a in word9(), k in 0usize..4) {
+        let shifted = a.shl(k);
+        prop_assert_eq!(
+            shifted.to_i64(),
+            Word9::from_i64_wrapping(a.to_i64().wrapping_mul(pow3(k))).to_i64()
+        );
+    }
+
+    #[test]
+    fn shr_rounds_to_nearest(a in word9(), k in 0usize..5) {
+        let shifted = a.shr(k).to_i64();
+        let div = pow3(k) as f64;
+        let expect = (a.to_i64() as f64 / div).round() as i64;
+        prop_assert_eq!(shifted, expect);
+    }
+
+    #[test]
+    fn shr_then_shl_bounds_error(a in word9(), k in 0usize..5) {
+        // |x - (x >> k) << k| <= (3^k - 1) / 2: right shift loses at most
+        // half a unit in the last place (nearest rounding).
+        let approx = a.shr(k).shl(k).to_i64();
+        prop_assert!((a.to_i64() - approx).abs() <= (pow3(k) - 1) / 2);
+    }
+
+    #[test]
+    fn compare_matches_ord(a in word9(), b in word9()) {
+        let c = a.compare(b);
+        prop_assert_eq!(c.lst().value() as i64, {
+            use std::cmp::Ordering::*;
+            match a.to_i64().cmp(&b.to_i64()) { Less => -1, Equal => 0, Greater => 1 }
+        });
+        prop_assert_eq!(c.to_i64().signum(), (a.to_i64() - b.to_i64()).signum());
+    }
+
+    #[test]
+    fn logic_de_morgan_min_max(a in word9(), b in word9()) {
+        // STI(min(a,b)) = max(STI(a), STI(b)) trit-wise.
+        prop_assert_eq!(a.and(b).sti(), a.sti().or(b.sti()));
+        prop_assert_eq!(a.or(b).sti(), a.sti().and(b.sti()));
+    }
+
+    #[test]
+    fn logic_idempotent_absorbing(a in word9(), b in word9()) {
+        prop_assert_eq!(a.and(a), a);
+        prop_assert_eq!(a.or(a), a);
+        prop_assert_eq!(a.and(b).or(a), a); // absorption
+    }
+
+    #[test]
+    fn xor_properties(a in word9(), b in word9()) {
+        prop_assert_eq!(a.xor(b), b.xor(a));
+        prop_assert_eq!(a.xor(Word9::ZERO), Word9::ZERO); // zero absorbs (MVL XOR)
+    }
+
+    #[test]
+    fn bct_roundtrip(a in word9()) {
+        let packed = encoding::pack(&a);
+        prop_assert!(packed < (1u64 << 18));
+        prop_assert_eq!(encoding::unpack::<9>(packed).unwrap(), a);
+    }
+
+    #[test]
+    fn bct_packed_add_matches(a in word9(), b in word9()) {
+        let s = encoding::packed_add::<9>(encoding::pack(&a), encoding::pack(&b)).unwrap();
+        prop_assert_eq!(encoding::unpack::<9>(s).unwrap(), a.wrapping_add(b));
+    }
+
+    #[test]
+    fn full_adder_identity(a in trit(), b in trit(), c in trit()) {
+        let (s, k) = a.full_add(b, c);
+        prop_assert_eq!(
+            a.value() + b.value() + c.value(),
+            s.value() + 3 * k.value()
+        );
+    }
+
+    #[test]
+    fn display_parse_roundtrip(a in word9()) {
+        let s = a.to_string();
+        prop_assert_eq!(s.parse::<Word9>().unwrap(), a);
+    }
+
+    #[test]
+    fn field_splice_roundtrip(a in word9(), lo in 0usize..7) {
+        let f = a.field::<3>(lo.min(6));
+        let back = a.with_field::<3>(lo.min(6), f);
+        prop_assert_eq!(back, a);
+    }
+
+    #[test]
+    fn sign_extension_via_resize(v in -13i64..=13) {
+        let narrow = Trits::<3>::from_i64(v).unwrap();
+        prop_assert_eq!(narrow.resize::<9>().to_i64(), v);
+    }
+
+    #[test]
+    fn ordering_total_and_numeric(a in word9(), b in word9()) {
+        prop_assert_eq!(a.cmp(&b), a.to_i64().cmp(&b.to_i64()));
+    }
+
+    #[test]
+    fn tritwise_mul_agrees_with_integer_mul(a in word9(), b in word9()) {
+        prop_assert_eq!(ternary::arith::mul_tritwise(a, b), a.wrapping_mul(b));
+    }
+
+    #[test]
+    fn tritwise_div_agrees_with_integer_div(
+        a in word9(),
+        b in word9().prop_filter("nonzero", |w| !w.is_zero())
+    ) {
+        let (q, r) = ternary::arith::div_rem_tritwise(a, b).unwrap();
+        let (qi, ri) = a.div_rem(b).unwrap();
+        prop_assert_eq!(q, qi);
+        prop_assert_eq!(r, ri);
+    }
+}
+
+/// Helper used by `mul_matches_wrapped_integer_mul`: an i128 wrap without
+/// exposing the crate-private helper.
+trait WrapI128 {
+    fn from_i128_like(v: i128) -> i64;
+}
+
+impl WrapI128 for Word9 {
+    fn from_i128_like(v: i128) -> i64 {
+        let m = pow3(9) as i128;
+        let mut rem = ((v % m) + m) % m;
+        if rem > 9841 {
+            rem -= m;
+        }
+        rem as i64
+    }
+}

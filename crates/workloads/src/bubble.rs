@@ -1,0 +1,106 @@
+//! Bubble sort (paper §V-A, first column of Table III and Fig. 5).
+//!
+//! Sorts an `n`-word array of small integers ascending, in place, with
+//! the classic early-exit-free nested loop (worst-case-shaped input:
+//! reverse-sorted with duplicates sprinkled in by the LCG).
+
+use crate::{lcg_values, Workload};
+
+/// Builds the bubble-sort workload over `n` elements.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `n > 48` (the array must fit the ternary TDM
+/// alongside the runtime scratch area).
+pub fn bubble_sort(n: usize) -> Workload {
+    assert!((2..=48).contains(&n), "bubble_sort supports 2..=48 elements");
+    // Reverse-sorted backbone with LCG noise: adversarial but
+    // deterministic.
+    let noise = lcg_values(7, n, 0, 9);
+    let input: Vec<i64> = (0..n).map(|i| (n - i) as i64 * 2 + noise[i]).collect();
+    let mut expected = input.clone();
+    expected.sort_unstable();
+
+    let words = input
+        .iter()
+        .map(i64::to_string)
+        .collect::<Vec<_>>()
+        .join(", ");
+
+    let source = format!(
+        "
+# bubble sort, {n} elements, in place
+        .data
+arr:    .word {words}
+        .text
+        li   a1, {n}            # passes remaining
+outer:
+        addi a1, a1, -1
+        blez a1, done
+        la   a0, arr            # pointer rewinds every pass
+        li   a2, 0              # i
+inner:
+        bge  a2, a1, outer
+        lw   a3, 0(a0)
+        lw   a4, 4(a0)
+        ble  a3, a4, noswap
+        sw   a4, 0(a0)
+        sw   a3, 4(a0)
+noswap:
+        addi a0, a0, 4
+        addi a2, a2, 1
+        j    inner
+done:
+        ebreak
+"
+    );
+
+    Workload {
+        name: "bubble-sort",
+        description: format!("in-place bubble sort of {n} words"),
+        source,
+        output_offset: 0,
+        expected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use art9_compiler::translate;
+    use art9_sim::{FunctionalSim, PipelinedSim};
+    use rv32::Machine;
+
+    #[test]
+    fn sorts_on_rv32() {
+        let w = bubble_sort(12);
+        let p = w.rv32_program().unwrap();
+        let mut m = Machine::new(&p);
+        m.run(1_000_000).unwrap();
+        w.verify_rv32(&m).unwrap();
+    }
+
+    #[test]
+    fn sorts_on_art9_functional_and_pipelined() {
+        let w = bubble_sort(12);
+        let t = translate(&w.rv32_program().unwrap()).unwrap();
+        let mut f = FunctionalSim::new(&t.program);
+        f.run(2_000_000).unwrap();
+        w.verify_art9(f.state()).unwrap();
+
+        let mut pipe = PipelinedSim::new(&t.program);
+        let stats = pipe.run(4_000_000).unwrap();
+        w.verify_art9(pipe.state()).unwrap();
+        assert!(stats.cpi() < 2.0, "pipelined CPI stays near 1: {}", stats.cpi());
+    }
+
+    #[test]
+    fn expected_is_sorted_permutation() {
+        let w = bubble_sort(20);
+        let mut exp = w.expected.clone();
+        let sorted = exp.clone();
+        exp.sort_unstable();
+        assert_eq!(exp, sorted, "expected vector is sorted");
+        assert_eq!(w.expected.len(), 20);
+    }
+}

@@ -1,0 +1,127 @@
+//! General matrix multiplication (paper §V-A; the Table III column
+//! where ART-9's lack of a hardware multiplier shows — translated code
+//! calls the `__mul` runtime while PicoRV32's RV32IM uses its
+//! sequential multiplier).
+//!
+//! `C = A × B` over `n×n` matrices of small non-negative integers,
+//! walked with incremental pointers only (the pointer idiom the
+//! address re-scaler accepts): the A-row pointer advances by one
+//! element per `k`, the B pointer by one row per `k` and rewinds by
+//! `4n² − 4` per `j`.
+
+use crate::{lcg_values, Workload};
+
+/// Builds the `n×n` GEMM workload.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `n > 7` (three `n²` matrices must fit the TDM
+/// and products must stay inside the 9-trit range).
+pub fn gemm(n: usize) -> Workload {
+    assert!((2..=7).contains(&n), "gemm supports 2..=7 (TDM/range limits)");
+    let a = lcg_values(11, n * n, 0, 6);
+    let b = lcg_values(13, n * n, 0, 6);
+    let mut c = vec![0i64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc = 0;
+            for k in 0..n {
+                acc += a[i * n + k] * b[k * n + j];
+            }
+            c[i * n + j] = acc;
+        }
+    }
+
+    let fmt_words = |v: &[i64]| {
+        v.iter()
+            .map(i64::to_string)
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let (wa, wb) = (fmt_words(&a), fmt_words(&b));
+    let row_bytes = 4 * n;
+    let col_rewind = 4 * n * n - 4; // back over n rows, forward one column
+    let source = format!(
+        "
+# gemm: C = A x B, {n}x{n}
+        .data
+mata:   .word {wa}
+matb:   .word {wb}
+matc:   .zero {csize}
+        .text
+        la   a0, mata           # A[i][k] walker
+        la   a1, matb           # B[k][j] walker
+        la   a2, matc           # C walker
+        li   s3, {n}
+        li   a3, 0              # i
+i_loop:
+        li   a4, 0              # j
+j_loop:
+        li   a6, 0              # acc
+        li   a5, 0              # k
+k_loop:
+        lw   a7, 0(a0)
+        lw   s2, 0(a1)
+        mul  a7, a7, s2
+        add  a6, a6, a7
+        addi a0, a0, 4
+        addi a1, a1, {row_bytes}
+        addi a5, a5, 1
+        blt  a5, s3, k_loop
+        sw   a6, 0(a2)
+        addi a2, a2, 4
+        addi a0, a0, -{row_bytes}   # back to row start
+        addi a1, a1, -{col_rewind}  # next column of B
+        addi a4, a4, 1
+        blt  a4, s3, j_loop
+        addi a0, a0, {row_bytes}    # next row of A
+        addi a1, a1, -{row_bytes}   # back to column 0 of B
+        addi a3, a3, 1
+        blt  a3, s3, i_loop
+        ebreak
+",
+        csize = 4 * n * n,
+    );
+
+    Workload {
+        name: "gemm",
+        description: format!("{n}x{n} integer matrix multiply (software mul on ART-9)"),
+        source,
+        output_offset: 2 * 4 * n * n,
+        expected: c,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use art9_compiler::translate;
+    use art9_sim::FunctionalSim;
+    use rv32::Machine;
+
+    #[test]
+    fn multiplies_on_rv32() {
+        let w = gemm(4);
+        let mut m = Machine::new(&w.rv32_program().unwrap());
+        m.run(1_000_000).unwrap();
+        w.verify_rv32(&m).unwrap();
+    }
+
+    #[test]
+    fn multiplies_on_art9() {
+        let w = gemm(4);
+        let t = translate(&w.rv32_program().unwrap()).unwrap();
+        assert!(t.report.art9_builtin_instructions > 0, "links __mul");
+        let mut sim = FunctionalSim::new(&t.program);
+        sim.run(4_000_000).unwrap();
+        w.verify_art9(sim.state()).unwrap();
+    }
+
+    #[test]
+    fn six_by_six_paper_parameterization() {
+        let w = gemm(6);
+        assert_eq!(w.expected.len(), 36);
+        // Products of 6x6 small ints stay comfortably in 9-trit range.
+        assert!(w.expected.iter().all(|v| v.abs() <= 9841));
+    }
+}

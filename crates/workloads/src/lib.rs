@@ -1,0 +1,197 @@
+//! # `workloads` — the paper's benchmark programs
+//!
+//! The four programs of §V-A — bubble sort, general matrix
+//! multiplication, a Sobel filter and a Dhrystone-style kernel — as
+//! RV32I assembly sources (the input boundary of the software-level
+//! compiling framework), each with a golden Rust reference and
+//! verification helpers for both machines.
+//!
+//! Every workload is parameterized and self-checking:
+//!
+//! ```
+//! use workloads::bubble_sort;
+//!
+//! let w = bubble_sort(8);
+//! let mut machine = rv32::Machine::new(&w.rv32_program()?);
+//! machine.run(1_000_000)?;
+//! w.verify_rv32(&machine)?;   // sorted output in data memory
+//!
+//! let t = art9_compiler::translate(&w.rv32_program()?)?;
+//! let mut sim = art9_sim::FunctionalSim::new(&t.program);
+//! sim.run(1_000_000)?;
+//! w.verify_art9(sim.state())?; // same values, word-addressed TDM
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bubble;
+mod dhrystone;
+mod extras;
+mod gemm;
+mod sobel;
+
+use std::error::Error;
+use std::fmt;
+
+use art9_sim::CoreState;
+use rv32::{Machine, Rv32Error, Rv32Program};
+
+pub use bubble::bubble_sort;
+pub use dhrystone::{dhrystone, DHRYSTONE_DIVISOR};
+pub use extras::{dot_product, fibonacci};
+pub use gemm::gemm;
+pub use sobel::sobel;
+
+/// A benchmark program: RV32 source, input data, and the expected
+/// output region.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Short name ("bubble-sort", "gemm", …).
+    pub name: &'static str,
+    /// One-line description with the chosen parameters.
+    pub description: String,
+    /// RV32 assembly source (consumed by `rv32::parse_program` and by
+    /// the compiling framework).
+    pub source: String,
+    /// Byte offset of the output region within the data section.
+    pub output_offset: usize,
+    /// Expected output values (word-wise).
+    pub expected: Vec<i64>,
+}
+
+/// Verification failure: which word of the output region diverged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Word index within the output region.
+    pub index: usize,
+    /// Expected value.
+    pub expected: i64,
+    /// Observed value.
+    pub found: i64,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: output[{}] = {}, expected {}",
+            self.workload, self.index, self.found, self.expected
+        )
+    }
+}
+
+impl Error for VerifyError {}
+
+impl Workload {
+    /// Parses the RV32 source.
+    ///
+    /// # Errors
+    ///
+    /// Propagates assembler errors (should not happen for generated
+    /// sources; surfaced for debuggability).
+    pub fn rv32_program(&self) -> Result<Rv32Program, Rv32Error> {
+        rv32::parse_program(&self.source)
+    }
+
+    /// Checks the output region in RV32 data memory.
+    ///
+    /// # Errors
+    ///
+    /// [`VerifyError`] on the first mismatching word; [`Rv32Error`] on
+    /// an unreadable address.
+    pub fn verify_rv32(&self, machine: &Machine) -> Result<(), Box<dyn Error>> {
+        for (i, expected) in self.expected.iter().enumerate() {
+            let addr = rv32::DATA_BASE + (self.output_offset + 4 * i) as u32;
+            let found = machine.load_word(addr)? as i32 as i64;
+            if found != *expected {
+                return Err(Box::new(VerifyError {
+                    workload: self.name,
+                    index: i,
+                    expected: *expected,
+                    found,
+                }));
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks the output region in ART-9 data memory (word-addressed,
+    /// after the translator's 16-word runtime scratch area).
+    ///
+    /// # Errors
+    ///
+    /// [`VerifyError`] on the first mismatching word.
+    pub fn verify_art9(&self, state: &CoreState) -> Result<(), Box<dyn Error>> {
+        for (i, expected) in self.expected.iter().enumerate() {
+            let word = art9_compiler::analysis::DATA_WORD_BASE as usize
+                + self.output_offset / 4
+                + i;
+            let found = state.tdm.read(word)?.to_i64();
+            if found != *expected {
+                return Err(Box::new(VerifyError {
+                    workload: self.name,
+                    index: i,
+                    expected: *expected,
+                    found,
+                }));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The paper's benchmark suite at the parameters used for Table III
+/// and Fig. 5 (DESIGN.md §3.4).
+pub fn paper_suite() -> Vec<Workload> {
+    vec![bubble_sort(20), gemm(6), sobel(), dhrystone(100)]
+}
+
+/// Deterministic pseudo-random small integers for workload inputs
+/// (LCG; keeps the crate free of a hard `rand` dependency and the
+/// tables reproducible).
+pub(crate) fn lcg_values(seed: u64, n: usize, lo: i64, hi: i64) -> Vec<i64> {
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    let span = (hi - lo + 1) as u64;
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            lo + ((state >> 33) % span) as i64
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_four_workloads() {
+        let suite = paper_suite();
+        assert_eq!(suite.len(), 4);
+        let names: Vec<&str> = suite.iter().map(|w| w.name).collect();
+        assert_eq!(names, vec!["bubble-sort", "gemm", "sobel", "dhrystone"]);
+    }
+
+    #[test]
+    fn lcg_is_deterministic_and_in_range() {
+        let a = lcg_values(42, 100, -5, 9);
+        let b = lcg_values(42, 100, -5, 9);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|v| (-5..=9).contains(v)));
+        // Different seed differs.
+        assert_ne!(a, lcg_values(43, 100, -5, 9));
+    }
+
+    #[test]
+    fn verify_error_display() {
+        let e = VerifyError { workload: "gemm", index: 3, expected: 7, found: 9 };
+        assert!(e.to_string().contains("gemm"));
+        assert!(e.to_string().contains('3'));
+    }
+}

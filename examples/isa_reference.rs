@@ -1,0 +1,84 @@
+//! Prints a programmer's reference card for the ART-9 ISA: all 24
+//! instructions with their category, a sample encoding, and the
+//! operand semantics of Table I.
+//!
+//! ```sh
+//! cargo run --example isa_reference
+//! ```
+
+use art9_isa::{encode, Format, Imm2, Imm3, Imm4, Imm5, Instruction, TReg};
+use ternary::Trit;
+
+fn main() {
+    use Instruction::*;
+    let a = TReg::T3;
+    let b = TReg::T4;
+    let samples: Vec<(Instruction, &str)> = vec![
+        (Mv { a, b }, "TRF[Ta] = TRF[Tb]"),
+        (Pti { a, b }, "TRF[Ta] = PTI(TRF[Tb])"),
+        (Nti { a, b }, "TRF[Ta] = NTI(TRF[Tb])"),
+        (Sti { a, b }, "TRF[Ta] = STI(TRF[Tb])"),
+        (And { a, b }, "TRF[Ta] = min(TRF[Ta], TRF[Tb])"),
+        (Or { a, b }, "TRF[Ta] = max(TRF[Ta], TRF[Tb])"),
+        (Xor { a, b }, "TRF[Ta] = TRF[Ta] (+) TRF[Tb]"),
+        (Add { a, b }, "TRF[Ta] = TRF[Ta] + TRF[Tb]"),
+        (Sub { a, b }, "TRF[Ta] = TRF[Ta] - TRF[Tb]"),
+        (Sr { a, b }, "TRF[Ta] = TRF[Ta] >> TRF[Tb][1:0]"),
+        (Sl { a, b }, "TRF[Ta] = TRF[Ta] << TRF[Tb][1:0]"),
+        (Comp { a, b }, "TRF[Ta] = compare(TRF[Ta], TRF[Tb])"),
+        (Andi { a, imm: Imm3::from_i64(5).unwrap() }, "TRF[Ta] = min(TRF[Ta], imm)"),
+        (Addi { a, imm: Imm3::from_i64(5).unwrap() }, "TRF[Ta] = TRF[Ta] + imm (NOP when 0)"),
+        (Sri { a, imm: Imm2::from_i64(2).unwrap() }, "TRF[Ta] = TRF[Ta] >> imm"),
+        (Sli { a, imm: Imm2::from_i64(2).unwrap() }, "TRF[Ta] = TRF[Ta] << imm"),
+        (Lui { a, imm: Imm4::from_i64(7).unwrap() }, "TRF[Ta] = {imm[3:0], 00000}"),
+        (Li { a, imm: Imm5::from_i64(42).unwrap() }, "TRF[Ta] = {TRF[Ta][8:5], imm[4:0]}"),
+        (
+            Beq { b, cond: Trit::P, offset: Imm4::from_i64(3).unwrap() },
+            "PC += imm if TRF[Tb][0] == B",
+        ),
+        (
+            Bne { b, cond: Trit::Z, offset: Imm4::from_i64(-3).unwrap() },
+            "PC += imm if TRF[Tb][0] != B",
+        ),
+        (
+            Jal { a, offset: Imm5::from_i64(10).unwrap() },
+            "TRF[Ta] = PC+1; PC += imm",
+        ),
+        (
+            Jalr { a, b, offset: Imm3::from_i64(0).unwrap() },
+            "TRF[Ta] = PC+1; PC = TRF[Tb]+imm",
+        ),
+        (
+            Load { a, b, offset: Imm3::from_i64(2).unwrap() },
+            "TRF[Ta] = TDM[TRF[Tb]+imm]",
+        ),
+        (
+            Store { a, b, offset: Imm3::from_i64(2).unwrap() },
+            "TDM[TRF[Tb]+imm] = TRF[Ta]",
+        ),
+    ];
+
+    println!("ART-9 instruction set reference (24 instructions, Table I)\n");
+    println!(
+        "{:<6} {:<22} {:<11} {}",
+        "type", "assembly", "encoding", "operation"
+    );
+    println!("{}", "-".repeat(78));
+    for (i, semantics) in &samples {
+        let fmt = match i.format() {
+            Format::R => "R",
+            Format::I => "I",
+            Format::B => "B",
+            Format::M => "M",
+        };
+        println!(
+            "{:<6} {:<22} {:<11} {}",
+            fmt,
+            i.to_string(),
+            encode(i).to_string(),
+            semantics
+        );
+    }
+    println!("\nencoding shown most-significant trit first; registers t0..t8;");
+    println!("immediates are balanced (e.g. imm3 covers -13..=13).");
+}

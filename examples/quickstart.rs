@@ -1,0 +1,60 @@
+//! Quickstart: assemble a ternary program, run it on both simulators,
+//! and inspect the machine.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use art9_isa::{assemble, disassemble_image};
+use art9_sim::{FunctionalSim, PipelinedSim};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Sum the numbers 1..=10 — note the ternary branching idiom:
+    // conditional branches test a single trit, so the loop guard goes
+    // through COMP (paper §IV-A).
+    let program = assemble(
+        "
+        LI   t3, 10          ; counter
+        LI   t4, 0           ; accumulator
+    loop:
+        ADD  t4, t3
+        ADDI t3, -1
+        MV   t7, t3
+        COMP t7, t0          ; t7 = sign(t3)
+        BEQ  t7, +, loop     ; continue while t3 > 0
+    halt:
+        JAL  t0, 0           ; jump-to-self halts the core
+    ",
+    )?;
+
+    println!("TIM image ({} trits):", program.instruction_cells());
+    println!("{}", disassemble_image(&program.tim_image()));
+
+    // Architecture-level run.
+    let mut functional = FunctionalSim::new(&program);
+    functional.run(10_000)?;
+    println!(
+        "functional: t4 = {}",
+        functional.state().reg("t4".parse()?).to_i64()
+    );
+
+    // Cycle-accurate run on the 5-stage pipeline.
+    let mut core = PipelinedSim::new(&program);
+    let stats = core.run(10_000)?;
+    println!(
+        "pipelined:  t4 = {}  |  {}",
+        core.state().reg("t4".parse()?).to_i64(),
+        format!(
+            "{} instructions in {} cycles (CPI {:.2}, {} stalls/bubbles)",
+            stats.instructions,
+            stats.cycles,
+            stats.cpi(),
+            stats.lost_cycles()
+        )
+    );
+    assert_eq!(
+        functional.state().reg("t4".parse()?),
+        core.state().reg("t4".parse()?)
+    );
+    Ok(())
+}

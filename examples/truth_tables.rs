@@ -1,0 +1,44 @@
+//! Prints the truth tables of the ternary logic operations — the
+//! paper's Fig. 1.
+//!
+//! ```sh
+//! cargo run --example truth_tables
+//! ```
+
+use ternary::{Trit, ALL_TRITS};
+
+fn print_binary(name: &str, f: impl Fn(Trit, Trit) -> Trit) {
+    println!("{name}:");
+    print!("  a\\b |");
+    for b in ALL_TRITS {
+        print!("  {b} ");
+    }
+    println!();
+    println!("  ----+------------");
+    for a in ALL_TRITS {
+        print!("   {a}  |");
+        for b in ALL_TRITS {
+            print!("  {} ", f(a, b));
+        }
+        println!();
+    }
+    println!();
+}
+
+fn print_unary(name: &str, f: impl Fn(Trit) -> Trit) {
+    print!("{name}: ");
+    for t in ALL_TRITS {
+        print!("{t} -> {}   ", f(t));
+    }
+    println!();
+}
+
+fn main() {
+    println!("Fig. 1 — truth tables of ternary logic operations\n");
+    print_binary("AND (minimum)", Trit::and);
+    print_binary("OR (maximum)", Trit::or);
+    print_binary("XOR", Trit::xor);
+    print_unary("STI (standard inverter)", Trit::sti);
+    print_unary("NTI (negative inverter)", Trit::nti);
+    print_unary("PTI (positive inverter)", Trit::pti);
+}
