@@ -33,12 +33,22 @@ pub fn disassemble_word(word: Word9) -> Result<String, IsaError> {
 /// # Examples
 ///
 /// ```
-/// use art9_isa::{assemble, disassemble_image};
+/// use art9_isa::{assemble, disassemble_image, disassemble_word};
 ///
 /// let p = assemble("LI t3, 7\nADDI t3, -1\n")?;
 /// let listing = disassemble_image(&p.tim_image());
 /// assert!(listing.lines().count() == 2);
 /// assert!(listing.contains("LI t3, 7"));
+///
+/// // The un-annotated lines are valid assembly: asm → disasm → asm
+/// // round-trips.
+/// let source: String = p
+///     .tim_image()
+///     .iter()
+///     .map(|w| disassemble_word(*w).expect("legal") + "\n")
+///     .collect();
+/// let p2 = assemble(&source)?;
+/// assert_eq!(p.text(), p2.text());
 /// # Ok::<(), art9_isa::IsaError>(())
 /// ```
 pub fn disassemble_image(image: &[Word9]) -> String {

@@ -13,6 +13,10 @@
 //! * [`Program`] — assembled TIM/TDM images with the memory-cell (trit)
 //!   accounting used by the paper's Fig. 5.
 //!
+//! A narrative reference for the whole instruction set — machine
+//! model, per-instruction semantics, encoding scheme and assembler
+//! syntax — lives in `docs/ISA.md` at the repository root.
+//!
 //! ## Quick start
 //!
 //! ```

@@ -1,13 +1,20 @@
 //! Regenerates every table and figure of the paper in one run.
 //!
+//! The batch driver executes the paper suite under the full simulator
+//! matrix exactly once; Tables II and III are derived from its records
+//! rather than re-simulating.
+//!
 //! ```sh
 //! cargo run --release -p art9-bench --bin report
 //! ```
 
-use art9_bench::{dmips_per_mhz, run_art9, run_picorv32, run_vexriscv, translate};
+use art9_bench::{dmips_per_mhz, translate};
 use art9_core::{report, HardwareFramework, SoftwareFramework};
 use ternary::{Trit, ALL_TRITS};
+use workloads::batch::{BatchRunner, SimConfig};
 use workloads::{dhrystone, paper_suite};
+
+const PIPELINED: SimConfig = SimConfig::Art9Pipelined { forwarding: true };
 
 fn main() {
     // ---- Fig. 1 -------------------------------------------------------
@@ -28,6 +35,16 @@ fn main() {
         println!("{name}: {}", row.join("  "));
     }
 
+    // ---- Batch simulation: every (workload, config) cell, once --------
+    let batch = BatchRunner::new()
+        .workloads(paper_suite())
+        .configs(SimConfig::FULL_MATRIX)
+        .run();
+    assert_eq!(batch.failures(), 0, "batch contains failing runs:\n{}", batch.render());
+    let cell = |w: &str, c: SimConfig| {
+        batch.find(w, c).unwrap_or_else(|| panic!("batch is missing {w}/{}", c.name()))
+    };
+
     // ---- Table III + Fig. 5 over the whole suite ----------------------
     println!("\n=== Table III: processing cycles ===");
     println!(
@@ -36,21 +53,16 @@ fn main() {
     );
     let fw = SoftwareFramework::new();
     let mut fig5_rows = Vec::new();
-    let mut dhrystone_cycles_per_iter = 0.0;
     for w in paper_suite() {
-        let t = translate(&w);
-        let stats = run_art9(&w, &t);
-        let pico = run_picorv32(&w);
+        let art9 = cell(w.name, PIPELINED).cycles.expect("pipelined run is timed");
+        let pico = cell(w.name, SimConfig::Rv32PicoRv32).cycles.expect("cycle model is timed");
         println!(
             "{:<14} {:>12} {:>12} {:>8.2}",
             w.name,
-            stats.cycles,
-            pico.cycles,
-            pico.cycles as f64 / stats.cycles as f64
+            art9,
+            pico,
+            pico as f64 / art9 as f64
         );
-        if w.name == "dhrystone" {
-            dhrystone_cycles_per_iter = stats.cycles as f64 / 100.0;
-        }
         let rv = w.rv32_program().expect("parses");
         fig5_rows.push(fw.memory_comparison(w.name, &rv).expect("translates"));
     }
@@ -59,38 +71,28 @@ fn main() {
     print!("{}", report::fig5(&fig5_rows));
 
     // ---- Table II ------------------------------------------------------
-    let iterations = 100;
-    let w = dhrystone(iterations);
-    let t = translate(&w);
-    let stats = run_art9(&w, &t);
-    let vex = run_vexriscv(&w);
-    let pico = run_picorv32(&w);
+    let iterations = workloads::PAPER_DHRYSTONE_ITERATIONS;
     println!("\n=== Table II: dhrystone ({iterations} iterations) ===");
     println!(
         "{:<22} {:>10} {:>8} {:>12}",
         "core", "cycles", "CPI", "DMIPS/MHz"
     );
-    println!(
-        "{:<22} {:>10} {:>8.2} {:>12.2}",
-        "ART-9 (5-stage)",
-        stats.cycles,
-        stats.cpi(),
-        dmips_per_mhz(stats.cycles, iterations)
-    );
-    println!(
-        "{:<22} {:>10} {:>8.2} {:>12.2}",
-        "VexRiscv (5-stage)",
-        vex.cycles,
-        vex.cpi(),
-        dmips_per_mhz(vex.cycles, iterations)
-    );
-    println!(
-        "{:<22} {:>10} {:>8.2} {:>12.2}",
-        "PicoRV32 (non-pipe)",
-        pico.cycles,
-        pico.cpi(),
-        dmips_per_mhz(pico.cycles, iterations)
-    );
+    let rows = [
+        ("ART-9 (5-stage)", cell("dhrystone", PIPELINED)),
+        ("VexRiscv (5-stage)", cell("dhrystone", SimConfig::Rv32VexRiscv)),
+        ("PicoRV32 (non-pipe)", cell("dhrystone", SimConfig::Rv32PicoRv32)),
+    ];
+    for (label, r) in rows {
+        let cycles = r.cycles.expect("timed");
+        println!(
+            "{:<22} {:>10} {:>8.2} {:>12.2}",
+            label,
+            cycles,
+            r.cpi().expect("instructions retired"),
+            dmips_per_mhz(cycles, iterations)
+        );
+    }
+    let t = translate(&dhrystone(iterations));
     println!(
         "ART-9 memory: {} instruction trits ({} instructions)",
         t.report.art9_instruction_cells(),
@@ -98,6 +100,8 @@ fn main() {
     );
 
     // ---- Tables IV & V --------------------------------------------------
+    let dhrystone_cycles_per_iter =
+        cell("dhrystone", PIPELINED).cycles.expect("timed") as f64 / iterations as f64;
     let hw = HardwareFramework::new();
     let e = hw.evaluate(dhrystone_cycles_per_iter);
     println!("\n=== Table IV ===\n{}", report::table4(&e));
@@ -108,4 +112,8 @@ fn main() {
         println!("  {name:<20} {gates}");
     }
     println!("  {:<20} {}", "TOTAL", hw.datapath().datapath_gates());
+
+    // ---- The batch's own aggregate view -------------------------------
+    println!("\n=== Batch simulation: paper suite x full simulator matrix ===");
+    print!("{}", batch.render());
 }

@@ -9,6 +9,7 @@
 use art9_compiler::Translation;
 use art9_sim::{PipelineStats, PipelinedSim};
 use rv32::{CycleReport, PicoRv32Model, VexRiscvModel};
+use workloads::batch::DEFAULT_MAX_STEPS;
 use workloads::Workload;
 
 /// Translates a workload to ART-9 (panicking on failure — workloads
@@ -22,7 +23,7 @@ pub fn translate(w: &Workload) -> Translation {
 /// output.
 pub fn run_art9(w: &Workload, t: &Translation) -> PipelineStats {
     let mut core = PipelinedSim::new(&t.program);
-    let stats = core.run(500_000_000).expect("ART-9 run completes");
+    let stats = core.run(DEFAULT_MAX_STEPS).expect("ART-9 run completes");
     w.verify_art9(core.state()).expect("ART-9 output verifies");
     stats
 }
@@ -32,16 +33,16 @@ pub fn run_art9(w: &Workload, t: &Translation) -> PipelineStats {
 pub fn run_picorv32(w: &Workload) -> CycleReport {
     let rv = w.rv32_program().expect("workload parses");
     let mut machine = rv32::Machine::new(&rv);
-    machine.run(500_000_000).expect("rv32 run completes");
+    machine.run(DEFAULT_MAX_STEPS).expect("rv32 run completes");
     w.verify_rv32(&machine).expect("rv32 output verifies");
-    rv32::simulate_cycles(&rv, &mut PicoRv32Model::new(), 500_000_000)
+    rv32::simulate_cycles(&rv, &mut PicoRv32Model::new(), DEFAULT_MAX_STEPS)
         .expect("cycle model completes")
 }
 
 /// Runs a workload under the VexRiscv cycle model.
 pub fn run_vexriscv(w: &Workload) -> CycleReport {
     let rv = w.rv32_program().expect("workload parses");
-    rv32::simulate_cycles(&rv, &mut VexRiscvModel::new(), 500_000_000)
+    rv32::simulate_cycles(&rv, &mut VexRiscvModel::new(), DEFAULT_MAX_STEPS)
         .expect("cycle model completes")
 }
 

@@ -60,6 +60,26 @@ pub struct Trits<const N: usize> {
 }
 
 /// The 9-trit machine word of the ART-9 processor (range −9841..=9841).
+///
+/// # Examples
+///
+/// ```
+/// use ternary::Word9;
+///
+/// // Exact round-trip inside the 9-trit range…
+/// let w = Word9::from_i64(-4821)?;
+/// assert_eq!(w.to_i64(), -4821);
+/// assert_eq!(w.to_string().parse::<Word9>()?, w);
+///
+/// // …and modular wrapping outside it (symmetric, ±9841).
+/// assert_eq!(Word9::from_i64_wrapping(9842).to_i64(), -9841);
+/// assert_eq!(w.wrapping_mul(w).to_i64(), {
+///     let m = ternary::pow3(9);
+///     let r = ((-4821i64 * -4821) % m + m) % m;
+///     if r > 9841 { r - m } else { r }
+/// });
+/// # Ok::<(), ternary::TernaryError>(())
+/// ```
 pub type Word9 = Trits<9>;
 
 impl<const N: usize> Default for Trits<N> {

@@ -1,0 +1,598 @@
+//! Parallel batch-simulation driver.
+//!
+//! The first step toward the ROADMAP's heavy-traffic simulation
+//! service: run **many programs × many simulator configurations** in
+//! parallel and fold the per-run statistics into one aggregate report.
+//!
+//! A batch is a cross product: every [`Workload`] is prepared once
+//! (parsed and, for ART-9 substrates, translated) and then executed
+//! under every [`SimConfig`]. Preparation and execution both fan out
+//! across OS threads via `rayon`; results come back in deterministic
+//! (workload-major) order regardless of scheduling.
+//!
+//! ```
+//! use workloads::batch::{BatchRunner, SimConfig};
+//!
+//! let report = BatchRunner::new()
+//!     .workload(workloads::bubble_sort(8))
+//!     .workload(workloads::dot_product(6))
+//!     .config(SimConfig::Art9Pipelined { forwarding: true })
+//!     .config(SimConfig::Rv32PicoRv32)
+//!     .run();
+//!
+//! assert_eq!(report.runs.len(), 4);
+//! assert_eq!(report.failures(), 0);
+//! println!("{}", report.render());
+//! ```
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use art9_compiler::Translation;
+use art9_sim::{FunctionalSim, PipelineStats, PipelinedSim};
+use rayon::prelude::*;
+use rv32::{PicoRv32Model, Rv32Program, VexRiscvModel};
+
+use crate::Workload;
+
+/// Default per-run step/cycle budget (the bench helpers in
+/// `art9-bench` use this same constant).
+pub const DEFAULT_MAX_STEPS: u64 = 500_000_000;
+
+/// One simulator configuration a batch executes every workload under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SimConfig {
+    /// ART-9 architecture-level reference simulator (no timing).
+    Art9Functional,
+    /// ART-9 cycle-accurate 5-stage pipeline.
+    Art9Pipelined {
+        /// Forwarding multiplexers enabled (the paper's design point).
+        forwarding: bool,
+    },
+    /// RV32 substrate under the PicoRV32 (non-pipelined) cycle model.
+    Rv32PicoRv32,
+    /// RV32 substrate under the VexRiscv (5-stage) cycle model.
+    Rv32VexRiscv,
+}
+
+impl SimConfig {
+    /// The full comparison matrix of the paper: both ART-9 simulators
+    /// (pipeline with and without forwarding) and both binary baselines.
+    pub const FULL_MATRIX: [SimConfig; 5] = [
+        SimConfig::Art9Functional,
+        SimConfig::Art9Pipelined { forwarding: true },
+        SimConfig::Art9Pipelined { forwarding: false },
+        SimConfig::Rv32PicoRv32,
+        SimConfig::Rv32VexRiscv,
+    ];
+
+    /// Stable display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SimConfig::Art9Functional => "art9-functional",
+            SimConfig::Art9Pipelined { forwarding: true } => "art9-pipelined",
+            SimConfig::Art9Pipelined { forwarding: false } => "art9-pipelined-nofwd",
+            SimConfig::Rv32PicoRv32 => "rv32-picorv32",
+            SimConfig::Rv32VexRiscv => "rv32-vexriscv",
+        }
+    }
+
+    fn needs_translation(&self) -> bool {
+        matches!(self, SimConfig::Art9Functional | SimConfig::Art9Pipelined { .. })
+    }
+}
+
+/// How one (workload, config) execution ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// Simulation completed and the output region verified.
+    Verified,
+    /// Simulation completed but the output did not match the golden
+    /// reference.
+    VerifyFailed(String),
+    /// The simulator or the preparation stage reported an error.
+    Error(String),
+}
+
+/// The result of one workload under one configuration.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// Workload name (e.g. `"bubble-sort"`).
+    pub workload: &'static str,
+    /// Configuration the run executed under.
+    pub config: SimConfig,
+    /// Simulated clock cycles, when the configuration has a timing
+    /// model (`None` for the functional reference simulator).
+    pub cycles: Option<u64>,
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Full pipeline accounting for ART-9 pipelined runs.
+    pub pipeline: Option<PipelineStats>,
+    /// Host wall-clock time spent simulating (excludes preparation).
+    pub host_time: Duration,
+    /// Outcome of the run.
+    pub outcome: RunOutcome,
+}
+
+impl RunRecord {
+    /// Cycles per instruction. `None` when the run had no timing model
+    /// or retired no instructions (a CPI would be meaningless).
+    pub fn cpi(&self) -> Option<f64> {
+        match (self.cycles, self.instructions) {
+            (Some(c), n) if n > 0 => Some(c as f64 / n as f64),
+            _ => None,
+        }
+    }
+}
+
+/// Aggregate of a whole batch.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Every run, in workload-major, config-minor submission order.
+    pub runs: Vec<RunRecord>,
+    /// Wall-clock time for the whole batch (preparation + execution).
+    pub wall_time: Duration,
+    /// Sum of per-workload host time spent in the prepare stage
+    /// (parsing, translation, the shared RV32 functional check).
+    pub prepare_host_time: Duration,
+    /// Worker threads available to the runner.
+    pub threads: usize,
+}
+
+impl BatchReport {
+    /// The record for one (workload, config) cell of the matrix.
+    pub fn find(&self, workload: &str, config: SimConfig) -> Option<&RunRecord> {
+        self.runs.iter().find(|r| r.workload == workload && r.config == config)
+    }
+
+    /// Number of runs that did not end in [`RunOutcome::Verified`].
+    pub fn failures(&self) -> usize {
+        self.runs.iter().filter(|r| r.outcome != RunOutcome::Verified).count()
+    }
+
+    /// Sum of simulated cycles over all timed runs.
+    pub fn total_cycles(&self) -> u64 {
+        self.runs.iter().filter_map(|r| r.cycles).sum()
+    }
+
+    /// Sum of retired instructions over all runs.
+    pub fn total_instructions(&self) -> u64 {
+        self.runs.iter().map(|r| r.instructions).sum()
+    }
+
+    /// Sum of per-run host simulation time (excluding preparation).
+    pub fn total_host_time(&self) -> Duration {
+        self.runs.iter().map(|r| r.host_time).sum()
+    }
+
+    /// Ratio of serial-equivalent host time (preparation + every run)
+    /// to batch wall time. Values above 1.0 mean the parallel fan-out
+    /// paid off.
+    pub fn parallel_speedup(&self) -> f64 {
+        (self.total_host_time() + self.prepare_host_time).as_secs_f64()
+            / self.wall_time.as_secs_f64().max(1e-9)
+    }
+
+    /// Simulated cycles per host second over the whole batch.
+    pub fn cycles_per_second(&self) -> f64 {
+        self.total_cycles() as f64 / self.wall_time.as_secs_f64().max(1e-9)
+    }
+
+    /// Renders the per-run table plus the aggregate footer.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<14} {:<20} {:>12} {:>13} {:>6} {:>10}  {}",
+            "workload", "config", "cycles", "instructions", "CPI", "host", "outcome"
+        );
+        for r in &self.runs {
+            let cycles = r.cycles.map_or_else(|| "-".to_string(), |c| c.to_string());
+            let cpi = r.cpi().map_or_else(|| "-".to_string(), |v| format!("{v:.2}"));
+            let outcome = match &r.outcome {
+                RunOutcome::Verified => "ok".to_string(),
+                RunOutcome::VerifyFailed(e) => format!("VERIFY: {e}"),
+                RunOutcome::Error(e) => format!("ERROR: {e}"),
+            };
+            let _ = writeln!(
+                out,
+                "{:<14} {:<20} {:>12} {:>13} {:>6} {:>8.1}ms  {}",
+                r.workload,
+                r.config.name(),
+                cycles,
+                r.instructions,
+                cpi,
+                r.host_time.as_secs_f64() * 1e3,
+                outcome
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{} runs, {} failed | {} simulated cycles, {} instructions",
+            self.runs.len(),
+            self.failures(),
+            self.total_cycles(),
+            self.total_instructions(),
+        );
+        let _ = writeln!(
+            out,
+            "wall {:.1} ms on {} threads (serial-equivalent {:.1} ms = {:.1} prepare + {:.1} run, speedup {:.2}x, {:.2e} cycles/s)",
+            self.wall_time.as_secs_f64() * 1e3,
+            self.threads,
+            (self.prepare_host_time + self.total_host_time()).as_secs_f64() * 1e3,
+            self.prepare_host_time.as_secs_f64() * 1e3,
+            self.total_host_time().as_secs_f64() * 1e3,
+            self.parallel_speedup(),
+            self.cycles_per_second(),
+        );
+        out
+    }
+}
+
+/// A prepared workload: parsed once, translated once, functionally
+/// checked once, shared by every configuration that runs it.
+struct Prepared {
+    workload: Workload,
+    rv: Result<Rv32Program, String>,
+    translation: Option<Result<Translation, String>>,
+    /// Outcome of the single functional RV32 run + verification shared
+    /// by every RV32 timing config (`None` when the batch has no RV32
+    /// config or the source did not parse).
+    rv_functional: Option<RunOutcome>,
+}
+
+/// Executes many workloads under many simulator configurations in
+/// parallel. See the [module docs](self) for an example.
+#[derive(Debug, Clone)]
+pub struct BatchRunner {
+    workloads: Vec<Workload>,
+    configs: Vec<SimConfig>,
+    max_steps: u64,
+}
+
+impl Default for BatchRunner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BatchRunner {
+    /// An empty runner with the default step budget.
+    pub fn new() -> Self {
+        BatchRunner { workloads: Vec::new(), configs: Vec::new(), max_steps: DEFAULT_MAX_STEPS }
+    }
+
+    /// Adds one workload.
+    pub fn workload(mut self, w: Workload) -> Self {
+        self.workloads.push(w);
+        self
+    }
+
+    /// Adds many workloads.
+    pub fn workloads(mut self, ws: impl IntoIterator<Item = Workload>) -> Self {
+        self.workloads.extend(ws);
+        self
+    }
+
+    /// Adds one simulator configuration.
+    pub fn config(mut self, c: SimConfig) -> Self {
+        self.configs.push(c);
+        self
+    }
+
+    /// Adds many simulator configurations.
+    pub fn configs(mut self, cs: impl IntoIterator<Item = SimConfig>) -> Self {
+        self.configs.extend(cs);
+        self
+    }
+
+    /// Overrides the per-run step/cycle budget.
+    pub fn max_steps(mut self, n: u64) -> Self {
+        self.max_steps = n;
+        self
+    }
+
+    /// Runs the whole workload × config matrix in parallel.
+    ///
+    /// Never panics on a failing run: errors are captured per record
+    /// as [`RunOutcome::Error`] / [`RunOutcome::VerifyFailed`] so one
+    /// bad program cannot take down a batch.
+    pub fn run(&self) -> BatchReport {
+        let start = Instant::now();
+        let needs_translation = self.configs.iter().any(SimConfig::needs_translation);
+        let needs_rv32 = self
+            .configs
+            .iter()
+            .any(|c| matches!(c, SimConfig::Rv32PicoRv32 | SimConfig::Rv32VexRiscv));
+        let max_steps = self.max_steps;
+
+        // Stage 1: prepare every workload once, in parallel.
+        let prepared: Vec<(Arc<Prepared>, Duration)> = self
+            .workloads
+            .clone()
+            .into_par_iter()
+            .map(|w| {
+                let t0 = Instant::now();
+                let rv = w.rv32_program().map_err(|e| e.to_string());
+                let translation = match (&rv, needs_translation) {
+                    (Ok(p), true) => {
+                        Some(art9_compiler::translate(p).map_err(|e| e.to_string()))
+                    }
+                    _ => None,
+                };
+                let rv_functional = match (&rv, needs_rv32) {
+                    (Ok(p), true) => {
+                        let mut machine = rv32::Machine::new(p);
+                        Some(match machine.run(max_steps) {
+                            Err(e) => RunOutcome::Error(e.to_string()),
+                            Ok(_) => match w.verify_rv32(&machine) {
+                                Ok(()) => RunOutcome::Verified,
+                                Err(e) => RunOutcome::VerifyFailed(e.to_string()),
+                            },
+                        })
+                    }
+                    _ => None,
+                };
+                let p = Arc::new(Prepared { workload: w, rv, translation, rv_functional });
+                (p, t0.elapsed())
+            })
+            .collect();
+        let prepare_host_time: Duration = prepared.iter().map(|(_, d)| *d).sum();
+        let prepared: Vec<Arc<Prepared>> = prepared.into_iter().map(|(p, _)| p).collect();
+
+        // Stage 2: the cross product, in parallel. Records come back in
+        // workload-major order, but work is *submitted* config-major so
+        // that one heavy workload's runs spread across the contiguous
+        // per-thread chunks instead of piling onto a single worker.
+        let n_cfg = self.configs.len();
+        let pairs: Vec<(usize, Arc<Prepared>, SimConfig)> = self
+            .configs
+            .iter()
+            .enumerate()
+            .flat_map(|(ci, c)| {
+                prepared
+                    .iter()
+                    .enumerate()
+                    .map(move |(wi, p)| (wi * n_cfg + ci, Arc::clone(p), *c))
+            })
+            .collect();
+        let mut indexed: Vec<(usize, RunRecord)> = pairs
+            .into_par_iter()
+            .map(|(idx, p, config)| (idx, execute(&p, config, max_steps)))
+            .collect();
+        indexed.sort_by_key(|(idx, _)| *idx);
+        let runs = indexed.into_iter().map(|(_, r)| r).collect();
+
+        BatchReport {
+            runs,
+            wall_time: start.elapsed(),
+            prepare_host_time,
+            threads: rayon::current_num_threads(),
+        }
+    }
+}
+
+/// Runs one prepared workload under one configuration.
+fn execute(p: &Prepared, config: SimConfig, max_steps: u64) -> RunRecord {
+    let name = p.workload.name;
+    // Failure record; `host_time` is whatever the simulator burned
+    // before erroring (zero when it never ran).
+    let fail = |outcome: RunOutcome, host_time: Duration| RunRecord {
+        workload: name,
+        config,
+        cycles: None,
+        instructions: 0,
+        pipeline: None,
+        host_time,
+        outcome,
+    };
+
+    let rv = match &p.rv {
+        Ok(rv) => rv,
+        Err(e) => return fail(RunOutcome::Error(format!("parse: {e}")), Duration::ZERO),
+    };
+
+    match config {
+        SimConfig::Art9Functional | SimConfig::Art9Pipelined { .. } => {
+            let t = match p.translation.as_ref() {
+                Some(Ok(t)) => t,
+                Some(Err(e)) => {
+                    return fail(RunOutcome::Error(format!("translate: {e}")), Duration::ZERO)
+                }
+                None => {
+                    return fail(RunOutcome::Error("translation unavailable".into()), Duration::ZERO)
+                }
+            };
+            let start = Instant::now();
+            match config {
+                SimConfig::Art9Functional => {
+                    let mut sim = FunctionalSim::new(&t.program);
+                    let result = match sim.run(max_steps) {
+                        Ok(r) => r,
+                        Err(e) => {
+                            return fail(RunOutcome::Error(e.to_string()), start.elapsed())
+                        }
+                    };
+                    let host_time = start.elapsed();
+                    let outcome = match p.workload.verify_art9(sim.state()) {
+                        Ok(()) => RunOutcome::Verified,
+                        Err(e) => RunOutcome::VerifyFailed(e.to_string()),
+                    };
+                    RunRecord {
+                        workload: name,
+                        config,
+                        cycles: None,
+                        instructions: result.instructions,
+                        pipeline: None,
+                        host_time,
+                        outcome,
+                    }
+                }
+                _ => {
+                    let forwarding =
+                        matches!(config, SimConfig::Art9Pipelined { forwarding: true });
+                    let mut core = PipelinedSim::new(&t.program);
+                    if !forwarding {
+                        core.disable_forwarding();
+                    }
+                    let stats = match core.run(max_steps) {
+                        Ok(s) => s,
+                        Err(e) => {
+                            return fail(RunOutcome::Error(e.to_string()), start.elapsed())
+                        }
+                    };
+                    let host_time = start.elapsed();
+                    let outcome = match p.workload.verify_art9(core.state()) {
+                        Ok(()) => RunOutcome::Verified,
+                        Err(e) => RunOutcome::VerifyFailed(e.to_string()),
+                    };
+                    RunRecord {
+                        workload: name,
+                        config,
+                        cycles: Some(stats.cycles),
+                        instructions: stats.instructions,
+                        pipeline: Some(stats),
+                        host_time,
+                        outcome,
+                    }
+                }
+            }
+        }
+        SimConfig::Rv32PicoRv32 | SimConfig::Rv32VexRiscv => {
+            // The functional run + verification happened once in the
+            // prepare stage; here only the requested cycle model runs.
+            let outcome = match &p.rv_functional {
+                Some(o) => o.clone(),
+                None => {
+                    return fail(
+                        RunOutcome::Error("rv32 functional check unavailable".into()),
+                        Duration::ZERO,
+                    )
+                }
+            };
+            if matches!(outcome, RunOutcome::Error(_)) {
+                return fail(outcome, Duration::ZERO);
+            }
+            let start = Instant::now();
+            let timing = match config {
+                SimConfig::Rv32PicoRv32 => {
+                    rv32::simulate_cycles(rv, &mut PicoRv32Model::new(), max_steps)
+                }
+                _ => rv32::simulate_cycles(rv, &mut VexRiscvModel::new(), max_steps),
+            };
+            let report = match timing {
+                Ok(r) => r,
+                Err(e) => return fail(RunOutcome::Error(e.to_string()), start.elapsed()),
+            };
+            RunRecord {
+                workload: name,
+                config,
+                cycles: Some(report.cycles),
+                instructions: report.instructions,
+                pipeline: None,
+                host_time: start.elapsed(),
+                outcome,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{bubble_sort, dot_product};
+
+    fn small_batch() -> BatchReport {
+        BatchRunner::new()
+            .workload(bubble_sort(8))
+            .workload(dot_product(6))
+            .configs([
+                SimConfig::Art9Pipelined { forwarding: true },
+                SimConfig::Rv32PicoRv32,
+            ])
+            .max_steps(10_000_000)
+            .run()
+    }
+
+    #[test]
+    fn two_by_two_matrix_all_verified() {
+        let report = small_batch();
+        assert_eq!(report.runs.len(), 4);
+        assert_eq!(report.failures(), 0, "{}", report.render());
+        // Workload-major order is deterministic.
+        let names: Vec<_> = report.runs.iter().map(|r| (r.workload, r.config)).collect();
+        assert_eq!(
+            names,
+            vec![
+                ("bubble-sort", SimConfig::Art9Pipelined { forwarding: true }),
+                ("bubble-sort", SimConfig::Rv32PicoRv32),
+                ("dot-product", SimConfig::Art9Pipelined { forwarding: true }),
+                ("dot-product", SimConfig::Rv32PicoRv32),
+            ]
+        );
+    }
+
+    #[test]
+    fn batch_results_match_direct_runs() {
+        let report = small_batch();
+        // Direct pipelined run of bubble_sort(8) must agree with the
+        // batch record (simulators are deterministic).
+        let w = bubble_sort(8);
+        let t = art9_compiler::translate(&w.rv32_program().unwrap()).unwrap();
+        let mut core = PipelinedSim::new(&t.program);
+        let stats = core.run(10_000_000).unwrap();
+        let r = &report.runs[0];
+        assert_eq!(r.cycles, Some(stats.cycles));
+        assert_eq!(r.instructions, stats.instructions);
+        assert_eq!(r.pipeline.unwrap(), stats);
+    }
+
+    #[test]
+    fn full_matrix_functional_has_no_cycles() {
+        let report = BatchRunner::new()
+            .workload(dot_product(4))
+            .configs(SimConfig::FULL_MATRIX)
+            .max_steps(10_000_000)
+            .run();
+        assert_eq!(report.runs.len(), 5);
+        assert_eq!(report.failures(), 0, "{}", report.render());
+        let functional = &report.runs[0];
+        assert_eq!(functional.config, SimConfig::Art9Functional);
+        assert_eq!(functional.cycles, None);
+        assert!(functional.instructions > 0);
+        // No-forwarding pipeline can never be faster than forwarding.
+        let fwd = report.runs[1].cycles.unwrap();
+        let nofwd = report.runs[2].cycles.unwrap();
+        assert!(nofwd >= fwd, "forwarding off ({nofwd}) beat on ({fwd})");
+    }
+
+    #[test]
+    fn errors_are_captured_not_propagated() {
+        let mut w = bubble_sort(4);
+        w.source = "this is not assembly".into();
+        let report = BatchRunner::new()
+            .workload(w)
+            .workload(dot_product(4))
+            .config(SimConfig::Rv32PicoRv32)
+            .max_steps(1_000_000)
+            .run();
+        assert_eq!(report.runs.len(), 2);
+        assert_eq!(report.failures(), 1);
+        assert!(matches!(report.runs[0].outcome, RunOutcome::Error(_)));
+        assert_eq!(report.runs[1].outcome, RunOutcome::Verified);
+    }
+
+    #[test]
+    fn render_mentions_every_run_and_totals() {
+        let report = small_batch();
+        let text = report.render();
+        assert!(text.contains("bubble-sort"));
+        assert!(text.contains("dot-product"));
+        assert!(text.contains("art9-pipelined"));
+        assert!(text.contains("rv32-picorv32"));
+        assert!(text.contains("4 runs, 0 failed"));
+        assert!(report.total_cycles() > 0);
+        assert!(report.total_instructions() > 0);
+    }
+}

@@ -26,6 +26,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 mod bubble;
 mod dhrystone;
 mod extras;
@@ -144,10 +145,19 @@ impl Workload {
     }
 }
 
+/// Dhrystone iteration count the paper suite runs (Tables II/III);
+/// shared so table renderers divide by the same number the suite ran.
+pub const PAPER_DHRYSTONE_ITERATIONS: usize = 100;
+
 /// The paper's benchmark suite at the parameters used for Table III
 /// and Fig. 5 (DESIGN.md §3.4).
 pub fn paper_suite() -> Vec<Workload> {
-    vec![bubble_sort(20), gemm(6), sobel(), dhrystone(100)]
+    vec![
+        bubble_sort(20),
+        gemm(6),
+        sobel(),
+        dhrystone(PAPER_DHRYSTONE_ITERATIONS),
+    ]
 }
 
 /// Deterministic pseudo-random small integers for workload inputs

@@ -1,0 +1,232 @@
+//! Offline shim for the subset of [criterion](https://docs.rs/criterion)
+//! this workspace uses.
+//!
+//! The build environment has no network access, so the workspace
+//! vendors a small, API-compatible timing harness instead of the real
+//! crate: fixed warm-up, a wall-clock measurement budget per benchmark,
+//! mean ns/iteration (no statistics, no HTML reports). Kept compatible:
+//!
+//! * [`Criterion::bench_function`] / [`Criterion::benchmark_group`];
+//! * [`BenchmarkGroup::throughput`] with [`Throughput::Elements`] /
+//!   [`Throughput::Bytes`];
+//! * [`Bencher::iter`], [`black_box`], `criterion_group!`,
+//!   `criterion_main!`.
+//!
+//! Binaries built against the shim honour `--bench <filter>` substring
+//! filtering and a `--quick` flag that shrinks the measurement budget;
+//! unknown flags (as passed by `cargo bench`/`cargo test`) are ignored.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier — re-export of [`std::hint::black_box`].
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Work performed per iteration, used to derive rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Per-iteration timing loop handed to the closure of
+/// [`Criterion::bench_function`].
+pub struct Bencher {
+    measured: Duration,
+    iterations: u64,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Calls `f` repeatedly until the measurement budget is exhausted,
+    /// recording the mean cost.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up + per-iteration cost probe.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+
+        let per_batch = (Duration::from_millis(5).as_nanos() / once.as_nanos()).clamp(1, 1 << 20);
+        let start = Instant::now();
+        let mut iterations = 0u64;
+        while start.elapsed() < self.budget {
+            for _ in 0..per_batch {
+                black_box(f());
+            }
+            iterations += per_batch as u64;
+        }
+        self.measured = start.elapsed();
+        self.iterations = iterations.max(1);
+    }
+}
+
+/// Collects the results of one named benchmark scope.
+pub struct Criterion {
+    filter: Option<String>,
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut budget = Duration::from_millis(300);
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--bench" => {
+                    // `cargo bench` appends `--bench`; a following bare
+                    // word is a name filter.
+                    if let Some(next) = args.next() {
+                        if !next.starts_with('-') {
+                            filter = Some(next);
+                        }
+                    }
+                }
+                "--quick" | "--test" => budget = Duration::from_millis(20),
+                _ if !a.starts_with('-') => filter = Some(a),
+                _ => {}
+            }
+        }
+        Criterion { filter, budget }
+    }
+}
+
+impl Criterion {
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        run_one(&name, None, self.filter.as_deref(), self.budget, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { parent: self, name: name.into(), throughput: None }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and an optional
+/// throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration work used for rate reporting on
+    /// subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.into());
+        run_one(
+            &full,
+            self.throughput,
+            self.parent.filter.as_deref(),
+            self.parent.budget,
+            f,
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    name: &str,
+    throughput: Option<Throughput>,
+    filter: Option<&str>,
+    budget: Duration,
+    mut f: F,
+) {
+    if let Some(pat) = filter {
+        if !name.contains(pat) {
+            return;
+        }
+    }
+    let mut b = Bencher { measured: Duration::ZERO, iterations: 0, budget };
+    f(&mut b);
+    if b.iterations == 0 {
+        // The closure never called `iter`.
+        println!("{name:<44} (no measurement)");
+        return;
+    }
+    let ns = b.measured.as_nanos() as f64 / b.iterations as f64;
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            let rate = n as f64 / (ns * 1e-9);
+            println!("{name:<44} {ns:>14.1} ns/iter {rate:>14.3e} elem/s");
+        }
+        Some(Throughput::Bytes(n)) => {
+            let rate = n as f64 / (ns * 1e-9);
+            println!("{name:<44} {ns:>14.1} ns/iter {rate:>14.3e} B/s");
+        }
+        None => println!("{name:<44} {ns:>14.1} ns/iter"),
+    }
+}
+
+/// Declares a benchmark group function running each listed bench
+/// function against one [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_prints() {
+        let mut c = Criterion { filter: None, budget: Duration::from_millis(5) };
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_filtering_skips_nonmatching() {
+        let mut c = Criterion {
+            filter: Some("nomatch".into()),
+            budget: Duration::from_millis(5),
+        };
+        let mut g = c.benchmark_group("g");
+        let mut ran = false;
+        g.bench_function("skipped", |_b| ran = true);
+        g.finish();
+        assert!(!ran);
+    }
+}

@@ -1,0 +1,112 @@
+//! Offline shim for the subset of [proptest](https://docs.rs/proptest)
+//! this workspace uses.
+//!
+//! The build environment has no network access, so the workspace
+//! vendors an API-compatible substitute instead of the real crate:
+//! random generation with a deterministic per-test seed, but **no
+//! shrinking** and no persistence of failing cases. The surface kept
+//! compatible:
+//!
+//! * [`strategy::Strategy`] with `prop_map` / `prop_filter` / `boxed`;
+//! * range strategies (`-10i32..=10`, `0usize..4`), tuple strategies
+//!   (up to 6 elements), [`strategy::Just`], weighted and unweighted
+//!   [`prop_oneof!`];
+//! * [`collection::vec`] with exact, `a..b` and `a..=b` sizes;
+//! * [`num`]`::<prim>::ANY`;
+//! * the [`proptest!`] macro with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header, and
+//!   the `prop_assert*` macros.
+//!
+//! Swapping the real crate back in is a one-line change in the root
+//! `Cargo.toml`'s `[workspace.dependencies]`.
+
+pub mod collection;
+pub mod num;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything a property test file needs in scope.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Deterministic test RNG (SplitMix64). Seeded from the test name so
+/// failures reproduce across runs without any persistence files.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator with the given seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed ^ 0x9e37_79b9_7f4a_7c15 }
+    }
+
+    /// Seed helper: FNV-1a over a test name.
+    pub fn seed_from_name(name: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `lo..=hi` (inclusive), computed in i128 so the
+    /// full i64/u64 ranges work.
+    pub fn gen_range_i128(&mut self, lo: i128, hi: i128) -> i128 {
+        debug_assert!(lo <= hi);
+        let span = (hi - lo) as u128 + 1;
+        if span == 0 {
+            // Full 128-bit span cannot happen from 64-bit primitives.
+            return lo;
+        }
+        let r = ((self.next_u64() as u128) << 64) | self.next_u64() as u128;
+        lo + (r % span) as i128
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::TestRng;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::new(7);
+        let mut b = TestRng::new(7);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn range_strategy_stays_in_range() {
+        let mut rng = TestRng::new(1);
+        let s = -5i64..=5;
+        for _ in 0..100 {
+            let v = Strategy::generate(&s, &mut rng);
+            assert!((-5..=5).contains(&v));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_smoke(v in 0u32..100, w in crate::num::i64::ANY) {
+            prop_assert!(v < 100);
+            let _ = w;
+        }
+    }
+}

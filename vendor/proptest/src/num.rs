@@ -1,0 +1,38 @@
+//! Whole-domain numeric strategies (`proptest::num::i64::ANY`, …).
+
+macro_rules! any_modules {
+    ($($mod_name:ident => $t:ty),* $(,)?) => {$(
+        /// Strategies for this primitive type.
+        pub mod $mod_name {
+            use crate::strategy::Strategy;
+            use crate::TestRng;
+
+            /// Strategy covering the type's entire domain.
+            #[derive(Debug, Clone, Copy)]
+            pub struct Any;
+
+            /// The canonical [`Any`] instance.
+            pub const ANY: Any = Any;
+
+            impl Strategy for Any {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        }
+    )*};
+}
+
+any_modules! {
+    i8 => i8,
+    i16 => i16,
+    i32 => i32,
+    i64 => i64,
+    u8 => u8,
+    u16 => u16,
+    u32 => u32,
+    u64 => u64,
+    usize => usize,
+    isize => isize,
+}

@@ -1,0 +1,94 @@
+//! Test-runner configuration and the `proptest!` / `prop_assert*`
+//! macros.
+
+/// How many random cases each property runs.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Declare property tests.
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #[test]
+///     fn addition_commutes(a in -100i64..=100, b in -100i64..=100) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: one expansion per test fn.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let seed = $crate::TestRng::seed_from_name(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            let mut rng = $crate::TestRng::new(seed);
+            // A tuple of strategies is itself a strategy; evaluate the
+            // strategy expressions once, generate per case.
+            let strategies = ($($strat,)+);
+            for _case in 0..config.cases {
+                let ($($pat,)+) =
+                    $crate::strategy::Strategy::generate(&strategies, &mut rng);
+                $body
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Property assertion (plain).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Property assertion (equality).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Property assertion (inequality).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}

@@ -1,0 +1,236 @@
+//! Offline shim for the subset of [rayon](https://docs.rs/rayon) this
+//! workspace uses.
+//!
+//! The build environment has no network access, so the workspace
+//! vendors a small data-parallelism layer instead of the real crate.
+//! It provides real OS-thread parallelism (scoped threads over
+//! contiguous chunks, one per available core) but no work stealing.
+//! Kept compatible:
+//!
+//! * `vec.into_par_iter().map(f).collect::<Vec<_>>()`;
+//! * `slice.par_iter().map(f).collect::<Vec<_>>()`;
+//! * [`join`], [`current_num_threads`].
+//!
+//! Ordering: `collect` preserves the input order, like rayon's indexed
+//! parallel iterators.
+
+use std::num::NonZeroUsize;
+use std::thread;
+
+pub mod prelude {
+    //! Traits to bring parallel-iterator methods into scope.
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+/// Number of worker threads a parallel operation will use.
+pub fn current_num_threads() -> usize {
+    thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Runs both closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon-shim: joined closure panicked"))
+    })
+}
+
+/// Conversion into a parallel iterator (by value).
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Converts `self` into a parallel iterator over owned items.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// Conversion into a parallel iterator over references.
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type (a reference).
+    type Item: Send;
+    /// Parallel iterator over `&self`'s items.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+/// A materialized parallel iterator.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Maps every item through `f` in parallel (at `collect` time).
+    pub fn map<O, F>(self, f: F) -> MapParIter<T, F>
+    where
+        O: Send,
+        F: Fn(T) -> O + Sync,
+    {
+        MapParIter { items: self.items, f }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the iterator is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// A mapped parallel iterator; the map runs when collected.
+pub struct MapParIter<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, F> MapParIter<T, F> {
+    /// Runs the map across worker threads, preserving input order.
+    pub fn collect<O, C>(self) -> C
+    where
+        T: Send,
+        O: Send,
+        F: Fn(T) -> O + Sync,
+        C: FromIterator<O>,
+    {
+        self.collect_with_workers(current_num_threads())
+    }
+
+    /// [`collect`](Self::collect) with an explicit worker count (also
+    /// lets single-core hosts exercise the fan-out path in tests).
+    pub fn collect_with_workers<O, C>(self, workers: usize) -> C
+    where
+        T: Send,
+        O: Send,
+        F: Fn(T) -> O + Sync,
+        C: FromIterator<O>,
+    {
+        let MapParIter { mut items, f } = self;
+        let n = items.len();
+        if n == 0 {
+            return std::iter::empty().collect();
+        }
+        let workers = workers.clamp(1, n);
+        if workers == 1 {
+            return items.into_iter().map(f).collect();
+        }
+
+        // Contiguous chunks, sized to differ by at most one item.
+        let base = n / workers;
+        let extra = n % workers;
+        let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+        for w in (0..workers).rev() {
+            let take = base + usize::from(w < extra);
+            let tail = items.split_off(items.len() - take);
+            chunks.push(tail);
+        }
+        chunks.reverse();
+
+        let f = &f;
+        let per_chunk: Vec<Vec<O>> = thread::scope(|s| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| s.spawn(move || chunk.into_iter().map(f).collect::<Vec<O>>()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rayon-shim: worker panicked"))
+                .collect()
+        });
+        per_chunk.into_iter().flatten().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = v.clone().into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, v.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_over_refs() {
+        let v = vec![1i64, 2, 3, 4, 5];
+        let sums: Vec<i64> = v.par_iter().map(|x| x + 1).collect();
+        assert_eq!(sums, vec![2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn empty_input() {
+        let v: Vec<u8> = Vec::new();
+        let out: Vec<u8> = v.into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn forced_fanout_spawns_workers_and_preserves_order() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let ids = Mutex::new(HashSet::new());
+        let v: Vec<usize> = (0..67).collect();
+        let out: Vec<usize> = v
+            .clone()
+            .into_par_iter()
+            .map(|x| {
+                ids.lock().unwrap().insert(std::thread::current().id());
+                x * 3
+            })
+            .collect_with_workers(4);
+        assert_eq!(out, v.iter().map(|x| x * 3).collect::<Vec<_>>());
+        // Four scoped workers, none of which is this thread.
+        let ids = ids.lock().unwrap();
+        assert_eq!(ids.len(), 4);
+        assert!(!ids.contains(&std::thread::current().id()));
+    }
+
+    #[test]
+    fn uneven_chunking_covers_all_items() {
+        for workers in 1..=8 {
+            for n in [1usize, 2, 7, 8, 9, 63] {
+                let v: Vec<usize> = (0..n).collect();
+                let out: Vec<usize> =
+                    v.clone().into_par_iter().map(|x| x + 1).collect_with_workers(workers);
+                assert_eq!(out, v.iter().map(|x| x + 1).collect::<Vec<_>>(), "w={workers} n={n}");
+            }
+        }
+    }
+}
