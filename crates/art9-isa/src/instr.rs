@@ -251,35 +251,66 @@ pub const NOP: Instruction = Instruction::Addi {
 };
 
 impl Instruction {
-    /// The instruction's mnemonic, upper-case as in Table I.
-    pub const fn mnemonic(&self) -> &'static str {
+    /// Number of distinct opcodes in the ISA — the length of
+    /// [`Instruction::MNEMONICS`] and the size of dense per-opcode
+    /// tables such as the simulators' instruction-mix counters.
+    pub const OPCODE_COUNT: usize = 24;
+
+    /// Every mnemonic, indexed by [`Instruction::opcode`] (Table I order).
+    pub const MNEMONICS: [&'static str; Self::OPCODE_COUNT] = [
+        "MV", "PTI", "NTI", "STI", "AND", "OR", "XOR", "ADD", "SUB", "SR", "SL", "COMP", "ANDI",
+        "ADDI", "SRI", "SLI", "LUI", "LI", "BEQ", "BNE", "JAL", "JALR", "LOAD", "STORE",
+    ];
+
+    /// A dense opcode index in `0..OPCODE_COUNT`, stable across runs.
+    ///
+    /// Lets hot loops count or dispatch per opcode through a flat array
+    /// instead of hashing the mnemonic string.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use art9_isa::{Instruction, TReg};
+    ///
+    /// let add = Instruction::Add { a: TReg::T3, b: TReg::T4 };
+    /// assert_eq!(Instruction::MNEMONICS[add.opcode()], add.mnemonic());
+    /// ```
+    pub const fn opcode(&self) -> usize {
         use Instruction::*;
         match self {
-            Mv { .. } => "MV",
-            Pti { .. } => "PTI",
-            Nti { .. } => "NTI",
-            Sti { .. } => "STI",
-            And { .. } => "AND",
-            Or { .. } => "OR",
-            Xor { .. } => "XOR",
-            Add { .. } => "ADD",
-            Sub { .. } => "SUB",
-            Sr { .. } => "SR",
-            Sl { .. } => "SL",
-            Comp { .. } => "COMP",
-            Andi { .. } => "ANDI",
-            Addi { .. } => "ADDI",
-            Sri { .. } => "SRI",
-            Sli { .. } => "SLI",
-            Lui { .. } => "LUI",
-            Li { .. } => "LI",
-            Beq { .. } => "BEQ",
-            Bne { .. } => "BNE",
-            Jal { .. } => "JAL",
-            Jalr { .. } => "JALR",
-            Load { .. } => "LOAD",
-            Store { .. } => "STORE",
+            Mv { .. } => 0,
+            Pti { .. } => 1,
+            Nti { .. } => 2,
+            Sti { .. } => 3,
+            And { .. } => 4,
+            Or { .. } => 5,
+            Xor { .. } => 6,
+            Add { .. } => 7,
+            Sub { .. } => 8,
+            Sr { .. } => 9,
+            Sl { .. } => 10,
+            Comp { .. } => 11,
+            Andi { .. } => 12,
+            Addi { .. } => 13,
+            Sri { .. } => 14,
+            Sli { .. } => 15,
+            Lui { .. } => 16,
+            Li { .. } => 17,
+            Beq { .. } => 18,
+            Bne { .. } => 19,
+            Jal { .. } => 20,
+            Jalr { .. } => 21,
+            Load { .. } => 22,
+            Store { .. } => 23,
         }
+    }
+
+    /// The instruction's mnemonic, upper-case as in Table I.
+    ///
+    /// Defined through [`Instruction::opcode`] so the mnemonic table and
+    /// the opcode index cannot drift apart.
+    pub const fn mnemonic(&self) -> &'static str {
+        Self::MNEMONICS[self.opcode()]
     }
 
     /// The instruction's category (Table I's Type column).
@@ -421,6 +452,17 @@ mod tests {
             "STORE",
         ];
         assert_eq!(all.len(), 24);
+    }
+
+    #[test]
+    fn opcode_index_is_dense_and_matches_mnemonic() {
+        for i in sample() {
+            assert!(i.opcode() < Instruction::OPCODE_COUNT);
+            assert_eq!(Instruction::MNEMONICS[i.opcode()], i.mnemonic());
+        }
+        // Table order: MV is 0, STORE is last.
+        assert_eq!(Instruction::MNEMONICS[0], "MV");
+        assert_eq!(Instruction::MNEMONICS[Instruction::OPCODE_COUNT - 1], "STORE");
     }
 
     #[test]

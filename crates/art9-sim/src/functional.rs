@@ -11,11 +11,14 @@
 //! transfer whose target equals its own address stops the machine.
 //! Falling off the end of TIM (PC == text length) also halts cleanly.
 
+use std::sync::Arc;
+
 use art9_isa::{Instruction, Program, TReg};
 use ternary::{TernaryMemory, Word9};
 
 use crate::error::SimError;
 use crate::exec::{control_target, talu};
+use crate::predecode::PredecodedProgram;
 
 /// Default TDM size in words (matches the 256-word memories behind
 /// Table V's RAM accounting).
@@ -66,10 +69,16 @@ impl std::fmt::Display for CoreState {
 impl CoreState {
     /// Fresh state: PC 0, zeroed registers, TDM loaded from `program`.
     pub fn new(program: &Program, tdm_words: usize) -> Self {
+        Self::with_image(program.data(), tdm_words)
+    }
+
+    /// Fresh state with the TDM loaded from a bare data image (grown to
+    /// fit if the image is larger than `tdm_words`).
+    pub fn with_image(data: &[Word9], tdm_words: usize) -> Self {
         Self {
             pc: 0,
             trf: [Word9::ZERO; 9],
-            tdm: TernaryMemory::with_image(tdm_words.max(program.data().len()), program.data()),
+            tdm: TernaryMemory::with_image(tdm_words.max(data.len()), data),
         }
     }
 
@@ -117,11 +126,12 @@ impl CoreState {
 /// ```
 #[derive(Debug, Clone)]
 pub struct FunctionalSim {
-    text: Vec<Instruction>,
+    text: Arc<[Instruction]>,
+    links: Arc<[Word9]>,
     state: CoreState,
     instructions: u64,
     halted: Option<HaltReason>,
-    mix: std::collections::BTreeMap<&'static str, u64>,
+    mix: [u64; Instruction::OPCODE_COUNT],
 }
 
 impl FunctionalSim {
@@ -133,19 +143,49 @@ impl FunctionalSim {
     /// Builds a simulator with an explicit TDM size (grown automatically
     /// if the program's data image is larger).
     pub fn with_tdm_size(program: &Program, tdm_words: usize) -> Self {
+        Self::from_predecoded(&PredecodedProgram::new(program), tdm_words)
+    }
+
+    /// Builds a simulator on a shared predecoded image — the fast path
+    /// when the same program runs under many simulator instances (see
+    /// [`PredecodedProgram`]).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use art9_isa::assemble;
+    /// use art9_sim::{FunctionalSim, PredecodedProgram, DEFAULT_TDM_WORDS};
+    ///
+    /// let image = PredecodedProgram::new(&assemble("LI t3, 5\nJAL t0, 0\n")?);
+    /// let mut sim = FunctionalSim::from_predecoded(&image, DEFAULT_TDM_WORDS);
+    /// sim.run(100)?;
+    /// assert_eq!(sim.state().reg("t3".parse()?).to_i64(), 5);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn from_predecoded(image: &PredecodedProgram, tdm_words: usize) -> Self {
         Self {
-            text: program.text().to_vec(),
-            state: CoreState::new(program, tdm_words),
+            text: image.text_arc(),
+            links: image.links_arc(),
+            state: CoreState::with_image(image.data(), tdm_words),
             instructions: 0,
             halted: None,
-            mix: std::collections::BTreeMap::new(),
+            mix: [0; Instruction::OPCODE_COUNT],
         }
     }
 
     /// Dynamic instruction mix: executed count per mnemonic. The
     /// operation-mix view behind Dhrystone-style workload analysis.
-    pub fn instruction_mix(&self) -> &std::collections::BTreeMap<&'static str, u64> {
-        &self.mix
+    ///
+    /// Internally counts through a flat per-opcode array (the map is
+    /// assembled here, off the hot path); mnemonics that never executed
+    /// are absent.
+    pub fn instruction_mix(&self) -> std::collections::BTreeMap<&'static str, u64> {
+        Instruction::MNEMONICS
+            .iter()
+            .zip(self.mix.iter())
+            .filter(|(_, count)| **count > 0)
+            .map(|(name, count)| (*name, *count))
+            .collect()
     }
 
     /// The architectural state (inspectable mid-run).
@@ -188,10 +228,10 @@ impl FunctionalSim {
         }
         let instr = self.text[pc];
         self.instructions += 1;
-        *self.mix.entry(instr.mnemonic()).or_insert(0) += 1;
+        self.mix[instr.opcode()] += 1;
 
         let (a_val, b_val) = operand_values(&instr, &self.state);
-        let link = Word9::from_i64_wrapping(pc as i64 + 1);
+        let link = self.links[pc]; // PC + 1, precomputed at decode time
         let result = talu(&instr, a_val, b_val, link);
 
         use Instruction::*;

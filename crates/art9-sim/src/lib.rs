@@ -11,6 +11,10 @@
 //!   claims (load-use hazards and taken branches only).
 //! * [`PipelineStats`] — cycle/stall accounting feeding the DMIPS and
 //!   DMIPS/W numbers of Tables II–V.
+//! * [`PredecodedProgram`] — a decode-once, `Arc`-shared program image
+//!   (instructions plus a precomputed link table) both simulators can
+//!   fetch from; the throughput path for batch runs (see
+//!   `docs/PERFORMANCE.md`).
 //!
 //! Both simulators share one semantics module ([`talu`], [`shift`],
 //! [`branch_taken`]) and are property-tested to agree architecturally.
@@ -48,6 +52,7 @@ mod error;
 mod exec;
 mod functional;
 mod pipeline;
+mod predecode;
 mod stats;
 mod trace;
 
@@ -56,5 +61,6 @@ pub use error::SimError;
 pub use exec::{branch_taken, control_target, shift, talu};
 pub use functional::{CoreState, FunctionalSim, HaltReason, RunResult, DEFAULT_TDM_WORDS};
 pub use pipeline::PipelinedSim;
+pub use predecode::PredecodedProgram;
 pub use stats::PipelineStats;
 pub use trace::{CycleTrace, StageSnapshot};

@@ -24,12 +24,15 @@
 //! The architectural results are property-tested to be identical to the
 //! functional simulator on arbitrary programs; only the timing differs.
 
+use std::sync::Arc;
+
 use art9_isa::{Instruction, Program, TReg};
 use ternary::Word9;
 
 use crate::error::SimError;
 use crate::exec::{control_target, talu};
 use crate::functional::{CoreState, HaltReason, DEFAULT_TDM_WORDS};
+use crate::predecode::PredecodedProgram;
 use crate::stats::PipelineStats;
 use crate::trace::{CycleTrace, StageSnapshot};
 
@@ -95,7 +98,8 @@ struct MemWb {
 /// ```
 #[derive(Debug, Clone)]
 pub struct PipelinedSim {
-    text: Vec<Instruction>,
+    text: Arc<[Instruction]>,
+    links: Arc<[Word9]>,
     state: CoreState,
     fetch_pc: usize,
     if_id: Option<Fetched>,
@@ -107,7 +111,7 @@ pub struct PipelinedSim {
     halted: Option<HaltReason>,
     trace: Option<Vec<CycleTrace>>,
     forwarding: bool,
-    mix: std::collections::BTreeMap<&'static str, u64>,
+    mix: [u64; Instruction::OPCODE_COUNT],
 }
 
 impl PipelinedSim {
@@ -118,9 +122,30 @@ impl PipelinedSim {
 
     /// Builds a pipelined core with an explicit TDM size.
     pub fn with_tdm_size(program: &Program, tdm_words: usize) -> Self {
+        Self::from_predecoded(&PredecodedProgram::new(program), tdm_words)
+    }
+
+    /// Builds a pipelined core on a shared predecoded image — the fast
+    /// path when the same program runs under many simulator instances
+    /// (see [`PredecodedProgram`]).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use art9_isa::assemble;
+    /// use art9_sim::{PipelinedSim, PredecodedProgram, DEFAULT_TDM_WORDS};
+    ///
+    /// let image = PredecodedProgram::new(&assemble("LI t3, 5\nJAL t0, 0\n")?);
+    /// let mut core = PipelinedSim::from_predecoded(&image, DEFAULT_TDM_WORDS);
+    /// let stats = core.run(100)?;
+    /// assert_eq!(stats.instructions, 2);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn from_predecoded(image: &PredecodedProgram, tdm_words: usize) -> Self {
         Self {
-            text: program.text().to_vec(),
-            state: CoreState::new(program, tdm_words),
+            text: image.text_arc(),
+            links: image.links_arc(),
+            state: CoreState::with_image(image.data(), tdm_words),
             fetch_pc: 0,
             if_id: None,
             id_ex: None,
@@ -131,13 +156,21 @@ impl PipelinedSim {
             halted: None,
             trace: None,
             forwarding: true,
-            mix: std::collections::BTreeMap::new(),
+            mix: [0; Instruction::OPCODE_COUNT],
         }
     }
 
     /// Dynamic instruction mix: retired count per mnemonic.
-    pub fn instruction_mix(&self) -> &std::collections::BTreeMap<&'static str, u64> {
-        &self.mix
+    ///
+    /// Counted through a flat per-opcode array in the WB stage; the map
+    /// is assembled here, off the hot path.
+    pub fn instruction_mix(&self) -> std::collections::BTreeMap<&'static str, u64> {
+        Instruction::MNEMONICS
+            .iter()
+            .zip(self.mix.iter())
+            .filter(|(_, count)| **count > 0)
+            .map(|(name, count)| (*name, *count))
+            .collect()
     }
 
     /// Disables the forwarding multiplexers (ablation study): every
@@ -204,7 +237,7 @@ impl PipelinedSim {
         // to ID in this same cycle.
         let wb_done: Option<(TReg, Word9)> = if let Some(wb) = old_mem_wb {
             self.stats.instructions += 1;
-            *self.mix.entry(wb.instr.mnemonic()).or_insert(0) += 1;
+            self.mix[wb.instr.opcode()] += 1;
             let dest = wb.instr.writes();
             if let Some(d) = dest {
                 self.state.set_reg(d, wb.value);
@@ -267,7 +300,7 @@ impl PipelinedSim {
             let (a_reg, b_reg) = source_regs(&ex.instr);
             let a_val = a_reg.map_or(ex.a_val, |r| fwd(r, ex.a_val));
             let b_val = b_reg.map_or(ex.b_val, |r| fwd(r, ex.b_val));
-            let link = Word9::from_i64_wrapping(ex.pc as i64 + 1);
+            let link = self.links[ex.pc]; // PC + 1, precomputed at decode time
             let result = talu(&ex.instr, a_val, b_val, link);
             let store_val = a_val; // STORE datum travels in the Ta path
             self.ex_mem = Some(ExMem {

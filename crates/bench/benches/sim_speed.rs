@@ -3,7 +3,7 @@
 //! usability metric (a slow simulator caps design-space exploration).
 
 use art9_bench::translate;
-use art9_sim::{FunctionalSim, PipelinedSim};
+use art9_sim::{FunctionalSim, PipelinedSim, PredecodedProgram, DEFAULT_TDM_WORDS};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use rv32::{simulate_cycles, PicoRv32Model};
 use workloads::dhrystone;
@@ -12,6 +12,7 @@ fn bench(c: &mut Criterion) {
     let w = dhrystone(10);
     let t = translate(&w);
     let rv = w.rv32_program().expect("parses");
+    let image = PredecodedProgram::new(&t.program);
 
     // Establish per-run work for throughput accounting.
     let mut probe = PipelinedSim::new(&t.program);
@@ -25,10 +26,23 @@ fn bench(c: &mut Criterion) {
             core.run(100_000_000).expect("completes")
         })
     });
+    g.bench_function("art9_pipelined_predecoded", |b| {
+        // Shared decode-once image, as the batch driver runs it.
+        b.iter(|| {
+            let mut core = PipelinedSim::from_predecoded(&image, DEFAULT_TDM_WORDS);
+            core.run(100_000_000).expect("completes")
+        })
+    });
     g.throughput(Throughput::Elements(stats.instructions));
     g.bench_function("art9_functional_instructions", |b| {
         b.iter(|| {
             let mut sim = FunctionalSim::new(&t.program);
+            sim.run(100_000_000).expect("completes")
+        })
+    });
+    g.bench_function("art9_functional_predecoded", |b| {
+        b.iter(|| {
+            let mut sim = FunctionalSim::from_predecoded(&image, DEFAULT_TDM_WORDS);
             sim.run(100_000_000).expect("completes")
         })
     });

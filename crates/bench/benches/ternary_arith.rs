@@ -2,7 +2,7 @@
 //! every simulated cycle leans on.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use ternary::{encoding, Word9};
+use ternary::{arith, encoding, Word9};
 
 fn bench(c: &mut Criterion) {
     let a = Word9::from_i64(4821).expect("in range");
@@ -10,8 +10,17 @@ fn bench(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("word9");
     g.bench_function("add", |bn| bn.iter(|| black_box(a).wrapping_add(black_box(b))));
+    g.bench_function("add_tritwise_ref", |bn| {
+        // The retained per-trit ripple adder the packed kernel is
+        // property-tested against: the before/after of the refactor.
+        bn.iter(|| arith::add_tritwise(black_box(a), black_box(b)))
+    });
     g.bench_function("sub", |bn| bn.iter(|| black_box(a).wrapping_sub(black_box(b))));
     g.bench_function("mul", |bn| bn.iter(|| black_box(a).wrapping_mul(black_box(b))));
+    g.bench_function("mul_tritwise_ref", |bn| {
+        bn.iter(|| arith::mul_tritwise(black_box(a), black_box(b)))
+    });
+    g.bench_function("negate", |bn| bn.iter(|| black_box(a).negate()));
     g.bench_function("compare", |bn| bn.iter(|| black_box(a).compare(black_box(b))));
     g.bench_function("shl2", |bn| bn.iter(|| black_box(a).shl(2)));
     g.bench_function("shr2", |bn| bn.iter(|| black_box(a).shr(2)));
@@ -22,11 +31,20 @@ fn bench(c: &mut Criterion) {
     g.bench_function("from_i64_wrapping", |bn| {
         bn.iter(|| Word9::from_i64_wrapping(black_box(123456)))
     });
+    g.bench_function("bitplanes_roundtrip", |bn| {
+        bn.iter(|| {
+            let (pos, neg) = black_box(a).bitplanes();
+            Word9::from_bitplanes(pos, neg).expect("valid")
+        })
+    });
     g.bench_function("bct_pack_unpack", |bn| {
         bn.iter(|| {
             let p = encoding::pack(&black_box(a));
             encoding::unpack::<9>(p).expect("valid")
         })
+    });
+    g.bench_function("bct_packed_negate", |bn| {
+        bn.iter(|| encoding::packed_negate::<9>(black_box(0b01_00_10)))
     });
     g.finish();
 }

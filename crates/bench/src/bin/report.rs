@@ -8,7 +8,9 @@
 //! cargo run --release -p art9-bench --bin report
 //! ```
 
-use art9_bench::{dmips_per_mhz, translate};
+use std::time::Duration;
+
+use art9_bench::{dmips_per_mhz, perf, translate};
 use art9_core::{report, HardwareFramework, SoftwareFramework};
 use ternary::{Trit, ALL_TRITS};
 use workloads::batch::{BatchRunner, SimConfig};
@@ -116,4 +118,32 @@ fn main() {
     // ---- The batch's own aggregate view -------------------------------
     println!("\n=== Batch simulation: paper suite x full simulator matrix ===");
     print!("{}", batch.render());
+
+    // ---- Host performance: word ops + simulator throughput ------------
+    // Written to BENCH_ternary.json so the perf trajectory is diffable
+    // across PRs (schema documented in docs/PERFORMANCE.md).
+    println!("\n=== Host performance (see docs/PERFORMANCE.md) ===");
+    let word_ops = perf::measure_word_ops(Duration::from_millis(40));
+    for op in &word_ops {
+        println!("  word9/{:<18} {:>8.2} ns/op", op.name, op.ns_per_op);
+    }
+    let sims: Vec<perf::SimThroughput> = paper_suite()
+        .iter()
+        .map(|w| perf::measure_sim_throughput(w, Duration::from_millis(150)))
+        .collect();
+    println!(
+        "  {:<14} {:>14} {:>14} {:>10}",
+        "workload", "functional", "pipelined", "speedup"
+    );
+    for s in &sims {
+        let speedup = perf::seed_rate(&perf::SEED_FUNCTIONAL_IPS, s.workload)
+            .map_or_else(|| "-".into(), |seed| format!("{:.2}x", s.functional_ips / seed));
+        println!(
+            "  {:<14} {:>10.3e} i/s {:>10.3e} c/s {:>10}",
+            s.workload, s.functional_ips, s.pipelined_cps, speedup
+        );
+    }
+    let json = perf::bench_json(&word_ops, &sims);
+    std::fs::write("BENCH_ternary.json", &json).expect("write BENCH_ternary.json");
+    println!("wrote BENCH_ternary.json");
 }

@@ -51,6 +51,331 @@ pub fn dmips_per_mhz(cycles: u64, iterations: usize) -> f64 {
     1.0e6 / (cycles as f64 / iterations as f64 * workloads::DHRYSTONE_DIVISOR)
 }
 
+pub mod perf {
+    //! Host-performance measurement behind `BENCH_ternary.json`.
+    //!
+    //! The report binary regenerates the paper's tables *and* tracks
+    //! how fast the framework itself runs; this module measures the
+    //! two layers the packed-BCT refactor targets — word-level ternary
+    //! operations and whole-simulator throughput — and renders them as
+    //! a machine-readable JSON document so the performance trajectory
+    //! is diffable across PRs. Methodology and schema are documented
+    //! in `docs/PERFORMANCE.md`.
+
+    use std::hint::black_box;
+    use std::time::{Duration, Instant};
+
+    use art9_sim::{FunctionalSim, PipelinedSim, PredecodedProgram, DEFAULT_TDM_WORDS};
+    use ternary::{arith, Word9};
+    use workloads::batch::DEFAULT_MAX_STEPS;
+    use workloads::Workload;
+
+    /// Functional-simulator instructions/second per workload measured at
+    /// the PR 1 seed (commit `f51d935`, pre-packed-BCT, same methodology)
+    /// — the denominators of the `functional_speedup` fields.
+    pub const SEED_FUNCTIONAL_IPS: [(&str, f64); 4] = [
+        ("bubble-sort", 1.450e7),
+        ("gemm", 1.411e7),
+        ("sobel", 1.533e7),
+        ("dhrystone", 1.455e7),
+    ];
+
+    /// Pipelined-simulator cycles/second per workload at the PR 1 seed.
+    pub const SEED_PIPELINED_CPS: [(&str, f64); 4] = [
+        ("bubble-sort", 1.134e7),
+        ("gemm", 1.108e7),
+        ("sobel", 1.220e7),
+        ("dhrystone", 1.020e7),
+    ];
+
+    /// One measured word-operation cost.
+    #[derive(Debug, Clone)]
+    pub struct WordOp {
+        /// Operation name (matches the `ternary_arith` bench entries).
+        pub name: &'static str,
+        /// Mean nanoseconds per operation.
+        pub ns_per_op: f64,
+    }
+
+    /// Measured simulator throughput for one workload.
+    #[derive(Debug, Clone)]
+    pub struct SimThroughput {
+        /// Workload name.
+        pub workload: &'static str,
+        /// Instructions one functional run retires.
+        pub instructions: u64,
+        /// Cycles one pipelined run takes.
+        pub cycles: u64,
+        /// Functional simulator instructions per host second.
+        pub functional_ips: f64,
+        /// Pipelined simulator cycles per host second.
+        pub pipelined_cps: f64,
+    }
+
+    /// Mean ns per call of `f`, measured over roughly `budget`.
+    fn ns_per_call<R>(budget: Duration, mut f: impl FnMut() -> R) -> f64 {
+        // Warm-up probe sizes the batch so the clock is read rarely.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let per_batch = (Duration::from_millis(2).as_nanos() / once.as_nanos()).clamp(1, 1 << 22);
+        let start = Instant::now();
+        let mut calls = 0u64;
+        while start.elapsed() < budget {
+            for _ in 0..per_batch {
+                black_box(f());
+            }
+            calls += per_batch as u64;
+        }
+        start.elapsed().as_nanos() as f64 / calls.max(1) as f64
+    }
+
+    /// A deterministic spread of operands over the full symmetric
+    /// `Word9` range, so carry-chain lengths and sign mixes are averaged
+    /// rather than fixed by one operand pair.
+    fn operand_pool() -> Vec<Word9> {
+        let mut seed = 0x9E37_79B9_7F4A_7C15u64;
+        (0..64)
+            .map(|_| {
+                seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                Word9::from_i64_wrapping((seed >> 16) as i64 % 19683 - 9841)
+            })
+            .collect()
+    }
+
+    /// Measures the word-operation suite (`budget` per operation).
+    pub fn measure_word_ops(budget: Duration) -> Vec<WordOp> {
+        let pool = operand_pool();
+        let mut k = 0usize;
+        let next_pair = move || {
+            k = (k + 1) % 63;
+            (pool[k], pool[k + 1])
+        };
+        let mut ops: Vec<WordOp> = Vec::new();
+        {
+            let mut p = next_pair.clone();
+            ops.push(WordOp {
+                name: "add",
+                ns_per_op: ns_per_call(budget, move || {
+                    let (a, b) = p();
+                    a.wrapping_add(b)
+                }),
+            });
+        }
+        {
+            let mut p = next_pair.clone();
+            ops.push(WordOp {
+                name: "add_tritwise_ref",
+                ns_per_op: ns_per_call(budget, move || {
+                    let (a, b) = p();
+                    arith::add_tritwise(a, b)
+                }),
+            });
+        }
+        {
+            let mut p = next_pair.clone();
+            ops.push(WordOp {
+                name: "mul",
+                ns_per_op: ns_per_call(budget, move || {
+                    let (a, b) = p();
+                    a.wrapping_mul(b)
+                }),
+            });
+        }
+        {
+            let mut p = next_pair.clone();
+            ops.push(WordOp {
+                name: "compare",
+                ns_per_op: ns_per_call(budget, move || {
+                    let (a, b) = p();
+                    a.compare(b)
+                }),
+            });
+        }
+        {
+            let mut p = next_pair.clone();
+            ops.push(WordOp {
+                name: "logic_and_or_xor",
+                ns_per_op: ns_per_call(budget, move || {
+                    let (a, b) = p();
+                    a.and(b).or(b.xor(a))
+                }),
+            });
+        }
+        {
+            let mut p = next_pair.clone();
+            ops.push(WordOp {
+                name: "negate",
+                ns_per_op: ns_per_call(budget, move || next_tuple_first(&mut p).negate()),
+            });
+        }
+        {
+            let mut p = next_pair.clone();
+            ops.push(WordOp {
+                name: "to_i64",
+                ns_per_op: ns_per_call(budget, move || next_tuple_first(&mut p).to_i64()),
+            });
+        }
+        ops.push(WordOp {
+            name: "from_i64_wrapping",
+            ns_per_op: {
+                let mut v = 0i64;
+                ns_per_call(budget, move || {
+                    v = v.wrapping_add(104729);
+                    Word9::from_i64_wrapping(v)
+                })
+            },
+        });
+        ops
+    }
+
+    fn next_tuple_first(p: &mut impl FnMut() -> (Word9, Word9)) -> Word9 {
+        p().0
+    }
+
+    /// Measures functional and pipelined throughput of one workload on
+    /// its shared predecoded image (`budget` per simulator).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the workload does not translate or a run faults —
+    /// the paper workloads are correct by construction.
+    pub fn measure_sim_throughput(w: &Workload, budget: Duration) -> SimThroughput {
+        let t = crate::translate(w);
+        let image = PredecodedProgram::new(&t.program);
+
+        let mut probe = FunctionalSim::from_predecoded(&image, DEFAULT_TDM_WORDS);
+        let instructions = probe.run(DEFAULT_MAX_STEPS).expect("completes").instructions;
+        let functional_ips = {
+            let per_run = instructions as f64;
+            per_run * 1e9
+                / ns_per_call(budget, || {
+                    let mut sim = FunctionalSim::from_predecoded(&image, DEFAULT_TDM_WORDS);
+                    sim.run(DEFAULT_MAX_STEPS).expect("completes")
+                })
+        };
+
+        let mut probe = PipelinedSim::from_predecoded(&image, DEFAULT_TDM_WORDS);
+        let cycles = probe.run(DEFAULT_MAX_STEPS).expect("completes").cycles;
+        let pipelined_cps = {
+            let per_run = cycles as f64;
+            per_run * 1e9
+                / ns_per_call(budget, || {
+                    let mut core = PipelinedSim::from_predecoded(&image, DEFAULT_TDM_WORDS);
+                    core.run(DEFAULT_MAX_STEPS).expect("completes")
+                })
+        };
+
+        SimThroughput {
+            workload: w.name,
+            instructions,
+            cycles,
+            functional_ips,
+            pipelined_cps,
+        }
+    }
+
+    /// Looks up a workload's frozen seed rate in [`SEED_FUNCTIONAL_IPS`]
+    /// or [`SEED_PIPELINED_CPS`].
+    pub fn seed_rate(table: &[(&str, f64)], workload: &str) -> Option<f64> {
+        table.iter().find(|(n, _)| *n == workload).map(|(_, v)| *v)
+    }
+
+    /// Renders the measurements as the `BENCH_ternary.json` document
+    /// (schema `art9-bench-ternary/v1`, described in
+    /// `docs/PERFORMANCE.md`).
+    pub fn bench_json(word_ops: &[WordOp], sims: &[SimThroughput]) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"art9-bench-ternary/v1\",\n");
+        out.push_str(
+            "  \"generated_by\": \"cargo run --release -p art9-bench --bin report\",\n",
+        );
+        out.push_str("  \"baseline\": \"PR 1 seed (commit f51d935), same host and methodology\",\n");
+        out.push_str("  \"word_ops\": [\n");
+        for (i, op) in word_ops.iter().enumerate() {
+            let comma = if i + 1 < word_ops.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{\"name\": \"{}\", \"ns_per_op\": {:.2}}}{comma}",
+                op.name, op.ns_per_op
+            );
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"simulators\": [\n");
+        for (i, s) in sims.iter().enumerate() {
+            let comma = if i + 1 < sims.len() { "," } else { "" };
+            let func_seed = seed_rate(&SEED_FUNCTIONAL_IPS, s.workload);
+            let pipe_seed = seed_rate(&SEED_PIPELINED_CPS, s.workload);
+            let _ = write!(
+                out,
+                "    {{\"workload\": \"{}\", \"instructions\": {}, \"cycles\": {}, \
+                 \"functional_ips\": {:.4e}, \"pipelined_cps\": {:.4e}",
+                s.workload, s.instructions, s.cycles, s.functional_ips, s.pipelined_cps
+            );
+            if let Some(seed) = func_seed {
+                let _ = write!(
+                    out,
+                    ", \"seed_functional_ips\": {seed:.4e}, \"functional_speedup\": {:.2}",
+                    s.functional_ips / seed
+                );
+            }
+            if let Some(seed) = pipe_seed {
+                let _ = write!(
+                    out,
+                    ", \"seed_pipelined_cps\": {seed:.4e}, \"pipelined_speedup\": {:.2}",
+                    s.pipelined_cps / seed
+                );
+            }
+            let _ = writeln!(out, "}}{comma}");
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn word_ops_measure_quickly_and_positively() {
+            let ops = measure_word_ops(Duration::from_millis(2));
+            assert!(ops.iter().any(|o| o.name == "add"));
+            assert!(ops.iter().all(|o| o.ns_per_op > 0.0));
+        }
+
+        #[test]
+        fn sim_throughput_counts_match_direct_run() {
+            let w = workloads::dot_product(4);
+            let s = measure_sim_throughput(&w, Duration::from_millis(5));
+            assert!(s.functional_ips > 0.0 && s.pipelined_cps > 0.0);
+            assert!(s.instructions > 0 && s.cycles >= s.instructions);
+        }
+
+        #[test]
+        fn json_has_schema_and_balanced_braces() {
+            let ops = vec![WordOp { name: "add", ns_per_op: 3.25 }];
+            let sims = vec![SimThroughput {
+                workload: "dhrystone",
+                instructions: 100,
+                cycles: 120,
+                functional_ips: 6.6e7,
+                pipelined_cps: 2.1e7,
+            }];
+            let json = bench_json(&ops, &sims);
+            assert!(json.contains("\"schema\": \"art9-bench-ternary/v1\""));
+            assert!(json.contains("\"functional_speedup\""));
+            assert_eq!(
+                json.matches('{').count(),
+                json.matches('}').count(),
+                "unbalanced braces:\n{json}"
+            );
+            assert_eq!(json.matches('[').count(), json.matches(']').count());
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,17 +1,53 @@
-//! Pure trit-domain multiplication and division.
+//! Pure trit-domain addition, multiplication and division.
 //!
-//! [`Trits::wrapping_mul`](crate::Trits::wrapping_mul) and
-//! [`Trits::div_rem`](crate::Trits::div_rem) convert through `i64` for
-//! speed; the algorithms here stay entirely in the trit domain — the
-//! same balanced base-3 shift-and-add and restoring long division the
-//! hardware (and the compiler's `__mul`/`__div` runtime) would use.
-//! They exist both as executable documentation of those circuits and as
-//! an independent cross-check: property tests assert they agree with
-//! the integer-domain versions everywhere.
+//! The fast kernels on [`Trits`] work on packed binary bitplanes
+//! ([`carrying_add`](crate::Trits::carrying_add)) or
+//! convert through `i64` ([`Trits::wrapping_mul`](crate::Trits::wrapping_mul),
+//! [`Trits::div_rem`](crate::Trits::div_rem)); the algorithms here stay
+//! entirely in the trit domain — the same ripple-carry adder, balanced
+//! base-3 shift-and-add and restoring long division the hardware (and
+//! the compiler's `__mul`/`__div` runtime) would use. They exist both
+//! as executable documentation of those circuits and as an independent
+//! cross-check: property tests assert they agree with the packed and
+//! integer-domain versions everywhere.
 
 use crate::error::TernaryError;
 use crate::trit::Trit;
 use crate::word::Trits;
+
+/// Trit-serial ripple-carry addition: the per-trit reference for the
+/// packed word-parallel adder behind
+/// [`Trits::carrying_add`](crate::Trits::carrying_add).
+///
+/// Chains [`Trit::full_add`] from the least significant position up —
+/// exactly the ternary ripple adder of the paper's TALU — and returns
+/// `(sum, carry_out)` with `a + b = sum + 3^N · carry_out`. Property
+/// tests assert it agrees with the bitplane kernel everywhere.
+///
+/// # Examples
+///
+/// ```
+/// use ternary::{arith, Trit, Word9};
+///
+/// let a = Word9::from_i64(9000)?;
+/// let b = Word9::from_i64(900)?;
+/// let (sum, carry) = arith::add_tritwise(a, b);
+/// assert_eq!(sum, a.wrapping_add(b));
+/// assert_eq!(carry, Trit::P); // 9900 wrapped past +9841
+/// # Ok::<(), ternary::TernaryError>(())
+/// ```
+pub fn add_tritwise<const N: usize>(a: Trits<N>, b: Trits<N>) -> (Trits<N>, Trit) {
+    let at = a.trits();
+    let bt = b.trits();
+    let mut out = [Trit::Z; N];
+    let mut carry = Trit::Z;
+    for i in 0..N {
+        let (s, c) = at[i].full_add(bt[i], carry);
+        out[i] = s;
+        carry = c;
+    }
+    (Trits::from_trits(out), carry)
+}
 
 /// Balanced base-3 shift-and-add multiplication, entirely on trits.
 ///
@@ -127,6 +163,17 @@ fn leading_zero_trits<const N: usize>(x: Trits<N>) -> usize {
 mod tests {
     use super::*;
     use crate::word::Word9;
+
+    #[test]
+    fn add_matches_packed_adder() {
+        for a in [-9841i64, -4921, -1, 0, 1, 123, 9841] {
+            for b in [-9841i64, -123, 0, 1, 4921, 9841] {
+                let wa = Word9::from_i64(a).unwrap();
+                let wb = Word9::from_i64(b).unwrap();
+                assert_eq!(add_tritwise(wa, wb), wa.carrying_add(wb), "{a} + {b}");
+            }
+        }
+    }
 
     #[test]
     fn mul_matches_integer_domain() {

@@ -14,10 +14,44 @@
 //! The pair `11` is unused and decodes to an error. A 9-trit word packs
 //! into 18 bits — this is where Table V's 9 216 RAM bits
 //! (2 memories × 256 words × 18 bits) come from.
+//!
+//! Since the packed-bitplane refactor (see `docs/PERFORMANCE.md`) a
+//! [`Trits<N>`] *is already* binary-coded internally — as two separate
+//! bitplanes rather than interleaved pairs — so the conversions here
+//! are pure bit shuffles (a Morton-style interleave) with no per-trit
+//! loop, and [`packed_add`] runs the word-parallel carry loop directly
+//! on the deinterleaved planes.
 
 use crate::error::TernaryError;
 use crate::trit::Trit;
 use crate::word::Trits;
+
+/// Even-bit mask: the `lo` bit of every BCT pair in a packed `u64`.
+const EVEN: u64 = 0x5555_5555_5555_5555;
+
+/// Spreads the low 32 bits of `x` onto the even bit positions of a
+/// `u64` (Morton interleave half).
+const fn spread(x: u64) -> u64 {
+    let mut x = x & 0xFFFF_FFFF;
+    x = (x | (x << 16)) & 0x0000_FFFF_0000_FFFF;
+    x = (x | (x << 8)) & 0x00FF_00FF_00FF_00FF;
+    x = (x | (x << 4)) & 0x0F0F_0F0F_0F0F_0F0F;
+    x = (x | (x << 2)) & 0x3333_3333_3333_3333;
+    x = (x | (x << 1)) & EVEN;
+    x
+}
+
+/// Gathers the even bit positions of `x` into the low 32 bits — the
+/// inverse of [`spread`].
+const fn compress(x: u64) -> u64 {
+    let mut x = x & EVEN;
+    x = (x | (x >> 1)) & 0x3333_3333_3333_3333;
+    x = (x | (x >> 2)) & 0x0F0F_0F0F_0F0F_0F0F;
+    x = (x | (x >> 4)) & 0x00FF_00FF_00FF_00FF;
+    x = (x | (x >> 8)) & 0x0000_FFFF_0000_FFFF;
+    x = (x | (x >> 16)) & 0xFFFF_FFFF;
+    x
+}
 
 /// Encodes one trit as its 2-bit BCT pair (`hi << 1 | lo`).
 ///
@@ -66,6 +100,10 @@ pub const fn bits_to_trit(bits: u8) -> Result<Trit, TernaryError> {
 /// Packs an `N`-trit word into the low `2N` bits of a `u64`, trit 0 in
 /// the two least-significant bits.
 ///
+/// With the bitplane word representation this is a branch-free bit
+/// interleave: the `pos` plane becomes the even (`lo`) bits, the `neg`
+/// plane the odd (`hi`) bits.
+///
 /// # Panics
 ///
 /// Panics if `2 * N > 64` (words wider than 32 trits).
@@ -80,14 +118,14 @@ pub const fn bits_to_trit(bits: u8) -> Result<Trit, TernaryError> {
 /// ```
 pub fn pack<const N: usize>(word: &Trits<N>) -> u64 {
     assert!(2 * N <= 64, "BCT packing supports at most 32 trits");
-    let mut acc = 0u64;
-    for (i, t) in word.trits().iter().enumerate() {
-        acc |= (trit_to_bits(*t) as u64) << (2 * i);
-    }
-    acc
+    let (pos, neg) = word.bitplanes();
+    spread(pos) | (spread(neg) << 1)
 }
 
 /// Unpacks a BCT-encoded `u64` (as produced by [`pack`]) into a word.
+///
+/// Bits above position `2N − 1` are ignored, matching the behaviour of
+/// a `2N`-bit FPGA RAM port.
 ///
 /// # Errors
 ///
@@ -104,12 +142,15 @@ pub fn pack<const N: usize>(word: &Trits<N>) -> u64 {
 /// ```
 pub fn unpack<const N: usize>(bits: u64) -> Result<Trits<N>, TernaryError> {
     assert!(2 * N <= 64, "BCT packing supports at most 32 trits");
-    let mut trits = [Trit::Z; N];
-    for (i, t) in trits.iter_mut().enumerate() {
-        let pair = ((bits >> (2 * i)) & 0b11) as u8;
-        *t = bits_to_trit(pair).map_err(|_| TernaryError::InvalidBctPair { index: i })?;
+    let window = if 2 * N == 64 { !0 } else { (1u64 << (2 * N)) - 1 };
+    let bits = bits & window;
+    let invalid = bits & (bits >> 1) & EVEN;
+    if invalid != 0 {
+        return Err(TernaryError::InvalidBctPair {
+            index: invalid.trailing_zeros() as usize / 2,
+        });
     }
-    Ok(Trits::from_trits(trits))
+    Trits::from_bitplanes(compress(bits), compress(bits >> 1))
 }
 
 /// Number of bits a BCT-encoded `N`-trit word occupies (2 bits per trit).
@@ -127,9 +168,10 @@ pub const fn packed_bits(trits: usize) -> usize {
     2 * trits
 }
 
-/// BCT addition performed purely on packed operands, as the FPGA
-/// emulation's binary modules would: unpack, ripple-add in the trit
-/// domain, repack. Returns the packed wrapped sum.
+/// BCT addition performed purely on packed operands: the operands are
+/// deinterleaved into bitplanes and summed with the word-parallel carry
+/// loop — no per-trit work anywhere on the path. Returns the packed
+/// wrapped sum.
 ///
 /// # Errors
 ///
@@ -152,6 +194,25 @@ pub fn packed_add<const N: usize>(a: u64, b: u64) -> Result<u64, TernaryError> {
     Ok(pack(&wa.wrapping_add(wb)))
 }
 
+/// BCT negation on a packed operand: in binary-coded balanced ternary,
+/// negation is exactly the swap of the `hi` and `lo` bit of every pair,
+/// so it needs no decoding (and cannot fail — the invalid pair `11`
+/// maps to itself).
+///
+/// # Examples
+///
+/// ```
+/// use ternary::{encoding, Word9};
+/// let w = Word9::from_i64(700)?;
+/// let negated = encoding::packed_negate::<9>(encoding::pack(&w));
+/// assert_eq!(encoding::unpack::<9>(negated)?.to_i64(), -700);
+/// # Ok::<(), ternary::TernaryError>(())
+/// ```
+pub fn packed_negate<const N: usize>(bits: u64) -> u64 {
+    assert!(2 * N <= 64, "BCT packing supports at most 32 trits");
+    ((bits & EVEN) << 1) | ((bits >> 1) & EVEN)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,6 +227,18 @@ mod tests {
             assert_eq!(bits_to_trit(trit_to_bits(t)).unwrap(), t);
         }
         assert!(bits_to_trit(0b11).is_err());
+    }
+
+    #[test]
+    fn pack_matches_per_trit_definition() {
+        for v in [-9841i64, -100, -1, 0, 1, 8, 100, 9841] {
+            let w = Word9::from_i64(v).unwrap();
+            let mut expect = 0u64;
+            for i in 0..9 {
+                expect |= (trit_to_bits(w.trit(i)) as u64) << (2 * i);
+            }
+            assert_eq!(pack(&w), expect, "pack({v})");
+        }
     }
 
     #[test]
@@ -189,6 +262,13 @@ mod tests {
     }
 
     #[test]
+    fn unpack_ignores_bits_above_the_word() {
+        let w = Word9::from_i64(77).unwrap();
+        let packed = pack(&w) | (0b11 << 18); // garbage beyond 18 bits
+        assert_eq!(unpack::<9>(packed).unwrap(), w);
+    }
+
+    #[test]
     fn packed_bits_accounting_matches_table5() {
         // Table V: two 256-word memories of 9-trit words = 9216 bits.
         assert_eq!(2 * 256 * packed_bits(9), 9216);
@@ -201,6 +281,15 @@ mod tests {
             let wb = Word9::from_i64_wrapping(b);
             let s = packed_add::<9>(pack(&wa), pack(&wb)).unwrap();
             assert_eq!(unpack::<9>(s).unwrap(), wa.wrapping_add(wb));
+        }
+    }
+
+    #[test]
+    fn packed_negate_is_pair_swap() {
+        for v in [-9841i64, -1, 0, 1, 700, 9841] {
+            let w = Word9::from_i64(v).unwrap();
+            let n = packed_negate::<9>(pack(&w));
+            assert_eq!(unpack::<9>(n).unwrap().to_i64(), -v, "negate({v})");
         }
     }
 }

@@ -9,7 +9,10 @@
 //!   ternary full-adder cell.
 //! * [`Trits<N>`](Trits) / [`Word9`] — fixed-width little-endian trit
 //!   words with wrapping arithmetic, balanced shifts, trit-wise logic and
-//!   field extraction/splicing for instruction encoding.
+//!   field extraction/splicing for instruction encoding. Words are
+//!   stored as two packed binary bitplanes and every kernel is
+//!   word-level bit-twiddling (see `docs/PERFORMANCE.md`); the per-trit
+//!   reference algorithms live in [`arith`].
 //! * [`encoding`] — binary-coded balanced ternary (2 bits/trit), the
 //!   representation the paper's FPGA verification platform uses.
 //! * [`TernaryMemory`] — word-addressed TIM/TDM models with memory-cell

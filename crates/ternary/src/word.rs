@@ -9,6 +9,21 @@
 //! Arithmetic wraps modulo `3^N` onto the symmetric range — the balanced
 //! analogue of two's-complement wrap-around — which is exactly what a
 //! ripple-carry ternary adder that discards its carry-out computes.
+//!
+//! ## Packed representation
+//!
+//! Since PR 2 a word is **not** stored as an array of [`Trit`] enums but
+//! as two binary *bitplanes* (see `docs/PERFORMANCE.md`):
+//!
+//! * `pos` — bit `i` set ⇔ trit `i` is +1,
+//! * `neg` — bit `i` set ⇔ trit `i` is −1,
+//!
+//! with the invariant `pos & neg == 0` and both masked to the low `N`
+//! bits. This is the software mirror of the paper's binary-coded-ternary
+//! FPGA mapping (§III-B): every trit-wise operation becomes a handful of
+//! word-level boolean instructions instead of an `N`-step loop, and
+//! negation is a single plane swap. The per-trit reference algorithms
+//! are retained in [`crate::arith`] and property-tested equivalent.
 
 use std::cmp::Ordering;
 use std::fmt;
@@ -35,7 +50,8 @@ pub const fn pow3(n: usize) -> i64 {
     acc
 }
 
-/// A fixed-width balanced-ternary word of `N` trits, little-endian.
+/// A fixed-width balanced-ternary word of `N` trits, little-endian,
+/// stored as two packed binary bitplanes (`pos`/`neg`, one bit per trit).
 ///
 /// The workhorse instantiation is [`Word9`], the ART-9 machine word; the
 /// assembler and the gate-level analyzer also use narrower widths for
@@ -54,9 +70,12 @@ pub const fn pow3(n: usize) -> i64 {
 /// assert_eq!(a.trit(0), Trit::P); // 100 = +1 -1 0 +1 0 +1 reading down
 /// # Ok::<(), ternary::TernaryError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Trits<const N: usize> {
-    trits: [Trit; N],
+    /// Bit `i` set ⇔ trit `i` = +1. Disjoint from `neg`, masked to `N` bits.
+    pos: u64,
+    /// Bit `i` set ⇔ trit `i` = −1. Disjoint from `pos`, masked to `N` bits.
+    neg: u64,
 }
 
 /// The 9-trit machine word of the ART-9 processor (range −9841..=9841).
@@ -89,20 +108,24 @@ impl<const N: usize> Default for Trits<N> {
 }
 
 impl<const N: usize> Trits<N> {
-    /// The all-zero word.
-    pub const ZERO: Self = Self {
-        trits: [Trit::Z; N],
+    /// Low-`N`-bits mask both bitplanes are kept under.
+    const MASK: u64 = {
+        assert!(N <= 63, "bitplane words support at most 63 trits");
+        if N == 0 {
+            0
+        } else {
+            (1u64 << N) - 1
+        }
     };
+
+    /// The all-zero word.
+    pub const ZERO: Self = Self { pos: 0, neg: 0 };
 
     /// The most positive representable word, `(3^N − 1) / 2` (all trits +1).
-    pub const MAX: Self = Self {
-        trits: [Trit::P; N],
-    };
+    pub const MAX: Self = Self { pos: Self::MASK, neg: 0 };
 
     /// The most negative representable word, `−(3^N − 1) / 2` (all trits −1).
-    pub const MIN: Self = Self {
-        trits: [Trit::N; N],
-    };
+    pub const MIN: Self = Self { pos: 0, neg: Self::MASK };
 
     /// Largest magnitude representable: `(3^N − 1) / 2`.
     pub const MAX_VALUE: i64 = (pow3(N) - 1) / 2;
@@ -124,13 +147,94 @@ impl<const N: usize> Trits<N> {
     /// ```
     #[inline]
     pub const fn from_trits(trits: [Trit; N]) -> Self {
-        Self { trits }
+        let mut pos = 0u64;
+        let mut neg = 0u64;
+        let mut i = 0;
+        while i < N {
+            match trits[i] {
+                Trit::P => pos |= 1 << i,
+                Trit::N => neg |= 1 << i,
+                Trit::Z => {}
+            }
+            i += 1;
+        }
+        Self { pos, neg }
     }
 
-    /// A view of the trits, index 0 least significant.
+    /// The trits of the word, index 0 least significant.
+    ///
+    /// Since the packed-bitplane refactor this unpacks into a fresh
+    /// array (the word no longer stores one); prefer [`Trits::trit`] or
+    /// [`Trits::bitplanes`] on hot paths.
     #[inline]
-    pub const fn trits(&self) -> &[Trit; N] {
-        &self.trits
+    pub const fn trits(&self) -> [Trit; N] {
+        let mut out = [Trit::Z; N];
+        let mut i = 0;
+        while i < N {
+            if (self.pos >> i) & 1 == 1 {
+                out[i] = Trit::P;
+            } else if (self.neg >> i) & 1 == 1 {
+                out[i] = Trit::N;
+            }
+            i += 1;
+        }
+        out
+    }
+
+    /// Builds a word from its two packed bitplanes — the zero-cost
+    /// entry point for code that already holds data in binary-coded
+    /// form (FPGA memory images, the BCT [`crate::encoding`] module).
+    ///
+    /// Bit `i` of `pos` makes trit `i` equal +1, bit `i` of `neg` makes
+    /// it −1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TernaryError::InvalidBctPair`] (with the offending trit
+    /// index) when a bit is set in both planes — the same impossible
+    /// state as the BCT pair `11` — or in either plane at position `N`
+    /// or above.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ternary::Trits;
+    ///
+    /// // pos = 0b011 (trits 0,1 = +1), neg = 0b100 (trit 2 = −1): 1+3−9.
+    /// let w = Trits::<3>::from_bitplanes(0b011, 0b100)?;
+    /// assert_eq!(w.to_i64(), -5);
+    /// assert!(Trits::<3>::from_bitplanes(0b001, 0b001).is_err()); // overlap
+    /// assert!(Trits::<3>::from_bitplanes(0b1000, 0).is_err());    // too wide
+    /// # Ok::<(), ternary::TernaryError>(())
+    /// ```
+    pub const fn from_bitplanes(pos: u64, neg: u64) -> Result<Self, TernaryError> {
+        let bad = (pos & neg) | ((pos | neg) & !Self::MASK);
+        if bad != 0 {
+            return Err(TernaryError::InvalidBctPair {
+                index: bad.trailing_zeros() as usize,
+            });
+        }
+        Ok(Self { pos, neg })
+    }
+
+    /// The two packed bitplanes `(pos, neg)` of the word — the inverse
+    /// of [`Trits::from_bitplanes`], and the representation every
+    /// word-level kernel in this module computes on directly.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ternary::Trits;
+    ///
+    /// let w = Trits::<3>::from_i64(-5)?; // trits (lsb first): +, +, −
+    /// assert_eq!(w.bitplanes(), (0b011, 0b100));
+    /// let (pos, neg) = w.bitplanes();
+    /// assert_eq!(pos & neg, 0); // planes are always disjoint
+    /// # Ok::<(), ternary::TernaryError>(())
+    /// ```
+    #[inline]
+    pub const fn bitplanes(&self) -> (u64, u64) {
+        (self.pos, self.neg)
     }
 
     /// Converts an integer that must fit the word exactly.
@@ -180,23 +284,23 @@ impl<const N: usize> Trits<N> {
         if rem > max {
             rem -= m;
         }
-        let mut trits = [Trit::Z; N];
-        let mut x = rem;
-        for t in trits.iter_mut() {
-            // Balanced digit extraction: remainder in {-1, 0, 1}.
-            let mut d = x % 3;
-            x /= 3;
-            if d > 1 {
-                d -= 3;
-                x += 1;
-            } else if d < -1 {
-                d += 3;
-                x -= 1;
+        // Biased digit extraction: rem + MAX_VALUE has plain (unbalanced)
+        // base-3 digits d ∈ {0,1,2}; the balanced trit is d − 1. This
+        // avoids the per-digit rebalancing branches of the textbook loop.
+        let mut u = (rem + max) as u64;
+        let mut pos = 0u64;
+        let mut neg = 0u64;
+        for i in 0..N {
+            let d = u % 3;
+            u /= 3;
+            match d {
+                0 => neg |= 1 << i,
+                2 => pos |= 1 << i,
+                _ => {}
             }
-            *t = Trit::try_from_i8(d as i8).expect("digit in range by construction");
         }
-        debug_assert_eq!(x, 0, "value fits after wrapping");
-        Self { trits }
+        debug_assert_eq!(u, 0, "value fits after wrapping");
+        Self { pos, neg }
     }
 
     /// Same as [`Trits::from_i64_wrapping`] for `i128` inputs; used by
@@ -219,10 +323,15 @@ impl<const N: usize> Trits<N> {
     /// let w = Trits::<4>::from_trits([Trit::N, Trit::Z, Trit::Z, Trit::P]);
     /// assert_eq!(w.to_i64(), -1 + 27);
     /// ```
+    #[inline]
     pub fn to_i64(&self) -> i64 {
+        // Branch-free Horner walk over the bitplanes; the loop bound is
+        // a const generic, so this fully unrolls.
         let mut acc = 0i64;
-        for t in self.trits.iter().rev() {
-            acc = acc * 3 + t.value() as i64;
+        let mut i = N;
+        while i > 0 {
+            i -= 1;
+            acc = acc * 3 + ((self.pos >> i) & 1) as i64 - ((self.neg >> i) & 1) as i64;
         }
         acc
     }
@@ -234,7 +343,14 @@ impl<const N: usize> Trits<N> {
     /// Panics if `i >= N`.
     #[inline]
     pub fn trit(&self, i: usize) -> Trit {
-        self.trits[i]
+        assert!(i < N, "trit index {i} out of a {N}-trit word");
+        if (self.pos >> i) & 1 == 1 {
+            Trit::P
+        } else if (self.neg >> i) & 1 == 1 {
+            Trit::N
+        } else {
+            Trit::Z
+        }
     }
 
     /// Returns a copy with the trit at position `i` replaced.
@@ -244,15 +360,22 @@ impl<const N: usize> Trits<N> {
     /// Panics if `i >= N`.
     #[inline]
     #[must_use]
-    pub fn with_trit(mut self, i: usize, t: Trit) -> Self {
-        self.trits[i] = t;
-        self
+    pub fn with_trit(self, i: usize, t: Trit) -> Self {
+        assert!(i < N, "trit index {i} out of a {N}-trit word");
+        let bit = 1u64 << i;
+        let (mut pos, mut neg) = (self.pos & !bit, self.neg & !bit);
+        match t {
+            Trit::P => pos |= bit,
+            Trit::N => neg |= bit,
+            Trit::Z => {}
+        }
+        Self { pos, neg }
     }
 
     /// The least significant trit — the paper's "LST", used by COMP/BEQ/BNE.
     #[inline]
     pub fn lst(&self) -> Trit {
-        self.trits[0]
+        self.trit(0)
     }
 
     /// Extracts `M` consecutive trits starting at position `lo` as a
@@ -271,11 +394,13 @@ impl<const N: usize> Trits<N> {
     /// assert_eq!(w.field::<2>(0).to_i64(), 4); // low two trits: ++
     /// # Ok::<(), ternary::TernaryError>(())
     /// ```
+    #[inline]
     pub fn field<const M: usize>(&self, lo: usize) -> Trits<M> {
         assert!(lo + M <= N, "field [{}..{}] out of a {N}-trit word", lo, lo + M);
-        let mut out = [Trit::Z; M];
-        out.copy_from_slice(&self.trits[lo..lo + M]);
-        Trits::from_trits(out)
+        Trits::<M> {
+            pos: (self.pos >> lo) & Trits::<M>::MASK,
+            neg: (self.neg >> lo) & Trits::<M>::MASK,
+        }
     }
 
     /// Returns a copy with `M` consecutive trits starting at `lo` replaced
@@ -285,11 +410,15 @@ impl<const N: usize> Trits<N> {
     /// # Panics
     ///
     /// Panics if `lo + M > N`.
+    #[inline]
     #[must_use]
-    pub fn with_field<const M: usize>(mut self, lo: usize, value: Trits<M>) -> Self {
+    pub fn with_field<const M: usize>(self, lo: usize, value: Trits<M>) -> Self {
         assert!(lo + M <= N, "field [{}..{}] out of a {N}-trit word", lo, lo + M);
-        self.trits[lo..lo + M].copy_from_slice(value.trits());
-        self
+        let clear = !(Trits::<M>::MASK << lo);
+        Self {
+            pos: (self.pos & clear) | (value.pos << lo),
+            neg: (self.neg & clear) | (value.neg << lo),
+        }
     }
 
     /// Widens (sign-extends) or narrows (truncates) to another width.
@@ -306,17 +435,18 @@ impl<const N: usize> Trits<N> {
     /// assert_eq!(imm.resize::<9>().to_i64(), -13);
     /// # Ok::<(), ternary::TernaryError>(())
     /// ```
+    #[inline]
     pub fn resize<const M: usize>(&self) -> Trits<M> {
-        let mut out = [Trit::Z; M];
-        let k = M.min(N);
-        out[..k].copy_from_slice(&self.trits[..k]);
-        Trits::from_trits(out)
+        Trits::<M> {
+            pos: self.pos & Trits::<M>::MASK,
+            neg: self.neg & Trits::<M>::MASK,
+        }
     }
 
     /// `true` when every trit is zero.
     #[inline]
     pub fn is_zero(&self) -> bool {
-        self.trits.iter().all(|t| t.is_zero())
+        self.pos | self.neg == 0
     }
 
     /// The sign of the word as a trit: the most significant non-zero trit,
@@ -331,17 +461,30 @@ impl<const N: usize> Trits<N> {
     /// assert_eq!(Word9::ZERO.sign(), Trit::Z);
     /// # Ok::<(), ternary::TernaryError>(())
     /// ```
+    #[inline]
     pub fn sign(&self) -> Trit {
-        for t in self.trits.iter().rev() {
-            if !t.is_zero() {
-                return *t;
-            }
+        let nonzero = self.pos | self.neg;
+        if nonzero == 0 {
+            return Trit::Z;
         }
-        Trit::Z
+        let top = 63 - nonzero.leading_zeros();
+        if (self.pos >> top) & 1 == 1 {
+            Trit::P
+        } else {
+            Trit::N
+        }
     }
 
     /// Wrapping addition; returns the sum and the carry-out trit of the
     /// ripple adder (`a + b = sum + 3^N · carry`).
+    ///
+    /// Computed word-parallel on the bitplanes: each round forms all
+    /// `N` digit sums at once (a handful of boolean ops) and re-adds the
+    /// carries one position up, exactly like the binary `xor`/`and`
+    /// addition idiom. The carry word gains a trailing zero every round,
+    /// so at most `N + 1` rounds run; random operands settle in two or
+    /// three. The per-trit reference this is property-tested against is
+    /// [`crate::arith::add_tritwise`].
     ///
     /// # Examples
     ///
@@ -352,15 +495,40 @@ impl<const N: usize> Trits<N> {
     /// assert_eq!(c, Trit::P);
     /// # Ok::<(), ternary::TernaryError>(())
     /// ```
+    #[inline]
     pub fn carrying_add(&self, rhs: Self) -> (Self, Trit) {
-        let mut out = [Trit::Z; N];
-        let mut carry = Trit::Z;
-        for i in 0..N {
-            let (s, c) = self.trits[i].full_add(rhs.trits[i], carry);
-            out[i] = s;
-            carry = c;
+        // (sp, sn): running digit sums; (cp, cn): carries still to add.
+        // Both live in N+1-bit planes — the bound |a + b| < 3^(N+1)/2
+        // keeps bit N+1 from ever being produced (see docs/PERFORMANCE.md).
+        let (mut sp, mut sn) = (self.pos, self.neg);
+        let (mut cp, mut cn) = (rhs.pos, rhs.neg);
+        while cp | cn != 0 {
+            // Digit sum d = s_i + c_i ∈ [−2, 2], rewritten d = s' + 3·c':
+            //   d = ±1 → s' = d,  c' = 0
+            //   d = ±2 → s' = ∓1, c' = ±1
+            let np = ((sp ^ cp) & !(sn | cn)) | (sn & cn);
+            let nn = ((sn ^ cn) & !(sp | cp)) | (sp & cp);
+            let gp = (sp & cp) << 1;
+            let gn = (sn & cn) << 1;
+            sp = np;
+            sn = nn;
+            cp = gp;
+            cn = gn;
         }
-        (Self { trits: out }, carry)
+        let carry = if (sp >> N) & 1 == 1 {
+            Trit::P
+        } else if (sn >> N) & 1 == 1 {
+            Trit::N
+        } else {
+            Trit::Z
+        };
+        (
+            Self {
+                pos: sp & Self::MASK,
+                neg: sn & Self::MASK,
+            },
+            carry,
+        )
     }
 
     /// Wrapping addition (discards the carry-out).
@@ -379,15 +547,15 @@ impl<const N: usize> Trits<N> {
     }
 
     /// Exact negation: trit-wise STI. Unlike two's complement there is no
-    /// asymmetric edge case — `negate` is a true involution.
+    /// asymmetric edge case — `negate` is a true involution. On the
+    /// packed representation it is a single bitplane swap.
     #[inline]
     #[must_use]
     pub fn negate(&self) -> Self {
-        let mut out = [Trit::Z; N];
-        for (o, t) in out.iter_mut().zip(self.trits.iter()) {
-            *o = t.sti();
+        Self {
+            pos: self.neg,
+            neg: self.pos,
         }
-        Self { trits: out }
     }
 
     /// Wrapping multiplication.
@@ -433,15 +601,16 @@ impl<const N: usize> Trits<N> {
     /// assert_eq!(Word9::from_i64(5)?.shl(2).to_i64(), 45);
     /// # Ok::<(), ternary::TernaryError>(())
     /// ```
+    #[inline]
     #[must_use]
     pub fn shl(&self, k: usize) -> Self {
-        let mut out = [Trit::Z; N];
-        if k < N {
-            for i in k..N {
-                out[i] = self.trits[i - k];
-            }
+        if k >= N {
+            return Self::ZERO;
         }
-        Self { trits: out }
+        Self {
+            pos: (self.pos << k) & Self::MASK,
+            neg: (self.neg << k) & Self::MASK,
+        }
     }
 
     /// Shift right by `k` trit positions: discards the low `k` trits.
@@ -459,51 +628,80 @@ impl<const N: usize> Trits<N> {
     /// assert_eq!(Word9::from_i64(-5)?.shr(1).to_i64(), -2);
     /// # Ok::<(), ternary::TernaryError>(())
     /// ```
+    #[inline]
     #[must_use]
     pub fn shr(&self, k: usize) -> Self {
-        let mut out = [Trit::Z; N];
-        if k < N {
-            for i in 0..N - k {
-                out[i] = self.trits[i + k];
-            }
+        if k >= N {
+            return Self::ZERO;
         }
-        Self { trits: out }
+        Self {
+            pos: self.pos >> k,
+            neg: self.neg >> k,
+        }
     }
 
     /// Trit-wise ternary AND (minimum), the TALU `AND` operation.
+    ///
+    /// On bitplanes: the result is −1 wherever either operand is −1,
+    /// +1 where both are +1.
+    #[inline]
     #[must_use]
     pub fn and(&self, rhs: Self) -> Self {
-        self.zip_map(rhs, Trit::and)
+        Self {
+            pos: self.pos & rhs.pos,
+            neg: self.neg | rhs.neg,
+        }
     }
 
     /// Trit-wise ternary OR (maximum), the TALU `OR` operation.
+    #[inline]
     #[must_use]
     pub fn or(&self, rhs: Self) -> Self {
-        self.zip_map(rhs, Trit::or)
+        Self {
+            pos: self.pos | rhs.pos,
+            neg: self.neg & rhs.neg,
+        }
     }
 
-    /// Trit-wise ternary XOR, the TALU `XOR` operation.
+    /// Trit-wise ternary XOR, the TALU `XOR` operation: `−(a·b)` per trit.
+    #[inline]
     #[must_use]
     pub fn xor(&self, rhs: Self) -> Self {
-        self.zip_map(rhs, Trit::xor)
+        // Product planes: + where signs agree, − where they differ;
+        // XOR is the negation of the product, so the planes swap.
+        Self {
+            pos: (self.pos & rhs.neg) | (self.neg & rhs.pos),
+            neg: (self.pos & rhs.pos) | (self.neg & rhs.neg),
+        }
     }
 
     /// Trit-wise standard ternary inversion (same as [`Trits::negate`]).
+    #[inline]
     #[must_use]
     pub fn sti(&self) -> Self {
-        self.map(Trit::sti)
+        self.negate()
     }
 
-    /// Trit-wise negative ternary inversion.
+    /// Trit-wise negative ternary inversion (0 ↦ −1, ±1 ↦ ∓1 except
+    /// +1 ↦ −1): the output is +1 only where the input was −1.
+    #[inline]
     #[must_use]
     pub fn nti(&self) -> Self {
-        self.map(Trit::nti)
+        Self {
+            pos: self.neg,
+            neg: !self.neg & Self::MASK,
+        }
     }
 
-    /// Trit-wise positive ternary inversion.
+    /// Trit-wise positive ternary inversion (0 ↦ +1, +1 ↦ −1, −1 ↦ +1):
+    /// the output is −1 only where the input was +1.
+    #[inline]
     #[must_use]
     pub fn pti(&self) -> Self {
-        self.map(Trit::pti)
+        Self {
+            pos: !self.pos & Self::MASK,
+            neg: self.pos,
+        }
     }
 
     /// The COMP result of the paper (§IV-A): a word whose every-trit value
@@ -520,32 +718,23 @@ impl<const N: usize> Trits<N> {
     /// assert_eq!(a.compare(a).lst(), Trit::Z);
     /// # Ok::<(), ternary::TernaryError>(())
     /// ```
+    #[inline]
     #[must_use]
     pub fn compare(&self, rhs: Self) -> Self {
         // The TALU uses a dedicated trit-serial comparator (most
         // significant trit first), which in balanced ternary is exactly
         // numeric comparison.
         match self.cmp(&rhs) {
-            Ordering::Less => Self::from_i64_wrapping(-1),
+            Ordering::Less => Self {
+                pos: 0,
+                neg: 1 & Self::MASK,
+            },
             Ordering::Equal => Self::ZERO,
-            Ordering::Greater => Self::from_i64_wrapping(1),
+            Ordering::Greater => Self {
+                pos: 1 & Self::MASK,
+                neg: 0,
+            },
         }
-    }
-
-    fn map(&self, f: impl Fn(Trit) -> Trit) -> Self {
-        let mut out = [Trit::Z; N];
-        for (o, t) in out.iter_mut().zip(self.trits.iter()) {
-            *o = f(*t);
-        }
-        Self { trits: out }
-    }
-
-    fn zip_map(&self, rhs: Self, f: impl Fn(Trit, Trit) -> Trit) -> Self {
-        let mut out = [Trit::Z; N];
-        for i in 0..N {
-            out[i] = f(self.trits[i], rhs.trits[i]);
-        }
-        Self { trits: out }
     }
 }
 
@@ -557,16 +746,19 @@ impl<const N: usize> PartialOrd for Trits<N> {
 
 impl<const N: usize> Ord for Trits<N> {
     /// Words order by numeric value (not lexicographically by storage).
+    #[inline]
     fn cmp(&self, other: &Self) -> Ordering {
-        // Compare from the most significant trit down; the first
-        // difference decides (balanced representation is unique).
-        for i in (0..N).rev() {
-            match self.trits[i].cmp(&other.trits[i]) {
-                Ordering::Equal => continue,
-                ord => return ord,
-            }
+        // The most significant differing trit decides (balanced
+        // representation is unique): one leading-zeros scan instead of
+        // a trit loop.
+        let differ = (self.pos ^ other.pos) | (self.neg ^ other.neg);
+        if differ == 0 {
+            return Ordering::Equal;
         }
-        Ordering::Equal
+        let top = 63 - differ.leading_zeros();
+        let a = ((self.pos >> top) & 1) as i8 - ((self.neg >> top) & 1) as i8;
+        let b = ((other.pos >> top) & 1) as i8 - ((other.neg >> top) & 1) as i8;
+        a.cmp(&b)
     }
 }
 
@@ -600,11 +792,19 @@ impl<const N: usize> Neg for Trits<N> {
     }
 }
 
+impl<const N: usize> fmt::Debug for Trits<N> {
+    /// Shows the trit string and the decimal value, e.g.
+    /// `Trits<9>("0000000+0-" = 8)`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Trits<{N}>(\"{self}\" = {})", self.to_i64())
+    }
+}
+
 impl<const N: usize> fmt::Display for Trits<N> {
     /// Writes the trits most-significant first, e.g. `000000+0-` for 8.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for t in self.trits.iter().rev() {
-            write!(f, "{t}")?;
+        for i in (0..N).rev() {
+            write!(f, "{}", self.trit(i))?;
         }
         Ok(())
     }
@@ -632,11 +832,11 @@ impl<const N: usize> FromStr for Trits<N> {
                 expected: N,
             });
         }
-        let mut trits = [Trit::Z; N];
+        let mut out = Self::ZERO;
         for (i, c) in chars.iter().enumerate() {
-            trits[N - 1 - i] = Trit::try_from_char(*c)?;
+            out = out.with_trit(N - 1 - i, Trit::try_from_char(*c)?);
         }
-        Ok(Self { trits })
+        Ok(out)
     }
 }
 
@@ -693,6 +893,40 @@ mod tests {
     }
 
     #[test]
+    fn bitplanes_roundtrip_and_invariants() {
+        for v in -121i64..=121 {
+            let w = Trits::<5>::from_i64(v).unwrap();
+            let (pos, neg) = w.bitplanes();
+            assert_eq!(pos & neg, 0, "planes overlap for {v}");
+            assert_eq!(pos | neg, (pos | neg) & 0b11111, "stray high bits for {v}");
+            assert_eq!(Trits::<5>::from_bitplanes(pos, neg).unwrap(), w);
+        }
+    }
+
+    #[test]
+    fn from_bitplanes_rejects_bad_planes() {
+        match Trits::<5>::from_bitplanes(0b00100, 0b00100) {
+            Err(TernaryError::InvalidBctPair { index }) => assert_eq!(index, 2),
+            other => panic!("expected InvalidBctPair, got {other:?}"),
+        }
+        match Trits::<5>::from_bitplanes(1 << 5, 0) {
+            Err(TernaryError::InvalidBctPair { index }) => assert_eq!(index, 5),
+            other => panic!("expected InvalidBctPair, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trits_array_roundtrip() {
+        for v in [-9841i64, -100, 0, 8, 9841] {
+            let w = Word9::from_i64(v).unwrap();
+            assert_eq!(Word9::from_trits(w.trits()), w);
+            for (i, t) in w.trits().iter().enumerate() {
+                assert_eq!(w.trit(i), *t);
+            }
+        }
+    }
+
+    #[test]
     fn addition_matches_integers() {
         for a in [-9841i64, -100, -1, 0, 1, 100, 9841] {
             for b in [-9841i64, -50, 0, 3, 9841] {
@@ -703,6 +937,20 @@ mod tests {
                     Word9::from_i64_wrapping(a + b).to_i64(),
                     "{a} + {b}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn addition_exhaustive_small_width() {
+        // The packed carry loop agrees with integer addition on every
+        // pair of 3-trit words (worst-case carry chains included).
+        for a in -13i64..=13 {
+            for b in -13i64..=13 {
+                let wa = Trits::<3>::from_i64(a).unwrap();
+                let wb = Trits::<3>::from_i64(b).unwrap();
+                let (s, c) = wa.carrying_add(wb);
+                assert_eq!(a + b, s.to_i64() + 27 * c.value() as i64, "{a} + {b}");
             }
         }
     }
@@ -793,6 +1041,26 @@ mod tests {
     }
 
     #[test]
+    fn logic_ops_match_trit_tables_exhaustive() {
+        // Word-level bit twiddling vs. the Fig. 1 truth tables, over
+        // every pair of 2-trit words.
+        for a in -4i64..=4 {
+            for b in -4i64..=4 {
+                let wa = Trits::<2>::from_i64(a).unwrap();
+                let wb = Trits::<2>::from_i64(b).unwrap();
+                for i in 0..2 {
+                    assert_eq!(wa.and(wb).trit(i), wa.trit(i).and(wb.trit(i)));
+                    assert_eq!(wa.or(wb).trit(i), wa.trit(i).or(wb.trit(i)));
+                    assert_eq!(wa.xor(wb).trit(i), wa.trit(i).xor(wb.trit(i)));
+                    assert_eq!(wa.sti().trit(i), wa.trit(i).sti());
+                    assert_eq!(wa.nti().trit(i), wa.trit(i).nti());
+                    assert_eq!(wa.pti().trit(i), wa.trit(i).pti());
+                }
+            }
+        }
+    }
+
+    #[test]
     fn compare_semantics() {
         let a = Word9::from_i64(7).unwrap();
         let b = Word9::from_i64(9).unwrap();
@@ -816,7 +1084,7 @@ mod tests {
     #[test]
     fn field_extraction_and_splice() {
         let w = Word9::from_i64(8).unwrap(); // +0- in low trits
-        assert_eq!(w.field::<2>(0).trits(), &[Trit::N, Trit::Z]);
+        assert_eq!(w.field::<2>(0).trits(), [Trit::N, Trit::Z]);
         assert_eq!(w.field::<3>(0).to_i64(), 8);
         let spliced = Word9::ZERO.with_field::<3>(0, Trits::<3>::from_i64(8).unwrap());
         assert_eq!(spliced.to_i64(), 8);
@@ -846,6 +1114,14 @@ mod tests {
         }
         assert!("++".parse::<Word9>().is_err());
         assert!("0000000x+".parse::<Word9>().is_err());
+    }
+
+    #[test]
+    fn debug_shows_trits_and_value() {
+        let w = Word9::from_i64(8).unwrap();
+        let s = format!("{w:?}");
+        assert!(s.contains("+0-"), "{s}");
+        assert!(s.contains('8'), "{s}");
     }
 
     #[test]

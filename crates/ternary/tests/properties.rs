@@ -173,6 +173,61 @@ proptest! {
         prop_assert_eq!(a.cmp(&b), a.to_i64().cmp(&b.to_i64()));
     }
 
+    // ---- Packed bitplane kernels vs. retained per-trit references ----
+    //
+    // The word kernels operate on two packed binary bitplanes (PR 2);
+    // `ternary::arith` keeps the per-trit algorithms as executable
+    // specifications. These properties pin the two implementations to
+    // each other over random `Trits<9>` pairs.
+
+    #[test]
+    fn packed_add_agrees_with_tritwise_reference(a in word9(), b in word9()) {
+        let (packed_sum, packed_carry) = a.carrying_add(b);
+        let (ref_sum, ref_carry) = ternary::arith::add_tritwise(a, b);
+        prop_assert_eq!(packed_sum, ref_sum);
+        prop_assert_eq!(packed_carry, ref_carry);
+    }
+
+    #[test]
+    fn packed_add_carry_identity(a in word9(), b in word9()) {
+        // a + b = sum + 3^9 * carry, exactly.
+        let (sum, carry) = a.carrying_add(b);
+        prop_assert_eq!(
+            a.to_i64() + b.to_i64(),
+            sum.to_i64() + pow3(9) * carry.value() as i64
+        );
+    }
+
+    #[test]
+    fn packed_logic_agrees_with_trit_tables(a in word9(), b in word9(), i in 0usize..9) {
+        // Word-level bit twiddling vs. the Fig. 1 truth tables per trit.
+        prop_assert_eq!(a.and(b).trit(i), a.trit(i).and(b.trit(i)));
+        prop_assert_eq!(a.or(b).trit(i), a.trit(i).or(b.trit(i)));
+        prop_assert_eq!(a.xor(b).trit(i), a.trit(i).xor(b.trit(i)));
+        prop_assert_eq!(a.sti().trit(i), a.trit(i).sti());
+        prop_assert_eq!(a.nti().trit(i), a.trit(i).nti());
+        prop_assert_eq!(a.pti().trit(i), a.trit(i).pti());
+    }
+
+    #[test]
+    fn bitplanes_roundtrip_and_disjoint(a in word9()) {
+        let (pos, neg) = a.bitplanes();
+        prop_assert_eq!(pos & neg, 0);
+        prop_assert_eq!(pos | neg, (pos | neg) & 0x1FF); // 9 low bits only
+        prop_assert_eq!(Word9::from_bitplanes(pos, neg).unwrap(), a);
+    }
+
+    #[test]
+    fn trits_array_roundtrip(a in word9()) {
+        prop_assert_eq!(Word9::from_trits(a.trits()), a);
+    }
+
+    #[test]
+    fn bct_packed_negate_negates(a in word9()) {
+        let n = encoding::packed_negate::<9>(encoding::pack(&a));
+        prop_assert_eq!(encoding::unpack::<9>(n).unwrap(), a.negate());
+    }
+
     #[test]
     fn tritwise_mul_agrees_with_integer_mul(a in word9(), b in word9()) {
         prop_assert_eq!(ternary::arith::mul_tritwise(a, b), a.wrapping_mul(b));

@@ -5,9 +5,12 @@
 //! parallel and fold the per-run statistics into one aggregate report.
 //!
 //! A batch is a cross product: every [`Workload`] is prepared once
-//! (parsed and, for ART-9 substrates, translated) and then executed
-//! under every [`SimConfig`]. Preparation and execution both fan out
-//! across OS threads via `rayon`; results come back in deterministic
+//! (parsed, for ART-9 substrates translated and **predecoded into one
+//! shared [`art9_sim::PredecodedProgram`] image**) and then executed
+//! under every [`SimConfig`] — the simulators of all ART-9 configs
+//! fetch from the same `Arc`'d instruction image instead of copying or
+//! re-decoding per run. Preparation and execution both fan out across
+//! OS threads via `rayon`; results come back in deterministic
 //! (workload-major) order regardless of scheduling.
 //!
 //! ```
@@ -29,7 +32,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use art9_compiler::Translation;
-use art9_sim::{FunctionalSim, PipelineStats, PipelinedSim};
+use art9_sim::{FunctionalSim, PipelineStats, PipelinedSim, PredecodedProgram, DEFAULT_TDM_WORDS};
 use rayon::prelude::*;
 use rv32::{PicoRv32Model, Rv32Program, VexRiscvModel};
 
@@ -230,12 +233,17 @@ impl BatchReport {
     }
 }
 
-/// A prepared workload: parsed once, translated once, functionally
-/// checked once, shared by every configuration that runs it.
+/// A prepared workload: parsed once, translated once, predecoded once,
+/// functionally checked once, shared by every configuration that runs it.
 struct Prepared {
     workload: Workload,
     rv: Result<Rv32Program, String>,
     translation: Option<Result<Translation, String>>,
+    /// The ART-9 program decoded once into the shared simulator image;
+    /// every ART-9 config of the matrix fetches from this same `Arc`'d
+    /// text instead of copying or re-decoding per run (`None` when no
+    /// ART-9 config is requested or translation failed).
+    predecoded: Option<PredecodedProgram>,
     /// Outcome of the single functional RV32 run + verification shared
     /// by every RV32 timing config (`None` when the batch has no RV32
     /// config or the source did not parse).
@@ -321,6 +329,10 @@ impl BatchRunner {
                     }
                     _ => None,
                 };
+                let predecoded = match &translation {
+                    Some(Ok(t)) => Some(PredecodedProgram::new(&t.program)),
+                    _ => None,
+                };
                 let rv_functional = match (&rv, needs_rv32) {
                     (Ok(p), true) => {
                         let mut machine = rv32::Machine::new(p);
@@ -334,7 +346,7 @@ impl BatchRunner {
                     }
                     _ => None,
                 };
-                let p = Arc::new(Prepared { workload: w, rv, translation, rv_functional });
+                let p = Arc::new(Prepared { workload: w, rv, translation, predecoded, rv_functional });
                 (p, t0.elapsed())
             })
             .collect();
@@ -395,19 +407,21 @@ fn execute(p: &Prepared, config: SimConfig, max_steps: u64) -> RunRecord {
 
     match config {
         SimConfig::Art9Functional | SimConfig::Art9Pipelined { .. } => {
-            let t = match p.translation.as_ref() {
-                Some(Ok(t)) => t,
-                Some(Err(e)) => {
+            // The prepare stage decoded the program once; all ART-9
+            // configs fetch from that shared image.
+            let image = match (&p.predecoded, p.translation.as_ref()) {
+                (Some(image), _) => image,
+                (None, Some(Err(e))) => {
                     return fail(RunOutcome::Error(format!("translate: {e}")), Duration::ZERO)
                 }
-                None => {
+                _ => {
                     return fail(RunOutcome::Error("translation unavailable".into()), Duration::ZERO)
                 }
             };
             let start = Instant::now();
             match config {
                 SimConfig::Art9Functional => {
-                    let mut sim = FunctionalSim::new(&t.program);
+                    let mut sim = FunctionalSim::from_predecoded(image, DEFAULT_TDM_WORDS);
                     let result = match sim.run(max_steps) {
                         Ok(r) => r,
                         Err(e) => {
@@ -432,7 +446,7 @@ fn execute(p: &Prepared, config: SimConfig, max_steps: u64) -> RunRecord {
                 _ => {
                     let forwarding =
                         matches!(config, SimConfig::Art9Pipelined { forwarding: true });
-                    let mut core = PipelinedSim::new(&t.program);
+                    let mut core = PipelinedSim::from_predecoded(image, DEFAULT_TDM_WORDS);
                     if !forwarding {
                         core.disable_forwarding();
                     }
