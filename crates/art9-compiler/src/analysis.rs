@@ -98,7 +98,12 @@ pub fn analyze(program: &Rv32Program) -> Result<Analysis, CompileError> {
         for i in text {
             match i {
                 // addi rd, rs, k (covers mv): pointer flows both ways.
-                Instr::AluImm { op: AluOp::Add, rd, rs1, .. } if !rs1.is_zero() => {
+                Instr::AluImm {
+                    op: AluOp::Add,
+                    rd,
+                    rs1,
+                    ..
+                } if !rs1.is_zero() => {
                     if pointers.contains(rs1) && !pointers.contains(rd) {
                         pointers.insert(*rd);
                         changed = true;
@@ -108,25 +113,25 @@ pub fn analyze(program: &Rv32Program) -> Result<Analysis, CompileError> {
                         changed = true;
                     }
                 }
-                Instr::Alu { op: AluOp::Add, rd, rs1, rs2 } => {
+                Instr::Alu {
+                    op: AluOp::Add,
+                    rd,
+                    rs1,
+                    rs2,
+                } => {
                     // Forward.
-                    if (pointers.contains(rs1) || pointers.contains(rs2))
-                        && !pointers.contains(rd)
+                    if (pointers.contains(rs1) || pointers.contains(rs2)) && !pointers.contains(rd)
                     {
                         pointers.insert(*rd);
                         changed = true;
                     }
                     // Backward: the addend that is not a scaled index
                     // must be the pointer.
-                    if pointers.contains(rd)
-                        && !pointers.contains(rs1)
-                        && !pointers.contains(rs2)
-                    {
+                    if pointers.contains(rd) && !pointers.contains(rs1) && !pointers.contains(rs2) {
                         if defs_are_all_slli2(text, *rs2) && !defs_are_all_slli2(text, *rs1) {
                             pointers.insert(*rs1);
                             changed = true;
-                        } else if defs_are_all_slli2(text, *rs1)
-                            && !defs_are_all_slli2(text, *rs2)
+                        } else if defs_are_all_slli2(text, *rs1) && !defs_are_all_slli2(text, *rs2)
                         {
                             pointers.insert(*rs2);
                             changed = true;
@@ -144,7 +149,13 @@ pub fn analyze(program: &Rv32Program) -> Result<Analysis, CompileError> {
     // --- find scaled indices: slli rd, rs, 2 feeding pointer adds ------
     let mut index4: BTreeSet<Reg> = BTreeSet::new();
     for (k, i) in text.iter().enumerate() {
-        if let Instr::Alu { op: AluOp::Add, rs1, rs2, .. } = i {
+        if let Instr::Alu {
+            op: AluOp::Add,
+            rs1,
+            rs2,
+            ..
+        } = i
+        {
             for (p, idx) in [(rs1, rs2), (rs2, rs1)] {
                 if pointers.contains(p) && !pointers.contains(idx) {
                     // The non-pointer addend must be a scaled index.
@@ -176,8 +187,12 @@ pub fn analyze(program: &Rv32Program) -> Result<Analysis, CompileError> {
         match i {
             // la expansion: lui rd, H; addi rd, rd, L with a data address.
             Instr::Lui { rd, imm20 } if pointers.contains(rd) => {
-                if let Some(Instr::AluImm { op: AluOp::Add, rd: rd2, rs1, imm }) =
-                    text.get(k + 1)
+                if let Some(Instr::AluImm {
+                    op: AluOp::Add,
+                    rd: rd2,
+                    rs1,
+                    imm,
+                }) = text.get(k + 1)
                 {
                     let value = ((*imm20 as i64) << 12) + *imm as i64;
                     let in_data =
@@ -192,7 +207,9 @@ pub fn analyze(program: &Rv32Program) -> Result<Analysis, CompileError> {
                         }
                         analysis.actions.insert(
                             k,
-                            Action::AddressPair { word_addr: DATA_WORD_BASE + byte_off / 4 },
+                            Action::AddressPair {
+                                word_addr: DATA_WORD_BASE + byte_off / 4,
+                            },
                         );
                         analysis.actions.insert(k + 1, Action::Absorbed);
                         skip_next_absorbed = Some(k + 1);
@@ -205,16 +222,19 @@ pub fn analyze(program: &Rv32Program) -> Result<Analysis, CompileError> {
                     reg: rd.abi_name().to_string(),
                 });
             }
-            Instr::AluImm { op: AluOp::Add, rd: _, rs1, imm } if pointers.contains(rs1) => {
-                if *imm != 0 {
-                    if *imm % 4 != 0 {
-                        return Err(CompileError::UnalignedAddress {
-                            at: k,
-                            offset: *imm as i64,
-                        });
-                    }
-                    analysis.actions.insert(k, Action::ScaleStride);
+            Instr::AluImm {
+                op: AluOp::Add,
+                rd: _,
+                rs1,
+                imm,
+            } if pointers.contains(rs1) && *imm != 0 => {
+                if *imm % 4 != 0 {
+                    return Err(CompileError::UnalignedAddress {
+                        at: k,
+                        offset: *imm as i64,
+                    });
                 }
+                analysis.actions.insert(k, Action::ScaleStride);
             }
             Instr::Load { offset, .. } | Instr::Store { offset, .. } => {
                 if *offset % 4 != 0 {
@@ -227,7 +247,12 @@ pub fn analyze(program: &Rv32Program) -> Result<Analysis, CompileError> {
                     analysis.actions.insert(k, Action::ScaleOffset);
                 }
             }
-            Instr::AluImm { op: AluOp::Sll, rd, imm: 2, .. } if index4.contains(rd) => {
+            Instr::AluImm {
+                op: AluOp::Sll,
+                rd,
+                imm: 2,
+                ..
+            } if index4.contains(rd) => {
                 analysis.actions.insert(k, Action::IndexToMove);
             }
             _ => {}
@@ -240,13 +265,15 @@ pub fn analyze(program: &Rv32Program) -> Result<Analysis, CompileError> {
             if pointers.contains(&rd) {
                 let ok = match i {
                     Instr::AluImm { op: AluOp::Add, .. } => true,
-                    Instr::Alu { op: AluOp::Add, rs1, rs2, .. } => {
-                        pointers.contains(rs1) || pointers.contains(rs2)
+                    Instr::Alu {
+                        op: AluOp::Add,
+                        rs1,
+                        rs2,
+                        ..
+                    } => pointers.contains(rs1) || pointers.contains(rs2),
+                    Instr::Lui { .. } => {
+                        matches!(analysis.actions.get(&k), Some(Action::AddressPair { .. }))
                     }
-                    Instr::Lui { .. } => matches!(
-                        analysis.actions.get(&k),
-                        Some(Action::AddressPair { .. })
-                    ),
                     Instr::Load { .. } => false, // loading a pointer from memory: untyped
                     _ => false,
                 };
@@ -268,7 +295,11 @@ fn defs_are_all_slli2(text: &[Instr], reg: Reg) -> bool {
     for i in text {
         if i.writes() == Some(reg) {
             match i {
-                Instr::AluImm { op: AluOp::Sll, imm: 2, .. } => any = true,
+                Instr::AluImm {
+                    op: AluOp::Sll,
+                    imm: 2,
+                    ..
+                } => any = true,
                 _ => return false,
             }
         }
@@ -299,7 +330,10 @@ mod tests {
         let a = analyze(&p).unwrap();
         assert!(a.pointers.contains(&"a0".parse().unwrap()));
         // la = lui(0) + addi(1); lw at 2 scales; addi at 3 scales.
-        assert!(matches!(a.actions.get(&0), Some(Action::AddressPair { word_addr: 16 })));
+        assert!(matches!(
+            a.actions.get(&0),
+            Some(Action::AddressPair { word_addr: 16 })
+        ));
         assert_eq!(a.actions.get(&1), Some(&Action::Absorbed));
         assert_eq!(a.actions.get(&2), Some(&Action::ScaleOffset));
         assert_eq!(a.actions.get(&3), Some(&Action::ScaleStride));
@@ -368,10 +402,9 @@ mod tests {
     fn rejects_pointer_loaded_from_memory() {
         // A pointer fetched from memory is untypeable flow-insensitively:
         // the re-scaler cannot know what scale the stored value has.
-        let p = parse_program(
-            ".data\nptrs: .word 0\n.text\nla a0, ptrs\nlw a1, 0(a0)\nlw a2, 0(a1)\n",
-        )
-        .unwrap();
+        let p =
+            parse_program(".data\nptrs: .word 0\n.text\nla a0, ptrs\nlw a1, 0(a0)\nlw a2, 0(a1)\n")
+                .unwrap();
         assert!(matches!(
             analyze(&p),
             Err(CompileError::MixedPointerUse { .. })

@@ -100,7 +100,10 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        let e = CompileError::ConstantRange { at: 3, value: 100000 };
+        let e = CompileError::ConstantRange {
+            at: 3,
+            value: 100000,
+        };
         assert!(e.to_string().contains("100000"));
         assert!(e.to_string().contains("9841"));
     }

@@ -88,8 +88,8 @@ impl Item {
         match self {
             Item::Mark(_) => 0,
             Item::Ins(_) => 1,
-            Item::Branch { .. } => 4, // inverted branch + long jump
-            Item::Jump { .. } => 3,   // LUI + LI + JALR
+            Item::Branch { .. } => 4,     // inverted branch + long jump
+            Item::Jump { .. } => 3,       // LUI + LI + JALR
             Item::LabelConst { .. } => 2, // LUI + LI
         }
     }

@@ -169,7 +169,13 @@ pub fn translate_with_tdm(
     program: &Rv32Program,
     tdm_words: usize,
 ) -> Result<Translation, CompileError> {
-    translate_with_options(program, TranslateOptions { tdm_words, redundancy: true })
+    translate_with_options(
+        program,
+        TranslateOptions {
+            tdm_words,
+            redundancy: true,
+        },
+    )
 }
 
 /// Tuning knobs for [`translate_with_options`].
@@ -184,7 +190,10 @@ pub struct TranslateOptions {
 
 impl Default for TranslateOptions {
     fn default() -> Self {
-        Self { tdm_words: DEFAULT_TDM_WORDS, redundancy: true }
+        Self {
+            tdm_words: DEFAULT_TDM_WORDS,
+            redundancy: true,
+        }
     }
 }
 
@@ -226,19 +235,13 @@ pub fn translate_with_options(
     let mut data = vec![Word9::ZERO; DATA_WORD_BASE as usize];
     for (i, w) in program.data().iter().enumerate() {
         let v = *w as i32 as i64;
-        let word = Word9::from_i64(v).map_err(|_| CompileError::ConstantRange {
-            at: i,
-            value: v,
-        })?;
+        let word =
+            Word9::from_i64(v).map_err(|_| CompileError::ConstantRange { at: i, value: v })?;
         data.push(word);
     }
 
-    let builtin_fraction = |items: &[Item]| {
-        items
-            .iter()
-            .filter(|i| !matches!(i, Item::Mark(_)))
-            .count()
-    };
+    let builtin_fraction =
+        |items: &[Item]| items.iter().filter(|i| !matches!(i, Item::Mark(_))).count();
     let _ = builtin_fraction; // retained for future per-section stats
 
     let total_instructions = resolved.text.len();
@@ -341,10 +344,7 @@ mod tests {
         let (t, sim) = run_translated(src);
         assert_eq!(t.read_rv_reg(sim.state(), "a1".parse().unwrap()), 2);
         // arr[3] lives at TDM word DATA_WORD_BASE + 3.
-        assert_eq!(
-            sim.state().tdm.read(16 + 3).unwrap().to_i64(),
-            2
-        );
+        assert_eq!(sim.state().tdm.read(16 + 3).unwrap().to_i64(), 2);
     }
 
     #[test]
@@ -355,9 +355,8 @@ mod tests {
 
     #[test]
     fn division_via_builtin() {
-        let (t, sim) = run_translated(
-            "li a0, 100\nli a1, 7\ndiv a2, a0, a1\nrem a3, a0, a1\nebreak\n",
-        );
+        let (t, sim) =
+            run_translated("li a0, 100\nli a1, 7\ndiv a2, a0, a1\nrem a3, a0, a1\nebreak\n");
         assert_eq!(t.read_rv_reg(sim.state(), "a2".parse().unwrap()), 14);
         assert_eq!(t.read_rv_reg(sim.state(), "a3".parse().unwrap()), 2);
     }

@@ -83,7 +83,10 @@ impl<'a> Mapper<'a> {
         // Falling off the end halts (matches the RV32 machine).
         let halt = self.labels.fresh();
         self.items.push(Item::Mark(halt));
-        self.items.push(Item::Jump { link: SCRATCH_B, target: halt });
+        self.items.push(Item::Jump {
+            link: SCRATCH_B,
+            target: halt,
+        });
         Ok(MapOutput {
             items: self.items,
             used_builtins: self.used_builtins,
@@ -157,11 +160,20 @@ impl<'a> Mapper<'a> {
             return;
         }
         if (-13..=13).contains(&value) {
-            self.ins(Instruction::Addi { a: reg, imm: Self::imm3(value) });
+            self.ins(Instruction::Addi {
+                a: reg,
+                imm: Self::imm3(value),
+            });
         } else if (-26..=26).contains(&value) {
             let half = value / 2;
-            self.ins(Instruction::Addi { a: reg, imm: Self::imm3(half) });
-            self.ins(Instruction::Addi { a: reg, imm: Self::imm3(value - half) });
+            self.ins(Instruction::Addi {
+                a: reg,
+                imm: Self::imm3(half),
+            });
+            self.ins(Instruction::Addi {
+                a: reg,
+                imm: Self::imm3(value - half),
+            });
         } else {
             self.emit_const(scratch, value);
             self.ins(Instruction::Add { a: reg, b: scratch });
@@ -238,7 +250,10 @@ impl<'a> Mapper<'a> {
                 self.write_from(*rd, w);
             }
             Auipc { .. } => {
-                return Err(CompileError::Unsupported { at: k, mnemonic: "auipc" });
+                return Err(CompileError::Unsupported {
+                    at: k,
+                    mnemonic: "auipc",
+                });
             }
             AluImm { op, rd, rs1, imm } => self.map_alu_imm(k, *op, *rd, *rs1, *imm as i64)?,
             Alu { op, rd, rs1, rs2 } => self.map_alu(k, *op, *rd, *rs1, *rs2)?,
@@ -259,12 +274,21 @@ impl<'a> Mapper<'a> {
                 }
                 self.call_builtin(builtin, *rd, *rs1, *rs2);
             }
-            Load { op: rv32::LoadOp::Lw, rd, rs1, offset } => {
+            Load {
+                op: rv32::LoadOp::Lw,
+                rd,
+                rs1,
+                offset,
+            } => {
                 let off = self.scaled_offset(k, *offset)?;
                 let base = self.read_in_place(*rs1, SCRATCH_A);
                 let w = self.dest_phys(*rd);
                 let (base, off) = self.fit_mem_offset(base, off);
-                self.ins(Instruction::Load { a: w, b: base, offset: Self::imm3(off) });
+                self.ins(Instruction::Load {
+                    a: w,
+                    b: base,
+                    offset: Self::imm3(off),
+                });
                 self.write_from(*rd, w);
             }
             Load { op, .. } => {
@@ -279,7 +303,12 @@ impl<'a> Mapper<'a> {
                     },
                 });
             }
-            Store { op: rv32::StoreOp::Sw, rs2, rs1, offset } => {
+            Store {
+                op: rv32::StoreOp::Sw,
+                rs2,
+                rs1,
+                offset,
+            } => {
                 let off = self.scaled_offset(k, *offset)?;
                 // Address first (offset folding may use t8), datum last.
                 let base = self.read_in_place(*rs1, SCRATCH_A);
@@ -301,11 +330,19 @@ impl<'a> Mapper<'a> {
                     },
                 });
             }
-            Branch { op, rs1, rs2, offset } => {
+            Branch {
+                op,
+                rs1,
+                rs2,
+                offset,
+            } => {
                 let target = Label::Rv(target_index(k, *offset));
                 self.read_to(SCRATCH_B, *rs1);
                 let rhs = self.read_in_place(*rs2, SCRATCH_A);
-                self.ins(Instruction::Comp { a: SCRATCH_B, b: rhs });
+                self.ins(Instruction::Comp {
+                    a: SCRATCH_B,
+                    b: rhs,
+                });
                 let (eq, cond) = match op {
                     BranchOp::Eq => (true, Trit::Z),
                     BranchOp::Ne => (false, Trit::Z),
@@ -320,12 +357,20 @@ impl<'a> Mapper<'a> {
                         (false, Trit::N)
                     }
                 };
-                self.items.push(Item::Branch { eq, breg: SCRATCH_B, cond, target });
+                self.items.push(Item::Branch {
+                    eq,
+                    breg: SCRATCH_B,
+                    cond,
+                    target,
+                });
             }
             Jal { rd, offset } => {
                 let target = Label::Rv(target_index(k, *offset));
                 match self.alloc.loc(*rd) {
-                    Loc::Zero => self.items.push(Item::Jump { link: SCRATCH_B, target }),
+                    Loc::Zero => self.items.push(Item::Jump {
+                        link: SCRATCH_B,
+                        target,
+                    }),
                     Loc::Direct(r) => self.items.push(Item::Jump { link: r, target }),
                     Loc::Spill(s) => {
                         // Code after a jump never runs: the return
@@ -339,13 +384,19 @@ impl<'a> Mapper<'a> {
                             b: TReg::T0,
                             offset: Self::imm3(s),
                         });
-                        self.items.push(Item::Jump { link: SCRATCH_B, target });
+                        self.items.push(Item::Jump {
+                            link: SCRATCH_B,
+                            target,
+                        });
                     }
                 }
             }
             Jalr { rd, rs1, offset } => {
                 if *offset != 0 {
-                    return Err(CompileError::Unsupported { at: k, mnemonic: "jalr+off" });
+                    return Err(CompileError::Unsupported {
+                        at: k,
+                        mnemonic: "jalr+off",
+                    });
                 }
                 let base = self.read_in_place(*rs1, SCRATCH_A);
                 match self.alloc.loc(*rd) {
@@ -359,7 +410,11 @@ impl<'a> Mapper<'a> {
                     Loc::Direct(r) => {
                         // JALR reads Tb before writing Ta, so link == base
                         // is architecturally fine.
-                        self.ins(Instruction::Jalr { a: r, b: base, offset: Trits::ZERO });
+                        self.ins(Instruction::Jalr {
+                            a: r,
+                            b: base,
+                            offset: Trits::ZERO,
+                        });
                     }
                     Loc::Spill(s) => {
                         self.items.push(Item::LabelConst {
@@ -384,7 +439,10 @@ impl<'a> Mapper<'a> {
                 // Halt: jump-to-self.
                 let here = self.labels.fresh();
                 self.items.push(Item::Mark(here));
-                self.items.push(Item::Jump { link: SCRATCH_B, target: here });
+                self.items.push(Item::Jump {
+                    link: SCRATCH_B,
+                    target: here,
+                });
             }
         }
         Ok(())
@@ -394,7 +452,10 @@ impl<'a> Mapper<'a> {
         match self.analysis.actions.get(&k) {
             Some(Action::ScaleOffset) => Ok(offset as i64 / 4),
             _ if offset == 0 => Ok(0),
-            _ => Err(CompileError::UnalignedAddress { at: k, offset: offset as i64 }),
+            _ => Err(CompileError::UnalignedAddress {
+                at: k,
+                offset: offset as i64,
+            }),
         }
     }
 
@@ -454,7 +515,10 @@ impl<'a> Mapper<'a> {
                     && self.alloc.loc(rd) == self.alloc.loc(rs1)
                 {
                     if let Loc::Direct(r) = self.alloc.loc(rd) {
-                        self.ins(Instruction::Andi { a: r, imm: Self::imm3(imm) });
+                        self.ins(Instruction::Andi {
+                            a: r,
+                            imm: Self::imm3(imm),
+                        });
                         return Ok(());
                     }
                 }
@@ -500,7 +564,10 @@ impl<'a> Mapper<'a> {
                 self.emit_slt_tail(rd);
             }
             AluOp::Sub => {
-                return Err(CompileError::Unsupported { at: k, mnemonic: "subi" });
+                return Err(CompileError::Unsupported {
+                    at: k,
+                    mnemonic: "subi",
+                });
             }
         }
         Ok(())
@@ -510,18 +577,36 @@ impl<'a> Mapper<'a> {
     /// add one: {0→1, ±1→0}.
     fn emit_is_zero(&mut self, rd: Reg, rs: Reg) {
         self.read_to(SCRATCH_B, rs);
-        self.ins(Instruction::Comp { a: SCRATCH_B, b: TReg::T0 });
-        self.ins(Instruction::Xor { a: SCRATCH_B, b: SCRATCH_B }); // -|sign|
-        self.ins(Instruction::Addi { a: SCRATCH_B, imm: Self::imm3(1) });
+        self.ins(Instruction::Comp {
+            a: SCRATCH_B,
+            b: TReg::T0,
+        });
+        self.ins(Instruction::Xor {
+            a: SCRATCH_B,
+            b: SCRATCH_B,
+        }); // -|sign|
+        self.ins(Instruction::Addi {
+            a: SCRATCH_B,
+            imm: Self::imm3(1),
+        });
         self.write_from(rd, SCRATCH_B);
     }
 
     /// Shared tail for `slt*`: `t8` holds lhs, `t7` rhs; computes the
     /// 0/1 boolean into `rd`.
     fn emit_slt_tail(&mut self, rd: Reg) {
-        self.ins(Instruction::Comp { a: SCRATCH_B, b: SCRATCH_A });
-        self.ins(Instruction::And { a: SCRATCH_B, b: TReg::T0 }); // min(sign, 0)
-        self.ins(Instruction::Sti { a: SCRATCH_B, b: SCRATCH_B }); // negate
+        self.ins(Instruction::Comp {
+            a: SCRATCH_B,
+            b: SCRATCH_A,
+        });
+        self.ins(Instruction::And {
+            a: SCRATCH_B,
+            b: TReg::T0,
+        }); // min(sign, 0)
+        self.ins(Instruction::Sti {
+            a: SCRATCH_B,
+            b: SCRATCH_B,
+        }); // negate
         self.write_from(rd, SCRATCH_B);
     }
 
@@ -580,7 +665,10 @@ impl<'a> Mapper<'a> {
                         let w = self.dest_phys(rd);
                         self.read_to(w, rd);
                         self.ins(Instruction::Sti { a: w, b: w });
-                        self.ins(Instruction::Addi { a: w, imm: Self::imm3(1) });
+                        self.ins(Instruction::Addi {
+                            a: w,
+                            imm: Self::imm3(1),
+                        });
                         self.write_from(rd, w);
                         return Ok(());
                     }
@@ -693,7 +781,10 @@ impl<'a> Mapper<'a> {
                 offset: Self::imm3(s),
             }),
         }
-        self.items.push(Item::Jump { link: SCRATCH_B, target: Label::Builtin(id) });
+        self.items.push(Item::Jump {
+            link: SCRATCH_B,
+            target: Label::Builtin(id),
+        });
         self.finish_builtin_result(rd);
     }
 
@@ -721,7 +812,10 @@ impl<'a> Mapper<'a> {
             }),
         }
         self.emit_const(TReg::T4, imm);
-        self.items.push(Item::Jump { link: SCRATCH_B, target: Label::Builtin(id) });
+        self.items.push(Item::Jump {
+            link: SCRATCH_B,
+            target: Label::Builtin(id),
+        });
         self.finish_builtin_result(rd);
     }
 
@@ -810,10 +904,7 @@ mod tests {
     }
 
     fn count_ins(items: &[Item]) -> usize {
-        items
-            .iter()
-            .filter(|i| !matches!(i, Item::Mark(_)))
-            .count()
+        items.iter().filter(|i| !matches!(i, Item::Mark(_))).count()
     }
 
     #[test]
@@ -835,9 +926,10 @@ mod tests {
             .count();
         assert_eq!(adds, 1);
         // The mechanical mapper stages rd == rs1 with a self-move…
-        let self_mv = out.items.iter().any(
-            |i| matches!(i, Item::Ins(Instruction::Mv { a, b }) if a == b),
-        );
+        let self_mv = out
+            .items
+            .iter()
+            .any(|i| matches!(i, Item::Ins(Instruction::Mv { a, b }) if a == b));
         assert!(self_mv, "mapper emits the staging move mechanically");
         // …and the redundancy pass removes it (Fig. 2's last stage).
         let mut items = out.items.clone();
@@ -857,7 +949,11 @@ mod tests {
             .any(|i| matches!(i, Item::Ins(Instruction::Comp { .. }))));
         assert!(out.items.iter().any(|i| matches!(
             i,
-            Item::Branch { eq: true, cond: Trit::N, .. }
+            Item::Branch {
+                eq: true,
+                cond: Trit::N,
+                ..
+            }
         )));
     }
 
@@ -865,10 +961,13 @@ mod tests {
     fn mul_emits_builtin_call() {
         let out = map("mul a0, a1, a2\nebreak\n");
         assert!(out.used_builtins.contains(&BuiltinId::Mul));
-        assert!(out
-            .items
-            .iter()
-            .any(|i| matches!(i, Item::Jump { target: Label::Builtin(BuiltinId::Mul), .. })));
+        assert!(out.items.iter().any(|i| matches!(
+            i,
+            Item::Jump {
+                target: Label::Builtin(BuiltinId::Mul),
+                ..
+            }
+        )));
     }
 
     #[test]

@@ -36,8 +36,7 @@ pub fn eliminate(items: &mut Vec<Item>) -> usize {
                         changed = true;
                         continue;
                     }
-                    Instruction::Addi { imm, a } if imm.is_zero() && *a != art9_isa::TReg::T0 =>
-                    {
+                    Instruction::Addi { imm, a } if imm.is_zero() && *a != art9_isa::TReg::T0 => {
                         // Keep canonical NOPs (ADDI t0, 0) — drop only
                         // accidental vacuous adds on other registers.
                         changed = true;
@@ -52,8 +51,16 @@ pub fn eliminate(items: &mut Vec<Item>) -> usize {
                 let redundant = match (prev, cur) {
                     // store r -> slot ; load r <- slot
                     (
-                        Instruction::Store { a: sa, b: sb, offset: so },
-                        Instruction::Load { a: la, b: lb, offset: lo },
+                        Instruction::Store {
+                            a: sa,
+                            b: sb,
+                            offset: so,
+                        },
+                        Instruction::Load {
+                            a: la,
+                            b: lb,
+                            offset: lo,
+                        },
                     ) => sa == la && sb == lb && so == lo,
                     // mv a,b ; mv a,b   /   mv a,b ; mv b,a
                     (Instruction::Mv { a: pa, b: pb }, Instruction::Mv { a: ca, b: cb }) => {
@@ -125,7 +132,11 @@ mod tests {
     #[test]
     fn mark_blocks_pairwise_elimination() {
         // A label between the pair is a join point: the load must stay.
-        let mut items = vec![store(TReg::T5, 7), Item::Mark(Label::Local(0)), load(TReg::T5, 7)];
+        let mut items = vec![
+            store(TReg::T5, 7),
+            Item::Mark(Label::Local(0)),
+            load(TReg::T5, 7),
+        ];
         assert_eq!(eliminate(&mut items), 0);
     }
 

@@ -148,8 +148,14 @@ pub fn allocate(program: &Rv32Program) -> Result<Allocation, CompileError> {
 fn instr_dest(i: &Instr) -> Option<Reg> {
     use Instr::*;
     match i {
-        Lui { rd, .. } | Auipc { rd, .. } | Jal { rd, .. } | Jalr { rd, .. }
-        | Load { rd, .. } | AluImm { rd, .. } | Alu { rd, .. } | MulDiv { rd, .. } => Some(*rd),
+        Lui { rd, .. }
+        | Auipc { rd, .. }
+        | Jal { rd, .. }
+        | Jalr { rd, .. }
+        | Load { rd, .. }
+        | AluImm { rd, .. }
+        | Alu { rd, .. }
+        | MulDiv { rd, .. } => Some(*rd),
         _ => None,
     }
 }
@@ -194,24 +200,30 @@ mod tests {
     fn overflow_spills_then_errors() {
         // 12 distinct working registers: 4 direct + 7 spill + 1 too many.
         let mut src = String::new();
-        for (k, r) in ["a0", "a1", "a2", "a3", "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5"]
-            .iter()
-            .enumerate()
+        for (k, r) in [
+            "a0", "a1", "a2", "a3", "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5",
+        ]
+        .iter()
+        .enumerate()
         {
             src.push_str(&format!("li {r}, {k}\n"));
         }
         src.push_str("ebreak\n");
         let p = parse_program(&src).unwrap();
         let e = allocate(&p).unwrap_err();
-        assert!(matches!(e, CompileError::TooManyRegisters { ref overflow } if overflow.len() == 1));
+        assert!(
+            matches!(e, CompileError::TooManyRegisters { ref overflow } if overflow.len() == 1)
+        );
     }
 
     #[test]
     fn eleven_registers_fit() {
         let mut src = String::new();
-        for (k, r) in ["a0", "a1", "a2", "a3", "a4", "a5", "a6", "a7", "s2", "s3", "s4"]
-            .iter()
-            .enumerate()
+        for (k, r) in [
+            "a0", "a1", "a2", "a3", "a4", "a5", "a6", "a7", "s2", "s3", "s4",
+        ]
+        .iter()
+        .enumerate()
         {
             src.push_str(&format!("li {r}, {k}\n"));
         }
@@ -225,9 +237,11 @@ mod tests {
     #[test]
     fn spill_slots_stay_in_imm3_window() {
         let mut src = String::new();
-        for (k, r) in ["a0", "a1", "a2", "a3", "a4", "a5", "a6", "a7", "s2", "s3", "s4"]
-            .iter()
-            .enumerate()
+        for (k, r) in [
+            "a0", "a1", "a2", "a3", "a4", "a5", "a6", "a7", "s2", "s3", "s4",
+        ]
+        .iter()
+        .enumerate()
         {
             src.push_str(&format!("li {r}, {k}\n"));
         }

@@ -141,24 +141,45 @@ fn emit(
                     });
                 }
             }
-            Item::Branch { eq, breg, cond, target } => {
+            Item::Branch {
+                eq,
+                breg,
+                cond,
+                target,
+            } => {
                 let t = addresses[target] as i64;
                 if long[i] {
                     // Inverted branch skips the 3-instruction long jump.
                     let skip = Trits::<4>::from_i64(4).expect("4 fits imm4");
                     let inv = if *eq {
-                        Instruction::Bne { b: *breg, cond: *cond, offset: skip }
+                        Instruction::Bne {
+                            b: *breg,
+                            cond: *cond,
+                            offset: skip,
+                        }
                     } else {
-                        Instruction::Beq { b: *breg, cond: *cond, offset: skip }
+                        Instruction::Beq {
+                            b: *breg,
+                            cond: *cond,
+                            offset: skip,
+                        }
                     };
                     text.push(inv);
                     emit_long_jump(&mut text, SCRATCH, t);
                 } else {
                     let offset = Trits::<4>::from_i64(t - here).expect("short branch fits");
                     let b = if *eq {
-                        Instruction::Beq { b: *breg, cond: *cond, offset }
+                        Instruction::Beq {
+                            b: *breg,
+                            cond: *cond,
+                            offset,
+                        }
                     } else {
-                        Instruction::Bne { b: *breg, cond: *cond, offset }
+                        Instruction::Bne {
+                            b: *breg,
+                            cond: *cond,
+                            offset,
+                        }
                     };
                     text.push(b);
                 }
@@ -204,7 +225,12 @@ mod tests {
         let items = vec![
             Item::Mark(Label::Rv(0)),
             nop(),
-            Item::Branch { eq: true, breg: TReg::T3, cond: Trit::Z, target: Label::Rv(0) },
+            Item::Branch {
+                eq: true,
+                breg: TReg::T3,
+                cond: Trit::Z,
+                target: Label::Rv(0),
+            },
         ];
         let r = resolve(&items).unwrap();
         assert_eq!(r.text.len(), 2);
@@ -242,7 +268,10 @@ mod tests {
         for _ in 0..200 {
             items.push(nop());
         }
-        items.push(Item::Jump { link: TReg::T8, target: Label::Rv(0) });
+        items.push(Item::Jump {
+            link: TReg::T8,
+            target: Label::Rv(0),
+        });
         let r = resolve(&items).unwrap();
         assert_eq!(r.text.len(), 203);
         // Long jump lands on address 0 via LUI 0 + LI 0 + JALR.
@@ -262,7 +291,10 @@ mod tests {
     fn label_const_materializes_address() {
         let items = vec![
             nop(),
-            Item::LabelConst { reg: TReg::T8, target: Label::Rv(9) },
+            Item::LabelConst {
+                reg: TReg::T8,
+                target: Label::Rv(9),
+            },
             nop(),
             Item::Mark(Label::Rv(9)),
             nop(),

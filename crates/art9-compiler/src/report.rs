@@ -123,7 +123,10 @@ mod tests {
             art9_builtin_instructions: 30,
             redundant_removed: 5,
             data_words: 8,
-            warnings: vec![Warning { at: 3, kind: WarningKind::BitwiseSemantics }],
+            warnings: vec![Warning {
+                at: 3,
+                kind: WarningKind::BitwiseSemantics,
+            }],
         };
         assert_eq!(r.art9_instructions(), 150);
         assert!((r.expansion() - 1.5).abs() < 1e-9);

@@ -83,7 +83,10 @@ fn mv(a: TReg, b: TReg) -> Item {
 }
 
 fn addi(a: TReg, v: i64) -> Item {
-    ins(Instruction::Addi { a, imm: Trits::<3>::from_i64(v).expect("imm3") })
+    ins(Instruction::Addi {
+        a,
+        imm: Trits::<3>::from_i64(v).expect("imm3"),
+    })
 }
 
 fn sub(a: TReg, b: TReg) -> Item {
@@ -103,19 +106,35 @@ fn comp(a: TReg, b: TReg) -> Item {
 }
 
 fn sri(a: TReg, v: i64) -> Item {
-    ins(Instruction::Sri { a, imm: Trits::<2>::from_i64(v).expect("imm2") })
+    ins(Instruction::Sri {
+        a,
+        imm: Trits::<2>::from_i64(v).expect("imm2"),
+    })
 }
 
 fn sli(a: TReg, v: i64) -> Item {
-    ins(Instruction::Sli { a, imm: Trits::<2>::from_i64(v).expect("imm2") })
+    ins(Instruction::Sli {
+        a,
+        imm: Trits::<2>::from_i64(v).expect("imm2"),
+    })
 }
 
 fn beq(breg: TReg, cond: Trit, target: Label) -> Item {
-    Item::Branch { eq: true, breg, cond, target }
+    Item::Branch {
+        eq: true,
+        breg,
+        cond,
+        target,
+    }
 }
 
 fn bne(breg: TReg, cond: Trit, target: Label) -> Item {
-    Item::Branch { eq: false, breg, cond, target }
+    Item::Branch {
+        eq: false,
+        breg,
+        cond,
+        target,
+    }
 }
 
 /// Unconditional branch: `BEQ t0, 0, target` (t0's LST is always zero
@@ -196,7 +215,11 @@ fn mul_items(labels: &mut LocalLabels) -> Vec<Item> {
 /// dividend as remainder — the closest 9-trit analogue of the RISC-V
 /// all-ones convention is documented in DESIGN.md).
 fn divrem_items(labels: &mut LocalLabels, want_rem: bool) -> Vec<Item> {
-    let id = if want_rem { BuiltinId::Rem } else { BuiltinId::Div };
+    let id = if want_rem {
+        BuiltinId::Rem
+    } else {
+        BuiltinId::Div
+    };
     let l_a_pos = labels.fresh();
     let l_b_pos = labels.fresh();
     let l_loop = labels.fresh();
@@ -219,7 +242,7 @@ fn divrem_items(labels: &mut LocalLabels, want_rem: bool) -> Vec<Item> {
     // the remainder's sign.
     v.push(sub(T7, T7));
     v.push(store(T7, 3)); // na = 0
-    // |a|
+                          // |a|
     v.push(mv(T6, T3));
     v.push(comp(T6, T0));
     v.push(bne(T6, Trit::N, l_a_pos));
@@ -295,12 +318,7 @@ mod tests {
             assert_eq!(items[0], Item::Mark(Label::Builtin(id)), "{id:?}");
             let rets = items
                 .iter()
-                .filter(|i| {
-                    matches!(
-                        i,
-                        Item::Ins(Instruction::Jalr { b: TReg::T8, .. })
-                    )
-                })
+                .filter(|i| matches!(i, Item::Ins(Instruction::Jalr { b: TReg::T8, .. })))
                 .count();
             assert!(rets >= 1, "{id:?} must return via t8");
         }

@@ -135,11 +135,7 @@ mod tests {
     fn block_analysis_is_consistent() {
         let d = Datapath::art9();
         let lib = cntfet32();
-        let total: usize = d
-            .blocks()
-            .iter()
-            .map(|b| analyze_block(b, &lib).0)
-            .sum();
+        let total: usize = d.blocks().iter().map(|b| analyze_block(b, &lib).0).sum();
         assert_eq!(total, d.datapath_gates());
     }
 

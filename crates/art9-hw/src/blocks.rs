@@ -65,10 +65,10 @@ pub fn logic_unit(width: usize) -> Netlist {
 pub fn inverter_unit(width: usize) -> Netlist {
     let mut b = NetlistBuilder::new("inverter-unit");
     let src = b.inputs(width);
-    for i in 0..width {
-        let s = b.gate(GateKind::Sti, &[src[i]]);
-        let n = b.gate(GateKind::Nti, &[src[i]]);
-        let p = b.gate(GateKind::Pti, &[src[i]]);
+    for wire in src.iter().take(width) {
+        let s = b.gate(GateKind::Sti, &[*wire]);
+        let n = b.gate(GateKind::Nti, &[*wire]);
+        let p = b.gate(GateKind::Pti, &[*wire]);
         b.output(s);
         b.output(n);
         b.output(p);
@@ -84,7 +84,7 @@ pub fn shifter(width: usize) -> Netlist {
     let amt_low = b.input(); // amount trit 0
     let amt_high = b.input(); // amount trit 1
     let dir = b.gate(GateKind::Tcmp, &[amt_low, amt_high]); // sign of amount
-    // Stage 1: shift by one position (mux between src[i] and neighbour).
+                                                            // Stage 1: shift by one position (mux between src[i] and neighbour).
     let mut stage1 = Vec::new();
     for i in 0..width {
         let neigh = src[(i + 1) % width];
@@ -463,7 +463,11 @@ mod tests {
     use crate::gate::CellParams;
 
     fn unit(_: GateKind) -> CellParams {
-        CellParams { delay_ps: 10.0, static_nw: 1.0, switch_energy_fj: 0.1 }
+        CellParams {
+            delay_ps: 10.0,
+            static_nw: 1.0,
+            switch_energy_fj: 0.1,
+        }
     }
 
     #[test]

@@ -82,7 +82,9 @@ mod tests {
     use crate::tech::cntfet32;
 
     /// The paper's 0.42 DMIPS/MHz corresponds to ~1355 cycles/iteration.
-    const PAPER_LIKE: DhrystoneResult = DhrystoneResult { cycles_per_iteration: 1355.0 };
+    const PAPER_LIKE: DhrystoneResult = DhrystoneResult {
+        cycles_per_iteration: 1355.0,
+    };
 
     #[test]
     fn dmips_per_mhz_matches_paper_arithmetic() {
@@ -111,7 +113,11 @@ mod tests {
         let r = map_to_fpga(&d, MemoryConfig::default(), 150.0);
         let e = estimate_fpga(&r, PAPER_LIKE);
         // Table V: 57.8 DMIPS/W at 150 MHz / 1.09 W.
-        assert!((20.0..=120.0).contains(&e.dmips_per_watt), "{}", e.dmips_per_watt);
+        assert!(
+            (20.0..=120.0).contains(&e.dmips_per_watt),
+            "{}",
+            e.dmips_per_watt
+        );
     }
 
     #[test]

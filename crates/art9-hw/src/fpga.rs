@@ -61,7 +61,10 @@ pub struct MemoryConfig {
 impl Default for MemoryConfig {
     fn default() -> Self {
         // Table V's 9216 bits = 2 × 256 words × 18 bits.
-        Self { words: 256, trits_per_word: 9 }
+        Self {
+            words: 256,
+            trits_per_word: 9,
+        }
     }
 }
 
@@ -134,7 +137,10 @@ mod tests {
         let d = Datapath::art9();
         let r = map_to_fpga(
             &d,
-            MemoryConfig { words: 128, trits_per_word: 9 },
+            MemoryConfig {
+                words: 128,
+                trits_per_word: 9,
+            },
             150.0,
         );
         assert_eq!(r.ram_bits, 2 * 128 * 18);

@@ -47,7 +47,10 @@ impl NetlistBuilder {
 
     /// Adds a primary input (or pipeline-register output) node.
     pub fn input(&mut self) -> NodeId {
-        self.netlist.nodes.push(Node { kind: None, fanins: Vec::new() });
+        self.netlist.nodes.push(Node {
+            kind: None,
+            fanins: Vec::new(),
+        });
         NodeId(self.netlist.nodes.len() as u32 - 1)
     }
 
@@ -233,7 +236,11 @@ mod tests {
     use super::*;
 
     fn unit_params(_: GateKind) -> CellParams {
-        CellParams { delay_ps: 10.0, static_nw: 2.0, switch_energy_fj: 0.5 }
+        CellParams {
+            delay_ps: 10.0,
+            static_nw: 2.0,
+            switch_energy_fj: 0.5,
+        }
     }
 
     #[test]

@@ -87,7 +87,11 @@ pub fn cntfet32() -> TechLibrary {
     let mut put = |k: GateKind, d: f64, s: f64, e: f64| {
         cells.insert(
             k,
-            CellParams { delay_ps: d, static_nw: s, switch_energy_fj: e },
+            CellParams {
+                delay_ps: d,
+                static_nw: s,
+                switch_energy_fj: e,
+            },
         );
     };
     // kind, delay ps, leakage nW, switch energy fJ.

@@ -112,7 +112,10 @@ struct RawItem {
 
 #[derive(Debug, Clone)]
 enum RawBody {
-    Instr { mnemonic: String, operands: Vec<String> },
+    Instr {
+        mnemonic: String,
+        operands: Vec<String>,
+    },
     Words(Vec<String>),
     Zeros(usize),
     Label(String),
@@ -145,7 +148,11 @@ fn parse_items(source: &str) -> Result<Vec<RawItem>, IsaError> {
             if label.is_empty() || !is_ident(label) {
                 break;
             }
-            let addr = if section == Section::Text { text_addr } else { data_addr };
+            let addr = if section == Section::Text {
+                text_addr
+            } else {
+                data_addr
+            };
             items.push(RawItem {
                 line,
                 section,
@@ -167,8 +174,7 @@ fn parse_items(source: &str) -> Result<Vec<RawItem>, IsaError> {
                 "text" => section = Section::Text,
                 "data" => section = Section::Data,
                 "word" => {
-                    let vals: Vec<String> =
-                        args.split(',').map(|s| s.trim().to_string()).collect();
+                    let vals: Vec<String> = args.split(',').map(|s| s.trim().to_string()).collect();
                     if vals.iter().any(String::is_empty) {
                         return Err(asm_err(line, AsmErrorKind::BadDirective(rest.into())));
                     }
@@ -182,9 +188,9 @@ fn parse_items(source: &str) -> Result<Vec<RawItem>, IsaError> {
                     data_addr += n;
                 }
                 "zero" | "space" => {
-                    let n: usize = args.parse().map_err(|_| {
-                        asm_err(line, AsmErrorKind::BadDirective(rest.into()))
-                    })?;
+                    let n: usize = args
+                        .parse()
+                        .map_err(|_| asm_err(line, AsmErrorKind::BadDirective(rest.into())))?;
                     items.push(RawItem {
                         line,
                         section: Section::Data,
@@ -246,7 +252,10 @@ fn collect_symbols(items: &[RawItem]) -> Result<BTreeMap<String, Symbol>, IsaErr
                 address: item.addr,
             };
             if symbols.insert(name.clone(), sym).is_some() {
-                return Err(asm_err(item.line, AsmErrorKind::DuplicateLabel(name.clone())));
+                return Err(asm_err(
+                    item.line,
+                    AsmErrorKind::DuplicateLabel(name.clone()),
+                ));
             }
         }
     }
@@ -381,10 +390,7 @@ fn expect_operands(
     Ok(())
 }
 
-fn lower(
-    items: &[RawItem],
-    symbols: &BTreeMap<String, Symbol>,
-) -> Result<Program, IsaError> {
+fn lower(items: &[RawItem], symbols: &BTreeMap<String, Symbol>) -> Result<Program, IsaError> {
     let mut text = Vec::new();
     let mut lines = Vec::new();
     let mut data = Vec::new();
@@ -394,17 +400,24 @@ fn lower(
             RawBody::Label(_) => {}
             RawBody::Zeros(n) => data.extend(std::iter::repeat_n(Word9::ZERO, *n)),
             RawBody::Words(vals) => {
-                let ctx = Ctx { symbols, line: item.line, pc: 0 };
+                let ctx = Ctx {
+                    symbols,
+                    line: item.line,
+                    pc: 0,
+                };
                 for v in vals {
                     let value = ctx.value(v)?;
-                    let w = Word9::from_i64(value).map_err(|_| {
-                        ctx.err(AsmErrorKind::ImmediateRange { value, width: 9 })
-                    })?;
+                    let w = Word9::from_i64(value)
+                        .map_err(|_| ctx.err(AsmErrorKind::ImmediateRange { value, width: 9 }))?;
                     data.push(w);
                 }
             }
             RawBody::Instr { mnemonic, operands } => {
-                let ctx = Ctx { symbols, line: item.line, pc: item.addr };
+                let ctx = Ctx {
+                    symbols,
+                    line: item.line,
+                    pc: item.addr,
+                };
                 let instr = lower_instr(&ctx, mnemonic, operands)?;
                 text.push(instr);
                 lines.push(item.line);
@@ -421,24 +434,132 @@ fn lower_instr(ctx: &Ctx<'_>, mnemonic: &str, ops: &[String]) -> Result<Instruct
     let need = |expected| expect_operands(ctx.line, mnemonic, ops, expected);
 
     Ok(match mnemonic {
-        "MV" => { need(2)?; Mv { a: ctx.reg(&ops[0])?, b: ctx.reg(&ops[1])? } }
-        "PTI" => { need(2)?; Pti { a: ctx.reg(&ops[0])?, b: ctx.reg(&ops[1])? } }
-        "NTI" => { need(2)?; Nti { a: ctx.reg(&ops[0])?, b: ctx.reg(&ops[1])? } }
-        "STI" => { need(2)?; Sti { a: ctx.reg(&ops[0])?, b: ctx.reg(&ops[1])? } }
-        "AND" => { need(2)?; And { a: ctx.reg(&ops[0])?, b: ctx.reg(&ops[1])? } }
-        "OR" => { need(2)?; Or { a: ctx.reg(&ops[0])?, b: ctx.reg(&ops[1])? } }
-        "XOR" => { need(2)?; Xor { a: ctx.reg(&ops[0])?, b: ctx.reg(&ops[1])? } }
-        "ADD" => { need(2)?; Add { a: ctx.reg(&ops[0])?, b: ctx.reg(&ops[1])? } }
-        "SUB" => { need(2)?; Sub { a: ctx.reg(&ops[0])?, b: ctx.reg(&ops[1])? } }
-        "SR" => { need(2)?; Sr { a: ctx.reg(&ops[0])?, b: ctx.reg(&ops[1])? } }
-        "SL" => { need(2)?; Sl { a: ctx.reg(&ops[0])?, b: ctx.reg(&ops[1])? } }
-        "COMP" => { need(2)?; Comp { a: ctx.reg(&ops[0])?, b: ctx.reg(&ops[1])? } }
-        "ANDI" => { need(2)?; Andi { a: ctx.reg(&ops[0])?, imm: ctx.imm::<3>(&ops[1])? } }
-        "ADDI" => { need(2)?; Addi { a: ctx.reg(&ops[0])?, imm: ctx.imm::<3>(&ops[1])? } }
-        "SRI" => { need(2)?; Sri { a: ctx.reg(&ops[0])?, imm: ctx.imm::<2>(&ops[1])? } }
-        "SLI" => { need(2)?; Sli { a: ctx.reg(&ops[0])?, imm: ctx.imm::<2>(&ops[1])? } }
-        "LUI" => { need(2)?; Lui { a: ctx.reg(&ops[0])?, imm: ctx.imm::<4>(&ops[1])? } }
-        "LI" => { need(2)?; Li { a: ctx.reg(&ops[0])?, imm: ctx.imm::<5>(&ops[1])? } }
+        "MV" => {
+            need(2)?;
+            Mv {
+                a: ctx.reg(&ops[0])?,
+                b: ctx.reg(&ops[1])?,
+            }
+        }
+        "PTI" => {
+            need(2)?;
+            Pti {
+                a: ctx.reg(&ops[0])?,
+                b: ctx.reg(&ops[1])?,
+            }
+        }
+        "NTI" => {
+            need(2)?;
+            Nti {
+                a: ctx.reg(&ops[0])?,
+                b: ctx.reg(&ops[1])?,
+            }
+        }
+        "STI" => {
+            need(2)?;
+            Sti {
+                a: ctx.reg(&ops[0])?,
+                b: ctx.reg(&ops[1])?,
+            }
+        }
+        "AND" => {
+            need(2)?;
+            And {
+                a: ctx.reg(&ops[0])?,
+                b: ctx.reg(&ops[1])?,
+            }
+        }
+        "OR" => {
+            need(2)?;
+            Or {
+                a: ctx.reg(&ops[0])?,
+                b: ctx.reg(&ops[1])?,
+            }
+        }
+        "XOR" => {
+            need(2)?;
+            Xor {
+                a: ctx.reg(&ops[0])?,
+                b: ctx.reg(&ops[1])?,
+            }
+        }
+        "ADD" => {
+            need(2)?;
+            Add {
+                a: ctx.reg(&ops[0])?,
+                b: ctx.reg(&ops[1])?,
+            }
+        }
+        "SUB" => {
+            need(2)?;
+            Sub {
+                a: ctx.reg(&ops[0])?,
+                b: ctx.reg(&ops[1])?,
+            }
+        }
+        "SR" => {
+            need(2)?;
+            Sr {
+                a: ctx.reg(&ops[0])?,
+                b: ctx.reg(&ops[1])?,
+            }
+        }
+        "SL" => {
+            need(2)?;
+            Sl {
+                a: ctx.reg(&ops[0])?,
+                b: ctx.reg(&ops[1])?,
+            }
+        }
+        "COMP" => {
+            need(2)?;
+            Comp {
+                a: ctx.reg(&ops[0])?,
+                b: ctx.reg(&ops[1])?,
+            }
+        }
+        "ANDI" => {
+            need(2)?;
+            Andi {
+                a: ctx.reg(&ops[0])?,
+                imm: ctx.imm::<3>(&ops[1])?,
+            }
+        }
+        "ADDI" => {
+            need(2)?;
+            Addi {
+                a: ctx.reg(&ops[0])?,
+                imm: ctx.imm::<3>(&ops[1])?,
+            }
+        }
+        "SRI" => {
+            need(2)?;
+            Sri {
+                a: ctx.reg(&ops[0])?,
+                imm: ctx.imm::<2>(&ops[1])?,
+            }
+        }
+        "SLI" => {
+            need(2)?;
+            Sli {
+                a: ctx.reg(&ops[0])?,
+                imm: ctx.imm::<2>(&ops[1])?,
+            }
+        }
+        "LUI" => {
+            need(2)?;
+            Lui {
+                a: ctx.reg(&ops[0])?,
+                imm: ctx.imm::<4>(&ops[1])?,
+            }
+        }
+        "LI" => {
+            need(2)?;
+            Li {
+                a: ctx.reg(&ops[0])?,
+                imm: ctx.imm::<5>(&ops[1])?,
+            }
+        }
         "BEQ" => {
             need(3)?;
             Beq {
@@ -455,7 +576,13 @@ fn lower_instr(ctx: &Ctx<'_>, mnemonic: &str, ops: &[String]) -> Result<Instruct
                 offset: ctx.target::<4>(&ops[2])?,
             }
         }
-        "JAL" => { need(2)?; Jal { a: ctx.reg(&ops[0])?, offset: ctx.target::<5>(&ops[1])? } }
+        "JAL" => {
+            need(2)?;
+            Jal {
+                a: ctx.reg(&ops[0])?,
+                offset: ctx.target::<5>(&ops[1])?,
+            }
+        }
         "JALR" => {
             need(3)?;
             Jalr {
@@ -600,7 +727,10 @@ mod tests {
     fn errors_carry_line_numbers() {
         let e = assemble("NOP\nFROB t1, t2\n").unwrap_err();
         match e {
-            IsaError::Assembly { line, kind: AsmErrorKind::UnknownMnemonic(m) } => {
+            IsaError::Assembly {
+                line,
+                kind: AsmErrorKind::UnknownMnemonic(m),
+            } => {
                 assert_eq!(line, 2);
                 assert_eq!(m, "FROB");
             }
@@ -612,15 +742,24 @@ mod tests {
     fn rejects_bad_register_operand_count_and_range() {
         assert!(matches!(
             assemble("MV t3, x9").unwrap_err(),
-            IsaError::Assembly { kind: AsmErrorKind::UnknownRegister(_), .. }
+            IsaError::Assembly {
+                kind: AsmErrorKind::UnknownRegister(_),
+                ..
+            }
         ));
         assert!(matches!(
             assemble("MV t3").unwrap_err(),
-            IsaError::Assembly { kind: AsmErrorKind::OperandCount { .. }, .. }
+            IsaError::Assembly {
+                kind: AsmErrorKind::OperandCount { .. },
+                ..
+            }
         ));
         assert!(matches!(
             assemble("ADDI t3, 14").unwrap_err(),
-            IsaError::Assembly { kind: AsmErrorKind::ImmediateRange { .. }, .. }
+            IsaError::Assembly {
+                kind: AsmErrorKind::ImmediateRange { .. },
+                ..
+            }
         ));
     }
 
@@ -628,11 +767,17 @@ mod tests {
     fn rejects_duplicate_and_undefined_labels() {
         assert!(matches!(
             assemble("x: NOP\nx: NOP").unwrap_err(),
-            IsaError::Assembly { kind: AsmErrorKind::DuplicateLabel(_), .. }
+            IsaError::Assembly {
+                kind: AsmErrorKind::DuplicateLabel(_),
+                ..
+            }
         ));
         assert!(matches!(
             assemble("JAL t1, nowhere").unwrap_err(),
-            IsaError::Assembly { kind: AsmErrorKind::UndefinedLabel(_), .. }
+            IsaError::Assembly {
+                kind: AsmErrorKind::UndefinedLabel(_),
+                ..
+            }
         ));
     }
 
@@ -647,7 +792,10 @@ mod tests {
         let e = assemble(&src).unwrap_err();
         assert!(matches!(
             e,
-            IsaError::Assembly { kind: AsmErrorKind::TargetOutOfRange { .. }, .. }
+            IsaError::Assembly {
+                kind: AsmErrorKind::TargetOutOfRange { .. },
+                ..
+            }
         ));
     }
 

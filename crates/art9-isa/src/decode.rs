@@ -166,7 +166,10 @@ mod tests {
         let w = Word9::ZERO;
         assert_eq!(
             decode(w).unwrap(),
-            Instruction::Mv { a: TReg::T4, b: TReg::T4 }
+            Instruction::Mv {
+                a: TReg::T4,
+                b: TReg::T4
+            }
         );
     }
 
@@ -185,12 +188,30 @@ mod tests {
     #[test]
     fn extreme_immediates_roundtrip() {
         let cases = vec![
-            Instruction::Li { a: TReg::T8, imm: Trits::<5>::from_i64(121).unwrap() },
-            Instruction::Li { a: TReg::T0, imm: Trits::<5>::from_i64(-121).unwrap() },
-            Instruction::Lui { a: TReg::T8, imm: Trits::<4>::from_i64(40).unwrap() },
-            Instruction::Jal { a: TReg::T1, offset: Trits::<5>::from_i64(-121).unwrap() },
-            Instruction::Sri { a: TReg::T3, imm: Trits::<2>::from_i64(4).unwrap() },
-            Instruction::Sli { a: TReg::T3, imm: Trits::<2>::from_i64(-4).unwrap() },
+            Instruction::Li {
+                a: TReg::T8,
+                imm: Trits::<5>::from_i64(121).unwrap(),
+            },
+            Instruction::Li {
+                a: TReg::T0,
+                imm: Trits::<5>::from_i64(-121).unwrap(),
+            },
+            Instruction::Lui {
+                a: TReg::T8,
+                imm: Trits::<4>::from_i64(40).unwrap(),
+            },
+            Instruction::Jal {
+                a: TReg::T1,
+                offset: Trits::<5>::from_i64(-121).unwrap(),
+            },
+            Instruction::Sri {
+                a: TReg::T3,
+                imm: Trits::<2>::from_i64(4).unwrap(),
+            },
+            Instruction::Sli {
+                a: TReg::T3,
+                imm: Trits::<2>::from_i64(-4).unwrap(),
+            },
         ];
         for i in cases {
             assert_eq!(decode(encode(&i)).unwrap(), i, "{i}");

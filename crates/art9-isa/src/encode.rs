@@ -127,7 +127,10 @@ pub fn encode(instr: &Instruction) -> Word9 {
 
 fn encode_r(sub: i64, a: crate::reg::TReg, b: crate::reg::TReg) -> Word9 {
     Word9::ZERO
-        .with_field::<3>(4, Trits::<3>::from_i64(sub).expect("sub-opcode fits 3 trits"))
+        .with_field::<3>(
+            4,
+            Trits::<3>::from_i64(sub).expect("sub-opcode fits 3 trits"),
+        )
         .with_field::<2>(2, a.encode())
         .with_field::<2>(0, b.encode())
 }
@@ -142,20 +145,67 @@ mod tests {
     fn opcode_prefixes_are_distinct() {
         use Instruction::*;
         let samples = vec![
-            Beq { b: TReg::T3, cond: Trit::P, offset: Trits::ZERO },
-            Bne { b: TReg::T3, cond: Trit::P, offset: Trits::ZERO },
-            Jal { a: TReg::T1, offset: Trits::ZERO },
-            Li { a: TReg::T4, imm: Trits::ZERO },
-            Load { a: TReg::T4, b: TReg::T2, offset: Trits::ZERO },
-            Store { a: TReg::T4, b: TReg::T2, offset: Trits::ZERO },
-            Jalr { a: TReg::T1, b: TReg::T2, offset: Trits::ZERO },
-            Lui { a: TReg::T4, imm: Trits::ZERO },
-            Addi { a: TReg::T4, imm: Trits::ZERO },
-            Andi { a: TReg::T4, imm: Trits::ZERO },
-            Sri { a: TReg::T4, imm: Trits::ZERO },
-            Sli { a: TReg::T4, imm: Trits::ZERO },
-            Mv { a: TReg::T4, b: TReg::T2 },
-            Add { a: TReg::T4, b: TReg::T2 },
+            Beq {
+                b: TReg::T3,
+                cond: Trit::P,
+                offset: Trits::ZERO,
+            },
+            Bne {
+                b: TReg::T3,
+                cond: Trit::P,
+                offset: Trits::ZERO,
+            },
+            Jal {
+                a: TReg::T1,
+                offset: Trits::ZERO,
+            },
+            Li {
+                a: TReg::T4,
+                imm: Trits::ZERO,
+            },
+            Load {
+                a: TReg::T4,
+                b: TReg::T2,
+                offset: Trits::ZERO,
+            },
+            Store {
+                a: TReg::T4,
+                b: TReg::T2,
+                offset: Trits::ZERO,
+            },
+            Jalr {
+                a: TReg::T1,
+                b: TReg::T2,
+                offset: Trits::ZERO,
+            },
+            Lui {
+                a: TReg::T4,
+                imm: Trits::ZERO,
+            },
+            Addi {
+                a: TReg::T4,
+                imm: Trits::ZERO,
+            },
+            Andi {
+                a: TReg::T4,
+                imm: Trits::ZERO,
+            },
+            Sri {
+                a: TReg::T4,
+                imm: Trits::ZERO,
+            },
+            Sli {
+                a: TReg::T4,
+                imm: Trits::ZERO,
+            },
+            Mv {
+                a: TReg::T4,
+                b: TReg::T2,
+            },
+            Add {
+                a: TReg::T4,
+                b: TReg::T2,
+            },
         ];
         let words: Vec<Word9> = samples.iter().map(encode).collect();
         for (i, w) in words.iter().enumerate() {
@@ -176,7 +226,10 @@ mod tests {
 
     #[test]
     fn rtype_operand_fields() {
-        let w = encode(&Instruction::Add { a: TReg::T8, b: TReg::T0 });
+        let w = encode(&Instruction::Add {
+            a: TReg::T8,
+            b: TReg::T0,
+        });
         // Ta at t3..t2 = +4 -> (+,+) ; Tb at t1..t0 = -4 -> (-,-)
         assert_eq!(TReg::decode(w.field::<2>(2)), TReg::T8);
         assert_eq!(TReg::decode(w.field::<2>(0)), TReg::T0);

@@ -95,10 +95,7 @@ impl fmt::Display for AsmErrorKind {
                 mnemonic,
                 expected,
                 found,
-            } => write!(
-                f,
-                "{mnemonic} expects {expected} operand(s), found {found}"
-            ),
+            } => write!(f, "{mnemonic} expects {expected} operand(s), found {found}"),
             AsmErrorKind::DuplicateLabel(l) => write!(f, "label {l:?} defined twice"),
             AsmErrorKind::UndefinedLabel(l) => write!(f, "label {l:?} is not defined"),
             AsmErrorKind::TargetOutOfRange {
@@ -133,10 +130,7 @@ impl fmt::Display for IsaError {
                 mnemonic,
                 value,
                 width,
-            } => write!(
-                f,
-                "{mnemonic} immediate {value} does not fit {width} trits"
-            ),
+            } => write!(f, "{mnemonic} immediate {value} does not fit {width} trits"),
             IsaError::Assembly { line, kind } => write!(f, "line {line}: {kind}"),
             IsaError::Ternary(e) => write!(f, "{e}"),
         }

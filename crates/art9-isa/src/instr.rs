@@ -317,10 +317,18 @@ impl Instruction {
     pub const fn format(&self) -> Format {
         use Instruction::*;
         match self {
-            Mv { .. } | Pti { .. } | Nti { .. } | Sti { .. } | And { .. } | Or { .. }
-            | Xor { .. } | Add { .. } | Sub { .. } | Sr { .. } | Sl { .. } | Comp { .. } => {
-                Format::R
-            }
+            Mv { .. }
+            | Pti { .. }
+            | Nti { .. }
+            | Sti { .. }
+            | And { .. }
+            | Or { .. }
+            | Xor { .. }
+            | Add { .. }
+            | Sub { .. }
+            | Sr { .. }
+            | Sl { .. }
+            | Comp { .. } => Format::R,
             Andi { .. } | Addi { .. } | Sri { .. } | Sli { .. } | Lui { .. } | Li { .. } => {
                 Format::I
             }
@@ -349,10 +357,26 @@ impl Instruction {
     pub const fn writes(&self) -> Option<TReg> {
         use Instruction::*;
         match self {
-            Mv { a, .. } | Pti { a, .. } | Nti { a, .. } | Sti { a, .. } | And { a, .. }
-            | Or { a, .. } | Xor { a, .. } | Add { a, .. } | Sub { a, .. } | Sr { a, .. }
-            | Sl { a, .. } | Comp { a, .. } | Andi { a, .. } | Addi { a, .. } | Sri { a, .. }
-            | Sli { a, .. } | Lui { a, .. } | Li { a, .. } | Jal { a, .. } | Jalr { a, .. }
+            Mv { a, .. }
+            | Pti { a, .. }
+            | Nti { a, .. }
+            | Sti { a, .. }
+            | And { a, .. }
+            | Or { a, .. }
+            | Xor { a, .. }
+            | Add { a, .. }
+            | Sub { a, .. }
+            | Sr { a, .. }
+            | Sl { a, .. }
+            | Comp { a, .. }
+            | Andi { a, .. }
+            | Addi { a, .. }
+            | Sri { a, .. }
+            | Sli { a, .. }
+            | Lui { a, .. }
+            | Li { a, .. }
+            | Jal { a, .. }
+            | Jalr { a, .. }
             | Load { a, .. } => Some(*a),
             Beq { .. } | Bne { .. } | Store { .. } => None,
         }
@@ -367,8 +391,14 @@ impl Instruction {
         use Instruction::*;
         match self {
             Mv { b, .. } | Pti { b, .. } | Nti { b, .. } | Sti { b, .. } => vec![*b],
-            And { a, b } | Or { a, b } | Xor { a, b } | Add { a, b } | Sub { a, b }
-            | Sr { a, b } | Sl { a, b } | Comp { a, b } => vec![*a, *b],
+            And { a, b }
+            | Or { a, b }
+            | Xor { a, b }
+            | Add { a, b }
+            | Sub { a, b }
+            | Sr { a, b }
+            | Sl { a, b }
+            | Comp { a, b } => vec![*a, *b],
             Andi { a, .. } | Addi { a, .. } | Sri { a, .. } | Sli { a, .. } | Li { a, .. } => {
                 vec![*a]
             }
@@ -385,9 +415,18 @@ impl fmt::Display for Instruction {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         use Instruction::*;
         match self {
-            Mv { a, b } | Pti { a, b } | Nti { a, b } | Sti { a, b } | And { a, b }
-            | Or { a, b } | Xor { a, b } | Add { a, b } | Sub { a, b } | Sr { a, b }
-            | Sl { a, b } | Comp { a, b } => {
+            Mv { a, b }
+            | Pti { a, b }
+            | Nti { a, b }
+            | Sti { a, b }
+            | And { a, b }
+            | Or { a, b }
+            | Xor { a, b }
+            | Add { a, b }
+            | Sub { a, b }
+            | Sr { a, b }
+            | Sl { a, b }
+            | Comp { a, b } => {
                 write!(f, "{} {a}, {b}", self.mnemonic())
             }
             Andi { a, imm } | Addi { a, imm } => {
@@ -429,17 +468,54 @@ mod tests {
     fn sample() -> Vec<Instruction> {
         use Instruction::*;
         vec![
-            Mv { a: TReg::T3, b: TReg::T4 },
-            Add { a: TReg::T5, b: TReg::T6 },
-            Comp { a: TReg::T3, b: TReg::T4 },
-            Addi { a: TReg::T3, imm: Imm3::from_i64(7).unwrap() },
-            Lui { a: TReg::T4, imm: Imm4::from_i64(-40).unwrap() },
-            Li { a: TReg::T4, imm: Imm5::from_i64(121).unwrap() },
-            Beq { b: TReg::T3, cond: Trit::P, offset: Imm4::from_i64(-5).unwrap() },
-            Jal { a: TReg::T1, offset: Imm5::from_i64(20).unwrap() },
-            Jalr { a: TReg::T1, b: TReg::T2, offset: Imm3::from_i64(0).unwrap() },
-            Load { a: TReg::T5, b: TReg::T2, offset: Imm3::from_i64(3).unwrap() },
-            Store { a: TReg::T5, b: TReg::T2, offset: Imm3::from_i64(-3).unwrap() },
+            Mv {
+                a: TReg::T3,
+                b: TReg::T4,
+            },
+            Add {
+                a: TReg::T5,
+                b: TReg::T6,
+            },
+            Comp {
+                a: TReg::T3,
+                b: TReg::T4,
+            },
+            Addi {
+                a: TReg::T3,
+                imm: Imm3::from_i64(7).unwrap(),
+            },
+            Lui {
+                a: TReg::T4,
+                imm: Imm4::from_i64(-40).unwrap(),
+            },
+            Li {
+                a: TReg::T4,
+                imm: Imm5::from_i64(121).unwrap(),
+            },
+            Beq {
+                b: TReg::T3,
+                cond: Trit::P,
+                offset: Imm4::from_i64(-5).unwrap(),
+            },
+            Jal {
+                a: TReg::T1,
+                offset: Imm5::from_i64(20).unwrap(),
+            },
+            Jalr {
+                a: TReg::T1,
+                b: TReg::T2,
+                offset: Imm3::from_i64(0).unwrap(),
+            },
+            Load {
+                a: TReg::T5,
+                b: TReg::T2,
+                offset: Imm3::from_i64(3).unwrap(),
+            },
+            Store {
+                a: TReg::T5,
+                b: TReg::T2,
+                offset: Imm3::from_i64(-3).unwrap(),
+            },
         ]
     }
 
@@ -462,20 +538,39 @@ mod tests {
         }
         // Table order: MV is 0, STORE is last.
         assert_eq!(Instruction::MNEMONICS[0], "MV");
-        assert_eq!(Instruction::MNEMONICS[Instruction::OPCODE_COUNT - 1], "STORE");
+        assert_eq!(
+            Instruction::MNEMONICS[Instruction::OPCODE_COUNT - 1],
+            "STORE"
+        );
     }
 
     #[test]
     fn formats_match_table1() {
         use Instruction::*;
-        assert_eq!(Mv { a: TReg::T0, b: TReg::T0 }.format(), Format::R);
+        assert_eq!(
+            Mv {
+                a: TReg::T0,
+                b: TReg::T0
+            }
+            .format(),
+            Format::R
+        );
         assert_eq!(NOP.format(), Format::I);
         assert_eq!(
-            Jal { a: TReg::T1, offset: Imm5::ZERO }.format(),
+            Jal {
+                a: TReg::T1,
+                offset: Imm5::ZERO
+            }
+            .format(),
             Format::B
         );
         assert_eq!(
-            Load { a: TReg::T0, b: TReg::T0, offset: Imm3::ZERO }.format(),
+            Load {
+                a: TReg::T0,
+                b: TReg::T0,
+                offset: Imm3::ZERO
+            }
+            .format(),
             Format::M
         );
     }
@@ -495,17 +590,31 @@ mod tests {
     fn reads_writes_asymmetries() {
         use Instruction::*;
         // LI reads its destination (upper trits preserved).
-        let li = Li { a: TReg::T4, imm: Imm5::ZERO };
+        let li = Li {
+            a: TReg::T4,
+            imm: Imm5::ZERO,
+        };
         assert_eq!(li.reads(), vec![TReg::T4]);
         // LUI does not.
-        let lui = Lui { a: TReg::T4, imm: Imm4::ZERO };
+        let lui = Lui {
+            a: TReg::T4,
+            imm: Imm4::ZERO,
+        };
         assert!(lui.reads().is_empty());
         // STORE reads both and writes nothing.
-        let st = Store { a: TReg::T5, b: TReg::T2, offset: Imm3::ZERO };
+        let st = Store {
+            a: TReg::T5,
+            b: TReg::T2,
+            offset: Imm3::ZERO,
+        };
         assert_eq!(st.reads(), vec![TReg::T5, TReg::T2]);
         assert_eq!(st.writes(), None);
         // Branches read only the condition register.
-        let beq = Beq { b: TReg::T3, cond: Trit::Z, offset: Imm4::ZERO };
+        let beq = Beq {
+            b: TReg::T3,
+            cond: Trit::Z,
+            offset: Imm4::ZERO,
+        };
         assert_eq!(beq.reads(), vec![TReg::T3]);
         assert_eq!(beq.writes(), None);
     }
@@ -523,7 +632,11 @@ mod tests {
         assert!(imm::<3>("ADDI", 13).is_ok());
         let e = imm::<3>("ADDI", 14).unwrap_err();
         match e {
-            IsaError::ImmediateRange { mnemonic, value, width } => {
+            IsaError::ImmediateRange {
+                mnemonic,
+                value,
+                width,
+            } => {
                 assert_eq!(mnemonic, "ADDI");
                 assert_eq!(value, 14);
                 assert_eq!(width, 3);

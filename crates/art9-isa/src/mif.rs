@@ -89,9 +89,8 @@ pub fn from_bct_hex(text: &str) -> Result<Vec<Word9>, IsaError> {
         if line.is_empty() {
             continue;
         }
-        let bits = u64::from_str_radix(line, 16).map_err(|_| {
-            IsaError::Ternary(ternary::TernaryError::InvalidBctPair { index: 0 })
-        })?;
+        let bits = u64::from_str_radix(line, 16)
+            .map_err(|_| IsaError::Ternary(ternary::TernaryError::InvalidBctPair { index: 0 }))?;
         out.push(encoding::unpack::<9>(bits).map_err(IsaError::Ternary)?);
     }
     Ok(out)

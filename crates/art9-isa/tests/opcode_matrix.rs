@@ -1,0 +1,168 @@
+//! Exhaustive encode → decode → disassemble → parse roundtrip over
+//! every *constructible* instruction: all 24 opcodes × every operand
+//! pattern (registers, condition trits and full immediate ranges).
+//!
+//! This is the constructor-driven dual of `tests/exhaustive.rs` (which
+//! enumerates the 3⁹ word space): together they pin the toolchain from
+//! both directions, and they are the deterministic floor under the
+//! `art9-fuzz` toolchain-roundtrip oracle — any encoding bug a fuzzed
+//! program could trip is already caught here for single instructions.
+
+use art9_isa::{assemble, decode, disassemble_word, encode, Instruction, TReg, ALL_REGS};
+use ternary::{Trit, Trits};
+
+/// All values of an `N`-trit immediate.
+fn imm_range<const N: usize>() -> impl Iterator<Item = Trits<N>> {
+    let max = Trits::<N>::MAX_VALUE;
+    (-max..=max).map(|v| Trits::from_i64(v).expect("in range"))
+}
+
+const TRITS: [Trit; 3] = [Trit::N, Trit::Z, Trit::P];
+
+/// Every constructible instruction, opcode by opcode.
+fn all_instructions() -> Vec<Instruction> {
+    use Instruction::*;
+    let mut out = Vec::new();
+
+    // R-type: 12 sub-opcodes x 81 register pairs.
+    type RCtor = fn(TReg, TReg) -> Instruction;
+    let r_ctors: [RCtor; 12] = [
+        |a, b| Mv { a, b },
+        |a, b| Pti { a, b },
+        |a, b| Nti { a, b },
+        |a, b| Sti { a, b },
+        |a, b| And { a, b },
+        |a, b| Or { a, b },
+        |a, b| Xor { a, b },
+        |a, b| Add { a, b },
+        |a, b| Sub { a, b },
+        |a, b| Sr { a, b },
+        |a, b| Sl { a, b },
+        |a, b| Comp { a, b },
+    ];
+    for ctor in r_ctors {
+        for a in ALL_REGS {
+            for b in ALL_REGS {
+                out.push(ctor(a, b));
+            }
+        }
+    }
+
+    // I-type: full immediate ranges for every register.
+    for a in ALL_REGS {
+        for imm in imm_range::<3>() {
+            out.push(Andi { a, imm });
+            out.push(Addi { a, imm });
+        }
+        for imm in imm_range::<2>() {
+            out.push(Sri { a, imm });
+            out.push(Sli { a, imm });
+        }
+        for imm in imm_range::<4>() {
+            out.push(Lui { a, imm });
+        }
+        for imm in imm_range::<5>() {
+            out.push(Li { a, imm });
+        }
+    }
+
+    // B-type: branches over every register x condition trit x offset;
+    // jumps over every register x offset.
+    for b in ALL_REGS {
+        for cond in TRITS {
+            for offset in imm_range::<4>() {
+                out.push(Beq { b, cond, offset });
+                out.push(Bne { b, cond, offset });
+            }
+        }
+    }
+    for a in ALL_REGS {
+        for offset in imm_range::<5>() {
+            out.push(Jal { a, offset });
+        }
+    }
+    for a in ALL_REGS {
+        for b in ALL_REGS {
+            for offset in imm_range::<3>() {
+                out.push(Jalr { a, b, offset });
+            }
+        }
+    }
+
+    // M-type: every register pair x displacement.
+    for a in ALL_REGS {
+        for b in ALL_REGS {
+            for offset in imm_range::<3>() {
+                out.push(Load { a, b, offset });
+                out.push(Store { a, b, offset });
+            }
+        }
+    }
+
+    out
+}
+
+#[test]
+fn matrix_covers_every_opcode_and_the_whole_legal_space() {
+    let all = all_instructions();
+    // One count per opcode index; every opcode must appear.
+    let mut per_opcode = [0usize; Instruction::OPCODE_COUNT];
+    for i in &all {
+        per_opcode[i.opcode()] += 1;
+    }
+    for (op, count) in per_opcode.iter().enumerate() {
+        assert!(
+            *count > 0,
+            "opcode {} never constructed",
+            Instruction::MNEMONICS[op]
+        );
+    }
+    // The constructor space is exactly the legal word space of
+    // `tests/exhaustive.rs`: 19683 − 2025 reserved = 17658.
+    assert_eq!(all.len(), 17_658);
+}
+
+#[test]
+fn full_toolchain_roundtrip_for_every_constructible_instruction() {
+    for instr in all_instructions() {
+        // encode → decode is the identity on instructions.
+        let word = encode(&instr);
+        let decoded = decode(word)
+            .unwrap_or_else(|e| panic!("{instr} encoded to {word}, which failed to decode: {e}"));
+        assert_eq!(
+            decoded, instr,
+            "encode/decode mismatch for {instr} ({word})"
+        );
+
+        // disassemble → assemble reproduces the same single instruction.
+        let listing =
+            disassemble_word(word).unwrap_or_else(|e| panic!("{instr} failed to disassemble: {e}"));
+        let program = assemble(&listing)
+            .unwrap_or_else(|e| panic!("{listing:?} (from {instr}) failed to assemble: {e}"));
+        assert_eq!(
+            program.text(),
+            &[instr],
+            "assembler did not reproduce {instr} from {listing:?}"
+        );
+
+        // And the reassembled instruction re-encodes to the same word
+        // (canonical encodings are stable).
+        assert_eq!(
+            encode(&program.text()[0]),
+            word,
+            "non-canonical re-encode of {listing:?}"
+        );
+    }
+}
+
+#[test]
+fn distinct_instructions_encode_to_distinct_words() {
+    use std::collections::HashMap;
+    let mut seen: HashMap<i64, Instruction> = HashMap::new();
+    for instr in all_instructions() {
+        let word = encode(&instr).to_i64();
+        if let Some(prev) = seen.insert(word, instr) {
+            panic!("{prev} and {instr} share encoding {word}");
+        }
+    }
+}

@@ -107,7 +107,7 @@ impl Debugger {
 
     /// The architectural state.
     pub fn state(&self) -> &CoreState {
-        &self.sim.state()
+        self.sim.state()
     }
 
     /// Instructions executed so far.

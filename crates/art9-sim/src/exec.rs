@@ -127,18 +127,30 @@ mod tests {
     #[test]
     fn alu_arithmetic() {
         use Instruction::*;
-        let add = Add { a: TReg::T3, b: TReg::T4 };
+        let add = Add {
+            a: TReg::T3,
+            b: TReg::T4,
+        };
         assert_eq!(talu(&add, w(100), w(-30), Word9::ZERO).to_i64(), 70);
-        let sub = Sub { a: TReg::T3, b: TReg::T4 };
+        let sub = Sub {
+            a: TReg::T3,
+            b: TReg::T4,
+        };
         assert_eq!(talu(&sub, w(100), w(-30), Word9::ZERO).to_i64(), 130);
     }
 
     #[test]
     fn alu_single_source_ops_use_b() {
         use Instruction::*;
-        let mv = Mv { a: TReg::T3, b: TReg::T4 };
+        let mv = Mv {
+            a: TReg::T3,
+            b: TReg::T4,
+        };
         assert_eq!(talu(&mv, w(1), w(2), Word9::ZERO).to_i64(), 2);
-        let sti = Sti { a: TReg::T3, b: TReg::T4 };
+        let sti = Sti {
+            a: TReg::T3,
+            b: TReg::T4,
+        };
         assert_eq!(talu(&sti, w(1), w(2), Word9::ZERO).to_i64(), -2);
     }
 
@@ -147,10 +159,16 @@ mod tests {
         use Instruction::*;
         // Build 1000: hi/lo split then LUI+LI.
         let (hi, lo) = art9_isa::asm::split_hi_lo(1000);
-        let lui = Lui { a: TReg::T3, imm: Trits::<4>::from_i64(hi).unwrap() };
+        let lui = Lui {
+            a: TReg::T3,
+            imm: Trits::<4>::from_i64(hi).unwrap(),
+        };
         let upper = talu(&lui, Word9::ZERO, Word9::ZERO, Word9::ZERO);
         assert_eq!(upper.to_i64(), hi * 243);
-        let li = Li { a: TReg::T3, imm: Trits::<5>::from_i64(lo).unwrap() };
+        let li = Li {
+            a: TReg::T3,
+            imm: Trits::<5>::from_i64(lo).unwrap(),
+        };
         let full = talu(&li, upper, Word9::ZERO, Word9::ZERO);
         assert_eq!(full.to_i64(), 1000);
     }
@@ -159,14 +177,23 @@ mod tests {
     fn li_preserves_upper_trits() {
         use Instruction::*;
         let old = w(40 * 243); // upper trits only
-        let li = Li { a: TReg::T3, imm: Trits::<5>::from_i64(-121).unwrap() };
-        assert_eq!(talu(&li, old, Word9::ZERO, Word9::ZERO).to_i64(), 40 * 243 - 121);
+        let li = Li {
+            a: TReg::T3,
+            imm: Trits::<5>::from_i64(-121).unwrap(),
+        };
+        assert_eq!(
+            talu(&li, old, Word9::ZERO, Word9::ZERO).to_i64(),
+            40 * 243 - 121
+        );
     }
 
     #[test]
     fn shift_amount_field_comes_from_low_two_trits() {
         use Instruction::*;
-        let sl = Sl { a: TReg::T3, b: TReg::T4 };
+        let sl = Sl {
+            a: TReg::T3,
+            b: TReg::T4,
+        };
         // b = 11 -> low 2 trits of 11 = 11 mod 9 (balanced) = 2.
         let b = w(11); // 11 = +102? 11 = 9+3-1 => trits (lsb) [-1,+1,+1]; low2 = -1+3 = 2
         assert_eq!(talu(&sl, w(5), b, Word9::ZERO).to_i64(), 45);
@@ -182,10 +209,18 @@ mod tests {
     #[test]
     fn branch_conditions() {
         use Instruction::*;
-        let beq = Beq { b: TReg::T3, cond: Trit::P, offset: Trits::ZERO };
+        let beq = Beq {
+            b: TReg::T3,
+            cond: Trit::P,
+            offset: Trits::ZERO,
+        };
         assert!(branch_taken(&beq, Trit::P));
         assert!(!branch_taken(&beq, Trit::Z));
-        let bne = Bne { b: TReg::T3, cond: Trit::P, offset: Trits::ZERO };
+        let bne = Bne {
+            b: TReg::T3,
+            cond: Trit::P,
+            offset: Trits::ZERO,
+        };
         assert!(!branch_taken(&bne, Trit::P));
         assert!(branch_taken(&bne, Trit::N));
     }
@@ -193,21 +228,38 @@ mod tests {
     #[test]
     fn control_targets() {
         use Instruction::*;
-        let jal = Jal { a: TReg::T1, offset: Trits::<5>::from_i64(-3).unwrap() };
+        let jal = Jal {
+            a: TReg::T1,
+            offset: Trits::<5>::from_i64(-3).unwrap(),
+        };
         assert_eq!(control_target(&jal, 10, Trit::Z, Word9::ZERO), Some(7));
-        let jalr = Jalr { a: TReg::T1, b: TReg::T2, offset: Trits::<3>::from_i64(2).unwrap() };
+        let jalr = Jalr {
+            a: TReg::T1,
+            b: TReg::T2,
+            offset: Trits::<3>::from_i64(2).unwrap(),
+        };
         assert_eq!(control_target(&jalr, 10, Trit::Z, w(100)), Some(102));
-        let beq = Beq { b: TReg::T3, cond: Trit::Z, offset: Trits::<4>::from_i64(5).unwrap() };
+        let beq = Beq {
+            b: TReg::T3,
+            cond: Trit::Z,
+            offset: Trits::<4>::from_i64(5).unwrap(),
+        };
         assert_eq!(control_target(&beq, 10, Trit::Z, Word9::ZERO), Some(15));
         assert_eq!(control_target(&beq, 10, Trit::P, Word9::ZERO), None);
-        let add = Add { a: TReg::T3, b: TReg::T4 };
+        let add = Add {
+            a: TReg::T3,
+            b: TReg::T4,
+        };
         assert_eq!(control_target(&add, 10, Trit::Z, Word9::ZERO), None);
     }
 
     #[test]
     fn jal_link_value_passes_through_alu() {
         use Instruction::*;
-        let jal = Jal { a: TReg::T1, offset: Trits::ZERO };
+        let jal = Jal {
+            a: TReg::T1,
+            offset: Trits::ZERO,
+        };
         assert_eq!(talu(&jal, Word9::ZERO, Word9::ZERO, w(11)).to_i64(), 11);
     }
 }

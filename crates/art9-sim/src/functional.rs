@@ -93,6 +93,60 @@ impl CoreState {
     pub fn set_reg(&mut self, r: TReg, v: Word9) {
         self.trf[r.index()] = v;
     }
+
+    /// The first architectural difference between two states, as a
+    /// human-readable description — the nine TRF registers, then the
+    /// TDM word by word. `None` when the states agree.
+    ///
+    /// The PC is deliberately *not* compared: it is a fetch-engine
+    /// detail the pipelined simulator tracks outside `CoreState`, so
+    /// only the software-visible machine state (registers and memory)
+    /// is meaningful across simulator backends. This is the comparison
+    /// the differential fuzzing oracles (`art9-fuzz`) apply; it lives
+    /// here so every consumer diffs states the same way.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use art9_isa::assemble;
+    /// use art9_sim::FunctionalSim;
+    ///
+    /// let p = assemble("LI t3, 1\nJAL t0, 0\n")?;
+    /// let mut a = FunctionalSim::new(&p);
+    /// let mut b = FunctionalSim::new(&p);
+    /// a.run(100)?;
+    /// b.run(100)?;
+    /// assert_eq!(a.state().first_difference(b.state()), None);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn first_difference(&self, other: &CoreState) -> Option<String> {
+        for (i, (a, b)) in self.trf.iter().zip(other.trf.iter()).enumerate() {
+            if a != b {
+                return Some(format!(
+                    "t{i} = {a} ({}) vs {b} ({})",
+                    a.to_i64(),
+                    b.to_i64()
+                ));
+            }
+        }
+        if self.tdm.size() != other.tdm.size() {
+            return Some(format!(
+                "TDM sizes {} vs {}",
+                self.tdm.size(),
+                other.tdm.size()
+            ));
+        }
+        for (addr, (a, b)) in self.tdm.iter().zip(other.tdm.iter()).enumerate() {
+            if a != b {
+                return Some(format!(
+                    "TDM[{addr}] = {a} ({}) vs {b} ({})",
+                    a.to_i64(),
+                    b.to_i64()
+                ));
+            }
+        }
+        None
+    }
 }
 
 /// The functional instruction-set simulator.
@@ -318,16 +372,40 @@ impl FunctionalSim {
 pub(crate) fn operand_values(instr: &Instruction, state: &CoreState) -> (Word9, Word9) {
     use Instruction::*;
     let a_val = match instr {
-        And { a, .. } | Or { a, .. } | Xor { a, .. } | Add { a, .. } | Sub { a, .. }
-        | Sr { a, .. } | Sl { a, .. } | Comp { a, .. } | Andi { a, .. } | Addi { a, .. }
-        | Sri { a, .. } | Sli { a, .. } | Li { a, .. } | Store { a, .. } => state.reg(*a),
+        And { a, .. }
+        | Or { a, .. }
+        | Xor { a, .. }
+        | Add { a, .. }
+        | Sub { a, .. }
+        | Sr { a, .. }
+        | Sl { a, .. }
+        | Comp { a, .. }
+        | Andi { a, .. }
+        | Addi { a, .. }
+        | Sri { a, .. }
+        | Sli { a, .. }
+        | Li { a, .. }
+        | Store { a, .. } => state.reg(*a),
         _ => Word9::ZERO,
     };
     let b_val = match instr {
-        Mv { b, .. } | Pti { b, .. } | Nti { b, .. } | Sti { b, .. } | And { b, .. }
-        | Or { b, .. } | Xor { b, .. } | Add { b, .. } | Sub { b, .. } | Sr { b, .. }
-        | Sl { b, .. } | Comp { b, .. } | Beq { b, .. } | Bne { b, .. } | Jalr { b, .. }
-        | Load { b, .. } | Store { b, .. } => state.reg(*b),
+        Mv { b, .. }
+        | Pti { b, .. }
+        | Nti { b, .. }
+        | Sti { b, .. }
+        | And { b, .. }
+        | Or { b, .. }
+        | Xor { b, .. }
+        | Add { b, .. }
+        | Sub { b, .. }
+        | Sr { b, .. }
+        | Sl { b, .. }
+        | Comp { b, .. }
+        | Beq { b, .. }
+        | Bne { b, .. }
+        | Jalr { b, .. }
+        | Load { b, .. }
+        | Store { b, .. } => state.reg(*b),
         _ => Word9::ZERO,
     };
     (a_val, b_val)
@@ -472,8 +550,10 @@ mod tests {
     fn preloading_registers() {
         let p = assemble("ADD t3, t4\nJAL t0, 0\n").unwrap();
         let mut sim = FunctionalSim::new(&p);
-        sim.state_mut().set_reg(TReg::T3, Word9::from_i64(30).unwrap());
-        sim.state_mut().set_reg(TReg::T4, Word9::from_i64(12).unwrap());
+        sim.state_mut()
+            .set_reg(TReg::T3, Word9::from_i64(30).unwrap());
+        sim.state_mut()
+            .set_reg(TReg::T4, Word9::from_i64(12).unwrap());
         sim.run(10).unwrap();
         assert_eq!(sim.state().reg(TReg::T3).to_i64(), 42);
     }

@@ -284,8 +284,10 @@ impl PipelinedSim {
                     return captured;
                 }
                 if let Some(m) = &old_ex_mem {
-                    if !matches!(m.instr, Instruction::Load { .. } | Instruction::Store { .. })
-                        && m.instr.writes() == Some(reg)
+                    if !matches!(
+                        m.instr,
+                        Instruction::Load { .. } | Instruction::Store { .. }
+                    ) && m.instr.writes() == Some(reg)
                     {
                         return m.result;
                     }
@@ -406,8 +408,7 @@ impl PipelinedSim {
                 // (or, with forwarding disabled, any in-flight producer).
                 let mut load_use = false;
                 if let Some(ex) = &old_id_ex {
-                    let hazard = matches!(ex.instr, Instruction::Load { .. })
-                        || !self.forwarding;
+                    let hazard = matches!(ex.instr, Instruction::Load { .. }) || !self.forwarding;
                     if hazard {
                         if let Some(dest) = ex.instr.writes() {
                             if instr.reads().contains(&dest) {
@@ -546,8 +547,14 @@ fn source_regs(instr: &Instruction) -> (Option<TReg>, Option<TReg>) {
     use Instruction::*;
     match instr {
         Mv { b, .. } | Pti { b, .. } | Nti { b, .. } | Sti { b, .. } => (None, Some(*b)),
-        And { a, b } | Or { a, b } | Xor { a, b } | Add { a, b } | Sub { a, b } | Sr { a, b }
-        | Sl { a, b } | Comp { a, b } => (Some(*a), Some(*b)),
+        And { a, b }
+        | Or { a, b }
+        | Xor { a, b }
+        | Add { a, b }
+        | Sub { a, b }
+        | Sr { a, b }
+        | Sl { a, b }
+        | Comp { a, b } => (Some(*a), Some(*b)),
         Andi { a, .. } | Addi { a, .. } | Sri { a, .. } | Sli { a, .. } | Li { a, .. } => {
             (Some(*a), None)
         }
@@ -560,8 +567,8 @@ fn source_regs(instr: &Instruction) -> (Option<TReg>, Option<TReg>) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use art9_isa::assemble;
     use crate::functional::FunctionalSim;
+    use art9_isa::assemble;
 
     fn run_pipe(src: &str) -> (PipelinedSim, PipelineStats) {
         let p = assemble(src).unwrap();
@@ -587,9 +594,8 @@ mod tests {
 
     #[test]
     fn alu_forwarding_avoids_stalls() {
-        let (sim, stats) = run_pipe(
-            "LI t3, 1\nADDI t3, 1\nADDI t3, 1\nADD t4, t3\nADD t4, t3\nJAL t0, 0\n",
-        );
+        let (sim, stats) =
+            run_pipe("LI t3, 1\nADDI t3, 1\nADDI t3, 1\nADD t4, t3\nADD t4, t3\nJAL t0, 0\n");
         assert_eq!(sim.state().reg(TReg::T3).to_i64(), 3);
         assert_eq!(sim.state().reg(TReg::T4).to_i64(), 6);
         assert_eq!(stats.load_use_stalls, 0);
@@ -617,9 +623,8 @@ mod tests {
 
     #[test]
     fn taken_branch_costs_one_bubble() {
-        let (_, stats) = run_pipe(
-            "LI t3, 0\nNOP\nNOP\nBEQ t3, 0, skip\nLI t4, 1\nskip:\nLI t5, 2\nJAL t0, 0\n",
-        );
+        let (_, stats) =
+            run_pipe("LI t3, 0\nNOP\nNOP\nBEQ t3, 0, skip\nLI t4, 1\nskip:\nLI t5, 2\nJAL t0, 0\n");
         // BEQ taken (t3 LST == 0) and the final JAL-to-self halts without
         // a flush; only the BEQ flushes.
         assert_eq!(stats.control_flush_bubbles, 1);
@@ -627,9 +632,8 @@ mod tests {
 
     #[test]
     fn untaken_branch_costs_nothing() {
-        let (_, stats) = run_pipe(
-            "LI t3, 1\nNOP\nNOP\nBEQ t3, 0, skip\nLI t4, 1\nskip:\nLI t5, 2\nJAL t0, 0\n",
-        );
+        let (_, stats) =
+            run_pipe("LI t3, 1\nNOP\nNOP\nBEQ t3, 0, skip\nLI t4, 1\nskip:\nLI t5, 2\nJAL t0, 0\n");
         assert_eq!(stats.control_flush_bubbles, 0);
         assert_eq!(stats.untaken_branches, 1);
     }
@@ -679,9 +683,8 @@ mod tests {
     #[test]
     fn alu_then_dependent_branch_one_cycle_apart() {
         // Producer in MEM when branch in ID: forward from EX/MEM, no stall.
-        let (_, stats) = run_pipe(
-            "LI t3, 0\nADDI t3, 0\nNOP\nBEQ t3, 0, out\nNOP\nout:\nJAL t0, 0\n",
-        );
+        let (_, stats) =
+            run_pipe("LI t3, 0\nADDI t3, 0\nNOP\nBEQ t3, 0, out\nNOP\nout:\nJAL t0, 0\n");
         assert_eq!(stats.id_use_stalls, 0);
     }
 

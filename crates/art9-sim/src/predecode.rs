@@ -79,7 +79,10 @@ impl PredecodedProgram {
     /// # Ok::<(), Box<dyn std::error::Error>>(())
     /// ```
     pub fn from_tim_image(tim: &[Word9], data: &[Word9]) -> Result<Self, IsaError> {
-        let text = tim.iter().map(|w| decode(*w)).collect::<Result<Vec<_>, _>>()?;
+        let text = tim
+            .iter()
+            .map(|w| decode(*w))
+            .collect::<Result<Vec<_>, _>>()?;
         Ok(Self::from_parts(text, data.to_vec()))
     }
 

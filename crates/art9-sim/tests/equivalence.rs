@@ -90,23 +90,40 @@ fn program() -> impl Strategy<Value = Program> {
         // other registers.
         let (hi, lo) = art9_isa::asm::split_hi_lo(BASE_ADDR);
         let mut text = vec![
-            Lui { a: BASE, imm: Trits::<4>::from_i64(hi).expect("fits") },
-            Li { a: BASE, imm: Trits::<5>::from_i64(lo).expect("fits") },
+            Lui {
+                a: BASE,
+                imm: Trits::<4>::from_i64(hi).expect("fits"),
+            },
+            Li {
+                a: BASE,
+                imm: Trits::<5>::from_i64(lo).expect("fits"),
+            },
         ];
         let n = items.len();
         for (idx, (instr, skip)) in items.into_iter().enumerate() {
             let fixed = match instr {
                 Beq { b, cond, .. } => {
                     let off = (skip.min(n - idx)) as i64;
-                    Beq { b, cond, offset: Trits::<4>::from_i64(off).expect("small") }
+                    Beq {
+                        b,
+                        cond,
+                        offset: Trits::<4>::from_i64(off).expect("small"),
+                    }
                 }
                 Bne { b, cond, .. } => {
                     let off = (skip.min(n - idx)) as i64;
-                    Bne { b, cond, offset: Trits::<4>::from_i64(off).expect("small") }
+                    Bne {
+                        b,
+                        cond,
+                        offset: Trits::<4>::from_i64(off).expect("small"),
+                    }
                 }
                 Jal { a, .. } => {
                     let off = (skip.min(n - idx)).max(1) as i64;
-                    Jal { a, offset: Trits::<5>::from_i64(off).expect("small") }
+                    Jal {
+                        a,
+                        offset: Trits::<5>::from_i64(off).expect("small"),
+                    }
                 }
                 other => other,
             };
@@ -148,16 +165,34 @@ fn looped_program() -> impl Strategy<Value = Program> {
         .prop_map(|(body, iters)| {
             let (hi, lo) = art9_isa::asm::split_hi_lo(BASE_ADDR);
             let mut text = vec![
-                Lui { a: BASE, imm: Trits::<4>::from_i64(hi).expect("fits") },
-                Li { a: BASE, imm: Trits::<5>::from_i64(lo).expect("fits") },
-                Li { a: TReg::T1, imm: Trits::<5>::from_i64(iters).expect("fits") },
+                Lui {
+                    a: BASE,
+                    imm: Trits::<4>::from_i64(hi).expect("fits"),
+                },
+                Li {
+                    a: BASE,
+                    imm: Trits::<5>::from_i64(lo).expect("fits"),
+                },
+                Li {
+                    a: TReg::T1,
+                    imm: Trits::<5>::from_i64(iters).expect("fits"),
+                },
             ];
             let body_len = body.len() as i64;
             text.extend(body);
             // Guard: t1 -= 1; t7 = sign(t1); loop while positive.
-            text.push(Addi { a: TReg::T1, imm: Trits::<3>::from_i64(-1).expect("fits") });
-            text.push(Mv { a: TReg::T7, b: TReg::T1 });
-            text.push(Comp { a: TReg::T7, b: TReg::T0 });
+            text.push(Addi {
+                a: TReg::T1,
+                imm: Trits::<3>::from_i64(-1).expect("fits"),
+            });
+            text.push(Mv {
+                a: TReg::T7,
+                b: TReg::T1,
+            });
+            text.push(Comp {
+                a: TReg::T7,
+                b: TReg::T0,
+            });
             text.push(Beq {
                 b: TReg::T7,
                 cond: ternary::Trit::P,

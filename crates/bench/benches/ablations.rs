@@ -40,7 +40,10 @@ fn print_ablations() {
     let on = translate_with_options(&rv, TranslateOptions::default()).expect("translates");
     let off = translate_with_options(
         &rv,
-        TranslateOptions { redundancy: false, ..Default::default() },
+        TranslateOptions {
+            redundancy: false,
+            ..Default::default()
+        },
     )
     .expect("translates");
     println!(
@@ -91,7 +94,10 @@ fn print_ablations() {
     for words in [128usize, 256, 512] {
         let r = map_to_fpga(
             &Datapath::art9(),
-            MemoryConfig { words, trits_per_word: 9 },
+            MemoryConfig {
+                words,
+                trits_per_word: 9,
+            },
             150.0,
         );
         print!("{words}w={}b/{:.2}W  ", r.ram_bits, r.power_w);

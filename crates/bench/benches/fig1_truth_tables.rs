@@ -4,10 +4,14 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use ternary::{Trit, ALL_TRITS};
 
+/// A named binary trit operation.
+type BinOp = (&'static str, fn(Trit, Trit) -> Trit);
+/// A named unary trit operation.
+type UnOp = (&'static str, fn(Trit) -> Trit);
+
 fn print_fig1() {
     println!("\n=== Fig. 1: truth tables of ternary logic operations ===");
-    let ops: [(&str, fn(Trit, Trit) -> Trit); 3] =
-        [("AND", Trit::and), ("OR", Trit::or), ("XOR", Trit::xor)];
+    let ops: [BinOp; 3] = [("AND", Trit::and), ("OR", Trit::or), ("XOR", Trit::xor)];
     for (name, f) in ops {
         println!("{name}: rows a = -,0,+ / cols b = -,0,+");
         for a in ALL_TRITS {
@@ -15,10 +19,12 @@ fn print_fig1() {
             println!("   {}", row.join(" "));
         }
     }
-    let invs: [(&str, fn(Trit) -> Trit); 3] =
-        [("STI", Trit::sti), ("NTI", Trit::nti), ("PTI", Trit::pti)];
+    let invs: [UnOp; 3] = [("STI", Trit::sti), ("NTI", Trit::nti), ("PTI", Trit::pti)];
     for (name, f) in invs {
-        let row: Vec<String> = ALL_TRITS.iter().map(|t| format!("{t}->{}", f(*t))).collect();
+        let row: Vec<String> = ALL_TRITS
+            .iter()
+            .map(|t| format!("{t}->{}", f(*t)))
+            .collect();
         println!("{name}: {}", row.join("  "));
     }
     println!();

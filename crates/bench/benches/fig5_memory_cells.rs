@@ -25,7 +25,9 @@ fn print_fig5() {
             100.0 * row.saving_vs_thumb(),
         );
     }
-    println!("(paper, dhrystone: 11.6K trits vs 25.4K bits vs 23.7K bits; -54% vs RV32, -17% vs ARM)\n");
+    println!(
+        "(paper, dhrystone: 11.6K trits vs 25.4K bits vs 23.7K bits; -54% vs RV32, -17% vs ARM)\n"
+    );
 }
 
 fn bench(c: &mut Criterion) {

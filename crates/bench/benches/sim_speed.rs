@@ -47,9 +47,7 @@ fn bench(c: &mut Criterion) {
         })
     });
     g.bench_function("rv32_picorv32_model", |b| {
-        b.iter(|| {
-            simulate_cycles(&rv, &mut PicoRv32Model::new(), 100_000_000).expect("completes")
-        })
+        b.iter(|| simulate_cycles(&rv, &mut PicoRv32Model::new(), 100_000_000).expect("completes"))
     });
     g.finish();
 }

@@ -36,9 +36,7 @@ fn bench(c: &mut Criterion) {
     c.bench_function("table4/gate_level_analysis", |b| {
         b.iter(|| analyze(&d, &lib))
     });
-    c.bench_function("table4/datapath_construction", |b| {
-        b.iter(Datapath::art9)
-    });
+    c.bench_function("table4/datapath_construction", |b| b.iter(Datapath::art9));
 }
 
 criterion_group!(benches, bench);

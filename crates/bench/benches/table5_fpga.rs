@@ -20,7 +20,9 @@ fn print_table5() {
     let e = hw.evaluate(cpi);
     println!("\n=== Table V: implementation results using FPGA-based ternary logics ===");
     print!("{}", report::table5(&e));
-    println!("(paper: 0.9V, 150MHz, 803 ALMs, 339 registers, 9216 RAM bits, 1.09W, 57.8 DMIPS/W)\n");
+    println!(
+        "(paper: 0.9V, 150MHz, 803 ALMs, 339 registers, 9216 RAM bits, 1.09W, 57.8 DMIPS/W)\n"
+    );
 }
 
 fn bench(c: &mut Criterion) {

@@ -9,19 +9,27 @@ fn bench(c: &mut Criterion) {
     let b = Word9::from_i64(-3977).expect("in range");
 
     let mut g = c.benchmark_group("word9");
-    g.bench_function("add", |bn| bn.iter(|| black_box(a).wrapping_add(black_box(b))));
+    g.bench_function("add", |bn| {
+        bn.iter(|| black_box(a).wrapping_add(black_box(b)))
+    });
     g.bench_function("add_tritwise_ref", |bn| {
         // The retained per-trit ripple adder the packed kernel is
         // property-tested against: the before/after of the refactor.
         bn.iter(|| arith::add_tritwise(black_box(a), black_box(b)))
     });
-    g.bench_function("sub", |bn| bn.iter(|| black_box(a).wrapping_sub(black_box(b))));
-    g.bench_function("mul", |bn| bn.iter(|| black_box(a).wrapping_mul(black_box(b))));
+    g.bench_function("sub", |bn| {
+        bn.iter(|| black_box(a).wrapping_sub(black_box(b)))
+    });
+    g.bench_function("mul", |bn| {
+        bn.iter(|| black_box(a).wrapping_mul(black_box(b)))
+    });
     g.bench_function("mul_tritwise_ref", |bn| {
         bn.iter(|| arith::mul_tritwise(black_box(a), black_box(b)))
     });
     g.bench_function("negate", |bn| bn.iter(|| black_box(a).negate()));
-    g.bench_function("compare", |bn| bn.iter(|| black_box(a).compare(black_box(b))));
+    g.bench_function("compare", |bn| {
+        bn.iter(|| black_box(a).compare(black_box(b)))
+    });
     g.bench_function("shl2", |bn| bn.iter(|| black_box(a).shl(2)));
     g.bench_function("shr2", |bn| bn.iter(|| black_box(a).shr(2)));
     g.bench_function("logic_and_or_xor", |bn| {

@@ -18,11 +18,15 @@ use workloads::{dhrystone, paper_suite};
 
 const PIPELINED: SimConfig = SimConfig::Art9Pipelined { forwarding: true };
 
+/// A named binary trit operation.
+type BinOp = (&'static str, fn(Trit, Trit) -> Trit);
+/// A named unary trit operation.
+type UnOp = (&'static str, fn(Trit) -> Trit);
+
 fn main() {
     // ---- Fig. 1 -------------------------------------------------------
     println!("=== Fig. 1: truth tables of ternary logic operations ===");
-    let ops: [(&str, fn(Trit, Trit) -> Trit); 3] =
-        [("AND", Trit::and), ("OR", Trit::or), ("XOR", Trit::xor)];
+    let ops: [BinOp; 3] = [("AND", Trit::and), ("OR", Trit::or), ("XOR", Trit::xor)];
     for (name, f) in ops {
         println!("{name}: rows a = -,0,+ / cols b = -,0,+");
         for a in ALL_TRITS {
@@ -30,10 +34,12 @@ fn main() {
             println!("   {}", row.join(" "));
         }
     }
-    let invs: [(&str, fn(Trit) -> Trit); 3] =
-        [("STI", Trit::sti), ("NTI", Trit::nti), ("PTI", Trit::pti)];
+    let invs: [UnOp; 3] = [("STI", Trit::sti), ("NTI", Trit::nti), ("PTI", Trit::pti)];
     for (name, f) in invs {
-        let row: Vec<String> = ALL_TRITS.iter().map(|t| format!("{t}->{}", f(*t))).collect();
+        let row: Vec<String> = ALL_TRITS
+            .iter()
+            .map(|t| format!("{t}->{}", f(*t)))
+            .collect();
         println!("{name}: {}", row.join("  "));
     }
 
@@ -42,9 +48,16 @@ fn main() {
         .workloads(paper_suite())
         .configs(SimConfig::FULL_MATRIX)
         .run();
-    assert_eq!(batch.failures(), 0, "batch contains failing runs:\n{}", batch.render());
+    assert_eq!(
+        batch.failures(),
+        0,
+        "batch contains failing runs:\n{}",
+        batch.render()
+    );
     let cell = |w: &str, c: SimConfig| {
-        batch.find(w, c).unwrap_or_else(|| panic!("batch is missing {w}/{}", c.name()))
+        batch
+            .find(w, c)
+            .unwrap_or_else(|| panic!("batch is missing {w}/{}", c.name()))
     };
 
     // ---- Table III + Fig. 5 over the whole suite ----------------------
@@ -56,8 +69,12 @@ fn main() {
     let fw = SoftwareFramework::new();
     let mut fig5_rows = Vec::new();
     for w in paper_suite() {
-        let art9 = cell(w.name, PIPELINED).cycles.expect("pipelined run is timed");
-        let pico = cell(w.name, SimConfig::Rv32PicoRv32).cycles.expect("cycle model is timed");
+        let art9 = cell(w.name, PIPELINED)
+            .cycles
+            .expect("pipelined run is timed");
+        let pico = cell(w.name, SimConfig::Rv32PicoRv32)
+            .cycles
+            .expect("cycle model is timed");
         println!(
             "{:<14} {:>12} {:>12} {:>8.2}",
             w.name,
@@ -81,8 +98,14 @@ fn main() {
     );
     let rows = [
         ("ART-9 (5-stage)", cell("dhrystone", PIPELINED)),
-        ("VexRiscv (5-stage)", cell("dhrystone", SimConfig::Rv32VexRiscv)),
-        ("PicoRV32 (non-pipe)", cell("dhrystone", SimConfig::Rv32PicoRv32)),
+        (
+            "VexRiscv (5-stage)",
+            cell("dhrystone", SimConfig::Rv32VexRiscv),
+        ),
+        (
+            "PicoRV32 (non-pipe)",
+            cell("dhrystone", SimConfig::Rv32PicoRv32),
+        ),
     ];
     for (label, r) in rows {
         let cycles = r.cycles.expect("timed");
@@ -136,8 +159,10 @@ fn main() {
         "workload", "functional", "pipelined", "speedup"
     );
     for s in &sims {
-        let speedup = perf::seed_rate(&perf::SEED_FUNCTIONAL_IPS, s.workload)
-            .map_or_else(|| "-".into(), |seed| format!("{:.2}x", s.functional_ips / seed));
+        let speedup = perf::seed_rate(&perf::SEED_FUNCTIONAL_IPS, s.workload).map_or_else(
+            || "-".into(),
+            |seed| format!("{:.2}x", s.functional_ips / seed),
+        );
         println!(
             "  {:<14} {:>10.3e} i/s {:>10.3e} c/s {:>10}",
             s.workload, s.functional_ips, s.pipelined_cps, speedup

@@ -1,0 +1,315 @@
+//! The bench regression gate behind `cargo run -p art9-bench --bin gate`.
+//!
+//! Compares two `BENCH_ternary.json` documents (the committed baseline
+//! and a freshly regenerated one) and fails when any simulator
+//! throughput metric (`functional_ips`, `pipelined_cps`) regressed by
+//! more than the allowed fraction. Word-operation timings are reported
+//! but not gated — they are nanosecond-scale and too noisy on shared
+//! CI runners; the whole-simulator rates integrate over millions of
+//! operations and are the metrics PR 2's history is recorded in.
+//!
+//! The parser below handles exactly the schema `perf::bench_json`
+//! emits (documented in `docs/PERFORMANCE.md`) — a deliberate
+//! non-goal: it is not a general JSON parser, and unknown fields are
+//! simply ignored.
+//!
+//! **Cross-host caveat:** the committed baseline carries the numbers
+//! of whatever machine regenerated it last. Comparing against a
+//! different host (as CI does) makes the gate a coarse tripwire —
+//! that is why the default threshold is a generous 25% — while
+//! same-host comparisons are exact. PRs that intentionally change
+//! performance should regenerate and commit `BENCH_ternary.json`.
+
+/// One simulator row from a bench document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimRow {
+    /// Workload name.
+    pub workload: String,
+    /// Functional-simulator instructions per second.
+    pub functional_ips: f64,
+    /// Pipelined-simulator cycles per second.
+    pub pipelined_cps: f64,
+}
+
+/// The gated contents of one `BENCH_ternary.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchDoc {
+    /// One row per workload.
+    pub simulators: Vec<SimRow>,
+}
+
+/// One metric comparison.
+#[derive(Debug, Clone)]
+pub struct MetricDelta {
+    /// `"<workload>/<metric>"`.
+    pub name: String,
+    /// The committed value.
+    pub baseline: f64,
+    /// The regenerated value.
+    pub current: f64,
+}
+
+impl MetricDelta {
+    /// Relative change: positive = faster, negative = slower.
+    pub fn ratio(&self) -> f64 {
+        self.current / self.baseline - 1.0
+    }
+}
+
+/// The gate's verdict.
+#[derive(Debug, Clone)]
+pub struct GateResult {
+    /// Every throughput comparison made.
+    pub deltas: Vec<MetricDelta>,
+    /// The comparisons that regressed beyond the threshold.
+    pub regressions: Vec<MetricDelta>,
+    /// Workloads present in the baseline but missing from the current
+    /// document (a silent drop must fail the gate too).
+    pub missing: Vec<String>,
+}
+
+impl GateResult {
+    /// `true` when the gate passes.
+    pub fn ok(&self) -> bool {
+        self.regressions.is_empty() && self.missing.is_empty()
+    }
+
+    /// Renders the comparison table.
+    pub fn render(&self, max_regress: f64) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<28} {:>12} {:>12} {:>8}",
+            "metric", "baseline", "current", "change"
+        );
+        for d in &self.deltas {
+            let _ = writeln!(
+                out,
+                "{:<28} {:>12.3e} {:>12.3e} {:>+7.1}%",
+                d.name,
+                d.baseline,
+                d.current,
+                d.ratio() * 100.0
+            );
+        }
+        for w in &self.missing {
+            let _ = writeln!(
+                out,
+                "MISSING: workload {w} dropped from the current document"
+            );
+        }
+        if self.regressions.is_empty() {
+            let _ = writeln!(
+                out,
+                "gate: OK (no throughput metric regressed more than {:.0}%)",
+                max_regress * 100.0
+            );
+        } else {
+            for d in &self.regressions {
+                let _ = writeln!(
+                    out,
+                    "gate: REGRESSION {} fell {:.1}% (limit {:.0}%)",
+                    d.name,
+                    -d.ratio() * 100.0,
+                    max_regress * 100.0
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Compares `current` against `baseline` with the given allowed
+/// regression fraction (e.g. `0.25` for 25%).
+pub fn compare(baseline: &BenchDoc, current: &BenchDoc, max_regress: f64) -> GateResult {
+    let mut deltas = Vec::new();
+    let mut regressions = Vec::new();
+    let mut missing = Vec::new();
+    for base in &baseline.simulators {
+        let Some(cur) = current
+            .simulators
+            .iter()
+            .find(|r| r.workload == base.workload)
+        else {
+            missing.push(base.workload.clone());
+            continue;
+        };
+        for (metric, b, c) in [
+            ("functional_ips", base.functional_ips, cur.functional_ips),
+            ("pipelined_cps", base.pipelined_cps, cur.pipelined_cps),
+        ] {
+            let delta = MetricDelta {
+                name: format!("{}/{metric}", base.workload),
+                baseline: b,
+                current: c,
+            };
+            if c < b * (1.0 - max_regress) {
+                regressions.push(delta.clone());
+            }
+            deltas.push(delta);
+        }
+    }
+    GateResult {
+        deltas,
+        regressions,
+        missing,
+    }
+}
+
+/// Parses the `simulators` array of a `BENCH_ternary.json` document.
+///
+/// # Errors
+///
+/// Returns a description when the document lacks the array or a row
+/// lacks one of the gated fields.
+pub fn parse_bench_json(text: &str) -> Result<BenchDoc, String> {
+    let array = section(text, "\"simulators\"").ok_or("no \"simulators\" array")?;
+    let mut simulators = Vec::new();
+    for obj in objects(array) {
+        simulators.push(SimRow {
+            workload: string_field(obj, "workload")
+                .ok_or_else(|| format!("row without \"workload\": {obj}"))?,
+            functional_ips: number_field(obj, "functional_ips")
+                .ok_or_else(|| format!("row without \"functional_ips\": {obj}"))?,
+            pipelined_cps: number_field(obj, "pipelined_cps")
+                .ok_or_else(|| format!("row without \"pipelined_cps\": {obj}"))?,
+        });
+    }
+    if simulators.is_empty() {
+        return Err("empty \"simulators\" array".into());
+    }
+    Ok(BenchDoc { simulators })
+}
+
+/// The bracketed `[...]` contents following `key`.
+fn section<'a>(text: &'a str, key: &str) -> Option<&'a str> {
+    let at = text.find(key)?;
+    let open = at + text[at..].find('[')?;
+    let close = open + text[open..].find(']')?;
+    Some(&text[open + 1..close])
+}
+
+/// Splits an array body into `{...}` object bodies (the schema nests
+/// no objects, so plain brace matching suffices).
+fn objects(array: &str) -> impl Iterator<Item = &str> {
+    array.split('{').skip(1).filter_map(|chunk| {
+        let end = chunk.find('}')?;
+        Some(&chunk[..end])
+    })
+}
+
+/// Value of `"key": "string"` within an object body.
+fn string_field(obj: &str, key: &str) -> Option<String> {
+    let rest = field_value(obj, key)?;
+    let rest = rest.strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Value of `"key": number` within an object body.
+fn number_field(obj: &str, key: &str) -> Option<f64> {
+    let rest = field_value(obj, key)?;
+    let end = rest
+        .find(|c: char| c == ',' || c == '}' || c.is_whitespace())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// The text right after `"key":`, trimmed.
+fn field_value<'a>(obj: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\"");
+    let at = obj.find(&pat)?;
+    let rest = &obj[at + pat.len()..];
+    let rest = rest.trim_start().strip_prefix(':')?;
+    Some(rest.trim_start())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "schema": "art9-bench-ternary/v1",
+  "word_ops": [
+    {"name": "add", "ns_per_op": 4.30}
+  ],
+  "simulators": [
+    {"workload": "bubble-sort", "instructions": 3177, "functional_ips": 6.75e7, "pipelined_cps": 2.31e7},
+    {"workload": "gemm", "instructions": 14084, "functional_ips": 6.19e7, "pipelined_cps": 2.12e7}
+  ]
+}"#;
+
+    fn doc(f_scale: f64, p_scale: f64) -> BenchDoc {
+        let base = parse_bench_json(SAMPLE).unwrap();
+        BenchDoc {
+            simulators: base
+                .simulators
+                .into_iter()
+                .map(|r| SimRow {
+                    workload: r.workload,
+                    functional_ips: r.functional_ips * f_scale,
+                    pipelined_cps: r.pipelined_cps * p_scale,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn parses_the_emitted_schema() {
+        let d = parse_bench_json(SAMPLE).unwrap();
+        assert_eq!(d.simulators.len(), 2);
+        assert_eq!(d.simulators[0].workload, "bubble-sort");
+        assert!((d.simulators[0].functional_ips - 6.75e7).abs() < 1.0);
+        assert!((d.simulators[1].pipelined_cps - 2.12e7).abs() < 1.0);
+    }
+
+    #[test]
+    fn parses_the_committed_baseline() {
+        // The real committed file must stay parseable, or the CI gate
+        // goes blind silently.
+        let committed = include_str!("../../../BENCH_ternary.json");
+        let d = parse_bench_json(committed).unwrap();
+        assert_eq!(d.simulators.len(), 4);
+        assert!(d.simulators.iter().any(|r| r.workload == "dhrystone"));
+    }
+
+    #[test]
+    fn small_noise_passes() {
+        let base = doc(1.0, 1.0);
+        let current = doc(0.9, 1.1); // ±10% noise
+        let r = compare(&base, &current, 0.25);
+        assert!(r.ok(), "{}", r.render(0.25));
+        assert_eq!(r.deltas.len(), 4);
+    }
+
+    #[test]
+    fn big_regression_fails() {
+        let base = doc(1.0, 1.0);
+        let current = doc(1.0, 0.5); // pipelined halved
+        let r = compare(&base, &current, 0.25);
+        assert!(!r.ok());
+        assert_eq!(r.regressions.len(), 2);
+        assert!(r
+            .regressions
+            .iter()
+            .all(|d| d.name.ends_with("pipelined_cps")));
+        assert!(r.render(0.25).contains("REGRESSION"));
+    }
+
+    #[test]
+    fn dropped_workload_fails() {
+        let base = doc(1.0, 1.0);
+        let mut current = doc(1.0, 1.0);
+        current.simulators.pop();
+        let r = compare(&base, &current, 0.25);
+        assert!(!r.ok());
+        assert_eq!(r.missing, vec!["gemm".to_string()]);
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        assert!(parse_bench_json("{}").is_err());
+        assert!(parse_bench_json(r#"{"simulators": []}"#).is_err());
+        assert!(parse_bench_json(r#"{"simulators": [{"workload": "x"}]}"#).is_err());
+    }
+}

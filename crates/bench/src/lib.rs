@@ -6,6 +6,8 @@
 //! both reproduces the evaluation and tracks the simulator's own
 //! performance.
 
+pub mod gate;
+
 use art9_compiler::Translation;
 use art9_sim::{PipelineStats, PipelinedSim};
 use rv32::{CycleReport, PicoRv32Model, VexRiscvModel};
@@ -137,7 +139,9 @@ pub mod perf {
         let mut seed = 0x9E37_79B9_7F4A_7C15u64;
         (0..64)
             .map(|_| {
-                seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                seed = seed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 Word9::from_i64_wrapping((seed >> 16) as i64 % 19683 - 9841)
             })
             .collect()
@@ -245,7 +249,10 @@ pub mod perf {
         let image = PredecodedProgram::new(&t.program);
 
         let mut probe = FunctionalSim::from_predecoded(&image, DEFAULT_TDM_WORDS);
-        let instructions = probe.run(DEFAULT_MAX_STEPS).expect("completes").instructions;
+        let instructions = probe
+            .run(DEFAULT_MAX_STEPS)
+            .expect("completes")
+            .instructions;
         let functional_ips = {
             let per_run = instructions as f64;
             per_run * 1e9
@@ -289,10 +296,10 @@ pub mod perf {
         let mut out = String::new();
         out.push_str("{\n");
         out.push_str("  \"schema\": \"art9-bench-ternary/v1\",\n");
+        out.push_str("  \"generated_by\": \"cargo run --release -p art9-bench --bin report\",\n");
         out.push_str(
-            "  \"generated_by\": \"cargo run --release -p art9-bench --bin report\",\n",
+            "  \"baseline\": \"PR 1 seed (commit f51d935), same host and methodology\",\n",
         );
-        out.push_str("  \"baseline\": \"PR 1 seed (commit f51d935), same host and methodology\",\n");
         out.push_str("  \"word_ops\": [\n");
         for (i, op) in word_ops.iter().enumerate() {
             let comma = if i + 1 < word_ops.len() { "," } else { "" };
@@ -355,7 +362,10 @@ pub mod perf {
 
         #[test]
         fn json_has_schema_and_balanced_braces() {
-            let ops = vec![WordOp { name: "add", ns_per_op: 3.25 }];
+            let ops = vec![WordOp {
+                name: "add",
+                ns_per_op: 3.25,
+            }];
             let sims = vec![SimThroughput {
                 workload: "dhrystone",
                 instructions: 100,

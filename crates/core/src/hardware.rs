@@ -80,7 +80,11 @@ impl HardwareFramework {
     /// # Errors
     ///
     /// Propagates [`SimError`] (faults, timeout).
-    pub fn run_cycles(&self, program: &Program, max_cycles: u64) -> Result<PipelineStats, SimError> {
+    pub fn run_cycles(
+        &self,
+        program: &Program,
+        max_cycles: u64,
+    ) -> Result<PipelineStats, SimError> {
         let mut core = PipelinedSim::new(program);
         core.run(max_cycles)
     }
@@ -95,7 +99,11 @@ impl HardwareFramework {
         let cntfet = estimate_cntfet(&gate_analysis, dhrystone);
         let fpga_report = map_to_fpga(&self.datapath, self.fpga_mem, self.fpga_mhz);
         let fpga = estimate_fpga(&fpga_report, dhrystone);
-        Evaluation { gate_analysis, cntfet, fpga }
+        Evaluation {
+            gate_analysis,
+            cntfet,
+            fpga,
+        }
     }
 }
 

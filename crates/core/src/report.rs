@@ -34,7 +34,10 @@ pub fn table5(e: &Evaluation) -> String {
         "{:.1}V     {:.0} MHz    {:<5} {:<10} {} bits  {:.2} W\n",
         r.voltage, r.frequency_mhz, r.alms, r.registers, r.ram_bits, r.power_w
     ));
-    s.push_str(&format!("({:.1} DMIPS, {:.1} DMIPS/W)\n", f.dmips, f.dmips_per_watt));
+    s.push_str(&format!(
+        "({:.1} DMIPS, {:.1} DMIPS/W)\n",
+        f.dmips, f.dmips_per_watt
+    ));
     s
 }
 

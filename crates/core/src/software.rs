@@ -59,7 +59,9 @@ impl MemoryComparison {
 impl SoftwareFramework {
     /// Framework with the default 256-word TDM.
     pub fn new() -> Self {
-        Self { tdm_words: art9_compiler::DEFAULT_TDM_WORDS }
+        Self {
+            tdm_words: art9_compiler::DEFAULT_TDM_WORDS,
+        }
     }
 
     /// Framework targeting a custom TDM size.

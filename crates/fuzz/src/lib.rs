@@ -1,0 +1,348 @@
+//! # `art9-fuzz` — differential fuzzing for the ART-9 frameworks
+//!
+//! The paper's evaluation rests on three executions of the same ISA
+//! agreeing — the functional model, the pipelined model and the
+//! ternary arithmetic layer. This crate turns that claim into a
+//! generative check: a seeded random [program generator](generate)
+//! over the full 24-instruction ISA, co-simulated in lockstep through
+//! four [oracles](check_program) (functional vs a per-trit
+//! [`ReferenceSim`], pipelined with forwarding on and off, and the
+//! encode/decode/disassemble/reassemble toolchain), plus a direct
+//! packed-vs-tritwise [arithmetic oracle](check_arith). Failures are
+//! [minimized](minimize) by greedy NOP substitution and written as
+//! one-command [replay files](render_replay).
+//!
+//! Design notes (generator invariants, the oracle matrix, the replay
+//! format) live in `docs/FUZZING.md` at the repository root.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use art9_fuzz::{run_fuzz, FuzzConfig};
+//!
+//! let mut cfg = FuzzConfig::default();
+//! cfg.iterations = 10;
+//! let report = run_fuzz(&cfg);
+//! assert_eq!(report.divergences.len(), 0, "{}", report.render());
+//! // Determinism: the same seed reproduces the same programs.
+//! assert_eq!(report.digest, run_fuzz(&cfg).digest);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod gen;
+mod minimize;
+mod oracle;
+mod refsim;
+mod replay;
+mod rng;
+
+pub use gen::{generate, step_budget, GenConfig, Mix, MIN_TDM_WORDS};
+pub use minimize::{minimize, Minimized};
+pub use oracle::{
+    check_arith, check_program, random_word, Divergence, Oracle, OracleStats, ORACLE_TDM_WORDS,
+};
+pub use refsim::{RefFault, ReferenceSim};
+pub use replay::{parse_replay, render_replay, write_replay, ReplayMeta, REPLAY_MAGIC};
+pub use rng::FuzzRng;
+
+use art9_isa::{encode, Program};
+use rayon::prelude::*;
+
+/// A whole fuzz campaign's configuration.
+#[derive(Debug, Clone)]
+pub struct FuzzConfig {
+    /// Master seed: the campaign is a pure function of this value (and
+    /// the other knobs), independent of thread scheduling.
+    pub seed: u64,
+    /// Number of generated programs.
+    pub iterations: u64,
+    /// Generator tuning (mix, lengths, loop budget).
+    pub gen: GenConfig,
+    /// Random word pairs per iteration for the arithmetic oracle.
+    pub arith_pairs: usize,
+    /// Rotate through every named [`Mix`] by iteration index instead
+    /// of using `gen.mix` for all iterations (the smoke profile does
+    /// this so CI exercises the memory/control paths too).
+    pub sweep_mixes: bool,
+    /// Directory to write replay files for minimized failures;
+    /// `None` keeps failures in the report only.
+    pub fail_dir: Option<std::path::PathBuf>,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        Self {
+            seed: 42,
+            iterations: 1000,
+            gen: GenConfig::default(),
+            arith_pairs: 32,
+            sweep_mixes: false,
+            fail_dir: None,
+        }
+    }
+}
+
+impl FuzzConfig {
+    /// The CI smoke budget: 150 small programs in a few seconds,
+    /// rotating through every named mix (and hitting both halt
+    /// styles) so the memory and control paths get CI coverage too.
+    pub fn smoke() -> Self {
+        Self {
+            iterations: 150,
+            gen: GenConfig {
+                max_len: 80,
+                ..GenConfig::default()
+            },
+            arith_pairs: 16,
+            sweep_mixes: true,
+            ..Self::default()
+        }
+    }
+}
+
+/// One minimized failure.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// Iteration index the case was generated at.
+    pub iteration: u64,
+    /// The (minimized) divergence.
+    pub divergence: Divergence,
+    /// The minimized program, rendered as replayable assembly.
+    pub replay_text: String,
+    /// Where the replay file was written, when a `fail_dir` was set.
+    pub replay_path: Option<std::path::PathBuf>,
+}
+
+/// Aggregate result of a fuzz campaign.
+#[derive(Debug, Clone)]
+pub struct FuzzReport {
+    /// Programs generated and checked.
+    pub programs: u64,
+    /// Folded oracle work counters.
+    pub stats: OracleStats,
+    /// Every divergence found (minimized).
+    pub divergences: Vec<Failure>,
+    /// Order-independent digest of every generated program: two runs
+    /// with the same config produce the same digest regardless of
+    /// `rayon` scheduling — the reproducibility check.
+    pub digest: u64,
+}
+
+impl FuzzReport {
+    /// Renders the human-readable campaign summary.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{} programs | {} functional instructions, {} pipelined cycles",
+            self.programs, self.stats.functional_instructions, self.stats.pipelined_cycles
+        );
+        let _ = writeln!(
+            out,
+            "{} roundtrip checks, {} arithmetic checks | digest {:016x}",
+            self.stats.roundtrip_checks, self.stats.arith_checks, self.digest
+        );
+        if self.divergences.is_empty() {
+            let _ = writeln!(out, "no divergences");
+        } else {
+            let _ = writeln!(out, "{} DIVERGENCES:", self.divergences.len());
+            for f in &self.divergences {
+                let _ = writeln!(out, "  iteration {}: {}", f.iteration, f.divergence);
+                if let Some(p) = &f.replay_path {
+                    let _ = writeln!(out, "    replay: {}", p.display());
+                }
+            }
+        }
+        out
+    }
+}
+
+/// FNV-1a over a program's canonical encoding (TIM words + data).
+fn program_digest(p: &Program) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |v: i64| {
+        for byte in v.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    for i in p.text() {
+        eat(encode(i).to_i64());
+    }
+    eat(-1); // text/data separator
+    for w in p.data() {
+        eat(w.to_i64());
+    }
+    h
+}
+
+/// Outcome of one iteration (collected in index order).
+struct IterOutcome {
+    stats: OracleStats,
+    digest: u64,
+    failure: Option<(u64, Divergence, Program)>,
+}
+
+/// Runs a full fuzz campaign.
+///
+/// Iterations fan out across `rayon` worker threads; each derives its
+/// own RNG stream from `(seed, index)` and results are folded in index
+/// order, so the report (digest included) is bit-identical run-to-run
+/// for a fixed config.
+pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
+    let budget = step_budget(&cfg.gen);
+    let indices: Vec<u64> = (0..cfg.iterations).collect();
+    let outcomes: Vec<IterOutcome> = indices
+        .into_par_iter()
+        .map(|i| {
+            let mut rng = FuzzRng::for_iteration(cfg.seed, i);
+            let mut gen_cfg = cfg.gen;
+            if cfg.sweep_mixes {
+                gen_cfg.mix = Mix::ALL[(i % Mix::ALL.len() as u64) as usize];
+            }
+            let program = generate(&mut rng, &gen_cfg);
+            let digest = program_digest(&program);
+            let (mut stats, mut divergence) = check_program(&program, budget);
+            if divergence.is_none() {
+                divergence = check_arith(&mut rng, cfg.arith_pairs, &mut stats);
+            }
+            let failure = divergence.map(|d| (i, d, program));
+            IterOutcome {
+                stats,
+                digest,
+                failure,
+            }
+        })
+        .collect();
+
+    let mut stats = OracleStats::default();
+    let mut digest = 0xcbf2_9ce4_8422_2325u64;
+    let mut divergences = Vec::new();
+    for o in &outcomes {
+        stats.absorb(&o.stats);
+        // Fold per-iteration digests in index order (collect preserves
+        // input order, so this is schedule-independent).
+        digest ^= o.digest;
+        digest = digest.wrapping_mul(0x0000_0100_0000_01B3).rotate_left(17);
+    }
+    for o in outcomes {
+        let Some((iteration, divergence, program)) = o.failure else {
+            continue;
+        };
+        // Arithmetic findings are value-level, not program-level: the
+        // failing operands are in the divergence detail and the case
+        // reproduces from `--seed`/`--iterations` alone. Writing the
+        // (unrelated) generated program as a replay file would record
+        // a "repro" that passes — so no replay is produced.
+        if divergence.oracle == Oracle::Arithmetic {
+            divergences.push(Failure {
+                iteration,
+                replay_text: format!(
+                    "; arithmetic finding — no program replay; re-run with \
+                     --seed {} --iterations {} to reproduce\n; {}",
+                    cfg.seed, cfg.iterations, divergence.detail
+                ),
+                divergence,
+                replay_path: None,
+            });
+            continue;
+        }
+        // Minimize program-level findings by re-running the flagging
+        // oracle.
+        let (final_program, final_divergence) =
+            match minimize(&program, |p| check_program(p, budget).1) {
+                Some(m) => (m.program, m.divergence),
+                None => (program, divergence),
+            };
+        let meta = ReplayMeta {
+            seed: cfg.seed,
+            iteration,
+            divergence: final_divergence.clone(),
+        };
+        let replay_text = render_replay(&meta, &final_program);
+        let replay_path = cfg
+            .fail_dir
+            .as_deref()
+            .and_then(|dir| write_replay(dir, &meta, &final_program).ok());
+        divergences.push(Failure {
+            iteration,
+            divergence: final_divergence,
+            replay_text,
+            replay_path,
+        });
+    }
+
+    FuzzReport {
+        programs: cfg.iterations,
+        stats,
+        divergences,
+        digest,
+    }
+}
+
+/// Re-runs every program-level oracle on a replay file's program.
+///
+/// Returns the campaign-style report for the single case.
+pub fn run_replay(program: &Program) -> (OracleStats, Option<Divergence>) {
+    // A replayed program may not obey the generator's termination
+    // invariants (it could be hand-edited), so give it a generous
+    // fixed budget.
+    check_program(program, 2_000_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> FuzzConfig {
+        FuzzConfig {
+            iterations: 25,
+            gen: GenConfig {
+                max_len: 60,
+                ..GenConfig::default()
+            },
+            arith_pairs: 8,
+            ..FuzzConfig::default()
+        }
+    }
+
+    #[test]
+    fn campaign_is_clean_and_deterministic() {
+        let cfg = tiny();
+        let a = run_fuzz(&cfg);
+        assert!(a.divergences.is_empty(), "{}", a.render());
+        assert!(a.stats.functional_instructions > 0);
+        let b = run_fuzz(&cfg);
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(
+            a.stats.functional_instructions,
+            b.stats.functional_instructions
+        );
+        assert_eq!(a.stats.pipelined_cycles, b.stats.pipelined_cycles);
+        assert_eq!(a.stats.roundtrip_checks, b.stats.roundtrip_checks);
+    }
+
+    #[test]
+    fn different_seeds_generate_different_campaigns() {
+        let a = run_fuzz(&tiny());
+        let mut cfg = tiny();
+        cfg.seed = 43;
+        let b = run_fuzz(&cfg);
+        assert_ne!(a.digest, b.digest);
+    }
+
+    #[test]
+    fn report_renders_counts() {
+        let r = run_fuzz(&FuzzConfig {
+            iterations: 3,
+            ..tiny()
+        });
+        let text = r.render();
+        assert!(text.contains("3 programs"), "{text}");
+        assert!(text.contains("no divergences"), "{text}");
+        assert!(text.contains("digest"), "{text}");
+    }
+}

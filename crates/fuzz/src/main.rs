@@ -1,0 +1,191 @@
+//! The `art9-fuzz` command-line driver.
+//!
+//! ```sh
+//! # Default campaign (seed 42, 1000 iterations, balanced mix):
+//! cargo run --release -p art9-fuzz
+//!
+//! # The CI gate:
+//! cargo run --release -p art9-fuzz -- --smoke
+//!
+//! # A specific campaign:
+//! cargo run --release -p art9-fuzz -- --seed 7 --iterations 5000 --mix memory
+//!
+//! # One-command repro of a recorded failure:
+//! cargo run --release -p art9-fuzz -- --replay fuzz-failures/case-000.art9
+//! ```
+//!
+//! Exit status: `0` when every oracle agreed, `1` on any divergence,
+//! `2` on usage errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use art9_fuzz::{parse_replay, run_fuzz, run_replay, FuzzConfig, Mix};
+
+const USAGE: &str = "\
+art9-fuzz: differential fuzzing of the ART-9 simulators and toolchain
+
+USAGE:
+    art9-fuzz [OPTIONS]
+
+OPTIONS:
+    --seed N          Master seed (default 42); same seed => same programs
+    --iterations N    Programs to generate and co-simulate (default 1000)
+    --mix NAME        Instruction mix: balanced | alu | memory | control
+    --max-len N       Upper bound on generated body length (default 160)
+    --smoke           CI budget: 150 small programs across the mixes
+    --fail-dir DIR    Write minimized replay files here (default fuzz-failures)
+    --no-fail-dir     Do not write replay files
+    --replay FILE     Re-run the oracles on one replay file and exit
+    --help            Show this message
+";
+
+fn main() -> ExitCode {
+    match parse_args(std::env::args().skip(1)) {
+        Ok(Cmd::Help) => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Ok(Cmd::Replay(path)) => replay_one(&path),
+        Ok(Cmd::Run(cfg)) => campaign(&cfg),
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+enum Cmd {
+    Run(FuzzConfig),
+    Replay(PathBuf),
+    Help,
+}
+
+fn parse_args(args: impl Iterator<Item = String>) -> Result<Cmd, String> {
+    let mut cfg = FuzzConfig {
+        fail_dir: Some(PathBuf::from("fuzz-failures")),
+        ..FuzzConfig::default()
+    };
+    let mut smoke = false;
+    let mut replay = None;
+    // Explicit flags always win over the smoke profile, whatever the
+    // flag order.
+    let mut explicit_iterations = None;
+    let mut explicit_max_len = None;
+    let mut explicit_mix = None;
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
+        match arg.as_str() {
+            "--help" | "-h" => return Ok(Cmd::Help),
+            "--smoke" => smoke = true,
+            "--seed" => cfg.seed = parse_num(&value("--seed")?)?,
+            "--iterations" => explicit_iterations = Some(parse_num(&value("--iterations")?)?),
+            "--max-len" => {
+                let n = parse_num(&value("--max-len")?)? as usize;
+                if n < 9 {
+                    return Err("--max-len must be at least 9".into());
+                }
+                explicit_max_len = Some(n);
+            }
+            "--mix" => explicit_mix = Some(value("--mix")?.parse::<Mix>()?),
+            "--fail-dir" => cfg.fail_dir = Some(PathBuf::from(value("--fail-dir")?)),
+            "--no-fail-dir" => cfg.fail_dir = None,
+            "--replay" => replay = Some(PathBuf::from(value("--replay")?)),
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    if let Some(path) = replay {
+        return Ok(Cmd::Replay(path));
+    }
+    if smoke {
+        let smoke_cfg = FuzzConfig::smoke();
+        cfg.iterations = smoke_cfg.iterations;
+        cfg.gen = smoke_cfg.gen;
+        cfg.arith_pairs = smoke_cfg.arith_pairs;
+        // The smoke profile rotates through every mix unless the user
+        // pinned one explicitly.
+        cfg.sweep_mixes = explicit_mix.is_none();
+    }
+    if let Some(n) = explicit_iterations {
+        cfg.iterations = n;
+    }
+    if let Some(n) = explicit_max_len {
+        cfg.gen.max_len = n;
+    }
+    if let Some(mix) = explicit_mix {
+        cfg.gen.mix = mix;
+    }
+    Ok(Cmd::Run(cfg))
+}
+
+fn parse_num(s: &str) -> Result<u64, String> {
+    s.parse().map_err(|_| format!("not a number: {s:?}"))
+}
+
+fn campaign(cfg: &FuzzConfig) -> ExitCode {
+    let mix = if cfg.sweep_mixes {
+        "sweep (all four)"
+    } else {
+        cfg.gen.mix.name()
+    };
+    println!(
+        "art9-fuzz: seed {}, {} iterations, mix {}, max-len {}",
+        cfg.seed, cfg.iterations, mix, cfg.gen.max_len
+    );
+    let start = std::time::Instant::now();
+    let report = run_fuzz(cfg);
+    print!("{}", report.render());
+    println!("wall time {:.1}s", start.elapsed().as_secs_f64());
+    if report.divergences.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        for f in &report.divergences {
+            if f.replay_path.is_none() {
+                eprintln!(
+                    "--- minimized case (iteration {}) ---\n{}",
+                    f.iteration, f.replay_text
+                );
+            }
+        }
+        ExitCode::FAILURE
+    }
+}
+
+fn replay_one(path: &std::path::Path) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let program = match parse_replay(&text) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {} is not a valid replay file: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "replaying {} ({} instructions, {} data words)",
+        path.display(),
+        program.text().len(),
+        program.data().len()
+    );
+    let (stats, divergence) = run_replay(&program);
+    println!(
+        "{} functional instructions, {} pipelined cycles, {} roundtrip checks",
+        stats.functional_instructions, stats.pipelined_cycles, stats.roundtrip_checks
+    );
+    match divergence {
+        None => {
+            println!("all oracles agree");
+            ExitCode::SUCCESS
+        }
+        Some(d) => {
+            println!("DIVERGENCE: {d}");
+            ExitCode::FAILURE
+        }
+    }
+}

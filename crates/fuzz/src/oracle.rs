@@ -1,0 +1,592 @@
+//! Lockstep co-simulation oracles.
+//!
+//! Every generated program runs through four independent executions —
+//! the functional simulator, the per-trit [`ReferenceSim`], and the
+//! pipelined simulator with forwarding on and off — plus the toolchain
+//! roundtrip (encode → decode → disassemble → reassemble). A fifth
+//! oracle exercises the packed-vs-tritwise arithmetic layer directly
+//! on random words. Any disagreement is reported as a [`Divergence`]
+//! naming the oracle, the step, and the first differing piece of
+//! state.
+//!
+//! The functional/reference pair runs **step for step** (`pc`, the
+//! nine TRF registers and the instruction count are compared after
+//! every instruction); the pipelined runs are compared at halt
+//! (registers, TDM, halt reason, retired-instruction count) because
+//! the pipeline only exposes architectural state at retirement.
+
+use art9_isa::{assemble, decode, disassemble_word, encode, Program, ALL_REGS};
+use art9_sim::{CoreState, FunctionalSim, PipelinedSim, PredecodedProgram};
+use ternary::{arith, Trit, Trits, Word9};
+
+use crate::gen::MIN_TDM_WORDS;
+use crate::refsim::ReferenceSim;
+use crate::rng::FuzzRng;
+
+/// TDM size every oracle runs with: covers the generator's base window
+/// and matches the default simulator configuration.
+pub const ORACLE_TDM_WORDS: usize = if MIN_TDM_WORDS > 256 {
+    MIN_TDM_WORDS
+} else {
+    256
+};
+
+/// The oracles a program runs through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Oracle {
+    /// Functional simulator vs the per-trit reference, in lockstep.
+    FunctionalVsReference,
+    /// Pipelined simulator (forwarding on) vs functional, at halt.
+    PipelinedForwarding,
+    /// Pipelined simulator (forwarding off) vs functional, at halt.
+    PipelinedNoForwarding,
+    /// encode → decode → disassemble → reassemble roundtrip.
+    ToolchainRoundtrip,
+    /// Packed bitplane kernels vs the tritwise reference algorithms.
+    Arithmetic,
+}
+
+impl Oracle {
+    /// Stable display name (used in replay files and reports).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Oracle::FunctionalVsReference => "functional-vs-reference",
+            Oracle::PipelinedForwarding => "pipelined-fwd",
+            Oracle::PipelinedNoForwarding => "pipelined-nofwd",
+            Oracle::ToolchainRoundtrip => "toolchain-roundtrip",
+            Oracle::Arithmetic => "arithmetic",
+        }
+    }
+}
+
+/// One observed disagreement.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// The oracle that caught it.
+    pub oracle: Oracle,
+    /// Human-readable description of the first difference.
+    pub detail: String,
+}
+
+impl Divergence {
+    /// Marker phrase shared by the two budget-exhaustion reports (kept
+    /// in one place so [`Divergence::is_budget_exhaustion`] cannot
+    /// drift from the messages).
+    pub(crate) const BUDGET_MARKER: &'static str = "exceeded the budget of";
+
+    /// `true` when this divergence reports budget exhaustion (a
+    /// non-terminating run) rather than a state disagreement. The
+    /// minimizer refuses to trade one kind for the other.
+    pub fn is_budget_exhaustion(&self) -> bool {
+        self.detail.contains(Self::BUDGET_MARKER)
+    }
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.oracle.name(), self.detail)
+    }
+}
+
+/// Per-program oracle statistics (folded into the fuzz report).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OracleStats {
+    /// Instructions the functional simulator executed.
+    pub functional_instructions: u64,
+    /// Cycles the two pipelined runs consumed together.
+    pub pipelined_cycles: u64,
+    /// Individual roundtrip checks performed.
+    pub roundtrip_checks: u64,
+    /// Individual arithmetic cross-checks performed.
+    pub arith_checks: u64,
+}
+
+impl OracleStats {
+    /// Accumulates another program's counters.
+    pub fn absorb(&mut self, other: &OracleStats) {
+        self.functional_instructions += other.functional_instructions;
+        self.pipelined_cycles += other.pipelined_cycles;
+        self.roundtrip_checks += other.roundtrip_checks;
+        self.arith_checks += other.arith_checks;
+    }
+}
+
+/// Runs every program-level oracle on `program`.
+///
+/// Returns the first divergence found (checking stops there — the
+/// minimizer will re-run the same check on reduced programs) plus the
+/// work counters.
+///
+/// `step_budget` bounds the functional/reference runs; the pipelined
+/// runs get `16×` that in cycles (a generated program's CPI is far
+/// below that — exhausting the budget is itself a divergence).
+pub fn check_program(program: &Program, step_budget: u64) -> (OracleStats, Option<Divergence>) {
+    let mut stats = OracleStats::default();
+
+    if let Some(d) = roundtrip_oracle(program, &mut stats) {
+        return (stats, Some(d));
+    }
+
+    let image = PredecodedProgram::new(program);
+
+    // --- Functional vs per-trit reference, in lockstep ---------------
+    let mut func = FunctionalSim::from_predecoded(&image, ORACLE_TDM_WORDS);
+    let mut reference = ReferenceSim::new(program, ORACLE_TDM_WORDS);
+    let mut steps = 0u64;
+    let func_halt = loop {
+        if steps > step_budget {
+            break None;
+        }
+        steps += 1;
+        let f = match func.step() {
+            Ok(h) => h,
+            Err(e) => {
+                stats.functional_instructions = func.instructions();
+                return (
+                    stats,
+                    Some(Divergence {
+                        oracle: Oracle::FunctionalVsReference,
+                        detail: format!("functional simulator faulted: {e}"),
+                    }),
+                );
+            }
+        };
+        let r = match reference.step() {
+            Ok(h) => h,
+            Err(e) => {
+                stats.functional_instructions = func.instructions();
+                return (
+                    stats,
+                    Some(Divergence {
+                        oracle: Oracle::FunctionalVsReference,
+                        detail: format!("reference interpreter faulted: {e}"),
+                    }),
+                );
+            }
+        };
+        if f != r {
+            stats.functional_instructions = func.instructions();
+            return (
+                stats,
+                Some(Divergence {
+                    oracle: Oracle::FunctionalVsReference,
+                    detail: format!(
+                        "halt disagreement after {} instructions: functional {f:?}, reference {r:?}",
+                        func.instructions()
+                    ),
+                }),
+            );
+        }
+        if let Some(d) = lockstep_difference(func.state(), &reference) {
+            stats.functional_instructions = func.instructions();
+            return (
+                stats,
+                Some(Divergence {
+                    oracle: Oracle::FunctionalVsReference,
+                    detail: format!("after {} instructions: {d}", func.instructions()),
+                }),
+            );
+        }
+        if f.is_some() {
+            break f;
+        }
+    };
+    stats.functional_instructions = func.instructions();
+    let Some(func_halt) = func_halt else {
+        return (
+            stats,
+            Some(Divergence {
+                oracle: Oracle::FunctionalVsReference,
+                detail: format!("program {} {step_budget} steps", Divergence::BUDGET_MARKER),
+            }),
+        );
+    };
+
+    // Final memory + count comparison (memory is compared once at halt;
+    // registers were compared every step).
+    let tdm_words: Vec<Word9> = func.state().tdm.iter().copied().collect();
+    if let Some(addr) = first_mismatch(&tdm_words, reference.tdm()) {
+        return (
+            stats,
+            Some(Divergence {
+                oracle: Oracle::FunctionalVsReference,
+                detail: format!(
+                    "TDM[{addr}] = {} (functional) vs {} (reference) at halt",
+                    tdm_words[addr].to_i64(),
+                    reference.tdm()[addr].to_i64()
+                ),
+            }),
+        );
+    }
+    if func.instructions() != reference.instructions() {
+        return (
+            stats,
+            Some(Divergence {
+                oracle: Oracle::FunctionalVsReference,
+                detail: format!(
+                    "instruction counts differ: {} vs {}",
+                    func.instructions(),
+                    reference.instructions()
+                ),
+            }),
+        );
+    }
+
+    // --- Pipelined (both forwarding settings) vs functional ----------
+    for (oracle, forwarding) in [
+        (Oracle::PipelinedForwarding, true),
+        (Oracle::PipelinedNoForwarding, false),
+    ] {
+        let mut pipe = PipelinedSim::from_predecoded(&image, ORACLE_TDM_WORDS);
+        if !forwarding {
+            pipe.disable_forwarding();
+        }
+        let cycle_budget = step_budget.saturating_mul(16).max(1024);
+        let halt = loop {
+            if pipe.stats().cycles > cycle_budget {
+                break None;
+            }
+            match pipe.cycle() {
+                Ok(Some(h)) => break Some(h),
+                Ok(None) => {}
+                Err(e) => {
+                    stats.pipelined_cycles += pipe.stats().cycles;
+                    return (
+                        stats,
+                        Some(Divergence {
+                            oracle,
+                            detail: format!("pipelined simulator faulted: {e}"),
+                        }),
+                    );
+                }
+            }
+        };
+        stats.pipelined_cycles += pipe.stats().cycles;
+        let Some(halt) = halt else {
+            return (
+                stats,
+                Some(Divergence {
+                    oracle,
+                    detail: format!(
+                        "pipeline {} {cycle_budget} cycles",
+                        Divergence::BUDGET_MARKER
+                    ),
+                }),
+            );
+        };
+        if halt != func_halt {
+            return (
+                stats,
+                Some(Divergence {
+                    oracle,
+                    detail: format!("halt reason {halt:?} vs functional {func_halt:?}"),
+                }),
+            );
+        }
+        if pipe.stats().instructions != func.instructions() {
+            return (
+                stats,
+                Some(Divergence {
+                    oracle,
+                    detail: format!(
+                        "retired {} instructions vs functional {}",
+                        pipe.stats().instructions,
+                        func.instructions()
+                    ),
+                }),
+            );
+        }
+        if let Some(d) = func.state().first_difference(pipe.state()) {
+            return (stats, Some(Divergence { oracle, detail: d }));
+        }
+    }
+
+    (stats, None)
+}
+
+/// The encode → decode → disassemble → reassemble oracle.
+fn roundtrip_oracle(program: &Program, stats: &mut OracleStats) -> Option<Divergence> {
+    for (pc, instr) in program.text().iter().enumerate() {
+        let word = encode(instr);
+        stats.roundtrip_checks += 1;
+        match decode(word) {
+            Ok(back) if back == *instr => {}
+            Ok(back) => {
+                return Some(Divergence {
+                    oracle: Oracle::ToolchainRoundtrip,
+                    detail: format!("pc {pc}: {instr} encoded to {word}, decoded as {back}"),
+                });
+            }
+            Err(e) => {
+                return Some(Divergence {
+                    oracle: Oracle::ToolchainRoundtrip,
+                    detail: format!(
+                        "pc {pc}: {instr} encoded to {word}, which failed to decode: {e}"
+                    ),
+                });
+            }
+        }
+        let text = match disassemble_word(word) {
+            Ok(t) => t,
+            Err(e) => {
+                return Some(Divergence {
+                    oracle: Oracle::ToolchainRoundtrip,
+                    detail: format!("pc {pc}: {instr} failed to disassemble: {e}"),
+                });
+            }
+        };
+        match assemble(&text) {
+            Ok(p) if p.text() == [*instr] => {}
+            Ok(p) => {
+                return Some(Divergence {
+                    oracle: Oracle::ToolchainRoundtrip,
+                    detail: format!(
+                        "pc {pc}: {instr} disassembled to {text:?}, reassembled as {:?}",
+                        p.text()
+                    ),
+                });
+            }
+            Err(e) => {
+                return Some(Divergence {
+                    oracle: Oracle::ToolchainRoundtrip,
+                    detail: format!("pc {pc}: listing {text:?} failed to reassemble: {e}"),
+                });
+            }
+        }
+    }
+    None
+}
+
+/// Index of the first differing word, if any.
+fn first_mismatch(a: &[Word9], b: &[Word9]) -> Option<usize> {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).position(|(x, y)| x != y)
+}
+
+/// The first per-step difference between the functional state and the
+/// reference interpreter: PC first, then the nine registers.
+fn lockstep_difference(func: &CoreState, reference: &ReferenceSim) -> Option<String> {
+    if func.pc != reference.pc() {
+        return Some(format!(
+            "pc {} (functional) vs {} (reference)",
+            func.pc,
+            reference.pc()
+        ));
+    }
+    for r in ALL_REGS {
+        let f = func.reg(r);
+        let g = reference.reg(r);
+        if f != g {
+            return Some(format!(
+                "{r} = {f} ({}) functional vs {g} ({}) reference",
+                f.to_i64(),
+                g.to_i64()
+            ));
+        }
+    }
+    None
+}
+
+/// Cross-checks the packed bitplane kernels against the per-trit
+/// reference algorithms on `pairs` random word pairs (plus a fixed set
+/// of adversarial carry-chain/sign-boundary values every time).
+pub fn check_arith(rng: &mut FuzzRng, pairs: usize, stats: &mut OracleStats) -> Option<Divergence> {
+    let fail = |detail: String| {
+        Some(Divergence {
+            oracle: Oracle::Arithmetic,
+            detail,
+        })
+    };
+
+    // Adversarial corners: saturated words (longest carry chains),
+    // zero, ±1, and the ±3^k sign boundaries.
+    let mut specials = vec![Word9::ZERO, Word9::MAX, Word9::MIN];
+    for k in 0..9 {
+        let p = ternary::pow3(k);
+        for v in [p, -p, (p - 1) / 2, -(p - 1) / 2] {
+            specials.push(Word9::from_i64(v).expect("3^k fits"));
+        }
+    }
+
+    let mut words = specials;
+    for _ in 0..pairs {
+        words.push(random_word(rng));
+    }
+
+    for i in 0..words.len() {
+        // Pair each word with a pseudo-random partner (and itself, for
+        // the doubling/negation identities).
+        let a = words[i];
+        let b = words[(i * 7 + 13) % words.len()];
+        stats.arith_checks += 1;
+
+        let (packed_sum, packed_carry) = a.carrying_add(b);
+        let (ref_sum, ref_carry) = arith::add_tritwise(a, b);
+        if (packed_sum, packed_carry) != (ref_sum, ref_carry) {
+            return fail(format!(
+                "add: {} + {} = {} carry {packed_carry} (packed) vs {} carry {ref_carry} (tritwise)",
+                a.to_i64(),
+                b.to_i64(),
+                packed_sum.to_i64(),
+                ref_sum.to_i64()
+            ));
+        }
+
+        let packed_mul = a.wrapping_mul(b);
+        let ref_mul = arith::mul_tritwise(a, b);
+        if packed_mul != ref_mul {
+            return fail(format!(
+                "mul: {} * {} = {} (packed) vs {} (tritwise)",
+                a.to_i64(),
+                b.to_i64(),
+                packed_mul.to_i64(),
+                ref_mul.to_i64()
+            ));
+        }
+
+        if !b.is_zero() {
+            let packed = a.div_rem(b).expect("nonzero divisor");
+            let reference = arith::div_rem_tritwise(a, b).expect("nonzero divisor");
+            if packed != reference {
+                return fail(format!(
+                    "div: {} / {} = ({}, {}) (packed) vs ({}, {}) (tritwise)",
+                    a.to_i64(),
+                    b.to_i64(),
+                    packed.0.to_i64(),
+                    packed.1.to_i64(),
+                    reference.0.to_i64(),
+                    reference.1.to_i64()
+                ));
+            }
+        }
+
+        let packed_neg = a.negate();
+        let ref_neg = arith::negate_tritwise(a);
+        if packed_neg != ref_neg {
+            return fail(format!(
+                "negate: -({}) = {} (packed) vs {} (tritwise)",
+                a.to_i64(),
+                packed_neg.to_i64(),
+                ref_neg.to_i64()
+            ));
+        }
+
+        // Bitplane pack/unpack roundtrip.
+        let (pos, neg) = a.bitplanes();
+        match Word9::from_bitplanes(pos, neg) {
+            Ok(back) if back == a => {}
+            other => {
+                return fail(format!(
+                    "bitplane roundtrip of {} produced {other:?}",
+                    a.to_i64()
+                ));
+            }
+        }
+    }
+    None
+}
+
+/// A uniformly random trit pattern (covers all 3⁹ words, not just the
+/// value range of any integer conversion path).
+pub fn random_word(rng: &mut FuzzRng) -> Word9 {
+    let mut out = [Trit::Z; 9];
+    for slot in &mut out {
+        *slot = match rng.below(3) {
+            0 => Trit::N,
+            1 => Trit::Z,
+            _ => Trit::P,
+        };
+    }
+    Trits::from_trits(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, GenConfig};
+
+    #[test]
+    fn clean_programs_have_no_divergence() {
+        let cfg = GenConfig::default();
+        for i in 0..15 {
+            let p = generate(&mut FuzzRng::for_iteration(5, i), &cfg);
+            let (stats, divergence) = check_program(&p, crate::gen::step_budget(&cfg));
+            assert!(
+                divergence.is_none(),
+                "iteration {i}: {}",
+                divergence.unwrap()
+            );
+            assert!(stats.functional_instructions > 0);
+            assert!(stats.pipelined_cycles > 0);
+            assert!(stats.roundtrip_checks as usize >= p.text().len());
+        }
+    }
+
+    #[test]
+    fn arith_oracle_is_clean_and_counts() {
+        let mut rng = FuzzRng::new(9);
+        let mut stats = OracleStats::default();
+        let d = check_arith(&mut rng, 64, &mut stats);
+        assert!(d.is_none(), "{}", d.unwrap());
+        assert!(stats.arith_checks >= 64);
+    }
+
+    #[test]
+    fn lockstep_detects_a_planted_register_difference() {
+        // Run the functional simulator and the reference on programs
+        // that differ in exactly one immediate — a stand-in for a
+        // semantic bug in either backend. The lockstep comparator must
+        // flag the register, proving the detection path is live (the
+        // clean-campaign tests alone could pass with a comparator that
+        // always answers None).
+        let good = art9_isa::assemble("LI t3, 5\nJAL t0, 0\n").unwrap();
+        let bad = art9_isa::assemble("LI t3, 6\nJAL t0, 0\n").unwrap();
+        let mut func = FunctionalSim::new(&good);
+        let mut reference = ReferenceSim::new(&bad, ORACLE_TDM_WORDS);
+        func.step().unwrap();
+        reference.step().unwrap();
+        let d = lockstep_difference(func.state(), &reference).expect("difference detected");
+        assert!(d.contains("t3"), "{d}");
+        assert!(d.contains('5') && d.contains('6'), "{d}");
+    }
+
+    #[test]
+    fn final_state_diff_detects_planted_register_and_memory_differences() {
+        use art9_isa::TReg;
+        let p = art9_isa::assemble("LI t3, 1\nJAL t0, 0\n").unwrap();
+        let mut a = FunctionalSim::new(&p);
+        let mut b = FunctionalSim::new(&p);
+        a.run(100).unwrap();
+        b.run(100).unwrap();
+        assert_eq!(a.state().first_difference(b.state()), None);
+
+        // Planted register difference.
+        b.state_mut()
+            .set_reg(TReg::T4, Word9::from_i64(99).unwrap());
+        let d = a
+            .state()
+            .first_difference(b.state())
+            .expect("register diff");
+        assert!(d.contains("t4") && d.contains("99"), "{d}");
+
+        // Planted memory difference (register restored first).
+        b.state_mut().set_reg(TReg::T4, Word9::ZERO);
+        b.state_mut()
+            .tdm
+            .write(7, Word9::from_i64(-3).unwrap())
+            .unwrap();
+        let d = a.state().first_difference(b.state()).expect("memory diff");
+        assert!(d.contains("TDM[7]"), "{d}");
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        // Two-instruction infinite loop: never halts, must be flagged
+        // rather than spinning.
+        let p = art9_isa::assemble("a: NOP\nJAL t0, a\n").unwrap();
+        let (_, d) = check_program(&p, 100);
+        let d = d.expect("budget divergence");
+        assert_eq!(d.oracle, Oracle::FunctionalVsReference);
+        assert!(d.detail.contains("budget"));
+    }
+}

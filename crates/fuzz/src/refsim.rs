@@ -1,0 +1,494 @@
+//! A deliberately slow per-trit reference interpreter.
+//!
+//! The third corner of the oracle triangle: where `art9-sim` executes
+//! through the shared [`art9_sim::talu`] on packed bitplanes, this
+//! interpreter re-derives every instruction's semantics **trit by
+//! trit** from the paper — ripple-carry addition via
+//! [`ternary::arith::add_tritwise`], per-trit inversions and logic via
+//! the [`Trit`] truth tables, shifts and field splices as explicit
+//! trit-array surgery, comparison as a most-significant-trit-first
+//! scan — so a bug in the packed carry-loop kernels (the place
+//! Etiemble's adder comparisons say ternary arithmetic goes wrong:
+//! carry chains and sign boundaries) cannot hide in both simulators at
+//! once.
+//!
+//! The interpreter intentionally shares **no** execution code with
+//! `art9-sim`: only the instruction enum, the architectural constants,
+//! and the halt convention are common vocabulary.
+
+use art9_isa::{Instruction, Program, TReg};
+use ternary::{arith, Trit, Trits, Word9};
+
+use art9_sim::HaltReason;
+
+/// An execution fault in the reference interpreter, mirroring the
+/// conditions `art9_sim::SimError` reports (generated programs trigger
+/// neither; any occurrence is a finding).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RefFault {
+    /// A control transfer left `[0, text_len]`.
+    PcOutOfRange {
+        /// The computed target.
+        pc: i64,
+    },
+    /// A TDM access outside the window.
+    MemoryFault {
+        /// Instruction address of the faulting access.
+        pc: usize,
+        /// The resolved (possibly negative) address.
+        address: i64,
+    },
+}
+
+impl std::fmt::Display for RefFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RefFault::PcOutOfRange { pc } => write!(f, "reference: PC {pc} out of range"),
+            RefFault::MemoryFault { pc, address } => {
+                write!(
+                    f,
+                    "reference: memory fault at instruction {pc} (address {address})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for RefFault {}
+
+/// The per-trit reference interpreter.
+///
+/// # Examples
+///
+/// ```
+/// use art9_fuzz::ReferenceSim;
+/// use art9_isa::assemble;
+///
+/// let p = assemble("LI t3, 20\nADDI t3, 1\nADD t3, t3\nJAL t0, 0\n")?;
+/// let mut r = ReferenceSim::new(&p, 256);
+/// while r.halted().is_none() {
+///     r.step()?;
+/// }
+/// assert_eq!(r.reg("t3".parse()?).to_i64(), 42);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReferenceSim {
+    text: Vec<Instruction>,
+    pc: usize,
+    trf: [Word9; 9],
+    tdm: Vec<Word9>,
+    instructions: u64,
+    halted: Option<HaltReason>,
+}
+
+impl ReferenceSim {
+    /// Builds an interpreter over `program` with a `tdm_words`-word TDM
+    /// (grown to fit the data image, like the functional simulator).
+    pub fn new(program: &Program, tdm_words: usize) -> Self {
+        let mut tdm = vec![Word9::ZERO; tdm_words.max(program.data().len())];
+        tdm[..program.data().len()].copy_from_slice(program.data());
+        Self {
+            text: program.text().to_vec(),
+            pc: 0,
+            trf: [Word9::ZERO; 9],
+            tdm,
+            instructions: 0,
+            halted: None,
+        }
+    }
+
+    /// Current program counter.
+    pub fn pc(&self) -> usize {
+        self.pc
+    }
+
+    /// Reads a register.
+    pub fn reg(&self, r: TReg) -> Word9 {
+        self.trf[r.index()]
+    }
+
+    /// The whole register file.
+    pub fn trf(&self) -> &[Word9; 9] {
+        &self.trf
+    }
+
+    /// The TDM contents.
+    pub fn tdm(&self) -> &[Word9] {
+        &self.tdm
+    }
+
+    /// Instructions executed so far.
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Whether (and why) the machine halted.
+    pub fn halted(&self) -> Option<HaltReason> {
+        self.halted
+    }
+
+    /// Executes one instruction; mirrors the architectural contract of
+    /// `FunctionalSim::step` (halt detection order included) while
+    /// computing every result per trit.
+    ///
+    /// # Errors
+    ///
+    /// [`RefFault`] on wild control transfers or TDM violations.
+    pub fn step(&mut self) -> Result<Option<HaltReason>, RefFault> {
+        if let Some(r) = self.halted {
+            return Ok(Some(r));
+        }
+        let pc = self.pc;
+        if pc == self.text.len() {
+            self.halted = Some(HaltReason::FellOffEnd);
+            return Ok(Some(HaltReason::FellOffEnd));
+        }
+        let instr = self.text[pc];
+        self.instructions += 1;
+
+        use Instruction::*;
+        let link = word_from_value(pc as i64 + 1);
+
+        // Destination value (per-trit), memory effects, and branch
+        // decision, all re-derived from the paper's semantics.
+        match instr {
+            Mv { a, b } => self.trf[a.index()] = self.reg(b),
+            Pti { a, b } => self.trf[a.index()] = map_trits(self.reg(b), Trit::pti),
+            Nti { a, b } => self.trf[a.index()] = map_trits(self.reg(b), Trit::nti),
+            Sti { a, b } => self.trf[a.index()] = map_trits(self.reg(b), Trit::sti),
+            And { a, b } => self.trf[a.index()] = zip_trits(self.reg(a), self.reg(b), Trit::and),
+            Or { a, b } => self.trf[a.index()] = zip_trits(self.reg(a), self.reg(b), Trit::or),
+            Xor { a, b } => self.trf[a.index()] = zip_trits(self.reg(a), self.reg(b), Trit::xor),
+            Add { a, b } => {
+                self.trf[a.index()] = arith::add_tritwise(self.reg(a), self.reg(b)).0;
+            }
+            Sub { a, b } => {
+                let neg_b = map_trits(self.reg(b), Trit::sti);
+                self.trf[a.index()] = arith::add_tritwise(self.reg(a), neg_b).0;
+            }
+            Sr { a, b } => {
+                let amount = low2_value(self.reg(b));
+                self.trf[a.index()] = shift_trits(self.reg(a), -amount);
+            }
+            Sl { a, b } => {
+                let amount = low2_value(self.reg(b));
+                self.trf[a.index()] = shift_trits(self.reg(a), amount);
+            }
+            Comp { a, b } => {
+                self.trf[a.index()] = compare_trits(self.reg(a), self.reg(b));
+            }
+            Andi { a, imm } => {
+                self.trf[a.index()] = zip_trits(self.reg(a), extend(imm), Trit::and);
+            }
+            Addi { a, imm } => {
+                self.trf[a.index()] = arith::add_tritwise(self.reg(a), extend(imm)).0;
+            }
+            Sri { a, imm } => {
+                self.trf[a.index()] = shift_trits(self.reg(a), -signed_value(imm));
+            }
+            Sli { a, imm } => {
+                self.trf[a.index()] = shift_trits(self.reg(a), signed_value(imm));
+            }
+            Lui { a, imm } => {
+                // {imm[3:0], 00000}: low five trits zero.
+                let mut out = [Trit::Z; 9];
+                for (i, t) in imm.trits().iter().enumerate() {
+                    out[5 + i] = *t;
+                }
+                self.trf[a.index()] = Trits::from_trits(out);
+            }
+            Li { a, imm } => {
+                // {TRF[Ta][8:5], imm[4:0]}: upper trits preserved.
+                let mut out = self.reg(a).trits();
+                for (i, t) in imm.trits().iter().enumerate() {
+                    out[i] = *t;
+                }
+                self.trf[a.index()] = Trits::from_trits(out);
+            }
+            // B-type register effects (the links) are handled together
+            // with the control transfer below, so `JALR tX, tX, k`
+            // reads its base before the link overwrites it.
+            Beq { .. } | Bne { .. } | Jal { .. } | Jalr { .. } => {}
+            Load { a, b, offset } => {
+                let addr = address_value(self.reg(b), offset);
+                let idx = self.resolve(addr, pc)?;
+                self.trf[a.index()] = self.tdm[idx];
+            }
+            Store { a, b, offset } => {
+                let addr = address_value(self.reg(b), offset);
+                let idx = self.resolve(addr, pc)?;
+                self.tdm[idx] = self.reg(a);
+            }
+        }
+
+        // Control flow (per-trit address arithmetic for JALR).
+        let next: i64 = match instr {
+            Beq { b, cond, offset } => {
+                if self.reg(b).trits()[0] == cond {
+                    pc as i64 + signed_value(offset)
+                } else {
+                    pc as i64 + 1
+                }
+            }
+            Bne { b, cond, offset } => {
+                if self.reg(b).trits()[0] != cond {
+                    pc as i64 + signed_value(offset)
+                } else {
+                    pc as i64 + 1
+                }
+            }
+            Jal { a, offset } => {
+                let target = pc as i64 + signed_value(offset);
+                self.trf[a.index()] = link;
+                target
+            }
+            Jalr { a, b, offset } => {
+                // Target = base + offset computed tritwise *before* the
+                // link write, so `JALR tX, tX, k` uses the old base.
+                let target = address_value(self.reg(b), offset);
+                self.trf[a.index()] = link;
+                target
+            }
+            _ => pc as i64 + 1,
+        };
+
+        if next < 0 || next as usize > self.text.len() {
+            return Err(RefFault::PcOutOfRange { pc: next });
+        }
+        let next = next as usize;
+        if next == pc {
+            self.halted = Some(HaltReason::JumpToSelf);
+            return Ok(Some(HaltReason::JumpToSelf));
+        }
+        self.pc = next;
+        if next == self.text.len() {
+            self.halted = Some(HaltReason::FellOffEnd);
+            return Ok(Some(HaltReason::FellOffEnd));
+        }
+        Ok(None)
+    }
+
+    /// Resolves a signed address value to a TDM index.
+    fn resolve(&self, addr: i64, pc: usize) -> Result<usize, RefFault> {
+        if addr < 0 || addr as usize >= self.tdm.len() {
+            return Err(RefFault::MemoryFault { pc, address: addr });
+        }
+        Ok(addr as usize)
+    }
+}
+
+/// Applies a per-trit unary function.
+fn map_trits(w: Word9, f: fn(Trit) -> Trit) -> Word9 {
+    let mut out = w.trits();
+    for t in &mut out {
+        *t = f(*t);
+    }
+    Trits::from_trits(out)
+}
+
+/// Applies a per-trit binary function.
+fn zip_trits(a: Word9, b: Word9, f: fn(Trit, Trit) -> Trit) -> Word9 {
+    let at = a.trits();
+    let bt = b.trits();
+    let mut out = [Trit::Z; 9];
+    for i in 0..9 {
+        out[i] = f(at[i], bt[i]);
+    }
+    Trits::from_trits(out)
+}
+
+/// The signed value of a small immediate, summed per trit
+/// (`Σ tᵢ·3^i`) rather than through the packed `to_i64` path.
+fn signed_value<const N: usize>(imm: Trits<N>) -> i64 {
+    let mut v = 0i64;
+    let mut scale = 1i64;
+    for t in imm.trits() {
+        v += i64::from(t.value()) * scale;
+        scale *= 3;
+    }
+    v
+}
+
+/// The balanced value of the low two trits of `w` (the hardware's
+/// shift-amount field).
+fn low2_value(w: Word9) -> i64 {
+    let t = w.trits();
+    i64::from(t[0].value()) + 3 * i64::from(t[1].value())
+}
+
+/// Builds a [`Word9`] from an in-range signed value one trit at a
+/// time — the balanced-ternary digit expansion, not the packed
+/// converter. (Used for link values, which are always small and
+/// non-negative.)
+fn word_from_value(v: i64) -> Word9 {
+    canonical_balanced(v)
+}
+
+/// Canonical balanced-ternary expansion of `v ∈ [−9841, 9841]`.
+fn canonical_balanced(v: i64) -> Word9 {
+    debug_assert!((-9841..=9841).contains(&v), "{v} outside the 9-trit range");
+    let mut out = [Trit::Z; 9];
+    let mut rest = v;
+    for slot in &mut out {
+        // Truncating remainder is in {-2..=2}; fold ±2 into ∓1 with a
+        // carry, giving the balanced digit set {-1, 0, +1}.
+        let mut digit = rest % 3;
+        rest /= 3;
+        if digit == 2 {
+            digit = -1;
+            rest += 1;
+        } else if digit == -2 {
+            digit = 1;
+            rest -= 1;
+        }
+        *slot = match digit {
+            -1 => Trit::N,
+            0 => Trit::Z,
+            _ => Trit::P,
+        };
+    }
+    Trits::from_trits(out)
+}
+
+/// Per-trit comparison, most significant trit first (the TALU's
+/// trit-serial comparator): the first differing trit decides.
+fn compare_trits(a: Word9, b: Word9) -> Word9 {
+    let at = a.trits();
+    let bt = b.trits();
+    let mut sign = Trit::Z;
+    for i in (0..9).rev() {
+        if at[i] != bt[i] {
+            sign = if at[i].value() > bt[i].value() {
+                Trit::P
+            } else {
+                Trit::N
+            };
+            break;
+        }
+    }
+    let mut out = [Trit::Z; 9];
+    out[0] = sign;
+    Trits::from_trits(out)
+}
+
+/// Shift by a signed trit count: positive = left (toward the MST),
+/// negative = right; explicit trit-array surgery.
+fn shift_trits(w: Word9, amount: i64) -> Word9 {
+    let t = w.trits();
+    let mut out = [Trit::Z; 9];
+    if amount >= 0 {
+        let k = amount as usize;
+        for i in 0..9 {
+            if i >= k {
+                out[i] = t[i - k];
+            }
+        }
+    } else {
+        let k = (-amount) as usize;
+        for i in 0..9 {
+            if i + k < 9 {
+                out[i] = t[i + k];
+            }
+        }
+    }
+    Trits::from_trits(out)
+}
+
+/// Sign-extends an immediate to nine trits (in balanced ternary that
+/// is literal zero-padding of the upper trits).
+fn extend<const N: usize>(imm: Trits<N>) -> Word9 {
+    let src = imm.trits();
+    let mut out = [Trit::Z; 9];
+    out[..N].copy_from_slice(&src);
+    Trits::from_trits(out)
+}
+
+/// Effective address `base + offset`, added tritwise, read as a signed
+/// per-trit value.
+fn address_value<const N: usize>(base: Word9, offset: Trits<N>) -> i64 {
+    let (sum, _) = arith::add_tritwise(base, extend(offset));
+    signed_value(sum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use art9_isa::assemble;
+
+    fn run(src: &str) -> ReferenceSim {
+        let p = assemble(src).unwrap();
+        let mut r = ReferenceSim::new(&p, 256);
+        for _ in 0..100_000 {
+            if r.step().unwrap().is_some() {
+                return r;
+            }
+        }
+        panic!("did not halt");
+    }
+
+    #[test]
+    fn countdown_loop_matches_functional_semantics() {
+        let r = run("LI t3, 10\nLI t4, 0\nloop:\nADD t4, t3\nADDI t3, -1\n\
+             MV t7, t3\nCOMP t7, t0\nBEQ t7, +, loop\nJAL t0, 0\n");
+        assert_eq!(r.reg(TReg::T4).to_i64(), 55);
+        assert_eq!(r.halted(), Some(HaltReason::JumpToSelf));
+    }
+
+    #[test]
+    fn load_store_roundtrip() {
+        let r = run(
+            ".data\nv: .word 41, 0\n.text\nLI t2, 0\nLOAD t3, t2, 0\nADDI t3, 1\n\
+             STORE t3, t2, 1\nLOAD t4, t2, 1\nJAL t0, 0\n",
+        );
+        assert_eq!(r.reg(TReg::T4).to_i64(), 42);
+        assert_eq!(r.tdm()[1].to_i64(), 42);
+    }
+
+    #[test]
+    fn memory_fault_detected() {
+        let p = assemble("LI t2, 121\nLUI t2, 40\nLOAD t3, t2, 0\n").unwrap();
+        let mut r = ReferenceSim::new(&p, 256);
+        let mut fault = None;
+        for _ in 0..10 {
+            match r.step() {
+                Err(e) => {
+                    fault = Some(e);
+                    break;
+                }
+                Ok(Some(_)) => break,
+                Ok(None) => {}
+            }
+        }
+        assert!(matches!(fault, Some(RefFault::MemoryFault { pc: 2, .. })));
+    }
+
+    #[test]
+    fn canonical_balanced_round_trips() {
+        for v in [-9841i64, -4821, -100, -1, 0, 1, 5, 100, 4821, 9841] {
+            assert_eq!(canonical_balanced(v).to_i64(), v, "{v}");
+        }
+    }
+
+    #[test]
+    fn compare_matches_packed() {
+        for a in [-9841i64, -100, -1, 0, 1, 100, 9841] {
+            for b in [-9841i64, -2, 0, 2, 9841] {
+                let wa = Word9::from_i64(a).unwrap();
+                let wb = Word9::from_i64(b).unwrap();
+                assert_eq!(compare_trits(wa, wb), wa.compare(wb), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn shift_matches_packed() {
+        for v in [-9841i64, -121, -5, 0, 5, 121, 9841] {
+            let w = Word9::from_i64(v).unwrap();
+            for k in 0..=4i64 {
+                assert_eq!(shift_trits(w, k), w.shl(k as usize), "{v} shl {k}");
+                assert_eq!(shift_trits(w, -k), w.shr(k as usize), "{v} shr {k}");
+            }
+        }
+    }
+}

@@ -128,10 +128,14 @@ impl CycleModel for PicoRv32Model {
         use Instr::*;
         match &current.instr {
             // Serial shifter: base + one cycle per 4 positions.
-            Alu { op: AluOp::Sll | AluOp::Srl | AluOp::Sra, .. }
-            | AluImm { op: AluOp::Sll | AluOp::Srl | AluOp::Sra, .. } => {
-                4 + (current.shift_amount as u64).div_ceil(4)
+            Alu {
+                op: AluOp::Sll | AluOp::Srl | AluOp::Sra,
+                ..
             }
+            | AluImm {
+                op: AluOp::Sll | AluOp::Srl | AluOp::Sra,
+                ..
+            } => 4 + (current.shift_amount as u64).div_ceil(4),
             Alu { .. } | AluImm { .. } | Lui { .. } | Auipc { .. } => 3,
             Load { .. } => 5,
             Store { .. } => 5,
@@ -193,9 +197,10 @@ impl CycleModel for VexRiscvModel {
         match &current.instr {
             Branch { .. } if current.taken => cycles += 2,
             Jal { .. } | Jalr { .. } => cycles += 2,
-            MulDiv { op: MulOp::Div | MulOp::Divu | MulOp::Rem | MulOp::Remu, .. } => {
-                cycles += 32
-            }
+            MulDiv {
+                op: MulOp::Div | MulOp::Divu | MulOp::Rem | MulOp::Remu,
+                ..
+            } => cycles += 32,
             _ => {}
         }
         cycles
@@ -263,7 +268,12 @@ mod tests {
         ";
         let (pico, vex) = both(src);
         assert_eq!(pico.instructions, vex.instructions);
-        assert!(pico.cycles > 2 * vex.cycles, "pico {} vex {}", pico.cycles, vex.cycles);
+        assert!(
+            pico.cycles > 2 * vex.cycles,
+            "pico {} vex {}",
+            pico.cycles,
+            vex.cycles
+        );
         // Sanity: PicoRV32 CPI sits in its documented ~3..6 band.
         assert!(pico.cpi() > 3.0 && pico.cpi() < 6.0, "cpi {}", pico.cpi());
         // VexRiscv CPI close to 1 with branchy code < 2.5.

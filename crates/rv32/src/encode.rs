@@ -36,7 +36,11 @@ fn check_imm(mnemonic: &'static str, value: i64, bits: u32) -> Result<(), Rv32Er
     let min = -(1i64 << (bits - 1));
     let max = (1i64 << (bits - 1)) - 1;
     if value < min || value > max {
-        return Err(Rv32Error::ImmediateRange { mnemonic, value, bits });
+        return Err(Rv32Error::ImmediateRange {
+            mnemonic,
+            value,
+            bits,
+        });
     }
     Ok(())
 }
@@ -78,11 +82,20 @@ pub fn encode(instr: &Instr) -> Result<u32, Rv32Error> {
                 | ((o >> 12) & 0xff) << 12;
             OP_JAL | rd(d) | imm
         }
-        Jalr { rd: d, rs1: s1, offset } => {
+        Jalr {
+            rd: d,
+            rs1: s1,
+            offset,
+        } => {
             check_imm("jalr", offset as i64, 12)?;
             OP_JALR | rd(d) | funct3(0) | rs1(s1) | (((offset as u32) & 0xfff) << 20)
         }
-        Branch { op, rs1: s1, rs2: s2, offset } => {
+        Branch {
+            op,
+            rs1: s1,
+            rs2: s2,
+            offset,
+        } => {
             check_imm(instr.mnemonic_static(), offset as i64, 13)?;
             let f3 = match op {
                 BranchOp::Eq => 0b000,
@@ -99,7 +112,12 @@ pub fn encode(instr: &Instr) -> Result<u32, Rv32Error> {
                 | ((o >> 11) & 1) << 7;
             OP_BRANCH | funct3(f3) | rs1(s1) | rs2(s2) | imm
         }
-        Load { op, rd: d, rs1: s1, offset } => {
+        Load {
+            op,
+            rd: d,
+            rs1: s1,
+            offset,
+        } => {
             check_imm(instr.mnemonic_static(), offset as i64, 12)?;
             let f3 = match op {
                 LoadOp::Lb => 0b000,
@@ -110,7 +128,12 @@ pub fn encode(instr: &Instr) -> Result<u32, Rv32Error> {
             };
             OP_LOAD | rd(d) | funct3(f3) | rs1(s1) | (((offset as u32) & 0xfff) << 20)
         }
-        Store { op, rs2: s2, rs1: s1, offset } => {
+        Store {
+            op,
+            rs2: s2,
+            rs1: s1,
+            offset,
+        } => {
             check_imm(instr.mnemonic_static(), offset as i64, 12)?;
             let f3 = match op {
                 StoreOp::Sb => 0b000,
@@ -121,7 +144,12 @@ pub fn encode(instr: &Instr) -> Result<u32, Rv32Error> {
             let imm = ((o >> 5) & 0x7f) << 25 | (o & 0x1f) << 7;
             OP_STORE | funct3(f3) | rs1(s1) | rs2(s2) | imm
         }
-        AluImm { op, rd: d, rs1: s1, imm } => {
+        AluImm {
+            op,
+            rd: d,
+            rs1: s1,
+            imm,
+        } => {
             let (f3, special) = match op {
                 AluOp::Add => (0b000, 0),
                 AluOp::Sll => (0b001, 0),
@@ -154,7 +182,12 @@ pub fn encode(instr: &Instr) -> Result<u32, Rv32Error> {
             }
             OP_ALU_IMM | rd(d) | funct3(f3) | rs1(s1) | (((imm as u32) & 0xfff) << 20) | special
         }
-        Alu { op, rd: d, rs1: s1, rs2: s2 } => {
+        Alu {
+            op,
+            rd: d,
+            rs1: s1,
+            rs2: s2,
+        } => {
             let (f3, f7) = match op {
                 AluOp::Add => (0b000, 0),
                 AluOp::Sub => (0b000, 0b0100000),
@@ -169,7 +202,12 @@ pub fn encode(instr: &Instr) -> Result<u32, Rv32Error> {
             };
             OP_ALU | rd(d) | funct3(f3) | rs1(s1) | rs2(s2) | (f7 << 25)
         }
-        MulDiv { op, rd: d, rs1: s1, rs2: s2 } => {
+        MulDiv {
+            op,
+            rd: d,
+            rs1: s1,
+            rs2: s2,
+        } => {
             let f3 = match op {
                 MulOp::Mul => 0b000,
                 MulOp::Mulh => 0b001,
@@ -224,16 +262,29 @@ pub fn decode(word: u32) -> Result<Instr, Rv32Error> {
     let illegal = Err(Rv32Error::IllegalInstruction { word });
 
     Ok(match opcode {
-        OP_LUI => Lui { rd: d, imm20: sign_extend(word >> 12, 20) },
-        OP_AUIPC => Auipc { rd: d, imm20: sign_extend(word >> 12, 20) },
+        OP_LUI => Lui {
+            rd: d,
+            imm20: sign_extend(word >> 12, 20),
+        },
+        OP_AUIPC => Auipc {
+            rd: d,
+            imm20: sign_extend(word >> 12, 20),
+        },
         OP_JAL => {
             let imm = (bit(word, 31) << 20)
                 | (((word >> 21) & 0x3ff) << 1)
                 | (bit(word, 20) << 11)
                 | (((word >> 12) & 0xff) << 12);
-            Jal { rd: d, offset: sign_extend(imm, 21) }
+            Jal {
+                rd: d,
+                offset: sign_extend(imm, 21),
+            }
         }
-        OP_JALR => Jalr { rd: d, rs1: s1, offset: sign_extend(word >> 20, 12) },
+        OP_JALR => Jalr {
+            rd: d,
+            rs1: s1,
+            offset: sign_extend(word >> 20, 12),
+        },
         OP_BRANCH => {
             let op = match f3 {
                 0b000 => BranchOp::Eq,
@@ -248,7 +299,12 @@ pub fn decode(word: u32) -> Result<Instr, Rv32Error> {
                 | (((word >> 25) & 0x3f) << 5)
                 | (((word >> 8) & 0xf) << 1)
                 | (bit(word, 7) << 11);
-            Branch { op, rs1: s1, rs2: s2, offset: sign_extend(imm, 13) }
+            Branch {
+                op,
+                rs1: s1,
+                rs2: s2,
+                offset: sign_extend(imm, 13),
+            }
         }
         OP_LOAD => {
             let op = match f3 {
@@ -259,7 +315,12 @@ pub fn decode(word: u32) -> Result<Instr, Rv32Error> {
                 0b101 => LoadOp::Lhu,
                 _ => return illegal,
             };
-            Load { op, rd: d, rs1: s1, offset: sign_extend(word >> 20, 12) }
+            Load {
+                op,
+                rd: d,
+                rs1: s1,
+                offset: sign_extend(word >> 20, 12),
+            }
         }
         OP_STORE => {
             let op = match f3 {
@@ -269,7 +330,12 @@ pub fn decode(word: u32) -> Result<Instr, Rv32Error> {
                 _ => return illegal,
             };
             let imm = (((word >> 25) & 0x7f) << 5) | ((word >> 7) & 0x1f);
-            Store { op, rs2: s2, rs1: s1, offset: sign_extend(imm, 12) }
+            Store {
+                op,
+                rs2: s2,
+                rs1: s1,
+                offset: sign_extend(imm, 12),
+            }
         }
         OP_ALU_IMM => {
             let imm = sign_extend(word >> 20, 12);
@@ -295,7 +361,12 @@ pub fn decode(word: u32) -> Result<Instr, Rv32Error> {
             } else {
                 imm
             };
-            AluImm { op, rd: d, rs1: s1, imm }
+            AluImm {
+                op,
+                rd: d,
+                rs1: s1,
+                imm,
+            }
         }
         OP_ALU => {
             if f7 == 1 {
@@ -309,7 +380,12 @@ pub fn decode(word: u32) -> Result<Instr, Rv32Error> {
                     0b110 => MulOp::Rem,
                     _ => MulOp::Remu,
                 };
-                MulDiv { op, rd: d, rs1: s1, rs2: s2 }
+                MulDiv {
+                    op,
+                    rd: d,
+                    rs1: s1,
+                    rs2: s2,
+                }
             } else {
                 let op = match (f3, f7) {
                     (0b000, 0) => AluOp::Add,
@@ -324,7 +400,12 @@ pub fn decode(word: u32) -> Result<Instr, Rv32Error> {
                     (0b111, 0) => AluOp::And,
                     _ => return illegal,
                 };
-                Alu { op, rd: d, rs1: s1, rs2: s2 }
+                Alu {
+                    op,
+                    rd: d,
+                    rs1: s1,
+                    rs2: s2,
+                }
             }
         }
         OP_MISC_MEM => Fence,
@@ -351,18 +432,69 @@ mod tests {
     #[test]
     fn encode_decode_representatives() {
         use Instr::*;
-        roundtrip(Lui { rd: Reg::A0, imm20: -1 }); // negative imm20 (0xfffff)
-        roundtrip(Lui { rd: Reg::A0, imm20: 0x7ffff }); // max positive
-        roundtrip(Auipc { rd: Reg::A1, imm20: 77 });
-        roundtrip(Jal { rd: Reg::RA, offset: -2048 });
-        roundtrip(Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 });
-        roundtrip(Branch { op: BranchOp::Ltu, rs1: Reg::A0, rs2: Reg::A1, offset: 4094 });
-        roundtrip(Load { op: LoadOp::Lhu, rd: Reg::A2, rs1: Reg::SP, offset: -4 });
-        roundtrip(Store { op: StoreOp::Sb, rs2: Reg::A2, rs1: Reg::SP, offset: 31 });
-        roundtrip(AluImm { op: AluOp::Sra, rd: Reg::A0, rs1: Reg::A0, imm: 31 });
-        roundtrip(AluImm { op: AluOp::And, rd: Reg::A0, rs1: Reg::A0, imm: -1 });
-        roundtrip(Alu { op: AluOp::Sub, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 });
-        roundtrip(MulDiv { op: MulOp::Remu, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 });
+        roundtrip(Lui {
+            rd: Reg::A0,
+            imm20: -1,
+        }); // negative imm20 (0xfffff)
+        roundtrip(Lui {
+            rd: Reg::A0,
+            imm20: 0x7ffff,
+        }); // max positive
+        roundtrip(Auipc {
+            rd: Reg::A1,
+            imm20: 77,
+        });
+        roundtrip(Jal {
+            rd: Reg::RA,
+            offset: -2048,
+        });
+        roundtrip(Jalr {
+            rd: Reg::ZERO,
+            rs1: Reg::RA,
+            offset: 0,
+        });
+        roundtrip(Branch {
+            op: BranchOp::Ltu,
+            rs1: Reg::A0,
+            rs2: Reg::A1,
+            offset: 4094,
+        });
+        roundtrip(Load {
+            op: LoadOp::Lhu,
+            rd: Reg::A2,
+            rs1: Reg::SP,
+            offset: -4,
+        });
+        roundtrip(Store {
+            op: StoreOp::Sb,
+            rs2: Reg::A2,
+            rs1: Reg::SP,
+            offset: 31,
+        });
+        roundtrip(AluImm {
+            op: AluOp::Sra,
+            rd: Reg::A0,
+            rs1: Reg::A0,
+            imm: 31,
+        });
+        roundtrip(AluImm {
+            op: AluOp::And,
+            rd: Reg::A0,
+            rs1: Reg::A0,
+            imm: -1,
+        });
+        roundtrip(Alu {
+            op: AluOp::Sub,
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            rs2: Reg::A2,
+        });
+        roundtrip(MulDiv {
+            op: MulOp::Remu,
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            rs2: Reg::A2,
+        });
         roundtrip(Fence);
         roundtrip(Ecall);
         roundtrip(Ebreak);
@@ -371,17 +503,32 @@ mod tests {
     #[test]
     fn canonical_nop_encoding() {
         // addi x0, x0, 0 == 0x00000013, the canonical RISC-V NOP.
-        let nop = Instr::AluImm { op: AluOp::Add, rd: Reg::ZERO, rs1: Reg::ZERO, imm: 0 };
+        let nop = Instr::AluImm {
+            op: AluOp::Add,
+            rd: Reg::ZERO,
+            rs1: Reg::ZERO,
+            imm: 0,
+        };
         assert_eq!(encode(&nop).unwrap(), 0x0000_0013);
     }
 
     #[test]
     fn known_encodings() {
         // addi a0, zero, 42 => 0x02a00513
-        let li = Instr::AluImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::ZERO, imm: 42 };
+        let li = Instr::AluImm {
+            op: AluOp::Add,
+            rd: Reg::A0,
+            rs1: Reg::ZERO,
+            imm: 42,
+        };
         assert_eq!(encode(&li).unwrap(), 0x02a0_0513);
         // add a0, a1, a2 => 0x00c58533
-        let add = Instr::Alu { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 };
+        let add = Instr::Alu {
+            op: AluOp::Add,
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            rs2: Reg::A2,
+        };
         assert_eq!(encode(&add).unwrap(), 0x00c5_8533);
         // ebreak => 0x00100073
         assert_eq!(encode(&Instr::Ebreak).unwrap(), 0x0010_0073);
@@ -396,9 +543,19 @@ mod tests {
             offset: 5000,
         };
         assert!(encode(&b).is_err());
-        let subi = Instr::AluImm { op: AluOp::Sub, rd: Reg::A0, rs1: Reg::A0, imm: 1 };
+        let subi = Instr::AluImm {
+            op: AluOp::Sub,
+            rd: Reg::A0,
+            rs1: Reg::A0,
+            imm: 1,
+        };
         assert!(encode(&subi).is_err());
-        let negshift = Instr::AluImm { op: AluOp::Sll, rd: Reg::A0, rs1: Reg::A0, imm: -1 };
+        let negshift = Instr::AluImm {
+            op: AluOp::Sll,
+            rd: Reg::A0,
+            rs1: Reg::A0,
+            imm: -1,
+        };
         assert!(encode(&negshift).is_err());
     }
 }

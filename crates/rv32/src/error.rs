@@ -69,11 +69,18 @@ impl fmt::Display for Rv32Error {
             }
             Rv32Error::UnknownRegister { name } => write!(f, "unknown register {name:?}"),
             Rv32Error::Assembly { line, message } => write!(f, "line {line}: {message}"),
-            Rv32Error::ImmediateRange { mnemonic, value, bits } => {
+            Rv32Error::ImmediateRange {
+                mnemonic,
+                value,
+                bits,
+            } => {
                 write!(f, "{mnemonic} immediate {value} does not fit {bits} bits")
             }
             Rv32Error::MemoryFault { pc, address, cause } => {
-                write!(f, "memory fault at pc={pc:#x}, address {address:#x}: {cause}")
+                write!(
+                    f,
+                    "memory fault at pc={pc:#x}, address {address:#x}: {cause}"
+                )
             }
             Rv32Error::PcOutOfRange { pc, text_bytes } => {
                 write!(f, "pc {pc:#x} outside text of {text_bytes} bytes")

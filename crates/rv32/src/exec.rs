@@ -168,13 +168,17 @@ impl Machine {
                 cause: "address out of range",
             });
         }
-        if address % width != 0 {
+        if !address.is_multiple_of(width) {
             let cause = if what == "load" {
                 "misaligned load"
             } else {
                 "misaligned store"
             };
-            return Err(Rv32Error::MemoryFault { pc: self.pc, address, cause });
+            return Err(Rv32Error::MemoryFault {
+                pc: self.pc,
+                address,
+                cause,
+            });
         }
         Ok(())
     }
@@ -190,7 +194,7 @@ impl Machine {
             return Ok(Err(reason));
         }
         let index = (self.pc / 4) as usize;
-        if self.pc % 4 != 0 || index > self.text.len() {
+        if !self.pc.is_multiple_of(4) || index > self.text.len() {
             return Err(Rv32Error::PcOutOfRange {
                 pc: self.pc,
                 text_bytes: self.text.len() * 4,
@@ -222,7 +226,12 @@ impl Machine {
                 next = target;
                 taken = true;
             }
-            Branch { op, rs1, rs2, offset } => {
+            Branch {
+                op,
+                rs1,
+                rs2,
+                offset,
+            } => {
                 let (a, b) = (self.reg(rs1), self.reg(rs2));
                 taken = match op {
                     BranchOp::Eq => a == b,
@@ -236,7 +245,12 @@ impl Machine {
                     next = pc.wrapping_add(offset as u32);
                 }
             }
-            Load { op, rd, rs1, offset } => {
+            Load {
+                op,
+                rd,
+                rs1,
+                offset,
+            } => {
                 let addr = self.reg(rs1).wrapping_add(offset as u32);
                 let value = match op {
                     LoadOp::Lw => self.load_word(addr)?,
@@ -265,7 +279,12 @@ impl Machine {
                 };
                 self.set_reg(rd, value);
             }
-            Store { op, rs2, rs1, offset } => {
+            Store {
+                op,
+                rs2,
+                rs1,
+                offset,
+            } => {
                 let addr = self.reg(rs1).wrapping_add(offset as u32);
                 let v = self.reg(rs2);
                 match op {
@@ -317,7 +336,11 @@ impl Machine {
         if next as usize == self.text.len() * 4 {
             self.halted = Some(HaltReason::FellOffEnd);
         }
-        Ok(Ok(Retire { instr, taken, shift_amount }))
+        Ok(Ok(Retire {
+            instr,
+            taken,
+            shift_amount,
+        }))
     }
 
     /// Runs until halt, up to `max_steps` instructions.
@@ -366,13 +389,7 @@ fn muldiv(op: MulOp, a: u32, b: u32) -> u32 {
                 ((a as i32).wrapping_div(b as i32)) as u32
             }
         }
-        MulOp::Divu => {
-            if b == 0 {
-                u32::MAX
-            } else {
-                a / b
-            }
-        }
+        MulOp::Divu => a.checked_div(b).unwrap_or(u32::MAX),
         MulOp::Rem => {
             if b == 0 {
                 a
@@ -406,7 +423,9 @@ mod tests {
 
     #[test]
     fn arithmetic_loop() {
-        let m = run_src("li a0, 10\nli a1, 0\nloop:\nadd a1, a1, a0\naddi a0, a0, -1\nbnez a0, loop\nebreak\n");
+        let m = run_src(
+            "li a0, 10\nli a1, 0\nloop:\nadd a1, a1, a0\naddi a0, a0, -1\nbnez a0, loop\nebreak\n",
+        );
         assert_eq!(m.reg(Reg::A1), 55);
         assert_eq!(m.halted(), Some(HaltReason::Break));
     }

@@ -281,8 +281,14 @@ impl Instr {
     pub fn writes(&self) -> Option<Reg> {
         use Instr::*;
         let rd = match self {
-            Lui { rd, .. } | Auipc { rd, .. } | Jal { rd, .. } | Jalr { rd, .. }
-            | Load { rd, .. } | AluImm { rd, .. } | Alu { rd, .. } | MulDiv { rd, .. } => *rd,
+            Lui { rd, .. }
+            | Auipc { rd, .. }
+            | Jal { rd, .. }
+            | Jalr { rd, .. }
+            | Load { rd, .. }
+            | AluImm { rd, .. }
+            | Alu { rd, .. }
+            | MulDiv { rd, .. } => *rd,
             Branch { .. } | Store { .. } | Fence | Ecall | Ebreak => return None,
         };
         (!rd.is_zero()).then_some(rd)
@@ -321,9 +327,15 @@ impl fmt::Display for Instr {
             Lui { rd, imm20 } | Auipc { rd, imm20 } => write!(f, "{m} {rd}, {imm20}"),
             Jal { rd, offset } => write!(f, "{m} {rd}, {offset}"),
             Jalr { rd, rs1, offset } => write!(f, "{m} {rd}, {offset}({rs1})"),
-            Branch { rs1, rs2, offset, .. } => write!(f, "{m} {rs1}, {rs2}, {offset}"),
-            Load { rd, rs1, offset, .. } => write!(f, "{m} {rd}, {offset}({rs1})"),
-            Store { rs2, rs1, offset, .. } => write!(f, "{m} {rs2}, {offset}({rs1})"),
+            Branch {
+                rs1, rs2, offset, ..
+            } => write!(f, "{m} {rs1}, {rs2}, {offset}"),
+            Load {
+                rd, rs1, offset, ..
+            } => write!(f, "{m} {rd}, {offset}({rs1})"),
+            Store {
+                rs2, rs1, offset, ..
+            } => write!(f, "{m} {rs2}, {offset}({rs1})"),
             AluImm { rd, rs1, imm, .. } => write!(f, "{m} {rd}, {rs1}, {imm}"),
             Alu { rd, rs1, rs2, .. } | MulDiv { rd, rs1, rs2, .. } => {
                 write!(f, "{m} {rd}, {rs1}, {rs2}")
@@ -339,28 +351,61 @@ mod tests {
 
     #[test]
     fn writes_to_x0_are_hidden() {
-        let i = Instr::AluImm { op: AluOp::Add, rd: Reg::ZERO, rs1: Reg::ZERO, imm: 0 };
+        let i = Instr::AluImm {
+            op: AluOp::Add,
+            rd: Reg::ZERO,
+            rs1: Reg::ZERO,
+            imm: 0,
+        };
         assert_eq!(i.writes(), None); // canonical RISC-V nop
-        let j = Instr::Jal { rd: Reg::ZERO, offset: 8 };
+        let j = Instr::Jal {
+            rd: Reg::ZERO,
+            offset: 8,
+        };
         assert_eq!(j.writes(), None);
     }
 
     #[test]
     fn reads_by_format() {
-        let s = Instr::Store { op: StoreOp::Sw, rs2: Reg::A0, rs1: Reg::SP, offset: 4 };
+        let s = Instr::Store {
+            op: StoreOp::Sw,
+            rs2: Reg::A0,
+            rs1: Reg::SP,
+            offset: 4,
+        };
         assert_eq!(s.reads(), vec![Reg::SP, Reg::A0]);
-        let b = Instr::Branch { op: BranchOp::Lt, rs1: Reg::A0, rs2: Reg::A1, offset: -8 };
+        let b = Instr::Branch {
+            op: BranchOp::Lt,
+            rs1: Reg::A0,
+            rs2: Reg::A1,
+            offset: -8,
+        };
         assert_eq!(b.reads(), vec![Reg::A0, Reg::A1]);
         assert!(b.is_branch() && b.is_control_flow());
     }
 
     #[test]
     fn display_forms() {
-        let lw = Instr::Load { op: LoadOp::Lw, rd: Reg::A0, rs1: Reg::SP, offset: 8 };
+        let lw = Instr::Load {
+            op: LoadOp::Lw,
+            rd: Reg::A0,
+            rs1: Reg::SP,
+            offset: 8,
+        };
         assert_eq!(lw.to_string(), "lw a0, 8(sp)");
-        let add = Instr::Alu { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 };
+        let add = Instr::Alu {
+            op: AluOp::Add,
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            rs2: Reg::A2,
+        };
         assert_eq!(add.to_string(), "add a0, a1, a2");
-        let mul = Instr::MulDiv { op: MulOp::Mul, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 };
+        let mul = Instr::MulDiv {
+            op: MulOp::Mul,
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            rs2: Reg::A2,
+        };
         assert_eq!(mul.to_string(), "mul a0, a1, a2");
     }
 }

@@ -94,7 +94,10 @@ enum Item<'a> {
 }
 
 fn err(line: usize, message: impl Into<String>) -> Rv32Error {
-    Rv32Error::Assembly { line, message: message.into() }
+    Rv32Error::Assembly {
+        line,
+        message: message.into(),
+    }
 }
 
 fn strip_comment(line: &str) -> &str {
@@ -168,7 +171,11 @@ pub fn parse_program(source: &str) -> Result<Rv32Program, Rv32Error> {
             {
                 break;
             }
-            let value = if in_data { DATA_BASE + data_addr } else { text_addr };
+            let value = if in_data {
+                DATA_BASE + data_addr
+            } else {
+                text_addr
+            };
             if symbols.insert(label.to_string(), value).is_some() {
                 return Err(err(number, format!("label {label:?} defined twice")));
             }
@@ -195,9 +202,7 @@ pub fn parse_program(source: &str) -> Result<Rv32Program, Rv32Error> {
                     items.push(Item::DataWords(number, vals));
                 }
                 "zero" | "space" => {
-                    let n: u32 = args
-                        .parse()
-                        .map_err(|_| err(number, "malformed .zero"))?;
+                    let n: u32 = args.parse().map_err(|_| err(number, "malformed .zero"))?;
                     // .zero counts bytes in GNU as; round up to words.
                     let words = n.div_ceil(4);
                     data_addr += 4 * words;
@@ -248,7 +253,11 @@ pub fn parse_program(source: &str) -> Result<Rv32Program, Rv32Error> {
         }
     }
 
-    Ok(Rv32Program { text, data, symbols })
+    Ok(Rv32Program {
+        text,
+        data,
+        symbols,
+    })
 }
 
 struct Ctx<'a> {
@@ -292,7 +301,11 @@ impl Ctx<'_> {
             .rfind(')')
             .ok_or_else(|| err(self.line, format!("expected off(base), got {s:?}")))?;
         let off_str = s[..open].trim();
-        let off = if off_str.is_empty() { 0 } else { self.value(off_str)? as i32 };
+        let off = if off_str.is_empty() {
+            0
+        } else {
+            self.value(off_str)? as i32
+        };
         let base = self.reg(s[open + 1..close].trim())?;
         Ok((off, base))
     }
@@ -304,7 +317,11 @@ fn lower(
     out: &mut Vec<Instr>,
 ) -> Result<(), Rv32Error> {
     use Instr::*;
-    let ctx = Ctx { line: l.number, symbols, addr: l.addr };
+    let ctx = Ctx {
+        line: l.number,
+        symbols,
+        addr: l.addr,
+    };
     let ops = &l.operands;
     let n = ops.len();
     let need = |k: usize| -> Result<(), Rv32Error> {
@@ -319,7 +336,12 @@ fn lower(
 
     let alu3 = |op: AluOp| -> Result<Instr, Rv32Error> {
         need(3)?;
-        Ok(Alu { op, rd: ctx.reg(ops[0])?, rs1: ctx.reg(ops[1])?, rs2: ctx.reg(ops[2])? })
+        Ok(Alu {
+            op,
+            rd: ctx.reg(ops[0])?,
+            rs1: ctx.reg(ops[1])?,
+            rs2: ctx.reg(ops[2])?,
+        })
     };
     let alui = |op: AluOp| -> Result<Instr, Rv32Error> {
         need(3)?;
@@ -332,7 +354,12 @@ fn lower(
     };
     let muldiv = |op: MulOp| -> Result<Instr, Rv32Error> {
         need(3)?;
-        Ok(MulDiv { op, rd: ctx.reg(ops[0])?, rs1: ctx.reg(ops[1])?, rs2: ctx.reg(ops[2])? })
+        Ok(MulDiv {
+            op,
+            rd: ctx.reg(ops[0])?,
+            rs1: ctx.reg(ops[1])?,
+            rs2: ctx.reg(ops[2])?,
+        })
     };
     let branch = |op: BranchOp, swap: bool| -> Result<Instr, Rv32Error> {
         need(3)?;
@@ -348,36 +375,67 @@ fn lower(
         need(2)?;
         let r = ctx.reg(ops[0])?;
         let (rs1, rs2) = if swap { (Reg::ZERO, r) } else { (r, Reg::ZERO) };
-        Ok(Branch { op, rs1, rs2, offset: ctx.target(ops[1])? })
+        Ok(Branch {
+            op,
+            rs1,
+            rs2,
+            offset: ctx.target(ops[1])?,
+        })
     };
     let load = |op: LoadOp| -> Result<Instr, Rv32Error> {
         need(2)?;
         let (offset, rs1) = ctx.mem_operand(ops[1])?;
-        Ok(Load { op, rd: ctx.reg(ops[0])?, rs1, offset })
+        Ok(Load {
+            op,
+            rd: ctx.reg(ops[0])?,
+            rs1,
+            offset,
+        })
     };
     let store = |op: StoreOp| -> Result<Instr, Rv32Error> {
         need(2)?;
         let (offset, rs1) = ctx.mem_operand(ops[1])?;
-        Ok(Store { op, rs2: ctx.reg(ops[0])?, rs1, offset })
+        Ok(Store {
+            op,
+            rs2: ctx.reg(ops[0])?,
+            rs1,
+            offset,
+        })
     };
 
     let instr = match l.mnemonic.as_str() {
         // --- real instructions ---------------------------------------
         "lui" => {
             need(2)?;
-            Lui { rd: ctx.reg(ops[0])?, imm20: ctx.value(ops[1])? as i32 }
+            Lui {
+                rd: ctx.reg(ops[0])?,
+                imm20: ctx.value(ops[1])? as i32,
+            }
         }
         "auipc" => {
             need(2)?;
-            Auipc { rd: ctx.reg(ops[0])?, imm20: ctx.value(ops[1])? as i32 }
+            Auipc {
+                rd: ctx.reg(ops[0])?,
+                imm20: ctx.value(ops[1])? as i32,
+            }
         }
         "jal" => match n {
-            1 => Jal { rd: Reg::RA, offset: ctx.target(ops[0])? },
-            2 => Jal { rd: ctx.reg(ops[0])?, offset: ctx.target(ops[1])? },
+            1 => Jal {
+                rd: Reg::RA,
+                offset: ctx.target(ops[0])?,
+            },
+            2 => Jal {
+                rd: ctx.reg(ops[0])?,
+                offset: ctx.target(ops[1])?,
+            },
             _ => return Err(err(l.number, "jal expects 1 or 2 operands")),
         },
         "jalr" => match n {
-            1 => Jalr { rd: Reg::RA, rs1: ctx.reg(ops[0])?, offset: 0 },
+            1 => Jalr {
+                rd: Reg::RA,
+                rs1: ctx.reg(ops[0])?,
+                offset: 0,
+            },
             3 => Jalr {
                 rd: ctx.reg(ops[0])?,
                 rs1: ctx.reg(ops[1])?,
@@ -385,7 +443,11 @@ fn lower(
             },
             2 => {
                 let (offset, rs1) = ctx.mem_operand(ops[1])?;
-                Jalr { rd: ctx.reg(ops[0])?, rs1, offset }
+                Jalr {
+                    rd: ctx.reg(ops[0])?,
+                    rs1,
+                    offset,
+                }
             }
             _ => return Err(err(l.number, "jalr operand count")),
         },
@@ -441,20 +503,35 @@ fn lower(
         // --- pseudo-instructions --------------------------------------
         "nop" => {
             need(0)?;
-            AluImm { op: AluOp::Add, rd: Reg::ZERO, rs1: Reg::ZERO, imm: 0 }
+            AluImm {
+                op: AluOp::Add,
+                rd: Reg::ZERO,
+                rs1: Reg::ZERO,
+                imm: 0,
+            }
         }
         "li" => {
             need(2)?;
             let rd = ctx.reg(ops[0])?;
             let v = ctx.value(ops[1])?;
             if (-2048..=2047).contains(&v) {
-                AluImm { op: AluOp::Add, rd, rs1: Reg::ZERO, imm: v as i32 }
+                AluImm {
+                    op: AluOp::Add,
+                    rd,
+                    rs1: Reg::ZERO,
+                    imm: v as i32,
+                }
             } else {
                 let v32 = v as i32;
                 let lo = ((v32 & 0xfff) ^ 0x800) - 0x800;
                 let hi = (v32.wrapping_sub(lo)) >> 12;
                 out.push(Lui { rd, imm20: hi });
-                AluImm { op: AluOp::Add, rd, rs1: rd, imm: lo }
+                AluImm {
+                    op: AluOp::Add,
+                    rd,
+                    rs1: rd,
+                    imm: lo,
+                }
             }
         }
         "la" => {
@@ -464,35 +541,75 @@ fn lower(
             let lo = ((v & 0xfff) ^ 0x800) - 0x800;
             let hi = (v.wrapping_sub(lo)) >> 12;
             out.push(Lui { rd, imm20: hi });
-            AluImm { op: AluOp::Add, rd, rs1: rd, imm: lo }
+            AluImm {
+                op: AluOp::Add,
+                rd,
+                rs1: rd,
+                imm: lo,
+            }
         }
         "mv" => {
             need(2)?;
-            AluImm { op: AluOp::Add, rd: ctx.reg(ops[0])?, rs1: ctx.reg(ops[1])?, imm: 0 }
+            AluImm {
+                op: AluOp::Add,
+                rd: ctx.reg(ops[0])?,
+                rs1: ctx.reg(ops[1])?,
+                imm: 0,
+            }
         }
         "not" => {
             need(2)?;
-            AluImm { op: AluOp::Xor, rd: ctx.reg(ops[0])?, rs1: ctx.reg(ops[1])?, imm: -1 }
+            AluImm {
+                op: AluOp::Xor,
+                rd: ctx.reg(ops[0])?,
+                rs1: ctx.reg(ops[1])?,
+                imm: -1,
+            }
         }
         "neg" => {
             need(2)?;
-            Alu { op: AluOp::Sub, rd: ctx.reg(ops[0])?, rs1: Reg::ZERO, rs2: ctx.reg(ops[1])? }
+            Alu {
+                op: AluOp::Sub,
+                rd: ctx.reg(ops[0])?,
+                rs1: Reg::ZERO,
+                rs2: ctx.reg(ops[1])?,
+            }
         }
         "seqz" => {
             need(2)?;
-            AluImm { op: AluOp::Sltu, rd: ctx.reg(ops[0])?, rs1: ctx.reg(ops[1])?, imm: 1 }
+            AluImm {
+                op: AluOp::Sltu,
+                rd: ctx.reg(ops[0])?,
+                rs1: ctx.reg(ops[1])?,
+                imm: 1,
+            }
         }
         "snez" => {
             need(2)?;
-            Alu { op: AluOp::Sltu, rd: ctx.reg(ops[0])?, rs1: Reg::ZERO, rs2: ctx.reg(ops[1])? }
+            Alu {
+                op: AluOp::Sltu,
+                rd: ctx.reg(ops[0])?,
+                rs1: Reg::ZERO,
+                rs2: ctx.reg(ops[1])?,
+            }
         }
         "sltz" => {
             need(2)?;
-            Alu { op: AluOp::Slt, rd: ctx.reg(ops[0])?, rs1: ctx.reg(ops[1])?, rs2: Reg::ZERO }
+            Alu {
+                op: AluOp::Slt,
+                rd: ctx.reg(ops[0])?,
+                rs1: ctx.reg(ops[1])?,
+                rs2: Reg::ZERO,
+            }
         }
         "sgtz" => {
             need(2)?;
-            Alu { op: AluOp::Slt, rd: ctx.reg(ops[0])?, rs1: Reg::ZERO, rs2: ctx.reg(ops[1])? }
+            Alu {
+                op: AluOp::Slt,
+                rd: ctx.reg(ops[0])?,
+                rs1: Reg::ZERO,
+                rs2: ctx.reg(ops[1])?,
+            }
         }
         "beqz" => branch_zero(BranchOp::Eq, false)?,
         "bnez" => branch_zero(BranchOp::Ne, false)?,
@@ -502,19 +619,33 @@ fn lower(
         "blez" => branch_zero(BranchOp::Ge, true)?,
         "j" => {
             need(1)?;
-            Jal { rd: Reg::ZERO, offset: ctx.target(ops[0])? }
+            Jal {
+                rd: Reg::ZERO,
+                offset: ctx.target(ops[0])?,
+            }
         }
         "jr" => {
             need(1)?;
-            Jalr { rd: Reg::ZERO, rs1: ctx.reg(ops[0])?, offset: 0 }
+            Jalr {
+                rd: Reg::ZERO,
+                rs1: ctx.reg(ops[0])?,
+                offset: 0,
+            }
         }
         "call" => {
             need(1)?;
-            Jal { rd: Reg::RA, offset: ctx.target(ops[0])? }
+            Jal {
+                rd: Reg::RA,
+                offset: ctx.target(ops[0])?,
+            }
         }
         "ret" => {
             need(0)?;
-            Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 }
+            Jalr {
+                rd: Reg::ZERO,
+                rs1: Reg::RA,
+                offset: 0,
+            }
         }
         other => return Err(err(l.number, format!("unknown mnemonic {other:?}"))),
     };
@@ -616,13 +747,23 @@ mod tests {
     fn pseudo_branches_swap_operands() {
         let p = parse_program("x: bgt a0, a1, x\nble a0, a1, x\n").unwrap();
         match p.text()[0] {
-            Instr::Branch { op: BranchOp::Lt, rs1, rs2, .. } => {
+            Instr::Branch {
+                op: BranchOp::Lt,
+                rs1,
+                rs2,
+                ..
+            } => {
                 assert_eq!((rs1, rs2), (Reg::A1, Reg::A0));
             }
             ref other => panic!("{other}"),
         }
         match p.text()[1] {
-            Instr::Branch { op: BranchOp::Ge, rs1, rs2, .. } => {
+            Instr::Branch {
+                op: BranchOp::Ge,
+                rs1,
+                rs2,
+                ..
+            } => {
                 assert_eq!((rs1, rs2), (Reg::A1, Reg::A0));
             }
             ref other => panic!("{other}"),

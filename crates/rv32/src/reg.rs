@@ -107,7 +107,9 @@ impl FromStr for Reg {
             .iter()
             .position(|n| *n == lower)
             .map(|i| Reg(i as u8))
-            .ok_or_else(|| Rv32Error::UnknownRegister { name: s.to_string() })
+            .ok_or_else(|| Rv32Error::UnknownRegister {
+                name: s.to_string(),
+            })
     }
 }
 

@@ -161,19 +161,44 @@ mod tests {
     fn per_instruction_mappings() {
         use Instr::*;
         // li small -> MOVS (1 halfword)
-        let li = AluImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::ZERO, imm: 100 };
+        let li = AluImm {
+            op: AluOp::Add,
+            rd: Reg::A0,
+            rs1: Reg::ZERO,
+            imm: 100,
+        };
         assert_eq!(thumb_halfwords(&li), 1);
         // li negative -> 2 (no negative MOVS immediate)
-        let lin = AluImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::ZERO, imm: -5 };
+        let lin = AluImm {
+            op: AluOp::Add,
+            rd: Reg::A0,
+            rs1: Reg::ZERO,
+            imm: -5,
+        };
         assert_eq!(thumb_halfwords(&lin), 2);
         // 3-address xor -> MOV + EORS
-        let x3 = Alu { op: AluOp::Xor, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 };
+        let x3 = Alu {
+            op: AluOp::Xor,
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            rs2: Reg::A2,
+        };
         assert_eq!(thumb_halfwords(&x3), 2);
         // in-place xor -> EORS
-        let x2 = Alu { op: AluOp::Xor, rd: Reg::A0, rs1: Reg::A0, rs2: Reg::A2 };
+        let x2 = Alu {
+            op: AluOp::Xor,
+            rd: Reg::A0,
+            rs1: Reg::A0,
+            rs2: Reg::A2,
+        };
         assert_eq!(thumb_halfwords(&x2), 1);
         // division -> library call
-        let d = MulDiv { op: MulOp::Div, rd: Reg::A0, rs1: Reg::A0, rs2: Reg::A1 };
+        let d = MulDiv {
+            op: MulOp::Div,
+            rd: Reg::A0,
+            rs1: Reg::A0,
+            rs2: Reg::A1,
+        };
         assert_eq!(thumb_halfwords(&d), 10);
     }
 

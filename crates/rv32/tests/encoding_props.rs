@@ -55,7 +55,12 @@ fn instr() -> impl Strategy<Value = Instr> {
             reg(),
             (-2048i32..=2047).prop_map(|o| o * 2)
         )
-            .prop_map(|(op, rs1, rs2, offset)| Branch { op, rs1, rs2, offset }),
+            .prop_map(|(op, rs1, rs2, offset)| Branch {
+                op,
+                rs1,
+                rs2,
+                offset
+            }),
         (
             prop_oneof![
                 Just(LoadOp::Lb),
@@ -68,18 +73,38 @@ fn instr() -> impl Strategy<Value = Instr> {
             reg(),
             imm12()
         )
-            .prop_map(|(op, rd, rs1, offset)| Load { op, rd, rs1, offset }),
+            .prop_map(|(op, rd, rs1, offset)| Load {
+                op,
+                rd,
+                rs1,
+                offset
+            }),
         (
             prop_oneof![Just(StoreOp::Sb), Just(StoreOp::Sh), Just(StoreOp::Sw)],
             reg(),
             reg(),
             imm12()
         )
-            .prop_map(|(op, rs2, rs1, offset)| Store { op, rs2, rs1, offset }),
+            .prop_map(|(op, rs2, rs1, offset)| Store {
+                op,
+                rs2,
+                rs1,
+                offset
+            }),
         (alu_op(), reg(), reg(), imm12(), shamt()).prop_map(|(op, rd, rs1, imm, sh)| {
             match op {
-                AluOp::Sub => AluImm { op: AluOp::Add, rd, rs1, imm },
-                AluOp::Sll | AluOp::Srl | AluOp::Sra => AluImm { op, rd, rs1, imm: sh },
+                AluOp::Sub => AluImm {
+                    op: AluOp::Add,
+                    rd,
+                    rs1,
+                    imm,
+                },
+                AluOp::Sll | AluOp::Srl | AluOp::Sra => AluImm {
+                    op,
+                    rd,
+                    rs1,
+                    imm: sh,
+                },
                 _ => AluImm { op, rd, rs1, imm },
             }
         }),

@@ -49,6 +49,46 @@ pub fn add_tritwise<const N: usize>(a: Trits<N>, b: Trits<N>) -> (Trits<N>, Trit
     (Trits::from_trits(out), carry)
 }
 
+/// Trit-serial negation: STI applied to every trit — the per-trit
+/// reference for the packed plane-swap behind
+/// [`Trits::negate`](crate::Trits::negate).
+///
+/// # Examples
+///
+/// ```
+/// use ternary::{arith, Word9};
+///
+/// let a = Word9::from_i64(-4821)?;
+/// assert_eq!(arith::negate_tritwise(a), a.negate());
+/// assert_eq!(arith::negate_tritwise(arith::negate_tritwise(a)), a);
+/// # Ok::<(), ternary::TernaryError>(())
+/// ```
+pub fn negate_tritwise<const N: usize>(a: Trits<N>) -> Trits<N> {
+    let mut out = a.trits();
+    for t in &mut out {
+        *t = t.sti();
+    }
+    Trits::from_trits(out)
+}
+
+/// Trit-serial subtraction: `a − b = a + STI(b)` chained through the
+/// ripple adder — the per-trit reference for
+/// [`Trits::wrapping_sub`](crate::Trits::wrapping_sub).
+///
+/// # Examples
+///
+/// ```
+/// use ternary::{arith, Word9};
+///
+/// let a = Word9::from_i64(100)?;
+/// let b = Word9::from_i64(-30)?;
+/// assert_eq!(arith::sub_tritwise(a, b), a.wrapping_sub(b));
+/// # Ok::<(), ternary::TernaryError>(())
+/// ```
+pub fn sub_tritwise<const N: usize>(a: Trits<N>, b: Trits<N>) -> Trits<N> {
+    add_tritwise(a, negate_tritwise(b)).0
+}
+
 /// Balanced base-3 shift-and-add multiplication, entirely on trits.
 ///
 /// For each trit of the multiplier (least significant first), the
@@ -139,7 +179,11 @@ pub fn div_rem_tritwise<const N: usize>(
         }
     }
 
-    let q = if neg_a != neg_b { quotient.negate() } else { quotient };
+    let q = if neg_a != neg_b {
+        quotient.negate()
+    } else {
+        quotient
+    };
     let r = if neg_a { rem.negate() } else { rem };
     Ok((q, r))
 }
@@ -176,16 +220,24 @@ mod tests {
     }
 
     #[test]
+    fn negate_and_sub_match_packed() {
+        for a in [-9841i64, -4921, -1, 0, 1, 123, 9841] {
+            for b in [-9841i64, -123, 0, 1, 4921, 9841] {
+                let wa = Word9::from_i64(a).unwrap();
+                let wb = Word9::from_i64(b).unwrap();
+                assert_eq!(negate_tritwise(wa), wa.negate(), "-{a}");
+                assert_eq!(sub_tritwise(wa, wb), wa.wrapping_sub(wb), "{a} - {b}");
+            }
+        }
+    }
+
+    #[test]
     fn mul_matches_integer_domain() {
         for a in [-9841i64, -123, -1, 0, 1, 81, 4921] {
             for b in [-121i64, -2, 0, 3, 27, 121] {
                 let wa = Word9::from_i64(a).unwrap();
                 let wb = Word9::from_i64(b).unwrap();
-                assert_eq!(
-                    mul_tritwise(wa, wb),
-                    wa.wrapping_mul(wb),
-                    "{a} * {b}"
-                );
+                assert_eq!(mul_tritwise(wa, wb), wa.wrapping_mul(wb), "{a} * {b}");
             }
         }
     }

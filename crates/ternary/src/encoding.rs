@@ -142,7 +142,11 @@ pub fn pack<const N: usize>(word: &Trits<N>) -> u64 {
 /// ```
 pub fn unpack<const N: usize>(bits: u64) -> Result<Trits<N>, TernaryError> {
     assert!(2 * N <= 64, "BCT packing supports at most 32 trits");
-    let window = if 2 * N == 64 { !0 } else { (1u64 << (2 * N)) - 1 };
+    let window = if 2 * N == 64 {
+        !0
+    } else {
+        (1u64 << (2 * N)) - 1
+    };
     let bits = bits & window;
     let invalid = bits & (bits >> 1) & EVEN;
     if invalid != 0 {

@@ -62,10 +62,9 @@ impl fmt::Display for TernaryError {
                 f,
                 "value {value} does not fit a {width}-trit balanced word (range is -{max}..={max})"
             ),
-            TernaryError::WordLength { found, expected } => write!(
-                f,
-                "expected {expected} trit characters, found {found}"
-            ),
+            TernaryError::WordLength { found, expected } => {
+                write!(f, "expected {expected} trit characters, found {found}")
+            }
             TernaryError::AddressRange { address, size } => write!(
                 f,
                 "address {address} is outside the memory (size {size} words)"

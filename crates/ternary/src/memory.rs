@@ -218,7 +218,8 @@ mod tests {
     fn word_addressing() {
         let mut m = TernaryMemory::new(32);
         let addr = Word9::from_i64(7).unwrap();
-        m.write_word_addr(addr, Word9::from_i64(-9).unwrap()).unwrap();
+        m.write_word_addr(addr, Word9::from_i64(-9).unwrap())
+            .unwrap();
         assert_eq!(m.read_word_addr(addr).unwrap().to_i64(), -9);
     }
 }

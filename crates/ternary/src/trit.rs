@@ -229,7 +229,7 @@ impl Trit {
     #[inline]
     pub const fn full_add(self, rhs: Self, cin: Self) -> (Self, Self) {
         let total = self.value() + rhs.value() + cin.value(); // in [-3, 3]
-        // Balanced decomposition: total = sum + 3*carry, sum in [-1,1].
+                                                              // Balanced decomposition: total = sum + 3*carry, sum in [-1,1].
         let (sum, carry) = match total {
             -3 => (0i8, -1i8),
             -2 => (1, -1),

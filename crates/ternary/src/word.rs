@@ -122,10 +122,16 @@ impl<const N: usize> Trits<N> {
     pub const ZERO: Self = Self { pos: 0, neg: 0 };
 
     /// The most positive representable word, `(3^N − 1) / 2` (all trits +1).
-    pub const MAX: Self = Self { pos: Self::MASK, neg: 0 };
+    pub const MAX: Self = Self {
+        pos: Self::MASK,
+        neg: 0,
+    };
 
     /// The most negative representable word, `−(3^N − 1) / 2` (all trits −1).
-    pub const MIN: Self = Self { pos: 0, neg: Self::MASK };
+    pub const MIN: Self = Self {
+        pos: 0,
+        neg: Self::MASK,
+    };
 
     /// Largest magnitude representable: `(3^N − 1) / 2`.
     pub const MAX_VALUE: i64 = (pow3(N) - 1) / 2;
@@ -396,7 +402,12 @@ impl<const N: usize> Trits<N> {
     /// ```
     #[inline]
     pub fn field<const M: usize>(&self, lo: usize) -> Trits<M> {
-        assert!(lo + M <= N, "field [{}..{}] out of a {N}-trit word", lo, lo + M);
+        assert!(
+            lo + M <= N,
+            "field [{}..{}] out of a {N}-trit word",
+            lo,
+            lo + M
+        );
         Trits::<M> {
             pos: (self.pos >> lo) & Trits::<M>::MASK,
             neg: (self.neg >> lo) & Trits::<M>::MASK,
@@ -413,7 +424,12 @@ impl<const N: usize> Trits<N> {
     #[inline]
     #[must_use]
     pub fn with_field<const M: usize>(self, lo: usize, value: Trits<M>) -> Self {
-        assert!(lo + M <= N, "field [{}..{}] out of a {N}-trit word", lo, lo + M);
+        assert!(
+            lo + M <= N,
+            "field [{}..{}] out of a {N}-trit word",
+            lo,
+            lo + M
+        );
         let clear = !(Trits::<M>::MASK << lo);
         Self {
             pos: (self.pos & clear) | (value.pos << lo),
@@ -1101,7 +1117,10 @@ mod tests {
         }
         // Narrowing keeps low trits.
         let w = Word9::from_i64(100).unwrap();
-        assert_eq!(w.resize::<3>().to_i64(), Trits::<3>::from_i64_wrapping(100).to_i64());
+        assert_eq!(
+            w.resize::<3>().to_i64(),
+            Trits::<3>::from_i64_wrapping(100).to_i64()
+        );
     }
 
     #[test]

@@ -4,19 +4,33 @@
 //! the classic early-exit-free nested loop (worst-case-shaped input:
 //! reverse-sorted with duplicates sprinkled in by the LCG).
 
-use crate::{lcg_values, Workload};
+use crate::{lcg_values, Generator, Workload};
 
-/// Builds the bubble-sort workload over `n` elements.
+/// Builds the bubble-sort workload over `n` elements with the paper
+/// suite's canonical input seed.
 ///
 /// # Panics
 ///
 /// Panics if `n < 2` or `n > 48` (the array must fit the ternary TDM
 /// alongside the runtime scratch area).
 pub fn bubble_sort(n: usize) -> Workload {
-    assert!((2..=48).contains(&n), "bubble_sort supports 2..=48 elements");
+    bubble_sort_seeded(n, 7)
+}
+
+/// [`bubble_sort`] with an explicit input seed (noise values change,
+/// structure and golden reference recompute accordingly).
+///
+/// # Panics
+///
+/// As [`bubble_sort`].
+pub fn bubble_sort_seeded(n: usize, seed: u64) -> Workload {
+    assert!(
+        (2..=48).contains(&n),
+        "bubble_sort supports 2..=48 elements"
+    );
     // Reverse-sorted backbone with LCG noise: adversarial but
     // deterministic.
-    let noise = lcg_values(7, n, 0, 9);
+    let noise = lcg_values(seed, n, 0, 9);
     let input: Vec<i64> = (0..n).map(|i| (n - i) as i64 * 2 + noise[i]).collect();
     let mut expected = input.clone();
     expected.sort_unstable();
@@ -56,6 +70,7 @@ done:
     );
 
     Workload {
+        generator: Some(Generator::BubbleSort { n }),
         name: "bubble-sort",
         description: format!("in-place bubble sort of {n} words"),
         source,
@@ -91,7 +106,11 @@ mod tests {
         let mut pipe = PipelinedSim::new(&t.program);
         let stats = pipe.run(4_000_000).unwrap();
         w.verify_art9(pipe.state()).unwrap();
-        assert!(stats.cpi() < 2.0, "pipelined CPI stays near 1: {}", stats.cpi());
+        assert!(
+            stats.cpi() < 2.0,
+            "pipelined CPI stays near 1: {}",
+            stats.cpi()
+        );
     }
 
     #[test]

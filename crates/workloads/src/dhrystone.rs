@@ -20,7 +20,7 @@
 //! 6. `Proc_2`: conditional integer update against a char global;
 //! 7. the `Int_2_Loc * Int_1_Loc` / division tail of the original.
 
-use crate::{lcg_values, Workload};
+use crate::{lcg_values, Generator, Workload};
 
 /// Dhrystone's DMIPS divisor: VAX 11/780 Dhrystones per second.
 pub const DHRYSTONE_DIVISOR: f64 = 1757.0;
@@ -35,11 +35,21 @@ const ARR2_WORDS: usize = 64;
 ///
 /// Panics if `iterations` is 0 or greater than 5000 (cycle budget).
 pub fn dhrystone(iterations: usize) -> Workload {
+    dhrystone_seeded(iterations, 31)
+}
+
+/// [`dhrystone`] with the string contents drawn from `seed` (the
+/// record and array data are structural and stay fixed).
+///
+/// # Panics
+///
+/// As [`dhrystone`].
+pub fn dhrystone_seeded(iterations: usize, seed: u64) -> Workload {
     assert!((1..=5000).contains(&iterations));
 
     // Strings: equal for six words, then diverge (Func_2 comparison
     // runs seven words deep every iteration).
-    let mut str1 = lcg_values(31, STR_WORDS, 65, 90);
+    let mut str1 = lcg_values(seed, STR_WORDS, 65, 90);
     let mut str2 = str1.clone();
     str1[6] = 70;
     str2[6] = 81;
@@ -101,16 +111,7 @@ pub fn dhrystone(iterations: usize) -> Workload {
             }
         }
     };
-    let expected = vec![
-        int_glob,
-        bool_glob,
-        ch1,
-        ch2,
-        int1,
-        int2,
-        int3,
-        rec_b[3],
-    ];
+    let expected = vec![int_glob, bool_glob, ch1, ch2, int1, int2, int3, rec_b[3]];
 
     let fmt = |v: &[i64]| v.iter().map(i64::to_string).collect::<Vec<_>>().join(", ");
     let (s1, s2, ra) = (fmt(&str1), fmt(&str2), fmt(&rec_a));
@@ -268,6 +269,7 @@ p1_loop:
     let output_offset = 16 + 32 + 4 * ARR2_WORDS + 4 * REC_WORDS * 2 + 4 * STR_WORDS * 2;
 
     Workload {
+        generator: Some(Generator::Dhrystone { iterations }),
         name: "dhrystone",
         description: format!("dhrystone-2.1-shaped kernel, {iterations} iterations"),
         source,

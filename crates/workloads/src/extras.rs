@@ -3,7 +3,7 @@
 //! compiling framework. Both follow the same contract (word-addressed
 //! data, values within ±9841).
 
-use crate::{lcg_values, Workload};
+use crate::{lcg_values, split_seed, Generator, Workload};
 
 /// Iterative Fibonacci: `fib(0..n)` written to the output buffer.
 /// Pure register arithmetic plus stores — a control-flow-heavy,
@@ -45,6 +45,7 @@ fib_loop:
     );
 
     Workload {
+        generator: Some(Generator::Fibonacci { n }),
         name: "fibonacci",
         description: format!("iterative fibonacci, {n} terms"),
         source,
@@ -61,9 +62,23 @@ fib_loop:
 ///
 /// Panics if `n < 1` or `n > 40` (accumulator must stay in range).
 pub fn dot_product(n: usize) -> Workload {
+    dot_product_streams(n, 41, 43)
+}
+
+/// [`dot_product`] with both vectors drawn from `seed` (one derived
+/// stream per vector).
+///
+/// # Panics
+///
+/// As [`dot_product`].
+pub fn dot_product_seeded(n: usize, seed: u64) -> Workload {
+    dot_product_streams(n, split_seed(seed, 0), split_seed(seed, 1))
+}
+
+fn dot_product_streams(n: usize, seed_x: u64, seed_y: u64) -> Workload {
     assert!((1..=40).contains(&n));
-    let xs = lcg_values(41, n, -7, 7);
-    let ys = lcg_values(43, n, -7, 7);
+    let xs = lcg_values(seed_x, n, -7, 7);
+    let ys = lcg_values(seed_y, n, -7, 7);
     let dot: i64 = xs.iter().zip(&ys).map(|(x, y)| x * y).sum();
 
     let fmt = |v: &[i64]| v.iter().map(i64::to_string).collect::<Vec<_>>().join(", ");
@@ -97,6 +112,7 @@ dot_loop:
     );
 
     Workload {
+        generator: Some(Generator::DotProduct { n }),
         name: "dot-product",
         description: format!("{n}-element integer dot product"),
         source,

@@ -9,18 +9,36 @@
 //! element per `k`, the B pointer by one row per `k` and rewinds by
 //! `4n² − 4` per `j`.
 
-use crate::{lcg_values, Workload};
+use crate::{lcg_values, split_seed, Generator, Workload};
 
-/// Builds the `n×n` GEMM workload.
+/// Builds the `n×n` GEMM workload with the paper suite's canonical
+/// input streams.
 ///
 /// # Panics
 ///
 /// Panics if `n < 2` or `n > 7` (three `n²` matrices must fit the TDM
 /// and products must stay inside the 9-trit range).
 pub fn gemm(n: usize) -> Workload {
-    assert!((2..=7).contains(&n), "gemm supports 2..=7 (TDM/range limits)");
-    let a = lcg_values(11, n * n, 0, 6);
-    let b = lcg_values(13, n * n, 0, 6);
+    gemm_streams(n, 11, 13)
+}
+
+/// [`gemm`] with both input matrices drawn from `seed` (one derived
+/// stream per matrix).
+///
+/// # Panics
+///
+/// As [`gemm`].
+pub fn gemm_seeded(n: usize, seed: u64) -> Workload {
+    gemm_streams(n, split_seed(seed, 0), split_seed(seed, 1))
+}
+
+fn gemm_streams(n: usize, seed_a: u64, seed_b: u64) -> Workload {
+    assert!(
+        (2..=7).contains(&n),
+        "gemm supports 2..=7 (TDM/range limits)"
+    );
+    let a = lcg_values(seed_a, n * n, 0, 6);
+    let b = lcg_values(seed_b, n * n, 0, 6);
     let mut c = vec![0i64; n * n];
     for i in 0..n {
         for j in 0..n {
@@ -32,12 +50,7 @@ pub fn gemm(n: usize) -> Workload {
         }
     }
 
-    let fmt_words = |v: &[i64]| {
-        v.iter()
-            .map(i64::to_string)
-            .collect::<Vec<_>>()
-            .join(", ")
-    };
+    let fmt_words = |v: &[i64]| v.iter().map(i64::to_string).collect::<Vec<_>>().join(", ");
     let (wa, wb) = (fmt_words(&a), fmt_words(&b));
     let row_bytes = 4 * n;
     let col_rewind = 4 * n * n - 4; // back over n rows, forward one column
@@ -84,6 +97,7 @@ k_loop:
     );
 
     Workload {
+        generator: Some(Generator::Gemm { n }),
         name: "gemm",
         description: format!("{n}x{n} integer matrix multiply (software mul on ART-9)"),
         source,

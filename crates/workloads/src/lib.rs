@@ -39,11 +39,45 @@ use std::fmt;
 use art9_sim::CoreState;
 use rv32::{Machine, Rv32Error, Rv32Program};
 
-pub use bubble::bubble_sort;
-pub use dhrystone::{dhrystone, DHRYSTONE_DIVISOR};
-pub use extras::{dot_product, fibonacci};
-pub use gemm::gemm;
-pub use sobel::sobel;
+pub use bubble::{bubble_sort, bubble_sort_seeded};
+pub use dhrystone::{dhrystone, dhrystone_seeded, DHRYSTONE_DIVISOR};
+pub use extras::{dot_product, dot_product_seeded, fibonacci};
+pub use gemm::{gemm, gemm_seeded};
+pub use sobel::{sobel, sobel_seeded};
+
+/// How a workload's random inputs were generated, so the batch driver
+/// can deterministically *reseed* it (same shape, fresh input data)
+/// without knowing each constructor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Generator {
+    /// [`bubble_sort`] over `n` elements.
+    BubbleSort {
+        /// Array length.
+        n: usize,
+    },
+    /// [`gemm`] over `n×n` matrices.
+    Gemm {
+        /// Matrix dimension.
+        n: usize,
+    },
+    /// [`sobel`] (fixed 8×8 image).
+    Sobel,
+    /// [`dhrystone`] with the given iteration count.
+    Dhrystone {
+        /// Iteration count.
+        iterations: usize,
+    },
+    /// [`fibonacci`] (no random inputs; reseeding is the identity).
+    Fibonacci {
+        /// Number of terms.
+        n: usize,
+    },
+    /// [`dot_product`] over `n`-vectors.
+    DotProduct {
+        /// Vector length.
+        n: usize,
+    },
+}
 
 /// A benchmark program: RV32 source, input data, and the expected
 /// output region.
@@ -60,6 +94,10 @@ pub struct Workload {
     pub output_offset: usize,
     /// Expected output values (word-wise).
     pub expected: Vec<i64>,
+    /// The parameterized generator behind this workload, when it was
+    /// built by one of the crate's constructors (`None` for hand-built
+    /// workloads, which cannot be reseeded).
+    pub generator: Option<Generator>,
 }
 
 /// Verification failure: which word of the output region diverged.
@@ -128,9 +166,8 @@ impl Workload {
     /// [`VerifyError`] on the first mismatching word.
     pub fn verify_art9(&self, state: &CoreState) -> Result<(), Box<dyn Error>> {
         for (i, expected) in self.expected.iter().enumerate() {
-            let word = art9_compiler::analysis::DATA_WORD_BASE as usize
-                + self.output_offset / 4
-                + i;
+            let word =
+                art9_compiler::analysis::DATA_WORD_BASE as usize + self.output_offset / 4 + i;
             let found = state.tdm.read(word)?.to_i64();
             if found != *expected {
                 return Err(Box::new(VerifyError {
@@ -142,6 +179,33 @@ impl Workload {
             }
         }
         Ok(())
+    }
+
+    /// Rebuilds this workload with inputs drawn from `seed` (the same
+    /// shape and parameters, fresh deterministic data, recomputed
+    /// golden outputs). Returns a clone unchanged when the workload
+    /// has no [`Generator`] or no random inputs.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use workloads::bubble_sort;
+    ///
+    /// let w = bubble_sort(8);
+    /// assert_eq!(w.with_input_seed(5).source, w.with_input_seed(5).source);
+    /// assert_ne!(w.with_input_seed(5).source, w.with_input_seed(6).source);
+    /// ```
+    pub fn with_input_seed(&self, seed: u64) -> Workload {
+        match self.generator {
+            Some(Generator::BubbleSort { n }) => bubble_sort_seeded(n, seed),
+            Some(Generator::Gemm { n }) => gemm_seeded(n, seed),
+            Some(Generator::Sobel) => sobel_seeded(seed),
+            Some(Generator::Dhrystone { iterations }) => dhrystone_seeded(iterations, seed),
+            Some(Generator::DotProduct { n }) => dot_product_seeded(n, seed),
+            // Fibonacci has no random inputs; hand-built workloads
+            // cannot be regenerated.
+            Some(Generator::Fibonacci { .. }) | None => self.clone(),
+        }
     }
 }
 
@@ -160,11 +224,23 @@ pub fn paper_suite() -> Vec<Workload> {
     ]
 }
 
+/// Derives an independent sub-seed for `lane` under `seed` (a
+/// SplitMix64 round): how the batch driver hands every workload its
+/// own input stream, and how multi-stream constructors split one seed.
+pub(crate) fn split_seed(seed: u64, lane: u64) -> u64 {
+    let mut z = seed.wrapping_add(lane.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Deterministic pseudo-random small integers for workload inputs
 /// (LCG; keeps the crate free of a hard `rand` dependency and the
 /// tables reproducible).
 pub(crate) fn lcg_values(seed: u64, n: usize, lo: i64, hi: i64) -> Vec<i64> {
-    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    let mut state = seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
     let span = (hi - lo + 1) as u64;
     (0..n)
         .map(|_| {
@@ -200,7 +276,12 @@ mod tests {
 
     #[test]
     fn verify_error_display() {
-        let e = VerifyError { workload: "gemm", index: 3, expected: 7, found: 9 };
+        let e = VerifyError {
+            workload: "gemm",
+            index: 3,
+            expected: 7,
+            found: 9,
+        };
         assert!(e.to_string().contains("gemm"));
         assert!(e.to_string().contains('3'));
     }

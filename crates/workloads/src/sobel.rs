@@ -6,14 +6,20 @@
 //! RV32 source needs no multiplier and the ternary translation needs
 //! no `__mul` — the contrast with GEMM is the point of this workload.
 
-use crate::{lcg_values, Workload};
+use crate::{lcg_values, Generator, Workload};
 
 const W: usize = 8;
 const OUT: usize = W - 2;
 
-/// Builds the 8×8 Sobel workload.
+/// Builds the 8×8 Sobel workload with the paper suite's canonical
+/// input image.
 pub fn sobel() -> Workload {
-    let img = lcg_values(23, W * W, 0, 9);
+    sobel_seeded(23)
+}
+
+/// [`sobel`] over an input image drawn from `seed`.
+pub fn sobel_seeded(seed: u64) -> Workload {
+    let img = lcg_values(seed, W * W, 0, 9);
     let mut expected = Vec::with_capacity(OUT * OUT);
     for r in 1..W - 1 {
         for c in 1..W - 1 {
@@ -102,6 +108,7 @@ gy_done:
     );
 
     Workload {
+        generator: Some(Generator::Sobel),
         name: "sobel",
         description: "3x3 Sobel filter, 8x8 image, |gx|+|gy| magnitude".to_string(),
         source,

@@ -28,7 +28,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let dmips_mhz = |cycles: u64| 1.0e6 / (cycles as f64 / iterations as f64 * DHRYSTONE_DIVISOR);
 
-    println!("Table II — simulation results of the Dhrystone benchmark ({iterations} iterations)\n");
+    println!(
+        "Table II — simulation results of the Dhrystone benchmark ({iterations} iterations)\n"
+    );
     println!(
         "{:<22} {:>10} {:>8} {:>12}",
         "core", "cycles", "CPI", "DMIPS/MHz"

@@ -26,42 +26,101 @@ fn main() {
         (Sr { a, b }, "TRF[Ta] = TRF[Ta] >> TRF[Tb][1:0]"),
         (Sl { a, b }, "TRF[Ta] = TRF[Ta] << TRF[Tb][1:0]"),
         (Comp { a, b }, "TRF[Ta] = compare(TRF[Ta], TRF[Tb])"),
-        (Andi { a, imm: Imm3::from_i64(5).unwrap() }, "TRF[Ta] = min(TRF[Ta], imm)"),
-        (Addi { a, imm: Imm3::from_i64(5).unwrap() }, "TRF[Ta] = TRF[Ta] + imm (NOP when 0)"),
-        (Sri { a, imm: Imm2::from_i64(2).unwrap() }, "TRF[Ta] = TRF[Ta] >> imm"),
-        (Sli { a, imm: Imm2::from_i64(2).unwrap() }, "TRF[Ta] = TRF[Ta] << imm"),
-        (Lui { a, imm: Imm4::from_i64(7).unwrap() }, "TRF[Ta] = {imm[3:0], 00000}"),
-        (Li { a, imm: Imm5::from_i64(42).unwrap() }, "TRF[Ta] = {TRF[Ta][8:5], imm[4:0]}"),
         (
-            Beq { b, cond: Trit::P, offset: Imm4::from_i64(3).unwrap() },
+            Andi {
+                a,
+                imm: Imm3::from_i64(5).unwrap(),
+            },
+            "TRF[Ta] = min(TRF[Ta], imm)",
+        ),
+        (
+            Addi {
+                a,
+                imm: Imm3::from_i64(5).unwrap(),
+            },
+            "TRF[Ta] = TRF[Ta] + imm (NOP when 0)",
+        ),
+        (
+            Sri {
+                a,
+                imm: Imm2::from_i64(2).unwrap(),
+            },
+            "TRF[Ta] = TRF[Ta] >> imm",
+        ),
+        (
+            Sli {
+                a,
+                imm: Imm2::from_i64(2).unwrap(),
+            },
+            "TRF[Ta] = TRF[Ta] << imm",
+        ),
+        (
+            Lui {
+                a,
+                imm: Imm4::from_i64(7).unwrap(),
+            },
+            "TRF[Ta] = {imm[3:0], 00000}",
+        ),
+        (
+            Li {
+                a,
+                imm: Imm5::from_i64(42).unwrap(),
+            },
+            "TRF[Ta] = {TRF[Ta][8:5], imm[4:0]}",
+        ),
+        (
+            Beq {
+                b,
+                cond: Trit::P,
+                offset: Imm4::from_i64(3).unwrap(),
+            },
             "PC += imm if TRF[Tb][0] == B",
         ),
         (
-            Bne { b, cond: Trit::Z, offset: Imm4::from_i64(-3).unwrap() },
+            Bne {
+                b,
+                cond: Trit::Z,
+                offset: Imm4::from_i64(-3).unwrap(),
+            },
             "PC += imm if TRF[Tb][0] != B",
         ),
         (
-            Jal { a, offset: Imm5::from_i64(10).unwrap() },
+            Jal {
+                a,
+                offset: Imm5::from_i64(10).unwrap(),
+            },
             "TRF[Ta] = PC+1; PC += imm",
         ),
         (
-            Jalr { a, b, offset: Imm3::from_i64(0).unwrap() },
+            Jalr {
+                a,
+                b,
+                offset: Imm3::from_i64(0).unwrap(),
+            },
             "TRF[Ta] = PC+1; PC = TRF[Tb]+imm",
         ),
         (
-            Load { a, b, offset: Imm3::from_i64(2).unwrap() },
+            Load {
+                a,
+                b,
+                offset: Imm3::from_i64(2).unwrap(),
+            },
             "TRF[Ta] = TDM[TRF[Tb]+imm]",
         ),
         (
-            Store { a, b, offset: Imm3::from_i64(2).unwrap() },
+            Store {
+                a,
+                b,
+                offset: Imm3::from_i64(2).unwrap(),
+            },
             "TDM[TRF[Tb]+imm] = TRF[Ta]",
         ),
     ];
 
     println!("ART-9 instruction set reference (24 instructions, Table I)\n");
     println!(
-        "{:<6} {:<22} {:<11} {}",
-        "type", "assembly", "encoding", "operation"
+        "{:<6} {:<22} {:<11} operation",
+        "type", "assembly", "encoding"
     );
     println!("{}", "-".repeat(78));
     for (i, semantics) in &samples {

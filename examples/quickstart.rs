@@ -42,15 +42,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut core = PipelinedSim::new(&program);
     let stats = core.run(10_000)?;
     println!(
-        "pipelined:  t4 = {}  |  {}",
+        "pipelined:  t4 = {}  |  {} instructions in {} cycles (CPI {:.2}, {} stalls/bubbles)",
         core.state().reg("t4".parse()?).to_i64(),
-        format!(
-            "{} instructions in {} cycles (CPI {:.2}, {} stalls/bubbles)",
-            stats.instructions,
-            stats.cycles,
-            stats.cpi(),
-            stats.lost_cycles()
-        )
+        stats.instructions,
+        stats.cycles,
+        stats.cpi(),
+        stats.lost_cycles()
     );
     assert_eq!(
         functional.state().reg("t4".parse()?),

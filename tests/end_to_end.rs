@@ -24,7 +24,8 @@ fn all_workloads_agree_across_isas_and_simulators() {
 
         let mut functional = FunctionalSim::new(&t.program);
         functional.run(500_000_000).expect("functional completes");
-        w.verify_art9(functional.state()).expect("functional output");
+        w.verify_art9(functional.state())
+            .expect("functional output");
 
         let mut pipelined = PipelinedSim::new(&t.program);
         let stats = pipelined.run(500_000_000).expect("pipelined completes");
@@ -132,7 +133,10 @@ fn untranslatable_programs_are_rejected() {
     let fw = SoftwareFramework::new();
     for (name, src) in [
         ("big constant", "li a0, 100000\nebreak\n"),
-        ("subword", ".data\nv: .word 0\n.text\nla a0, v\nlb a1, 0(a0)\nebreak\n"),
+        (
+            "subword",
+            ".data\nv: .word 0\n.text\nla a0, v\nlb a1, 0(a0)\nebreak\n",
+        ),
         (
             "unaligned",
             ".data\nv: .word 0\n.text\nla a0, v\nlw a1, 2(a0)\nebreak\n",

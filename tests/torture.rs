@@ -121,7 +121,7 @@ fn expected_checksum() -> i64 {
 
     // Branches: t6 = sign(sum).
     let sign = sum.compare(Word9::ZERO);
-    if !(sign.lst() == ternary::Trit::P) {
+    if sign.lst() != ternary::Trit::P {
         sum = sum.wrapping_add(w(13));
     }
     if sign.lst() == ternary::Trit::Z {

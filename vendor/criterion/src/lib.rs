@@ -107,7 +107,11 @@ impl Criterion {
 
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { parent: self, name: name.into(), throughput: None }
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            throughput: None,
+        }
     }
 }
 
@@ -159,7 +163,11 @@ fn run_one<F: FnMut(&mut Bencher)>(
             return;
         }
     }
-    let mut b = Bencher { measured: Duration::ZERO, iterations: 0, budget };
+    let mut b = Bencher {
+        measured: Duration::ZERO,
+        iterations: 0,
+        budget,
+    };
     f(&mut b);
     if b.iterations == 0 {
         // The closure never called `iter`.
@@ -208,7 +216,10 @@ mod tests {
 
     #[test]
     fn bench_function_runs_and_prints() {
-        let mut c = Criterion { filter: None, budget: Duration::from_millis(5) };
+        let mut c = Criterion {
+            filter: None,
+            budget: Duration::from_millis(5),
+        };
         let mut ran = false;
         c.bench_function("smoke", |b| {
             b.iter(|| black_box(1 + 1));

@@ -42,7 +42,9 @@ pub struct TestRng {
 impl TestRng {
     /// A generator with the given seed.
     pub fn new(seed: u64) -> Self {
-        TestRng { state: seed ^ 0x9e37_79b9_7f4a_7c15 }
+        TestRng {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
     }
 
     /// Seed helper: FNV-1a over a test name.

@@ -34,7 +34,11 @@ pub trait Strategy {
         Self: Sized,
         F: Fn(&Self::Value) -> bool,
     {
-        Filter { inner: self, whence, f }
+        Filter {
+            inner: self,
+            whence,
+            f,
+        }
     }
 
     /// Type-erase the strategy.
@@ -103,7 +107,10 @@ where
                 return v;
             }
         }
-        panic!("prop_filter({:?}): predicate rejected 10000 values in a row", self.whence);
+        panic!(
+            "prop_filter({:?}): predicate rejected 10000 values in a row",
+            self.whence
+        );
     }
 }
 
@@ -118,7 +125,10 @@ impl<T> Union<T> {
     /// all weights are zero.
     pub fn weighted(variants: Vec<(u32, BoxedStrategy<T>)>) -> Self {
         let total: u64 = variants.iter().map(|(w, _)| *w as u64).sum();
-        assert!(total > 0, "prop_oneof! needs at least one positively weighted variant");
+        assert!(
+            total > 0,
+            "prop_oneof! needs at least one positively weighted variant"
+        );
         Union { variants, total }
     }
 }

@@ -23,7 +23,11 @@ impl Default for ProptestConfig {
 
 /// Declare property tests.
 ///
-/// ```
+/// The `#[test]` in the example is the macro's real-world usage shape
+/// (it expands to a test function); as a doctest the block is
+/// compile-checked only.
+///
+/// ```no_run
 /// use proptest::prelude::*;
 ///
 /// proptest! {
@@ -33,6 +37,7 @@ impl Default for ProptestConfig {
 ///     }
 /// }
 /// ```
+#[allow(clippy::test_attr_in_doctest)]
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($cfg:expr)] $($rest:tt)*) => {

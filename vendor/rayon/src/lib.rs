@@ -24,7 +24,9 @@ pub mod prelude {
 
 /// Number of worker threads a parallel operation will use.
 pub fn current_num_threads() -> usize {
-    thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+    thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
 }
 
 /// Runs both closures, potentially in parallel, returning both results.
@@ -68,14 +70,18 @@ pub trait IntoParallelRefIterator<'a> {
 impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
     type Item = &'a T;
     fn par_iter(&'a self) -> ParIter<&'a T> {
-        ParIter { items: self.iter().collect() }
+        ParIter {
+            items: self.iter().collect(),
+        }
     }
 }
 
 impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
     type Item = &'a T;
     fn par_iter(&'a self) -> ParIter<&'a T> {
-        ParIter { items: self.iter().collect() }
+        ParIter {
+            items: self.iter().collect(),
+        }
     }
 }
 
@@ -91,7 +97,10 @@ impl<T: Send> ParIter<T> {
         O: Send,
         F: Fn(T) -> O + Sync,
     {
-        MapParIter { items: self.items, f }
+        MapParIter {
+            items: self.items,
+            f,
+        }
     }
 
     /// Number of items.
@@ -227,9 +236,16 @@ mod tests {
         for workers in 1..=8 {
             for n in [1usize, 2, 7, 8, 9, 63] {
                 let v: Vec<usize> = (0..n).collect();
-                let out: Vec<usize> =
-                    v.clone().into_par_iter().map(|x| x + 1).collect_with_workers(workers);
-                assert_eq!(out, v.iter().map(|x| x + 1).collect::<Vec<_>>(), "w={workers} n={n}");
+                let out: Vec<usize> = v
+                    .clone()
+                    .into_par_iter()
+                    .map(|x| x + 1)
+                    .collect_with_workers(workers);
+                assert_eq!(
+                    out,
+                    v.iter().map(|x| x + 1).collect::<Vec<_>>(),
+                    "w={workers} n={n}"
+                );
             }
         }
     }
