@@ -18,7 +18,7 @@
 //!
 //! ```
 //! use art9_compiler::translate;
-//! use art9_sim::FunctionalSim;
+//! use art9_sim::SimBuilder;
 //! use rv32::parse_program;
 //!
 //! let rv = parse_program("
@@ -32,7 +32,7 @@
 //! ")?;
 //!
 //! let out = translate(&rv)?;
-//! let mut sim = FunctionalSim::new(&out.program);
+//! let mut sim = SimBuilder::new(&out.program).build_functional();
 //! sim.run(100_000)?;
 //! // a1 lives wherever the renamer put it; ask the translation.
 //! assert_eq!(out.read_rv_reg(sim.state(), "a1".parse()?), 55);
@@ -289,13 +289,13 @@ pub fn translate_with_options(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use art9_sim::FunctionalSim;
+    use art9_sim::SimBuilder;
     use rv32::parse_program;
 
-    fn run_translated(src: &str) -> (Translation, FunctionalSim) {
+    fn run_translated(src: &str) -> (Translation, art9_sim::FunctionalSim) {
         let rv = parse_program(src).unwrap();
         let t = translate(&rv).unwrap();
-        let mut sim = FunctionalSim::new(&t.program);
+        let mut sim = SimBuilder::new(&t.program).build_functional();
         sim.run(1_000_000).unwrap();
         (t, sim)
     }

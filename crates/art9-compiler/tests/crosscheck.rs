@@ -13,7 +13,7 @@
 use proptest::prelude::*;
 
 use art9_compiler::translate;
-use art9_sim::FunctionalSim;
+use art9_sim::SimBuilder;
 use rv32::{parse_program, Machine};
 
 #[derive(Debug, Clone)]
@@ -104,7 +104,7 @@ proptest! {
         machine.run(1_000_000).expect("rv32 run completes");
 
         let t = translate(&rv).expect("translation succeeds");
-        let mut sim = FunctionalSim::new(&t.program);
+        let mut sim = SimBuilder::new(&t.program).build_functional();
         sim.run(1_000_000).expect("art9 run completes");
 
         for name in REGS {

@@ -1,16 +1,22 @@
-//! An interactive-grade debugger over the functional simulator:
+//! An interactive-grade debugger over any [`Core`] backend:
 //! breakpoints, data watchpoints, single-stepping and run-to-stop.
 //! The kind of tooling a "fully-functional top-level microprocessor"
 //! (paper §I) needs around it for software bring-up — the ternary
 //! Dhrystone port would have been debugged with exactly this.
+//!
+//! The debugger drives a `Box<dyn Core>`, so the same breakpoint
+//! session works against the functional simulator (the default), the
+//! per-trit reference interpreter, or — for watchpoints and stepping —
+//! the cycle-accurate pipeline.
 
 use std::collections::BTreeSet;
 
 use art9_isa::{Program, TReg};
 use ternary::Word9;
 
+use crate::core::{Core, SimBuilder};
 use crate::error::SimError;
-use crate::functional::{CoreState, FunctionalSim, HaltReason};
+use crate::functional::{CoreState, HaltReason};
 
 /// Why the debugger returned control.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,7 +47,12 @@ pub enum StopReason {
     StepLimit,
 }
 
-/// Breakpoint/watchpoint debugger over [`FunctionalSim`].
+/// Breakpoint/watchpoint debugger over any [`Core`].
+///
+/// Breakpoints key off `state().pc`, which the architectural backends
+/// (functional, reference) maintain exactly; the pipelined backend does
+/// not track an architectural PC, so use watchpoints and stepping
+/// there.
 ///
 /// # Examples
 ///
@@ -62,9 +73,9 @@ pub enum StopReason {
 /// assert_eq!(dbg.state().reg("t3".parse()?).to_i64(), 3); // before pc=2
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Debugger {
-    sim: FunctionalSim,
+    core: Box<dyn Core>,
     breakpoints: BTreeSet<usize>,
     mem_watch: BTreeSet<usize>,
     reg_watch: BTreeSet<TReg>,
@@ -74,10 +85,30 @@ pub struct Debugger {
 }
 
 impl Debugger {
-    /// Wraps a fresh simulator for `program`.
+    /// Wraps a fresh functional-backend core for `program`.
     pub fn new(program: &Program) -> Self {
+        Self::attach(SimBuilder::new(program).build())
+    }
+
+    /// Attaches the debugger to an already-built core of any backend
+    /// (use [`SimBuilder`] to configure it).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use art9_isa::assemble;
+    /// use art9_sim::{Backend, Debugger, SimBuilder, StopReason};
+    ///
+    /// let p = assemble("LI t3, 7\nJAL t0, 0\n")?;
+    /// let core = SimBuilder::new(&p).backend(Backend::Reference).build();
+    /// let mut dbg = Debugger::attach(core);
+    /// dbg.watch_register("t3".parse()?);
+    /// assert!(matches!(dbg.run(100)?, StopReason::RegisterWatch { .. }));
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn attach(core: Box<dyn Core>) -> Self {
         Self {
-            sim: FunctionalSim::new(program),
+            core,
             breakpoints: BTreeSet::new(),
             mem_watch: BTreeSet::new(),
             reg_watch: BTreeSet::new(),
@@ -107,15 +138,20 @@ impl Debugger {
 
     /// The architectural state.
     pub fn state(&self) -> &CoreState {
-        self.sim.state()
+        self.core.state()
     }
 
-    /// Instructions executed so far.
+    /// The core being driven.
+    pub fn core(&self) -> &dyn Core {
+        self.core.as_ref()
+    }
+
+    /// Instructions retired so far.
     pub fn instructions(&self) -> u64 {
-        self.sim.instructions()
+        self.core.retired()
     }
 
-    /// Executes exactly one instruction, reporting watch hits.
+    /// Executes exactly one step, reporting watch hits.
     ///
     /// # Errors
     ///
@@ -125,21 +161,21 @@ impl Debugger {
         let mem_before: Vec<(usize, Word9)> = self
             .mem_watch
             .iter()
-            .filter_map(|a| self.sim.state().tdm.read(*a).ok().map(|v| (*a, v)))
+            .filter_map(|a| self.core.state().tdm.read(*a).ok().map(|v| (*a, v)))
             .collect();
         let reg_before: Vec<(TReg, Word9)> = self
             .reg_watch
             .iter()
-            .map(|r| (*r, self.sim.state().reg(*r)))
+            .map(|r| (*r, self.core.state().reg(*r)))
             .collect();
 
-        if let Some(halt) = self.sim.step()? {
+        if let Some(halt) = self.core.step()? {
             return Ok(Some(StopReason::Halted(halt)));
         }
 
         for (address, old) in mem_before {
             let new = self
-                .sim
+                .core
                 .state()
                 .tdm
                 .read(address)
@@ -149,7 +185,7 @@ impl Debugger {
             }
         }
         for (reg, old) in reg_before {
-            let new = self.sim.state().reg(reg);
+            let new = self.core.state().reg(reg);
             if new != old {
                 return Ok(Some(StopReason::RegisterWatch { reg, old, new }));
             }
@@ -167,9 +203,9 @@ impl Debugger {
             // Breakpoints fire *before* executing the instruction; the
             // one just reported is skipped once so resume makes
             // progress, then re-arms (standard debugger behaviour).
-            let pc = self.sim.state().pc;
+            let pc = self.core.state().pc;
             if self.breakpoints.contains(&pc)
-                && self.sim.halted().is_none()
+                && self.core.halted().is_none()
                 && self.resume_skip != Some(pc)
             {
                 self.resume_skip = Some(pc);
@@ -187,6 +223,7 @@ impl Debugger {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::core::Backend;
     use art9_isa::assemble;
 
     fn program() -> Program {
@@ -215,6 +252,32 @@ mod tests {
         // Continuing runs to halt.
         let stop = dbg.run(100).unwrap();
         assert!(matches!(stop, StopReason::Halted(HaltReason::JumpToSelf)));
+    }
+
+    #[test]
+    fn breakpoints_work_on_the_reference_backend_too() {
+        let core = SimBuilder::new(&program())
+            .backend(Backend::Reference)
+            .build();
+        let mut dbg = Debugger::attach(core);
+        dbg.add_breakpoint(3);
+        assert_eq!(dbg.run(100).unwrap(), StopReason::Breakpoint(3));
+        assert_eq!(dbg.core().backend(), Backend::Reference);
+        assert!(matches!(dbg.run(100).unwrap(), StopReason::Halted(_)));
+    }
+
+    #[test]
+    fn watchpoints_work_on_the_pipelined_backend() {
+        let core = SimBuilder::new(&program())
+            .backend(Backend::Pipelined)
+            .build();
+        let mut dbg = Debugger::attach(core);
+        dbg.watch_memory(7);
+        let stop = dbg.run(1_000).unwrap();
+        assert!(
+            matches!(stop, StopReason::Watchpoint { address: 7, .. }),
+            "{stop:?}"
+        );
     }
 
     #[test]

@@ -34,6 +34,13 @@ pub enum SimError {
     },
     /// An illegal instruction word reached the decoder.
     Decode(IsaError),
+    /// A [`Checkpoint`](crate::Checkpoint) could not be parsed, or does
+    /// not match the core it was restored into (wrong backend or wrong
+    /// program shape).
+    Checkpoint {
+        /// What was wrong.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -49,6 +56,7 @@ impl fmt::Display for SimError {
                 write!(f, "program did not halt within {limit} steps")
             }
             SimError::Decode(e) => write!(f, "{e}"),
+            SimError::Checkpoint { detail } => write!(f, "checkpoint error: {detail}"),
         }
     }
 }

@@ -16,8 +16,11 @@ use std::sync::Arc;
 use art9_isa::{Instruction, Program, TReg};
 use ternary::{TernaryMemory, Word9};
 
+use crate::checkpoint::{Checkpoint, Micro};
+use crate::core::{run_loop, Backend, Budget, Core, RunSummary};
 use crate::error::SimError;
 use crate::exec::{control_target, talu};
+use crate::observer::{MemoryAccess, ObserverSet};
 use crate::predecode::PredecodedProgram;
 
 /// Default TDM size in words (matches the 256-word memories behind
@@ -44,7 +47,7 @@ pub struct RunResult {
 
 /// The architectural state of an ART-9 core: PC, the nine-register TRF
 /// and the data memory.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CoreState {
     /// Program counter (instruction index into TIM).
     pub pc: usize,
@@ -109,13 +112,14 @@ impl CoreState {
     ///
     /// ```
     /// use art9_isa::assemble;
-    /// use art9_sim::FunctionalSim;
+    /// use art9_sim::{Budget, Core, SimBuilder};
     ///
     /// let p = assemble("LI t3, 1\nJAL t0, 0\n")?;
-    /// let mut a = FunctionalSim::new(&p);
-    /// let mut b = FunctionalSim::new(&p);
-    /// a.run(100)?;
-    /// b.run(100)?;
+    /// let builder = SimBuilder::new(&p);
+    /// let mut a = builder.build();
+    /// let mut b = builder.build();
+    /// a.run_for(Budget::Steps(100))?;
+    /// b.run_for(Budget::Steps(100))?;
     /// assert_eq!(a.state().first_difference(b.state()), None);
     /// # Ok::<(), Box<dyn std::error::Error>>(())
     /// ```
@@ -155,7 +159,7 @@ impl CoreState {
 ///
 /// ```
 /// use art9_isa::assemble;
-/// use art9_sim::FunctionalSim;
+/// use art9_sim::SimBuilder;
 ///
 /// // Branches test only the least-significant trit, so loops use the
 /// // paper's COMP idiom: copy, compare against zero, branch on sign.
@@ -172,7 +176,7 @@ impl CoreState {
 ///     JAL  t0, 0           ; jump-to-self halts
 /// ")?;
 ///
-/// let mut sim = FunctionalSim::new(&program);
+/// let mut sim = SimBuilder::new(&program).build_functional();
 /// let result = sim.run(10_000)?;
 /// assert_eq!(sim.state().reg("t4".parse()?).to_i64(), 55); // 10+9+...+1
 /// assert!(result.instructions > 0);
@@ -186,37 +190,50 @@ pub struct FunctionalSim {
     instructions: u64,
     halted: Option<HaltReason>,
     mix: [u64; Instruction::OPCODE_COUNT],
+    observers: ObserverSet,
 }
 
 impl FunctionalSim {
     /// Builds a simulator with the default 256-word TDM.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use SimBuilder::new(&program).build_functional()"
+    )]
     pub fn new(program: &Program) -> Self {
-        Self::with_tdm_size(program, DEFAULT_TDM_WORDS)
+        Self::build(
+            &PredecodedProgram::new(program),
+            DEFAULT_TDM_WORDS,
+            ObserverSet::default(),
+        )
     }
 
     /// Builds a simulator with an explicit TDM size (grown automatically
     /// if the program's data image is larger).
+    #[deprecated(since = "0.2.0", note = "use SimBuilder::new(&program).tdm_words(n)")]
     pub fn with_tdm_size(program: &Program, tdm_words: usize) -> Self {
-        Self::from_predecoded(&PredecodedProgram::new(program), tdm_words)
+        Self::build(
+            &PredecodedProgram::new(program),
+            tdm_words,
+            ObserverSet::default(),
+        )
     }
 
-    /// Builds a simulator on a shared predecoded image — the fast path
-    /// when the same program runs under many simulator instances (see
-    /// [`PredecodedProgram`]).
-    ///
-    /// # Examples
-    ///
-    /// ```
-    /// use art9_isa::assemble;
-    /// use art9_sim::{FunctionalSim, PredecodedProgram, DEFAULT_TDM_WORDS};
-    ///
-    /// let image = PredecodedProgram::new(&assemble("LI t3, 5\nJAL t0, 0\n")?);
-    /// let mut sim = FunctionalSim::from_predecoded(&image, DEFAULT_TDM_WORDS);
-    /// sim.run(100)?;
-    /// assert_eq!(sim.state().reg("t3".parse()?).to_i64(), 5);
-    /// # Ok::<(), Box<dyn std::error::Error>>(())
-    /// ```
+    /// Builds a simulator on a shared predecoded image.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use SimBuilder::new(&image) — the builder shares the image the same way"
+    )]
     pub fn from_predecoded(image: &PredecodedProgram, tdm_words: usize) -> Self {
+        Self::build(image, tdm_words, ObserverSet::default())
+    }
+
+    /// The one real constructor, reached through
+    /// [`SimBuilder`](crate::SimBuilder).
+    pub(crate) fn build(
+        image: &PredecodedProgram,
+        tdm_words: usize,
+        observers: ObserverSet,
+    ) -> Self {
         Self {
             text: image.text_arc(),
             links: image.links_arc(),
@@ -224,6 +241,7 @@ impl FunctionalSim {
             instructions: 0,
             halted: None,
             mix: [0; Instruction::OPCODE_COUNT],
+            observers,
         }
     }
 
@@ -234,12 +252,7 @@ impl FunctionalSim {
     /// assembled here, off the hot path); mnemonics that never executed
     /// are absent.
     pub fn instruction_mix(&self) -> std::collections::BTreeMap<&'static str, u64> {
-        Instruction::MNEMONICS
-            .iter()
-            .zip(self.mix.iter())
-            .filter(|(_, count)| **count > 0)
-            .map(|(name, count)| (*name, *count))
-            .collect()
+        crate::core::mix_map(&self.mix)
     }
 
     /// The architectural state (inspectable mid-run).
@@ -278,6 +291,10 @@ impl FunctionalSim {
         let pc = self.state.pc;
         if pc == self.text.len() {
             self.halted = Some(HaltReason::FellOffEnd);
+            if !self.observers.is_empty() {
+                self.observers
+                    .halt(HaltReason::FellOffEnd, self.instructions);
+            }
             return Ok(Some(HaltReason::FellOffEnd));
         }
         let instr = self.text[pc];
@@ -297,12 +314,30 @@ impl FunctionalSim {
                     .read_word_addr(result)
                     .map_err(|cause| SimError::MemoryFault { pc, cause })?;
                 self.state.set_reg(a, v);
+                if !self.observers.is_empty() {
+                    let address = self.state.tdm.resolve(result).expect("read succeeded");
+                    self.observers.memory(&MemoryAccess {
+                        pc,
+                        address,
+                        value: v,
+                        is_write: false,
+                    });
+                }
             }
             Store { .. } => {
                 self.state
                     .tdm
                     .write_word_addr(result, a_val)
                     .map_err(|cause| SimError::MemoryFault { pc, cause })?;
+                if !self.observers.is_empty() {
+                    let address = self.state.tdm.resolve(result).expect("write succeeded");
+                    self.observers.memory(&MemoryAccess {
+                        pc,
+                        address,
+                        value: a_val,
+                        is_write: true,
+                    });
+                }
             }
             _ => {
                 if let Some(dest) = instr.writes() {
@@ -313,7 +348,7 @@ impl FunctionalSim {
 
         // Control flow.
         let lst = b_val.lst();
-        let next = match control_target(&instr, pc, lst, b_val) {
+        let (next, taken) = match control_target(&instr, pc, lst, b_val) {
             Some(target) => {
                 if target < 0 || target as usize > self.text.len() {
                     return Err(SimError::PcOutOfRange {
@@ -322,21 +357,34 @@ impl FunctionalSim {
                         tim_size: self.text.len(),
                     });
                 }
-                target as usize
+                (target as usize, true)
             }
-            None => pc + 1,
+            None => (pc + 1, false),
         };
 
-        if next == pc {
-            self.halted = Some(HaltReason::JumpToSelf);
-            return Ok(Some(HaltReason::JumpToSelf));
+        if !self.observers.is_empty() {
+            if instr.is_control_flow() {
+                self.observers.control(pc, &instr, taken, next);
+            }
+            self.observers.retire(pc, &instr, &self.state);
         }
-        self.state.pc = next;
-        if next == self.text.len() {
-            self.halted = Some(HaltReason::FellOffEnd);
-            return Ok(Some(HaltReason::FellOffEnd));
+
+        let halt = if next == pc {
+            Some(HaltReason::JumpToSelf)
+        } else if next == self.text.len() {
+            self.state.pc = next;
+            Some(HaltReason::FellOffEnd)
+        } else {
+            self.state.pc = next;
+            None
+        };
+        if let Some(reason) = halt {
+            self.halted = Some(reason);
+            if !self.observers.is_empty() {
+                self.observers.halt(reason, self.instructions);
+            }
         }
-        Ok(None)
+        Ok(halt)
     }
 
     /// Runs until halt or until `max_steps` instructions have executed.
@@ -361,6 +409,61 @@ impl FunctionalSim {
             });
         }
         Err(SimError::Timeout { limit: max_steps })
+    }
+}
+
+impl Core for FunctionalSim {
+    fn backend(&self) -> Backend {
+        Backend::Functional
+    }
+
+    fn step(&mut self) -> Result<Option<HaltReason>, SimError> {
+        FunctionalSim::step(self)
+    }
+
+    fn run_for(&mut self, budget: Budget) -> Result<RunSummary, SimError> {
+        run_loop(self, budget)
+    }
+
+    fn state(&self) -> &CoreState {
+        &self.state
+    }
+
+    fn state_mut(&mut self) -> &mut CoreState {
+        &mut self.state
+    }
+
+    fn halted(&self) -> Option<HaltReason> {
+        self.halted
+    }
+
+    fn retired(&self) -> u64 {
+        self.instructions
+    }
+
+    fn instruction_mix(&self) -> std::collections::BTreeMap<&'static str, u64> {
+        FunctionalSim::instruction_mix(self)
+    }
+
+    fn snapshot(&self) -> Checkpoint {
+        Checkpoint {
+            backend: Backend::Functional,
+            text_len: self.text.len(),
+            state: self.state.clone(),
+            retired: self.instructions,
+            halted: self.halted,
+            mix: self.mix,
+            micro: Micro::Architectural,
+        }
+    }
+
+    fn restore(&mut self, checkpoint: &Checkpoint) -> Result<(), SimError> {
+        checkpoint.guard(Backend::Functional, self.text.len())?;
+        self.state = checkpoint.state.clone();
+        self.instructions = checkpoint.retired;
+        self.halted = checkpoint.halted;
+        self.mix = checkpoint.mix;
+        Ok(())
     }
 }
 
@@ -414,11 +517,12 @@ pub(crate) fn operand_values(instr: &Instruction, state: &CoreState) -> (Word9, 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::core::SimBuilder;
     use art9_isa::assemble;
 
     fn run_src(src: &str) -> FunctionalSim {
         let p = assemble(src).unwrap();
-        let mut sim = FunctionalSim::new(&p);
+        let mut sim = SimBuilder::new(&p).build_functional();
         sim.run(1_000_000).unwrap();
         sim
     }
@@ -508,7 +612,7 @@ mod tests {
     #[test]
     fn memory_fault_reports_pc() {
         let p = assemble("LI t2, 121\nLUI t2, 40\nLOAD t3, t2, 0\n").unwrap();
-        let mut sim = FunctionalSim::new(&p);
+        let mut sim = SimBuilder::new(&p).build_functional();
         let err = sim.run(100).unwrap_err();
         match err {
             SimError::MemoryFault { pc, .. } => assert_eq!(pc, 2),
@@ -520,14 +624,14 @@ mod tests {
     fn timeout_reported() {
         // Two-instruction infinite loop (never jumps to self).
         let p = assemble("a: NOP\nJAL t0, a\n").unwrap();
-        let mut sim = FunctionalSim::new(&p);
+        let mut sim = SimBuilder::new(&p).build_functional();
         assert!(matches!(sim.run(10), Err(SimError::Timeout { .. })));
     }
 
     #[test]
     fn wild_jump_faults() {
         let p = assemble("LI t2, 121\nJALR t0, t2, 0\n").unwrap();
-        let mut sim = FunctionalSim::new(&p);
+        let mut sim = SimBuilder::new(&p).build_functional();
         assert!(matches!(sim.run(10), Err(SimError::PcOutOfRange { .. })));
     }
 
@@ -549,7 +653,7 @@ mod tests {
     #[test]
     fn preloading_registers() {
         let p = assemble("ADD t3, t4\nJAL t0, 0\n").unwrap();
-        let mut sim = FunctionalSim::new(&p);
+        let mut sim = SimBuilder::new(&p).build_functional();
         sim.state_mut()
             .set_reg(TReg::T3, Word9::from_i64(30).unwrap());
         sim.state_mut()

@@ -1,29 +1,44 @@
 //! # `art9-sim` — ART-9 processor simulators
 //!
 //! The simulation half of the paper's hardware-level evaluation
-//! framework (§III-B):
+//! framework (§III-B): **one execution API, three backends**. Every
+//! backend implements the [`Core`] trait and is built through the one
+//! [`SimBuilder`]:
 //!
-//! * [`FunctionalSim`] — architecture-level reference simulator (one
-//!   instruction per step, no timing).
-//! * [`PipelinedSim`] — the cycle-accurate model of the 5-stage pipeline
-//!   of Fig. 4, with the hazard detection unit, full forwarding, the
-//!   ID-stage branch unit, and the exact stall behaviour the paper
-//!   claims (load-use hazards and taken branches only).
+//! * [`Backend::Functional`] → [`FunctionalSim`] — architecture-level
+//!   reference simulator (one instruction per step, no timing).
+//! * [`Backend::Pipelined`] → [`PipelinedSim`] — the cycle-accurate
+//!   model of the 5-stage pipeline of Fig. 4, with the hazard detection
+//!   unit, full forwarding, the ID-stage branch unit, and the exact
+//!   stall behaviour the paper claims (load-use hazards and taken
+//!   branches only).
+//! * [`Backend::Reference`] → [`ReferenceSim`] — a deliberately slow
+//!   per-trit interpreter sharing no execution code with the others;
+//!   the third corner of the differential-fuzzing triangle.
+//!
+//! Around the trait:
+//!
+//! * [`Observer`] hooks — retire/control/memory/halt callbacks on any
+//!   backend, with ready-made observers in [`observers`].
+//! * [`Checkpoint`] — serializable snapshot/resume
+//!   ([`Core::snapshot`]/[`Core::restore`]) that continues
+//!   bit-identically, microarchitectural state included.
 //! * [`PipelineStats`] — cycle/stall accounting feeding the DMIPS and
 //!   DMIPS/W numbers of Tables II–V.
 //! * [`PredecodedProgram`] — a decode-once, `Arc`-shared program image
-//!   (instructions plus a precomputed link table) both simulators can
-//!   fetch from; the throughput path for batch runs (see
+//!   (instructions plus a precomputed link table) every backend
+//!   fetches from; the throughput path for batch runs (see
 //!   `docs/PERFORMANCE.md`).
 //!
-//! Both simulators share one semantics module ([`talu`], [`shift`],
-//! [`branch_taken`]) and are property-tested to agree architecturally.
+//! The packed-bitplane backends share one semantics module ([`talu`],
+//! [`shift`], [`branch_taken`]) and all three are property-tested to
+//! agree architecturally. The full API contract lives in `docs/API.md`.
 //!
 //! ## Quick start
 //!
 //! ```
 //! use art9_isa::assemble;
-//! use art9_sim::{FunctionalSim, PipelinedSim};
+//! use art9_sim::{Backend, Budget, Core, SimBuilder};
 //!
 //! let program = assemble("
 //!     LI   t3, 100
@@ -37,9 +52,13 @@
 //!     JAL  t0, 0
 //! ")?;
 //!
-//! let mut pipe = PipelinedSim::new(&program);
-//! let stats = pipe.run(100_000)?;
-//! assert_eq!(pipe.state().reg("t4".parse()?).to_i64(), 5050);
+//! let mut core = SimBuilder::new(&program)
+//!     .backend(Backend::Pipelined)
+//!     .build();
+//! let summary = core.run_for(Budget::Steps(100_000))?;
+//! assert!(summary.halt.is_some());
+//! assert_eq!(core.state().reg("t4".parse()?).to_i64(), 5050);
+//! let stats = core.pipeline_stats().expect("pipelined backend");
 //! println!("CPI = {:.2}", stats.cpi());
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
@@ -47,20 +66,28 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod checkpoint;
+mod core;
 mod debug;
 mod error;
 mod exec;
 mod functional;
+mod observer;
 mod pipeline;
 mod predecode;
+mod reference;
 mod stats;
 mod trace;
 
+pub use crate::core::{Backend, Budget, Core, RunSummary, SimBuilder};
+pub use checkpoint::Checkpoint;
 pub use debug::{Debugger, StopReason};
 pub use error::SimError;
 pub use exec::{branch_taken, control_target, shift, talu};
 pub use functional::{CoreState, FunctionalSim, HaltReason, RunResult, DEFAULT_TDM_WORDS};
+pub use observer::{observers, MemoryAccess, Observer, SharedObserver};
 pub use pipeline::PipelinedSim;
 pub use predecode::PredecodedProgram;
+pub use reference::ReferenceSim;
 pub use stats::PipelineStats;
 pub use trace::{CycleTrace, StageSnapshot};

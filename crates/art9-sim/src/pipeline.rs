@@ -29,46 +29,49 @@ use std::sync::Arc;
 use art9_isa::{Instruction, Program, TReg};
 use ternary::Word9;
 
+use crate::checkpoint::{Checkpoint, Micro, PipelineMicro};
+use crate::core::{run_loop, Backend, Budget, Core, RunSummary};
 use crate::error::SimError;
 use crate::exec::{control_target, talu};
 use crate::functional::{CoreState, HaltReason, DEFAULT_TDM_WORDS};
+use crate::observer::{MemoryAccess, ObserverSet};
 use crate::predecode::PredecodedProgram;
 use crate::stats::PipelineStats;
 use crate::trace::{CycleTrace, StageSnapshot};
 
 /// An instruction in flight, with the address it was fetched from.
-#[derive(Debug, Clone, Copy)]
-struct Fetched {
-    instr: Instruction,
-    pc: usize,
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct Fetched {
+    pub(crate) instr: Instruction,
+    pub(crate) pc: usize,
 }
 
 /// ID/EX pipeline register payload.
-#[derive(Debug, Clone, Copy)]
-struct IdEx {
-    instr: Instruction,
-    pc: usize,
-    a_val: Word9,
-    b_val: Word9,
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct IdEx {
+    pub(crate) instr: Instruction,
+    pub(crate) pc: usize,
+    pub(crate) a_val: Word9,
+    pub(crate) b_val: Word9,
 }
 
 /// EX/MEM pipeline register payload.
-#[derive(Debug, Clone, Copy)]
-struct ExMem {
-    instr: Instruction,
-    pc: usize,
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct ExMem {
+    pub(crate) instr: Instruction,
+    pub(crate) pc: usize,
     /// ALU result, spliced immediate, link value, or effective address.
-    result: Word9,
+    pub(crate) result: Word9,
     /// The datum a STORE carries.
-    store_val: Word9,
+    pub(crate) store_val: Word9,
 }
 
 /// MEM/WB pipeline register payload.
-#[derive(Debug, Clone, Copy)]
-struct MemWb {
-    instr: Instruction,
-    pc: usize,
-    value: Word9,
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct MemWb {
+    pub(crate) instr: Instruction,
+    pub(crate) pc: usize,
+    pub(crate) value: Word9,
 }
 
 /// The cycle-accurate pipelined ART-9 core.
@@ -77,7 +80,7 @@ struct MemWb {
 ///
 /// ```
 /// use art9_isa::assemble;
-/// use art9_sim::PipelinedSim;
+/// use art9_sim::SimBuilder;
 ///
 /// let program = assemble("
 ///     LI   t3, 4
@@ -89,7 +92,7 @@ struct MemWb {
 ///     JAL  t0, 0
 /// ")?;
 ///
-/// let mut core = PipelinedSim::new(&program);
+/// let mut core = SimBuilder::new(&program).build_pipelined();
 /// let stats = core.run(10_000)?;
 /// assert_eq!(core.state().reg("t3".parse()?).to_i64(), 0);
 /// // Taken branches cost one bubble each; CPI stays close to 1.
@@ -112,36 +115,55 @@ pub struct PipelinedSim {
     trace: Option<Vec<CycleTrace>>,
     forwarding: bool,
     mix: [u64; Instruction::OPCODE_COUNT],
+    observers: ObserverSet,
 }
 
 impl PipelinedSim {
     /// Builds a pipelined core with the default 256-word TDM.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use SimBuilder::new(&program).build_pipelined()"
+    )]
     pub fn new(program: &Program) -> Self {
-        Self::with_tdm_size(program, DEFAULT_TDM_WORDS)
+        Self::build(
+            &PredecodedProgram::new(program),
+            DEFAULT_TDM_WORDS,
+            true,
+            false,
+            ObserverSet::default(),
+        )
     }
 
     /// Builds a pipelined core with an explicit TDM size.
+    #[deprecated(since = "0.2.0", note = "use SimBuilder::new(&program).tdm_words(n)")]
     pub fn with_tdm_size(program: &Program, tdm_words: usize) -> Self {
-        Self::from_predecoded(&PredecodedProgram::new(program), tdm_words)
+        Self::build(
+            &PredecodedProgram::new(program),
+            tdm_words,
+            true,
+            false,
+            ObserverSet::default(),
+        )
     }
 
-    /// Builds a pipelined core on a shared predecoded image — the fast
-    /// path when the same program runs under many simulator instances
-    /// (see [`PredecodedProgram`]).
-    ///
-    /// # Examples
-    ///
-    /// ```
-    /// use art9_isa::assemble;
-    /// use art9_sim::{PipelinedSim, PredecodedProgram, DEFAULT_TDM_WORDS};
-    ///
-    /// let image = PredecodedProgram::new(&assemble("LI t3, 5\nJAL t0, 0\n")?);
-    /// let mut core = PipelinedSim::from_predecoded(&image, DEFAULT_TDM_WORDS);
-    /// let stats = core.run(100)?;
-    /// assert_eq!(stats.instructions, 2);
-    /// # Ok::<(), Box<dyn std::error::Error>>(())
-    /// ```
+    /// Builds a pipelined core on a shared predecoded image.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use SimBuilder::new(&image) — the builder shares the image the same way"
+    )]
     pub fn from_predecoded(image: &PredecodedProgram, tdm_words: usize) -> Self {
+        Self::build(image, tdm_words, true, false, ObserverSet::default())
+    }
+
+    /// The one real constructor, reached through
+    /// [`SimBuilder`](crate::SimBuilder).
+    pub(crate) fn build(
+        image: &PredecodedProgram,
+        tdm_words: usize,
+        forwarding: bool,
+        trace: bool,
+        observers: ObserverSet,
+    ) -> Self {
         Self {
             text: image.text_arc(),
             links: image.links_arc(),
@@ -154,9 +176,10 @@ impl PipelinedSim {
             stats: PipelineStats::default(),
             halting: None,
             halted: None,
-            trace: None,
-            forwarding: true,
+            trace: trace.then(Vec::new),
+            forwarding,
             mix: [0; Instruction::OPCODE_COUNT],
+            observers,
         }
     }
 
@@ -165,12 +188,7 @@ impl PipelinedSim {
     /// Counted through a flat per-opcode array in the WB stage; the map
     /// is assembled here, off the hot path.
     pub fn instruction_mix(&self) -> std::collections::BTreeMap<&'static str, u64> {
-        Instruction::MNEMONICS
-            .iter()
-            .zip(self.mix.iter())
-            .filter(|(_, count)| **count > 0)
-            .map(|(name, count)| (*name, *count))
-            .collect()
+        crate::core::mix_map(&self.mix)
     }
 
     /// Disables the forwarding multiplexers (ablation study): every
@@ -178,11 +196,13 @@ impl PipelinedSim {
     /// back. The paper motivates forwarding by exactly this cost
     /// ("for reducing the number of unwanted stalls as many as
     /// possible, we actively apply the forwarding multiplexers").
+    #[deprecated(since = "0.2.0", note = "use SimBuilder::forwarding(false)")]
     pub fn disable_forwarding(&mut self) {
         self.forwarding = false;
     }
 
     /// Turns on per-cycle tracing (stage occupancy snapshots).
+    #[deprecated(since = "0.2.0", note = "use SimBuilder::trace(true)")]
     pub fn enable_trace(&mut self) {
         self.trace = Some(Vec::new());
     }
@@ -242,6 +262,9 @@ impl PipelinedSim {
             if let Some(d) = dest {
                 self.state.set_reg(d, wb.value);
             }
+            if !self.observers.is_empty() {
+                self.observers.retire(wb.pc, &wb.instr, &self.state);
+            }
             dest.map(|d| (d, wb.value))
         } else {
             None
@@ -251,16 +274,37 @@ impl PipelinedSim {
         // ---- MEM -----------------------------------------------------
         if let Some(mem) = old_ex_mem {
             let value = match mem.instr {
-                Instruction::Load { .. } => self
-                    .state
-                    .tdm
-                    .read_word_addr(mem.result)
-                    .map_err(|cause| SimError::MemoryFault { pc: mem.pc, cause })?,
+                Instruction::Load { .. } => {
+                    let v = self
+                        .state
+                        .tdm
+                        .read_word_addr(mem.result)
+                        .map_err(|cause| SimError::MemoryFault { pc: mem.pc, cause })?;
+                    if !self.observers.is_empty() {
+                        let address = self.state.tdm.resolve(mem.result).expect("read succeeded");
+                        self.observers.memory(&MemoryAccess {
+                            pc: mem.pc,
+                            address,
+                            value: v,
+                            is_write: false,
+                        });
+                    }
+                    v
+                }
                 Instruction::Store { .. } => {
                     self.state
                         .tdm
                         .write_word_addr(mem.result, mem.store_val)
                         .map_err(|cause| SimError::MemoryFault { pc: mem.pc, cause })?;
+                    if !self.observers.is_empty() {
+                        let address = self.state.tdm.resolve(mem.result).expect("write succeeded");
+                        self.observers.memory(&MemoryAccess {
+                            pc: mem.pc,
+                            address,
+                            value: mem.store_val,
+                            is_write: true,
+                        });
+                    }
                     Word9::ZERO
                 }
                 _ => mem.result,
@@ -387,6 +431,14 @@ impl PipelinedSim {
                                     });
                                 }
                                 self.stats.taken_transfers += 1;
+                                if !self.observers.is_empty() {
+                                    self.observers.control(
+                                        fetched.pc,
+                                        &instr,
+                                        true,
+                                        target as usize,
+                                    );
+                                }
                                 if target as usize == fetched.pc {
                                     // Jump-to-self: halt request.
                                     self.halting = Some(HaltReason::JumpToSelf);
@@ -398,6 +450,14 @@ impl PipelinedSim {
                             }
                             None => {
                                 self.stats.untaken_branches += 1;
+                                if !self.observers.is_empty() {
+                                    self.observers.control(
+                                        fetched.pc,
+                                        &instr,
+                                        false,
+                                        fetched.pc + 1,
+                                    );
+                                }
                                 self.issue(fetched, b_val, b_val);
                             }
                         }
@@ -485,6 +545,11 @@ impl PipelinedSim {
             && self.mem_wb.is_none()
         {
             self.halted = self.halting;
+            if let Some(reason) = self.halted {
+                if !self.observers.is_empty() {
+                    self.observers.halt(reason, self.stats.instructions);
+                }
+            }
             return Ok(self.halted);
         }
         Ok(None)
@@ -542,6 +607,97 @@ impl PipelinedSim {
     }
 }
 
+impl Core for PipelinedSim {
+    fn backend(&self) -> Backend {
+        Backend::Pipelined
+    }
+
+    /// One step of the pipelined backend is one **clock cycle**.
+    fn step(&mut self) -> Result<Option<HaltReason>, SimError> {
+        self.cycle()
+    }
+
+    fn run_for(&mut self, budget: Budget) -> Result<RunSummary, SimError> {
+        run_loop(self, budget)
+    }
+
+    fn state(&self) -> &CoreState {
+        &self.state
+    }
+
+    fn state_mut(&mut self) -> &mut CoreState {
+        &mut self.state
+    }
+
+    fn halted(&self) -> Option<HaltReason> {
+        self.halted
+    }
+
+    fn retired(&self) -> u64 {
+        self.stats.instructions
+    }
+
+    fn instruction_mix(&self) -> std::collections::BTreeMap<&'static str, u64> {
+        PipelinedSim::instruction_mix(self)
+    }
+
+    fn snapshot(&self) -> Checkpoint {
+        Checkpoint {
+            backend: Backend::Pipelined,
+            text_len: self.text.len(),
+            state: self.state.clone(),
+            retired: self.stats.instructions,
+            halted: self.halted,
+            mix: self.mix,
+            micro: Micro::Pipelined(Box::new(PipelineMicro {
+                fetch_pc: self.fetch_pc,
+                halting: self.halting,
+                forwarding: self.forwarding,
+                stats: self.stats,
+                if_id: self.if_id,
+                id_ex: self.id_ex,
+                ex_mem: self.ex_mem,
+                mem_wb: self.mem_wb,
+            })),
+        }
+    }
+
+    /// Restores the architectural state *and* the whole
+    /// microarchitectural picture — fetch engine, all four latches,
+    /// stall accounting, forwarding setting — so the resumed core is
+    /// cycle-for-cycle identical to the snapshotted one. The trace
+    /// buffer (if tracing is enabled) is not rewound: it records this
+    /// core's own cycles only.
+    fn restore(&mut self, checkpoint: &Checkpoint) -> Result<(), SimError> {
+        checkpoint.guard(Backend::Pipelined, self.text.len())?;
+        let Micro::Pipelined(m) = &checkpoint.micro else {
+            return Err(SimError::Checkpoint {
+                detail: "pipelined checkpoint lacks its micro section".into(),
+            });
+        };
+        self.state = checkpoint.state.clone();
+        self.mix = checkpoint.mix;
+        self.halted = checkpoint.halted;
+        self.fetch_pc = m.fetch_pc;
+        self.halting = m.halting;
+        self.forwarding = m.forwarding;
+        self.stats = m.stats;
+        self.if_id = m.if_id;
+        self.id_ex = m.id_ex;
+        self.ex_mem = m.ex_mem;
+        self.mem_wb = m.mem_wb;
+        Ok(())
+    }
+
+    fn pipeline_stats(&self) -> Option<PipelineStats> {
+        Some(self.stats)
+    }
+
+    fn trace(&self) -> Option<&[CycleTrace]> {
+        PipelinedSim::trace(self)
+    }
+}
+
 /// The `(Ta, Tb)` source registers an instruction reads, by operand slot.
 fn source_regs(instr: &Instruction) -> (Option<TReg>, Option<TReg>) {
     use Instruction::*;
@@ -567,12 +723,12 @@ fn source_regs(instr: &Instruction) -> (Option<TReg>, Option<TReg>) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::functional::FunctionalSim;
+    use crate::core::SimBuilder;
     use art9_isa::assemble;
 
     fn run_pipe(src: &str) -> (PipelinedSim, PipelineStats) {
         let p = assemble(src).unwrap();
-        let mut sim = PipelinedSim::new(&p);
+        let mut sim = SimBuilder::new(&p).build_pipelined();
         let stats = sim.run(1_000_000).unwrap();
         (sim, stats)
     }
@@ -702,9 +858,9 @@ mod tests {
             JAL t0, 0
         ";
         let p = assemble(src).unwrap();
-        let mut f = FunctionalSim::new(&p);
+        let mut f = SimBuilder::new(&p).build_functional();
         f.run(100_000).unwrap();
-        let mut pipe = PipelinedSim::new(&p);
+        let mut pipe = SimBuilder::new(&p).build_pipelined();
         let stats = pipe.run(100_000).unwrap();
         assert_eq!(pipe.state().trf, f.state().trf);
         assert_eq!(stats.instructions, f.instructions());
@@ -736,8 +892,7 @@ mod tests {
     #[test]
     fn trace_records_stage_occupancy() {
         let p = assemble("LI t3, 1\nADDI t3, 1\nJAL t0, 0\n").unwrap();
-        let mut sim = PipelinedSim::new(&p);
-        sim.enable_trace();
+        let mut sim = SimBuilder::new(&p).trace(true).build_pipelined();
         sim.run(1000).unwrap();
         let trace = sim.trace().unwrap();
         assert!(!trace.is_empty());
@@ -763,10 +918,9 @@ mod tests {
             JAL t0, 0
         ";
         let p = assemble(src).unwrap();
-        let mut fast = PipelinedSim::new(&p);
+        let mut fast = SimBuilder::new(&p).build_pipelined();
         let s_fast = fast.run(10_000).unwrap();
-        let mut slow = PipelinedSim::new(&p);
-        slow.disable_forwarding();
+        let mut slow = SimBuilder::new(&p).forwarding(false).build_pipelined();
         let s_slow = slow.run(10_000).unwrap();
         assert_eq!(fast.state().trf, slow.state().trf, "same architecture");
         assert!(
@@ -782,7 +936,7 @@ mod tests {
     #[test]
     fn memory_fault_propagates_pc() {
         let p = assemble("LI t2, 121\nLUI t2, 40\nLOAD t3, t2, 0\nJAL t0, 0\n").unwrap();
-        let mut sim = PipelinedSim::new(&p);
+        let mut sim = SimBuilder::new(&p).build_pipelined();
         match sim.run(1000) {
             Err(SimError::MemoryFault { pc, .. }) => assert_eq!(pc, 2),
             other => panic!("expected MemoryFault, got {other:?}"),

@@ -27,19 +27,21 @@ use ternary::Word9;
 ///
 /// # Examples
 ///
-/// Build once, run under both simulators without re-decoding:
+/// Build once, run under any backend without re-decoding (the builder
+/// shares the image by `Arc`):
 ///
 /// ```
 /// use art9_isa::assemble;
-/// use art9_sim::{FunctionalSim, PipelinedSim, PredecodedProgram, DEFAULT_TDM_WORDS};
+/// use art9_sim::{Backend, Budget, Core, PredecodedProgram, SimBuilder};
 ///
 /// let program = assemble("LI t3, 41\nADDI t3, 1\nJAL t0, 0\n")?;
 /// let image = PredecodedProgram::new(&program);
 ///
-/// let mut fast = FunctionalSim::from_predecoded(&image, DEFAULT_TDM_WORDS);
-/// fast.run(1_000)?;
-/// let mut timed = PipelinedSim::from_predecoded(&image, DEFAULT_TDM_WORDS);
-/// timed.run(1_000)?;
+/// let builder = SimBuilder::new(&image);
+/// let mut fast = builder.build();
+/// fast.run_for(Budget::Steps(1_000))?;
+/// let mut timed = builder.clone().backend(Backend::Pipelined).build();
+/// timed.run_for(Budget::Steps(1_000))?;
 ///
 /// assert_eq!(fast.state().trf, timed.state().trf);
 /// assert_eq!(fast.state().reg("t3".parse()?).to_i64(), 42);

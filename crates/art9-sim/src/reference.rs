@@ -1,121 +1,101 @@
 //! A deliberately slow per-trit reference interpreter.
 //!
-//! The third corner of the oracle triangle: where `art9-sim` executes
-//! through the shared [`art9_sim::talu`] on packed bitplanes, this
-//! interpreter re-derives every instruction's semantics **trit by
-//! trit** from the paper — ripple-carry addition via
-//! [`ternary::arith::add_tritwise`], per-trit inversions and logic via
-//! the [`Trit`] truth tables, shifts and field splices as explicit
-//! trit-array surgery, comparison as a most-significant-trit-first
-//! scan — so a bug in the packed carry-loop kernels (the place
-//! Etiemble's adder comparisons say ternary arithmetic goes wrong:
-//! carry chains and sign boundaries) cannot hide in both simulators at
-//! once.
+//! One corner of the differential-testing triangle (see
+//! `docs/FUZZING.md`): where [`FunctionalSim`](crate::FunctionalSim)
+//! and [`PipelinedSim`](crate::PipelinedSim) execute through the shared
+//! [`crate::talu`] on packed bitplanes, this interpreter re-derives
+//! every instruction's semantics **trit by trit** from the paper —
+//! ripple-carry addition via [`ternary::arith::add_tritwise`], per-trit
+//! inversions and logic via the [`Trit`] truth tables, shifts and field
+//! splices as explicit trit-array surgery, comparison as a
+//! most-significant-trit-first scan — so a bug in the packed carry-loop
+//! kernels (the place Etiemble's adder comparisons say ternary
+//! arithmetic goes wrong: carry chains and sign boundaries) cannot hide
+//! in both simulators at once.
 //!
-//! The interpreter intentionally shares **no** execution code with
-//! `art9-sim`: only the instruction enum, the architectural constants,
-//! and the halt convention are common vocabulary.
+//! The interpreter intentionally shares **no** execution code with the
+//! other backends: only the instruction enum, the architectural
+//! containers ([`CoreState`]), and the halt convention are common
+//! vocabulary. It lives in `art9-sim` (promoted out of `art9-fuzz`) so
+//! it can implement the unified [`Core`](crate::Core) API and be driven
+//! by any consumer — most importantly the generic fuzz lockstep oracle.
 
 use art9_isa::{Instruction, Program, TReg};
-use ternary::{arith, Trit, Trits, Word9};
+use ternary::{arith, TernaryError, Trit, Trits, Word9};
 
-use art9_sim::HaltReason;
-
-/// An execution fault in the reference interpreter, mirroring the
-/// conditions `art9_sim::SimError` reports (generated programs trigger
-/// neither; any occurrence is a finding).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum RefFault {
-    /// A control transfer left `[0, text_len]`.
-    PcOutOfRange {
-        /// The computed target.
-        pc: i64,
-    },
-    /// A TDM access outside the window.
-    MemoryFault {
-        /// Instruction address of the faulting access.
-        pc: usize,
-        /// The resolved (possibly negative) address.
-        address: i64,
-    },
-}
-
-impl std::fmt::Display for RefFault {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            RefFault::PcOutOfRange { pc } => write!(f, "reference: PC {pc} out of range"),
-            RefFault::MemoryFault { pc, address } => {
-                write!(
-                    f,
-                    "reference: memory fault at instruction {pc} (address {address})"
-                )
-            }
-        }
-    }
-}
-
-impl std::error::Error for RefFault {}
+use crate::checkpoint::{Checkpoint, Micro};
+use crate::core::{run_loop, Backend, Budget, Core, RunSummary};
+use crate::error::SimError;
+use crate::functional::{CoreState, HaltReason};
+use crate::observer::{MemoryAccess, ObserverSet};
+use crate::predecode::PredecodedProgram;
 
 /// The per-trit reference interpreter.
 ///
 /// # Examples
 ///
 /// ```
-/// use art9_fuzz::ReferenceSim;
 /// use art9_isa::assemble;
+/// use art9_sim::{Backend, Budget, Core, SimBuilder};
 ///
 /// let p = assemble("LI t3, 20\nADDI t3, 1\nADD t3, t3\nJAL t0, 0\n")?;
-/// let mut r = ReferenceSim::new(&p, 256);
-/// while r.halted().is_none() {
-///     r.step()?;
-/// }
-/// assert_eq!(r.reg("t3".parse()?).to_i64(), 42);
+/// let mut r = SimBuilder::new(&p).backend(Backend::Reference).build();
+/// r.run_for(Budget::Steps(100))?;
+/// assert_eq!(r.state().reg("t3".parse()?).to_i64(), 42);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Debug, Clone)]
 pub struct ReferenceSim {
     text: Vec<Instruction>,
-    pc: usize,
-    trf: [Word9; 9],
-    tdm: Vec<Word9>,
+    state: CoreState,
     instructions: u64,
     halted: Option<HaltReason>,
+    mix: [u64; Instruction::OPCODE_COUNT],
+    observers: ObserverSet,
 }
 
 impl ReferenceSim {
     /// Builds an interpreter over `program` with a `tdm_words`-word TDM
-    /// (grown to fit the data image, like the functional simulator).
+    /// (grown to fit the data image, like the other backends).
+    #[deprecated(since = "0.2.0", note = "use SimBuilder with Backend::Reference")]
     pub fn new(program: &Program, tdm_words: usize) -> Self {
-        let mut tdm = vec![Word9::ZERO; tdm_words.max(program.data().len())];
-        tdm[..program.data().len()].copy_from_slice(program.data());
-        Self {
-            text: program.text().to_vec(),
-            pc: 0,
-            trf: [Word9::ZERO; 9],
-            tdm,
-            instructions: 0,
-            halted: None,
-        }
+        Self::build(
+            &PredecodedProgram::new(program),
+            tdm_words,
+            ObserverSet::default(),
+        )
     }
 
-    /// Current program counter.
-    pub fn pc(&self) -> usize {
-        self.pc
+    /// The one real constructor, reached through
+    /// [`SimBuilder`](crate::SimBuilder).
+    pub(crate) fn build(
+        image: &PredecodedProgram,
+        tdm_words: usize,
+        observers: ObserverSet,
+    ) -> Self {
+        Self {
+            text: image.text().to_vec(),
+            state: CoreState::with_image(image.data(), tdm_words),
+            instructions: 0,
+            halted: None,
+            mix: [0; Instruction::OPCODE_COUNT],
+            observers,
+        }
     }
 
     /// Reads a register.
     pub fn reg(&self, r: TReg) -> Word9 {
-        self.trf[r.index()]
+        self.state.reg(r)
     }
 
-    /// The whole register file.
-    pub fn trf(&self) -> &[Word9; 9] {
-        &self.trf
+    /// The architectural state (inspectable mid-run).
+    pub fn state(&self) -> &CoreState {
+        &self.state
     }
 
-    /// The TDM contents.
-    pub fn tdm(&self) -> &[Word9] {
-        &self.tdm
+    /// Mutable state access, e.g. to preload registers before a run.
+    pub fn state_mut(&mut self) -> &mut CoreState {
+        &mut self.state
     }
 
     /// Instructions executed so far.
@@ -128,67 +108,87 @@ impl ReferenceSim {
         self.halted
     }
 
+    /// Resolves a signed address value to a TDM index.
+    fn resolve(&self, addr: i64, pc: usize) -> Result<usize, SimError> {
+        if addr < 0 || addr as usize >= self.state.tdm.size() {
+            return Err(SimError::MemoryFault {
+                pc,
+                cause: TernaryError::AddressRange {
+                    address: addr,
+                    size: self.state.tdm.size(),
+                },
+            });
+        }
+        Ok(addr as usize)
+    }
+
     /// Executes one instruction; mirrors the architectural contract of
     /// `FunctionalSim::step` (halt detection order included) while
     /// computing every result per trit.
     ///
     /// # Errors
     ///
-    /// [`RefFault`] on wild control transfers or TDM violations.
-    pub fn step(&mut self) -> Result<Option<HaltReason>, RefFault> {
+    /// [`SimError`] on wild control transfers or TDM violations.
+    pub fn step(&mut self) -> Result<Option<HaltReason>, SimError> {
         if let Some(r) = self.halted {
             return Ok(Some(r));
         }
-        let pc = self.pc;
+        let pc = self.state.pc;
         if pc == self.text.len() {
             self.halted = Some(HaltReason::FellOffEnd);
+            if !self.observers.is_empty() {
+                self.observers
+                    .halt(HaltReason::FellOffEnd, self.instructions);
+            }
             return Ok(Some(HaltReason::FellOffEnd));
         }
         let instr = self.text[pc];
         self.instructions += 1;
+        self.mix[instr.opcode()] += 1;
 
         use Instruction::*;
         let link = word_from_value(pc as i64 + 1);
 
         // Destination value (per-trit), memory effects, and branch
         // decision, all re-derived from the paper's semantics.
+        let trf = &mut self.state.trf;
         match instr {
-            Mv { a, b } => self.trf[a.index()] = self.reg(b),
-            Pti { a, b } => self.trf[a.index()] = map_trits(self.reg(b), Trit::pti),
-            Nti { a, b } => self.trf[a.index()] = map_trits(self.reg(b), Trit::nti),
-            Sti { a, b } => self.trf[a.index()] = map_trits(self.reg(b), Trit::sti),
-            And { a, b } => self.trf[a.index()] = zip_trits(self.reg(a), self.reg(b), Trit::and),
-            Or { a, b } => self.trf[a.index()] = zip_trits(self.reg(a), self.reg(b), Trit::or),
-            Xor { a, b } => self.trf[a.index()] = zip_trits(self.reg(a), self.reg(b), Trit::xor),
+            Mv { a, b } => trf[a.index()] = trf[b.index()],
+            Pti { a, b } => trf[a.index()] = map_trits(trf[b.index()], Trit::pti),
+            Nti { a, b } => trf[a.index()] = map_trits(trf[b.index()], Trit::nti),
+            Sti { a, b } => trf[a.index()] = map_trits(trf[b.index()], Trit::sti),
+            And { a, b } => trf[a.index()] = zip_trits(trf[a.index()], trf[b.index()], Trit::and),
+            Or { a, b } => trf[a.index()] = zip_trits(trf[a.index()], trf[b.index()], Trit::or),
+            Xor { a, b } => trf[a.index()] = zip_trits(trf[a.index()], trf[b.index()], Trit::xor),
             Add { a, b } => {
-                self.trf[a.index()] = arith::add_tritwise(self.reg(a), self.reg(b)).0;
+                trf[a.index()] = arith::add_tritwise(trf[a.index()], trf[b.index()]).0;
             }
             Sub { a, b } => {
-                let neg_b = map_trits(self.reg(b), Trit::sti);
-                self.trf[a.index()] = arith::add_tritwise(self.reg(a), neg_b).0;
+                let neg_b = map_trits(trf[b.index()], Trit::sti);
+                trf[a.index()] = arith::add_tritwise(trf[a.index()], neg_b).0;
             }
             Sr { a, b } => {
-                let amount = low2_value(self.reg(b));
-                self.trf[a.index()] = shift_trits(self.reg(a), -amount);
+                let amount = low2_value(trf[b.index()]);
+                trf[a.index()] = shift_trits(trf[a.index()], -amount);
             }
             Sl { a, b } => {
-                let amount = low2_value(self.reg(b));
-                self.trf[a.index()] = shift_trits(self.reg(a), amount);
+                let amount = low2_value(trf[b.index()]);
+                trf[a.index()] = shift_trits(trf[a.index()], amount);
             }
             Comp { a, b } => {
-                self.trf[a.index()] = compare_trits(self.reg(a), self.reg(b));
+                trf[a.index()] = compare_trits(trf[a.index()], trf[b.index()]);
             }
             Andi { a, imm } => {
-                self.trf[a.index()] = zip_trits(self.reg(a), extend(imm), Trit::and);
+                trf[a.index()] = zip_trits(trf[a.index()], extend(imm), Trit::and);
             }
             Addi { a, imm } => {
-                self.trf[a.index()] = arith::add_tritwise(self.reg(a), extend(imm)).0;
+                trf[a.index()] = arith::add_tritwise(trf[a.index()], extend(imm)).0;
             }
             Sri { a, imm } => {
-                self.trf[a.index()] = shift_trits(self.reg(a), -signed_value(imm));
+                trf[a.index()] = shift_trits(trf[a.index()], -signed_value(imm));
             }
             Sli { a, imm } => {
-                self.trf[a.index()] = shift_trits(self.reg(a), signed_value(imm));
+                trf[a.index()] = shift_trits(trf[a.index()], signed_value(imm));
             }
             Lui { a, imm } => {
                 // {imm[3:0], 00000}: low five trits zero.
@@ -196,85 +196,167 @@ impl ReferenceSim {
                 for (i, t) in imm.trits().iter().enumerate() {
                     out[5 + i] = *t;
                 }
-                self.trf[a.index()] = Trits::from_trits(out);
+                trf[a.index()] = Trits::from_trits(out);
             }
             Li { a, imm } => {
                 // {TRF[Ta][8:5], imm[4:0]}: upper trits preserved.
-                let mut out = self.reg(a).trits();
+                let mut out = trf[a.index()].trits();
                 for (i, t) in imm.trits().iter().enumerate() {
                     out[i] = *t;
                 }
-                self.trf[a.index()] = Trits::from_trits(out);
+                trf[a.index()] = Trits::from_trits(out);
             }
             // B-type register effects (the links) are handled together
             // with the control transfer below, so `JALR tX, tX, k`
             // reads its base before the link overwrites it.
             Beq { .. } | Bne { .. } | Jal { .. } | Jalr { .. } => {}
             Load { a, b, offset } => {
-                let addr = address_value(self.reg(b), offset);
+                let addr = address_value(trf[b.index()], offset);
                 let idx = self.resolve(addr, pc)?;
-                self.trf[a.index()] = self.tdm[idx];
+                let v = self.state.tdm.read(idx).expect("resolved in range");
+                self.state.trf[a.index()] = v;
+                if !self.observers.is_empty() {
+                    self.observers.memory(&MemoryAccess {
+                        pc,
+                        address: idx,
+                        value: v,
+                        is_write: false,
+                    });
+                }
             }
             Store { a, b, offset } => {
-                let addr = address_value(self.reg(b), offset);
+                let addr = address_value(trf[b.index()], offset);
                 let idx = self.resolve(addr, pc)?;
-                self.tdm[idx] = self.reg(a);
+                let v = self.state.trf[a.index()];
+                self.state.tdm.write(idx, v).expect("resolved in range");
+                if !self.observers.is_empty() {
+                    self.observers.memory(&MemoryAccess {
+                        pc,
+                        address: idx,
+                        value: v,
+                        is_write: true,
+                    });
+                }
             }
         }
 
         // Control flow (per-trit address arithmetic for JALR).
-        let next: i64 = match instr {
+        let trf = &mut self.state.trf;
+        let (next, taken): (i64, bool) = match instr {
             Beq { b, cond, offset } => {
-                if self.reg(b).trits()[0] == cond {
-                    pc as i64 + signed_value(offset)
+                if trf[b.index()].trits()[0] == cond {
+                    (pc as i64 + signed_value(offset), true)
                 } else {
-                    pc as i64 + 1
+                    (pc as i64 + 1, false)
                 }
             }
             Bne { b, cond, offset } => {
-                if self.reg(b).trits()[0] != cond {
-                    pc as i64 + signed_value(offset)
+                if trf[b.index()].trits()[0] != cond {
+                    (pc as i64 + signed_value(offset), true)
                 } else {
-                    pc as i64 + 1
+                    (pc as i64 + 1, false)
                 }
             }
             Jal { a, offset } => {
                 let target = pc as i64 + signed_value(offset);
-                self.trf[a.index()] = link;
-                target
+                trf[a.index()] = link;
+                (target, true)
             }
             Jalr { a, b, offset } => {
                 // Target = base + offset computed tritwise *before* the
                 // link write, so `JALR tX, tX, k` uses the old base.
-                let target = address_value(self.reg(b), offset);
-                self.trf[a.index()] = link;
-                target
+                let target = address_value(trf[b.index()], offset);
+                trf[a.index()] = link;
+                (target, true)
             }
-            _ => pc as i64 + 1,
+            _ => (pc as i64 + 1, false),
         };
 
         if next < 0 || next as usize > self.text.len() {
-            return Err(RefFault::PcOutOfRange { pc: next });
+            return Err(SimError::PcOutOfRange {
+                at: self.instructions,
+                pc: next,
+                tim_size: self.text.len(),
+            });
+        }
+        if !self.observers.is_empty() {
+            if instr.is_control_flow() {
+                self.observers.control(pc, &instr, taken, next as usize);
+            }
+            self.observers.retire(pc, &instr, &self.state);
         }
         let next = next as usize;
-        if next == pc {
-            self.halted = Some(HaltReason::JumpToSelf);
-            return Ok(Some(HaltReason::JumpToSelf));
+        let halt = if next == pc {
+            Some(HaltReason::JumpToSelf)
+        } else if next == self.text.len() {
+            self.state.pc = next;
+            Some(HaltReason::FellOffEnd)
+        } else {
+            self.state.pc = next;
+            None
+        };
+        if let Some(reason) = halt {
+            self.halted = Some(reason);
+            if !self.observers.is_empty() {
+                self.observers.halt(reason, self.instructions);
+            }
         }
-        self.pc = next;
-        if next == self.text.len() {
-            self.halted = Some(HaltReason::FellOffEnd);
-            return Ok(Some(HaltReason::FellOffEnd));
-        }
-        Ok(None)
+        Ok(halt)
+    }
+}
+
+impl Core for ReferenceSim {
+    fn backend(&self) -> Backend {
+        Backend::Reference
     }
 
-    /// Resolves a signed address value to a TDM index.
-    fn resolve(&self, addr: i64, pc: usize) -> Result<usize, RefFault> {
-        if addr < 0 || addr as usize >= self.tdm.len() {
-            return Err(RefFault::MemoryFault { pc, address: addr });
+    fn step(&mut self) -> Result<Option<HaltReason>, SimError> {
+        ReferenceSim::step(self)
+    }
+
+    fn run_for(&mut self, budget: Budget) -> Result<RunSummary, SimError> {
+        run_loop(self, budget)
+    }
+
+    fn state(&self) -> &CoreState {
+        &self.state
+    }
+
+    fn state_mut(&mut self) -> &mut CoreState {
+        &mut self.state
+    }
+
+    fn halted(&self) -> Option<HaltReason> {
+        self.halted
+    }
+
+    fn retired(&self) -> u64 {
+        self.instructions
+    }
+
+    fn instruction_mix(&self) -> std::collections::BTreeMap<&'static str, u64> {
+        crate::core::mix_map(&self.mix)
+    }
+
+    fn snapshot(&self) -> Checkpoint {
+        Checkpoint {
+            backend: Backend::Reference,
+            text_len: self.text.len(),
+            state: self.state.clone(),
+            retired: self.instructions,
+            halted: self.halted,
+            mix: self.mix,
+            micro: Micro::Architectural,
         }
-        Ok(addr as usize)
+    }
+
+    fn restore(&mut self, checkpoint: &Checkpoint) -> Result<(), SimError> {
+        checkpoint.guard(Backend::Reference, self.text.len())?;
+        self.state = checkpoint.state.clone();
+        self.instructions = checkpoint.retired;
+        self.halted = checkpoint.halted;
+        self.mix = checkpoint.mix;
+        Ok(())
     }
 }
 
@@ -414,11 +496,12 @@ fn address_value<const N: usize>(base: Word9, offset: Trits<N>) -> i64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::core::SimBuilder;
     use art9_isa::assemble;
 
     fn run(src: &str) -> ReferenceSim {
         let p = assemble(src).unwrap();
-        let mut r = ReferenceSim::new(&p, 256);
+        let mut r = SimBuilder::new(&p).build_reference();
         for _ in 0..100_000 {
             if r.step().unwrap().is_some() {
                 return r;
@@ -442,13 +525,13 @@ mod tests {
              STORE t3, t2, 1\nLOAD t4, t2, 1\nJAL t0, 0\n",
         );
         assert_eq!(r.reg(TReg::T4).to_i64(), 42);
-        assert_eq!(r.tdm()[1].to_i64(), 42);
+        assert_eq!(r.state().tdm.read(1).unwrap().to_i64(), 42);
     }
 
     #[test]
     fn memory_fault_detected() {
         let p = assemble("LI t2, 121\nLUI t2, 40\nLOAD t3, t2, 0\n").unwrap();
-        let mut r = ReferenceSim::new(&p, 256);
+        let mut r = SimBuilder::new(&p).build_reference();
         let mut fault = None;
         for _ in 0..10 {
             match r.step() {
@@ -460,7 +543,7 @@ mod tests {
                 Ok(None) => {}
             }
         }
-        assert!(matches!(fault, Some(RefFault::MemoryFault { pc: 2, .. })));
+        assert!(matches!(fault, Some(SimError::MemoryFault { pc: 2, .. })));
     }
 
     #[test]
@@ -490,5 +573,14 @@ mod tests {
                 assert_eq!(shift_trits(w, -k), w.shr(k as usize), "{v} shr {k}");
             }
         }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructor_still_works() {
+        let p = assemble("LI t3, 5\nJAL t0, 0\n").unwrap();
+        let mut r = ReferenceSim::new(&p, 256);
+        while r.step().unwrap().is_none() {}
+        assert_eq!(r.reg(TReg::T3).to_i64(), 5);
     }
 }

@@ -32,13 +32,21 @@ pub struct PipelineStats {
 impl PipelineStats {
     /// Cycles per instruction.
     ///
-    /// Returns `f64::NAN` before any instruction retires.
+    /// Returns `0.0` before any instruction retires (never `NaN`).
     pub fn cpi(&self) -> f64 {
+        if self.instructions == 0 {
+            return 0.0;
+        }
         self.cycles as f64 / self.instructions as f64
     }
 
     /// Instructions per cycle.
+    ///
+    /// Returns `0.0` before the first cycle (never `NaN`).
     pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
         self.instructions as f64 / self.cycles as f64
     }
 
@@ -82,5 +90,13 @@ mod tests {
         let text = s.to_string();
         assert!(text.contains("CPI"));
         assert!(text.contains("120"));
+    }
+
+    #[test]
+    fn zero_counters_yield_finite_metrics() {
+        let s = PipelineStats::default();
+        assert_eq!(s.cpi(), 0.0);
+        assert_eq!(s.ipc(), 0.0);
+        assert!(s.cpi().is_finite() && s.ipc().is_finite());
     }
 }

@@ -8,7 +8,7 @@
 use proptest::prelude::*;
 
 use art9_isa::{Instruction, Program, TReg};
-use art9_sim::{FunctionalSim, PipelinedSim};
+use art9_sim::SimBuilder;
 use ternary::{Trit, Trits};
 
 /// Base register kept stable for memory addressing.
@@ -206,9 +206,10 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(512))]
     #[test]
     fn looped_pipeline_matches_functional(p in looped_program()) {
-        let mut f = FunctionalSim::new(&p);
+        let builder = SimBuilder::new(&p);
+        let mut f = builder.build_functional();
         let fr = f.run(1_000_000).expect("functional run completes");
-        let mut pipe = PipelinedSim::new(&p);
+        let mut pipe = builder.build_pipelined();
         let stats = pipe.run(1_000_000).expect("pipelined run completes");
         prop_assert_eq!(pipe.state().trf, f.state().trf, "register files diverge");
         prop_assert!(pipe.state().tdm.iter().eq(f.state().tdm.iter()));
@@ -217,10 +218,10 @@ proptest! {
 
     #[test]
     fn looped_no_forwarding_still_architecturally_equal(p in looped_program()) {
-        let mut f = FunctionalSim::new(&p);
+        let builder = SimBuilder::new(&p);
+        let mut f = builder.build_functional();
         f.run(1_000_000).expect("functional run completes");
-        let mut pipe = PipelinedSim::new(&p);
-        pipe.disable_forwarding();
+        let mut pipe = builder.clone().forwarding(false).build_pipelined();
         let stats = pipe.run(2_000_000).expect("no-forwarding run completes");
         prop_assert_eq!(pipe.state().trf, f.state().trf, "no-fwd diverges");
         prop_assert!(stats.cycles >= stats.instructions + 4);
@@ -228,10 +229,11 @@ proptest! {
 
     #[test]
     fn pipeline_matches_functional(p in program()) {
-        let mut f = FunctionalSim::new(&p);
+        let builder = SimBuilder::new(&p);
+        let mut f = builder.build_functional();
         let fr = f.run(1_000_000).expect("functional run completes");
 
-        let mut pipe = PipelinedSim::new(&p);
+        let mut pipe = builder.build_pipelined();
         let stats = pipe.run(1_000_000).expect("pipelined run completes");
 
         prop_assert_eq!(pipe.state().trf, f.state().trf, "register files diverge");

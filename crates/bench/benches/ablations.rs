@@ -11,7 +11,7 @@ use art9_compiler::{translate_with_options, TranslateOptions};
 use art9_hw::analyzer::analyze;
 use art9_hw::datapath::Datapath;
 use art9_hw::tech::{cntfet32, generic_cmos_ternary};
-use art9_sim::PipelinedSim;
+use art9_sim::SimBuilder;
 use criterion::{criterion_group, criterion_main, Criterion};
 use workloads::{bubble_sort, dhrystone};
 
@@ -21,10 +21,11 @@ fn print_ablations() {
     // 1. Forwarding.
     let w = bubble_sort(20);
     let t = art9_bench::translate(&w);
-    let mut with_fwd = PipelinedSim::new(&t.program);
+    let mut with_fwd = SimBuilder::new(&t.program).build_pipelined();
     let s1 = with_fwd.run(100_000_000).expect("completes");
-    let mut without = PipelinedSim::new(&t.program);
-    without.disable_forwarding();
+    let mut without = SimBuilder::new(&t.program)
+        .forwarding(false)
+        .build_pipelined();
     let s2 = without.run(100_000_000).expect("completes");
     println!(
         "forwarding (bubble-sort): {} cycles with vs {} without ({:+.0}% cycles, CPI {:.2} -> {:.2})",
@@ -112,14 +113,15 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablations");
     g.bench_function("pipeline_with_forwarding", |b| {
         b.iter(|| {
-            let mut core = PipelinedSim::new(&t.program);
+            let mut core = SimBuilder::new(&t.program).build_pipelined();
             core.run(100_000_000).expect("completes")
         })
     });
     g.bench_function("pipeline_without_forwarding", |b| {
         b.iter(|| {
-            let mut core = PipelinedSim::new(&t.program);
-            core.disable_forwarding();
+            let mut core = SimBuilder::new(&t.program)
+                .forwarding(false)
+                .build_pipelined();
             core.run(100_000_000).expect("completes")
         })
     });

@@ -1,53 +1,86 @@
 //! Simulator throughput: how many simulated cycles/instructions per
 //! host second each engine sustains. This is the framework's own
 //! usability metric (a slow simulator caps design-space exploration).
+//!
+//! Every ART-9 engine is measured through **one code path**: a
+//! [`SimBuilder`] + [`Core::run_for`] closure parameterized only by
+//! [`Backend`] and by whether the program image is re-decoded per run
+//! or `Arc`-shared (the batch driver's predecoded fast path).
 
 use art9_bench::translate;
-use art9_sim::{FunctionalSim, PipelinedSim, PredecodedProgram, DEFAULT_TDM_WORDS};
+use art9_sim::{Backend, Budget, PredecodedProgram, SimBuilder};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use rv32::{simulate_cycles, PicoRv32Model};
 use workloads::dhrystone;
+
+const RUN_BUDGET: u64 = 100_000_000;
 
 fn bench(c: &mut Criterion) {
     let w = dhrystone(10);
     let t = translate(&w);
     let rv = w.rv32_program().expect("parses");
     let image = PredecodedProgram::new(&t.program);
+    let shared = SimBuilder::new(&image);
 
     // Establish per-run work for throughput accounting.
-    let mut probe = PipelinedSim::new(&t.program);
-    let stats = probe.run(100_000_000).expect("completes");
+    let mut probe = shared.clone().backend(Backend::Pipelined).build();
+    let summary = probe.run_for(Budget::Steps(RUN_BUDGET)).expect("completes");
+    assert!(summary.halt.is_some(), "probe run halts");
+    let stats = probe.pipeline_stats().expect("pipelined probe");
+
+    // One measurement closure for every ART-9 case; the builder is the
+    // only thing that varies.
+    let run_case = |builder: &SimBuilder| {
+        let mut core = builder.build();
+        let summary = core.run_for(Budget::Steps(RUN_BUDGET)).expect("completes");
+        assert!(summary.halt.is_some());
+        summary
+    };
+
+    let cases: [(&str, Backend, bool, u64); 4] = [
+        (
+            "art9_pipelined_cycles",
+            Backend::Pipelined,
+            false,
+            stats.cycles,
+        ),
+        (
+            "art9_pipelined_predecoded",
+            Backend::Pipelined,
+            true,
+            stats.cycles,
+        ),
+        (
+            "art9_functional_instructions",
+            Backend::Functional,
+            false,
+            stats.instructions,
+        ),
+        (
+            "art9_functional_predecoded",
+            Backend::Functional,
+            true,
+            stats.instructions,
+        ),
+    ];
 
     let mut g = c.benchmark_group("sim_speed");
-    g.throughput(Throughput::Elements(stats.cycles));
-    g.bench_function("art9_pipelined_cycles", |b| {
-        b.iter(|| {
-            let mut core = PipelinedSim::new(&t.program);
-            core.run(100_000_000).expect("completes")
-        })
-    });
-    g.bench_function("art9_pipelined_predecoded", |b| {
-        // Shared decode-once image, as the batch driver runs it.
-        b.iter(|| {
-            let mut core = PipelinedSim::from_predecoded(&image, DEFAULT_TDM_WORDS);
-            core.run(100_000_000).expect("completes")
-        })
-    });
+    for (name, backend, share_image, per_run) in cases {
+        g.throughput(Throughput::Elements(per_run));
+        g.bench_function(name, |b| {
+            if share_image {
+                // Shared decode-once image, as the batch driver runs it.
+                let builder = shared.clone().backend(backend);
+                b.iter(|| run_case(&builder));
+            } else {
+                // Image re-decoded per construction, as a cold start.
+                b.iter(|| run_case(&SimBuilder::new(&t.program).backend(backend)));
+            }
+        });
+    }
     g.throughput(Throughput::Elements(stats.instructions));
-    g.bench_function("art9_functional_instructions", |b| {
-        b.iter(|| {
-            let mut sim = FunctionalSim::new(&t.program);
-            sim.run(100_000_000).expect("completes")
-        })
-    });
-    g.bench_function("art9_functional_predecoded", |b| {
-        b.iter(|| {
-            let mut sim = FunctionalSim::from_predecoded(&image, DEFAULT_TDM_WORDS);
-            sim.run(100_000_000).expect("completes")
-        })
-    });
     g.bench_function("rv32_picorv32_model", |b| {
-        b.iter(|| simulate_cycles(&rv, &mut PicoRv32Model::new(), 100_000_000).expect("completes"))
+        b.iter(|| simulate_cycles(&rv, &mut PicoRv32Model::new(), RUN_BUDGET).expect("completes"))
     });
     g.finish();
 }

@@ -2,7 +2,7 @@
 //! cells, plus a benchmark of the cycle-accurate simulator itself.
 
 use art9_bench::{dmips_per_mhz, run_picorv32, run_vexriscv, translate};
-use art9_sim::PipelinedSim;
+use art9_sim::SimBuilder;
 use criterion::{criterion_group, criterion_main, Criterion};
 use workloads::dhrystone;
 
@@ -55,7 +55,7 @@ fn bench(c: &mut Criterion) {
     let t = translate(&w);
     c.bench_function("table2/art9_pipelined_dhrystone_x10", |b| {
         b.iter(|| {
-            let mut core = PipelinedSim::new(&t.program);
+            let mut core = SimBuilder::new(&t.program).build_pipelined();
             core.run(100_000_000).expect("completes")
         })
     });

@@ -2,7 +2,7 @@
 //! PicoRV32, plus per-workload simulator benchmarks.
 
 use art9_bench::{run_art9, run_picorv32, translate};
-use art9_sim::PipelinedSim;
+use art9_sim::SimBuilder;
 use criterion::{criterion_group, criterion_main, Criterion};
 use workloads::paper_suite;
 
@@ -41,7 +41,7 @@ fn bench(c: &mut Criterion) {
         let t = translate(&wl);
         g.bench_function(format!("art9/{}", wl.name), |b| {
             b.iter(|| {
-                let mut core = PipelinedSim::new(&t.program);
+                let mut core = SimBuilder::new(&t.program).build_pipelined();
                 core.run(500_000_000).expect("completes")
             })
         });

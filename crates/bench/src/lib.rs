@@ -9,7 +9,7 @@
 pub mod gate;
 
 use art9_compiler::Translation;
-use art9_sim::{PipelineStats, PipelinedSim};
+use art9_sim::{PipelineStats, SimBuilder};
 use rv32::{CycleReport, PicoRv32Model, VexRiscvModel};
 use workloads::batch::DEFAULT_MAX_STEPS;
 use workloads::Workload;
@@ -24,7 +24,7 @@ pub fn translate(w: &Workload) -> Translation {
 /// Runs a translated workload on the pipelined ART-9, verifying the
 /// output.
 pub fn run_art9(w: &Workload, t: &Translation) -> PipelineStats {
-    let mut core = PipelinedSim::new(&t.program);
+    let mut core = SimBuilder::new(&t.program).build_pipelined();
     let stats = core.run(DEFAULT_MAX_STEPS).expect("ART-9 run completes");
     w.verify_art9(core.state()).expect("ART-9 output verifies");
     stats
@@ -67,7 +67,7 @@ pub mod perf {
     use std::hint::black_box;
     use std::time::{Duration, Instant};
 
-    use art9_sim::{FunctionalSim, PipelinedSim, PredecodedProgram, DEFAULT_TDM_WORDS};
+    use art9_sim::{PredecodedProgram, SimBuilder};
     use ternary::{arith, Word9};
     use workloads::batch::DEFAULT_MAX_STEPS;
     use workloads::Workload;
@@ -248,7 +248,8 @@ pub mod perf {
         let t = crate::translate(w);
         let image = PredecodedProgram::new(&t.program);
 
-        let mut probe = FunctionalSim::from_predecoded(&image, DEFAULT_TDM_WORDS);
+        let builder = SimBuilder::new(&image);
+        let mut probe = builder.build_functional();
         let instructions = probe
             .run(DEFAULT_MAX_STEPS)
             .expect("completes")
@@ -257,18 +258,18 @@ pub mod perf {
             let per_run = instructions as f64;
             per_run * 1e9
                 / ns_per_call(budget, || {
-                    let mut sim = FunctionalSim::from_predecoded(&image, DEFAULT_TDM_WORDS);
+                    let mut sim = builder.build_functional();
                     sim.run(DEFAULT_MAX_STEPS).expect("completes")
                 })
         };
 
-        let mut probe = PipelinedSim::from_predecoded(&image, DEFAULT_TDM_WORDS);
+        let mut probe = builder.build_pipelined();
         let cycles = probe.run(DEFAULT_MAX_STEPS).expect("completes").cycles;
         let pipelined_cps = {
             let per_run = cycles as f64;
             per_run * 1e9
                 / ns_per_call(budget, || {
-                    let mut core = PipelinedSim::from_predecoded(&image, DEFAULT_TDM_WORDS);
+                    let mut core = builder.build_pipelined();
                     core.run(DEFAULT_MAX_STEPS).expect("completes")
                 })
         };

@@ -10,7 +10,7 @@ use art9_hw::estimator::{
 use art9_hw::fpga::{map_to_fpga, MemoryConfig};
 use art9_hw::tech::{cntfet32, TechLibrary};
 use art9_isa::Program;
-use art9_sim::{PipelineStats, PipelinedSim, SimError};
+use art9_sim::{PipelineStats, SimBuilder, SimError};
 
 /// Front door of the hardware-level framework.
 ///
@@ -85,7 +85,7 @@ impl HardwareFramework {
         program: &Program,
         max_cycles: u64,
     ) -> Result<PipelineStats, SimError> {
-        let mut core = PipelinedSim::new(program);
+        let mut core = SimBuilder::new(program).build_pipelined();
         core.run(max_cycles)
     }
 

@@ -634,12 +634,13 @@ mod tests {
 
     #[test]
     fn generated_programs_terminate_within_budget() {
-        use art9_sim::FunctionalSim;
         let cfg = GenConfig::default();
         let budget = step_budget(&cfg);
         for i in 0..30 {
             let p = generate(&mut FuzzRng::for_iteration(99, i), &cfg);
-            let mut sim = FunctionalSim::with_tdm_size(&p, MIN_TDM_WORDS.max(256));
+            let mut sim = art9_sim::SimBuilder::new(&p)
+                .tdm_words(MIN_TDM_WORDS.max(256))
+                .build_functional();
             sim.run(budget)
                 .unwrap_or_else(|e| panic!("iteration {i} failed: {e}\n{p}"));
         }

@@ -34,16 +34,19 @@
 mod gen;
 mod minimize;
 mod oracle;
-mod refsim;
 mod replay;
 mod rng;
 
+/// The per-trit reference interpreter now lives in `art9-sim` (it
+/// implements the unified `Core` API); re-exported here for
+/// compatibility.
+pub use art9_sim::ReferenceSim;
 pub use gen::{generate, step_budget, GenConfig, Mix, MIN_TDM_WORDS};
 pub use minimize::{minimize, Minimized};
 pub use oracle::{
-    check_arith, check_program, random_word, Divergence, Oracle, OracleStats, ORACLE_TDM_WORDS,
+    check_arith, check_program, check_program_filtered, lockstep, random_word, Divergence,
+    LockstepOutcome, Oracle, OracleStats, ORACLE_TDM_WORDS,
 };
-pub use refsim::{RefFault, ReferenceSim};
 pub use replay::{parse_replay, render_replay, write_replay, ReplayMeta, REPLAY_MAGIC};
 pub use rng::FuzzRng;
 
@@ -69,6 +72,9 @@ pub struct FuzzConfig {
     /// Directory to write replay files for minimized failures;
     /// `None` keeps failures in the report only.
     pub fail_dir: Option<std::path::PathBuf>,
+    /// Restrict the campaign to one oracle (the `--oracle` triage
+    /// filter); `None` runs them all.
+    pub oracle: Option<Oracle>,
 }
 
 impl Default for FuzzConfig {
@@ -80,6 +86,7 @@ impl Default for FuzzConfig {
             arith_pairs: 32,
             sweep_mixes: false,
             fail_dir: None,
+            oracle: None,
         }
     }
 }
@@ -205,8 +212,8 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
             }
             let program = generate(&mut rng, &gen_cfg);
             let digest = program_digest(&program);
-            let (mut stats, mut divergence) = check_program(&program, budget);
-            if divergence.is_none() {
+            let (mut stats, mut divergence) = check_program_filtered(&program, budget, cfg.oracle);
+            if divergence.is_none() && cfg.oracle.is_none_or(|o| o == Oracle::Arithmetic) {
                 divergence = check_arith(&mut rng, cfg.arith_pairs, &mut stats);
             }
             let failure = divergence.map(|d| (i, d, program));
@@ -251,12 +258,15 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
             continue;
         }
         // Minimize program-level findings by re-running the flagging
-        // oracle.
-        let (final_program, final_divergence) =
-            match minimize(&program, |p| check_program(p, budget).1) {
-                Some(m) => (m.program, m.divergence),
-                None => (program, divergence),
-            };
+        // oracle (restricted to it, so minimization cost scales with
+        // one oracle, not five).
+        let flagging = divergence.oracle;
+        let (final_program, final_divergence) = match minimize(&program, |p| {
+            check_program_filtered(p, budget, Some(flagging)).1
+        }) {
+            Some(m) => (m.program, m.divergence),
+            None => (program, divergence),
+        };
         let meta = ReplayMeta {
             seed: cfg.seed,
             iteration,
@@ -283,14 +293,15 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
     }
 }
 
-/// Re-runs every program-level oracle on a replay file's program.
+/// Re-runs the program-level oracles on a replay file's program —
+/// all of them, or just `only` when triaging a single oracle.
 ///
 /// Returns the campaign-style report for the single case.
-pub fn run_replay(program: &Program) -> (OracleStats, Option<Divergence>) {
+pub fn run_replay(program: &Program, only: Option<Oracle>) -> (OracleStats, Option<Divergence>) {
     // A replayed program may not obey the generator's termination
     // invariants (it could be hand-edited), so give it a generous
     // fixed budget.
-    check_program(program, 2_000_000)
+    check_program_filtered(program, 2_000_000, only)
 }
 
 #[cfg(test)]

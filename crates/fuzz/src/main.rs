@@ -20,7 +20,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use art9_fuzz::{parse_replay, run_fuzz, run_replay, FuzzConfig, Mix};
+use art9_fuzz::{parse_replay, run_fuzz, run_replay, FuzzConfig, Mix, Oracle};
 
 const USAGE: &str = "\
 art9-fuzz: differential fuzzing of the ART-9 simulators and toolchain
@@ -32,6 +32,9 @@ OPTIONS:
     --seed N          Master seed (default 42); same seed => same programs
     --iterations N    Programs to generate and co-simulate (default 1000)
     --mix NAME        Instruction mix: balanced | alu | memory | control
+    --oracle NAME     Run only one oracle (functional-vs-reference |
+                      pipelined-fwd | pipelined-nofwd | toolchain-roundtrip |
+                      arithmetic) — for triaging a campaign or a replay file
     --max-len N       Upper bound on generated body length (default 160)
     --smoke           CI budget: 150 small programs across the mixes
     --fail-dir DIR    Write minimized replay files here (default fuzz-failures)
@@ -46,7 +49,7 @@ fn main() -> ExitCode {
             print!("{USAGE}");
             ExitCode::SUCCESS
         }
-        Ok(Cmd::Replay(path)) => replay_one(&path),
+        Ok(Cmd::Replay { path, oracle }) => replay_one(&path, oracle),
         Ok(Cmd::Run(cfg)) => campaign(&cfg),
         Err(e) => {
             eprintln!("error: {e}\n\n{USAGE}");
@@ -57,7 +60,10 @@ fn main() -> ExitCode {
 
 enum Cmd {
     Run(FuzzConfig),
-    Replay(PathBuf),
+    Replay {
+        path: PathBuf,
+        oracle: Option<Oracle>,
+    },
     Help,
 }
 
@@ -89,6 +95,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Cmd, String> {
                 explicit_max_len = Some(n);
             }
             "--mix" => explicit_mix = Some(value("--mix")?.parse::<Mix>()?),
+            "--oracle" => cfg.oracle = Some(value("--oracle")?.parse::<Oracle>()?),
             "--fail-dir" => cfg.fail_dir = Some(PathBuf::from(value("--fail-dir")?)),
             "--no-fail-dir" => cfg.fail_dir = None,
             "--replay" => replay = Some(PathBuf::from(value("--replay")?)),
@@ -96,7 +103,10 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Cmd, String> {
         }
     }
     if let Some(path) = replay {
-        return Ok(Cmd::Replay(path));
+        return Ok(Cmd::Replay {
+            path,
+            oracle: cfg.oracle,
+        });
     }
     if smoke {
         let smoke_cfg = FuzzConfig::smoke();
@@ -129,9 +139,10 @@ fn campaign(cfg: &FuzzConfig) -> ExitCode {
     } else {
         cfg.gen.mix.name()
     };
+    let oracle = cfg.oracle.map_or("all", |o| o.name());
     println!(
-        "art9-fuzz: seed {}, {} iterations, mix {}, max-len {}",
-        cfg.seed, cfg.iterations, mix, cfg.gen.max_len
+        "art9-fuzz: seed {}, {} iterations, mix {}, max-len {}, oracle {}",
+        cfg.seed, cfg.iterations, mix, cfg.gen.max_len, oracle
     );
     let start = std::time::Instant::now();
     let report = run_fuzz(cfg);
@@ -152,7 +163,14 @@ fn campaign(cfg: &FuzzConfig) -> ExitCode {
     }
 }
 
-fn replay_one(path: &std::path::Path) -> ExitCode {
+fn replay_one(path: &std::path::Path, oracle: Option<Oracle>) -> ExitCode {
+    if oracle == Some(Oracle::Arithmetic) {
+        eprintln!(
+            "error: the arithmetic oracle is value-level and has no program replay; \
+             reproduce it with --seed/--iterations instead"
+        );
+        return ExitCode::from(2);
+    }
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
@@ -168,12 +186,13 @@ fn replay_one(path: &std::path::Path) -> ExitCode {
         }
     };
     println!(
-        "replaying {} ({} instructions, {} data words)",
+        "replaying {} ({} instructions, {} data words, oracle {})",
         path.display(),
         program.text().len(),
-        program.data().len()
+        program.data().len(),
+        oracle.map_or("all", |o| o.name())
     );
-    let (stats, divergence) = run_replay(&program);
+    let (stats, divergence) = run_replay(&program, oracle);
     println!(
         "{} functional instructions, {} pipelined cycles, {} roundtrip checks",
         stats.functional_instructions, stats.pipelined_cycles, stats.roundtrip_checks

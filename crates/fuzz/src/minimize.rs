@@ -119,14 +119,14 @@ mod tests {
     use super::*;
     use crate::oracle::Oracle;
     use art9_isa::assemble;
-    use art9_sim::FunctionalSim;
+    use art9_sim::SimBuilder;
     use ternary::Word9;
 
     /// A synthetic oracle: "diverges" whenever the program leaves 42 in
     /// t3 at halt — stands in for a real simulator disagreement so the
     /// minimizer's contract can be tested without planting a bug.
     fn t3_is_42(p: &Program) -> Option<Divergence> {
-        let mut sim = FunctionalSim::new(p);
+        let mut sim = SimBuilder::new(p).build_functional();
         sim.run(10_000).ok()?;
         if sim.state().reg(art9_isa::TReg::T3) == Word9::from_i64(42).unwrap() {
             Some(Divergence {

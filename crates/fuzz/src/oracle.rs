@@ -1,26 +1,32 @@
 //! Lockstep co-simulation oracles.
 //!
 //! Every generated program runs through four independent executions —
-//! the functional simulator, the per-trit [`ReferenceSim`], and the
-//! pipelined simulator with forwarding on and off — plus the toolchain
-//! roundtrip (encode → decode → disassemble → reassemble). A fifth
-//! oracle exercises the packed-vs-tritwise arithmetic layer directly
-//! on random words. Any disagreement is reported as a [`Divergence`]
+//! the functional simulator, the per-trit
+//! [`ReferenceSim`](art9_sim::ReferenceSim), and the pipelined
+//! simulator with forwarding on and off — plus the toolchain roundtrip
+//! (encode → decode → disassemble → reassemble). A fifth oracle
+//! exercises the packed-vs-tritwise arithmetic layer directly on
+//! random words. Any disagreement is reported as a [`Divergence`]
 //! naming the oracle, the step, and the first differing piece of
 //! state.
 //!
-//! The functional/reference pair runs **step for step** (`pc`, the
-//! nine TRF registers and the instruction count are compared after
-//! every instruction); the pipelined runs are compared at halt
-//! (registers, TDM, halt reason, retired-instruction count) because
-//! the pipeline only exposes architectural state at retirement.
+//! The functional/reference pair runs **step for step** through the
+//! generic [`lockstep`] entry point — any two [`Core`] backends, `pc`,
+//! the nine TRF registers and the halt state compared after every
+//! instruction, TDM and retirement counts at halt. The pipelined runs
+//! are compared at halt (registers, TDM, halt reason,
+//! retired-instruction count) because the pipeline only exposes
+//! architectural state at retirement.
+//!
+//! Every simulator here is built through
+//! [`SimBuilder`](art9_sim::SimBuilder) — the oracles contain no
+//! backend-specific construction.
 
 use art9_isa::{assemble, decode, disassemble_word, encode, Program, ALL_REGS};
-use art9_sim::{CoreState, FunctionalSim, PipelinedSim, PredecodedProgram};
+use art9_sim::{Backend, Core, CoreState, HaltReason, PredecodedProgram, SimBuilder};
 use ternary::{arith, Trit, Trits, Word9};
 
 use crate::gen::MIN_TDM_WORDS;
-use crate::refsim::ReferenceSim;
 use crate::rng::FuzzRng;
 
 /// TDM size every oracle runs with: covers the generator's base window
@@ -47,7 +53,17 @@ pub enum Oracle {
 }
 
 impl Oracle {
-    /// Stable display name (used in replay files and reports).
+    /// Every oracle, in campaign order.
+    pub const ALL: [Oracle; 5] = [
+        Oracle::FunctionalVsReference,
+        Oracle::PipelinedForwarding,
+        Oracle::PipelinedNoForwarding,
+        Oracle::ToolchainRoundtrip,
+        Oracle::Arithmetic,
+    ];
+
+    /// Stable display name (used in replay files, reports, and the
+    /// `--oracle` CLI filter).
     pub fn name(&self) -> &'static str {
         match self {
             Oracle::FunctionalVsReference => "functional-vs-reference",
@@ -56,6 +72,23 @@ impl Oracle {
             Oracle::ToolchainRoundtrip => "toolchain-roundtrip",
             Oracle::Arithmetic => "arithmetic",
         }
+    }
+}
+
+impl std::str::FromStr for Oracle {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Oracle::ALL
+            .into_iter()
+            .find(|o| o.name() == s)
+            .ok_or_else(|| {
+                let names: Vec<_> = Oracle::ALL.iter().map(|o| o.name()).collect();
+                format!(
+                    "unknown oracle {s:?} (expected one of: {})",
+                    names.join(", ")
+                )
+            })
     }
 }
 
@@ -111,7 +144,128 @@ impl OracleStats {
     }
 }
 
-/// Runs every program-level oracle on `program`.
+/// How a [`lockstep`] co-simulation ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LockstepOutcome {
+    /// Both cores halted identically and agreed at every step.
+    Agreed(HaltReason),
+    /// The first disagreement (or a fault on either side), described.
+    Diverged(String),
+    /// Neither halt nor disagreement within the step budget.
+    BudgetExhausted,
+    /// A backend that cannot step architecturally (the pipeline) was
+    /// passed; no steps were executed.
+    Unsupported(String),
+}
+
+/// Runs two **architectural** [`Core`] backends in lockstep for up to
+/// `max_steps` steps: after every step the halt state, the PC and all
+/// nine TRF registers are compared; at halt the TDM and the
+/// retired-instruction counts are compared too. Differences are
+/// described naming each side's backend.
+///
+/// Generic over `Core + ?Sized`, so it accepts concrete simulators and
+/// `dyn Core` trait objects alike — the same entry point serves the
+/// fuzz campaign and ad-hoc A/B debugging.
+///
+/// The pipelined backend cannot run in lockstep — one of its steps is
+/// a clock cycle, it retires instructions stages later, and it does
+/// not maintain an architectural PC between steps — so passing it on
+/// either side is rejected up front ([`LockstepOutcome::Unsupported`])
+/// instead of producing a spurious first-step divergence. Compare the
+/// pipeline at halt, as [`check_program`] does.
+pub fn lockstep<A, B>(a: &mut A, b: &mut B, max_steps: u64) -> LockstepOutcome
+where
+    A: Core + ?Sized,
+    B: Core + ?Sized,
+{
+    if a.backend() == Backend::Pipelined || b.backend() == Backend::Pipelined {
+        return LockstepOutcome::Unsupported(
+            "the pipelined backend steps by clock cycle and exposes architectural state \
+             only at retirement; run it to halt and compare final states instead"
+                .into(),
+        );
+    }
+    let (an, bn) = (a.backend().name(), b.backend().name());
+    for _ in 0..=max_steps {
+        let ha = match a.step() {
+            Ok(h) => h,
+            Err(e) => return LockstepOutcome::Diverged(format!("{an} core faulted: {e}")),
+        };
+        let hb = match b.step() {
+            Ok(h) => h,
+            Err(e) => return LockstepOutcome::Diverged(format!("{bn} core faulted: {e}")),
+        };
+        if ha != hb {
+            return LockstepOutcome::Diverged(format!(
+                "halt disagreement after {} instructions: {an} {ha:?}, {bn} {hb:?}",
+                a.retired()
+            ));
+        }
+        if let Some(d) = step_difference(a.state(), b.state(), an, bn) {
+            return LockstepOutcome::Diverged(format!("after {} instructions: {d}", a.retired()));
+        }
+        if let Some(halt) = ha {
+            // Memory is compared once at halt; registers were compared
+            // every step.
+            if a.state().tdm.size() != b.state().tdm.size() {
+                return LockstepOutcome::Diverged(format!(
+                    "TDM sizes {} ({an}) vs {} ({bn})",
+                    a.state().tdm.size(),
+                    b.state().tdm.size()
+                ));
+            }
+            for (addr, (x, y)) in a.state().tdm.iter().zip(b.state().tdm.iter()).enumerate() {
+                if x != y {
+                    return LockstepOutcome::Diverged(format!(
+                        "TDM[{addr}] = {} ({an}) vs {} ({bn}) at halt",
+                        x.to_i64(),
+                        y.to_i64()
+                    ));
+                }
+            }
+            if a.retired() != b.retired() {
+                return LockstepOutcome::Diverged(format!(
+                    "instruction counts differ: {} vs {}",
+                    a.retired(),
+                    b.retired()
+                ));
+            }
+            return LockstepOutcome::Agreed(halt);
+        }
+    }
+    LockstepOutcome::BudgetExhausted
+}
+
+/// The first per-step difference between two architectural states:
+/// PC first, then the nine registers.
+fn step_difference(a: &CoreState, b: &CoreState, an: &str, bn: &str) -> Option<String> {
+    if a.pc != b.pc {
+        return Some(format!("pc {} ({an}) vs {} ({bn})", a.pc, b.pc));
+    }
+    for r in ALL_REGS {
+        let x = a.reg(r);
+        let y = b.reg(r);
+        if x != y {
+            return Some(format!(
+                "{r} = {x} ({}) {an} vs {y} ({}) {bn}",
+                x.to_i64(),
+                y.to_i64()
+            ));
+        }
+    }
+    None
+}
+
+/// Runs every program-level oracle on `program`; see
+/// [`check_program_filtered`] for running a single oracle.
+pub fn check_program(program: &Program, step_budget: u64) -> (OracleStats, Option<Divergence>) {
+    check_program_filtered(program, step_budget, None)
+}
+
+/// Runs the program-level oracles on `program`, restricted to `only`
+/// when set (the `--oracle` triage filter; the pipelined oracles still
+/// execute the functional simulator once as their comparison baseline).
 ///
 /// Returns the first divergence found (checking stops there — the
 /// minimizer will re-run the same check on reduced programs) plus the
@@ -120,127 +274,103 @@ impl OracleStats {
 /// `step_budget` bounds the functional/reference runs; the pipelined
 /// runs get `16×` that in cycles (a generated program's CPI is far
 /// below that — exhausting the budget is itself a divergence).
-pub fn check_program(program: &Program, step_budget: u64) -> (OracleStats, Option<Divergence>) {
+pub fn check_program_filtered(
+    program: &Program,
+    step_budget: u64,
+    only: Option<Oracle>,
+) -> (OracleStats, Option<Divergence>) {
     let mut stats = OracleStats::default();
+    let enabled = |o: Oracle| only.is_none() || only == Some(o);
 
-    if let Some(d) = roundtrip_oracle(program, &mut stats) {
-        return (stats, Some(d));
+    if enabled(Oracle::ToolchainRoundtrip) {
+        if let Some(d) = roundtrip_oracle(program, &mut stats) {
+            return (stats, Some(d));
+        }
+    }
+
+    let run_fwd = enabled(Oracle::PipelinedForwarding);
+    let run_nofwd = enabled(Oracle::PipelinedNoForwarding);
+    let run_lockstep = enabled(Oracle::FunctionalVsReference);
+    if !(run_lockstep || run_fwd || run_nofwd) {
+        return (stats, None);
     }
 
     let image = PredecodedProgram::new(program);
+    let builder = SimBuilder::new(&image).tdm_words(ORACLE_TDM_WORDS);
 
     // --- Functional vs per-trit reference, in lockstep ---------------
-    let mut func = FunctionalSim::from_predecoded(&image, ORACLE_TDM_WORDS);
-    let mut reference = ReferenceSim::new(program, ORACLE_TDM_WORDS);
-    let mut steps = 0u64;
-    let func_halt = loop {
-        if steps > step_budget {
-            break None;
-        }
-        steps += 1;
-        let f = match func.step() {
-            Ok(h) => h,
-            Err(e) => {
-                stats.functional_instructions = func.instructions();
+    // (When filtered to a pipelined oracle, the functional simulator
+    // still runs — alone — as that oracle's baseline.)
+    let mut func = builder.build_functional();
+    let func_halt = if run_lockstep {
+        let mut reference = builder.build_reference();
+        let outcome = lockstep(&mut func, &mut reference, step_budget);
+        stats.functional_instructions = func.instructions();
+        match outcome {
+            LockstepOutcome::Diverged(detail) => {
                 return (
                     stats,
                     Some(Divergence {
                         oracle: Oracle::FunctionalVsReference,
-                        detail: format!("functional simulator faulted: {e}"),
+                        detail,
                     }),
                 );
             }
-        };
-        let r = match reference.step() {
-            Ok(h) => h,
-            Err(e) => {
-                stats.functional_instructions = func.instructions();
+            LockstepOutcome::BudgetExhausted => {
                 return (
                     stats,
                     Some(Divergence {
                         oracle: Oracle::FunctionalVsReference,
-                        detail: format!("reference interpreter faulted: {e}"),
+                        detail: format!(
+                            "program {} {step_budget} steps",
+                            Divergence::BUDGET_MARKER
+                        ),
                     }),
                 );
             }
+            LockstepOutcome::Unsupported(why) => {
+                unreachable!("architectural backends rejected by lockstep: {why}")
+            }
+            LockstepOutcome::Agreed(halt) => halt,
+        }
+    } else {
+        let baseline_oracle = if run_fwd {
+            Oracle::PipelinedForwarding
+        } else {
+            Oracle::PipelinedNoForwarding
         };
-        if f != r {
-            stats.functional_instructions = func.instructions();
-            return (
-                stats,
-                Some(Divergence {
-                    oracle: Oracle::FunctionalVsReference,
-                    detail: format!(
-                        "halt disagreement after {} instructions: functional {f:?}, reference {r:?}",
-                        func.instructions()
-                    ),
-                }),
-            );
-        }
-        if let Some(d) = lockstep_difference(func.state(), &reference) {
-            stats.functional_instructions = func.instructions();
-            return (
-                stats,
-                Some(Divergence {
-                    oracle: Oracle::FunctionalVsReference,
-                    detail: format!("after {} instructions: {d}", func.instructions()),
-                }),
-            );
-        }
-        if f.is_some() {
-            break f;
+        match func.run(step_budget) {
+            Ok(result) => {
+                stats.functional_instructions = func.instructions();
+                result.halt
+            }
+            Err(e) => {
+                stats.functional_instructions = func.instructions();
+                let detail = if matches!(e, art9_sim::SimError::Timeout { .. }) {
+                    format!("program {} {step_budget} steps", Divergence::BUDGET_MARKER)
+                } else {
+                    format!("functional baseline faulted: {e}")
+                };
+                return (
+                    stats,
+                    Some(Divergence {
+                        oracle: baseline_oracle,
+                        detail,
+                    }),
+                );
+            }
         }
     };
-    stats.functional_instructions = func.instructions();
-    let Some(func_halt) = func_halt else {
-        return (
-            stats,
-            Some(Divergence {
-                oracle: Oracle::FunctionalVsReference,
-                detail: format!("program {} {step_budget} steps", Divergence::BUDGET_MARKER),
-            }),
-        );
-    };
-
-    // Final memory + count comparison (memory is compared once at halt;
-    // registers were compared every step).
-    let tdm_words: Vec<Word9> = func.state().tdm.iter().copied().collect();
-    if let Some(addr) = first_mismatch(&tdm_words, reference.tdm()) {
-        return (
-            stats,
-            Some(Divergence {
-                oracle: Oracle::FunctionalVsReference,
-                detail: format!(
-                    "TDM[{addr}] = {} (functional) vs {} (reference) at halt",
-                    tdm_words[addr].to_i64(),
-                    reference.tdm()[addr].to_i64()
-                ),
-            }),
-        );
-    }
-    if func.instructions() != reference.instructions() {
-        return (
-            stats,
-            Some(Divergence {
-                oracle: Oracle::FunctionalVsReference,
-                detail: format!(
-                    "instruction counts differ: {} vs {}",
-                    func.instructions(),
-                    reference.instructions()
-                ),
-            }),
-        );
-    }
 
     // --- Pipelined (both forwarding settings) vs functional ----------
     for (oracle, forwarding) in [
         (Oracle::PipelinedForwarding, true),
         (Oracle::PipelinedNoForwarding, false),
     ] {
-        let mut pipe = PipelinedSim::from_predecoded(&image, ORACLE_TDM_WORDS);
-        if !forwarding {
-            pipe.disable_forwarding();
+        if !enabled(oracle) {
+            continue;
         }
+        let mut pipe = builder.clone().forwarding(forwarding).build_pipelined();
         let cycle_budget = step_budget.saturating_mul(16).max(1024);
         let halt = loop {
             if pipe.stats().cycles > cycle_budget {
@@ -352,36 +482,6 @@ fn roundtrip_oracle(program: &Program, stats: &mut OracleStats) -> Option<Diverg
                     detail: format!("pc {pc}: listing {text:?} failed to reassemble: {e}"),
                 });
             }
-        }
-    }
-    None
-}
-
-/// Index of the first differing word, if any.
-fn first_mismatch(a: &[Word9], b: &[Word9]) -> Option<usize> {
-    debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).position(|(x, y)| x != y)
-}
-
-/// The first per-step difference between the functional state and the
-/// reference interpreter: PC first, then the nine registers.
-fn lockstep_difference(func: &CoreState, reference: &ReferenceSim) -> Option<String> {
-    if func.pc != reference.pc() {
-        return Some(format!(
-            "pc {} (functional) vs {} (reference)",
-            func.pc,
-            reference.pc()
-        ));
-    }
-    for r in ALL_REGS {
-        let f = func.reg(r);
-        let g = reference.reg(r);
-        if f != g {
-            return Some(format!(
-                "{r} = {f} ({}) functional vs {g} ({}) reference",
-                f.to_i64(),
-                g.to_i64()
-            ));
         }
     }
     None
@@ -504,6 +604,7 @@ pub fn random_word(rng: &mut FuzzRng) -> Word9 {
 mod tests {
     use super::*;
     use crate::gen::{generate, GenConfig};
+    use art9_sim::Backend;
 
     #[test]
     fn clean_programs_have_no_divergence() {
@@ -535,27 +636,75 @@ mod tests {
     fn lockstep_detects_a_planted_register_difference() {
         // Run the functional simulator and the reference on programs
         // that differ in exactly one immediate — a stand-in for a
-        // semantic bug in either backend. The lockstep comparator must
-        // flag the register, proving the detection path is live (the
-        // clean-campaign tests alone could pass with a comparator that
-        // always answers None).
+        // semantic bug in either backend. The generic lockstep entry
+        // point must flag the register, proving the detection path is
+        // live (the clean-campaign tests alone could pass with a
+        // comparator that always answers Agreed).
         let good = art9_isa::assemble("LI t3, 5\nJAL t0, 0\n").unwrap();
         let bad = art9_isa::assemble("LI t3, 6\nJAL t0, 0\n").unwrap();
-        let mut func = FunctionalSim::new(&good);
-        let mut reference = ReferenceSim::new(&bad, ORACLE_TDM_WORDS);
-        func.step().unwrap();
-        reference.step().unwrap();
-        let d = lockstep_difference(func.state(), &reference).expect("difference detected");
+        let mut func = SimBuilder::new(&good).build_functional();
+        let mut reference = SimBuilder::new(&bad).build_reference();
+        let LockstepOutcome::Diverged(d) = lockstep(&mut func, &mut reference, 100) else {
+            panic!("difference not detected");
+        };
         assert!(d.contains("t3"), "{d}");
         assert!(d.contains('5') && d.contains('6'), "{d}");
+        assert!(d.contains("functional") && d.contains("reference"), "{d}");
+    }
+
+    #[test]
+    fn lockstep_accepts_dyn_cores_and_agrees_on_clean_programs() {
+        // The same entry point drives boxed `dyn Core`s — any two
+        // backends, no special-casing.
+        let p = art9_isa::assemble(
+            "LI t3, 10\nloop:\nADDI t3, -1\nMV t7, t3\nCOMP t7, t0\n\
+             BEQ t7, +, loop\nJAL t0, 0\n",
+        )
+        .unwrap();
+        let builder = SimBuilder::new(&p);
+        let mut a = builder.build();
+        let mut b = builder.clone().backend(Backend::Reference).build();
+        assert_eq!(
+            lockstep(&mut *a, &mut *b, 10_000),
+            LockstepOutcome::Agreed(HaltReason::JumpToSelf)
+        );
+    }
+
+    #[test]
+    fn lockstep_rejects_the_pipelined_backend_up_front() {
+        // The pipeline steps by clock cycle and keeps no architectural
+        // PC between steps; lockstepping it would always produce a
+        // spurious first-step divergence, so it is refused instead.
+        let p = art9_isa::assemble("LI t3, 1\nJAL t0, 0\n").unwrap();
+        let builder = SimBuilder::new(&p);
+        let mut func = builder.build_functional();
+        let mut pipe = builder.build_pipelined();
+        assert!(matches!(
+            lockstep(&mut func, &mut pipe, 100),
+            LockstepOutcome::Unsupported(_)
+        ));
+        assert_eq!(pipe.stats().cycles, 0, "no steps executed");
+    }
+
+    #[test]
+    fn lockstep_reports_budget_exhaustion() {
+        let p = art9_isa::assemble("a: NOP\nJAL t0, a\n").unwrap();
+        let builder = SimBuilder::new(&p);
+        let mut a = builder.build_functional();
+        let mut b = builder.build_reference();
+        assert_eq!(
+            lockstep(&mut a, &mut b, 50),
+            LockstepOutcome::BudgetExhausted
+        );
     }
 
     #[test]
     fn final_state_diff_detects_planted_register_and_memory_differences() {
         use art9_isa::TReg;
         let p = art9_isa::assemble("LI t3, 1\nJAL t0, 0\n").unwrap();
-        let mut a = FunctionalSim::new(&p);
-        let mut b = FunctionalSim::new(&p);
+        let builder = SimBuilder::new(&p);
+        let mut a = builder.build_functional();
+        let mut b = builder.build_functional();
         a.run(100).unwrap();
         b.run(100).unwrap();
         assert_eq!(a.state().first_difference(b.state()), None);
@@ -588,5 +737,49 @@ mod tests {
         let d = d.expect("budget divergence");
         assert_eq!(d.oracle, Oracle::FunctionalVsReference);
         assert!(d.detail.contains("budget"));
+    }
+
+    #[test]
+    fn oracle_filter_runs_only_the_selected_oracle() {
+        let cfg = GenConfig::default();
+        let p = generate(&mut FuzzRng::for_iteration(5, 0), &cfg);
+        let budget = crate::gen::step_budget(&cfg);
+
+        // Roundtrip only: no simulation work at all.
+        let (stats, d) = check_program_filtered(&p, budget, Some(Oracle::ToolchainRoundtrip));
+        assert!(d.is_none());
+        assert!(stats.roundtrip_checks > 0);
+        assert_eq!(stats.functional_instructions, 0);
+        assert_eq!(stats.pipelined_cycles, 0);
+
+        // One pipelined oracle: the functional baseline runs, but only
+        // one pipelined configuration does.
+        let (all_stats, _) = check_program(&p, budget);
+        let (stats, d) = check_program_filtered(&p, budget, Some(Oracle::PipelinedForwarding));
+        assert!(d.is_none());
+        assert_eq!(stats.roundtrip_checks, 0);
+        assert!(stats.functional_instructions > 0);
+        assert!(stats.pipelined_cycles > 0);
+        assert!(
+            stats.pipelined_cycles < all_stats.pipelined_cycles,
+            "filter must skip the other pipelined run ({} vs {})",
+            stats.pipelined_cycles,
+            all_stats.pipelined_cycles
+        );
+
+        // The filter still catches the filtered oracle's failures.
+        let p = art9_isa::assemble("a: NOP\nJAL t0, a\n").unwrap();
+        let (_, d) = check_program_filtered(&p, 100, Some(Oracle::PipelinedForwarding));
+        let d = d.expect("budget divergence under filter");
+        assert_eq!(d.oracle, Oracle::PipelinedForwarding);
+        assert!(d.is_budget_exhaustion());
+    }
+
+    #[test]
+    fn oracle_names_parse_back() {
+        for o in Oracle::ALL {
+            assert_eq!(o.name().parse::<Oracle>().unwrap(), o);
+        }
+        assert!("no-such-oracle".parse::<Oracle>().is_err());
     }
 }

@@ -32,7 +32,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use art9_compiler::Translation;
-use art9_sim::{FunctionalSim, PipelineStats, PipelinedSim, PredecodedProgram, DEFAULT_TDM_WORDS};
+use art9_sim::{Backend, Budget, PipelineStats, PredecodedProgram, SimBuilder, SimError};
 use rayon::prelude::*;
 use rv32::{PicoRv32Model, Rv32Program, VexRiscvModel};
 
@@ -80,11 +80,21 @@ impl SimConfig {
         }
     }
 
+    /// The ART-9 [`Backend`] (and forwarding setting) this
+    /// configuration maps to — `None` for the RV32 baselines. This is
+    /// the single point where `SimConfig` meets the simulator API:
+    /// everything downstream goes through [`SimBuilder`] and the
+    /// backend-generic [`art9_sim::Core`] trait.
+    pub fn art9_backend(&self) -> Option<(Backend, bool)> {
+        match self {
+            SimConfig::Art9Functional => Some((Backend::Functional, true)),
+            SimConfig::Art9Pipelined { forwarding } => Some((Backend::Pipelined, *forwarding)),
+            SimConfig::Rv32PicoRv32 | SimConfig::Rv32VexRiscv => None,
+        }
+    }
+
     fn needs_translation(&self) -> bool {
-        matches!(
-            self,
-            SimConfig::Art9Functional | SimConfig::Art9Pipelined { .. }
-        )
+        self.art9_backend().is_some()
     }
 }
 
@@ -182,14 +192,27 @@ impl BatchReport {
     /// Ratio of serial-equivalent host time (preparation + every run)
     /// to batch wall time. Values above 1.0 mean the parallel fan-out
     /// paid off.
+    ///
+    /// Returns `0.0` for an empty report or a zero-duration batch
+    /// (a ratio would be meaningless) — never `NaN` or `inf`.
     pub fn parallel_speedup(&self) -> f64 {
-        (self.total_host_time() + self.prepare_host_time).as_secs_f64()
-            / self.wall_time.as_secs_f64().max(1e-9)
+        let wall = self.wall_time.as_secs_f64();
+        if self.runs.is_empty() || wall <= 0.0 {
+            return 0.0;
+        }
+        (self.total_host_time() + self.prepare_host_time).as_secs_f64() / wall
     }
 
     /// Simulated cycles per host second over the whole batch.
+    ///
+    /// Returns `0.0` for an empty report or a zero-duration batch —
+    /// never `NaN` or `inf`.
     pub fn cycles_per_second(&self) -> f64 {
-        self.total_cycles() as f64 / self.wall_time.as_secs_f64().max(1e-9)
+        let wall = self.wall_time.as_secs_f64();
+        if self.runs.is_empty() || wall <= 0.0 {
+            return 0.0;
+        }
+        self.total_cycles() as f64 / wall
     }
 
     /// Renders the per-run table plus the aggregate footer.
@@ -450,10 +473,13 @@ fn execute(p: &Prepared, config: SimConfig, max_steps: u64) -> RunRecord {
         Err(e) => return fail(RunOutcome::Error(format!("parse: {e}")), Duration::ZERO),
     };
 
-    match config {
-        SimConfig::Art9Functional | SimConfig::Art9Pipelined { .. } => {
+    match config.art9_backend() {
+        Some((backend, forwarding)) => {
             // The prepare stage decoded the program once; all ART-9
-            // configs fetch from that shared image.
+            // configs fetch from that shared image. One backend-generic
+            // code path serves every ART-9 configuration: construction
+            // through SimBuilder, execution through `Core::run_for`,
+            // timing through `Core::pipeline_stats`.
             let image = match (&p.predecoded, p.translation.as_ref()) {
                 (Some(image), _) => image,
                 (None, Some(Err(e))) => {
@@ -467,57 +493,37 @@ fn execute(p: &Prepared, config: SimConfig, max_steps: u64) -> RunRecord {
                 }
             };
             let start = Instant::now();
-            match config {
-                SimConfig::Art9Functional => {
-                    let mut sim = FunctionalSim::from_predecoded(image, DEFAULT_TDM_WORDS);
-                    let result = match sim.run(max_steps) {
-                        Ok(r) => r,
-                        Err(e) => return fail(RunOutcome::Error(e.to_string()), start.elapsed()),
-                    };
-                    let host_time = start.elapsed();
-                    let outcome = match p.workload.verify_art9(sim.state()) {
-                        Ok(()) => RunOutcome::Verified,
-                        Err(e) => RunOutcome::VerifyFailed(e.to_string()),
-                    };
-                    RunRecord {
-                        workload: name,
-                        config,
-                        cycles: None,
-                        instructions: result.instructions,
-                        pipeline: None,
-                        host_time,
-                        outcome,
-                    }
-                }
-                _ => {
-                    let forwarding =
-                        matches!(config, SimConfig::Art9Pipelined { forwarding: true });
-                    let mut core = PipelinedSim::from_predecoded(image, DEFAULT_TDM_WORDS);
-                    if !forwarding {
-                        core.disable_forwarding();
-                    }
-                    let stats = match core.run(max_steps) {
-                        Ok(s) => s,
-                        Err(e) => return fail(RunOutcome::Error(e.to_string()), start.elapsed()),
-                    };
-                    let host_time = start.elapsed();
-                    let outcome = match p.workload.verify_art9(core.state()) {
-                        Ok(()) => RunOutcome::Verified,
-                        Err(e) => RunOutcome::VerifyFailed(e.to_string()),
-                    };
-                    RunRecord {
-                        workload: name,
-                        config,
-                        cycles: Some(stats.cycles),
-                        instructions: stats.instructions,
-                        pipeline: Some(stats),
-                        host_time,
-                        outcome,
-                    }
-                }
+            let mut core = SimBuilder::new(image)
+                .backend(backend)
+                .forwarding(forwarding)
+                .build();
+            let summary = match core.run_for(Budget::Steps(max_steps)) {
+                Ok(s) => s,
+                Err(e) => return fail(RunOutcome::Error(e.to_string()), start.elapsed()),
+            };
+            if summary.halt.is_none() {
+                return fail(
+                    RunOutcome::Error(SimError::Timeout { limit: max_steps }.to_string()),
+                    start.elapsed(),
+                );
+            }
+            let host_time = start.elapsed();
+            let outcome = match p.workload.verify_art9(core.state()) {
+                Ok(()) => RunOutcome::Verified,
+                Err(e) => RunOutcome::VerifyFailed(e.to_string()),
+            };
+            let stats = core.pipeline_stats();
+            RunRecord {
+                workload: name,
+                config,
+                cycles: stats.map(|s| s.cycles),
+                instructions: summary.retired,
+                pipeline: stats,
+                host_time,
+                outcome,
             }
         }
-        SimConfig::Rv32PicoRv32 | SimConfig::Rv32VexRiscv => {
+        None => {
             // The functional run + verification happened once in the
             // prepare stage; here only the requested cycle model runs.
             let outcome = match &p.rv_functional {
@@ -598,7 +604,7 @@ mod tests {
         // batch record (simulators are deterministic).
         let w = bubble_sort(8);
         let t = art9_compiler::translate(&w.rv32_program().unwrap()).unwrap();
-        let mut core = PipelinedSim::new(&t.program);
+        let mut core = SimBuilder::new(&t.program).build_pipelined();
         let stats = core.run(10_000_000).unwrap();
         let r = &report.runs[0];
         assert_eq!(r.cycles, Some(stats.cycles));
@@ -684,6 +690,41 @@ mod tests {
         assert_eq!(report.failures(), 1);
         assert!(matches!(report.runs[0].outcome, RunOutcome::Error(_)));
         assert_eq!(report.runs[1].outcome, RunOutcome::Verified);
+    }
+
+    #[test]
+    fn empty_and_zero_duration_reports_yield_finite_metrics() {
+        // An empty report (no runs) must not produce NaN/inf.
+        let empty = BatchReport {
+            seed: None,
+            runs: Vec::new(),
+            wall_time: Duration::ZERO,
+            prepare_host_time: Duration::ZERO,
+            threads: 1,
+        };
+        assert_eq!(empty.parallel_speedup(), 0.0);
+        assert_eq!(empty.cycles_per_second(), 0.0);
+        assert!(empty.render().contains("0 runs"));
+
+        // Zero wall time with runs present (degenerate clock) is also
+        // guarded.
+        let mut zero_wall = small_batch();
+        zero_wall.wall_time = Duration::ZERO;
+        assert_eq!(zero_wall.parallel_speedup(), 0.0);
+        assert_eq!(zero_wall.cycles_per_second(), 0.0);
+        assert!(zero_wall.parallel_speedup().is_finite());
+
+        // A record that retired nothing has no CPI rather than NaN.
+        let r = RunRecord {
+            workload: "empty",
+            config: SimConfig::Art9Functional,
+            cycles: Some(0),
+            instructions: 0,
+            pipeline: None,
+            host_time: Duration::ZERO,
+            outcome: RunOutcome::Verified,
+        };
+        assert_eq!(r.cpi(), None);
     }
 
     #[test]

@@ -83,7 +83,7 @@ done:
 mod tests {
     use super::*;
     use art9_compiler::translate;
-    use art9_sim::{FunctionalSim, PipelinedSim};
+    use art9_sim::SimBuilder;
     use rv32::Machine;
 
     #[test]
@@ -99,11 +99,11 @@ mod tests {
     fn sorts_on_art9_functional_and_pipelined() {
         let w = bubble_sort(12);
         let t = translate(&w.rv32_program().unwrap()).unwrap();
-        let mut f = FunctionalSim::new(&t.program);
+        let mut f = SimBuilder::new(&t.program).build_functional();
         f.run(2_000_000).unwrap();
         w.verify_art9(f.state()).unwrap();
 
-        let mut pipe = PipelinedSim::new(&t.program);
+        let mut pipe = SimBuilder::new(&t.program).build_pipelined();
         let stats = pipe.run(4_000_000).unwrap();
         w.verify_art9(pipe.state()).unwrap();
         assert!(

@@ -282,7 +282,7 @@ p1_loop:
 mod tests {
     use super::*;
     use art9_compiler::translate;
-    use art9_sim::FunctionalSim;
+    use art9_sim::SimBuilder;
     use rv32::Machine;
 
     #[test]
@@ -297,7 +297,7 @@ mod tests {
     fn runs_on_art9() {
         let w = dhrystone(3);
         let t = translate(&w.rv32_program().unwrap()).unwrap();
-        let mut sim = FunctionalSim::new(&t.program);
+        let mut sim = SimBuilder::new(&t.program).build_functional();
         sim.run(10_000_000).unwrap();
         w.verify_art9(sim.state()).unwrap();
     }

@@ -125,7 +125,7 @@ dot_loop:
 mod tests {
     use super::*;
     use art9_compiler::translate;
-    use art9_sim::{FunctionalSim, PipelinedSim};
+    use art9_sim::SimBuilder;
     use rv32::Machine;
 
     fn check_both(w: &Workload) {
@@ -135,11 +135,11 @@ mod tests {
         w.verify_rv32(&m).unwrap();
 
         let t = translate(&rv).unwrap();
-        let mut f = FunctionalSim::new(&t.program);
+        let mut f = SimBuilder::new(&t.program).build_functional();
         f.run(10_000_000).unwrap();
         w.verify_art9(f.state()).unwrap();
 
-        let mut p = PipelinedSim::new(&t.program);
+        let mut p = SimBuilder::new(&t.program).build_pipelined();
         p.run(20_000_000).unwrap();
         w.verify_art9(p.state()).unwrap();
     }

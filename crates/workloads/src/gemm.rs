@@ -110,7 +110,7 @@ k_loop:
 mod tests {
     use super::*;
     use art9_compiler::translate;
-    use art9_sim::FunctionalSim;
+    use art9_sim::SimBuilder;
     use rv32::Machine;
 
     #[test]
@@ -126,7 +126,7 @@ mod tests {
         let w = gemm(4);
         let t = translate(&w.rv32_program().unwrap()).unwrap();
         assert!(t.report.art9_builtin_instructions > 0, "links __mul");
-        let mut sim = FunctionalSim::new(&t.program);
+        let mut sim = SimBuilder::new(&t.program).build_functional();
         sim.run(4_000_000).unwrap();
         w.verify_art9(sim.state()).unwrap();
     }

@@ -121,7 +121,7 @@ gy_done:
 mod tests {
     use super::*;
     use art9_compiler::translate;
-    use art9_sim::FunctionalSim;
+    use art9_sim::SimBuilder;
     use rv32::Machine;
 
     #[test]
@@ -138,7 +138,7 @@ mod tests {
         let t = translate(&w.rv32_program().unwrap()).unwrap();
         // No multiplies: the runtime must not be linked.
         assert_eq!(t.report.art9_builtin_instructions, 0);
-        let mut sim = FunctionalSim::new(&t.program);
+        let mut sim = SimBuilder::new(&t.program).build_functional();
         sim.run(4_000_000).unwrap();
         w.verify_art9(sim.state()).unwrap();
     }

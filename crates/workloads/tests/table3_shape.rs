@@ -3,7 +3,7 @@
 //! software-multiply case) — the paper's headline comparison.
 
 use art9_compiler::translate;
-use art9_sim::PipelinedSim;
+use art9_sim::SimBuilder;
 use rv32::{simulate_cycles, PicoRv32Model};
 use workloads::paper_suite;
 
@@ -15,7 +15,7 @@ fn art9_vs_picorv32_shape() {
         let pico = simulate_cycles(&rv, &mut PicoRv32Model::new(), 200_000_000).unwrap();
 
         let t = translate(&rv).unwrap();
-        let mut pipe = PipelinedSim::new(&t.program);
+        let mut pipe = SimBuilder::new(&t.program).build_pipelined();
         let stats = pipe.run(200_000_000).unwrap();
         w.verify_art9(pipe.state()).unwrap();
 

@@ -7,7 +7,7 @@
 //! ```
 
 use art9_core::SoftwareFramework;
-use art9_sim::FunctionalSim;
+use art9_sim::SimBuilder;
 use workloads::bubble_sort;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -30,7 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Prove it still sorts.
-    let mut sim = FunctionalSim::new(&translation.program);
+    let mut sim = SimBuilder::new(&translation.program).build_functional();
     sim.run(2_000_000)?;
     workload.verify_art9(sim.state())?;
     println!("verification: sorted output confirmed on the ternary machine");

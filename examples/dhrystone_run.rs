@@ -7,7 +7,7 @@
 //! ```
 
 use art9_compiler::translate;
-use art9_sim::PipelinedSim;
+use art9_sim::SimBuilder;
 use rv32::{simulate_cycles, PicoRv32Model, VexRiscvModel};
 use workloads::{dhrystone, DHRYSTONE_DIVISOR};
 
@@ -18,7 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // ART-9: translate, then run cycle-accurately.
     let t = translate(&rv)?;
-    let mut art9 = PipelinedSim::new(&t.program);
+    let mut art9 = SimBuilder::new(&t.program).build_pipelined();
     let stats = art9.run(100_000_000)?;
     w.verify_art9(art9.state())?;
 

@@ -1,23 +1,29 @@
-//! Quickstart: assemble a ternary program, run it on both simulators,
-//! and inspect the machine.
+//! Quickstart: assemble a ternary program, run it through the unified
+//! `Core` execution API on every backend, attach an observer, and
+//! checkpoint/resume a run.
 //!
 //! ```sh
 //! cargo run --example quickstart
 //! ```
 
+use std::sync::{Arc, Mutex};
+
 use art9_isa::{assemble, disassemble_image};
-use art9_sim::{FunctionalSim, PipelinedSim};
+use art9_sim::observers::Watchpoint;
+use art9_sim::{Backend, Budget, Checkpoint, SimBuilder};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // Sum the numbers 1..=10 — note the ternary branching idiom:
-    // conditional branches test a single trit, so the loop guard goes
-    // through COMP (paper §IV-A).
+    // Sum the numbers 1..=10 and store the running total — note the
+    // ternary branching idiom: conditional branches test a single
+    // trit, so the loop guard goes through COMP (paper §IV-A).
     let program = assemble(
         "
         LI   t3, 10          ; counter
         LI   t4, 0           ; accumulator
+        LI   t2, 0           ; memory base
     loop:
         ADD  t4, t3
+        STORE t4, t2, 0      ; running total -> TDM[0]
         ADDI t3, -1
         MV   t7, t3
         COMP t7, t0          ; t7 = sign(t3)
@@ -30,28 +36,61 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("TIM image ({} trits):", program.instruction_cells());
     println!("{}", disassemble_image(&program.tim_image()));
 
-    // Architecture-level run.
-    let mut functional = FunctionalSim::new(&program);
-    functional.run(10_000)?;
+    // One builder, three backends, one code path.
+    let builder = SimBuilder::new(&program);
+    for backend in Backend::ALL {
+        let mut core = builder.clone().backend(backend).build();
+        let summary = core.run_for(Budget::Steps(10_000))?;
+        let timing = match core.pipeline_stats() {
+            Some(s) => format!(
+                "{} cycles (CPI {:.2}, {} stalls/bubbles)",
+                s.cycles,
+                s.cpi(),
+                s.lost_cycles()
+            ),
+            None => "no timing model".to_string(),
+        };
+        println!(
+            "{backend:<10}  t4 = {}  |  {} instructions  |  {timing}",
+            core.state().reg("t4".parse()?).to_i64(),
+            summary.retired,
+        );
+    }
+
+    // Observer hooks: watch every store to TDM[0], with the storing PC.
+    let watch = Arc::new(Mutex::new(Watchpoint::new(0)));
+    let mut observed = builder.clone().observer(watch.clone()).build();
+    observed.run_for(Budget::Steps(10_000))?;
+    let hits = watch.lock().unwrap().hits.clone();
     println!(
-        "functional: t4 = {}",
-        functional.state().reg("t4".parse()?).to_i64()
+        "\nwatchpoint on TDM[0]: {} stores, last value {}",
+        hits.len(),
+        hits.last().map_or(0, |h| h.value.to_i64())
     );
 
-    // Cycle-accurate run on the 5-stage pipeline.
-    let mut core = PipelinedSim::new(&program);
-    let stats = core.run(10_000)?;
+    // Snapshot/resume: run 7 cycles on the pipeline, serialize the
+    // checkpoint, restore it into a fresh core and finish — the result
+    // is bit-identical to an uninterrupted run.
+    let pipelined = builder.clone().backend(Backend::Pipelined);
+    let mut first = pipelined.build();
+    first.run_for(Budget::Steps(7))?;
+    let text = first.snapshot().to_text();
     println!(
-        "pipelined:  t4 = {}  |  {} instructions in {} cycles (CPI {:.2}, {} stalls/bubbles)",
-        core.state().reg("t4".parse()?).to_i64(),
-        stats.instructions,
-        stats.cycles,
-        stats.cpi(),
-        stats.lost_cycles()
+        "\ncheckpoint after 7 cycles: {} bytes of `art9-checkpoint v1`",
+        text.len()
     );
+
+    let mut resumed = pipelined.build();
+    resumed.restore(&Checkpoint::from_text(&text)?)?;
+    resumed.run_for(Budget::Steps(10_000))?;
+
+    let mut uninterrupted = pipelined.build();
+    uninterrupted.run_for(Budget::Steps(10_000))?;
     assert_eq!(
-        functional.state().reg("t4".parse()?),
-        core.state().reg("t4".parse()?)
+        resumed.state().first_difference(uninterrupted.state()),
+        None
     );
+    assert_eq!(resumed.pipeline_stats(), uninterrupted.pipeline_stats());
+    println!("resumed run is bit-identical to the uninterrupted run");
     Ok(())
 }

@@ -6,15 +6,14 @@
 //! ```
 
 use art9_compiler::translate;
-use art9_sim::PipelinedSim;
+use art9_sim::SimBuilder;
 use workloads::bubble_sort;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let w = bubble_sort(8);
     let t = translate(&w.rv32_program()?)?;
 
-    let mut core = PipelinedSim::new(&t.program);
-    core.enable_trace();
+    let mut core = SimBuilder::new(&t.program).trace(true).build_pipelined();
     let stats = core.run(1_000_000)?;
     w.verify_art9(core.state())?;
 

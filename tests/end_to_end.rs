@@ -5,7 +5,7 @@
 //! cycle models.
 
 use art9_core::{HardwareFramework, SoftwareFramework};
-use art9_sim::{FunctionalSim, PipelinedSim};
+use art9_sim::SimBuilder;
 use rv32::{simulate_cycles, Machine, PicoRv32Model, VexRiscvModel};
 use workloads::{bubble_sort, dhrystone, gemm, paper_suite, sobel};
 
@@ -22,12 +22,12 @@ fn all_workloads_agree_across_isas_and_simulators() {
 
         let t = SoftwareFramework::new().compile(&rv).expect("translates");
 
-        let mut functional = FunctionalSim::new(&t.program);
+        let mut functional = SimBuilder::new(&t.program).build_functional();
         functional.run(500_000_000).expect("functional completes");
         w.verify_art9(functional.state())
             .expect("functional output");
 
-        let mut pipelined = PipelinedSim::new(&t.program);
+        let mut pipelined = SimBuilder::new(&t.program).build_pipelined();
         let stats = pipelined.run(500_000_000).expect("pipelined completes");
         w.verify_art9(pipelined.state()).expect("pipelined output");
 
@@ -54,7 +54,7 @@ fn table2_dmips_ordering() {
     let rv = w.rv32_program().expect("parses");
 
     let t = SoftwareFramework::new().compile(&rv).expect("translates");
-    let mut art9 = PipelinedSim::new(&t.program);
+    let mut art9 = SimBuilder::new(&t.program).build_pipelined();
     let art9_stats = art9.run(500_000_000).expect("completes");
 
     let vex = simulate_cycles(&rv, &mut VexRiscvModel::new(), 500_000_000).expect("completes");

@@ -6,7 +6,7 @@
 //! self-checking binary.
 
 use art9_isa::assemble;
-use art9_sim::{FunctionalSim, PipelinedSim};
+use art9_sim::SimBuilder;
 use ternary::Word9;
 
 /// The torture program. Register roles: t3 = checksum accumulator,
@@ -145,7 +145,7 @@ fn torture_program_checksums_on_both_simulators() {
 
     let expected = expected_checksum();
 
-    let mut f = FunctionalSim::new(&p);
+    let mut f = SimBuilder::new(&p).build_functional();
     f.run(100_000).expect("functional completes");
     assert_eq!(
         f.state().reg("t3".parse().unwrap()).to_i64(),
@@ -153,7 +153,7 @@ fn torture_program_checksums_on_both_simulators() {
         "functional checksum"
     );
 
-    let mut pipe = PipelinedSim::new(&p);
+    let mut pipe = SimBuilder::new(&p).build_pipelined();
     pipe.run(100_000).expect("pipelined completes");
     assert_eq!(
         pipe.state().reg("t3".parse().unwrap()).to_i64(),
@@ -162,8 +162,7 @@ fn torture_program_checksums_on_both_simulators() {
     );
 
     // And once more with forwarding disabled.
-    let mut slow = PipelinedSim::new(&p);
-    slow.disable_forwarding();
+    let mut slow = SimBuilder::new(&p).forwarding(false).build_pipelined();
     slow.run(200_000).expect("no-forwarding completes");
     assert_eq!(
         slow.state().reg("t3".parse().unwrap()).to_i64(),
