@@ -43,6 +43,42 @@ impl BuiltinId {
     }
 }
 
+/// Where an emitted instruction came from — the provenance tag carried
+/// by every [`Sourced`] item from the mapping pass to the final
+/// instruction stream. The cross-ISA lockstep oracle (`art9-fuzz`)
+/// uses it to find the sync points where the translated machine is at
+/// an RV32 instruction boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Origin {
+    /// Translator prologue (software conventions, e.g. the `sp` init).
+    Prologue,
+    /// The translation of RV32 instruction index `k`.
+    Rv(usize),
+    /// The implicit end-of-program halt sequence.
+    Halt,
+    /// The body of a linked runtime-library routine.
+    Builtin(BuiltinId),
+}
+
+/// One [`Item`] plus the [`Origin`] it was emitted for. The item
+/// streams of every pass — mapping, redundancy elimination, relaxation
+/// — are `Sourced`, so provenance survives instructions moving and
+/// dying.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sourced {
+    /// The symbolic item.
+    pub item: Item,
+    /// Which source construct emitted it.
+    pub origin: Origin,
+}
+
+impl Sourced {
+    /// Tags `item` with `origin`.
+    pub fn new(item: Item, origin: Origin) -> Self {
+        Self { item, origin }
+    }
+}
+
 /// One item of the symbolic instruction stream.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Item {

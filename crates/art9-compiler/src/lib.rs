@@ -57,13 +57,14 @@ use rv32::{Reg, Rv32Program};
 use ternary::Word9;
 
 use crate::analysis::{analyze, DATA_WORD_BASE};
-use crate::items::Item;
+use crate::items::{Item, Sourced};
 use crate::mapping::Mapper;
 use crate::regalloc::{allocate, Allocation, Loc};
 use crate::relax::resolve;
 use crate::runtime::builtin_items;
 
 pub use error::CompileError;
+pub use items::Origin;
 pub use regalloc::Loc as RegisterLocation;
 pub use report::{SoftwareReport, Warning, WarningKind};
 
@@ -85,6 +86,9 @@ pub struct Translation {
     /// begins; one extra entry marks the end of the program body
     /// (before the linked builtins).
     rv_boundaries: Vec<usize>,
+    /// Per-instruction provenance: `provenance[a]` names the source
+    /// construct `program.text()[a]` was emitted for.
+    provenance: Vec<Origin>,
 }
 
 impl Translation {
@@ -110,6 +114,20 @@ impl Translation {
     /// starts (for setting ternary breakpoints on source lines).
     pub fn address_of_rv(&self, k: usize) -> Option<usize> {
         self.rv_boundaries.get(k).copied()
+    }
+
+    /// The provenance map: one [`Origin`] per emitted instruction,
+    /// threaded through instruction mapping, redundancy elimination and
+    /// relaxation. `provenance()[a]` tells which RV32 instruction (or
+    /// prologue / halt / builtin) produced `program.text()[a]` — the
+    /// sync-point structure the cross-ISA lockstep oracle drives on.
+    pub fn provenance(&self) -> &[Origin] {
+        &self.provenance
+    }
+
+    /// Provenance of the instruction at ART-9 address `addr`.
+    pub fn origin_of(&self, addr: usize) -> Option<Origin> {
+        self.provenance.get(addr).copied()
     }
 
     /// Renders a side-by-side listing: each RV32 instruction followed
@@ -214,10 +232,15 @@ pub fn translate_with_options(
     let mapper = Mapper::new(&alloc, &analysis, tdm_words);
     let mut out = mapper.map_program(program.text())?;
 
-    // Link the runtime builtins the program needs.
+    // Link the runtime builtins the program needs, each body tagged
+    // with its builtin origin.
     let body_items = out.items.len();
     for id in out.used_builtins.iter().copied().collect::<Vec<_>>() {
-        out.items.extend(builtin_items(id, &mut out.labels));
+        out.items.extend(
+            builtin_items(id, &mut out.labels)
+                .into_iter()
+                .map(|item| Sourced::new(item, Origin::Builtin(id))),
+        );
     }
     let builtin_items_len = out.items.len() - body_items;
 
@@ -240,16 +263,12 @@ pub fn translate_with_options(
         data.push(word);
     }
 
-    let builtin_fraction =
-        |items: &[Item]| items.iter().filter(|i| !matches!(i, Item::Mark(_))).count();
-    let _ = builtin_fraction; // retained for future per-section stats
-
     let total_instructions = resolved.text.len();
     // Approximate the body/builtin split from pre-elimination counts.
     let pre_total: usize = out
         .items
         .iter()
-        .filter(|i| !matches!(i, Item::Mark(_)))
+        .filter(|s| !matches!(s.item, Item::Mark(_)))
         .count();
     let builtin_share = if pre_total == 0 {
         0.0
@@ -283,6 +302,7 @@ pub fn translate_with_options(
         allocation: alloc,
         report,
         rv_boundaries,
+        provenance: resolved.origins,
     })
 }
 
@@ -396,6 +416,92 @@ mod tests {
         ";
         let (t, sim) = run_translated(src);
         assert_eq!(t.read_rv_reg(sim.state(), "a0".parse().unwrap()), 20);
+    }
+
+    #[test]
+    fn division_by_zero_matches_rv32_convention() {
+        // RISC-V: x/0 = -1 (all ones), x%0 = x. The builtin must agree
+        // so the cross-ISA lockstep oracle has no blessed divergences.
+        for a in [0i64, 7, -7, 100] {
+            let src = format!("li a0, {a}\nli a1, 0\ndiv a2, a0, a1\nrem a3, a0, a1\nebreak\n");
+            let (t, sim) = run_translated(&src);
+            assert_eq!(
+                t.read_rv_reg(sim.state(), "a2".parse().unwrap()),
+                -1,
+                "{a}/0"
+            );
+            assert_eq!(
+                t.read_rv_reg(sim.state(), "a3".parse().unwrap()),
+                a,
+                "{a}%0"
+            );
+        }
+    }
+
+    #[test]
+    fn provenance_covers_every_instruction_and_respects_boundaries() {
+        let src = "
+            addi sp, sp, -4
+            li   a0, 3
+            li   a1, 4
+            mul  a2, a0, a1
+            sw   a2, 0(sp)
+            ebreak
+        ";
+        let rv = parse_program(src).unwrap();
+        let t = translate(&rv).unwrap();
+        let prov = t.provenance();
+        assert_eq!(prov.len(), t.program.text().len());
+
+        // The sp prologue precedes the first boundary and is tagged.
+        let b0 = t.address_of_rv(0).unwrap();
+        assert!(b0 > 0, "uses_sp forces a prologue");
+        for (a, o) in prov.iter().enumerate().take(b0) {
+            assert_eq!(*o, Origin::Prologue, "address {a}");
+        }
+        // Between boundaries k and k+1, every instruction is tagged
+        // with Rv(k).
+        for k in 0..rv.text().len() {
+            let (lo, hi) = (t.address_of_rv(k).unwrap(), t.address_of_rv(k + 1).unwrap());
+            for (a, o) in prov.iter().enumerate().take(hi).skip(lo) {
+                assert_eq!(*o, Origin::Rv(k), "address {a} in rv #{k}");
+            }
+        }
+        // After the body: the halt sequence, then the builtin bodies.
+        let body_end = t.address_of_rv(rv.text().len()).unwrap();
+        assert!(prov[body_end..]
+            .iter()
+            .all(|o| matches!(o, Origin::Halt | Origin::Builtin(_))));
+        assert!(
+            prov.iter()
+                .any(|o| matches!(o, Origin::Builtin(items::BuiltinId::Mul))),
+            "mul links __mul"
+        );
+        // origin_of agrees with the slice view.
+        assert_eq!(t.origin_of(0), Some(prov[0]));
+        assert_eq!(t.origin_of(prov.len()), None);
+    }
+
+    #[test]
+    fn provenance_survives_redundancy_and_relaxation() {
+        // A long program forces branch relaxation (long forms expand to
+        // several instructions — all must inherit the branch's origin),
+        // and rd==rs1 adds exercise redundancy deletions.
+        let mut src = String::from("li a0, 1\nli a1, 0\n");
+        src.push_str("top:\n");
+        for _ in 0..60 {
+            src.push_str("add a1, a1, a0\n");
+        }
+        src.push_str("addi a0, a0, -1\nbgtz a0, top\nebreak\n");
+        let rv = parse_program(&src).unwrap();
+        let t = translate(&rv).unwrap();
+        assert_eq!(t.provenance().len(), t.program.text().len());
+        for k in 0..rv.text().len() {
+            let (lo, hi) = (t.address_of_rv(k).unwrap(), t.address_of_rv(k + 1).unwrap());
+            for a in lo..hi {
+                assert_eq!(t.provenance()[a], Origin::Rv(k));
+            }
+        }
     }
 
     #[test]

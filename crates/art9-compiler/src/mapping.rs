@@ -26,7 +26,7 @@ use ternary::{Trit, Trits};
 
 use crate::analysis::{Action, Analysis};
 use crate::error::CompileError;
-use crate::items::{BuiltinId, Item, Label};
+use crate::items::{BuiltinId, Item, Label, Origin, Sourced};
 use crate::regalloc::{Allocation, Loc, CALL_SAVE_T3, CALL_SAVE_T4};
 use crate::report::{Warning, WarningKind};
 use crate::runtime::LocalLabels;
@@ -41,7 +41,9 @@ pub struct Mapper<'a> {
     alloc: &'a Allocation,
     analysis: &'a Analysis,
     tdm_words: usize,
-    items: Vec<Item>,
+    items: Vec<Sourced>,
+    /// Provenance tag applied to every item pushed from here on.
+    origin: Origin,
     pub(crate) used_builtins: BTreeSet<BuiltinId>,
     pub(crate) warnings: Vec<Warning>,
     pub(crate) labels: LocalLabels,
@@ -56,6 +58,7 @@ impl<'a> Mapper<'a> {
             analysis,
             tdm_words,
             items: Vec::new(),
+            origin: Origin::Prologue,
             used_builtins: BTreeSet::new(),
             warnings: Vec::new(),
             labels: LocalLabels::new(),
@@ -72,18 +75,20 @@ impl<'a> Mapper<'a> {
     pub fn map_program(mut self, text: &[Instr]) -> Result<MapOutput, CompileError> {
         self.prologue();
         for (k, instr) in text.iter().enumerate() {
-            self.items.push(Item::Mark(Label::Rv(k)));
+            self.origin = Origin::Rv(k);
+            self.emit(Item::Mark(Label::Rv(k)));
             if self.analysis.actions.get(&k) == Some(&Action::Absorbed) {
                 continue;
             }
             self.map_one(k, instr)?;
         }
         // A trailing mark so jumps past the last instruction resolve.
-        self.items.push(Item::Mark(Label::Rv(text.len())));
+        self.origin = Origin::Halt;
+        self.emit(Item::Mark(Label::Rv(text.len())));
         // Falling off the end halts (matches the RV32 machine).
         let halt = self.labels.fresh();
-        self.items.push(Item::Mark(halt));
-        self.items.push(Item::Jump {
+        self.emit(Item::Mark(halt));
+        self.emit(Item::Jump {
             link: SCRATCH_B,
             target: halt,
         });
@@ -110,8 +115,14 @@ impl<'a> Mapper<'a> {
         }
     }
 
+    /// Appends one item tagged with the current provenance origin.
+    fn emit(&mut self, item: Item) {
+        let origin = self.origin;
+        self.items.push(Sourced::new(item, origin));
+    }
+
     fn ins(&mut self, i: Instruction) {
-        self.items.push(Item::Ins(i));
+        self.emit(Item::Ins(i));
     }
 
     /// Emits a staging move *unconditionally* — including `MV x, x`.
@@ -357,7 +368,7 @@ impl<'a> Mapper<'a> {
                         (false, Trit::N)
                     }
                 };
-                self.items.push(Item::Branch {
+                self.emit(Item::Branch {
                     eq,
                     breg: SCRATCH_B,
                     cond,
@@ -367,15 +378,15 @@ impl<'a> Mapper<'a> {
             Jal { rd, offset } => {
                 let target = Label::Rv(target_index(k, *offset));
                 match self.alloc.loc(*rd) {
-                    Loc::Zero => self.items.push(Item::Jump {
+                    Loc::Zero => self.emit(Item::Jump {
                         link: SCRATCH_B,
                         target,
                     }),
-                    Loc::Direct(r) => self.items.push(Item::Jump { link: r, target }),
+                    Loc::Direct(r) => self.emit(Item::Jump { link: r, target }),
                     Loc::Spill(s) => {
                         // Code after a jump never runs: the return
                         // address must reach the spill slot first.
-                        self.items.push(Item::LabelConst {
+                        self.emit(Item::LabelConst {
                             reg: SCRATCH_B,
                             target: Label::Rv(k + 1),
                         });
@@ -384,7 +395,7 @@ impl<'a> Mapper<'a> {
                             b: TReg::T0,
                             offset: Self::imm3(s),
                         });
-                        self.items.push(Item::Jump {
+                        self.emit(Item::Jump {
                             link: SCRATCH_B,
                             target,
                         });
@@ -417,7 +428,7 @@ impl<'a> Mapper<'a> {
                         });
                     }
                     Loc::Spill(s) => {
-                        self.items.push(Item::LabelConst {
+                        self.emit(Item::LabelConst {
                             reg: SCRATCH_B,
                             target: Label::Rv(k + 1),
                         });
@@ -438,8 +449,8 @@ impl<'a> Mapper<'a> {
             Ecall | Ebreak => {
                 // Halt: jump-to-self.
                 let here = self.labels.fresh();
-                self.items.push(Item::Mark(here));
-                self.items.push(Item::Jump {
+                self.emit(Item::Mark(here));
+                self.emit(Item::Jump {
                     link: SCRATCH_B,
                     target: here,
                 });
@@ -544,11 +555,16 @@ impl<'a> Mapper<'a> {
             }
             AluOp::Srl | AluOp::Sra => {
                 self.warn_once(k, WarningKind::ShiftAsDivision);
-                let pow = 1i64 << (imm as u32).min(13);
-                if pow > 9841 {
-                    return Err(CompileError::ConstantRange { at: k, value: pow });
+                // 2^14 already exceeds the 9-trit window: reject rather
+                // than silently dividing by a clamped power.
+                let amount = (imm as u32).min(31);
+                if amount > 13 {
+                    return Err(CompileError::ConstantRange {
+                        at: k,
+                        value: 1i64 << amount,
+                    });
                 }
-                self.call_builtin_imm(BuiltinId::Div, rd, rs1, pow);
+                self.call_builtin_imm(BuiltinId::Div, rd, rs1, 1i64 << amount);
             }
             AluOp::Slt | AluOp::Sltu => {
                 if op == AluOp::Sltu {
@@ -781,7 +797,7 @@ impl<'a> Mapper<'a> {
                 offset: Self::imm3(s),
             }),
         }
-        self.items.push(Item::Jump {
+        self.emit(Item::Jump {
             link: SCRATCH_B,
             target: Label::Builtin(id),
         });
@@ -812,7 +828,7 @@ impl<'a> Mapper<'a> {
             }),
         }
         self.emit_const(TReg::T4, imm);
-        self.items.push(Item::Jump {
+        self.emit(Item::Jump {
             link: SCRATCH_B,
             target: Label::Builtin(id),
         });
@@ -872,8 +888,9 @@ impl<'a> Mapper<'a> {
 /// Output of the mapping pass.
 #[derive(Debug)]
 pub struct MapOutput {
-    /// Symbolic item stream (program body, before builtin linkage).
-    pub items: Vec<Item>,
+    /// Symbolic item stream (program body, before builtin linkage),
+    /// each item tagged with the RV32 instruction it was emitted for.
+    pub items: Vec<Sourced>,
     /// Builtins the program calls.
     pub used_builtins: BTreeSet<BuiltinId>,
     /// Semantic-difference warnings.
@@ -903,8 +920,11 @@ mod tests {
             .unwrap()
     }
 
-    fn count_ins(items: &[Item]) -> usize {
-        items.iter().filter(|i| !matches!(i, Item::Mark(_))).count()
+    fn count_ins(items: &[Sourced]) -> usize {
+        items
+            .iter()
+            .filter(|s| !matches!(s.item, Item::Mark(_)))
+            .count()
     }
 
     #[test]
@@ -922,14 +942,14 @@ mod tests {
         let adds = out
             .items
             .iter()
-            .filter(|i| matches!(i, Item::Ins(Instruction::Add { .. })))
+            .filter(|s| matches!(s.item, Item::Ins(Instruction::Add { .. })))
             .count();
         assert_eq!(adds, 1);
         // The mechanical mapper stages rd == rs1 with a self-move…
         let self_mv = out
             .items
             .iter()
-            .any(|i| matches!(i, Item::Ins(Instruction::Mv { a, b }) if a == b));
+            .any(|s| matches!(s.item, Item::Ins(Instruction::Mv { a, b }) if a == b));
         assert!(self_mv, "mapper emits the staging move mechanically");
         // …and the redundancy pass removes it (Fig. 2's last stage).
         let mut items = out.items.clone();
@@ -937,7 +957,7 @@ mod tests {
         assert!(removed >= 1);
         assert!(!items
             .iter()
-            .any(|i| matches!(i, Item::Ins(Instruction::Mv { a, b }) if a == b)));
+            .any(|s| matches!(s.item, Item::Ins(Instruction::Mv { a, b }) if a == b)));
     }
 
     #[test]
@@ -946,9 +966,9 @@ mod tests {
         assert!(out
             .items
             .iter()
-            .any(|i| matches!(i, Item::Ins(Instruction::Comp { .. }))));
-        assert!(out.items.iter().any(|i| matches!(
-            i,
+            .any(|s| matches!(s.item, Item::Ins(Instruction::Comp { .. }))));
+        assert!(out.items.iter().any(|s| matches!(
+            s.item,
             Item::Branch {
                 eq: true,
                 cond: Trit::N,
@@ -961,8 +981,8 @@ mod tests {
     fn mul_emits_builtin_call() {
         let out = map("mul a0, a1, a2\nebreak\n");
         assert!(out.used_builtins.contains(&BuiltinId::Mul));
-        assert!(out.items.iter().any(|i| matches!(
-            i,
+        assert!(out.items.iter().any(|s| matches!(
+            s.item,
             Item::Jump {
                 target: Label::Builtin(BuiltinId::Mul),
                 ..
@@ -976,7 +996,7 @@ mod tests {
         let adds = out
             .items
             .iter()
-            .filter(|i| matches!(i, Item::Ins(Instruction::Add { .. })))
+            .filter(|s| matches!(s.item, Item::Ins(Instruction::Add { .. })))
             .count();
         assert_eq!(adds, 2, "x4 = two doublings");
         assert!(out
@@ -1011,7 +1031,7 @@ mod tests {
         let out = map("ebreak\n");
         let has_self_jump = out.items.windows(2).any(|w| {
             matches!(
-                (&w[0], &w[1]),
+                (&w[0].item, &w[1].item),
                 (Item::Mark(a), Item::Jump { target: b, .. }) if a == b
             )
         });
@@ -1025,7 +1045,7 @@ mod tests {
         let first_ins = out
             .items
             .iter()
-            .find_map(|i| match i {
+            .find_map(|s| match &s.item {
                 Item::Ins(ins) => Some(ins),
                 _ => None,
             })

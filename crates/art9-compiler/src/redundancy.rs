@@ -4,10 +4,14 @@
 //! so deletions can never break control flow — re-resolution happens in
 //! the relaxation pass afterwards ("the proposed framework also
 //! re-calculates the branch target addresses").
+//!
+//! Items arrive [`Sourced`] (tagged with their RV32 origin) and keep
+//! their tags: deleting an item deletes its tag with it, so the
+//! provenance map stays aligned through this pass.
 
 use art9_isa::Instruction;
 
-use crate::items::Item;
+use crate::items::{Item, Sourced};
 
 /// Runs the peephole pass; returns the number of items removed.
 ///
@@ -22,15 +26,15 @@ use crate::items::Item;
 ///
 /// Marks are transparent for pattern 3–5 only when no label sits
 /// between the paired instructions (a label is a potential join point).
-pub fn eliminate(items: &mut Vec<Item>) -> usize {
+pub fn eliminate(items: &mut Vec<Sourced>) -> usize {
     let before = items.len();
     let mut changed = true;
     while changed {
         changed = false;
-        let mut out: Vec<Item> = Vec::with_capacity(items.len());
-        for item in items.drain(..) {
+        let mut out: Vec<Sourced> = Vec::with_capacity(items.len());
+        for sourced in items.drain(..) {
             // Pattern 1 & 2: locally dead single instructions.
-            if let Item::Ins(i) = &item {
+            if let Item::Ins(i) = &sourced.item {
                 match i {
                     Instruction::Mv { a, b } if a == b => {
                         changed = true;
@@ -47,7 +51,9 @@ pub fn eliminate(items: &mut Vec<Item>) -> usize {
             }
             // Pairwise patterns against the previous *instruction*
             // (skip if a mark separates them).
-            if let (Some(Item::Ins(prev)), Item::Ins(cur)) = (out.last(), &item) {
+            if let (Some(Item::Ins(prev)), Item::Ins(cur)) =
+                (out.last().map(|s| &s.item), &sourced.item)
+            {
                 let redundant = match (prev, cur) {
                     // store r -> slot ; load r <- slot
                     (
@@ -73,7 +79,7 @@ pub fn eliminate(items: &mut Vec<Item>) -> usize {
                     continue;
                 }
             }
-            out.push(item);
+            out.push(sourced);
         }
         *items = out;
     }
@@ -83,28 +89,32 @@ pub fn eliminate(items: &mut Vec<Item>) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::items::Label;
+    use crate::items::{Label, Origin};
     use art9_isa::{Instruction, TReg};
     use ternary::Trits;
 
-    fn mv(a: TReg, b: TReg) -> Item {
-        Item::Ins(Instruction::Mv { a, b })
+    fn tag(item: Item) -> Sourced {
+        Sourced::new(item, Origin::Rv(0))
     }
 
-    fn store(a: TReg, s: i64) -> Item {
-        Item::Ins(Instruction::Store {
+    fn mv(a: TReg, b: TReg) -> Sourced {
+        tag(Item::Ins(Instruction::Mv { a, b }))
+    }
+
+    fn store(a: TReg, s: i64) -> Sourced {
+        tag(Item::Ins(Instruction::Store {
             a,
             b: TReg::T0,
             offset: Trits::<3>::from_i64(s).unwrap(),
-        })
+        }))
     }
 
-    fn load(a: TReg, s: i64) -> Item {
-        Item::Ins(Instruction::Load {
+    fn load(a: TReg, s: i64) -> Sourced {
+        tag(Item::Ins(Instruction::Load {
             a,
             b: TReg::T0,
             offset: Trits::<3>::from_i64(s).unwrap(),
-        })
+        }))
     }
 
     #[test]
@@ -118,7 +128,10 @@ mod tests {
     fn removes_spill_roundtrip() {
         let mut items = vec![store(TReg::T5, 7), load(TReg::T5, 7)];
         assert_eq!(eliminate(&mut items), 1);
-        assert!(matches!(items[0], Item::Ins(Instruction::Store { .. })));
+        assert!(matches!(
+            items[0].item,
+            Item::Ins(Instruction::Store { .. })
+        ));
     }
 
     #[test]
@@ -134,7 +147,7 @@ mod tests {
         // A label between the pair is a join point: the load must stay.
         let mut items = vec![
             store(TReg::T5, 7),
-            Item::Mark(Label::Local(0)),
+            tag(Item::Mark(Label::Local(0))),
             load(TReg::T5, 7),
         ];
         assert_eq!(eliminate(&mut items), 0);
@@ -148,11 +161,11 @@ mod tests {
 
     #[test]
     fn keeps_canonical_nop_drops_vacuous_addi() {
-        let nop = Item::Ins(art9_isa::NOP);
-        let vacuous = Item::Ins(Instruction::Addi {
+        let nop = tag(Item::Ins(art9_isa::NOP));
+        let vacuous = tag(Item::Ins(Instruction::Addi {
             a: TReg::T5,
             imm: Trits::ZERO,
-        });
+        }));
         let mut items = vec![nop.clone(), vacuous];
         assert_eq!(eliminate(&mut items), 1);
         assert_eq!(items, vec![nop]);
@@ -168,5 +181,38 @@ mod tests {
         ];
         assert_eq!(eliminate(&mut items), 2);
         assert_eq!(items.len(), 1);
+    }
+
+    #[test]
+    fn provenance_tags_survive_elimination() {
+        // Items keep their origins; only the deleted item's tag is gone.
+        let mut items = vec![
+            Sourced::new(
+                Item::Ins(Instruction::Mv {
+                    a: TReg::T3,
+                    b: TReg::T4,
+                }),
+                Origin::Rv(2),
+            ),
+            Sourced::new(
+                Item::Ins(Instruction::Mv {
+                    a: TReg::T5,
+                    b: TReg::T5,
+                }),
+                Origin::Rv(3),
+            ),
+            Sourced::new(
+                Item::Ins(Instruction::Add {
+                    a: TReg::T3,
+                    b: TReg::T4,
+                }),
+                Origin::Rv(4),
+            ),
+        ];
+        assert_eq!(eliminate(&mut items), 1);
+        assert_eq!(
+            items.iter().map(|s| s.origin).collect::<Vec<_>>(),
+            vec![Origin::Rv(2), Origin::Rv(4)]
+        );
     }
 }

@@ -18,18 +18,23 @@ use art9_isa::{Instruction, TReg};
 use ternary::{Trits, Word9};
 
 use crate::error::CompileError;
-use crate::items::{Item, Label};
+use crate::items::{Item, Label, Origin, Sourced};
 
 /// Scratch register used by long forms (also the builtin link).
 const SCRATCH: TReg = TReg::T8;
 
-/// Resolved program: final instructions plus the label address map.
+/// Resolved program: final instructions plus the label address map
+/// and the per-instruction provenance.
 #[derive(Debug, Clone)]
 pub struct Resolved {
     /// The final instruction stream.
     pub text: Vec<Instruction>,
     /// Address of every label.
     pub addresses: BTreeMap<Label, usize>,
+    /// `origins[a]` is the provenance of `text[a]` — every instruction
+    /// a relaxed item expands to inherits that item's origin, so the
+    /// map stays exact through short/long form selection.
+    pub origins: Vec<Origin>,
 }
 
 /// Lengths chosen for each item in the current relaxation state.
@@ -61,7 +66,7 @@ fn item_len(item: &Item, long: bool) -> usize {
 ///
 /// [`CompileError::RelaxationDiverged`] if the fixpoint is not reached
 /// (cannot happen with monotone promotion; kept as a defensive bound).
-pub fn resolve(items: &[Item]) -> Result<Resolved, CompileError> {
+pub fn resolve(items: &[Sourced]) -> Result<Resolved, CompileError> {
     let mut long = vec![false; items.len()];
 
     for _round in 0..items.len().max(4) {
@@ -69,21 +74,21 @@ pub fn resolve(items: &[Item]) -> Result<Resolved, CompileError> {
         let mut addr = 0usize;
         let mut addresses: BTreeMap<Label, usize> = BTreeMap::new();
         let mut item_addr = Vec::with_capacity(items.len());
-        for (i, item) in items.iter().enumerate() {
+        for (i, sourced) in items.iter().enumerate() {
             item_addr.push(addr);
-            if let Item::Mark(l) = item {
+            if let Item::Mark(l) = &sourced.item {
                 addresses.insert(*l, addr);
             }
-            addr += item_len(item, long[i]);
+            addr += item_len(&sourced.item, long[i]);
         }
 
         // Promote anything out of range.
         let mut changed = false;
-        for (i, item) in items.iter().enumerate() {
+        for (i, sourced) in items.iter().enumerate() {
             if long[i] {
                 continue;
             }
-            let (target, reach): (&Label, i64) = match item {
+            let (target, reach): (&Label, i64) = match &sourced.item {
                 Item::Branch { target, .. } => (target, 40),
                 Item::Jump { target, .. } => (target, 121),
                 _ => continue,
@@ -107,15 +112,16 @@ pub fn resolve(items: &[Item]) -> Result<Resolved, CompileError> {
 }
 
 fn emit(
-    items: &[Item],
+    items: &[Sourced],
     long: &[bool],
     addresses: &BTreeMap<Label, usize>,
     item_addr: &[usize],
 ) -> Resolved {
     let mut text = Vec::new();
-    for (i, item) in items.iter().enumerate() {
+    let mut origins = Vec::new();
+    for (i, sourced) in items.iter().enumerate() {
         let here = item_addr[i] as i64;
-        match item {
+        match &sourced.item {
             Item::Mark(_) => {}
             Item::Ins(ins) => text.push(*ins),
             Item::LabelConst { reg, target } => {
@@ -185,10 +191,13 @@ fn emit(
                 }
             }
         }
+        // Every instruction the item expanded to inherits its origin.
+        origins.resize(text.len(), sourced.origin);
     }
     Resolved {
         text,
         addresses: addresses.clone(),
+        origins,
     }
 }
 
@@ -216,21 +225,25 @@ mod tests {
     use crate::items::Label;
     use ternary::Trit;
 
-    fn nop() -> Item {
-        Item::Ins(art9_isa::NOP)
+    fn tag(item: Item) -> Sourced {
+        Sourced::new(item, Origin::Rv(0))
+    }
+
+    fn nop() -> Sourced {
+        tag(Item::Ins(art9_isa::NOP))
     }
 
     #[test]
     fn short_branch_resolves_directly() {
         let items = vec![
-            Item::Mark(Label::Rv(0)),
+            tag(Item::Mark(Label::Rv(0))),
             nop(),
-            Item::Branch {
+            tag(Item::Branch {
                 eq: true,
                 breg: TReg::T3,
                 cond: Trit::Z,
                 target: Label::Rv(0),
-            },
+            }),
         ];
         let r = resolve(&items).unwrap();
         assert_eq!(r.text.len(), 2);
@@ -242,16 +255,16 @@ mod tests {
 
     #[test]
     fn far_branch_promotes_to_long_form() {
-        let mut items = vec![Item::Mark(Label::Rv(0))];
+        let mut items = vec![tag(Item::Mark(Label::Rv(0)))];
         for _ in 0..100 {
             items.push(nop());
         }
-        items.push(Item::Branch {
+        items.push(tag(Item::Branch {
             eq: true,
             breg: TReg::T3,
             cond: Trit::Z,
             target: Label::Rv(0),
-        });
+        }));
         let r = resolve(&items).unwrap();
         // 100 nops + inverted branch + LUI/LI/JALR.
         assert_eq!(r.text.len(), 104);
@@ -264,14 +277,14 @@ mod tests {
 
     #[test]
     fn far_jump_promotes() {
-        let mut items = vec![Item::Mark(Label::Rv(0))];
+        let mut items = vec![tag(Item::Mark(Label::Rv(0)))];
         for _ in 0..200 {
             items.push(nop());
         }
-        items.push(Item::Jump {
+        items.push(tag(Item::Jump {
             link: TReg::T8,
             target: Label::Rv(0),
-        });
+        }));
         let r = resolve(&items).unwrap();
         assert_eq!(r.text.len(), 203);
         // Long jump lands on address 0 via LUI 0 + LI 0 + JALR.
@@ -291,12 +304,12 @@ mod tests {
     fn label_const_materializes_address() {
         let items = vec![
             nop(),
-            Item::LabelConst {
+            tag(Item::LabelConst {
                 reg: TReg::T8,
                 target: Label::Rv(9),
-            },
+            }),
             nop(),
-            Item::Mark(Label::Rv(9)),
+            tag(Item::Mark(Label::Rv(9))),
             nop(),
         ];
         let r = resolve(&items).unwrap();
@@ -314,22 +327,22 @@ mod tests {
     fn growth_cascade_converges() {
         // A branch just at the edge: promoting one jump pushes another
         // out of range; relaxation must iterate.
-        let mut items = vec![Item::Mark(Label::Rv(0))];
+        let mut items = vec![tag(Item::Mark(Label::Rv(0)))];
         for _ in 0..39 {
             items.push(nop());
         }
-        items.push(Item::Branch {
+        items.push(tag(Item::Branch {
             eq: true,
             breg: TReg::T3,
             cond: Trit::Z,
             target: Label::Rv(0),
-        });
-        items.push(Item::Branch {
+        }));
+        items.push(tag(Item::Branch {
             eq: true,
             breg: TReg::T3,
             cond: Trit::Z,
             target: Label::Rv(0),
-        });
+        }));
         let r = resolve(&items).unwrap();
         // First branch at 39 (fits: -39), second at 40 (fits exactly -40).
         assert_eq!(r.text.len(), 41);

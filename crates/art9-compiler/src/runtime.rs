@@ -211,9 +211,10 @@ fn mul_items(labels: &mut LocalLabels) -> Vec<Item> {
 }
 
 /// `__div`/`__rem`: t3 = t3 op t4 (signed, truncating toward zero,
-/// matching RV32 semantics; division by zero yields 0 quotient and the
-/// dividend as remainder — the closest 9-trit analogue of the RISC-V
-/// all-ones convention is documented in DESIGN.md).
+/// matching RV32 semantics; division by zero yields the RISC-V
+/// convention exactly — quotient −1 (the all-ones pattern read as a
+/// signed word) and the dividend as remainder — so translated programs
+/// stay in lockstep with the `rv32` machine even on this corner).
 fn divrem_items(labels: &mut LocalLabels, want_rem: bool) -> Vec<Item> {
     let id = if want_rem {
         BuiltinId::Rem
@@ -294,10 +295,11 @@ fn divrem_items(labels: &mut LocalLabels, want_rem: bool) -> Vec<Item> {
     v.push(load(T7, 2));
     v.push(ret());
 
-    // Division by zero: q = 0, r = dividend.
+    // Division by zero: q = -1 (RISC-V convention), r = dividend.
     v.push(Item::Mark(l_div0));
     if !want_rem {
         v.push(sub(T3, T3));
+        v.push(addi(T3, -1));
     }
     v.push(load(T5, 0));
     v.push(load(T6, 1));

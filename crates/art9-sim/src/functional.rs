@@ -194,39 +194,6 @@ pub struct FunctionalSim {
 }
 
 impl FunctionalSim {
-    /// Builds a simulator with the default 256-word TDM.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use SimBuilder::new(&program).build_functional()"
-    )]
-    pub fn new(program: &Program) -> Self {
-        Self::build(
-            &PredecodedProgram::new(program),
-            DEFAULT_TDM_WORDS,
-            ObserverSet::default(),
-        )
-    }
-
-    /// Builds a simulator with an explicit TDM size (grown automatically
-    /// if the program's data image is larger).
-    #[deprecated(since = "0.2.0", note = "use SimBuilder::new(&program).tdm_words(n)")]
-    pub fn with_tdm_size(program: &Program, tdm_words: usize) -> Self {
-        Self::build(
-            &PredecodedProgram::new(program),
-            tdm_words,
-            ObserverSet::default(),
-        )
-    }
-
-    /// Builds a simulator on a shared predecoded image.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use SimBuilder::new(&image) — the builder shares the image the same way"
-    )]
-    pub fn from_predecoded(image: &PredecodedProgram, tdm_words: usize) -> Self {
-        Self::build(image, tdm_words, ObserverSet::default())
-    }
-
     /// The one real constructor, reached through
     /// [`SimBuilder`](crate::SimBuilder).
     pub(crate) fn build(

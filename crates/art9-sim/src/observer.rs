@@ -239,6 +239,72 @@ pub mod observers {
             }
         }
     }
+
+    /// Records, in order, every time the architectural control flow
+    /// **enters** one of a set of watched TIM addresses — the
+    /// sync-point detector behind cross-ISA lockstep checking.
+    ///
+    /// "Entering" address `b` means a retired instruction's successor
+    /// was `b`: for a retired control-flow instruction that is its
+    /// resolved target (taken or fall-through), for anything else
+    /// `pc + 1`. The initial fetch at address 0 is *not* an entry — no
+    /// instruction transferred control there.
+    ///
+    /// Because the contract guarantees every backend reports the same
+    /// retirement/control event sequence, the recorded crossing trace
+    /// is backend-independent — in particular it works on the pipelined
+    /// backend, whose architectural PC is not observable between
+    /// cycles. `art9-fuzz` watches the RV32 instruction boundaries of a
+    /// translated program and compares the trace against the `rv32`
+    /// machine's own execution path.
+    #[derive(Debug, Clone, Default)]
+    pub struct SyncPoints {
+        watched: std::collections::BTreeSet<usize>,
+        /// Control-flow targets resolved but not yet retired, in
+        /// program order (the pipelined backend resolves in ID, retires
+        /// in WB, possibly several instructions apart).
+        pending: std::collections::VecDeque<(usize, usize)>,
+        /// Every watched address entered, in retirement order.
+        pub crossings: Vec<usize>,
+    }
+
+    impl SyncPoints {
+        /// Watches the given TIM addresses.
+        pub fn new(watched: impl IntoIterator<Item = usize>) -> Self {
+            Self {
+                watched: watched.into_iter().collect(),
+                pending: Default::default(),
+                crossings: Vec::new(),
+            }
+        }
+
+        /// The crossing trace recorded so far.
+        pub fn crossings(&self) -> &[usize] {
+            &self.crossings
+        }
+    }
+
+    impl Observer for SyncPoints {
+        fn on_control(&mut self, pc: usize, _instr: &Instruction, _taken: bool, target: usize) {
+            self.pending.push_back((pc, target));
+        }
+
+        fn on_retire(&mut self, pc: usize, _instr: &Instruction, _state: &CoreState) {
+            // In-order retirement: a pending control target belongs to
+            // this retirement iff it was recorded for the same pc.
+            let next = match self.pending.front() {
+                Some((cpc, target)) if *cpc == pc => {
+                    let t = *target;
+                    self.pending.pop_front();
+                    t
+                }
+                _ => pc + 1,
+            };
+            if self.watched.contains(&next) {
+                self.crossings.push(next);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -306,6 +372,28 @@ mod tests {
         assert_eq!(f_log, r_log);
         assert_eq!(f_ret, p_ret);
         assert_eq!(f_ret, r_ret);
+    }
+
+    #[test]
+    fn sync_points_record_identical_crossings_on_every_backend() {
+        // Watch the loop head (pc 2): entered twice by the taken
+        // backward branch — the initial fall-in from pc 1 is a plain
+        // retirement of pc 1 whose successor is 2, which also counts.
+        let program = looped();
+        let mut traces = Vec::new();
+        for backend in Backend::ALL {
+            let sp = Arc::new(Mutex::new(SyncPoints::new([2usize])));
+            let mut core = SimBuilder::new(&program)
+                .backend(backend)
+                .observer(sp.clone())
+                .build();
+            core.run_for(Budget::Steps(100_000)).unwrap();
+            traces.push(sp.lock().unwrap().crossings().to_vec());
+        }
+        assert_eq!(traces[0], traces[1], "functional vs pipelined");
+        assert_eq!(traces[0], traces[2], "functional vs reference");
+        // Entered by LI t3 (pc 1 -> 2) and by two taken loop-backs.
+        assert_eq!(traces[0], vec![2, 2, 2]);
     }
 
     #[test]

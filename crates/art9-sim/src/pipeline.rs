@@ -26,14 +26,14 @@
 
 use std::sync::Arc;
 
-use art9_isa::{Instruction, Program, TReg};
+use art9_isa::{Instruction, TReg};
 use ternary::Word9;
 
 use crate::checkpoint::{Checkpoint, Micro, PipelineMicro};
 use crate::core::{run_loop, Backend, Budget, Core, RunSummary};
 use crate::error::SimError;
 use crate::exec::{control_target, talu};
-use crate::functional::{CoreState, HaltReason, DEFAULT_TDM_WORDS};
+use crate::functional::{CoreState, HaltReason};
 use crate::observer::{MemoryAccess, ObserverSet};
 use crate::predecode::PredecodedProgram;
 use crate::stats::PipelineStats;
@@ -119,42 +119,6 @@ pub struct PipelinedSim {
 }
 
 impl PipelinedSim {
-    /// Builds a pipelined core with the default 256-word TDM.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use SimBuilder::new(&program).build_pipelined()"
-    )]
-    pub fn new(program: &Program) -> Self {
-        Self::build(
-            &PredecodedProgram::new(program),
-            DEFAULT_TDM_WORDS,
-            true,
-            false,
-            ObserverSet::default(),
-        )
-    }
-
-    /// Builds a pipelined core with an explicit TDM size.
-    #[deprecated(since = "0.2.0", note = "use SimBuilder::new(&program).tdm_words(n)")]
-    pub fn with_tdm_size(program: &Program, tdm_words: usize) -> Self {
-        Self::build(
-            &PredecodedProgram::new(program),
-            tdm_words,
-            true,
-            false,
-            ObserverSet::default(),
-        )
-    }
-
-    /// Builds a pipelined core on a shared predecoded image.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use SimBuilder::new(&image) — the builder shares the image the same way"
-    )]
-    pub fn from_predecoded(image: &PredecodedProgram, tdm_words: usize) -> Self {
-        Self::build(image, tdm_words, true, false, ObserverSet::default())
-    }
-
     /// The one real constructor, reached through
     /// [`SimBuilder`](crate::SimBuilder).
     pub(crate) fn build(
@@ -189,22 +153,6 @@ impl PipelinedSim {
     /// is assembled here, off the hot path.
     pub fn instruction_mix(&self) -> std::collections::BTreeMap<&'static str, u64> {
         crate::core::mix_map(&self.mix)
-    }
-
-    /// Disables the forwarding multiplexers (ablation study): every
-    /// read-after-write hazard then stalls until the producer writes
-    /// back. The paper motivates forwarding by exactly this cost
-    /// ("for reducing the number of unwanted stalls as many as
-    /// possible, we actively apply the forwarding multiplexers").
-    #[deprecated(since = "0.2.0", note = "use SimBuilder::forwarding(false)")]
-    pub fn disable_forwarding(&mut self) {
-        self.forwarding = false;
-    }
-
-    /// Turns on per-cycle tracing (stage occupancy snapshots).
-    #[deprecated(since = "0.2.0", note = "use SimBuilder::trace(true)")]
-    pub fn enable_trace(&mut self) {
-        self.trace = Some(Vec::new());
     }
 
     /// The recorded trace, if tracing was enabled.

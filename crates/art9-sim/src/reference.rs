@@ -20,7 +20,7 @@
 //! it can implement the unified [`Core`](crate::Core) API and be driven
 //! by any consumer — most importantly the generic fuzz lockstep oracle.
 
-use art9_isa::{Instruction, Program, TReg};
+use art9_isa::{Instruction, TReg};
 use ternary::{arith, TernaryError, Trit, Trits, Word9};
 
 use crate::checkpoint::{Checkpoint, Micro};
@@ -55,17 +55,6 @@ pub struct ReferenceSim {
 }
 
 impl ReferenceSim {
-    /// Builds an interpreter over `program` with a `tdm_words`-word TDM
-    /// (grown to fit the data image, like the other backends).
-    #[deprecated(since = "0.2.0", note = "use SimBuilder with Backend::Reference")]
-    pub fn new(program: &Program, tdm_words: usize) -> Self {
-        Self::build(
-            &PredecodedProgram::new(program),
-            tdm_words,
-            ObserverSet::default(),
-        )
-    }
-
     /// The one real constructor, reached through
     /// [`SimBuilder`](crate::SimBuilder).
     pub(crate) fn build(
@@ -573,14 +562,5 @@ mod tests {
                 assert_eq!(shift_trits(w, -k), w.shr(k as usize), "{v} shr {k}");
             }
         }
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructor_still_works() {
-        let p = assemble("LI t3, 5\nJAL t0, 0\n").unwrap();
-        let mut r = ReferenceSim::new(&p, 256);
-        while r.step().unwrap().is_none() {}
-        assert_eq!(r.reg(TReg::T3).to_i64(), 5);
     }
 }

@@ -1,16 +1,23 @@
 //! # `art9-fuzz` — differential fuzzing for the ART-9 frameworks
 //!
-//! The paper's evaluation rests on three executions of the same ISA
-//! agreeing — the functional model, the pipelined model and the
-//! ternary arithmetic layer. This crate turns that claim into a
-//! generative check: a seeded random [program generator](generate)
-//! over the full 24-instruction ISA, co-simulated in lockstep through
-//! four [oracles](check_program) (functional vs a per-trit
+//! The paper's evaluation rests on executions of the same program
+//! agreeing across machines — the functional model, the pipelined
+//! model, the ternary arithmetic layer, and (its headline §III-A
+//! claim) the RV32 source a translation came from. This crate turns
+//! those claims into generative checks: a seeded random
+//! [ART-9 program generator](generate) over the full 24-instruction
+//! ISA, co-simulated in lockstep through four
+//! [oracles](check_program) (functional vs a per-trit
 //! [`ReferenceSim`], pipelined with forwarding on and off, and the
-//! encode/decode/disassemble/reassemble toolchain), plus a direct
-//! packed-vs-tritwise [arithmetic oracle](check_arith). Failures are
-//! [minimized](minimize) by greedy NOP substitution and written as
-//! one-command [replay files](render_replay).
+//! encode/decode/disassemble/reassemble toolchain), a direct
+//! packed-vs-tritwise [arithmetic oracle](check_arith), and a seeded
+//! [RV32 generator](generate_rv32) whose output runs on the
+//! `rv32::Machine` and — translated by `art9-compiler` — on an ART-9
+//! core, compared at every RV32 instruction boundary by the
+//! [compiler-lockstep oracle](CoSim). Failures are
+//! [minimized](minimize) by greedy NOP substitution (at the RV32
+//! source level for cross-ISA cases) and written as one-command
+//! [replay files](render_replay).
 //!
 //! Design notes (generator invariants, the oracle matrix, the replay
 //! format) live in `docs/FUZZING.md` at the repository root.
@@ -31,24 +38,31 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cosim;
 mod gen;
 mod minimize;
 mod oracle;
 mod replay;
 mod rng;
+mod rv32gen;
 
 /// The per-trit reference interpreter now lives in `art9-sim` (it
 /// implements the unified `Core` API); re-exported here for
 /// compatibility.
 pub use art9_sim::ReferenceSim;
+pub use cosim::{check_compiler_lockstep, cosim_mem_bytes, CoSim, COSIM_TDM_WORDS};
 pub use gen::{generate, step_budget, GenConfig, Mix, MIN_TDM_WORDS};
-pub use minimize::{minimize, Minimized};
+pub use minimize::{minimize, minimize_rv32, Minimized, MinimizedRv32};
 pub use oracle::{
     check_arith, check_program, check_program_filtered, lockstep, random_word, Divergence,
     LockstepOutcome, Oracle, OracleStats, ORACLE_TDM_WORDS,
 };
-pub use replay::{parse_replay, render_replay, write_replay, ReplayMeta, REPLAY_MAGIC};
+pub use replay::{
+    is_rv32_replay, parse_replay, parse_replay_header, render_replay, render_replay_rv32,
+    write_replay, write_replay_rv32, RecordedMeta, ReplayMeta, REPLAY_MAGIC, REPLAY_MAGIC_RV32,
+};
 pub use rng::FuzzRng;
+pub use rv32gen::{generate_rv32, rv32_step_budget, Rv32GenConfig, Rv32Mix};
 
 use art9_isa::{encode, Program};
 use rayon::prelude::*;
@@ -65,9 +79,12 @@ pub struct FuzzConfig {
     pub gen: GenConfig,
     /// Random word pairs per iteration for the arithmetic oracle.
     pub arith_pairs: usize,
-    /// Rotate through every named [`Mix`] by iteration index instead
-    /// of using `gen.mix` for all iterations (the smoke profile does
-    /// this so CI exercises the memory/control paths too).
+    /// RV32 generator tuning for the compiler-lockstep oracle.
+    pub rv_gen: Rv32GenConfig,
+    /// Rotate through every named [`Mix`] (and [`Rv32Mix`]) by
+    /// iteration index instead of using the configured mix for all
+    /// iterations (the smoke profile does this so CI exercises the
+    /// memory/control paths too).
     pub sweep_mixes: bool,
     /// Directory to write replay files for minimized failures;
     /// `None` keeps failures in the report only.
@@ -83,6 +100,7 @@ impl Default for FuzzConfig {
             seed: 42,
             iterations: 1000,
             gen: GenConfig::default(),
+            rv_gen: Rv32GenConfig::default(),
             arith_pairs: 32,
             sweep_mixes: false,
             fail_dir: None,
@@ -101,6 +119,10 @@ impl FuzzConfig {
             gen: GenConfig {
                 max_len: 80,
                 ..GenConfig::default()
+            },
+            rv_gen: Rv32GenConfig {
+                max_len: 40,
+                ..Rv32GenConfig::default()
             },
             arith_pairs: 16,
             sweep_mixes: true,
@@ -152,6 +174,15 @@ impl FuzzReport {
             "{} roundtrip checks, {} arithmetic checks | digest {:016x}",
             self.stats.roundtrip_checks, self.stats.arith_checks, self.digest
         );
+        if self.stats.cosim_sync_points > 0 {
+            let _ = writeln!(
+                out,
+                "compiler lockstep: {} rv32 instructions, {} art9 instructions, {} sync points",
+                self.stats.cosim_rv32_instructions,
+                self.stats.cosim_art9_instructions,
+                self.stats.cosim_sync_points
+            );
+        }
         if self.divergences.is_empty() {
             let _ = writeln!(out, "no divergences");
         } else {
@@ -186,11 +217,29 @@ fn program_digest(p: &Program) -> u64 {
     h
 }
 
+/// FNV-1a over an RV32 source's bytes.
+fn source_digest(src: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for byte in src.bytes() {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// The thing a failing iteration minimizes and replays: an ART-9
+/// program (simulator/toolchain oracles) or RV32 source (the
+/// compiler-lockstep oracle).
+enum CaseArtifact {
+    Art9(Program),
+    Rv32(String),
+}
+
 /// Outcome of one iteration (collected in index order).
 struct IterOutcome {
     stats: OracleStats,
     digest: u64,
-    failure: Option<(u64, Divergence, Program)>,
+    failure: Option<(u64, Divergence, CaseArtifact)>,
 }
 
 /// Runs a full fuzz campaign.
@@ -201,22 +250,50 @@ struct IterOutcome {
 /// for a fixed config.
 pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
     let budget = step_budget(&cfg.gen);
+    let rv_budget = rv32_step_budget(&cfg.rv_gen);
+    // compiler-lockstep runs on RV32 programs, so restricting the
+    // campaign to it skips the ART-9 generation entirely.
+    let cosim_only = cfg.oracle == Some(Oracle::CompilerLockstep);
+    let run_cosim = cfg.oracle.is_none() || cosim_only;
     let indices: Vec<u64> = (0..cfg.iterations).collect();
     let outcomes: Vec<IterOutcome> = indices
         .into_par_iter()
         .map(|i| {
             let mut rng = FuzzRng::for_iteration(cfg.seed, i);
-            let mut gen_cfg = cfg.gen;
-            if cfg.sweep_mixes {
-                gen_cfg.mix = Mix::ALL[(i % Mix::ALL.len() as u64) as usize];
+            let mut digest = 0u64;
+            let mut stats = OracleStats::default();
+            let mut divergence = None;
+            let mut artifact = None;
+            if !cosim_only {
+                let mut gen_cfg = cfg.gen;
+                if cfg.sweep_mixes {
+                    gen_cfg.mix = Mix::ALL[(i % Mix::ALL.len() as u64) as usize];
+                }
+                let program = generate(&mut rng, &gen_cfg);
+                digest = program_digest(&program);
+                let (s, d) = check_program_filtered(&program, budget, cfg.oracle);
+                stats = s;
+                divergence = d;
+                if divergence.is_none() && cfg.oracle.is_none_or(|o| o == Oracle::Arithmetic) {
+                    divergence = check_arith(&mut rng, cfg.arith_pairs, &mut stats);
+                }
+                if divergence.is_some() {
+                    artifact = Some(CaseArtifact::Art9(program));
+                }
             }
-            let program = generate(&mut rng, &gen_cfg);
-            let digest = program_digest(&program);
-            let (mut stats, mut divergence) = check_program_filtered(&program, budget, cfg.oracle);
-            if divergence.is_none() && cfg.oracle.is_none_or(|o| o == Oracle::Arithmetic) {
-                divergence = check_arith(&mut rng, cfg.arith_pairs, &mut stats);
+            if run_cosim && divergence.is_none() {
+                let mut rv_cfg = cfg.rv_gen;
+                if cfg.sweep_mixes {
+                    rv_cfg.mix = Rv32Mix::ALL[(i % Rv32Mix::ALL.len() as u64) as usize];
+                }
+                let src = generate_rv32(&mut rng, &rv_cfg);
+                digest ^= source_digest(&src).rotate_left(31);
+                divergence = check_compiler_lockstep(&src, rv_budget, &mut stats);
+                if divergence.is_some() {
+                    artifact = Some(CaseArtifact::Rv32(src));
+                }
             }
-            let failure = divergence.map(|d| (i, d, program));
+            let failure = divergence.zip(artifact).map(|(d, a)| (i, d, a));
             IterOutcome {
                 stats,
                 digest,
@@ -236,7 +313,7 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
         digest = digest.wrapping_mul(0x0000_0100_0000_01B3).rotate_left(17);
     }
     for o in outcomes {
-        let Some((iteration, divergence, program)) = o.failure else {
+        let Some((iteration, divergence, artifact)) = o.failure else {
             continue;
         };
         // Arithmetic findings are value-level, not program-level: the
@@ -257,26 +334,45 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
             });
             continue;
         }
-        // Minimize program-level findings by re-running the flagging
-        // oracle (restricted to it, so minimization cost scales with
-        // one oracle, not five).
-        let flagging = divergence.oracle;
-        let (final_program, final_divergence) = match minimize(&program, |p| {
-            check_program_filtered(p, budget, Some(flagging)).1
-        }) {
-            Some(m) => (m.program, m.divergence),
-            None => (program, divergence),
+        // Minimize findings by re-running the flagging oracle
+        // (restricted to it, so minimization cost scales with one
+        // oracle, not the whole matrix). RV32 cases minimize at the
+        // source level; ART-9 cases at the instruction level; the
+        // replay metadata and failure record are shared below.
+        let (final_divergence, artifact) = match artifact {
+            CaseArtifact::Rv32(src) => match minimize_rv32(&src, |s| {
+                let mut scratch = OracleStats::default();
+                check_compiler_lockstep(s, rv_budget, &mut scratch)
+            }) {
+                Some(m) => (m.divergence, CaseArtifact::Rv32(m.source)),
+                None => (divergence, CaseArtifact::Rv32(src)),
+            },
+            CaseArtifact::Art9(program) => {
+                let flagging = divergence.oracle;
+                match minimize(&program, |p| {
+                    check_program_filtered(p, budget, Some(flagging)).1
+                }) {
+                    Some(m) => (m.divergence, CaseArtifact::Art9(m.program)),
+                    None => (divergence, CaseArtifact::Art9(program)),
+                }
+            }
         };
         let meta = ReplayMeta {
             seed: cfg.seed,
             iteration,
             divergence: final_divergence.clone(),
         };
-        let replay_text = render_replay(&meta, &final_program);
-        let replay_path = cfg
-            .fail_dir
-            .as_deref()
-            .and_then(|dir| write_replay(dir, &meta, &final_program).ok());
+        let dir = cfg.fail_dir.as_deref();
+        let (replay_text, replay_path) = match &artifact {
+            CaseArtifact::Rv32(src) => (
+                render_replay_rv32(&meta, src),
+                dir.and_then(|d| write_replay_rv32(d, &meta, src).ok()),
+            ),
+            CaseArtifact::Art9(program) => (
+                render_replay(&meta, program),
+                dir.and_then(|d| write_replay(d, &meta, program).ok()),
+            ),
+        };
         divergences.push(Failure {
             iteration,
             divergence: final_divergence,

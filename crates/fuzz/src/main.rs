@@ -20,7 +20,10 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use art9_fuzz::{parse_replay, run_fuzz, run_replay, FuzzConfig, Mix, Oracle};
+use art9_fuzz::{
+    check_compiler_lockstep, is_rv32_replay, parse_replay, parse_replay_header, run_fuzz,
+    run_replay, FuzzConfig, Mix, Oracle, OracleStats, Rv32Mix,
+};
 
 const USAGE: &str = "\
 art9-fuzz: differential fuzzing of the ART-9 simulators and toolchain
@@ -32,9 +35,13 @@ OPTIONS:
     --seed N          Master seed (default 42); same seed => same programs
     --iterations N    Programs to generate and co-simulate (default 1000)
     --mix NAME        Instruction mix: balanced | alu | memory | control
+                      (ART-9 programs) or rv-balanced | rv-alu | rv-memory |
+                      rv-control | rv-spill (RV32 programs for the
+                      compiler-lockstep oracle)
     --oracle NAME     Run only one oracle (functional-vs-reference |
                       pipelined-fwd | pipelined-nofwd | toolchain-roundtrip |
-                      arithmetic) — for triaging a campaign or a replay file
+                      arithmetic | compiler-lockstep) — for triaging a
+                      campaign or a replay file
     --max-len N       Upper bound on generated body length (default 160)
     --smoke           CI budget: 150 small programs across the mixes
     --fail-dir DIR    Write minimized replay files here (default fuzz-failures)
@@ -79,6 +86,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Cmd, String> {
     let mut explicit_iterations = None;
     let mut explicit_max_len = None;
     let mut explicit_mix = None;
+    let mut explicit_rv_mix = None;
     let mut args = args.peekable();
     while let Some(arg) = args.next() {
         let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
@@ -94,7 +102,24 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Cmd, String> {
                 }
                 explicit_max_len = Some(n);
             }
-            "--mix" => explicit_mix = Some(value("--mix")?.parse::<Mix>()?),
+            "--mix" => {
+                let v = value("--mix")?;
+                match (v.parse::<Mix>(), v.parse::<Rv32Mix>()) {
+                    (Ok(m), _) => explicit_mix = Some(m),
+                    (_, Ok(m)) => explicit_rv_mix = Some(m),
+                    (Err(_), Err(_)) => {
+                        let names: Vec<&str> = Mix::ALL
+                            .iter()
+                            .map(Mix::name)
+                            .chain(Rv32Mix::ALL.iter().map(Rv32Mix::name))
+                            .collect();
+                        return Err(format!(
+                            "unknown mix {v:?} (expected one of {})",
+                            names.join(", ")
+                        ));
+                    }
+                }
+            }
             "--oracle" => cfg.oracle = Some(value("--oracle")?.parse::<Oracle>()?),
             "--fail-dir" => cfg.fail_dir = Some(PathBuf::from(value("--fail-dir")?)),
             "--no-fail-dir" => cfg.fail_dir = None,
@@ -113,18 +138,23 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Cmd, String> {
         cfg.iterations = smoke_cfg.iterations;
         cfg.gen = smoke_cfg.gen;
         cfg.arith_pairs = smoke_cfg.arith_pairs;
+        cfg.rv_gen = smoke_cfg.rv_gen;
         // The smoke profile rotates through every mix unless the user
         // pinned one explicitly.
-        cfg.sweep_mixes = explicit_mix.is_none();
+        cfg.sweep_mixes = explicit_mix.is_none() && explicit_rv_mix.is_none();
     }
     if let Some(n) = explicit_iterations {
         cfg.iterations = n;
     }
     if let Some(n) = explicit_max_len {
         cfg.gen.max_len = n;
+        cfg.rv_gen.max_len = n;
     }
     if let Some(mix) = explicit_mix {
         cfg.gen.mix = mix;
+    }
+    if let Some(mix) = explicit_rv_mix {
+        cfg.rv_gen.mix = mix;
     }
     Ok(Cmd::Run(cfg))
 }
@@ -135,7 +165,9 @@ fn parse_num(s: &str) -> Result<u64, String> {
 
 fn campaign(cfg: &FuzzConfig) -> ExitCode {
     let mix = if cfg.sweep_mixes {
-        "sweep (all four)"
+        "sweep (all)"
+    } else if cfg.oracle == Some(Oracle::CompilerLockstep) {
+        cfg.rv_gen.mix.name()
     } else {
         cfg.gen.mix.name()
     };
@@ -163,6 +195,33 @@ fn campaign(cfg: &FuzzConfig) -> ExitCode {
     }
 }
 
+/// The triage summary of a replayed divergence: which oracle flagged
+/// it and the first differing state field, plus the provenance the
+/// replay file recorded when it was written.
+fn triage(text: &str, divergence: &art9_fuzz::Divergence) {
+    let recorded = parse_replay_header(text);
+    println!("DIVERGENCE: {divergence}");
+    println!("triage: flagged by oracle `{}`", divergence.oracle.name());
+    if let Some(first) = divergence.detail.lines().next() {
+        println!("triage: first differing state field: {first}");
+    }
+    if let Some(o) = recorded.oracle {
+        let verdict = if o == divergence.oracle {
+            "matches"
+        } else {
+            "DIFFERS from"
+        };
+        println!(
+            "triage: recorded oracle `{}` {} the fresh result",
+            o.name(),
+            verdict
+        );
+    }
+    if let (Some(seed), Some(iteration)) = (recorded.seed, recorded.iteration) {
+        println!("triage: originally found at seed {seed}, iteration {iteration}");
+    }
+}
+
 fn replay_one(path: &std::path::Path, oracle: Option<Oracle>) -> ExitCode {
     if oracle == Some(Oracle::Arithmetic) {
         eprintln!(
@@ -178,6 +237,49 @@ fn replay_one(path: &std::path::Path, oracle: Option<Oracle>) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    // RV32-flavored replays (compiler-lockstep) carry RV32 source.
+    if is_rv32_replay(&text) {
+        if oracle.is_some_and(|o| o != Oracle::CompilerLockstep) {
+            eprintln!(
+                "error: {} is an rv32 replay; only the compiler-lockstep oracle applies",
+                path.display()
+            );
+            return ExitCode::from(2);
+        }
+        println!(
+            "replaying {} (rv32 source, oracle compiler-lockstep)",
+            path.display()
+        );
+        let mut stats = OracleStats::default();
+        // A replayed source may not obey the generator's termination
+        // invariants (it could be hand-edited), so give it a generous
+        // fixed budget rather than the campaign's computed bound.
+        let divergence = check_compiler_lockstep(&text, 2_000_000, &mut stats);
+        println!(
+            "{} rv32 instructions, {} art9 instructions, {} sync points",
+            stats.cosim_rv32_instructions, stats.cosim_art9_instructions, stats.cosim_sync_points
+        );
+        return match divergence {
+            None => {
+                println!("all oracles agree");
+                ExitCode::SUCCESS
+            }
+            Some(d) => {
+                triage(&text, &d);
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    if oracle == Some(Oracle::CompilerLockstep) {
+        eprintln!(
+            "error: {} is an art9 replay; the compiler-lockstep oracle replays rv32 \
+             sources (case-*.rv32)",
+            path.display()
+        );
+        return ExitCode::from(2);
+    }
     let program = match parse_replay(&text) {
         Ok(p) => p,
         Err(e) => {
@@ -203,7 +305,7 @@ fn replay_one(path: &std::path::Path, oracle: Option<Oracle>) -> ExitCode {
             ExitCode::SUCCESS
         }
         Some(d) => {
-            println!("DIVERGENCE: {d}");
+            triage(&text, &d);
             ExitCode::FAILURE
         }
     }

@@ -104,6 +104,118 @@ where
     })
 }
 
+/// Outcome of an RV32 source-level minimization run (the
+/// compiler-lockstep oracle's counterpart of [`Minimized`]).
+#[derive(Debug, Clone)]
+pub struct MinimizedRv32 {
+    /// The reduced source (still diverging; still a valid `.s` file).
+    pub source: String,
+    /// The divergence the reduced source still exhibits.
+    pub divergence: Divergence,
+    /// Instruction lines in the original source.
+    pub original_instructions: usize,
+    /// Non-`nop` instruction lines that survived.
+    pub active_instructions: usize,
+}
+
+/// `true` for a source line that is an instruction (not a label,
+/// directive, comment or blank) — the only lines minimization edits.
+/// A `label: .word …` data line is a directive, not an instruction.
+fn is_instruction_line(line: &str) -> bool {
+    let mut t = line.trim();
+    if let Some((head, rest)) = t.split_once(':') {
+        if !head.contains(char::is_whitespace) {
+            t = rest.trim(); // inline label prefix
+        }
+    }
+    !(t.is_empty() || t.starts_with('#') || t.starts_with('.'))
+}
+
+/// Lines the NOP pass never touches: `la` pointer establishment.
+/// NOPing it leaves a null pointer whose dereference compares memory
+/// the two machines address differently — the reduced case would
+/// diverge for a contract-violating reason instead of the real bug.
+fn is_protected_line(line: &str) -> bool {
+    let t = line.trim();
+    t == "la" || t.starts_with("la ") || t.starts_with("la\t")
+}
+
+/// Greedily minimizes RV32 assembly `source` while `check` keeps
+/// reporting the same kind of divergence.
+///
+/// The reduction is line-based: instruction lines are replaced with
+/// `nop` (labels stay, so control flow cannot dangle), then trailing
+/// `nop`s are dropped. As with [`minimize`], an edit is kept only when
+/// the divergence keeps its oracle, its budget-exhaustion status *and*
+/// its harness status — a `nop` that breaks a loop's decrement (an
+/// infinite loop) or splits an `la` pair (a translate rejection) must
+/// not replace the real finding.
+pub fn minimize_rv32<F>(source: &str, check: F) -> Option<MinimizedRv32>
+where
+    F: Fn(&str) -> Option<Divergence>,
+{
+    let mut divergence = check(source)?;
+    let mut lines: Vec<String> = source.lines().map(str::to_string).collect();
+    let original_instructions = lines.iter().filter(|l| is_instruction_line(l)).count();
+
+    let same_kind = |d: &Divergence, original: &Divergence| {
+        d.oracle == original.oracle
+            && d.is_budget_exhaustion() == original.is_budget_exhaustion()
+            && d.detail.contains(crate::cosim::HARNESS_MARKER)
+                == original.detail.contains(crate::cosim::HARNESS_MARKER)
+    };
+    let render = |lines: &[String]| lines.join("\n") + "\n";
+
+    // Pass 1: nop substitution to fixpoint, consumers first.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in (0..lines.len()).rev() {
+            if !is_instruction_line(&lines[i])
+                || is_protected_line(&lines[i])
+                || lines[i].trim() == "nop"
+            {
+                continue;
+            }
+            let saved = std::mem::replace(&mut lines[i], "nop".to_string());
+            match check(&render(&lines)) {
+                Some(d) if same_kind(&d, &divergence) => {
+                    divergence = d;
+                    changed = true;
+                }
+                _ => lines[i] = saved,
+            }
+        }
+    }
+
+    // Pass 2: drop trailing nops (labels at the end may go with them).
+    while let Some(last) = lines.iter().rposition(|l| is_instruction_line(l)) {
+        if lines[last].trim() != "nop" {
+            break;
+        }
+        let saved = lines.clone();
+        lines.truncate(last);
+        match check(&render(&lines)) {
+            Some(d) if same_kind(&d, &divergence) => divergence = d,
+            _ => {
+                lines = saved;
+                break;
+            }
+        }
+    }
+
+    let active_instructions = lines
+        .iter()
+        .filter(|l| is_instruction_line(l) && l.trim() != "nop")
+        .count();
+    Some(MinimizedRv32 {
+        source: render(&lines),
+        divergence,
+        original_instructions,
+        active_instructions,
+    })
+}
+
 /// Builds a bare program from reduced parts.
 fn rebuild(text: &[Instruction], data: &[Word9]) -> Program {
     Program::new(

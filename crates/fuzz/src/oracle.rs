@@ -50,16 +50,21 @@ pub enum Oracle {
     ToolchainRoundtrip,
     /// Packed bitplane kernels vs the tritwise reference algorithms.
     Arithmetic,
+    /// RV32→ART-9 translation vs the `rv32` machine, in lockstep at
+    /// RV32-instruction granularity (see [`crate::CoSim`]). Runs on
+    /// generated RV32 programs, not ART-9 ones.
+    CompilerLockstep,
 }
 
 impl Oracle {
     /// Every oracle, in campaign order.
-    pub const ALL: [Oracle; 5] = [
+    pub const ALL: [Oracle; 6] = [
         Oracle::FunctionalVsReference,
         Oracle::PipelinedForwarding,
         Oracle::PipelinedNoForwarding,
         Oracle::ToolchainRoundtrip,
         Oracle::Arithmetic,
+        Oracle::CompilerLockstep,
     ];
 
     /// Stable display name (used in replay files, reports, and the
@@ -71,6 +76,7 @@ impl Oracle {
             Oracle::PipelinedNoForwarding => "pipelined-nofwd",
             Oracle::ToolchainRoundtrip => "toolchain-roundtrip",
             Oracle::Arithmetic => "arithmetic",
+            Oracle::CompilerLockstep => "compiler-lockstep",
         }
     }
 }
@@ -132,6 +138,12 @@ pub struct OracleStats {
     pub roundtrip_checks: u64,
     /// Individual arithmetic cross-checks performed.
     pub arith_checks: u64,
+    /// RV32 instructions the compiler-lockstep oracle retired.
+    pub cosim_rv32_instructions: u64,
+    /// ART-9 instructions the compiler-lockstep oracle retired.
+    pub cosim_art9_instructions: u64,
+    /// Sync points (RV32-instruction boundaries) compared in full.
+    pub cosim_sync_points: u64,
 }
 
 impl OracleStats {
@@ -141,6 +153,9 @@ impl OracleStats {
         self.pipelined_cycles += other.pipelined_cycles;
         self.roundtrip_checks += other.roundtrip_checks;
         self.arith_checks += other.arith_checks;
+        self.cosim_rv32_instructions += other.cosim_rv32_instructions;
+        self.cosim_art9_instructions += other.cosim_art9_instructions;
+        self.cosim_sync_points += other.cosim_sync_points;
     }
 }
 

@@ -1,0 +1,802 @@
+//! Seeded random **RV32IM** program generation for the cross-ISA
+//! compiler-lockstep oracle.
+//!
+//! Where [`generate`](crate::generate) produces ART-9 programs to
+//! cross-check the three simulators against each other, this generator
+//! produces *RV32 assembly* to cross-check the §III-A compiling
+//! framework against the `rv32` machine. Programs are:
+//!
+//! * **accepted by `translate` by construction** — only the faithful
+//!   subset is emitted (no `auipc`, no sub-word memory, no dynamic
+//!   shifts, no `mulh`, ≤ 11 renameable registers), and address-typed
+//!   registers follow the flow-insensitive pointer discipline the
+//!   operand-conversion analysis requires;
+//! * **terminating by construction** — backward branches exist only in
+//!   a counted-loop template whose counter register nothing else
+//!   writes, `jalr` only in a call template, so every run halts within
+//!   [`rv32_step_budget`];
+//! * **value-bounded by construction** — the translation contract is
+//!   faithfulness for programs whose live values fit the 9-trit window
+//!   (±9841), so the generator tracks a static magnitude bound per
+//!   register (iterating loop effects through the known trip count) and
+//!   falls back to a fresh `li` whenever an operation could overflow.
+//!   Divergences are therefore always compiler bugs, never contract
+//!   violations.
+//!
+//! The output is assembly **source** (one instruction per line, labels
+//! on their own lines), which doubles as the replay format: a minimized
+//! failing case is a valid `.s` file `rv32::parse_program` accepts.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::rng::FuzzRng;
+
+/// Magnitude cap on every tracked register value: comfortably inside
+/// the ±9841 Word9 window, with headroom for one more add.
+const CAP: i64 = 4500;
+
+/// Magnitude of initial data words (keeps loaded values combinable).
+const DATA_MAG: i64 = 500;
+
+/// Maximum counted-loop trip count.
+const LOOP_COUNT_MAX: i64 = 6;
+/// Maximum instructions in a loop body (before bookkeeping).
+const LOOP_BODY_MAX: usize = 10;
+/// Maximum instructions in a call-template sub body.
+const CALL_BODY_MAX: usize = 6;
+/// Maximum instructions skipped over by a forward-branch template.
+const SKIP_SPAN_MAX: usize = 5;
+
+/// The loop counter register; written only by the loop template.
+const COUNTER: &str = "s1";
+/// The `la`-established base pointer register.
+const PTR: &str = "a5";
+/// The derived pointer of the scaled-index template.
+const PTR_IDX: &str = "a6";
+/// The scaled index register (written only by `slli …, 2`).
+const IDX: &str = "a7";
+
+/// Action classes the [`Rv32Mix`] weights against each other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Action {
+    /// One register/immediate ALU instruction (add/sub/slt/mul/div/…).
+    Alu,
+    /// A constant materialization (`li`, small `lui`).
+    Imm,
+    /// A `lw`/`sw` through the `la`-established pointer.
+    Mem,
+    /// A conditional forward branch over freshly generated filler.
+    Skip,
+    /// A counted loop.
+    Loop,
+    /// A `jal`/`ret` call template.
+    Call,
+    /// A balanced `sp`-relative push/pop template.
+    Stack,
+    /// A `slli ×4` scaled-index access (the operand-conversion
+    /// index-to-move path).
+    Index,
+}
+
+const ACTIONS: [Action; 8] = [
+    Action::Alu,
+    Action::Imm,
+    Action::Mem,
+    Action::Skip,
+    Action::Loop,
+    Action::Call,
+    Action::Stack,
+    Action::Index,
+];
+
+/// A weighted RV32 instruction mix.
+///
+/// # Examples
+///
+/// ```
+/// use art9_fuzz::Rv32Mix;
+///
+/// let mix: Rv32Mix = "rv-spill".parse()?;
+/// assert_eq!(mix.name(), "rv-spill");
+/// # Ok::<(), String>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rv32Mix {
+    name: &'static str,
+    /// Relative weight per [`Action`], in `ACTIONS` order.
+    weights: [u32; 8],
+    /// Data registers random instructions may use.
+    pool: &'static [&'static str],
+    /// Whether the scaled-index template is available (costs two extra
+    /// dedicated registers).
+    use_index: bool,
+}
+
+/// The default five-register data pool.
+const POOL5: &[&str] = &["a0", "a1", "a2", "a3", "a4"];
+/// The spill-pressure pool: with the four dedicated template registers
+/// this reaches the renamer's 4-direct + 7-spill capacity exactly.
+const POOL8: &[&str] = &["a0", "a1", "a2", "a3", "a4", "s2", "s3", "s4"];
+
+impl Rv32Mix {
+    /// Even coverage of every construct (the default).
+    pub const BALANCED: Rv32Mix = Rv32Mix {
+        name: "rv-balanced",
+        weights: [6, 4, 3, 2, 2, 1, 1, 1],
+        pool: POOL5,
+        use_index: true,
+    };
+    /// Mostly arithmetic: stresses the two-address folding, the slt
+    /// idioms and the mul/div runtime calls.
+    pub const ALU: Rv32Mix = Rv32Mix {
+        name: "rv-alu",
+        weights: [12, 6, 1, 1, 1, 0, 0, 0],
+        pool: POOL5,
+        use_index: true,
+    };
+    /// Mostly memory: stresses address re-scaling, offset folding and
+    /// the scaled-index conversion.
+    pub const MEMORY: Rv32Mix = Rv32Mix {
+        name: "rv-memory",
+        weights: [2, 3, 9, 1, 2, 0, 2, 3],
+        pool: POOL5,
+        use_index: true,
+    };
+    /// Mostly branches, loops and calls: stresses branch relaxation and
+    /// the link-register paths.
+    pub const CONTROL: Rv32Mix = Rv32Mix {
+        name: "rv-control",
+        weights: [2, 2, 1, 6, 4, 3, 1, 0],
+        pool: POOL5,
+        use_index: false,
+    };
+    /// Eight-register pool: forces the 32→9 renamer into TDM spill
+    /// slots on nearly every program.
+    pub const SPILL: Rv32Mix = Rv32Mix {
+        name: "rv-spill",
+        weights: [8, 5, 3, 2, 2, 1, 1, 0],
+        pool: POOL8,
+        use_index: false,
+    };
+
+    /// Every named mix.
+    pub const ALL: [Rv32Mix; 5] = [
+        Rv32Mix::BALANCED,
+        Rv32Mix::ALU,
+        Rv32Mix::MEMORY,
+        Rv32Mix::CONTROL,
+        Rv32Mix::SPILL,
+    ];
+
+    /// The mix's name (accepted back by `FromStr`).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn pick(&self, rng: &mut FuzzRng) -> Action {
+        let total: u32 = self.weights.iter().sum();
+        let mut roll = rng.below(u64::from(total)) as u32;
+        for (action, w) in ACTIONS.iter().zip(self.weights) {
+            if roll < w {
+                return *action;
+            }
+            roll -= w;
+        }
+        Action::Alu
+    }
+}
+
+impl std::str::FromStr for Rv32Mix {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Rv32Mix::ALL
+            .iter()
+            .find(|m| m.name == s)
+            .copied()
+            .ok_or_else(|| {
+                let names: Vec<&str> = Rv32Mix::ALL.iter().map(|m| m.name).collect();
+                format!(
+                    "unknown rv32 mix {s:?} (expected one of {})",
+                    names.join(", ")
+                )
+            })
+    }
+}
+
+/// Tuning knobs for the RV32 generator.
+#[derive(Debug, Clone, Copy)]
+pub struct Rv32GenConfig {
+    /// Upper bound on generated source instructions (excluding labels
+    /// and the final `ebreak`).
+    pub max_len: usize,
+    /// The weighted construct mix.
+    pub mix: Rv32Mix,
+    /// Maximum counted loops per program.
+    pub loop_budget: usize,
+    /// Maximum `.word` entries in the data section.
+    pub max_data_words: usize,
+}
+
+impl Default for Rv32GenConfig {
+    fn default() -> Self {
+        Self {
+            max_len: 60,
+            mix: Rv32Mix::BALANCED,
+            loop_budget: 4,
+            max_data_words: 24,
+        }
+    }
+}
+
+/// Worst-case RV32 instructions a generated program executes, plus
+/// slack — the `rv32::Machine` step budget (exceeding it is itself
+/// reported as a divergence).
+pub fn rv32_step_budget(cfg: &Rv32GenConfig) -> u64 {
+    let per_loop = (LOOP_BODY_MAX as u64 * 3 + 4) * LOOP_COUNT_MAX as u64;
+    256 + 4 * cfg.max_len as u64 + cfg.loop_budget as u64 * per_loop
+}
+
+/// The incremental generator state.
+struct Gen<'a> {
+    rng: &'a mut FuzzRng,
+    lines: Vec<String>,
+    emitted: usize,
+    next_label: u32,
+    mix: Rv32Mix,
+    /// Static magnitude bound per data register.
+    bound: BTreeMap<&'static str, i64>,
+    /// Upper bound on any value the data array can hold.
+    mem_bound: i64,
+    /// Data words in the `.data` section (0 disables memory templates).
+    data_words: usize,
+    /// Whether `la PTR, arr` has been emitted with offset 0 since the
+    /// last invalidation (loop bodies invalidate it).
+    ptr_established: bool,
+}
+
+impl Gen<'_> {
+    fn label(&mut self) -> String {
+        let l = self.next_label;
+        self.next_label += 1;
+        format!("L{l}")
+    }
+
+    fn put(&mut self, line: String) {
+        self.emitted += 1;
+        self.lines.push(line);
+    }
+
+    fn put_label(&mut self, l: &str) {
+        self.lines.push(format!("{l}:"));
+    }
+
+    fn reg(&mut self) -> &'static str {
+        self.mix.pool[self.rng.index(self.mix.pool.len())]
+    }
+
+    /// `li r, v` and record the bound.
+    fn li(&mut self, r: &'static str, v: i64) {
+        self.put(format!("li {r}, {v}"));
+        self.bound.insert(r, v.abs().max(1));
+    }
+
+    fn small(&mut self) -> i64 {
+        self.rng.range_i64(-100, 100)
+    }
+
+    /// One ALU-class instruction whose result provably stays in the
+    /// window, given the current bounds. `writable` restricts the
+    /// destination; `readable` the sources; `None` means the whole pool.
+    fn alu(&mut self, writable: &[&'static str], readable: &[&'static str]) {
+        let rd = writable[self.rng.index(writable.len())];
+        let rs1 = readable[self.rng.index(readable.len())];
+        let rs2 = readable[self.rng.index(readable.len())];
+        let (b1, b2) = (self.bound_of(rs1), self.bound_of(rs2));
+        let choice = self.rng.below(12);
+        match choice {
+            0..=2 if b1 + b2 <= CAP => {
+                let op = if self.rng.chance(1, 2) { "add" } else { "sub" };
+                self.put(format!("{op} {rd}, {rs1}, {rs2}"));
+                self.bound.insert(rd, b1 + b2);
+            }
+            3..=4 => {
+                let imm = self.rng.range_i64(-60, 60);
+                if b1 + imm.abs() <= CAP {
+                    self.put(format!("addi {rd}, {rs1}, {imm}"));
+                    self.bound.insert(rd, b1 + imm.abs());
+                } else {
+                    let v = self.small();
+                    self.li(rd, v);
+                }
+            }
+            5 => {
+                self.put(format!("slt {rd}, {rs1}, {rs2}"));
+                self.bound.insert(rd, 1);
+            }
+            6 => {
+                let imm = self.rng.range_i64(-60, 60);
+                self.put(format!("slti {rd}, {rs1}, {imm}"));
+                self.bound.insert(rd, 1);
+            }
+            7 => {
+                let op = if self.rng.chance(1, 2) {
+                    "seqz"
+                } else {
+                    "snez"
+                };
+                self.put(format!("{op} {rd}, {rs1}"));
+                self.bound.insert(rd, 1);
+            }
+            8 if b1 * b2 <= CAP && b1 > 0 && b2 > 0 => {
+                self.put(format!("mul {rd}, {rs1}, {rs2}"));
+                self.bound.insert(rd, b1 * b2);
+            }
+            9 => {
+                // div/rem cover the divide-by-zero corner whenever rs2
+                // happens to hold zero: |q| <= max(|a|, 1), |r| <= |a|.
+                let op = if self.rng.chance(1, 2) { "div" } else { "rem" };
+                self.put(format!("{op} {rd}, {rs1}, {rs2}"));
+                self.bound.insert(rd, b1.max(1));
+            }
+            10 => {
+                let k = self.rng.range_i64(1, 3) as u32;
+                if b1 << k <= CAP {
+                    self.put(format!("slli {rd}, {rs1}, {k}"));
+                    self.bound.insert(rd, b1 << k);
+                } else {
+                    let v = self.small();
+                    self.li(rd, v);
+                }
+            }
+            _ => {
+                let op = if self.rng.chance(1, 2) { "neg" } else { "mv" };
+                self.put(format!("{op} {rd}, {rs1}"));
+                self.bound.insert(rd, b1);
+            }
+        }
+    }
+
+    fn bound_of(&self, r: &str) -> i64 {
+        self.bound.get(r).copied().unwrap_or(0).max(1)
+    }
+
+    /// A constant materialization: `li` (occasionally large) or a small
+    /// `lui`.
+    fn imm(&mut self) {
+        let rd = self.reg();
+        if self.rng.chance(1, 6) {
+            let h = self.rng.range_i64(-2, 2);
+            self.put(format!("lui {rd}, {h}"));
+            self.bound.insert(rd, h.abs() * 4096);
+        } else if self.rng.chance(1, 5) {
+            let v = self.rng.range_i64(-2000, 2000);
+            self.li(rd, v);
+        } else {
+            let v = self.small();
+            self.li(rd, v);
+        }
+    }
+
+    /// Ensures `PTR` holds the data-array base (byte offset 0).
+    fn ensure_ptr(&mut self) {
+        if !self.ptr_established || self.rng.chance(1, 6) {
+            self.put(format!("la {PTR}, arr"));
+            self.ptr_established = true;
+        }
+    }
+
+    /// A `lw`/`sw` through `PTR`. Inside loop bodies (`body` set) two
+    /// extra rules keep the static bounds sound across iterations:
+    /// loads write only body-*locals* (an outer written mid-body would
+    /// feed next iteration's earlier reads a value its recorded bound
+    /// never covered), and stores must not store a memory-derived
+    /// (tainted) value, or the static memory bound would grow per
+    /// iteration.
+    fn mem(&mut self, body: Option<(&[&'static str], &mut BTreeSet<&'static str>)>) {
+        if self.data_words == 0 {
+            self.imm();
+            return;
+        }
+        self.ensure_ptr();
+        let j = self.rng.index(self.data_words) as i64;
+        match body {
+            Some((locals, tainted)) => {
+                let rd = locals[self.rng.index(locals.len())];
+                if self.rng.chance(1, 2) || tainted.contains(rd) {
+                    self.put(format!("lw {rd}, {}({PTR})", 4 * j));
+                    self.bound.insert(rd, self.mem_bound);
+                    tainted.insert(rd);
+                } else {
+                    self.put(format!("sw {rd}, {}({PTR})", 4 * j));
+                    self.mem_bound = self.mem_bound.max(self.bound_of(rd));
+                }
+            }
+            None => {
+                let rd = self.reg();
+                if self.rng.chance(1, 2) {
+                    self.put(format!("lw {rd}, {}({PTR})", 4 * j));
+                    self.bound.insert(rd, self.mem_bound);
+                } else {
+                    self.put(format!("sw {rd}, {}({PTR})", 4 * j));
+                    self.mem_bound = self.mem_bound.max(self.bound_of(rd));
+                }
+            }
+        }
+    }
+
+    /// The scaled-index template: `li` an index, `slli ×4`, add to the
+    /// base pointer, access through the derived pointer — the exact
+    /// shape the operand-conversion analysis turns into a plain move.
+    fn index_access(&mut self) {
+        if self.data_words < 2 || !self.mix.use_index {
+            self.mem(None);
+            return;
+        }
+        self.ensure_ptr();
+        let j = self.rng.index(self.data_words - 1) as i64;
+        let d = self.reg();
+        self.li(d, j);
+        self.put(format!("slli {IDX}, {d}, 2"));
+        self.put(format!("add {PTR_IDX}, {PTR}, {IDX}"));
+        let rd = self.reg();
+        if self.rng.chance(1, 2) {
+            self.put(format!("lw {rd}, 0({PTR_IDX})"));
+            self.bound.insert(rd, self.mem_bound);
+        } else {
+            self.put(format!("sw {rd}, 0({PTR_IDX})"));
+            self.mem_bound = self.mem_bound.max(self.bound_of(rd));
+        }
+    }
+
+    /// A conditional forward branch over freshly generated filler.
+    /// Register bounds after the template are the join (max) of both
+    /// paths.
+    fn skip(&mut self) {
+        let rs1 = self.reg();
+        let rs2 = self.reg();
+        let op = ["beq", "bne", "blt", "bge"][self.rng.index(4)];
+        let l = self.label();
+        self.put(format!("{op} {rs1}, {rs2}, {l}"));
+        let snapshot = self.bound.clone();
+        let span = 1 + self.rng.index(SKIP_SPAN_MAX);
+        for _ in 0..span {
+            let pool = self.mix.pool;
+            self.alu(pool, pool);
+        }
+        self.put_label(&l);
+        // Join: either path may have run.
+        for (r, b) in snapshot {
+            let e = self.bound.entry(r).or_insert(b);
+            *e = (*e).max(b);
+        }
+    }
+
+    /// A counted loop. The body partitions the pool into *locals*
+    /// (re-`li`'d every iteration — no accumulation) and read-only
+    /// *outers*, plus one optional accumulator with statically bounded
+    /// per-iteration growth; memory stores only untainted values. Every
+    /// per-iteration effect is therefore idempotent or pre-multiplied
+    /// by the trip count, so the static bounds stay sound.
+    fn counted_loop(&mut self) {
+        let k = self.rng.range_i64(1, LOOP_COUNT_MAX);
+        self.put(format!("li {COUNTER}, {k}"));
+        let top = self.label();
+        self.put_label(&top);
+        self.ptr_established = false; // the backward edge must re-`la`
+
+        // Partition: 1..=3 locals, the rest outers.
+        let mut pool: Vec<&'static str> = self.mix.pool.to_vec();
+        for i in (1..pool.len()).rev() {
+            let j = self.rng.index(i + 1);
+            pool.swap(i, j);
+        }
+        let n_locals = 1 + self.rng.index(3.min(pool.len()));
+        let locals: Vec<&'static str> = pool[..n_locals].to_vec();
+        let outers: Vec<&'static str> = pool[n_locals..].to_vec();
+
+        // Accumulator: one outer, bounded growth per iteration.
+        let acc = (!outers.is_empty() && self.rng.chance(1, 2))
+            .then(|| outers[self.rng.index(outers.len())]);
+
+        // Locals are defined before use, every iteration.
+        for r in &locals {
+            let v = self.small();
+            self.li(r, v);
+        }
+        let mut tainted: BTreeSet<&'static str> = BTreeSet::new();
+        // Sources: locals plus outers, except the accumulator — its
+        // mid-loop value exceeds its recorded (pre-loop) bound.
+        let readable: Vec<&'static str> = locals
+            .iter()
+            .chain(outers.iter())
+            .copied()
+            .filter(|r| Some(*r) != acc)
+            .collect();
+
+        let body_len = 1 + self.rng.index(LOOP_BODY_MAX - 1);
+        let mut acc_growth = 0i64;
+        for _ in 0..body_len {
+            let roll = self.rng.below(10);
+            if roll < 2 && self.data_words > 0 {
+                self.mem(Some((&locals, &mut tainted)));
+            } else if roll < 4 && acc.is_some() {
+                // Accumulator update: growth per iteration is capped at
+                // 100, and the guard keeps bound + k·growth inside the
+                // window — emitting a reset instead when it would not.
+                let a = acc.expect("checked");
+                let small_local = locals
+                    .iter()
+                    .copied()
+                    .find(|r| !tainted.contains(r) && self.bound_of(r) <= 100);
+                let (line, g) = match small_local {
+                    Some(src) if self.rng.chance(1, 2) => {
+                        (format!("add {a}, {a}, {src}"), self.bound_of(src))
+                    }
+                    _ => {
+                        let imm = self.rng.range_i64(-40, 40);
+                        (format!("addi {a}, {a}, {imm}"), imm.abs())
+                    }
+                };
+                if self.bound_of(a) + (acc_growth + g) * k > CAP {
+                    // Would overflow across the remaining iterations:
+                    // re-zero instead (runs every iteration, so the
+                    // accumulation restarts from the reset point).
+                    self.li(a, 0);
+                    acc_growth = 0;
+                } else {
+                    self.put(line);
+                    acc_growth += g;
+                }
+            } else {
+                self.alu(&locals, &readable);
+                if !tainted.is_empty() {
+                    // Conservative: once anything is memory-derived,
+                    // treat every local as memory-derived (stores of
+                    // tainted values are what must not repeat).
+                    tainted.extend(locals.iter().copied());
+                }
+            }
+        }
+        if let Some(a) = acc {
+            let b = self.bound_of(a) + acc_growth * k;
+            self.bound.insert(a, b.min(CAP));
+        }
+
+        self.put(format!("addi {COUNTER}, {COUNTER}, -1"));
+        self.put(format!("bgtz {COUNTER}, {top}"));
+        self.ptr_established = false;
+    }
+
+    /// The call template:
+    ///
+    /// ```text
+    ///     jal  ra, Lsub
+    ///     j    Lafter         # on return, skip the sub body
+    /// Lsub:
+    ///     <straight-line body>
+    ///     ret
+    /// Lafter:
+    /// ```
+    fn call(&mut self) {
+        let sub = self.label();
+        let after = self.label();
+        self.put(format!("jal ra, {sub}"));
+        self.put(format!("j {after}"));
+        self.put_label(&sub);
+        let n = 1 + self.rng.index(CALL_BODY_MAX);
+        for _ in 0..n {
+            let pool = self.mix.pool;
+            self.alu(pool, pool);
+        }
+        self.put("ret".into());
+        self.put_label(&after);
+    }
+
+    /// A balanced push/pop through `sp` — exercises the stack
+    /// convention and the `sp` re-scaling.
+    fn stack(&mut self) {
+        let x = self.reg();
+        let y = self.reg();
+        self.put("addi sp, sp, -8".into());
+        self.put(format!("sw {x}, 0(sp)"));
+        self.put(format!("sw {y}, 4(sp)"));
+        let (bx, by) = (self.bound_of(x), self.bound_of(y));
+        let pool = self.mix.pool;
+        self.alu(pool, pool);
+        let rd = self.reg();
+        // The reload observes the stored bound, not the current one.
+        if self.rng.chance(1, 2) {
+            self.put(format!("lw {rd}, 0(sp)"));
+            self.bound.insert(rd, bx);
+        } else {
+            self.put(format!("lw {rd}, 4(sp)"));
+            self.bound.insert(rd, by);
+        }
+        self.put("addi sp, sp, 8".into());
+    }
+}
+
+/// Generates one random, translatable, terminating RV32 program as
+/// assembly source.
+///
+/// # Examples
+///
+/// ```
+/// use art9_fuzz::{generate_rv32, FuzzRng, Rv32GenConfig};
+///
+/// let cfg = Rv32GenConfig::default();
+/// let a = generate_rv32(&mut FuzzRng::for_iteration(42, 0), &cfg);
+/// let b = generate_rv32(&mut FuzzRng::for_iteration(42, 0), &cfg);
+/// assert_eq!(a, b); // same (seed, index) => same program
+/// rv32::parse_program(&a)?;
+/// # Ok::<(), rv32::Rv32Error>(())
+/// ```
+pub fn generate_rv32(rng: &mut FuzzRng, cfg: &Rv32GenConfig) -> String {
+    let data_words = if cfg.max_data_words >= 4 {
+        4 + rng.index(cfg.max_data_words - 3)
+    } else {
+        0
+    };
+    let mut g = Gen {
+        rng,
+        lines: Vec::new(),
+        emitted: 0,
+        next_label: 0,
+        mix: cfg.mix,
+        bound: BTreeMap::new(),
+        mem_bound: DATA_MAG,
+        data_words,
+        ptr_established: false,
+    };
+
+    // Data section.
+    let mut header = Vec::new();
+    if data_words > 0 {
+        let vals: Vec<String> = (0..data_words)
+            .map(|_| g.rng.range_i64(-DATA_MAG, DATA_MAG).to_string())
+            .collect();
+        header.push(".data".to_string());
+        header.push(format!("arr: .word {}", vals.join(", ")));
+        header.push(".text".to_string());
+    }
+
+    // Prologue: seed a few registers with known small values.
+    let seeded = 2 + g.rng.index(3);
+    for _ in 0..seeded {
+        let r = g.reg();
+        let v = g.small();
+        g.li(r, v);
+    }
+
+    let target = 12 + g.rng.index(cfg.max_len.max(13) - 12);
+    let mut loops_left = cfg.loop_budget;
+    while g.emitted < target {
+        match cfg.mix.pick(g.rng) {
+            Action::Alu => {
+                let pool = g.mix.pool;
+                g.alu(pool, pool);
+            }
+            Action::Imm => g.imm(),
+            Action::Mem => g.mem(None),
+            Action::Skip => g.skip(),
+            Action::Loop => {
+                if loops_left > 0 {
+                    loops_left -= 1;
+                    g.counted_loop();
+                } else {
+                    let pool = g.mix.pool;
+                    g.alu(pool, pool);
+                }
+            }
+            Action::Call => g.call(),
+            Action::Stack => g.stack(),
+            Action::Index => g.index_access(),
+        }
+    }
+
+    // Epilogue: explicit halt, or (rarely) fall off the end — both are
+    // halt conditions the translation preserves.
+    if g.rng.chance(9, 10) {
+        g.put("ebreak".into());
+    }
+
+    let mut out = header;
+    out.extend(g.lines);
+    out.join("\n") + "\n"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rv32::parse_program;
+
+    fn gen(seed: u64, i: u64, cfg: &Rv32GenConfig) -> String {
+        generate_rv32(&mut FuzzRng::for_iteration(seed, i), cfg)
+    }
+
+    #[test]
+    fn reproducible_and_seed_sensitive() {
+        let cfg = Rv32GenConfig::default();
+        for i in 0..10 {
+            assert_eq!(gen(42, i, &cfg), gen(42, i, &cfg));
+        }
+        assert_ne!(gen(42, 0, &cfg), gen(43, 0, &cfg));
+    }
+
+    #[test]
+    fn every_mix_parses_translates_and_terminates() {
+        for mix in Rv32Mix::ALL {
+            let cfg = Rv32GenConfig {
+                mix,
+                ..Rv32GenConfig::default()
+            };
+            for i in 0..25 {
+                let src = gen(7, i, &cfg);
+                let p = parse_program(&src)
+                    .unwrap_or_else(|e| panic!("{} iter {i}: {e}\n{src}", mix.name()));
+                art9_compiler::translate(&p)
+                    .unwrap_or_else(|e| panic!("{} iter {i}: {e}\n{src}", mix.name()));
+                let mut m = rv32::Machine::new(&p);
+                m.run(rv32_step_budget(&cfg))
+                    .unwrap_or_else(|e| panic!("{} iter {i}: {e}\n{src}", mix.name()));
+            }
+        }
+    }
+
+    #[test]
+    fn rv32_values_stay_inside_the_ternary_window() {
+        // The faithfulness contract: every architectural value of every
+        // generated program must fit ±9841 at every step.
+        let cfg = Rv32GenConfig::default();
+        for i in 0..25 {
+            let src = gen(11, i, &cfg);
+            let p = parse_program(&src).unwrap();
+            let mut m = rv32::Machine::new(&p);
+            loop {
+                match m.step().unwrap() {
+                    Err(_) => break,
+                    Ok(_) => {
+                        for r in 0..32 {
+                            if r == rv32::Reg::SP.index() || r == rv32::Reg::RA.index() {
+                                continue; // address-domain registers
+                            }
+                            let v = m.regs()[r] as i32 as i64;
+                            let is_ptr = matches!(r, 15 | 16) // a5, a6
+                                && v >= rv32::DATA_BASE as i64;
+                            assert!(
+                                v.abs() <= 9841 || is_ptr,
+                                "iteration {i}: x{r} = {v}\n{src}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spill_mix_reaches_the_spill_slots() {
+        let cfg = Rv32GenConfig {
+            mix: Rv32Mix::SPILL,
+            max_len: 80,
+            ..Rv32GenConfig::default()
+        };
+        let mut spilled = 0;
+        for i in 0..10 {
+            let src = gen(3, i, &cfg);
+            let p = parse_program(&src).unwrap();
+            let t = art9_compiler::translate(&p).unwrap();
+            spilled += t.allocation.spill_count();
+        }
+        assert!(spilled > 0, "spill mix never spilled");
+    }
+
+    #[test]
+    fn mix_names_parse_back() {
+        for m in Rv32Mix::ALL {
+            assert_eq!(m.name().parse::<Rv32Mix>().unwrap(), m);
+        }
+        assert!("bogus".parse::<Rv32Mix>().is_err());
+    }
+}

@@ -130,6 +130,53 @@ impl Machine {
         self.instret
     }
 
+    /// All 32 registers by index (`x0` is kept 0) — the whole-file view
+    /// the differential harnesses snapshot.
+    pub fn regs(&self) -> &[u32; 32] {
+        &self.regs
+    }
+
+    /// Data-memory size in bytes (the value passed to
+    /// [`Machine::with_mem_size`], or [`DEFAULT_MEM_BYTES`]).
+    pub fn mem_size(&self) -> usize {
+        self.mem.len()
+    }
+
+    /// The first architectural difference between two machines, as a
+    /// human-readable description — PC, then the 31 writable registers,
+    /// then memory word by word. `None` when the states agree.
+    ///
+    /// The RV32-side counterpart of
+    /// `art9_sim::CoreState::first_difference`, for A/B debugging of
+    /// the binary substrate itself.
+    pub fn first_difference(&self, other: &Machine) -> Option<String> {
+        if self.pc != other.pc {
+            return Some(format!("pc {:#x} vs {:#x}", self.pc, other.pc));
+        }
+        for i in 1..32 {
+            if self.regs[i] != other.regs[i] {
+                let r = Reg::from_index(i).expect("index < 32");
+                return Some(format!(
+                    "{r} = {} vs {}",
+                    self.regs[i] as i32, other.regs[i] as i32
+                ));
+            }
+        }
+        if self.mem.len() != other.mem.len() {
+            return Some(format!(
+                "memory sizes {} vs {}",
+                self.mem.len(),
+                other.mem.len()
+            ));
+        }
+        for (addr, (a, b)) in self.mem.iter().zip(other.mem.iter()).enumerate() {
+            if a != b {
+                return Some(format!("mem[{addr:#x}] = {a:#04x} vs {b:#04x}"));
+            }
+        }
+        None
+    }
+
     /// Whether (and why) the machine halted.
     pub fn halted(&self) -> Option<HaltReason> {
         self.halted
@@ -543,6 +590,27 @@ mod tests {
         let p2 = parse_program("li a0, -8\nlw a1, 0(a0)\n").unwrap();
         let mut m2 = Machine::new(&p2);
         assert!(matches!(m2.run(10), Err(Rv32Error::MemoryFault { .. })));
+    }
+
+    #[test]
+    fn state_helpers_and_first_difference() {
+        let p = parse_program("li a0, 5\nebreak\n").unwrap();
+        let mut a = Machine::new(&p);
+        let mut b = Machine::new(&p);
+        assert_eq!(a.mem_size(), DEFAULT_MEM_BYTES);
+        assert_eq!(a.regs()[Reg::SP.index()], DEFAULT_MEM_BYTES as u32);
+        a.run(10).unwrap();
+        b.run(10).unwrap();
+        assert_eq!(a.first_difference(&b), None);
+
+        b.set_reg(Reg::A1, 9);
+        let d = a.first_difference(&b).expect("register diff");
+        assert!(d.contains("a1") && d.contains('9'), "{d}");
+
+        b.set_reg(Reg::A1, 0);
+        b.store_word(0x2000, 7).unwrap();
+        let d = a.first_difference(&b).expect("memory diff");
+        assert!(d.contains("mem[0x2000]"), "{d}");
     }
 
     #[test]
