@@ -9,7 +9,10 @@
 //! forwarding setting). Restoring it into a fresh core of the same
 //! backend over the same program image continues the run
 //! **bit-identically** to one that was never interrupted — the
-//! primitive sharded/preemptible batch serving needs.
+//! primitive sharded/preemptible batch serving needs. Architectural
+//! checkpoints additionally cross-restore between the architectural
+//! backends (functional ↔ reference ↔ threaded), since they carry no
+//! microarchitectural state.
 //!
 //! Checkpoints serialize to a line-oriented text format
 //! ([`Checkpoint::to_text`] / [`Checkpoint::from_text`]) so they can be
@@ -60,8 +63,8 @@ const MAGIC: &str = "art9-checkpoint v1";
 /// Backend-specific microarchitectural state.
 #[derive(Debug, Clone, PartialEq)]
 pub(crate) enum Micro {
-    /// The architectural backends (functional, reference) carry no
-    /// state beyond [`CoreState`] and the counters.
+    /// The architectural backends (functional, reference, threaded)
+    /// carry no state beyond [`CoreState`] and the counters.
     Architectural,
     /// The pipelined backend's fetch engine, latches and accounting
     /// (boxed: it dwarfs the architectural variant).
@@ -92,8 +95,10 @@ pub(crate) struct PipelineMicro {
 /// execution state.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Checkpoint {
-    /// The backend this checkpoint was taken from (restores only into
-    /// the same backend).
+    /// The backend this checkpoint was taken from. Restores into the
+    /// same backend, and — for the architectural backends (functional,
+    /// reference, threaded), whose checkpoints carry no
+    /// microarchitectural state — into any other architectural backend.
     pub backend: Backend,
     /// TIM length of the program the core was running — a shape check
     /// against restoring into a different program.
@@ -361,7 +366,7 @@ impl Checkpoint {
             (cp.backend, &cp.micro),
             (Backend::Pipelined, Micro::Pipelined(_))
                 | (
-                    Backend::Functional | Backend::Reference,
+                    Backend::Functional | Backend::Reference | Backend::Threaded,
                     Micro::Architectural
                 )
         );
@@ -372,8 +377,17 @@ impl Checkpoint {
     }
 
     /// The shape/backend guard every `restore` implementation applies.
+    ///
+    /// Architectural checkpoints (`Micro::Architectural`) cross-restore
+    /// between the architectural backends — a functional snapshot
+    /// resumes on the threaded backend and vice versa — because they
+    /// capture nothing beyond the software-visible machine and the
+    /// retirement counters. Pipelined checkpoints restore only into the
+    /// pipelined backend, and the pipelined backend accepts only them.
     pub(crate) fn guard(&self, backend: Backend, text_len: usize) -> Result<(), SimError> {
-        if self.backend != backend {
+        let compatible = self.backend == backend
+            || (matches!(self.micro, Micro::Architectural) && backend != Backend::Pipelined);
+        if !compatible {
             return Err(SimError::Checkpoint {
                 detail: format!(
                     "checkpoint is from the {} backend, cannot restore into {}",

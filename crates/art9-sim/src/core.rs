@@ -1,13 +1,14 @@
-//! The unified execution API: one [`Core`] trait over all three
+//! The unified execution API: one [`Core`] trait over all four
 //! simulator backends, built through one [`SimBuilder`].
 //!
 //! The paper's evaluation framework (§III-B) runs the *same* program
 //! through several processor models and compares them; this module is
 //! that discipline as an API. Every backend — the architecture-level
-//! [`FunctionalSim`], the cycle-accurate [`PipelinedSim`] and the
-//! per-trit [`ReferenceSim`](crate::ReferenceSim) — implements [`Core`],
-//! and every consumer (the batch driver, the debugger, the differential
-//! fuzzing oracles, the benches) drives them through it.
+//! [`FunctionalSim`], the cycle-accurate [`PipelinedSim`], the
+//! per-trit [`ReferenceSim`](crate::ReferenceSim) and the
+//! direct-threaded [`ThreadedSim`](crate::ThreadedSim) — implements
+//! [`Core`], and every consumer (the batch driver, the debugger, the
+//! differential fuzzing oracles, the benches) drives them through it.
 //!
 //! ```
 //! use art9_isa::assemble;
@@ -36,6 +37,7 @@ use crate::pipeline::PipelinedSim;
 use crate::predecode::PredecodedProgram;
 use crate::reference::ReferenceSim;
 use crate::stats::PipelineStats;
+use crate::threaded::ThreadedSim;
 use crate::trace::CycleTrace;
 
 /// Which execution model backs a [`Core`].
@@ -50,18 +52,29 @@ pub enum Backend {
     /// Deliberately slow per-trit interpreter (one instruction per
     /// step) — [`ReferenceSim`](crate::ReferenceSim).
     Reference,
+    /// Direct-threaded compiled backend (one instruction per step,
+    /// superblock execution under `run_for`) —
+    /// [`ThreadedSim`](crate::ThreadedSim).
+    Threaded,
 }
 
 impl Backend {
     /// Every backend, in comparison-matrix order.
-    pub const ALL: [Backend; 3] = [Backend::Functional, Backend::Pipelined, Backend::Reference];
+    pub const ALL: [Backend; 4] = [
+        Backend::Functional,
+        Backend::Pipelined,
+        Backend::Reference,
+        Backend::Threaded,
+    ];
 
-    /// Stable display name (`functional` / `pipelined` / `reference`).
+    /// Stable display name (`functional` / `pipelined` / `reference` /
+    /// `threaded`).
     pub fn name(&self) -> &'static str {
         match self {
             Backend::Functional => "functional",
             Backend::Pipelined => "pipelined",
             Backend::Reference => "reference",
+            Backend::Threaded => "threaded",
         }
     }
 }
@@ -80,8 +93,9 @@ impl std::str::FromStr for Backend {
             "functional" => Ok(Backend::Functional),
             "pipelined" => Ok(Backend::Pipelined),
             "reference" => Ok(Backend::Reference),
+            "threaded" => Ok(Backend::Threaded),
             other => Err(format!(
-                "unknown backend {other:?} (expected functional | pipelined | reference)"
+                "unknown backend {other:?} (expected functional | pipelined | reference | threaded)"
             )),
         }
     }
@@ -175,7 +189,9 @@ pub trait Core: std::fmt::Debug + Send {
 
     /// Restores a [`Checkpoint`] taken from the same backend running
     /// the same program image; the restored core continues
-    /// bit-identically to the snapshotted one.
+    /// bit-identically to the snapshotted one. Architectural
+    /// checkpoints (functional/reference/threaded) also cross-restore
+    /// between those backends.
     ///
     /// # Errors
     ///
@@ -339,6 +355,7 @@ impl SimBuilder {
             Backend::Functional => Box::new(self.build_functional()),
             Backend::Pipelined => Box::new(self.build_pipelined()),
             Backend::Reference => Box::new(self.build_reference()),
+            Backend::Threaded => Box::new(self.build_threaded()),
         }
     }
 
@@ -364,6 +381,13 @@ impl SimBuilder {
     /// the [`backend`](Self::backend) selection).
     pub fn build_reference(&self) -> ReferenceSim {
         ReferenceSim::build(&self.image, self.tdm_words, self.observers.clone())
+    }
+
+    /// Builds a concrete [`ThreadedSim`](crate::ThreadedSim) (ignores
+    /// the [`backend`](Self::backend) selection). Compilation to
+    /// direct-threaded code happens here, once.
+    pub fn build_threaded(&self) -> ThreadedSim {
+        ThreadedSim::build(&self.image, self.tdm_words, self.observers.clone())
     }
 }
 
@@ -409,6 +433,7 @@ mod tests {
         }
         assert_eq!(results[0], results[1], "functional vs pipelined");
         assert_eq!(results[0], results[2], "functional vs reference");
+        assert_eq!(results[0], results[3], "functional vs threaded");
     }
 
     #[test]

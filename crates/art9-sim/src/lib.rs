@@ -1,7 +1,7 @@
 //! # `art9-sim` — ART-9 processor simulators
 //!
 //! The simulation half of the paper's hardware-level evaluation
-//! framework (§III-B): **one execution API, three backends**. Every
+//! framework (§III-B): **one execution API, four backends**. Every
 //! backend implements the [`Core`] trait and is built through the one
 //! [`SimBuilder`]:
 //!
@@ -15,6 +15,11 @@
 //! * [`Backend::Reference`] → [`ReferenceSim`] — a deliberately slow
 //!   per-trit interpreter sharing no execution code with the others;
 //!   the third corner of the differential-fuzzing triangle.
+//! * [`Backend::Threaded`] → [`ThreadedSim`] — the throughput backend:
+//!   the program is compiled once into direct-threaded host code with
+//!   superblock formation, fused op pairs and inline-cached TDM bases,
+//!   architecturally identical to the functional backend (and fuzzed
+//!   against it in lockstep).
 //!
 //! Around the trait:
 //!
@@ -31,7 +36,7 @@
 //!   `docs/PERFORMANCE.md`).
 //!
 //! The packed-bitplane backends share one semantics module ([`talu`],
-//! [`shift`], [`branch_taken`]) and all three are property-tested to
+//! [`shift`], [`branch_taken`]) and all four are property-tested to
 //! agree architecturally. The full API contract lives in `docs/API.md`.
 //!
 //! ## Quick start
@@ -77,6 +82,7 @@ mod pipeline;
 mod predecode;
 mod reference;
 mod stats;
+mod threaded;
 mod trace;
 
 pub use crate::core::{Backend, Budget, Core, RunSummary, SimBuilder};
@@ -90,4 +96,5 @@ pub use pipeline::PipelinedSim;
 pub use predecode::PredecodedProgram;
 pub use reference::ReferenceSim;
 pub use stats::PipelineStats;
+pub use threaded::ThreadedSim;
 pub use trace::{CycleTrace, StageSnapshot};

@@ -392,6 +392,7 @@ mod tests {
         }
         assert_eq!(traces[0], traces[1], "functional vs pipelined");
         assert_eq!(traces[0], traces[2], "functional vs reference");
+        assert_eq!(traces[0], traces[3], "functional vs threaded");
         // Entered by LI t3 (pc 1 -> 2) and by two taken loop-backs.
         assert_eq!(traces[0], vec![2, 2, 2]);
     }

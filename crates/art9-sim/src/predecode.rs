@@ -14,10 +14,12 @@
 //! predecoded image per workload in its prepare stage and shares it
 //! across every simulator configuration of the run matrix.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use art9_isa::{decode, Instruction, IsaError, Program};
 use ternary::Word9;
+
+use crate::threaded::ThreadedCode;
 
 /// An ART-9 program decoded once into simulator-ready form.
 ///
@@ -52,6 +54,10 @@ pub struct PredecodedProgram {
     text: Arc<[Instruction]>,
     links: Arc<[Word9]>,
     data: Arc<[Word9]>,
+    /// Direct-threaded compilation of this image, filled on the first
+    /// `build_threaded` and shared (the cell itself is behind an `Arc`,
+    /// so every clone of the image sees one compilation).
+    threaded: Arc<OnceLock<Arc<ThreadedCode>>>,
 }
 
 impl PredecodedProgram {
@@ -96,6 +102,7 @@ impl PredecodedProgram {
             text: text.into(),
             links: links.into(),
             data: data.into(),
+            threaded: Arc::new(OnceLock::new()),
         }
     }
 
@@ -127,6 +134,16 @@ impl PredecodedProgram {
     /// Shared handle to the per-PC link table (O(1) clone).
     pub(crate) fn links_arc(&self) -> Arc<[Word9]> {
         Arc::clone(&self.links)
+    }
+
+    /// The direct-threaded compilation of this image, compiled exactly
+    /// once however many `ThreadedSim`s are built from it (or from its
+    /// clones).
+    pub(crate) fn threaded_code(&self) -> Arc<ThreadedCode> {
+        Arc::clone(
+            self.threaded
+                .get_or_init(|| Arc::new(ThreadedCode::compile(self))),
+        )
     }
 }
 

@@ -126,6 +126,63 @@ proptest! {
     }
 
     #[test]
+    fn architectural_checkpoints_cross_restore_between_backends(
+        p in looped_program(),
+        cut in 0u64..160,
+    ) {
+        // An architectural checkpoint is backend-portable: a snapshot
+        // cut anywhere in a threaded run restores into a fresh
+        // functional (or reference) core and vice versa, and the
+        // cross-restored run is indistinguishable from one that ran on
+        // the destination backend from reset — final state, counters,
+        // and the serialized checkpoint itself.
+        let builder = SimBuilder::new(&p);
+        for (from, to) in [
+            (Backend::Threaded, Backend::Functional),
+            (Backend::Functional, Backend::Threaded),
+            (Backend::Threaded, Backend::Reference),
+        ] {
+            // The uninterrupted run on the destination backend.
+            let mut base = builder.clone().backend(to).build();
+            let summary = base.run_for(Budget::Steps(1_000_000)).expect("base run completes");
+            prop_assert!(summary.halt.is_some(), "{}: did not halt", to);
+
+            // Source backend to an arbitrary cut; serialize the
+            // checkpoint so the on-disk format crosses backends too.
+            let mut first = builder.clone().backend(from).build();
+            first.run_for(Budget::Steps(cut)).expect("first half completes");
+            let checkpoint =
+                Checkpoint::from_text(&first.snapshot().to_text()).expect("parses back");
+
+            let mut resumed = builder.clone().backend(to).build();
+            resumed.restore(&checkpoint).expect("cross-restore accepted");
+            let resumed_summary =
+                resumed.run_for(Budget::Steps(1_000_000)).expect("resumed run completes");
+
+            prop_assert_eq!(summary.halt, resumed_summary.halt, "{} -> {}", from, to);
+            prop_assert_eq!(
+                base.state().first_difference(resumed.state()),
+                None,
+                "{} -> {} diverged after cross-restore", from, to
+            );
+            prop_assert_eq!(base.state().pc, resumed.state().pc, "{} -> {}", from, to);
+            prop_assert_eq!(base.retired(), resumed.retired(), "{} -> {}", from, to);
+            prop_assert_eq!(
+                base.instruction_mix(),
+                resumed.instruction_mix(),
+                "{} -> {}", from, to
+            );
+            // Bit-identical serialized checkpoints at halt: the digest
+            // preemptible batch serving keys on.
+            prop_assert_eq!(
+                base.snapshot().to_text(),
+                resumed.snapshot().to_text(),
+                "{} -> {}", from, to
+            );
+        }
+    }
+
+    #[test]
     fn budgeted_halves_equal_one_whole_run(p in looped_program(), slice in 1u64..40) {
         // Chained run_for calls on ONE core (no snapshot at all) must
         // also agree with a single-budget run — the preemption

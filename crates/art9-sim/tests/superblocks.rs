@@ -1,0 +1,182 @@
+//! Superblock formation over the link table: table-driven corner
+//! cases for the direct-threaded backend's compiler. Each case pins
+//! the exact block partition (`ThreadedSim::superblocks`) and the
+//! number of fused pairs, then proves fusion is architecturally
+//! invisible by retiring the program on the threaded and functional
+//! backends and comparing the instruction mix, retirement count, halt
+//! reason, and final state.
+
+use art9_isa::assemble;
+use art9_sim::{Budget, Core, HaltReason, SimBuilder};
+
+struct Case {
+    name: &'static str,
+    asm: &'static str,
+    /// Expected `(start, len)` partition of the text.
+    blocks: &'static [(usize, usize)],
+    /// Expected number of fused instruction pairs.
+    fused_pairs: usize,
+    /// Expected halt reason and retired-instruction count.
+    halt: HaltReason,
+    retired: u64,
+}
+
+const CASES: &[Case] = &[
+    Case {
+        // A jump-to-self is a one-instruction terminator block; its
+        // target (itself) is a block head, cutting the preceding
+        // straight-line code short.
+        name: "self-loop",
+        asm: "LI t3, 1\nhalt: JAL t0, halt\n",
+        blocks: &[(0, 1), (1, 1)],
+        fused_pairs: 0,
+        halt: HaltReason::JumpToSelf,
+        retired: 2,
+    },
+    Case {
+        // A backward branch into the middle of otherwise straight-line
+        // code forces a head at its target: the line splits there even
+        // though nothing else interrupts it. The loop body fuses
+        // ADDI+ADDI and MV+COMP.
+        name: "branch-into-mid-block",
+        asm: "LI t3, 3\nagain: ADDI t4, 1\nADDI t3, -1\nMV t7, t3\n\
+              COMP t7, t0\nBEQ t7, +, again\nJAL t0, 0\n",
+        blocks: &[(0, 1), (1, 5), (6, 1)],
+        fused_pairs: 2,
+        halt: HaltReason::JumpToSelf,
+        // 1 (LI) + 3 iterations x 5 + 1 (JAL)
+        retired: 17,
+    },
+    Case {
+        // A forward branch over the fall-through path: both the
+        // fall-through successor and the branch target are heads, so
+        // the skipped code forms its own block that ends AT the next
+        // head without a terminator (sequential exit). The MV+COMP
+        // guard pair fuses, and so does the skipped ADDI+ADDI block.
+        name: "skip-over-a-block-head",
+        asm: "LI t3, 1\nMV t7, t3\nCOMP t7, t0\nBEQ t7, +, skip\n\
+              ADDI t4, 1\nADDI t4, 1\nskip: ADDI t5, 1\nJAL t0, 0\n",
+        blocks: &[(0, 4), (4, 2), (6, 1), (7, 1)],
+        fused_pairs: 2,
+        halt: HaltReason::JumpToSelf,
+        // t3 = 1 compares positive, so the branch is taken: LI, MV,
+        // COMP, BEQ, ADDI(skip), JAL.
+        retired: 6,
+    },
+    Case {
+        // A call splits the code at both the call site's successor
+        // (the return address) and the callee; the JALR return target
+        // is dynamic, so the callee block ends at the JALR terminator
+        // with no head at any return point beyond the static ones.
+        name: "call-return-splitting",
+        asm: "LI t1, 0\nJAL t1, func\nJAL t0, 0\nfunc: ADDI t4, 1\n\
+              JALR t0, t1, 0\n",
+        blocks: &[(0, 2), (2, 1), (3, 2)],
+        fused_pairs: 0,
+        halt: HaltReason::JumpToSelf,
+        retired: 5,
+    },
+    Case {
+        // The countdown-loop idiom compiles to exactly two dispatches
+        // per iteration: ADDI+MV fuses, and the COMP fuses with the
+        // BEQ terminator itself (a fused compare-and-branch resolves
+        // the transfer inside one host call).
+        name: "fused-compare-branch-loop",
+        asm: "LI t3, 3\nloop: ADDI t3, -1\nMV t7, t3\nCOMP t7, t0\n\
+              BEQ t7, +, loop\nJAL t0, 0\n",
+        blocks: &[(0, 1), (1, 4), (5, 1)],
+        fused_pairs: 2,
+        halt: HaltReason::JumpToSelf,
+        // 1 (LI) + 3 iterations x 4 + 1 (JAL)
+        retired: 14,
+    },
+    Case {
+        // No control flow at all: one block spanning the whole text,
+        // exiting by falling off the end (the halt-terminated tail).
+        // ADDI+MV fuses.
+        name: "halt-terminated-tail",
+        asm: "LI t3, 2\nADDI t3, 1\nMV t4, t3\n",
+        blocks: &[(0, 3)],
+        fused_pairs: 1,
+        halt: HaltReason::FellOffEnd,
+        retired: 3,
+    },
+];
+
+#[test]
+fn link_table_corner_cases_form_the_expected_blocks() {
+    for case in CASES {
+        let program = assemble(case.asm).expect(case.name);
+        let threaded = SimBuilder::new(&program).build_threaded();
+
+        let blocks = threaded.superblocks();
+        assert_eq!(blocks, case.blocks, "{}: wrong block partition", case.name);
+        assert_eq!(
+            threaded.fused_pairs(),
+            case.fused_pairs,
+            "{}: wrong fused-pair count",
+            case.name
+        );
+
+        // Every block partition must tile the text exactly: block
+        // starts are strictly increasing and each block ends where the
+        // next begins.
+        let mut covered = 0usize;
+        for (start, len) in blocks {
+            assert_eq!(start, covered, "{}: gap or overlap at {start}", case.name);
+            assert!(len > 0, "{}: empty block", case.name);
+            covered = start + len;
+        }
+        assert_eq!(
+            covered,
+            program.text().len(),
+            "{}: text not tiled",
+            case.name
+        );
+    }
+}
+
+#[test]
+fn fused_sequences_retire_the_same_mix_as_unfused_execution() {
+    for case in CASES {
+        let program = assemble(case.asm).expect(case.name);
+        let builder = SimBuilder::new(&program);
+
+        // Fused superblock dispatch (no observers, whole blocks fit
+        // the budget)...
+        let mut threaded = builder.build_threaded();
+        let summary = threaded.run_for(Budget::Steps(10_000)).expect(case.name);
+        assert_eq!(summary.halt, Some(case.halt), "{}", case.name);
+        assert_eq!(threaded.retired(), case.retired, "{}", case.name);
+
+        // ...against the unfused functional execution: identical
+        // dynamic instruction mix, not just identical end state.
+        let mut func = builder.build_functional();
+        func.run_for(Budget::Steps(10_000)).expect(case.name);
+        assert_eq!(
+            threaded.instruction_mix(),
+            func.instruction_mix(),
+            "{}: fusion changed the retired mix",
+            case.name
+        );
+        assert_eq!(threaded.retired(), func.retired(), "{}", case.name);
+        assert_eq!(
+            func.state().first_difference(threaded.state()),
+            None,
+            "{}: fused execution diverged",
+            case.name
+        );
+
+        // Single-stepping the threaded core (the precise path) retires
+        // the same mix too — fusion is a dispatch detail, invisible at
+        // every granularity.
+        let mut stepped = builder.build_threaded();
+        while Core::step(&mut stepped).expect(case.name).is_none() {}
+        assert_eq!(
+            stepped.instruction_mix(),
+            func.instruction_mix(),
+            "{}: stepped mix differs",
+            case.name
+        );
+    }
+}

@@ -37,7 +37,7 @@ fn bench(c: &mut Criterion) {
         summary
     };
 
-    let cases: [(&str, Backend, bool, u64); 4] = [
+    let cases: [(&str, Backend, bool, u64); 6] = [
         (
             "art9_pipelined_cycles",
             Backend::Pipelined,
@@ -59,6 +59,22 @@ fn bench(c: &mut Criterion) {
         (
             "art9_functional_predecoded",
             Backend::Functional,
+            true,
+            stats.instructions,
+        ),
+        // The cold threaded case pays decode + superblock compilation
+        // inside the loop; the predecoded case shares one compilation
+        // across every build (the compiled code is cached on the
+        // image).
+        (
+            "art9_threaded_instructions",
+            Backend::Threaded,
+            false,
+            stats.instructions,
+        ),
+        (
+            "art9_threaded_predecoded",
+            Backend::Threaded,
             true,
             stats.instructions,
         ),

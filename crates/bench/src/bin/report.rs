@@ -155,8 +155,8 @@ fn main() {
         .map(|w| perf::measure_sim_throughput(w, Duration::from_millis(150)))
         .collect();
     println!(
-        "  {:<14} {:>14} {:>14} {:>10}",
-        "workload", "functional", "pipelined", "speedup"
+        "  {:<14} {:>14} {:>14} {:>14} {:>10} {:>10}",
+        "workload", "functional", "threaded", "pipelined", "thr/fun", "speedup"
     );
     for s in &sims {
         let speedup = perf::seed_rate(&perf::SEED_FUNCTIONAL_IPS, s.workload).map_or_else(
@@ -164,8 +164,13 @@ fn main() {
             |seed| format!("{:.2}x", s.functional_ips / seed),
         );
         println!(
-            "  {:<14} {:>10.3e} i/s {:>10.3e} c/s {:>10}",
-            s.workload, s.functional_ips, s.pipelined_cps, speedup
+            "  {:<14} {:>10.3e} i/s {:>10.3e} i/s {:>10.3e} c/s {:>9.2}x {:>10}",
+            s.workload,
+            s.functional_ips,
+            s.threaded_ips,
+            s.pipelined_cps,
+            s.threaded_ips / s.functional_ips,
+            speedup
         );
     }
     let json = perf::bench_json(&word_ops, &sims);

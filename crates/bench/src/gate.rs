@@ -2,8 +2,11 @@
 //!
 //! Compares two `BENCH_ternary.json` documents (the committed baseline
 //! and a freshly regenerated one) and fails when any simulator
-//! throughput metric (`functional_ips`, `pipelined_cps`) regressed by
-//! more than the allowed fraction. Word-operation timings are reported
+//! throughput metric (`functional_ips`, `threaded_ips`,
+//! `pipelined_cps`) regressed by more than the allowed fraction.
+//! `threaded_ips` is optional so baselines committed before the
+//! direct-threaded backend existed still parse; once a baseline
+//! carries it, dropping it from the current document fails the gate. Word-operation timings are reported
 //! but not gated — they are nanosecond-scale and too noisy on shared
 //! CI runners; the whole-simulator rates integrate over millions of
 //! operations and are the metrics PR 2's history is recorded in.
@@ -27,6 +30,9 @@ pub struct SimRow {
     pub workload: String,
     /// Functional-simulator instructions per second.
     pub functional_ips: f64,
+    /// Direct-threaded-simulator instructions per second (`None` in
+    /// documents that predate the threaded backend).
+    pub threaded_ips: Option<f64>,
     /// Pipelined-simulator cycles per second.
     pub pipelined_cps: f64,
 }
@@ -63,8 +69,9 @@ pub struct GateResult {
     pub deltas: Vec<MetricDelta>,
     /// The comparisons that regressed beyond the threshold.
     pub regressions: Vec<MetricDelta>,
-    /// Workloads present in the baseline but missing from the current
-    /// document (a silent drop must fail the gate too).
+    /// Workloads (or per-workload metrics) present in the baseline but
+    /// missing from the current document (a silent drop must fail the
+    /// gate too).
     pub missing: Vec<String>,
 }
 
@@ -94,10 +101,7 @@ impl GateResult {
             );
         }
         for w in &self.missing {
-            let _ = writeln!(
-                out,
-                "MISSING: workload {w} dropped from the current document"
-            );
+            let _ = writeln!(out, "MISSING: {w} dropped from the current document");
         }
         if self.regressions.is_empty() {
             let _ = writeln!(
@@ -135,10 +139,21 @@ pub fn compare(baseline: &BenchDoc, current: &BenchDoc, max_regress: f64) -> Gat
             missing.push(base.workload.clone());
             continue;
         };
-        for (metric, b, c) in [
+        let mut metrics = vec![
             ("functional_ips", base.functional_ips, cur.functional_ips),
             ("pipelined_cps", base.pipelined_cps, cur.pipelined_cps),
-        ] {
+        ];
+        match (base.threaded_ips, cur.threaded_ips) {
+            (Some(b), Some(c)) => metrics.push(("threaded_ips", b, c)),
+            // A baseline that carries the metric pins it: silently
+            // dropping it from the regenerated document fails the gate
+            // just like dropping a whole workload would.
+            (Some(_), None) => missing.push(format!("{}/threaded_ips", base.workload)),
+            // A baseline without it (pre-threaded-backend) gates only
+            // the two legacy metrics.
+            (None, _) => {}
+        }
+        for (metric, b, c) in metrics {
             let delta = MetricDelta {
                 name: format!("{}/{metric}", base.workload),
                 baseline: b,
@@ -172,6 +187,7 @@ pub fn parse_bench_json(text: &str) -> Result<BenchDoc, String> {
                 .ok_or_else(|| format!("row without \"workload\": {obj}"))?,
             functional_ips: number_field(obj, "functional_ips")
                 .ok_or_else(|| format!("row without \"functional_ips\": {obj}"))?,
+            threaded_ips: number_field(obj, "threaded_ips"),
             pipelined_cps: number_field(obj, "pipelined_cps")
                 .ok_or_else(|| format!("row without \"pipelined_cps\": {obj}"))?,
         });
@@ -248,10 +264,21 @@ mod tests {
                 .map(|r| SimRow {
                     workload: r.workload,
                     functional_ips: r.functional_ips * f_scale,
+                    threaded_ips: r.threaded_ips.map(|t| t * f_scale),
                     pipelined_cps: r.pipelined_cps * p_scale,
                 })
                 .collect(),
         }
+    }
+
+    /// `doc()` with the threaded metric populated at `t_scale` times
+    /// 3x the functional rate.
+    fn doc_with_threaded(t_scale: f64) -> BenchDoc {
+        let mut d = doc(1.0, 1.0);
+        for r in &mut d.simulators {
+            r.threaded_ips = Some(r.functional_ips * 3.0 * t_scale);
+        }
+        d
     }
 
     #[test]
@@ -271,6 +298,45 @@ mod tests {
         let d = parse_bench_json(committed).unwrap();
         assert_eq!(d.simulators.len(), 4);
         assert!(d.simulators.iter().any(|r| r.workload == "dhrystone"));
+        // The committed baseline carries the threaded metric, so the
+        // gate actually exercises it on every CI run.
+        assert!(d.simulators.iter().all(|r| r.threaded_ips.is_some()));
+    }
+
+    #[test]
+    fn pre_threaded_baselines_still_gate_the_legacy_metrics() {
+        // SAMPLE predates the threaded backend: no threaded_ips field,
+        // so only functional/pipelined are compared and nothing is
+        // reported missing.
+        let base = doc(1.0, 1.0);
+        assert!(base.simulators.iter().all(|r| r.threaded_ips.is_none()));
+        let r = compare(&base, &doc_with_threaded(1.0), 0.25);
+        assert!(r.ok(), "{}", r.render(0.25));
+        assert_eq!(r.deltas.len(), 4);
+    }
+
+    #[test]
+    fn threaded_regression_fails() {
+        let base = doc_with_threaded(1.0);
+        let current = doc_with_threaded(0.5); // threaded halved
+        let r = compare(&base, &current, 0.25);
+        assert!(!r.ok());
+        assert_eq!(r.deltas.len(), 6);
+        assert_eq!(r.regressions.len(), 2);
+        assert!(r
+            .regressions
+            .iter()
+            .all(|d| d.name.ends_with("threaded_ips")));
+    }
+
+    #[test]
+    fn dropping_the_threaded_metric_fails() {
+        let base = doc_with_threaded(1.0);
+        let current = doc(1.0, 1.0); // regenerated without threaded_ips
+        let r = compare(&base, &current, 0.25);
+        assert!(!r.ok());
+        assert!(r.missing.iter().any(|m| m == "bubble-sort/threaded_ips"));
+        assert!(r.render(0.25).contains("MISSING"));
     }
 
     #[test]

@@ -27,8 +27,8 @@
 //! `word = (byte − DATA_BASE)/4 + DATA_WORD_BASE` then covers the data
 //! section *and* the descending stack.
 //!
-//! The architectural backends (functional, reference) are compared
-//! state-for-state at every sync point. The pipelined backend exposes
+//! The architectural backends (functional, reference, threaded) are
+//! compared state-for-state at every sync point. The pipelined backend exposes
 //! architectural state only at retirement, so it runs to halt under a
 //! [`SyncPoints`](art9_sim::observers::SyncPoints) observer instead:
 //! the sequence of RV32-boundary crossings it retires must equal the
@@ -632,7 +632,8 @@ impl<'a> CoSim<'a> {
 }
 
 /// Translates `src` and runs the compiler-lockstep oracle on the
-/// functional backend — the campaign entry point. Parse/translate
+/// functional backend, then again with the direct-threaded backend as
+/// the architectural core — the campaign entry point. Parse/translate
 /// failures are reported as harness-marked divergences (the generator
 /// is supposed to make them impossible).
 pub fn check_compiler_lockstep(
@@ -658,10 +659,19 @@ pub fn check_compiler_lockstep(
         Ok(c) => c,
         Err(e) => return fail(format!("{HARNESS_MARKER} {e}")),
     };
-    let mut core = SimBuilder::new(&t.program)
-        .tdm_words(cosim.tdm_words())
-        .build_functional();
-    cosim.run(&mut core, stats)
+    let builder = SimBuilder::new(&t.program).tdm_words(cosim.tdm_words());
+    let mut core = builder.build_functional();
+    if let Some(d) = cosim.run(&mut core, stats) {
+        return Some(d);
+    }
+    // Second pass with the threaded backend: translation validation at
+    // RV32-instruction granularity doubles as a conformance check of
+    // its compiled-op stepping path on real (non-random) control flow.
+    let mut threaded = builder.build_threaded();
+    cosim.run(&mut threaded, stats).map(|d| Divergence {
+        oracle: d.oracle,
+        detail: format!("threaded backend: {}", d.detail),
+    })
 }
 
 #[cfg(test)]
@@ -714,7 +724,7 @@ mod tests {
                 let rv = parse_program(&src).unwrap();
                 let t = translate_with_tdm(&rv, COSIM_TDM_WORDS).unwrap();
                 let cosim = CoSim::new(&rv, &t, rv32_step_budget(&cfg)).unwrap();
-                for backend in [Backend::Functional, Backend::Reference] {
+                for backend in [Backend::Functional, Backend::Reference, Backend::Threaded] {
                     let mut stats = OracleStats::default();
                     let mut core = SimBuilder::new(&t.program)
                         .tdm_words(cosim.tdm_words())

@@ -6,10 +6,11 @@
 //! claim) the RV32 source a translation came from. This crate turns
 //! those claims into generative checks: a seeded random
 //! [ART-9 program generator](generate) over the full 24-instruction
-//! ISA, co-simulated in lockstep through four
+//! ISA, co-simulated in lockstep through five
 //! [oracles](check_program) (functional vs a per-trit
-//! [`ReferenceSim`], pipelined with forwarding on and off, and the
-//! encode/decode/disassemble/reassemble toolchain), a direct
+//! [`ReferenceSim`], functional vs the direct-threaded
+//! [`art9_sim::ThreadedSim`], pipelined with forwarding on and off,
+//! and the encode/decode/disassemble/reassemble toolchain), a direct
 //! packed-vs-tritwise [arithmetic oracle](check_arith), and a seeded
 //! [RV32 generator](generate_rv32) whose output runs on the
 //! `rv32::Machine` and — translated by `art9-compiler` — on an ART-9
@@ -166,8 +167,12 @@ impl FuzzReport {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{} programs | {} functional instructions, {} pipelined cycles",
-            self.programs, self.stats.functional_instructions, self.stats.pipelined_cycles
+            "{} programs | {} functional instructions, {} threaded instructions, {} pipelined \
+             cycles",
+            self.programs,
+            self.stats.functional_instructions,
+            self.stats.threaded_instructions,
+            self.stats.pipelined_cycles
         );
         let _ = writeln!(
             out,
@@ -422,12 +427,14 @@ mod tests {
         let a = run_fuzz(&cfg);
         assert!(a.divergences.is_empty(), "{}", a.render());
         assert!(a.stats.functional_instructions > 0);
+        assert!(a.stats.threaded_instructions > 0);
         let b = run_fuzz(&cfg);
         assert_eq!(a.digest, b.digest);
         assert_eq!(
             a.stats.functional_instructions,
             b.stats.functional_instructions
         );
+        assert_eq!(a.stats.threaded_instructions, b.stats.threaded_instructions);
         assert_eq!(a.stats.pipelined_cycles, b.stats.pipelined_cycles);
         assert_eq!(a.stats.roundtrip_checks, b.stats.roundtrip_checks);
     }

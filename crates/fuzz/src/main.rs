@@ -39,9 +39,9 @@ OPTIONS:
                       rv-control | rv-spill (RV32 programs for the
                       compiler-lockstep oracle)
     --oracle NAME     Run only one oracle (functional-vs-reference |
-                      pipelined-fwd | pipelined-nofwd | toolchain-roundtrip |
-                      arithmetic | compiler-lockstep) — for triaging a
-                      campaign or a replay file
+                      functional-vs-threaded | pipelined-fwd | pipelined-nofwd |
+                      toolchain-roundtrip | arithmetic | compiler-lockstep) —
+                      for triaging a campaign or a replay file
     --max-len N       Upper bound on generated body length (default 160)
     --smoke           CI budget: 150 small programs across the mixes
     --fail-dir DIR    Write minimized replay files here (default fuzz-failures)
@@ -296,8 +296,12 @@ fn replay_one(path: &std::path::Path, oracle: Option<Oracle>) -> ExitCode {
     );
     let (stats, divergence) = run_replay(&program, oracle);
     println!(
-        "{} functional instructions, {} pipelined cycles, {} roundtrip checks",
-        stats.functional_instructions, stats.pipelined_cycles, stats.roundtrip_checks
+        "{} functional instructions, {} threaded instructions, {} pipelined cycles, \
+         {} roundtrip checks",
+        stats.functional_instructions,
+        stats.threaded_instructions,
+        stats.pipelined_cycles,
+        stats.roundtrip_checks
     );
     match divergence {
         None => {

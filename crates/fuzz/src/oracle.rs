@@ -1,19 +1,23 @@
 //! Lockstep co-simulation oracles.
 //!
-//! Every generated program runs through four independent executions —
+//! Every generated program runs through five independent executions —
 //! the functional simulator, the per-trit
-//! [`ReferenceSim`](art9_sim::ReferenceSim), and the pipelined
-//! simulator with forwarding on and off — plus the toolchain roundtrip
-//! (encode → decode → disassemble → reassemble). A fifth oracle
+//! [`ReferenceSim`](art9_sim::ReferenceSim), the direct-threaded
+//! [`ThreadedSim`](art9_sim::ThreadedSim), and the pipelined simulator
+//! with forwarding on and off — plus the toolchain roundtrip
+//! (encode → decode → disassemble → reassemble). A further oracle
 //! exercises the packed-vs-tritwise arithmetic layer directly on
 //! random words. Any disagreement is reported as a [`Divergence`]
 //! naming the oracle, the step, and the first differing piece of
 //! state.
 //!
-//! The functional/reference pair runs **step for step** through the
-//! generic [`lockstep`] entry point — any two [`Core`] backends, `pc`,
-//! the nine TRF registers and the halt state compared after every
-//! instruction, TDM and retirement counts at halt. The pipelined runs
+//! The functional/reference and functional/threaded pairs run **step
+//! for step** through the generic [`lockstep`] entry point — any two
+//! [`Core`] backends, `pc`, the nine TRF registers and the halt state
+//! compared after every instruction, TDM and retirement counts at
+//! halt. The threaded oracle then re-runs the program free-running, so
+//! its fused superblock dispatch path gets the same differential
+//! coverage as its per-instruction stepping path. The pipelined runs
 //! are compared at halt (registers, TDM, halt reason,
 //! retired-instruction count) because the pipeline only exposes
 //! architectural state at retirement.
@@ -23,7 +27,7 @@
 //! backend-specific construction.
 
 use art9_isa::{assemble, decode, disassemble_word, encode, Program, ALL_REGS};
-use art9_sim::{Backend, Core, CoreState, HaltReason, PredecodedProgram, SimBuilder};
+use art9_sim::{Backend, Budget, Core, CoreState, HaltReason, PredecodedProgram, SimBuilder};
 use ternary::{arith, Trit, Trits, Word9};
 
 use crate::gen::MIN_TDM_WORDS;
@@ -42,6 +46,10 @@ pub const ORACLE_TDM_WORDS: usize = if MIN_TDM_WORDS > 256 {
 pub enum Oracle {
     /// Functional simulator vs the per-trit reference, in lockstep.
     FunctionalVsReference,
+    /// Functional simulator vs the direct-threaded backend: a
+    /// per-instruction lockstep run, then a fresh free run through the
+    /// fused superblock path compared at halt.
+    FunctionalVsThreaded,
     /// Pipelined simulator (forwarding on) vs functional, at halt.
     PipelinedForwarding,
     /// Pipelined simulator (forwarding off) vs functional, at halt.
@@ -58,8 +66,9 @@ pub enum Oracle {
 
 impl Oracle {
     /// Every oracle, in campaign order.
-    pub const ALL: [Oracle; 6] = [
+    pub const ALL: [Oracle; 7] = [
         Oracle::FunctionalVsReference,
+        Oracle::FunctionalVsThreaded,
         Oracle::PipelinedForwarding,
         Oracle::PipelinedNoForwarding,
         Oracle::ToolchainRoundtrip,
@@ -72,6 +81,7 @@ impl Oracle {
     pub fn name(&self) -> &'static str {
         match self {
             Oracle::FunctionalVsReference => "functional-vs-reference",
+            Oracle::FunctionalVsThreaded => "functional-vs-threaded",
             Oracle::PipelinedForwarding => "pipelined-fwd",
             Oracle::PipelinedNoForwarding => "pipelined-nofwd",
             Oracle::ToolchainRoundtrip => "toolchain-roundtrip",
@@ -132,6 +142,8 @@ impl std::fmt::Display for Divergence {
 pub struct OracleStats {
     /// Instructions the functional simulator executed.
     pub functional_instructions: u64,
+    /// Instructions the threaded backend retired (stepped + fused runs).
+    pub threaded_instructions: u64,
     /// Cycles the two pipelined runs consumed together.
     pub pipelined_cycles: u64,
     /// Individual roundtrip checks performed.
@@ -150,6 +162,7 @@ impl OracleStats {
     /// Accumulates another program's counters.
     pub fn absorb(&mut self, other: &OracleStats) {
         self.functional_instructions += other.functional_instructions;
+        self.threaded_instructions += other.threaded_instructions;
         self.pipelined_cycles += other.pipelined_cycles;
         self.roundtrip_checks += other.roundtrip_checks;
         self.arith_checks += other.arith_checks;
@@ -306,12 +319,25 @@ pub fn check_program_filtered(
     let run_fwd = enabled(Oracle::PipelinedForwarding);
     let run_nofwd = enabled(Oracle::PipelinedNoForwarding);
     let run_lockstep = enabled(Oracle::FunctionalVsReference);
-    if !(run_lockstep || run_fwd || run_nofwd) {
+    let run_threaded = enabled(Oracle::FunctionalVsThreaded);
+    if !(run_lockstep || run_fwd || run_nofwd || run_threaded) {
         return (stats, None);
     }
 
     let image = PredecodedProgram::new(program);
     let builder = SimBuilder::new(&image).tdm_words(ORACLE_TDM_WORDS);
+
+    // The threaded oracle is self-contained (its own functional
+    // baseline, both threaded execution paths), so a threaded-only
+    // filter skips everything else.
+    if !(run_lockstep || run_fwd || run_nofwd) {
+        if run_threaded {
+            if let Some(d) = threaded_oracle(&builder, step_budget, &mut stats) {
+                return (stats, Some(d));
+            }
+        }
+        return (stats, None);
+    }
 
     // --- Functional vs per-trit reference, in lockstep ---------------
     // (When filtered to a pipelined oracle, the functional simulator
@@ -376,6 +402,13 @@ pub fn check_program_filtered(
             }
         }
     };
+
+    // --- Functional vs direct-threaded, in campaign order ------------
+    if run_threaded {
+        if let Some(d) = threaded_oracle(&builder, step_budget, &mut stats) {
+            return (stats, Some(d));
+        }
+    }
 
     // --- Pipelined (both forwarding settings) vs functional ----------
     for (oracle, forwarding) in [
@@ -447,6 +480,76 @@ pub fn check_program_filtered(
     }
 
     (stats, None)
+}
+
+/// The functional-vs-threaded oracle: one per-instruction [`lockstep`]
+/// run (exercising the threaded backend's precise stepping path), then
+/// a fresh threaded core free-running to halt through the fused
+/// superblock dispatch path, compared against the functional final
+/// state, retirement count and instruction mix. Fusion must be
+/// architecturally invisible — both runs land on the same point.
+fn threaded_oracle(
+    builder: &SimBuilder,
+    step_budget: u64,
+    stats: &mut OracleStats,
+) -> Option<Divergence> {
+    let fail = |detail: String| {
+        Some(Divergence {
+            oracle: Oracle::FunctionalVsThreaded,
+            detail,
+        })
+    };
+    let mut func = builder.build_functional();
+    let mut threaded = builder.build_threaded();
+    let halt = match lockstep(&mut func, &mut threaded, step_budget) {
+        LockstepOutcome::Diverged(detail) => return fail(detail),
+        LockstepOutcome::BudgetExhausted => {
+            return fail(format!(
+                "program {} {step_budget} steps",
+                Divergence::BUDGET_MARKER
+            ));
+        }
+        LockstepOutcome::Unsupported(why) => {
+            unreachable!("architectural backends rejected by lockstep: {why}")
+        }
+        LockstepOutcome::Agreed(halt) => halt,
+    };
+    stats.threaded_instructions += threaded.retired();
+
+    // Same program, fresh core, free-running this time: `run_for`
+    // dispatches whole fused superblocks instead of single ops, so the
+    // hot path gets differential coverage too. (The lockstep run above
+    // halted within the budget; +2 covers the zero-retire halt step.)
+    let mut hot = builder.build_threaded();
+    match hot.run_for(Budget::Steps(step_budget.saturating_add(2))) {
+        Ok(summary) if summary.halt == Some(halt) => {}
+        Ok(summary) => {
+            return fail(format!(
+                "fused run halted {:?} vs {halt:?} when stepped",
+                summary.halt
+            ));
+        }
+        Err(e) => return fail(format!("fused run faulted: {e}")),
+    }
+    stats.threaded_instructions += hot.retired();
+    if hot.retired() != func.retired() {
+        return fail(format!(
+            "fused run retired {} instructions vs {} stepped",
+            hot.retired(),
+            func.retired()
+        ));
+    }
+    if hot.instruction_mix() != func.instruction_mix() {
+        return fail(format!(
+            "fused run's instruction mix {:?} differs from the functional mix {:?}",
+            hot.instruction_mix(),
+            func.instruction_mix()
+        ));
+    }
+    if let Some(d) = func.state().first_difference(hot.state()) {
+        return fail(format!("fused run final state: {d}"));
+    }
+    None
 }
 
 /// The encode → decode → disassemble → reassemble oracle.
@@ -633,9 +736,37 @@ mod tests {
                 divergence.unwrap()
             );
             assert!(stats.functional_instructions > 0);
+            assert!(stats.threaded_instructions > 0);
             assert!(stats.pipelined_cycles > 0);
             assert!(stats.roundtrip_checks as usize >= p.text().len());
         }
+    }
+
+    #[test]
+    fn threaded_oracle_covers_both_execution_paths() {
+        // Filtered to functional-vs-threaded: the stepped lockstep run
+        // and the fused free run both retire work; nothing else runs.
+        let cfg = GenConfig::default();
+        for i in 0..6 {
+            let p = generate(&mut FuzzRng::for_iteration(5, i), &cfg);
+            let budget = crate::gen::step_budget(&cfg);
+            let (stats, d) = check_program_filtered(&p, budget, Some(Oracle::FunctionalVsThreaded));
+            assert!(d.is_none(), "iteration {i}: {}", d.unwrap());
+            // Stepped + fused runs retire the program twice over.
+            assert!(stats.threaded_instructions > 0);
+            assert_eq!(stats.threaded_instructions % 2, 0);
+            assert_eq!(stats.pipelined_cycles, 0);
+            assert_eq!(stats.roundtrip_checks, 0);
+        }
+    }
+
+    #[test]
+    fn threaded_oracle_reports_budget_exhaustion() {
+        let p = art9_isa::assemble("a: NOP\nJAL t0, a\n").unwrap();
+        let (_, d) = check_program_filtered(&p, 100, Some(Oracle::FunctionalVsThreaded));
+        let d = d.expect("budget divergence");
+        assert_eq!(d.oracle, Oracle::FunctionalVsThreaded);
+        assert!(d.is_budget_exhaustion());
     }
 
     #[test]

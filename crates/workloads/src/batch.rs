@@ -47,6 +47,9 @@ pub const DEFAULT_MAX_STEPS: u64 = 500_000_000;
 pub enum SimConfig {
     /// ART-9 architecture-level reference simulator (no timing).
     Art9Functional,
+    /// ART-9 direct-threaded architecture-level simulator (no timing;
+    /// the fused-superblock fast path).
+    Art9Threaded,
     /// ART-9 cycle-accurate 5-stage pipeline.
     Art9Pipelined {
         /// Forwarding multiplexers enabled (the paper's design point).
@@ -59,12 +62,14 @@ pub enum SimConfig {
 }
 
 impl SimConfig {
-    /// The full comparison matrix of the paper: both ART-9 simulators
-    /// (pipeline with and without forwarding) and both binary baselines.
-    pub const FULL_MATRIX: [SimConfig; 5] = [
+    /// The full comparison matrix of the paper: every ART-9 simulator
+    /// (functional, pipeline with and without forwarding, and the
+    /// direct-threaded fast path) and both binary baselines.
+    pub const FULL_MATRIX: [SimConfig; 6] = [
         SimConfig::Art9Functional,
         SimConfig::Art9Pipelined { forwarding: true },
         SimConfig::Art9Pipelined { forwarding: false },
+        SimConfig::Art9Threaded,
         SimConfig::Rv32PicoRv32,
         SimConfig::Rv32VexRiscv,
     ];
@@ -73,6 +78,7 @@ impl SimConfig {
     pub fn name(&self) -> &'static str {
         match self {
             SimConfig::Art9Functional => "art9-functional",
+            SimConfig::Art9Threaded => "art9-threaded",
             SimConfig::Art9Pipelined { forwarding: true } => "art9-pipelined",
             SimConfig::Art9Pipelined { forwarding: false } => "art9-pipelined-nofwd",
             SimConfig::Rv32PicoRv32 => "rv32-picorv32",
@@ -88,6 +94,7 @@ impl SimConfig {
     pub fn art9_backend(&self) -> Option<(Backend, bool)> {
         match self {
             SimConfig::Art9Functional => Some((Backend::Functional, true)),
+            SimConfig::Art9Threaded => Some((Backend::Threaded, true)),
             SimConfig::Art9Pipelined { forwarding } => Some((Backend::Pipelined, *forwarding)),
             SimConfig::Rv32PicoRv32 | SimConfig::Rv32VexRiscv => None,
         }
@@ -619,7 +626,7 @@ mod tests {
             .configs(SimConfig::FULL_MATRIX)
             .max_steps(10_000_000)
             .run();
-        assert_eq!(report.runs.len(), 5);
+        assert_eq!(report.runs.len(), 6);
         assert_eq!(report.failures(), 0, "{}", report.render());
         let functional = &report.runs[0];
         assert_eq!(functional.config, SimConfig::Art9Functional);
@@ -629,6 +636,12 @@ mod tests {
         let fwd = report.runs[1].cycles.unwrap();
         let nofwd = report.runs[2].cycles.unwrap();
         assert!(nofwd >= fwd, "forwarding off ({nofwd}) beat on ({fwd})");
+        // The threaded backend is architectural too: no timing model,
+        // same retirement count as the functional reference.
+        let threaded = &report.runs[3];
+        assert_eq!(threaded.config, SimConfig::Art9Threaded);
+        assert_eq!(threaded.cycles, None);
+        assert_eq!(threaded.instructions, functional.instructions);
     }
 
     #[test]

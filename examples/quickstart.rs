@@ -36,7 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("TIM image ({} trits):", program.instruction_cells());
     println!("{}", disassemble_image(&program.tim_image()));
 
-    // One builder, three backends, one code path.
+    // One builder, four backends, one code path.
     let builder = SimBuilder::new(&program);
     for backend in Backend::ALL {
         let mut core = builder.clone().backend(backend).build();
