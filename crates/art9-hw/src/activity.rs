@@ -1,0 +1,388 @@
+//! Dynamic-activity energy estimation: from measured trit flips to
+//! nanojoules.
+//!
+//! The static Table IV path ([`crate::analyzer`] + [`crate::estimator`])
+//! assumes one *average* switching activity for every gate. This module
+//! is the measured counterpart: the simulator side (the
+//! `EnergyAccounting` observer in `art9-sim`) counts the trit flips an
+//! execution actually causes in each datapath structure, and
+//! [`dynamic_energy`] converts those flips into energy through the same
+//! technology library — no new calibration, just the per-cell switching
+//! energies the static path already uses:
+//!
+//! * **regfile**, **tdm**, **fetch** flips land in sequential cells, so
+//!   they cost one [`GateKind::Tdff`] transition each;
+//! * **alu** (result-bus) flips drive the arithmetic network, costed as
+//!   one [`GateKind::Tsum`] transition each — the dominant combinational
+//!   cell of the TALU.
+//!
+//! [`measured_power`] then combines the energy with the cycle count and
+//! the analyzer's clock to yield average dynamic power, and
+//! [`measured_dmips_per_watt`] produces the measured, power-aware
+//! DMIPS/W of the "Measured vs paper Table IV" comparison (see
+//! `docs/ENERGY.md`).
+//!
+//! This crate has no dependency on the simulator; activity arrives as a
+//! plain [`ActivityCounts`] and instruction classes are derived from
+//! mnemonic strings ([`InstrClass::classify`]).
+
+use crate::analyzer::GateAnalysis;
+use crate::gate::GateKind;
+use crate::tech::TechLibrary;
+
+/// VAX 11/780 Dhrystones per second — the DMIPS normalization constant.
+const VAX_DHRYSTONES_PER_S: f64 = 1757.0;
+
+/// Femtojoules per nanojoule.
+const FJ_PER_NJ: f64 = 1.0e6;
+
+/// The instruction classes Table IV's per-class energy breakdown uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum InstrClass {
+    /// Arithmetic: ADD, SUB, SR, SL, COMP, ADDI, SRI, SLI.
+    Alu,
+    /// Trit-logical: PTI, NTI, STI, AND, OR, XOR, ANDI.
+    Logic,
+    /// Register moves and immediates: MV, LI, LUI.
+    Move,
+    /// TDM access: LOAD, STORE.
+    Memory,
+    /// Branches and jumps: BEQ, BNE, JAL, JALR.
+    Control,
+}
+
+/// All classes, in report order.
+pub const ALL_CLASSES: [InstrClass; 5] = [
+    InstrClass::Alu,
+    InstrClass::Logic,
+    InstrClass::Move,
+    InstrClass::Memory,
+    InstrClass::Control,
+];
+
+impl InstrClass {
+    /// Lower-case class name for reports and the bench schema.
+    pub const fn name(self) -> &'static str {
+        match self {
+            InstrClass::Alu => "alu",
+            InstrClass::Logic => "logic",
+            InstrClass::Move => "move",
+            InstrClass::Memory => "memory",
+            InstrClass::Control => "control",
+        }
+    }
+
+    /// Classifies an ART-9 mnemonic; `None` for unknown strings.
+    pub fn classify(mnemonic: &str) -> Option<Self> {
+        Some(match mnemonic {
+            "ADD" | "SUB" | "SR" | "SL" | "COMP" | "ADDI" | "SRI" | "SLI" => InstrClass::Alu,
+            "PTI" | "NTI" | "STI" | "AND" | "OR" | "XOR" | "ANDI" => InstrClass::Logic,
+            "MV" | "LI" | "LUI" => InstrClass::Move,
+            "LOAD" | "STORE" => InstrClass::Memory,
+            "BEQ" | "BNE" | "JAL" | "JALR" => InstrClass::Control,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for InstrClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Measured switching activity: trit flips per datapath structure, as
+/// counted by the simulator's write-back stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ActivityCounts {
+    /// Instructions retired.
+    pub retired: u64,
+    /// Register-file write-port flips.
+    pub regfile: u64,
+    /// TDM cell flips.
+    pub tdm: u64,
+    /// Fetch-path (instruction-register + PC) flips.
+    pub fetch: u64,
+    /// Result-bus flips.
+    pub alu: u64,
+}
+
+impl ActivityCounts {
+    /// Sum over all structures.
+    pub fn total_flips(&self) -> u64 {
+        self.regfile + self.tdm + self.fetch + self.alu
+    }
+
+    /// Accumulates another count set (e.g. per-class → whole run).
+    pub fn add(&mut self, other: &ActivityCounts) {
+        self.retired += other.retired;
+        self.regfile += other.regfile;
+        self.tdm += other.tdm;
+        self.fetch += other.fetch;
+        self.alu += other.alu;
+    }
+}
+
+/// Dynamic switching energy of a run, per structure, in nanojoules.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DynamicEnergy {
+    /// Register-file write energy.
+    pub regfile_nj: f64,
+    /// TDM write energy.
+    pub tdm_nj: f64,
+    /// Fetch-path energy.
+    pub fetch_nj: f64,
+    /// Result-bus / arithmetic-network energy.
+    pub alu_nj: f64,
+}
+
+impl DynamicEnergy {
+    /// Total dynamic energy, nJ.
+    pub fn total_nj(&self) -> f64 {
+        self.regfile_nj + self.tdm_nj + self.fetch_nj + self.alu_nj
+    }
+
+    /// Energy per instruction, picojoules (`NaN`-free: 0 when nothing
+    /// retired).
+    pub fn per_instruction_pj(&self, retired: u64) -> f64 {
+        if retired == 0 {
+            return 0.0;
+        }
+        self.total_nj() * 1.0e3 / retired as f64
+    }
+}
+
+/// Converts measured flips into energy via the technology library.
+///
+/// Sequential-structure flips (regfile, TDM, fetch) cost one
+/// [`GateKind::Tdff`] transition; result-bus flips one
+/// [`GateKind::Tsum`] transition. The arithmetic is exact — golden
+/// tests pin hand-computed flip counts to the nJ this returns.
+pub fn dynamic_energy(counts: &ActivityCounts, lib: &TechLibrary) -> DynamicEnergy {
+    let seq_fj = lib.cell(GateKind::Tdff).switch_energy_fj;
+    let bus_fj = lib.cell(GateKind::Tsum).switch_energy_fj;
+    DynamicEnergy {
+        regfile_nj: counts.regfile as f64 * seq_fj / FJ_PER_NJ,
+        tdm_nj: counts.tdm as f64 * seq_fj / FJ_PER_NJ,
+        fetch_nj: counts.fetch as f64 * seq_fj / FJ_PER_NJ,
+        alu_nj: counts.alu as f64 * bus_fj / FJ_PER_NJ,
+    }
+}
+
+/// Average power of a measured run at the analyzer's clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeasuredPower {
+    /// Wall-clock time of the run at `fmax`, microseconds.
+    pub time_us: f64,
+    /// Average dynamic power over the run, µW.
+    pub dynamic_uw: f64,
+    /// Dynamic plus the analyzer's static leakage, µW.
+    pub total_uw: f64,
+}
+
+/// Spreads a run's measured dynamic energy over its cycle count at the
+/// clock implied by the gate analysis, and adds the static leakage.
+///
+/// # Panics
+///
+/// Panics if `cycles` is zero — a run that never cycled has no power.
+pub fn measured_power(
+    analysis: &GateAnalysis,
+    energy: &DynamicEnergy,
+    cycles: u64,
+) -> MeasuredPower {
+    assert!(cycles > 0, "measured run must have cycles");
+    let time_s = cycles as f64 / (analysis.fmax_mhz() * 1.0e6);
+    let dynamic_uw = energy.total_nj() * 1.0e-9 / time_s * 1.0e6;
+    MeasuredPower {
+        time_us: time_s * 1.0e6,
+        dynamic_uw,
+        total_uw: dynamic_uw + analysis.static_uw,
+    }
+}
+
+/// The measured Table IV efficiency row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeasuredDhrystone {
+    /// Dhrystone DMIPS at the analyzer's clock.
+    pub dmips: f64,
+    /// Average total power over the measured run, µW.
+    pub total_uw: f64,
+    /// Efficiency: DMIPS per watt, from measured switching activity.
+    pub dmips_per_watt: f64,
+}
+
+/// DMIPS/W from a measured Dhrystone run: `iterations` completed in
+/// `cycles`, with the dynamic energy actually switched.
+///
+/// # Panics
+///
+/// Panics if `cycles` or `iterations` is zero.
+pub fn measured_dmips_per_watt(
+    analysis: &GateAnalysis,
+    energy: &DynamicEnergy,
+    cycles: u64,
+    iterations: u64,
+) -> MeasuredDhrystone {
+    assert!(iterations > 0, "measured Dhrystone needs iterations");
+    let power = measured_power(analysis, energy, cycles);
+    let time_s = power.time_us * 1.0e-6;
+    let dmips = iterations as f64 / time_s / VAX_DHRYSTONES_PER_S;
+    MeasuredDhrystone {
+        dmips,
+        total_uw: power.total_uw,
+        dmips_per_watt: dmips / (power.total_uw * 1.0e-6),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyzer::analyze;
+    use crate::datapath::Datapath;
+    use crate::estimator::{estimate_cntfet, DhrystoneResult};
+    use crate::tech::{cntfet32, generic_cmos_ternary};
+
+    #[test]
+    fn every_mnemonic_classifies_exactly_once() {
+        // The 24 ART-9 mnemonics, spelled out so this crate needs no
+        // ISA dependency; a new opcode must be added here and in
+        // classify() together.
+        let mnemonics = [
+            "MV", "PTI", "NTI", "STI", "AND", "OR", "XOR", "ADD", "SUB", "SR", "SL", "COMP",
+            "ANDI", "ADDI", "SRI", "SLI", "LUI", "LI", "BEQ", "BNE", "JAL", "JALR", "LOAD",
+            "STORE",
+        ];
+        let mut per_class = [0usize; 5];
+        for m in mnemonics {
+            let class = InstrClass::classify(m).unwrap_or_else(|| panic!("{m} unclassified"));
+            per_class[ALL_CLASSES.iter().position(|c| *c == class).unwrap()] += 1;
+        }
+        assert_eq!(per_class, [8, 7, 3, 2, 4], "class sizes drifted");
+        assert_eq!(InstrClass::classify("NOPE"), None);
+        assert_eq!(InstrClass::classify("mv"), None, "classes are upper-case");
+    }
+
+    /// Golden numbers: a hand-written micro-sequence with known flips.
+    ///
+    /// `LI t2, 121` into a zero register flips 5 regfile trits
+    /// (121 = +++++), `ADDI t2, 1` flips 6 (121 → 122 = +-----), and a
+    /// halting `JAL t0, 0` links 3 = 00000000+0 for 1 more — the
+    /// worked example of the `EnergyAccounting` docs. With 4 TDM flips
+    /// and 20 fetch + 7 bus flips thrown in, the cntfet-32nm table
+    /// (TDFF 0.90 fJ, TSUM 0.66 fJ) gives exactly:
+    ///
+    /// ```text
+    /// (12 + 4 + 20) · 0.90 fJ + 7 · 0.66 fJ = 32.4 + 4.62 = 37.02 fJ
+    /// ```
+    #[test]
+    fn golden_micro_sequence_energy_is_exact() {
+        let counts = ActivityCounts {
+            retired: 3,
+            regfile: 5 + 6 + 1,
+            tdm: 4,
+            fetch: 20,
+            alu: 7,
+        };
+        let e = dynamic_energy(&counts, &cntfet32());
+        assert!((e.regfile_nj - 12.0 * 0.90e-6).abs() < 1e-15);
+        assert!((e.tdm_nj - 4.0 * 0.90e-6).abs() < 1e-15);
+        assert!((e.fetch_nj - 20.0 * 0.90e-6).abs() < 1e-15);
+        assert!((e.alu_nj - 7.0 * 0.66e-6).abs() < 1e-15);
+        assert!((e.total_nj() - 37.02e-6).abs() < 1e-15);
+        // EPI: 37.02 fJ over 3 instructions = 12.34 fJ = 0.01234 pJ.
+        assert!((e.per_instruction_pj(3) - 0.01234).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_activity_means_zero_energy() {
+        let e = dynamic_energy(&ActivityCounts::default(), &cntfet32());
+        assert_eq!(e.total_nj(), 0.0);
+        assert_eq!(e.per_instruction_pj(0), 0.0);
+    }
+
+    #[test]
+    fn energy_scales_with_technology() {
+        let counts = ActivityCounts {
+            retired: 100,
+            regfile: 500,
+            tdm: 80,
+            fetch: 900,
+            alu: 400,
+        };
+        let fast = dynamic_energy(&counts, &cntfet32());
+        let slow = dynamic_energy(&counts, &generic_cmos_ternary());
+        // generic CMOS multiplies every switching energy by 5.
+        assert!((slow.total_nj() / fast.total_nj() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn measured_power_arithmetic_is_exact() {
+        let d = Datapath::art9();
+        let a = analyze(&d, &cntfet32());
+        // 1000 flips of TDFF = 900 fJ = 9e-4 nJ over 1000 cycles.
+        let counts = ActivityCounts {
+            retired: 800,
+            regfile: 1000,
+            ..ActivityCounts::default()
+        };
+        let e = dynamic_energy(&counts, &cntfet32());
+        let p = measured_power(&a, &e, 1000);
+        let time_s = 1000.0 / (a.fmax_mhz() * 1.0e6);
+        let expect_uw = 9.0e-4 * 1.0e-9 / time_s * 1.0e6;
+        assert!((p.dynamic_uw - expect_uw).abs() < 1e-9);
+        assert!((p.total_uw - (expect_uw + a.static_uw)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn measured_dhrystone_matches_hand_arithmetic() {
+        let d = Datapath::art9();
+        let a = analyze(&d, &cntfet32());
+        let counts = ActivityCounts {
+            retired: 135_500,
+            regfile: 300_000,
+            tdm: 40_000,
+            fetch: 500_000,
+            alu: 250_000,
+        };
+        let e = dynamic_energy(&counts, &cntfet32());
+        let m = measured_dmips_per_watt(&a, &e, 135_500, 100);
+        // DMIPS = iters / time / 1757 with time = cycles / fmax.
+        let time_s = 135_500.0 / (a.fmax_mhz() * 1.0e6);
+        let dmips = 100.0 / time_s / 1757.0;
+        assert!((m.dmips - dmips).abs() < 1e-9);
+        assert!(m.dmips_per_watt > 0.0);
+        // Measured dynamic power uses the real activity, which for this
+        // modest flip density sits below the static path's pessimistic
+        // every-gate-at-12% assumption.
+        let static_path = estimate_cntfet(
+            &a,
+            DhrystoneResult {
+                cycles_per_iteration: 1355.0,
+            },
+        );
+        assert!(m.total_uw < static_path.power_uw * 2.0, "sanity bound");
+    }
+
+    /// The static Table IV path must be byte-for-byte unaffected by the
+    /// dynamic-activity machinery: same gates, same µW, same DMIPS/W as
+    /// the values the analyzer produced before this module existed.
+    #[test]
+    fn static_table4_path_is_unchanged() {
+        let d = Datapath::art9();
+        let a = analyze(&d, &cntfet32());
+        let est = estimate_cntfet(
+            &a,
+            DhrystoneResult {
+                cycles_per_iteration: 1355.0,
+            },
+        );
+        // Frozen reference values of the committed datapath + library.
+        assert_eq!(a.gates, d.datapath_gates(), "gate count drifted");
+        let frozen_power = a.static_uw + a.dynamic_uw;
+        assert!((est.power_uw - frozen_power).abs() < 1e-12);
+        let frozen_dmips = (1.0e6 / (1355.0 * 1757.0)) * a.fmax_mhz();
+        assert!((est.dmips - frozen_dmips).abs() < 1e-9);
+        assert!((est.dmips_per_watt - frozen_dmips / (frozen_power * 1e-6)).abs() < 1e-3);
+    }
+}

@@ -14,7 +14,10 @@
 //! * [`fpga`] — the binary-encoded-ternary FPGA mapping behind
 //!   Table V (ALMs / registers / RAM bits / power);
 //! * [`estimator`] — the performance estimator combining cycle-
-//!   accurate simulation results into DMIPS and DMIPS/W.
+//!   accurate simulation results into DMIPS and DMIPS/W;
+//! * [`activity`] — the dynamic-activity path: measured trit flips
+//!   (from the simulator's `EnergyAccounting` observer) → nanojoules,
+//!   average power, and measured DMIPS/W (`docs/ENERGY.md`).
 //!
 //! ## Quick start
 //!
@@ -40,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod activity;
 pub mod analyzer;
 pub mod blocks;
 pub mod datapath;

@@ -20,7 +20,7 @@ use crate::checkpoint::{Checkpoint, Micro};
 use crate::core::{run_loop, Backend, Budget, Core, RunSummary};
 use crate::error::SimError;
 use crate::exec::{control_target, talu};
-use crate::observer::{MemoryAccess, ObserverSet};
+use crate::observer::{MemWrite, MemoryAccess, ObserverSet, RegWrite, Writeback};
 use crate::predecode::PredecodedProgram;
 
 /// Default TDM size in words (matches the 256-word memories behind
@@ -272,6 +272,16 @@ impl FunctionalSim {
         let link = self.links[pc]; // PC + 1, precomputed at decode time
         let result = talu(&instr, a_val, b_val, link);
 
+        // Old destination value, captured before any write so the
+        // write-back event can report the overwritten contents.
+        let observing = !self.observers.is_empty();
+        let old_reg = if observing {
+            instr.writes().map(|dest| self.state.reg(dest))
+        } else {
+            None
+        };
+        let mut mem_write = None;
+
         use Instruction::*;
         match instr {
             Load { a, .. } => {
@@ -281,7 +291,7 @@ impl FunctionalSim {
                     .read_word_addr(result)
                     .map_err(|cause| SimError::MemoryFault { pc, cause })?;
                 self.state.set_reg(a, v);
-                if !self.observers.is_empty() {
+                if observing {
                     let address = self.state.tdm.resolve(result).expect("read succeeded");
                     self.observers.memory(&MemoryAccess {
                         pc,
@@ -292,17 +302,27 @@ impl FunctionalSim {
                 }
             }
             Store { .. } => {
+                let old_cell = if observing {
+                    self.state.tdm.read_word_addr(result).ok()
+                } else {
+                    None
+                };
                 self.state
                     .tdm
                     .write_word_addr(result, a_val)
                     .map_err(|cause| SimError::MemoryFault { pc, cause })?;
-                if !self.observers.is_empty() {
+                if observing {
                     let address = self.state.tdm.resolve(result).expect("write succeeded");
                     self.observers.memory(&MemoryAccess {
                         pc,
                         address,
                         value: a_val,
                         is_write: true,
+                    });
+                    mem_write = Some(MemWrite {
+                        address,
+                        old: old_cell.expect("write succeeded"),
+                        new: a_val,
                     });
                 }
             }
@@ -329,10 +349,21 @@ impl FunctionalSim {
             None => (pc + 1, false),
         };
 
-        if !self.observers.is_empty() {
+        if observing {
             if instr.is_control_flow() {
                 self.observers.control(pc, &instr, taken, next);
             }
+            self.observers.writeback(&Writeback {
+                pc,
+                instr,
+                reg: instr.writes().map(|dest| RegWrite {
+                    reg: dest,
+                    old: old_reg.expect("captured above"),
+                    new: self.state.reg(dest),
+                }),
+                mem: mem_write,
+                bus: result,
+            });
             self.observers.retire(pc, &instr, &self.state);
         }
 

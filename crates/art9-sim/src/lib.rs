@@ -91,7 +91,9 @@ pub use debug::{Debugger, StopReason};
 pub use error::SimError;
 pub use exec::{branch_taken, control_target, shift, talu};
 pub use functional::{CoreState, FunctionalSim, HaltReason, RunResult, DEFAULT_TDM_WORDS};
-pub use observer::{observers, MemoryAccess, Observer, SharedObserver};
+pub use observer::{
+    observers, MemWrite, MemoryAccess, Observer, RegWrite, SharedObserver, Writeback,
+};
 pub use pipeline::PipelinedSim;
 pub use predecode::PredecodedProgram;
 pub use reference::ReferenceSim;

@@ -1,9 +1,10 @@
 //! Observer hooks: callbacks fired by every [`Core`](crate::Core)
 //! backend at architectural events.
 //!
-//! An [`Observer`] receives four kinds of events — instruction
-//! retirement, control-flow resolution, data-memory access, and halt —
-//! from whichever backend it is attached to via
+//! An [`Observer`] receives five kinds of events — instruction
+//! retirement, control-flow resolution, data-memory access,
+//! architectural write-back, and halt — from whichever backend it is
+//! attached to via
 //! [`SimBuilder::observer`](crate::SimBuilder::observer). Observers are
 //! shared handles ([`SharedObserver`] is `Arc<Mutex<…>>`), so the caller
 //! keeps a clone and inspects the accumulated data after (or during) the
@@ -31,7 +32,7 @@
 
 use std::sync::{Arc, Mutex};
 
-use art9_isa::Instruction;
+use art9_isa::{Instruction, TReg};
 use ternary::Word9;
 
 use crate::functional::{CoreState, HaltReason};
@@ -47,6 +48,52 @@ pub struct MemoryAccess {
     pub value: Word9,
     /// `true` for STORE, `false` for LOAD.
     pub is_write: bool,
+}
+
+/// A register-file write as seen by [`Observer::on_writeback`]: the
+/// destination register with its value before and after the write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegWrite {
+    /// Destination register.
+    pub reg: TReg,
+    /// Register contents before the write.
+    pub old: Word9,
+    /// Register contents after the write (read back from the register
+    /// file, so backend-specific write paths cannot diverge).
+    pub new: Word9,
+}
+
+/// A TDM write as seen by [`Observer::on_writeback`]: the word index
+/// with the memory cell's value before and after the store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemWrite {
+    /// Resolved TDM word index.
+    pub address: usize,
+    /// Cell contents before the store.
+    pub old: Word9,
+    /// Cell contents after the store (the stored value).
+    pub new: Word9,
+}
+
+/// The architectural write-back of one retired instruction, as reported
+/// to [`Observer::on_writeback`] — everything a switching-activity model
+/// needs to see the datapath's old and new values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Writeback {
+    /// Instruction address.
+    pub pc: usize,
+    /// The retired instruction.
+    pub instr: Instruction,
+    /// The register-file write, when the instruction writes a register
+    /// (`None` for BEQ/BNE/STORE).
+    pub reg: Option<RegWrite>,
+    /// The TDM write, for STORE only.
+    pub mem: Option<MemWrite>,
+    /// The TALU result driven onto the result bus this instruction:
+    /// the computed value for ALU/logic/move ops, the effective address
+    /// for LOAD/STORE, the link value for JAL/JALR, and zero for
+    /// BEQ/BNE (whose comparison happened at COMP).
+    pub bus: Word9,
 }
 
 /// Callbacks a [`Core`](crate::Core) backend fires at architectural
@@ -65,12 +112,16 @@ pub struct MemoryAccess {
 ///   transfer was taken.
 /// * `on_memory` fires for every successful TDM access, before the
 ///   instruction retires. Faulting accesses do not report.
+/// * `on_writeback` fires once per retired instruction, immediately
+///   before its `on_retire`, carrying the old and new values of every
+///   architectural write the instruction performed (see [`Writeback`]).
 /// * `on_halt` fires exactly once, when the backend halts (for the
 ///   pipelined backend: after the pipeline drains).
 ///
 /// Observers must not assume a particular backend: the same observer
 /// attached to the functional and pipelined backends sees the same
-/// retirement/memory/halt event sequence for the same program.
+/// retirement/write-back/memory/halt event sequence for the same
+/// program.
 #[allow(unused_variables)]
 pub trait Observer {
     /// An instruction retired; `state` already reflects it.
@@ -82,6 +133,10 @@ pub trait Observer {
 
     /// A data-memory access completed.
     fn on_memory(&mut self, access: &MemoryAccess) {}
+
+    /// An instruction's architectural writes completed (fires just
+    /// before its `on_retire`).
+    fn on_writeback(&mut self, wb: &Writeback) {}
 
     /// The machine halted after retiring `retired` instructions.
     fn on_halt(&mut self, reason: HaltReason, retired: u64) {}
@@ -135,6 +190,10 @@ impl ObserverSet {
 
     pub(crate) fn memory(&self, access: &MemoryAccess) {
         self.each(|o| o.on_memory(access));
+    }
+
+    pub(crate) fn writeback(&self, wb: &Writeback) {
+        self.each(|o| o.on_writeback(wb));
     }
 
     pub(crate) fn halt(&self, reason: HaltReason, retired: u64) {
@@ -284,6 +343,150 @@ pub mod observers {
         }
     }
 
+    /// Per-opcode switching activity accumulated by [`EnergyAccounting`]:
+    /// retirement count plus trit flips attributed to each datapath
+    /// structure while instructions of this opcode retired.
+    #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+    pub struct OpcodeActivity {
+        /// Instructions of this opcode retired.
+        pub retired: u64,
+        /// Register-file write-port flips (old vs new destination value).
+        pub regfile: u64,
+        /// TDM cell flips (old vs stored value; STORE only).
+        pub tdm: u64,
+        /// Fetch-path flips: instruction-register (encoded word) plus
+        /// PC-register switching between consecutive retirements.
+        pub fetch: u64,
+        /// Result-bus flips: the TALU output against the value it drove
+        /// for the previous instruction.
+        pub alu: u64,
+    }
+
+    impl OpcodeActivity {
+        fn absorb(&mut self, other: &OpcodeActivity) {
+            self.retired += other.retired;
+            self.regfile += other.regfile;
+            self.tdm += other.tdm;
+            self.fetch += other.fetch;
+            self.alu += other.alu;
+        }
+    }
+
+    /// Measures dynamic switching activity — trit flips per datapath
+    /// structure, per opcode — from the [`Writeback`] event stream.
+    ///
+    /// This is the execution side of the dynamic energy model (see
+    /// `docs/ENERGY.md`): every flip counted here is one trit changing
+    /// value in a storage element or on the result bus, which `art9-hw`
+    /// converts to energy via the tech library's per-cell switching
+    /// energies. Structures tracked:
+    ///
+    /// * **regfile** — write-port activity: old vs new value of the
+    ///   destination register at each register-writing retirement;
+    /// * **tdm** — data-memory cell activity: old vs stored value at
+    ///   each STORE;
+    /// * **fetch** — instruction-register and PC-register activity
+    ///   between consecutive retirements (the 9-trit encoded
+    ///   instruction word, and the PC wrapped to a 9-trit word);
+    /// * **alu** — result-bus activity: consecutive TALU outputs.
+    ///
+    /// The counts are architectural (derived from the retirement
+    /// stream), so every backend produces identical totals for the same
+    /// program — a property the `energy` fuzz oracle checks against a
+    /// per-trit reference ([`EnergyAccounting::with_flip_fn`] +
+    /// `ternary::arith::flips_tritwise`).
+    ///
+    /// ```
+    /// use std::sync::{Arc, Mutex};
+    /// use art9_isa::assemble;
+    /// use art9_sim::observers::EnergyAccounting;
+    /// use art9_sim::{Budget, Core, SimBuilder};
+    ///
+    /// let p = assemble("LI t2, 121\nADDI t2, 1\nJAL t0, 0\n")?;
+    /// let energy = Arc::new(Mutex::new(EnergyAccounting::new()));
+    /// let mut core = SimBuilder::new(&p).observer(energy.clone()).build();
+    /// core.run_for(Budget::Steps(100))?;
+    /// let e = energy.lock().unwrap();
+    /// // LI writes 121 into a zero register (5 trits flip), ADDI turns
+    /// // 121 = 0000+++++ into 122 = 000+----- (6 trits flip), and the
+    /// // halting JAL links 3 = 00000000+0 into t0 (1 flip).
+    /// assert_eq!(e.totals().regfile, 5 + 6 + 1);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    #[derive(Debug, Clone)]
+    pub struct EnergyAccounting {
+        flip_fn: fn(Word9, Word9) -> u32,
+        prev_instr: Word9,
+        prev_pc: Word9,
+        prev_bus: Word9,
+        per_opcode: [OpcodeActivity; Instruction::OPCODE_COUNT],
+    }
+
+    impl Default for EnergyAccounting {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl EnergyAccounting {
+        /// An accumulator using the packed bitplane flip kernel
+        /// ([`Word9::flips_from`]).
+        pub fn new() -> Self {
+            Self::with_flip_fn(|next, prev| next.flips_from(&prev))
+        }
+
+        /// An accumulator with a substitute flip function — the
+        /// differential energy oracle passes
+        /// `ternary::arith::flips_tritwise` here and asserts the totals
+        /// are bit-identical to [`EnergyAccounting::new`]'s.
+        pub fn with_flip_fn(flip_fn: fn(Word9, Word9) -> u32) -> Self {
+            Self {
+                flip_fn,
+                prev_instr: Word9::ZERO,
+                prev_pc: Word9::ZERO,
+                prev_bus: Word9::ZERO,
+                per_opcode: [OpcodeActivity::default(); Instruction::OPCODE_COUNT],
+            }
+        }
+
+        /// Activity accumulated per opcode, indexed like
+        /// [`Instruction::MNEMONICS`].
+        pub fn per_opcode(&self) -> &[OpcodeActivity; Instruction::OPCODE_COUNT] {
+            &self.per_opcode
+        }
+
+        /// Activity summed over all opcodes.
+        pub fn totals(&self) -> OpcodeActivity {
+            let mut total = OpcodeActivity::default();
+            for acc in &self.per_opcode {
+                total.absorb(acc);
+            }
+            total
+        }
+    }
+
+    impl Observer for EnergyAccounting {
+        fn on_writeback(&mut self, wb: &Writeback) {
+            let flip = self.flip_fn;
+            let acc = &mut self.per_opcode[wb.instr.opcode()];
+            acc.retired += 1;
+            if let Some(r) = wb.reg {
+                acc.regfile += u64::from(flip(r.new, r.old));
+            }
+            if let Some(m) = wb.mem {
+                acc.tdm += u64::from(flip(m.new, m.old));
+            }
+            let encoded = art9_isa::encode(&wb.instr);
+            let pc_word = Word9::from_i64_wrapping(wb.pc as i64);
+            acc.fetch += u64::from(flip(encoded, self.prev_instr));
+            acc.fetch += u64::from(flip(pc_word, self.prev_pc));
+            acc.alu += u64::from(flip(wb.bus, self.prev_bus));
+            self.prev_instr = encoded;
+            self.prev_pc = pc_word;
+            self.prev_bus = wb.bus;
+        }
+    }
+
     impl Observer for SyncPoints {
         fn on_control(&mut self, pc: usize, _instr: &Instruction, _taken: bool, target: usize) {
             self.pending.push_back((pc, target));
@@ -365,13 +568,41 @@ mod tests {
             (l, core.retired())
         };
         let (f_log, f_ret) = run(Backend::Functional);
-        let (p_log, p_ret) = run(Backend::Pipelined);
-        let (r_log, r_ret) = run(Backend::Reference);
         assert_eq!(f_log.len() as u64, f_ret);
-        assert_eq!(f_log, p_log, "retirement order differs");
-        assert_eq!(f_log, r_log);
-        assert_eq!(f_ret, p_ret);
-        assert_eq!(f_ret, r_ret);
+        for backend in [Backend::Pipelined, Backend::Reference, Backend::Threaded] {
+            let (log, ret) = run(backend);
+            assert_eq!(f_log, log, "{backend:?}: retirement order differs");
+            assert_eq!(f_ret, ret, "{backend:?}");
+        }
+    }
+
+    #[test]
+    fn multiple_observers_see_identical_event_order_on_every_backend() {
+        // Two retire logs plus an energy accumulator on the same core:
+        // every observer must see the same, complete event stream — in
+        // particular on the threaded backend, whose precise-interpreter
+        // fallback carries the whole observer set.
+        for backend in Backend::ALL {
+            let first = Arc::new(Mutex::new(RetireLog::new()));
+            let second = Arc::new(Mutex::new(RetireLog::new()));
+            let energy = Arc::new(Mutex::new(EnergyAccounting::new()));
+            let mut core = SimBuilder::new(&looped())
+                .backend(backend)
+                .observer(first.clone())
+                .observer(energy.clone())
+                .observer(second.clone())
+                .build();
+            core.run_for(Budget::Steps(100_000)).unwrap();
+            let a = first.lock().unwrap().log.clone();
+            let b = second.lock().unwrap().log.clone();
+            assert!(!a.is_empty(), "{backend:?}: no retirements observed");
+            assert_eq!(a, b, "{backend:?}: observers disagree on order");
+            assert_eq!(
+                energy.lock().unwrap().totals().retired,
+                core.retired(),
+                "{backend:?}: energy observer missed retirements"
+            );
+        }
     }
 
     #[test]

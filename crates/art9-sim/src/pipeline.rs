@@ -34,7 +34,7 @@ use crate::core::{run_loop, Backend, Budget, Core, RunSummary};
 use crate::error::SimError;
 use crate::exec::{control_target, talu};
 use crate::functional::{CoreState, HaltReason};
-use crate::observer::{MemoryAccess, ObserverSet};
+use crate::observer::{MemWrite, MemoryAccess, ObserverSet, RegWrite, Writeback};
 use crate::predecode::PredecodedProgram;
 use crate::stats::PipelineStats;
 use crate::trace::{CycleTrace, StageSnapshot};
@@ -74,6 +74,19 @@ pub(crate) struct MemWb {
     pub(crate) value: Word9,
 }
 
+/// Observer-only side channel travelling in lockstep with [`MemWb`]:
+/// the EX result-bus value (for LOADs `MemWb.value` holds the loaded
+/// datum, not the bus) and the old/new TDM cell a STORE rewrote.
+///
+/// Deliberately *not* part of `MemWb`, whose layout the
+/// `art9-checkpoint v1` text format serializes; like the trace buffer,
+/// this is transient per-core state that a restore simply clears.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct WbCarry {
+    bus: Word9,
+    mem: Option<MemWrite>,
+}
+
 /// The cycle-accurate pipelined ART-9 core.
 ///
 /// # Examples
@@ -109,6 +122,7 @@ pub struct PipelinedSim {
     id_ex: Option<IdEx>,
     ex_mem: Option<ExMem>,
     mem_wb: Option<MemWb>,
+    wb_carry: Option<WbCarry>,
     stats: PipelineStats,
     halting: Option<HaltReason>,
     halted: Option<HaltReason>,
@@ -137,6 +151,7 @@ impl PipelinedSim {
             id_ex: None,
             ex_mem: None,
             mem_wb: None,
+            wb_carry: None,
             stats: PipelineStats::default(),
             halting: None,
             halted: None,
@@ -203,14 +218,38 @@ impl PipelinedSim {
         // ---- WB ------------------------------------------------------
         // Synchronous TRF write; write-through makes the value visible
         // to ID in this same cycle.
+        let observing = !self.observers.is_empty();
+        let carry = self.wb_carry.take();
         let wb_done: Option<(TReg, Word9)> = if let Some(wb) = old_mem_wb {
             self.stats.instructions += 1;
             self.mix[wb.instr.opcode()] += 1;
             let dest = wb.instr.writes();
+            let old_reg = if observing {
+                dest.map(|d| self.state.reg(d))
+            } else {
+                None
+            };
             if let Some(d) = dest {
                 self.state.set_reg(d, wb.value);
             }
-            if !self.observers.is_empty() {
+            if observing {
+                // A restore mid-flight clears the carry; fall back to the
+                // WB value as the bus for that one instruction.
+                let carry = carry.unwrap_or(WbCarry {
+                    bus: wb.value,
+                    mem: None,
+                });
+                self.observers.writeback(&Writeback {
+                    pc: wb.pc,
+                    instr: wb.instr,
+                    reg: dest.map(|d| RegWrite {
+                        reg: d,
+                        old: old_reg.expect("captured above"),
+                        new: self.state.reg(d),
+                    }),
+                    mem: carry.mem,
+                    bus: carry.bus,
+                });
                 self.observers.retire(wb.pc, &wb.instr, &self.state);
             }
             dest.map(|d| (d, wb.value))
@@ -221,6 +260,7 @@ impl PipelinedSim {
 
         // ---- MEM -----------------------------------------------------
         if let Some(mem) = old_ex_mem {
+            let mut mem_write = None;
             let value = match mem.instr {
                 Instruction::Load { .. } => {
                     let v = self
@@ -228,7 +268,7 @@ impl PipelinedSim {
                         .tdm
                         .read_word_addr(mem.result)
                         .map_err(|cause| SimError::MemoryFault { pc: mem.pc, cause })?;
-                    if !self.observers.is_empty() {
+                    if observing {
                         let address = self.state.tdm.resolve(mem.result).expect("read succeeded");
                         self.observers.memory(&MemoryAccess {
                             pc: mem.pc,
@@ -240,17 +280,29 @@ impl PipelinedSim {
                     v
                 }
                 Instruction::Store { .. } => {
+                    // Old cell value, read before the write so the write
+                    // itself still produces the canonical fault.
+                    let old_cell = if observing {
+                        self.state.tdm.read_word_addr(mem.result).ok()
+                    } else {
+                        None
+                    };
                     self.state
                         .tdm
                         .write_word_addr(mem.result, mem.store_val)
                         .map_err(|cause| SimError::MemoryFault { pc: mem.pc, cause })?;
-                    if !self.observers.is_empty() {
+                    if observing {
                         let address = self.state.tdm.resolve(mem.result).expect("write succeeded");
                         self.observers.memory(&MemoryAccess {
                             pc: mem.pc,
                             address,
                             value: mem.store_val,
                             is_write: true,
+                        });
+                        mem_write = Some(MemWrite {
+                            address,
+                            old: old_cell.expect("write succeeded"),
+                            new: mem.store_val,
                         });
                     }
                     Word9::ZERO
@@ -262,6 +314,12 @@ impl PipelinedSim {
                 pc: mem.pc,
                 value,
             });
+            if observing {
+                self.wb_carry = Some(WbCarry {
+                    bus: mem.result,
+                    mem: mem_write,
+                });
+            }
         }
         self.ex_mem = None;
 
@@ -634,6 +692,7 @@ impl Core for PipelinedSim {
         self.id_ex = m.id_ex;
         self.ex_mem = m.ex_mem;
         self.mem_wb = m.mem_wb;
+        self.wb_carry = None;
         Ok(())
     }
 

@@ -27,7 +27,7 @@ use crate::checkpoint::{Checkpoint, Micro};
 use crate::core::{run_loop, Backend, Budget, Core, RunSummary};
 use crate::error::SimError;
 use crate::functional::{CoreState, HaltReason};
-use crate::observer::{MemoryAccess, ObserverSet};
+use crate::observer::{MemWrite, MemoryAccess, ObserverSet, RegWrite, Writeback};
 use crate::predecode::PredecodedProgram;
 
 /// The per-trit reference interpreter.
@@ -138,6 +138,22 @@ impl ReferenceSim {
         use Instruction::*;
         let link = word_from_value(pc as i64 + 1);
 
+        // Write-back observation inputs, captured before execution:
+        // the old destination value and the per-trit result-bus value
+        // (the execute arms below mutate the register file in place).
+        let observing = !self.observers.is_empty();
+        let old_reg = if observing {
+            instr.writes().map(|dest| self.state.reg(dest))
+        } else {
+            None
+        };
+        let bus = if observing {
+            Some(bus_tritwise(&instr, &self.state.trf, pc))
+        } else {
+            None
+        };
+        let mut mem_write = None;
+
         // Destination value (per-trit), memory effects, and branch
         // decision, all re-derived from the paper's semantics.
         let trf = &mut self.state.trf;
@@ -217,6 +233,7 @@ impl ReferenceSim {
                 let addr = address_value(trf[b.index()], offset);
                 let idx = self.resolve(addr, pc)?;
                 let v = self.state.trf[a.index()];
+                let old_cell = self.state.tdm.read(idx).expect("resolved in range");
                 self.state.tdm.write(idx, v).expect("resolved in range");
                 if !self.observers.is_empty() {
                     self.observers.memory(&MemoryAccess {
@@ -224,6 +241,11 @@ impl ReferenceSim {
                         address: idx,
                         value: v,
                         is_write: true,
+                    });
+                    mem_write = Some(MemWrite {
+                        address: idx,
+                        old: old_cell,
+                        new: v,
                     });
                 }
             }
@@ -268,10 +290,21 @@ impl ReferenceSim {
                 tim_size: self.text.len(),
             });
         }
-        if !self.observers.is_empty() {
+        if observing {
             if instr.is_control_flow() {
                 self.observers.control(pc, &instr, taken, next as usize);
             }
+            self.observers.writeback(&Writeback {
+                pc,
+                instr,
+                reg: instr.writes().map(|dest| RegWrite {
+                    reg: dest,
+                    old: old_reg.expect("captured above"),
+                    new: self.state.reg(dest),
+                }),
+                mem: mem_write,
+                bus: bus.expect("captured above"),
+            });
             self.observers.retire(pc, &instr, &self.state);
         }
         let next = next as usize;
@@ -346,6 +379,53 @@ impl Core for ReferenceSim {
         self.halted = checkpoint.halted;
         self.mix = checkpoint.mix;
         Ok(())
+    }
+}
+
+/// The value the TALU drives onto the result bus for `instr`, re-derived
+/// per trit from the pre-execution register file — the reference
+/// counterpart of [`crate::talu`]'s return value, observed by the
+/// write-back hook. Only runs when an observer is attached.
+fn bus_tritwise(instr: &Instruction, trf: &[Word9; 9], pc: usize) -> Word9 {
+    use Instruction::*;
+    match instr {
+        Mv { b, .. } => trf[b.index()],
+        Pti { b, .. } => map_trits(trf[b.index()], Trit::pti),
+        Nti { b, .. } => map_trits(trf[b.index()], Trit::nti),
+        Sti { b, .. } => map_trits(trf[b.index()], Trit::sti),
+        And { a, b } => zip_trits(trf[a.index()], trf[b.index()], Trit::and),
+        Or { a, b } => zip_trits(trf[a.index()], trf[b.index()], Trit::or),
+        Xor { a, b } => zip_trits(trf[a.index()], trf[b.index()], Trit::xor),
+        Add { a, b } => arith::add_tritwise(trf[a.index()], trf[b.index()]).0,
+        Sub { a, b } => {
+            let neg_b = map_trits(trf[b.index()], Trit::sti);
+            arith::add_tritwise(trf[a.index()], neg_b).0
+        }
+        Sr { a, b } => shift_trits(trf[a.index()], -low2_value(trf[b.index()])),
+        Sl { a, b } => shift_trits(trf[a.index()], low2_value(trf[b.index()])),
+        Comp { a, b } => compare_trits(trf[a.index()], trf[b.index()]),
+        Andi { a, imm } => zip_trits(trf[a.index()], extend(*imm), Trit::and),
+        Addi { a, imm } => arith::add_tritwise(trf[a.index()], extend(*imm)).0,
+        Sri { a, imm } => shift_trits(trf[a.index()], -signed_value(*imm)),
+        Sli { a, imm } => shift_trits(trf[a.index()], signed_value(*imm)),
+        Lui { imm, .. } => {
+            let mut out = [Trit::Z; 9];
+            for (i, t) in imm.trits().iter().enumerate() {
+                out[5 + i] = *t;
+            }
+            Trits::from_trits(out)
+        }
+        Li { a, imm } => {
+            let mut out = trf[a.index()].trits();
+            for (i, t) in imm.trits().iter().enumerate() {
+                out[i] = *t;
+            }
+            Trits::from_trits(out)
+        }
+        Beq { .. } | Bne { .. } => Word9::ZERO,
+        Jal { .. } | Jalr { .. } => word_from_value(pc as i64 + 1),
+        Load { b, offset, .. } => arith::add_tritwise(trf[b.index()], extend(*offset)).0,
+        Store { b, offset, .. } => arith::add_tritwise(trf[b.index()], extend(*offset)).0,
     }
 }
 

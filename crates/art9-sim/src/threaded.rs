@@ -52,7 +52,7 @@ use crate::core::{Backend, Budget, Core, RunSummary};
 use crate::error::SimError;
 use crate::exec::{control_target, shift, talu};
 use crate::functional::{operand_values, CoreState, HaltReason, RunResult};
-use crate::observer::{MemoryAccess, ObserverSet};
+use crate::observer::{MemWrite, MemoryAccess, ObserverSet, RegWrite, Writeback};
 use crate::predecode::PredecodedProgram;
 
 /// How control leaves a compiled op. Deliberately register-sized: this
@@ -1688,6 +1688,8 @@ impl ThreadedSim {
 
         let (a_val, b_val) = operand_values(&instr, &self.state);
         let result = talu(&instr, a_val, b_val, links[pc]);
+        let old_reg = instr.writes().map(|dest| self.state.reg(dest));
+        let mut mem_write = None;
 
         use Instruction::*;
         match instr {
@@ -1707,6 +1709,7 @@ impl ThreadedSim {
                 });
             }
             Store { .. } => {
+                let old_cell = self.state.tdm.read_word_addr(result).ok();
                 self.state
                     .tdm
                     .write_word_addr(result, a_val)
@@ -1717,6 +1720,11 @@ impl ThreadedSim {
                     address,
                     value: a_val,
                     is_write: true,
+                });
+                mem_write = Some(MemWrite {
+                    address,
+                    old: old_cell.expect("write succeeded"),
+                    new: a_val,
                 });
             }
             _ => {
@@ -1744,6 +1752,17 @@ impl ThreadedSim {
         if instr.is_control_flow() {
             self.observers.control(pc, &instr, taken, next);
         }
+        self.observers.writeback(&Writeback {
+            pc,
+            instr,
+            reg: instr.writes().map(|dest| RegWrite {
+                reg: dest,
+                old: old_reg.expect("captured above"),
+                new: self.state.reg(dest),
+            }),
+            mem: mem_write,
+            bus: result,
+        });
         self.observers.retire(pc, &instr, &self.state);
 
         let halt = if next == pc {

@@ -1,0 +1,155 @@
+//! The [`Writeback`] event stream is architectural: for the same
+//! program, all four backends must report bit-identical sequences of
+//! write-back events — pc, instruction, old/new destination register
+//! value, old/new TDM cell, result-bus value — in retirement order.
+//! This is the contract the `EnergyAccounting` observer (and therefore
+//! the whole measured-energy path of Table IV) rests on, so it is
+//! property-tested on random looped programs the same way
+//! `checkpoint_resume` pins snapshot invisibility.
+
+use std::sync::{Arc, Mutex};
+
+use proptest::prelude::*;
+
+use art9_isa::{Instruction, Program, TReg};
+use art9_sim::observers::EnergyAccounting;
+use art9_sim::{Backend, Budget, Observer, SimBuilder, Writeback};
+use ternary::Trits;
+
+/// Base register kept stable for memory addressing.
+const BASE: TReg = TReg::T2;
+const BASE_ADDR: i64 = 100;
+
+/// Records every [`Writeback`] event verbatim.
+#[derive(Default)]
+struct WritebackLog {
+    log: Vec<Writeback>,
+}
+
+impl Observer for WritebackLog {
+    fn on_writeback(&mut self, wb: &Writeback) {
+        self.log.push(*wb);
+    }
+}
+
+fn imm<const N: usize>() -> impl Strategy<Value = Trits<N>> {
+    let max = (ternary::pow3(N) - 1) / 2;
+    (-max..=max).prop_map(|v| Trits::<N>::from_i64(v).expect("in range"))
+}
+
+/// A counted loop around a random ALU/memory body (the structural
+/// termination guarantee of the `equivalence` and `checkpoint_resume`
+/// suites), so write-backs cover forwarding chains, loads, stores and
+/// taken/untaken branches.
+fn looped_program() -> impl Strategy<Value = Program> {
+    use Instruction::*;
+    let body_reg = || {
+        prop_oneof![
+            Just(TReg::T3),
+            Just(TReg::T4),
+            Just(TReg::T5),
+            Just(TReg::T6),
+        ]
+    };
+    let body_op = prop_oneof![
+        (body_reg(), body_reg()).prop_map(|(a, b)| Mv { a, b }),
+        (body_reg(), body_reg()).prop_map(|(a, b)| Add { a, b }),
+        (body_reg(), body_reg()).prop_map(|(a, b)| Sub { a, b }),
+        (body_reg(), body_reg()).prop_map(|(a, b)| Xor { a, b }),
+        (body_reg(), body_reg()).prop_map(|(a, b)| Comp { a, b }),
+        (body_reg(), imm::<3>()).prop_map(|(a, imm)| Addi { a, imm }),
+        (body_reg(), imm::<5>()).prop_map(|(a, imm)| Li { a, imm }),
+        (body_reg(), imm::<3>()).prop_map(|(a, offset)| Load { a, b: BASE, offset }),
+        (body_reg(), imm::<3>()).prop_map(|(a, offset)| Store { a, b: BASE, offset }),
+    ];
+    (proptest::collection::vec(body_op, 1..20), 2i64..=6).prop_map(|(body, iters)| {
+        let (hi, lo) = art9_isa::asm::split_hi_lo(BASE_ADDR);
+        let mut text = vec![
+            Lui {
+                a: BASE,
+                imm: Trits::<4>::from_i64(hi).expect("fits"),
+            },
+            Li {
+                a: BASE,
+                imm: Trits::<5>::from_i64(lo).expect("fits"),
+            },
+            Li {
+                a: TReg::T1,
+                imm: Trits::<5>::from_i64(iters).expect("fits"),
+            },
+        ];
+        let body_len = body.len() as i64;
+        text.extend(body);
+        text.push(Addi {
+            a: TReg::T1,
+            imm: Trits::<3>::from_i64(-1).expect("fits"),
+        });
+        text.push(Mv {
+            a: TReg::T7,
+            b: TReg::T1,
+        });
+        text.push(Comp {
+            a: TReg::T7,
+            b: TReg::T0,
+        });
+        text.push(Instruction::Beq {
+            b: TReg::T7,
+            cond: ternary::Trit::P,
+            offset: Trits::<4>::from_i64(-(body_len + 3)).expect("fits imm4"),
+        });
+        Program::from_instructions(text)
+    })
+}
+
+fn writeback_log(p: &Program, backend: Backend) -> (Vec<Writeback>, u64) {
+    let log = Arc::new(Mutex::new(WritebackLog::default()));
+    let mut core = SimBuilder::new(p)
+        .backend(backend)
+        .observer(log.clone())
+        .build();
+    core.run_for(Budget::Steps(1_000_000))
+        .expect("run completes");
+    let l = log.lock().unwrap().log.clone();
+    (l, core.retired())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn writeback_stream_is_identical_on_every_backend(p in looped_program()) {
+        let (base, base_retired) = writeback_log(&p, Backend::Functional);
+        prop_assert_eq!(base.len() as u64, base_retired, "one write-back per retirement");
+        for backend in [Backend::Pipelined, Backend::Reference, Backend::Threaded] {
+            let (log, retired) = writeback_log(&p, backend);
+            prop_assert_eq!(base_retired, retired, "{} retired differently", backend);
+            prop_assert_eq!(&base, &log, "{} write-back stream diverged", backend);
+        }
+    }
+
+    #[test]
+    fn energy_totals_are_backend_independent(p in looped_program()) {
+        // The flip accumulators are a pure function of the write-back
+        // stream, so identical streams must give identical energy — the
+        // in-process counterpart of the `energy` fuzz oracle.
+        let mut per_backend = Vec::new();
+        for backend in Backend::ALL {
+            let energy = Arc::new(Mutex::new(EnergyAccounting::new()));
+            let mut core = SimBuilder::new(&p)
+                .backend(backend)
+                .observer(energy.clone())
+                .build();
+            core.run_for(Budget::Steps(1_000_000)).expect("run completes");
+            let snapshot = energy.lock().unwrap().clone();
+            prop_assert_eq!(
+                snapshot.totals().retired,
+                core.retired(),
+                "{} missed retirements", backend
+            );
+            per_backend.push(*snapshot.per_opcode());
+        }
+        for (i, later) in per_backend.iter().enumerate().skip(1) {
+            prop_assert_eq!(&per_backend[0], later, "backend #{} diverged", i);
+        }
+    }
+}

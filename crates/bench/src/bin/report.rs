@@ -10,8 +10,11 @@
 
 use std::time::Duration;
 
-use art9_bench::{dmips_per_mhz, perf, translate};
+use art9_bench::{dmips_per_mhz, energy, perf, translate};
 use art9_core::{report, HardwareFramework, SoftwareFramework};
+use art9_hw::analyzer::analyze;
+use art9_hw::datapath::Datapath;
+use art9_hw::tech::cntfet32;
 use ternary::{Trit, ALL_TRITS};
 use workloads::batch::{BatchRunner, SimConfig};
 use workloads::{dhrystone, paper_suite};
@@ -47,6 +50,7 @@ fn main() {
     let batch = BatchRunner::new()
         .workloads(paper_suite())
         .configs(SimConfig::FULL_MATRIX)
+        .measure_energy(true)
         .run();
     assert_eq!(
         batch.failures(),
@@ -132,6 +136,31 @@ fn main() {
     println!("\n=== Table IV ===\n{}", report::table4(&e));
     println!("=== Table V ===\n{}", report::table5(&e));
 
+    // ---- Measured Table IV: dynamic energy from execution --------------
+    // The batch above ran with energy measurement on, so each pipelined
+    // cell already carries its EnergyAccounting snapshot — no
+    // re-simulation. The measured trit flips go through the same
+    // cntfet-32nm table as the static estimate above (model and schema
+    // in docs/ENERGY.md).
+    let analysis = analyze(&Datapath::art9(), &cntfet32());
+    let lib = cntfet32();
+    let energy_rows: Vec<energy::EnergyRow> = paper_suite()
+        .iter()
+        .map(|w| {
+            let r = cell(w.name, PIPELINED);
+            let m = workloads::energy::MeasuredActivity {
+                workload: w.name,
+                cycles: r.cycles.expect("pipelined run is timed"),
+                instructions: r.instructions,
+                accounting: r.energy.clone().expect("batch ran with energy measurement"),
+            };
+            let iters = (w.name == "dhrystone").then_some(iterations as u64);
+            energy::energy_row(&m, &analysis, &lib, iters)
+        })
+        .collect();
+    println!("\n=== Measured Table IV: dynamic energy from execution ===");
+    print!("{}", energy::render(&energy_rows));
+
     println!("per-block gate counts:");
     for (name, gates) in hw.datapath().block_summary() {
         println!("  {name:<20} {gates}");
@@ -173,7 +202,7 @@ fn main() {
             speedup
         );
     }
-    let json = perf::bench_json(&word_ops, &sims);
+    let json = perf::bench_json(&word_ops, &sims, &energy_rows);
     std::fs::write("BENCH_ternary.json", &json).expect("write BENCH_ternary.json");
     println!("wrote BENCH_ternary.json");
 }

@@ -6,7 +6,10 @@
 //! `pipelined_cps`) regressed by more than the allowed fraction.
 //! `threaded_ips` is optional so baselines committed before the
 //! direct-threaded backend existed still parse; once a baseline
-//! carries it, dropping it from the current document fails the gate. Word-operation timings are reported
+//! carries it, dropping it from the current document fails the gate.
+//! The measured-energy section (`energy_nj` up, `dmips_per_watt`
+//! down = regression) is pinned the same way: absent from older
+//! baselines, gated once committed. Word-operation timings are reported
 //! but not gated — they are nanosecond-scale and too noisy on shared
 //! CI runners; the whole-simulator rates integrate over millions of
 //! operations and are the metrics PR 2's history is recorded in.
@@ -37,11 +40,26 @@ pub struct SimRow {
     pub pipelined_cps: f64,
 }
 
+/// One energy row from a bench document's `energy` section.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyGateRow {
+    /// Workload name.
+    pub workload: String,
+    /// Total dynamic switching energy of the measured run, nJ.
+    pub energy_nj: f64,
+    /// Measured DMIPS/W (present on Dhrystone rows only).
+    pub dmips_per_watt: Option<f64>,
+}
+
 /// The gated contents of one `BENCH_ternary.json`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchDoc {
     /// One row per workload.
     pub simulators: Vec<SimRow>,
+    /// Measured-energy rows (empty for baselines committed before the
+    /// energy section existed; once a baseline carries it, the section
+    /// is pinned).
+    pub energy: Vec<EnergyGateRow>,
 }
 
 /// One metric comparison.
@@ -56,7 +74,9 @@ pub struct MetricDelta {
 }
 
 impl MetricDelta {
-    /// Relative change: positive = faster, negative = slower.
+    /// Relative change: positive = the value went up, negative = it
+    /// went down. Whether up is good depends on the metric (throughput:
+    /// up is good; `energy_nj`: down is good).
     pub fn ratio(&self) -> f64 {
         self.current / self.baseline - 1.0
     }
@@ -106,16 +126,16 @@ impl GateResult {
         if self.regressions.is_empty() {
             let _ = writeln!(
                 out,
-                "gate: OK (no throughput metric regressed more than {:.0}%)",
+                "gate: OK (no gated metric regressed more than {:.0}%)",
                 max_regress * 100.0
             );
         } else {
             for d in &self.regressions {
                 let _ = writeln!(
                     out,
-                    "gate: REGRESSION {} fell {:.1}% (limit {:.0}%)",
+                    "gate: REGRESSION {} moved {:+.1}% (limit {:.0}%)",
                     d.name,
-                    -d.ratio() * 100.0,
+                    d.ratio() * 100.0,
                     max_regress * 100.0
                 );
             }
@@ -165,6 +185,42 @@ pub fn compare(baseline: &BenchDoc, current: &BenchDoc, max_regress: f64) -> Gat
             deltas.push(delta);
         }
     }
+    // Pin-once, like threaded_ips: a baseline without the energy
+    // section gates nothing here; one that carries it fails the gate
+    // when a row (or the whole section) silently disappears.
+    for base in &baseline.energy {
+        let Some(cur) = current.energy.iter().find(|r| r.workload == base.workload) else {
+            missing.push(format!("{}/energy", base.workload));
+            continue;
+        };
+        // The simulation is deterministic, so measured energy should be
+        // bit-stable; the threshold only tolerates intentional model
+        // retunes inside the allowed band. More energy = regression.
+        let delta = MetricDelta {
+            name: format!("{}/energy_nj", base.workload),
+            baseline: base.energy_nj,
+            current: cur.energy_nj,
+        };
+        if cur.energy_nj > base.energy_nj * (1.0 + max_regress) {
+            regressions.push(delta.clone());
+        }
+        deltas.push(delta);
+        match (base.dmips_per_watt, cur.dmips_per_watt) {
+            (Some(b), Some(c)) => {
+                let delta = MetricDelta {
+                    name: format!("{}/dmips_per_watt", base.workload),
+                    baseline: b,
+                    current: c,
+                };
+                if c < b * (1.0 - max_regress) {
+                    regressions.push(delta.clone());
+                }
+                deltas.push(delta);
+            }
+            (Some(_), None) => missing.push(format!("{}/dmips_per_watt", base.workload)),
+            (None, _) => {}
+        }
+    }
     GateResult {
         deltas,
         regressions,
@@ -195,7 +251,26 @@ pub fn parse_bench_json(text: &str) -> Result<BenchDoc, String> {
     if simulators.is_empty() {
         return Err("empty \"simulators\" array".into());
     }
-    Ok(BenchDoc { simulators })
+    // The energy section postdates the simulators section: absent in
+    // older documents, required-well-formed when present. The key
+    // search cannot false-positive on row fields like "energy_nj"
+    // because the pattern includes the closing quote.
+    let mut energy = Vec::new();
+    if let Some(array) = section(text, "\"energy\"") {
+        for obj in objects(array) {
+            energy.push(EnergyGateRow {
+                workload: string_field(obj, "workload")
+                    .ok_or_else(|| format!("energy row without \"workload\": {obj}"))?,
+                energy_nj: number_field(obj, "energy_nj")
+                    .ok_or_else(|| format!("energy row without \"energy_nj\": {obj}"))?,
+                dmips_per_watt: number_field(obj, "dmips_per_watt"),
+            });
+        }
+        if energy.is_empty() {
+            return Err("empty \"energy\" array".into());
+        }
+    }
+    Ok(BenchDoc { simulators, energy })
 }
 
 /// The bracketed `[...]` contents following `key`.
@@ -268,7 +343,28 @@ mod tests {
                     pipelined_cps: r.pipelined_cps * p_scale,
                 })
                 .collect(),
+            energy: Vec::new(),
         }
+    }
+
+    /// `doc()` with an energy section: one plain row and one Dhrystone
+    /// row carrying DMIPS/W, both scaled by `e_scale`.
+    fn doc_with_energy(e_scale: f64) -> BenchDoc {
+        let mut d = doc(1.0, 1.0);
+        d.energy = vec![
+            EnergyGateRow {
+                workload: "bubble-sort".into(),
+                energy_nj: 120.0 * e_scale,
+                dmips_per_watt: None,
+            },
+            EnergyGateRow {
+                workload: "dhrystone".into(),
+                energy_nj: 540.0 * e_scale,
+                // DMIPS/W moves inversely with energy at fixed runtime.
+                dmips_per_watt: Some(7.0e6 / e_scale),
+            },
+        ];
+        d
     }
 
     /// `doc()` with the threaded metric populated at `t_scale` times
@@ -301,6 +397,12 @@ mod tests {
         // The committed baseline carries the threaded metric, so the
         // gate actually exercises it on every CI run.
         assert!(d.simulators.iter().all(|r| r.threaded_ips.is_some()));
+        // Likewise the measured-energy section: all four paper kernels,
+        // DMIPS/W pinned on the Dhrystone row.
+        assert_eq!(d.energy.len(), 4);
+        assert!(d.energy.iter().all(|r| r.energy_nj > 0.0));
+        let dhry = d.energy.iter().find(|r| r.workload == "dhrystone").unwrap();
+        assert!(dhry.dmips_per_watt.unwrap() > 0.0);
     }
 
     #[test]
@@ -337,6 +439,74 @@ mod tests {
         assert!(!r.ok());
         assert!(r.missing.iter().any(|m| m == "bubble-sort/threaded_ips"));
         assert!(r.render(0.25).contains("MISSING"));
+    }
+
+    #[test]
+    fn parses_an_energy_section() {
+        let text = r#"{
+  "simulators": [
+    {"workload": "gemm", "functional_ips": 6.19e7, "pipelined_cps": 2.12e7}
+  ],
+  "energy": [
+    {"workload": "gemm", "cycles": 120, "instructions": 90, "energy_nj": 1.25e2, "epi_pj": 1.4, "dynamic_uw": 3.0, "total_uw": 4.5},
+    {"workload": "dhrystone", "energy_nj": 5.4e2, "dmips_per_watt": 7.5e6}
+  ]
+}"#;
+        let d = parse_bench_json(text).unwrap();
+        assert_eq!(d.energy.len(), 2);
+        assert!((d.energy[0].energy_nj - 125.0).abs() < 1e-9);
+        assert_eq!(d.energy[0].dmips_per_watt, None);
+        assert!((d.energy[1].dmips_per_watt.unwrap() - 7.5e6).abs() < 1.0);
+        // Pre-energy documents parse to an empty (ungated) section.
+        assert!(parse_bench_json(SAMPLE).unwrap().energy.is_empty());
+        // A present-but-malformed section is rejected, not ignored.
+        let bad = text.replace("\"energy_nj\": 1.25e2, ", "");
+        assert!(parse_bench_json(&bad).is_err());
+    }
+
+    #[test]
+    fn energy_increase_fails_and_decrease_passes() {
+        let base = doc_with_energy(1.0);
+        // 10% more energy (and correspondingly lower DMIPS/W): within
+        // the 25% band, passes.
+        let r = compare(&base, &doc_with_energy(1.1), 0.25);
+        assert!(r.ok(), "{}", r.render(0.25));
+        assert_eq!(r.deltas.len(), 4 + 3); // sims + 2 energy + 1 dpw
+                                           // 50% more energy: both the energy and the DMIPS/W gate trip.
+        let r = compare(&base, &doc_with_energy(1.5), 0.25);
+        assert!(!r.ok());
+        assert!(r
+            .regressions
+            .iter()
+            .any(|d| d.name == "bubble-sort/energy_nj"));
+        assert!(r
+            .regressions
+            .iter()
+            .any(|d| d.name == "dhrystone/dmips_per_watt"));
+        assert!(r.render(0.25).contains("REGRESSION"));
+        // Energy going *down* is an improvement, not a regression.
+        let r = compare(&base, &doc_with_energy(0.5), 0.25);
+        assert!(r.ok(), "{}", r.render(0.25));
+    }
+
+    #[test]
+    fn dropping_the_energy_section_fails_once_pinned() {
+        let base = doc_with_energy(1.0);
+        // Current regenerated without the energy section entirely.
+        let r = compare(&base, &doc(1.0, 1.0), 0.25);
+        assert!(!r.ok());
+        assert!(r.missing.iter().any(|m| m == "bubble-sort/energy"));
+        assert!(r.missing.iter().any(|m| m == "dhrystone/energy"));
+        // Dropping just the DMIPS/W pin fails too.
+        let mut current = doc_with_energy(1.0);
+        current.energy[1].dmips_per_watt = None;
+        let r = compare(&base, &current, 0.25);
+        assert!(!r.ok());
+        assert!(r.missing.iter().any(|m| m == "dhrystone/dmips_per_watt"));
+        // A pre-energy baseline gates nothing against an energy-bearing
+        // current document.
+        let r = compare(&doc(1.0, 1.0), &doc_with_energy(1.0), 0.25);
+        assert!(r.ok(), "{}", r.render(0.25));
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! both reproduces the evaluation and tracks the simulator's own
 //! performance.
 
+pub mod energy;
 pub mod gate;
 
 use art9_compiler::Translation;
@@ -322,8 +323,12 @@ pub mod perf {
 
     /// Renders the measurements as the `BENCH_ternary.json` document
     /// (schema `art9-bench-ternary/v1`, described in
-    /// `docs/PERFORMANCE.md`).
-    pub fn bench_json(word_ops: &[WordOp], sims: &[SimThroughput]) -> String {
+    /// `docs/PERFORMANCE.md`; the `energy` section in `docs/ENERGY.md`).
+    pub fn bench_json(
+        word_ops: &[WordOp],
+        sims: &[SimThroughput],
+        energy: &[crate::energy::EnergyRow],
+    ) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
         out.push_str("{\n");
@@ -376,6 +381,36 @@ pub mod perf {
             }
             let _ = writeln!(out, "}}{comma}");
         }
+        if energy.is_empty() {
+            out.push_str("  ]\n}\n");
+            return out;
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"energy\": [\n");
+        for (i, r) in energy.iter().enumerate() {
+            let comma = if i + 1 < energy.len() { "," } else { "" };
+            let _ = write!(
+                out,
+                "    {{\"workload\": \"{}\", \"cycles\": {}, \"instructions\": {}, \
+                 \"energy_nj\": {:.6e}, \"epi_pj\": {:.6e}",
+                r.workload, r.cycles, r.instructions, r.energy_nj, r.epi_pj
+            );
+            for (class, epi) in art9_hw::activity::ALL_CLASSES.iter().zip(r.class_epi_pj) {
+                let _ = write!(out, ", \"epi_{}_pj\": {epi:.6e}", class.name());
+            }
+            let _ = write!(
+                out,
+                ", \"dynamic_uw\": {:.6e}, \"total_uw\": {:.6e}",
+                r.dynamic_uw, r.total_uw
+            );
+            if let (Some(dmips), Some(dpw)) = (r.dmips, r.dmips_per_watt) {
+                let _ = write!(
+                    out,
+                    ", \"dmips\": {dmips:.4e}, \"dmips_per_watt\": {dpw:.4e}"
+                );
+            }
+            let _ = writeln!(out, "}}{comma}");
+        }
         out.push_str("  ]\n}\n");
         out
     }
@@ -414,17 +449,40 @@ pub mod perf {
                 threaded_ips: 2.2e8,
                 pipelined_cps: 2.1e7,
             }];
-            let json = bench_json(&ops, &sims);
+            let energy = vec![crate::energy::EnergyRow {
+                workload: "dhrystone",
+                cycles: 120,
+                instructions: 100,
+                energy_nj: 1.5e-3,
+                epi_pj: 1.5e-2,
+                class_epi_pj: [0.016, 0.014, 0.012, 0.02, 0.018],
+                dynamic_uw: 3.0,
+                total_uw: 20.0,
+                dmips: Some(150.0),
+                dmips_per_watt: Some(7.5e6),
+            }];
+            let json = bench_json(&ops, &sims, &energy);
             assert!(json.contains("\"schema\": \"art9-bench-ternary/v1\""));
             assert!(json.contains("\"functional_speedup\""));
             assert!(json.contains("\"threaded_ips\""));
             assert!(json.contains("\"threaded_speedup_vs_functional\": 3.33"));
+            assert!(json.contains("\"energy\""));
+            assert!(json.contains("\"energy_nj\""));
+            assert!(json.contains("\"epi_alu_pj\""));
+            assert!(json.contains("\"epi_control_pj\""));
+            assert!(json.contains("\"dmips_per_watt\": 7.5000e6"));
             assert_eq!(
                 json.matches('{').count(),
                 json.matches('}').count(),
                 "unbalanced braces:\n{json}"
             );
             assert_eq!(json.matches('[').count(), json.matches(']').count());
+
+            // Without energy rows the section is omitted entirely (the
+            // shape pre-energy baselines have).
+            let bare = bench_json(&ops, &sims, &[]);
+            assert!(!bare.contains("\"energy\""));
+            assert_eq!(bare.matches('{').count(), bare.matches('}').count());
         }
     }
 }

@@ -176,8 +176,12 @@ impl FuzzReport {
         );
         let _ = writeln!(
             out,
-            "{} roundtrip checks, {} arithmetic checks | digest {:016x}",
-            self.stats.roundtrip_checks, self.stats.arith_checks, self.digest
+            "{} roundtrip checks, {} arithmetic checks, {} energy flips cross-checked | \
+             digest {:016x}",
+            self.stats.roundtrip_checks,
+            self.stats.arith_checks,
+            self.stats.energy_flips,
+            self.digest
         );
         if self.stats.cosim_sync_points > 0 {
             let _ = writeln!(

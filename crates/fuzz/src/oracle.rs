@@ -26,7 +26,10 @@
 //! [`SimBuilder`](art9_sim::SimBuilder) — the oracles contain no
 //! backend-specific construction.
 
-use art9_isa::{assemble, decode, disassemble_word, encode, Program, ALL_REGS};
+use std::sync::{Arc, Mutex};
+
+use art9_isa::{assemble, decode, disassemble_word, encode, Instruction, Program, ALL_REGS};
+use art9_sim::observers::EnergyAccounting;
 use art9_sim::{Backend, Budget, Core, CoreState, HaltReason, PredecodedProgram, SimBuilder};
 use ternary::{arith, Trit, Trits, Word9};
 
@@ -54,6 +57,12 @@ pub enum Oracle {
     PipelinedForwarding,
     /// Pipelined simulator (forwarding off) vs functional, at halt.
     PipelinedNoForwarding,
+    /// Trit-flip energy accounting: the same program measured on the
+    /// functional simulator with the packed (`flips_from`) flip kernel
+    /// and on the per-trit reference simulator with the tritwise flip
+    /// reference — every per-opcode, per-structure flip counter must be
+    /// bit-identical.
+    Energy,
     /// encode → decode → disassemble → reassemble roundtrip.
     ToolchainRoundtrip,
     /// Packed bitplane kernels vs the tritwise reference algorithms.
@@ -66,9 +75,10 @@ pub enum Oracle {
 
 impl Oracle {
     /// Every oracle, in campaign order.
-    pub const ALL: [Oracle; 7] = [
+    pub const ALL: [Oracle; 8] = [
         Oracle::FunctionalVsReference,
         Oracle::FunctionalVsThreaded,
+        Oracle::Energy,
         Oracle::PipelinedForwarding,
         Oracle::PipelinedNoForwarding,
         Oracle::ToolchainRoundtrip,
@@ -82,6 +92,7 @@ impl Oracle {
         match self {
             Oracle::FunctionalVsReference => "functional-vs-reference",
             Oracle::FunctionalVsThreaded => "functional-vs-threaded",
+            Oracle::Energy => "energy",
             Oracle::PipelinedForwarding => "pipelined-fwd",
             Oracle::PipelinedNoForwarding => "pipelined-nofwd",
             Oracle::ToolchainRoundtrip => "toolchain-roundtrip",
@@ -150,6 +161,10 @@ pub struct OracleStats {
     pub roundtrip_checks: u64,
     /// Individual arithmetic cross-checks performed.
     pub arith_checks: u64,
+    /// Trit flips cross-checked by the energy oracle (packed total;
+    /// the tritwise side counted the same number when the oracle
+    /// passed).
+    pub energy_flips: u64,
     /// RV32 instructions the compiler-lockstep oracle retired.
     pub cosim_rv32_instructions: u64,
     /// ART-9 instructions the compiler-lockstep oracle retired.
@@ -166,6 +181,7 @@ impl OracleStats {
         self.pipelined_cycles += other.pipelined_cycles;
         self.roundtrip_checks += other.roundtrip_checks;
         self.arith_checks += other.arith_checks;
+        self.energy_flips += other.energy_flips;
         self.cosim_rv32_instructions += other.cosim_rv32_instructions;
         self.cosim_art9_instructions += other.cosim_art9_instructions;
         self.cosim_sync_points += other.cosim_sync_points;
@@ -320,19 +336,25 @@ pub fn check_program_filtered(
     let run_nofwd = enabled(Oracle::PipelinedNoForwarding);
     let run_lockstep = enabled(Oracle::FunctionalVsReference);
     let run_threaded = enabled(Oracle::FunctionalVsThreaded);
-    if !(run_lockstep || run_fwd || run_nofwd || run_threaded) {
+    let run_energy = enabled(Oracle::Energy);
+    if !(run_lockstep || run_fwd || run_nofwd || run_threaded || run_energy) {
         return (stats, None);
     }
 
     let image = PredecodedProgram::new(program);
     let builder = SimBuilder::new(&image).tdm_words(ORACLE_TDM_WORDS);
 
-    // The threaded oracle is self-contained (its own functional
-    // baseline, both threaded execution paths), so a threaded-only
-    // filter skips everything else.
+    // The threaded and energy oracles are self-contained (each runs its
+    // own pair of simulators), so a filter selecting only them skips
+    // everything else.
     if !(run_lockstep || run_fwd || run_nofwd) {
         if run_threaded {
             if let Some(d) = threaded_oracle(&builder, step_budget, &mut stats) {
+                return (stats, Some(d));
+            }
+        }
+        if run_energy {
+            if let Some(d) = energy_oracle(&builder, step_budget, &mut stats) {
                 return (stats, Some(d));
             }
         }
@@ -406,6 +428,13 @@ pub fn check_program_filtered(
     // --- Functional vs direct-threaded, in campaign order ------------
     if run_threaded {
         if let Some(d) = threaded_oracle(&builder, step_budget, &mut stats) {
+            return (stats, Some(d));
+        }
+    }
+
+    // --- Differential energy accounting ------------------------------
+    if run_energy {
+        if let Some(d) = energy_oracle(&builder, step_budget, &mut stats) {
             return (stats, Some(d));
         }
     }
@@ -548,6 +577,102 @@ fn threaded_oracle(
     }
     if let Some(d) = func.state().first_difference(hot.state()) {
         return fail(format!("fused run final state: {d}"));
+    }
+    None
+}
+
+/// The differential energy oracle: the same program runs on the
+/// functional simulator with an [`EnergyAccounting`] observer using
+/// the packed `flips_from` kernel, and on the per-trit reference
+/// simulator with an observer using the tritwise flip reference
+/// ([`arith::flips_tritwise`]). Both the flip *counting* and the
+/// write-back event stream feeding it are thereby cross-checked — a
+/// backend that mis-reports a write-back value, or a packed XOR that
+/// miscounts flips, shows up as a per-opcode counter mismatch.
+fn energy_oracle(
+    builder: &SimBuilder,
+    step_budget: u64,
+    stats: &mut OracleStats,
+) -> Option<Divergence> {
+    let fail = |detail: String| {
+        Some(Divergence {
+            oracle: Oracle::Energy,
+            detail,
+        })
+    };
+    let packed = Arc::new(Mutex::new(EnergyAccounting::new()));
+    let tritwise = Arc::new(Mutex::new(EnergyAccounting::with_flip_fn(|next, prev| {
+        arith::flips_tritwise(next, prev)
+    })));
+    let mut func = builder.clone().observer(packed.clone()).build_functional();
+    let mut reference = builder.clone().observer(tritwise.clone()).build_reference();
+
+    // The energy comparison is meaningful only over identical
+    // executions; architectural divergence is the functional-vs-
+    // reference oracle's finding, but it would cascade here, so report
+    // it under this oracle too rather than comparing garbage.
+    let run = |core: &mut dyn Core, side: &str| match core.run_for(Budget::Steps(step_budget)) {
+        Ok(summary) => match summary.halt {
+            Some(h) => Ok(h),
+            None => Err(fail(format!(
+                "{side} run {} {step_budget} steps",
+                Divergence::BUDGET_MARKER
+            ))),
+        },
+        Err(e) => Err(fail(format!("{side} run faulted: {e}"))),
+    };
+    let halt_f = match run(&mut func, "functional") {
+        Ok(h) => h,
+        Err(d) => return d,
+    };
+    let halt_r = match run(&mut reference, "reference") {
+        Ok(h) => h,
+        Err(d) => return d,
+    };
+    if halt_f != halt_r {
+        return fail(format!(
+            "halt reason {halt_f:?} (functional) vs {halt_r:?} (reference)"
+        ));
+    }
+
+    let packed = packed.lock().expect("observer lock");
+    let tritwise = tritwise.lock().expect("observer lock");
+    if let Some(d) = activity_difference(&packed, &tritwise) {
+        return fail(d);
+    }
+    let t = packed.totals();
+    stats.energy_flips += t.regfile + t.tdm + t.fetch + t.alu;
+    None
+}
+
+/// The first per-opcode, per-structure difference between two energy
+/// accountings, named (`None` when bit-identical).
+fn activity_difference(packed: &EnergyAccounting, tritwise: &EnergyAccounting) -> Option<String> {
+    for (opcode, (p, t)) in packed
+        .per_opcode()
+        .iter()
+        .zip(tritwise.per_opcode())
+        .enumerate()
+    {
+        if p == t {
+            continue;
+        }
+        let mnemonic = Instruction::MNEMONICS[opcode];
+        let structures = [
+            ("retired", p.retired, t.retired),
+            ("regfile", p.regfile, t.regfile),
+            ("tdm", p.tdm, t.tdm),
+            ("fetch", p.fetch, t.fetch),
+            ("alu", p.alu, t.alu),
+        ];
+        for (name, a, b) in structures {
+            if a != b {
+                return Some(format!(
+                    "{mnemonic}: {name} flips {a} (packed) vs {b} (tritwise)"
+                ));
+            }
+        }
+        unreachable!("unequal OpcodeActivity with equal fields");
     }
     None
 }
@@ -738,6 +863,7 @@ mod tests {
             assert!(stats.functional_instructions > 0);
             assert!(stats.threaded_instructions > 0);
             assert!(stats.pipelined_cycles > 0);
+            assert!(stats.energy_flips > 0);
             assert!(stats.roundtrip_checks as usize >= p.text().len());
         }
     }
@@ -767,6 +893,57 @@ mod tests {
         let d = d.expect("budget divergence");
         assert_eq!(d.oracle, Oracle::FunctionalVsThreaded);
         assert!(d.is_budget_exhaustion());
+    }
+
+    #[test]
+    fn energy_oracle_is_clean_on_generated_programs() {
+        // Filtered to the energy oracle: packed and tritwise flip
+        // accounting agree bit-for-bit on random programs, and nothing
+        // else runs.
+        let cfg = GenConfig::default();
+        for i in 0..6 {
+            let p = generate(&mut FuzzRng::for_iteration(7, i), &cfg);
+            let budget = crate::gen::step_budget(&cfg);
+            let (stats, d) = check_program_filtered(&p, budget, Some(Oracle::Energy));
+            assert!(d.is_none(), "iteration {i}: {}", d.unwrap());
+            assert!(stats.energy_flips > 0, "iteration {i} counted no flips");
+            assert_eq!(stats.pipelined_cycles, 0);
+            assert_eq!(stats.roundtrip_checks, 0);
+            assert_eq!(stats.threaded_instructions, 0);
+        }
+    }
+
+    #[test]
+    fn energy_oracle_reports_budget_exhaustion() {
+        let p = art9_isa::assemble("a: NOP\nJAL t0, a\n").unwrap();
+        let (_, d) = check_program_filtered(&p, 100, Some(Oracle::Energy));
+        let d = d.expect("budget divergence");
+        assert_eq!(d.oracle, Oracle::Energy);
+        assert!(d.is_budget_exhaustion());
+    }
+
+    #[test]
+    fn activity_difference_detects_a_planted_flip_miscount() {
+        // Run the same program under a correct and a deliberately
+        // off-by-one flip kernel: the comparator must name the opcode
+        // and the structure, proving the detection path is live.
+        fn off_by_one(next: Word9, prev: Word9) -> u32 {
+            next.flips_from(&prev) + 1
+        }
+        let p = art9_isa::assemble("LI t3, 5\nJAL t0, 0\n").unwrap();
+        let run = |flip: fn(Word9, Word9) -> u32| {
+            let acc = Arc::new(Mutex::new(EnergyAccounting::with_flip_fn(flip)));
+            let mut sim = SimBuilder::new(&p).observer(acc.clone()).build_functional();
+            sim.run(100).unwrap();
+            let snapshot = acc.lock().unwrap().clone();
+            snapshot
+        };
+        let good = run(|next, prev| next.flips_from(&prev));
+        let bad = run(off_by_one);
+        assert_eq!(activity_difference(&good, &good), None);
+        let d = activity_difference(&good, &bad).expect("difference detected");
+        assert!(d.contains("LI") || d.contains("JAL"), "{d}");
+        assert!(d.contains("packed") && d.contains("tritwise"), "{d}");
     }
 
     #[test]

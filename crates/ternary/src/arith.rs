@@ -119,6 +119,34 @@ pub fn mul_tritwise<const N: usize>(a: Trits<N>, b: Trits<N>) -> Trits<N> {
     acc
 }
 
+/// Trit-serial switching-activity count: compares the words one trit at
+/// a time — the per-trit reference for the packed XOR+popcount behind
+/// [`Trits::flips_from`](crate::Trits::flips_from), used by the
+/// differential energy oracle in `art9-fuzz`.
+///
+/// # Examples
+///
+/// ```
+/// use ternary::{arith, Word9};
+///
+/// let a = Word9::from_i64(8)?;
+/// let b = Word9::from_i64(-8)?;
+/// assert_eq!(arith::flips_tritwise(a, b), a.flips_from(&b));
+/// assert_eq!(arith::flips_tritwise(a, a), 0);
+/// # Ok::<(), ternary::TernaryError>(())
+/// ```
+pub fn flips_tritwise<const N: usize>(next: Trits<N>, prev: Trits<N>) -> u32 {
+    let nt = next.trits();
+    let pt = prev.trits();
+    let mut flips = 0u32;
+    for i in 0..N {
+        if nt[i] != pt[i] {
+            flips += 1;
+        }
+    }
+    flips
+}
+
 /// Restoring long division in the trit domain, truncating toward zero
 /// (matching [`Trits::div_rem`](crate::Trits::div_rem)).
 ///
@@ -258,6 +286,17 @@ mod tests {
                 let (q, r) = div_rem_tritwise(wa, wb).unwrap();
                 assert_eq!(q.to_i64(), a / b, "{a} / {b}");
                 assert_eq!(r.to_i64(), a % b, "{a} % {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn flips_match_packed_count() {
+        for a in [-9841i64, -4921, -1, 0, 1, 123, 9841] {
+            for b in [-9841i64, -123, 0, 1, 4921, 9841] {
+                let wa = Word9::from_i64(a).unwrap();
+                let wb = Word9::from_i64(b).unwrap();
+                assert_eq!(flips_tritwise(wa, wb), wa.flips_from(&wb), "{a} vs {b}");
             }
         }
     }

@@ -720,6 +720,35 @@ impl<const N: usize> Trits<N> {
         }
     }
 
+    /// Number of trit positions whose value differs from `prev` — the
+    /// switching activity a register or bus holding `prev` exhibits when
+    /// it is overwritten with `self`.
+    ///
+    /// On the packed representation a trit differs exactly when either
+    /// bitplane differs at its position (the balanced encoding is
+    /// unique), so the count is one XOR + OR + popcount — the same
+    /// differing-trit mask [`Ord::cmp`] scans. This is the primitive the
+    /// dynamic energy model (`art9-hw`) is built on; the per-trit
+    /// reference it is property-tested against is
+    /// [`crate::arith::flips_tritwise`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ternary::Word9;
+    ///
+    /// let a = Word9::from_i64(8)?;  // 000000+0-
+    /// assert_eq!(a.flips_from(&a), 0);
+    /// assert_eq!(a.flips_from(&Word9::ZERO), 2); // trits 0 and 2 switch
+    /// assert_eq!(Word9::MAX.flips_from(&Word9::MIN), 9); // every trit
+    /// # Ok::<(), ternary::TernaryError>(())
+    /// ```
+    #[inline]
+    #[must_use]
+    pub fn flips_from(&self, prev: &Self) -> u32 {
+        (((self.pos ^ prev.pos) | (self.neg ^ prev.neg)) & Self::MASK).count_ones()
+    }
+
     /// The COMP result of the paper (§IV-A): a word whose every-trit value
     /// is the comparison sign — zero when equal, +1 when `self > rhs`,
     /// −1 when `self < rhs` — so its LST is the 1-trit branch condition.
@@ -1072,6 +1101,26 @@ mod tests {
                     assert_eq!(wa.nti().trit(i), wa.trit(i).nti());
                     assert_eq!(wa.pti().trit(i), wa.trit(i).pti());
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn flips_count_differing_trits() {
+        let a = Word9::from_i64(8).unwrap(); // 000000+0-
+        assert_eq!(a.flips_from(&a), 0);
+        assert_eq!(a.flips_from(&Word9::ZERO), 2);
+        assert_eq!(Word9::ZERO.flips_from(&a), 2); // symmetric
+        assert_eq!(Word9::MAX.flips_from(&Word9::MIN), 9);
+        // −8 = 000000-0+: both nonzero trits swap sign, both count.
+        assert_eq!(a.flips_from(&a.negate()), 2);
+        // Exhaustive against the unpacked definition on a 3-trit word.
+        for x in -13i64..=13 {
+            for y in -13i64..=13 {
+                let wx = Trits::<3>::from_i64(x).unwrap();
+                let wy = Trits::<3>::from_i64(y).unwrap();
+                let expect = (0..3).filter(|&i| wx.trit(i) != wy.trit(i)).count() as u32;
+                assert_eq!(wx.flips_from(&wy), expect, "{x} vs {y}");
             }
         }
     }

@@ -234,6 +234,31 @@ proptest! {
     }
 
     #[test]
+    fn packed_flips_agree_with_tritwise_reference(a in word9(), b in word9()) {
+        prop_assert_eq!(a.flips_from(&b), ternary::arith::flips_tritwise(a, b));
+        prop_assert_eq!(a.flips_from(&b), b.flips_from(&a)); // symmetric
+        prop_assert_eq!(a.flips_from(&a), 0);
+    }
+
+    #[test]
+    fn packed_flips_agree_every_width(a in flip_operand(9841), b in flip_operand(9841)) {
+        // Every `Trits<N>` width the workspace instantiates (register
+        // indices, immediates, LI payloads, the machine word), with the
+        // operand pool biased toward the ±3^k carry/borrow corners where
+        // many trits change at once.
+        check_flips::<2>(a, b);
+        check_flips::<3>(a, b);
+        check_flips::<4>(a, b);
+        check_flips::<5>(a, b);
+        check_flips::<9>(a, b);
+    }
+
+    #[test]
+    fn flips_bounded_by_width(a in word9(), b in word9()) {
+        prop_assert!(a.flips_from(&b) <= 9);
+    }
+
+    #[test]
     fn tritwise_div_agrees_with_integer_div(
         a in word9(),
         b in word9().prop_filter("nonzero", |w| !w.is_zero())
@@ -243,6 +268,35 @@ proptest! {
         prop_assert_eq!(q, qi);
         prop_assert_eq!(r, ri);
     }
+}
+
+/// Operand strategy for the flips properties: uniform values mixed with
+/// the adversarial ±3^k corners (and their ±1 neighbours), where a
+/// single increment flips a long run of trits at once.
+fn flip_operand(max: i64) -> impl Strategy<Value = i64> {
+    let corners: Vec<i64> = (0..9)
+        .flat_map(|k| {
+            let p = pow3(k);
+            [p - 1, p, p + 1, -p + 1, -p, -p - 1]
+        })
+        .filter(move |v| v.abs() <= max)
+        .collect();
+    let len = corners.len();
+    prop_oneof![
+        3 => -max..=max,
+        2 => (0usize..len).prop_map(move |i| corners[i]),
+    ]
+}
+
+/// Pins packed `flips_from` to the per-trit reference at one width, with
+/// both operands wrapped into range like the datapath would.
+fn check_flips<const N: usize>(a: i64, b: i64) {
+    let wa = Trits::<N>::from_i64_wrapping(a);
+    let wb = Trits::<N>::from_i64_wrapping(b);
+    let packed = wa.flips_from(&wb);
+    let reference = ternary::arith::flips_tritwise(wa, wb);
+    assert_eq!(packed, reference, "width {N} with {a} vs {b}");
+    assert!(packed <= N as u32);
 }
 
 /// Helper used by `mul_matches_wrapped_integer_mul`: an i128 wrap without

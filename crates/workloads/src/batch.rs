@@ -28,10 +28,11 @@
 //! println!("{}", report.render());
 //! ```
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use art9_compiler::Translation;
+use art9_sim::observers::EnergyAccounting;
 use art9_sim::{Backend, Budget, PipelineStats, PredecodedProgram, SimBuilder, SimError};
 use rayon::prelude::*;
 use rv32::{PicoRv32Model, Rv32Program, VexRiscvModel};
@@ -131,6 +132,10 @@ pub struct RunRecord {
     pub instructions: u64,
     /// Full pipeline accounting for ART-9 pipelined runs.
     pub pipeline: Option<PipelineStats>,
+    /// Measured switching activity, for ART-9 runs when the runner was
+    /// built with [`BatchRunner::measure_energy`] (flip counts are
+    /// backend-independent; see `docs/ENERGY.md`).
+    pub energy: Option<EnergyAccounting>,
     /// Host wall-clock time spent simulating (excludes preparation).
     pub host_time: Duration,
     /// Outcome of the run.
@@ -301,6 +306,7 @@ pub struct BatchRunner {
     configs: Vec<SimConfig>,
     max_steps: u64,
     seed: Option<u64>,
+    measure_energy: bool,
 }
 
 impl Default for BatchRunner {
@@ -317,6 +323,7 @@ impl BatchRunner {
             configs: Vec::new(),
             max_steps: DEFAULT_MAX_STEPS,
             seed: None,
+            measure_energy: false,
         }
     }
 
@@ -347,6 +354,15 @@ impl BatchRunner {
     /// Overrides the per-run step/cycle budget.
     pub fn max_steps(mut self, n: u64) -> Self {
         self.max_steps = n;
+        self
+    }
+
+    /// Attaches an [`EnergyAccounting`] observer to every ART-9 run,
+    /// so each record carries the measured trit-flip activity of its
+    /// execution (`RunRecord::energy`). Off by default — the observer
+    /// costs one mutex round-trip per retired instruction.
+    pub fn measure_energy(mut self, on: bool) -> Self {
+        self.measure_energy = on;
         self
     }
 
@@ -443,9 +459,10 @@ impl BatchRunner {
                     .map(move |(wi, p)| (wi * n_cfg + ci, Arc::clone(p), *c))
             })
             .collect();
+        let measure_energy = self.measure_energy;
         let mut indexed: Vec<(usize, RunRecord)> = pairs
             .into_par_iter()
-            .map(|(idx, p, config)| (idx, execute(&p, config, max_steps)))
+            .map(|(idx, p, config)| (idx, execute(&p, config, max_steps, measure_energy)))
             .collect();
         indexed.sort_by_key(|(idx, _)| *idx);
         let runs = indexed.into_iter().map(|(_, r)| r).collect();
@@ -461,7 +478,7 @@ impl BatchRunner {
 }
 
 /// Runs one prepared workload under one configuration.
-fn execute(p: &Prepared, config: SimConfig, max_steps: u64) -> RunRecord {
+fn execute(p: &Prepared, config: SimConfig, max_steps: u64, measure_energy: bool) -> RunRecord {
     let name = p.workload.name;
     // Failure record; `host_time` is whatever the simulator burned
     // before erroring (zero when it never ran).
@@ -471,6 +488,7 @@ fn execute(p: &Prepared, config: SimConfig, max_steps: u64) -> RunRecord {
         cycles: None,
         instructions: 0,
         pipeline: None,
+        energy: None,
         host_time,
         outcome,
     };
@@ -500,10 +518,14 @@ fn execute(p: &Prepared, config: SimConfig, max_steps: u64) -> RunRecord {
                 }
             };
             let start = Instant::now();
-            let mut core = SimBuilder::new(image)
+            let mut builder = SimBuilder::new(image)
                 .backend(backend)
-                .forwarding(forwarding)
-                .build();
+                .forwarding(forwarding);
+            let energy = measure_energy.then(|| Arc::new(Mutex::new(EnergyAccounting::new())));
+            if let Some(e) = &energy {
+                builder = builder.observer(e.clone());
+            }
+            let mut core = builder.build();
             let summary = match core.run_for(Budget::Steps(max_steps)) {
                 Ok(s) => s,
                 Err(e) => return fail(RunOutcome::Error(e.to_string()), start.elapsed()),
@@ -526,6 +548,7 @@ fn execute(p: &Prepared, config: SimConfig, max_steps: u64) -> RunRecord {
                 cycles: stats.map(|s| s.cycles),
                 instructions: summary.retired,
                 pipeline: stats,
+                energy: energy.map(|e| e.lock().expect("observer lock").clone()),
                 host_time,
                 outcome,
             }
@@ -562,6 +585,7 @@ fn execute(p: &Prepared, config: SimConfig, max_steps: u64) -> RunRecord {
                 cycles: Some(report.cycles),
                 instructions: report.instructions,
                 pipeline: None,
+                energy: None,
                 host_time: start.elapsed(),
                 outcome,
             }
@@ -706,6 +730,38 @@ mod tests {
     }
 
     #[test]
+    fn measure_energy_attaches_activity_to_art9_records() {
+        let report = BatchRunner::new()
+            .workload(bubble_sort(8))
+            .configs([
+                SimConfig::Art9Pipelined { forwarding: true },
+                SimConfig::Rv32PicoRv32,
+            ])
+            .max_steps(10_000_000)
+            .measure_energy(true)
+            .run();
+        assert_eq!(report.failures(), 0, "{}", report.render());
+        let art9 = &report.runs[0];
+        let totals = art9
+            .energy
+            .as_ref()
+            .expect("ART-9 run carries measured activity")
+            .totals();
+        assert_eq!(totals.retired, art9.instructions);
+        assert!(totals.regfile + totals.tdm + totals.fetch + totals.alu > 0);
+        // Binary baselines have no trit-flip model.
+        assert!(report.runs[1].energy.is_none());
+
+        // Off by default: the hot path stays observer-free.
+        let quiet = BatchRunner::new()
+            .workload(bubble_sort(8))
+            .config(SimConfig::Art9Functional)
+            .max_steps(10_000_000)
+            .run();
+        assert!(quiet.runs[0].energy.is_none());
+    }
+
+    #[test]
     fn empty_and_zero_duration_reports_yield_finite_metrics() {
         // An empty report (no runs) must not produce NaN/inf.
         let empty = BatchReport {
@@ -734,6 +790,7 @@ mod tests {
             cycles: Some(0),
             instructions: 0,
             pipeline: None,
+            energy: None,
             host_time: Duration::ZERO,
             outcome: RunOutcome::Verified,
         };

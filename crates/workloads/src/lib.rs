@@ -27,6 +27,8 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod energy;
+
 mod bubble;
 mod dhrystone;
 mod extras;

@@ -1,0 +1,50 @@
+//! Dynamic energy accounting end to end: run a paper workload on the
+//! cycle-accurate pipelined core with the trit-flip observer attached,
+//! convert the measured switching activity through the CNTFET library,
+//! and print the measured Table IV row (model in docs/ENERGY.md).
+//!
+//! ```sh
+//! cargo run --release --example energy
+//! ```
+
+use art9_bench::energy::{class_counts, energy_row, render};
+use art9_hw::activity::ALL_CLASSES;
+use art9_hw::analyzer::analyze;
+use art9_hw::datapath::Datapath;
+use art9_hw::tech::cntfet32;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let iterations = 20;
+    let w = workloads::dhrystone(iterations);
+
+    // One verified pipelined run measures flips and cycles together.
+    let m = workloads::energy::measure_activity(&w)?;
+    let totals = m.accounting.totals();
+    println!(
+        "{}: {} instructions in {} cycles (CPI {:.2})",
+        m.workload,
+        m.instructions,
+        m.cycles,
+        m.cycles as f64 / m.instructions as f64
+    );
+    println!(
+        "switching activity: {} regfile + {} tdm + {} fetch + {} alu trit flips\n",
+        totals.regfile, totals.tdm, totals.fetch, totals.alu
+    );
+
+    println!("== flips by instruction class ==");
+    for (class, counts) in ALL_CLASSES.iter().zip(class_counts(&m)) {
+        println!(
+            "  {class:<8} {:>8} retired  {:>10} flips",
+            counts.retired,
+            counts.total_flips()
+        );
+    }
+
+    // The same cntfet-32nm table the static Table IV estimate uses.
+    let analysis = analyze(&Datapath::art9(), &cntfet32());
+    let row = energy_row(&m, &analysis, &cntfet32(), Some(iterations as u64));
+    println!("\n== measured Table IV row ==");
+    print!("{}", render(std::slice::from_ref(&row)));
+    Ok(())
+}
