@@ -126,6 +126,30 @@ impl PredecodedProgram {
         &self.data
     }
 
+    /// Content hash of the image (FNV-1a over the encoded TIM words
+    /// and the initial TDM words). Two programs hash equal exactly
+    /// when their instruction text and initial data are identical, so
+    /// a cache keyed on this value holds **one image per distinct
+    /// program** however many sessions submit it — the multi-tenant
+    /// analogue of the per-image `OnceLock` threaded-code cache.
+    pub fn content_hash(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |v: i64| {
+            for byte in v.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(0x1_0000_01b3);
+            }
+        };
+        eat(self.text.len() as i64);
+        for instr in self.text.iter() {
+            eat(art9_isa::encode(instr).to_i64());
+        }
+        for word in self.data.iter() {
+            eat(word.to_i64());
+        }
+        h
+    }
+
     /// Shared handle to the instruction image (O(1) clone).
     pub(crate) fn text_arc(&self) -> Arc<[Instruction]> {
         Arc::clone(&self.text)
@@ -185,6 +209,23 @@ mod tests {
         let clone = pd.clone();
         assert!(Arc::ptr_eq(&pd.text, &clone.text));
         assert!(Arc::ptr_eq(&pd.data, &clone.data));
+    }
+
+    #[test]
+    fn content_hash_tracks_text_and_data() {
+        let a = PredecodedProgram::new(&assemble("LI t3, 1\nJAL t0, 0\n").unwrap());
+        let same = PredecodedProgram::new(&assemble("LI t3, 1\nJAL t0, 0\n").unwrap());
+        assert_eq!(a.content_hash(), same.content_hash());
+        // A different instruction, different data, or a length change
+        // all move the hash.
+        let text = PredecodedProgram::new(&assemble("LI t3, 2\nJAL t0, 0\n").unwrap());
+        assert_ne!(a.content_hash(), text.content_hash());
+        let data = PredecodedProgram::new(
+            &assemble(".data\nv: .word 9\n.text\nLI t3, 1\nJAL t0, 0\n").unwrap(),
+        );
+        assert_ne!(a.content_hash(), data.content_hash());
+        let longer = PredecodedProgram::new(&assemble("LI t3, 1\nNOP\nJAL t0, 0\n").unwrap());
+        assert_ne!(a.content_hash(), longer.content_hash());
     }
 
     #[test]

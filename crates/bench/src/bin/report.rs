@@ -16,10 +16,10 @@ use art9_hw::analyzer::analyze;
 use art9_hw::datapath::Datapath;
 use art9_hw::tech::cntfet32;
 use ternary::{Trit, ALL_TRITS};
-use workloads::batch::{BatchRunner, SimConfig};
+use workloads::batch::{BatchRunner, ExecConfig};
 use workloads::{dhrystone, paper_suite};
 
-const PIPELINED: SimConfig = SimConfig::Art9Pipelined { forwarding: true };
+const PIPELINED: ExecConfig = ExecConfig::art9_pipelined(true);
 
 /// A named binary trit operation.
 type BinOp = (&'static str, fn(Trit, Trit) -> Trit);
@@ -49,7 +49,7 @@ fn main() {
     // ---- Batch simulation: every (workload, config) cell, once --------
     let batch = BatchRunner::new()
         .workloads(paper_suite())
-        .configs(SimConfig::FULL_MATRIX)
+        .configs(ExecConfig::FULL_MATRIX)
         .measure_energy(true)
         .run();
     assert_eq!(
@@ -58,7 +58,7 @@ fn main() {
         "batch contains failing runs:\n{}",
         batch.render()
     );
-    let cell = |w: &str, c: SimConfig| {
+    let cell = |w: &str, c: ExecConfig| {
         batch
             .find(w, c)
             .unwrap_or_else(|| panic!("batch is missing {w}/{}", c.name()))
@@ -76,7 +76,7 @@ fn main() {
         let art9 = cell(w.name, PIPELINED)
             .cycles
             .expect("pipelined run is timed");
-        let pico = cell(w.name, SimConfig::Rv32PicoRv32)
+        let pico = cell(w.name, ExecConfig::rv32_picorv32())
             .cycles
             .expect("cycle model is timed");
         println!(
@@ -104,11 +104,11 @@ fn main() {
         ("ART-9 (5-stage)", cell("dhrystone", PIPELINED)),
         (
             "VexRiscv (5-stage)",
-            cell("dhrystone", SimConfig::Rv32VexRiscv),
+            cell("dhrystone", ExecConfig::rv32_vexriscv()),
         ),
         (
             "PicoRV32 (non-pipe)",
-            cell("dhrystone", SimConfig::Rv32PicoRv32),
+            cell("dhrystone", ExecConfig::rv32_picorv32()),
         ),
     ];
     for (label, r) in rows {
@@ -202,7 +202,22 @@ fn main() {
             speedup
         );
     }
-    let json = perf::bench_json(&word_ops, &sims, &energy_rows);
+    // ---- Service scheduler throughput ---------------------------------
+    // An in-process multi-tenant load run (docs/SERVICE.md): hundreds
+    // of budget-sliced sessions over the full worker fleet, every one
+    // checked for exact completion.
+    println!("\n=== Service scheduler (multi-tenant load, see docs/SERVICE.md) ===");
+    let service = perf::measure_service(512);
+    println!(
+        "  {} sessions on {} workers: {:.1} sessions/s, {:.3e} retired i/s per worker",
+        service.sessions, service.workers, service.sessions_per_second, service.per_worker_ips
+    );
+    println!(
+        "  p99 slice {:.1}us, {} migrations, {} steals",
+        service.p99_slice_us, service.migrations, service.steals
+    );
+
+    let json = perf::bench_json(&word_ops, &sims, &energy_rows, Some(&service));
     std::fs::write("BENCH_ternary.json", &json).expect("write BENCH_ternary.json");
     println!("wrote BENCH_ternary.json");
 }

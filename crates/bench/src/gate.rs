@@ -9,7 +9,12 @@
 //! carries it, dropping it from the current document fails the gate.
 //! The measured-energy section (`energy_nj` up, `dmips_per_watt`
 //! down = regression) is pinned the same way: absent from older
-//! baselines, gated once committed. Word-operation timings are reported
+//! baselines, gated once committed. So is the `service` section
+//! (scheduler throughput from an in-process multi-tenant load run),
+//! except its `per_worker_ips` is gated at *twice* the allowed
+//! fraction — a threaded scheduler under a full worker fleet is far
+//! noisier on shared runners than a single-threaded simulator loop.
+//! Word-operation timings are reported
 //! but not gated — they are nanosecond-scale and too noisy on shared
 //! CI runners; the whole-simulator rates integrate over millions of
 //! operations and are the metrics PR 2's history is recorded in.
@@ -51,6 +56,14 @@ pub struct EnergyGateRow {
     pub dmips_per_watt: Option<f64>,
 }
 
+/// The service-scheduler row from a bench document's `service`
+/// section.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceGateRow {
+    /// Aggregate retired instructions per second per worker.
+    pub per_worker_ips: f64,
+}
+
 /// The gated contents of one `BENCH_ternary.json`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchDoc {
@@ -60,6 +73,9 @@ pub struct BenchDoc {
     /// energy section existed; once a baseline carries it, the section
     /// is pinned).
     pub energy: Vec<EnergyGateRow>,
+    /// Scheduler throughput (`None` for baselines committed before the
+    /// service existed; pinned once present).
+    pub service: Option<ServiceGateRow>,
 }
 
 /// One metric comparison.
@@ -221,6 +237,26 @@ pub fn compare(baseline: &BenchDoc, current: &BenchDoc, max_regress: f64) -> Gat
             (None, _) => {}
         }
     }
+    // Scheduler throughput, pin-once like the other late sections. The
+    // allowed regression is doubled: the multi-threaded scheduler's
+    // rate depends on how many of the fleet's workers the host actually
+    // ran concurrently, which shared CI runners vary far more than a
+    // single simulator loop.
+    match (&baseline.service, &current.service) {
+        (Some(base), Some(cur)) => {
+            let delta = MetricDelta {
+                name: "service/per_worker_ips".into(),
+                baseline: base.per_worker_ips,
+                current: cur.per_worker_ips,
+            };
+            if cur.per_worker_ips < base.per_worker_ips * (1.0 - (2.0 * max_regress).min(0.95)) {
+                regressions.push(delta.clone());
+            }
+            deltas.push(delta);
+        }
+        (Some(_), None) => missing.push("service/per_worker_ips".into()),
+        (None, _) => {}
+    }
     GateResult {
         deltas,
         regressions,
@@ -270,7 +306,20 @@ pub fn parse_bench_json(text: &str) -> Result<BenchDoc, String> {
             return Err("empty \"energy\" array".into());
         }
     }
-    Ok(BenchDoc { simulators, energy })
+    // The service section postdates both: same pin-once contract.
+    let mut service = None;
+    if let Some(array) = section(text, "\"service\"") {
+        let obj = objects(array).next().ok_or("empty \"service\" array")?;
+        service = Some(ServiceGateRow {
+            per_worker_ips: number_field(obj, "per_worker_ips")
+                .ok_or_else(|| format!("service row without \"per_worker_ips\": {obj}"))?,
+        });
+    }
+    Ok(BenchDoc {
+        simulators,
+        energy,
+        service,
+    })
 }
 
 /// The bracketed `[...]` contents following `key`.
@@ -344,7 +393,18 @@ mod tests {
                 })
                 .collect(),
             energy: Vec::new(),
+            service: None,
         }
+    }
+
+    /// `doc()` with a service section at `s_scale` times a nominal
+    /// per-worker rate.
+    fn doc_with_service(s_scale: f64) -> BenchDoc {
+        let mut d = doc(1.0, 1.0);
+        d.service = Some(ServiceGateRow {
+            per_worker_ips: 4.0e6 * s_scale,
+        });
+        d
     }
 
     /// `doc()` with an energy section: one plain row and one Dhrystone
@@ -403,6 +463,9 @@ mod tests {
         assert!(d.energy.iter().all(|r| r.energy_nj > 0.0));
         let dhry = d.energy.iter().find(|r| r.workload == "dhrystone").unwrap();
         assert!(dhry.dmips_per_watt.unwrap() > 0.0);
+        // And the service section, so scheduler throughput is gated on
+        // every CI run from here on.
+        assert!(d.service.as_ref().unwrap().per_worker_ips > 0.0);
     }
 
     #[test]
@@ -506,6 +569,49 @@ mod tests {
         // A pre-energy baseline gates nothing against an energy-bearing
         // current document.
         let r = compare(&doc(1.0, 1.0), &doc_with_energy(1.0), 0.25);
+        assert!(r.ok(), "{}", r.render(0.25));
+    }
+
+    #[test]
+    fn service_section_parses_and_gates_at_a_doubled_threshold() {
+        let text = r#"{
+  "simulators": [
+    {"workload": "gemm", "functional_ips": 6.19e7, "pipelined_cps": 2.12e7}
+  ],
+  "service": [
+    {"sessions": 512, "workers": 8, "sessions_per_second": 1.3050e2, "per_worker_ips": 4.2000e6, "p99_slice_us": 210.250, "migrations": 97, "steals": 41}
+  ]
+}"#;
+        let d = parse_bench_json(text).unwrap();
+        let row = d.service.as_ref().expect("service section parses");
+        assert!((row.per_worker_ips - 4.2e6).abs() < 1.0);
+        // A present-but-malformed section is rejected, not ignored.
+        assert!(parse_bench_json(&text.replace("per_worker_ips", "nope")).is_err());
+        // Pre-service documents parse to no section at all.
+        assert!(parse_bench_json(SAMPLE).unwrap().service.is_none());
+
+        let base = doc_with_service(1.0);
+        // A 40% drop stays inside the doubled 2 * 25% band.
+        let r = compare(&base, &doc_with_service(0.6), 0.25);
+        assert!(r.ok(), "{}", r.render(0.25));
+        assert!(r.deltas.iter().any(|d| d.name == "service/per_worker_ips"));
+        // A 60% drop trips it.
+        let r = compare(&base, &doc_with_service(0.4), 0.25);
+        assert!(!r.ok());
+        assert!(r
+            .regressions
+            .iter()
+            .any(|d| d.name == "service/per_worker_ips"));
+    }
+
+    #[test]
+    fn dropping_the_service_section_fails_once_pinned() {
+        let r = compare(&doc_with_service(1.0), &doc(1.0, 1.0), 0.25);
+        assert!(!r.ok());
+        assert!(r.missing.iter().any(|m| m == "service/per_worker_ips"));
+        // A pre-service baseline gates nothing against a service-bearing
+        // current document.
+        let r = compare(&doc(1.0, 1.0), &doc_with_service(1.0), 0.25);
         assert!(r.ok(), "{}", r.render(0.25));
     }
 

@@ -315,6 +315,62 @@ pub mod perf {
         }
     }
 
+    /// Scheduler throughput of one in-process service load run — the
+    /// `service` section of `BENCH_ternary.json`.
+    #[derive(Debug, Clone)]
+    pub struct ServicePerf {
+        /// Concurrent sessions submitted (all completed exactly).
+        pub sessions: u64,
+        /// Worker threads the scheduler ran.
+        pub workers: u64,
+        /// Sessions completed per wall-clock second.
+        pub sessions_per_second: f64,
+        /// Aggregate retired instructions per second per worker.
+        pub per_worker_ips: f64,
+        /// p99 slice latency in microseconds.
+        pub p99_slice_us: f64,
+        /// Cross-worker checkpoint migrations across all sessions.
+        pub migrations: u64,
+        /// Work-steals across all workers.
+        pub steals: u64,
+    }
+
+    /// Measures scheduler throughput by flooding an in-process service
+    /// with `sessions` budget-sliced spin sessions. The fairness and
+    /// latency acceptance bounds are disabled — this is a measurement,
+    /// not the load smoke — but the exact-completion check stays on.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the service fails to start or any session does not
+    /// finish with its exact retirement count.
+    pub fn measure_service(sessions: usize) -> ServicePerf {
+        use art9_service::loadtest::{run_self_contained, LoadConfig};
+        let report = run_self_contained(&LoadConfig {
+            sessions,
+            target_retired: 50_000,
+            quantum: 1_000,
+            fairness_ratio: f64::INFINITY,
+            p99_slice_ms: f64::INFINITY,
+            ..LoadConfig::default()
+        })
+        .expect("service load runs");
+        assert!(
+            report.passed(),
+            "service load violations: {:?}",
+            report.violations
+        );
+        ServicePerf {
+            sessions: report.sessions as u64,
+            workers: report.workers,
+            sessions_per_second: report.sessions_per_second,
+            per_worker_ips: report.per_worker_ips,
+            p99_slice_us: report.p99_slice_us,
+            migrations: report.migrations,
+            steals: report.steals,
+        }
+    }
+
     /// Looks up a workload's frozen seed rate in [`SEED_FUNCTIONAL_IPS`]
     /// or [`SEED_PIPELINED_CPS`].
     pub fn seed_rate(table: &[(&str, f64)], workload: &str) -> Option<f64> {
@@ -323,11 +379,13 @@ pub mod perf {
 
     /// Renders the measurements as the `BENCH_ternary.json` document
     /// (schema `art9-bench-ternary/v1`, described in
-    /// `docs/PERFORMANCE.md`; the `energy` section in `docs/ENERGY.md`).
+    /// `docs/PERFORMANCE.md`; the `energy` section in `docs/ENERGY.md`;
+    /// the `service` section in `docs/SERVICE.md`).
     pub fn bench_json(
         word_ops: &[WordOp],
         sims: &[SimThroughput],
         energy: &[crate::energy::EnergyRow],
+        service: Option<&ServicePerf>,
     ) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
@@ -381,12 +439,36 @@ pub mod perf {
             }
             let _ = writeln!(out, "}}{comma}");
         }
-        if energy.is_empty() {
-            out.push_str("  ]\n}\n");
-            return out;
+        out.push_str("  ]");
+        if !energy.is_empty() {
+            out.push_str(",\n  \"energy\": [\n");
+            render_energy_rows(&mut out, energy);
+            out.push_str("  ]");
         }
-        out.push_str("  ],\n");
-        out.push_str("  \"energy\": [\n");
+        if let Some(s) = service {
+            out.push_str(",\n  \"service\": [\n");
+            let _ = writeln!(
+                out,
+                "    {{\"sessions\": {}, \"workers\": {}, \
+                 \"sessions_per_second\": {:.4e}, \"per_worker_ips\": {:.4e}, \
+                 \"p99_slice_us\": {:.3}, \"migrations\": {}, \"steals\": {}}}",
+                s.sessions,
+                s.workers,
+                s.sessions_per_second,
+                s.per_worker_ips,
+                s.p99_slice_us,
+                s.migrations,
+                s.steals
+            );
+            out.push_str("  ]");
+        }
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Writes the `energy` array rows of [`bench_json`].
+    fn render_energy_rows(out: &mut String, energy: &[crate::energy::EnergyRow]) {
+        use std::fmt::Write as _;
         for (i, r) in energy.iter().enumerate() {
             let comma = if i + 1 < energy.len() { "," } else { "" };
             let _ = write!(
@@ -411,8 +493,6 @@ pub mod perf {
             }
             let _ = writeln!(out, "}}{comma}");
         }
-        out.push_str("  ]\n}\n");
-        out
     }
 
     #[cfg(test)]
@@ -461,7 +541,16 @@ pub mod perf {
                 dmips: Some(150.0),
                 dmips_per_watt: Some(7.5e6),
             }];
-            let json = bench_json(&ops, &sims, &energy);
+            let service = ServicePerf {
+                sessions: 512,
+                workers: 8,
+                sessions_per_second: 130.5,
+                per_worker_ips: 4.2e6,
+                p99_slice_us: 210.25,
+                migrations: 97,
+                steals: 41,
+            };
+            let json = bench_json(&ops, &sims, &energy, Some(&service));
             assert!(json.contains("\"schema\": \"art9-bench-ternary/v1\""));
             assert!(json.contains("\"functional_speedup\""));
             assert!(json.contains("\"threaded_ips\""));
@@ -471,6 +560,9 @@ pub mod perf {
             assert!(json.contains("\"epi_alu_pj\""));
             assert!(json.contains("\"epi_control_pj\""));
             assert!(json.contains("\"dmips_per_watt\": 7.5000e6"));
+            assert!(json.contains("\"service\""));
+            assert!(json.contains("\"per_worker_ips\": 4.2000e6"));
+            assert!(json.contains("\"p99_slice_us\": 210.250"));
             assert_eq!(
                 json.matches('{').count(),
                 json.matches('}').count(),
@@ -478,10 +570,11 @@ pub mod perf {
             );
             assert_eq!(json.matches('[').count(), json.matches(']').count());
 
-            // Without energy rows the section is omitted entirely (the
-            // shape pre-energy baselines have).
-            let bare = bench_json(&ops, &sims, &[]);
+            // Without energy rows or a service run the sections are
+            // omitted entirely (the shape older baselines have).
+            let bare = bench_json(&ops, &sims, &[], None);
             assert!(!bare.contains("\"energy\""));
+            assert!(!bare.contains("\"service\""));
             assert_eq!(bare.matches('{').count(), bare.matches('}').count());
         }
     }

@@ -183,6 +183,13 @@ impl FuzzReport {
             self.stats.energy_flips,
             self.digest
         );
+        if self.stats.slice_migrate_slices > 0 {
+            let _ = writeln!(
+                out,
+                "slice-migrate: {} slices, {} cross-backend migrations",
+                self.stats.slice_migrate_slices, self.stats.slice_migrate_migrations
+            );
+        }
         if self.stats.cosim_sync_points > 0 {
             let _ = writeln!(
                 out,

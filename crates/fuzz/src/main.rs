@@ -39,10 +39,10 @@ OPTIONS:
                       rv-control | rv-spill (RV32 programs for the
                       compiler-lockstep oracle)
     --oracle NAME     Run only one oracle (functional-vs-reference |
-                      functional-vs-threaded | energy | pipelined-fwd |
-                      pipelined-nofwd | toolchain-roundtrip | arithmetic |
-                      compiler-lockstep) — for triaging a campaign or a
-                      replay file
+                      functional-vs-threaded | energy | slice-migrate |
+                      pipelined-fwd | pipelined-nofwd | toolchain-roundtrip |
+                      arithmetic | compiler-lockstep) — for triaging a
+                      campaign or a replay file
     --max-len N       Upper bound on generated body length (default 160)
     --smoke           CI budget: 150 small programs across the mixes
     --fail-dir DIR    Write minimized replay files here (default fuzz-failures)

@@ -30,7 +30,9 @@ use std::sync::{Arc, Mutex};
 
 use art9_isa::{assemble, decode, disassemble_word, encode, Instruction, Program, ALL_REGS};
 use art9_sim::observers::EnergyAccounting;
-use art9_sim::{Backend, Budget, Core, CoreState, HaltReason, PredecodedProgram, SimBuilder};
+use art9_sim::{
+    Backend, Budget, Checkpoint, Core, CoreState, HaltReason, PredecodedProgram, SimBuilder,
+};
 use ternary::{arith, Trit, Trits, Word9};
 
 use crate::gen::MIN_TDM_WORDS;
@@ -63,6 +65,14 @@ pub enum Oracle {
     /// reference — every per-opcode, per-structure flip counter must be
     /// bit-identical.
     Energy,
+    /// The service scheduler's execution model, checked differentially:
+    /// a run sliced on random [`Budget::Retired`] quanta and *migrated*
+    /// between architectural backends at random slice boundaries
+    /// (checkpoint-text roundtrip, shared energy observer) must be
+    /// bit-identical to a straight-line run — final state, halt reason,
+    /// retirement count, instruction mix and per-opcode energy
+    /// counters.
+    SliceMigrate,
     /// encode → decode → disassemble → reassemble roundtrip.
     ToolchainRoundtrip,
     /// Packed bitplane kernels vs the tritwise reference algorithms.
@@ -75,10 +85,11 @@ pub enum Oracle {
 
 impl Oracle {
     /// Every oracle, in campaign order.
-    pub const ALL: [Oracle; 8] = [
+    pub const ALL: [Oracle; 9] = [
         Oracle::FunctionalVsReference,
         Oracle::FunctionalVsThreaded,
         Oracle::Energy,
+        Oracle::SliceMigrate,
         Oracle::PipelinedForwarding,
         Oracle::PipelinedNoForwarding,
         Oracle::ToolchainRoundtrip,
@@ -93,6 +104,7 @@ impl Oracle {
             Oracle::FunctionalVsReference => "functional-vs-reference",
             Oracle::FunctionalVsThreaded => "functional-vs-threaded",
             Oracle::Energy => "energy",
+            Oracle::SliceMigrate => "slice-migrate",
             Oracle::PipelinedForwarding => "pipelined-fwd",
             Oracle::PipelinedNoForwarding => "pipelined-nofwd",
             Oracle::ToolchainRoundtrip => "toolchain-roundtrip",
@@ -165,6 +177,11 @@ pub struct OracleStats {
     /// the tritwise side counted the same number when the oracle
     /// passed).
     pub energy_flips: u64,
+    /// Slices the slice-migrate oracle executed.
+    pub slice_migrate_slices: u64,
+    /// Cross-backend checkpoint migrations the slice-migrate oracle
+    /// performed.
+    pub slice_migrate_migrations: u64,
     /// RV32 instructions the compiler-lockstep oracle retired.
     pub cosim_rv32_instructions: u64,
     /// ART-9 instructions the compiler-lockstep oracle retired.
@@ -182,6 +199,8 @@ impl OracleStats {
         self.roundtrip_checks += other.roundtrip_checks;
         self.arith_checks += other.arith_checks;
         self.energy_flips += other.energy_flips;
+        self.slice_migrate_slices += other.slice_migrate_slices;
+        self.slice_migrate_migrations += other.slice_migrate_migrations;
         self.cosim_rv32_instructions += other.cosim_rv32_instructions;
         self.cosim_art9_instructions += other.cosim_art9_instructions;
         self.cosim_sync_points += other.cosim_sync_points;
@@ -337,16 +356,18 @@ pub fn check_program_filtered(
     let run_lockstep = enabled(Oracle::FunctionalVsReference);
     let run_threaded = enabled(Oracle::FunctionalVsThreaded);
     let run_energy = enabled(Oracle::Energy);
-    if !(run_lockstep || run_fwd || run_nofwd || run_threaded || run_energy) {
+    let run_slice_migrate = enabled(Oracle::SliceMigrate);
+    if !(run_lockstep || run_fwd || run_nofwd || run_threaded || run_energy || run_slice_migrate) {
         return (stats, None);
     }
 
     let image = PredecodedProgram::new(program);
+    let image_hash = image.content_hash();
     let builder = SimBuilder::new(&image).tdm_words(ORACLE_TDM_WORDS);
 
-    // The threaded and energy oracles are self-contained (each runs its
-    // own pair of simulators), so a filter selecting only them skips
-    // everything else.
+    // The threaded, energy and slice-migrate oracles are self-contained
+    // (each runs its own set of simulators), so a filter selecting only
+    // them skips everything else.
     if !(run_lockstep || run_fwd || run_nofwd) {
         if run_threaded {
             if let Some(d) = threaded_oracle(&builder, step_budget, &mut stats) {
@@ -355,6 +376,11 @@ pub fn check_program_filtered(
         }
         if run_energy {
             if let Some(d) = energy_oracle(&builder, step_budget, &mut stats) {
+                return (stats, Some(d));
+            }
+        }
+        if run_slice_migrate {
+            if let Some(d) = slice_migrate_oracle(&builder, image_hash, step_budget, &mut stats) {
                 return (stats, Some(d));
             }
         }
@@ -435,6 +461,13 @@ pub fn check_program_filtered(
     // --- Differential energy accounting ------------------------------
     if run_energy {
         if let Some(d) = energy_oracle(&builder, step_budget, &mut stats) {
+            return (stats, Some(d));
+        }
+    }
+
+    // --- Budget-sliced, migrated execution vs straight-line ----------
+    if run_slice_migrate {
+        if let Some(d) = slice_migrate_oracle(&builder, image_hash, step_budget, &mut stats) {
             return (stats, Some(d));
         }
     }
@@ -645,8 +678,140 @@ fn energy_oracle(
     None
 }
 
+/// The slice-migrate oracle: the service scheduler's execution model,
+/// checked differentially. A straight-line functional run (with energy
+/// accounting) is compared against the same program executed the way
+/// the scheduler executes sessions — sliced on random
+/// [`Budget::Retired`] quanta, and at ~40% of slice boundaries
+/// *migrated* through an `art9-checkpoint v1` text roundtrip into the
+/// next architectural backend (threaded → reference → functional), the
+/// energy observer `Arc` carried across every rebuild exactly as the
+/// scheduler carries a session's observers across workers. Slicing and
+/// migration must be architecturally invisible: halt reason, retired
+/// count, instruction mix, final state and per-opcode energy counters
+/// all bit-identical.
+///
+/// Slice lengths and migration points derive from `seed` (the
+/// program's content hash), so campaigns reproduce bit-for-bit.
+fn slice_migrate_oracle(
+    builder: &SimBuilder,
+    seed: u64,
+    step_budget: u64,
+    stats: &mut OracleStats,
+) -> Option<Divergence> {
+    let fail = |detail: String| {
+        Some(Divergence {
+            oracle: Oracle::SliceMigrate,
+            detail,
+        })
+    };
+
+    // Straight-line baseline.
+    let straight_energy = Arc::new(Mutex::new(EnergyAccounting::new()));
+    let mut straight = builder
+        .clone()
+        .observer(straight_energy.clone())
+        .build_functional();
+    let halt = match straight.run_for(Budget::Steps(step_budget)) {
+        Ok(summary) => match summary.halt {
+            Some(h) => h,
+            None => {
+                return fail(format!(
+                    "straight-line run {} {step_budget} steps",
+                    Divergence::BUDGET_MARKER
+                ));
+            }
+        },
+        Err(e) => return fail(format!("straight-line run faulted: {e}")),
+    };
+
+    // Sliced, migrated run.
+    let mut rng = FuzzRng::new(seed ^ 0x511c_e513_9a7e_0001);
+    let rotation = [Backend::Threaded, Backend::Reference, Backend::Functional];
+    let sliced_energy = Arc::new(Mutex::new(EnergyAccounting::new()));
+    let sliced_builder = builder.clone().observer(sliced_energy.clone());
+    let mut core: Box<dyn Core> = sliced_builder.clone().build();
+    let mut rotation_index = 0usize;
+    let (mut slices, mut migrations) = (0u64, 0u64);
+    let halt_sliced = loop {
+        // Every slice retires at least one instruction, so the slice
+        // count bounds total work by the same budget as the baseline.
+        if slices > step_budget {
+            return fail(format!(
+                "sliced run {} {step_budget} slices",
+                Divergence::BUDGET_MARKER
+            ));
+        }
+        slices += 1;
+        let target = core.retired() + 1 + rng.below(41);
+        let summary = match core.run_for(Budget::Retired(target)) {
+            Ok(s) => s,
+            Err(e) => {
+                return fail(format!(
+                    "sliced run faulted after {} instructions: {e} \
+                     (straight-line run halted {halt:?})",
+                    core.retired()
+                ));
+            }
+        };
+        if let Some(h) = summary.halt {
+            break h;
+        }
+        if rng.chance(2, 5) {
+            let text = core.snapshot().to_text();
+            let checkpoint = match Checkpoint::from_text(&text) {
+                Ok(c) => c,
+                Err(e) => return fail(format!("checkpoint text did not roundtrip: {e}")),
+            };
+            let backend = rotation[rotation_index % rotation.len()];
+            rotation_index += 1;
+            let mut fresh = sliced_builder.clone().backend(backend).build();
+            if let Err(e) = fresh.restore(&checkpoint) {
+                return fail(format!("restore into {backend} failed: {e}"));
+            }
+            core = fresh;
+            migrations += 1;
+        }
+    };
+    stats.slice_migrate_slices += slices;
+    stats.slice_migrate_migrations += migrations;
+
+    if halt_sliced != halt {
+        return fail(format!(
+            "halt reason {halt_sliced:?} (sliced) vs {halt:?} (straight-line)"
+        ));
+    }
+    if core.retired() != straight.instructions() {
+        return fail(format!(
+            "retired {} instructions (sliced) vs {} (straight-line)",
+            core.retired(),
+            straight.instructions()
+        ));
+    }
+    if core.instruction_mix() != straight.instruction_mix() {
+        return fail(format!(
+            "instruction mix {:?} (sliced) vs {:?} (straight-line)",
+            core.instruction_mix(),
+            straight.instruction_mix()
+        ));
+    }
+    if let Some(d) = straight.state().first_difference(core.state()) {
+        return fail(format!("final state: {d}"));
+    }
+    let straight_acc = straight_energy.lock().expect("observer lock");
+    let sliced_acc = sliced_energy.lock().expect("observer lock");
+    if let Some(d) = activity_difference(&straight_acc, &sliced_acc) {
+        return fail(format!(
+            "energy accounting diverged across slicing/migration: {d}"
+        ));
+    }
+    None
+}
+
 /// The first per-opcode, per-structure difference between two energy
-/// accountings, named (`None` when bit-identical).
+/// accountings, named (`None` when bit-identical). The first operand
+/// is labelled `packed`, the second `tritwise` (the energy oracle's
+/// sides; for other callers read them as baseline vs candidate).
 fn activity_difference(packed: &EnergyAccounting, tritwise: &EnergyAccounting) -> Option<String> {
     for (opcode, (p, t)) in packed
         .per_opcode()
@@ -864,6 +1029,7 @@ mod tests {
             assert!(stats.threaded_instructions > 0);
             assert!(stats.pipelined_cycles > 0);
             assert!(stats.energy_flips > 0);
+            assert!(stats.slice_migrate_slices > 0);
             assert!(stats.roundtrip_checks as usize >= p.text().len());
         }
     }
@@ -911,6 +1077,41 @@ mod tests {
             assert_eq!(stats.roundtrip_checks, 0);
             assert_eq!(stats.threaded_instructions, 0);
         }
+    }
+
+    #[test]
+    fn slice_migrate_oracle_is_clean_and_migrates() {
+        // Filtered to slice-migrate: sliced + migrated execution lands
+        // bit-identical to straight-line on generated programs, with
+        // real migrations happening (long-enough programs guarantee
+        // multiple slice boundaries), and nothing else runs.
+        let cfg = GenConfig::default();
+        let mut total_migrations = 0;
+        for i in 0..6 {
+            let p = generate(&mut FuzzRng::for_iteration(11, i), &cfg);
+            let budget = crate::gen::step_budget(&cfg);
+            let (stats, d) = check_program_filtered(&p, budget, Some(Oracle::SliceMigrate));
+            assert!(d.is_none(), "iteration {i}: {}", d.unwrap());
+            assert!(
+                stats.slice_migrate_slices > 0,
+                "iteration {i} ran no slices"
+            );
+            total_migrations += stats.slice_migrate_migrations;
+            assert_eq!(stats.pipelined_cycles, 0);
+            assert_eq!(stats.roundtrip_checks, 0);
+            assert_eq!(stats.threaded_instructions, 0);
+            assert_eq!(stats.energy_flips, 0);
+        }
+        assert!(total_migrations > 0, "no cross-backend migration exercised");
+    }
+
+    #[test]
+    fn slice_migrate_oracle_reports_budget_exhaustion() {
+        let p = art9_isa::assemble("a: NOP\nJAL t0, a\n").unwrap();
+        let (_, d) = check_program_filtered(&p, 100, Some(Oracle::SliceMigrate));
+        let d = d.expect("budget divergence");
+        assert_eq!(d.oracle, Oracle::SliceMigrate);
+        assert!(d.is_budget_exhaustion());
     }
 
     #[test]

@@ -1,0 +1,97 @@
+//! Content-addressed sharing of predecoded program images.
+//!
+//! The `OnceLock` threaded-code cache inside
+//! [`PredecodedProgram`] already guarantees one direct-threaded
+//! compilation per *image*; this cache supplies the multi-tenant half
+//! of that guarantee: one image per *program*. Every submitted job's
+//! program is interned by [`PredecodedProgram::content_hash`], so a
+//! thousand sessions running the same kernel share a single decoded
+//! instruction vector (and, for the threaded backend, a single
+//! compilation) instead of carrying a thousand copies.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use art9_sim::PredecodedProgram;
+
+/// A content-hash-keyed store of shared program images.
+#[derive(Debug, Default)]
+pub struct ImageCache {
+    map: Mutex<HashMap<u64, PredecodedProgram>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ImageCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the shared image for `image`'s content: the cached copy
+    /// when one exists (an O(1) `Arc` clone), otherwise `image` itself
+    /// after registering it.
+    pub fn intern(&self, image: PredecodedProgram) -> PredecodedProgram {
+        let hash = image.content_hash();
+        let mut map = self.map.lock().expect("image cache lock");
+        match map.get(&hash) {
+            Some(cached) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                cached.clone()
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                map.insert(hash, image.clone());
+                image
+            }
+        }
+    }
+
+    /// Number of distinct images currently cached.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("image cache lock").len()
+    }
+
+    /// `true` when no image has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(hits, misses)` counters: hits are interns that found an
+    /// existing image, misses are first-time inserts.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use art9_isa::assemble;
+
+    #[test]
+    fn intern_dedupes_by_content() {
+        let cache = ImageCache::new();
+        let a = cache.intern(PredecodedProgram::new(
+            &assemble("LI t3, 1\nJAL t0, 0\n").unwrap(),
+        ));
+        let b = cache.intern(PredecodedProgram::new(
+            &assemble("LI t3, 1\nJAL t0, 0\n").unwrap(),
+        ));
+        // Same content → same shared storage.
+        assert_eq!(a.text().as_ptr(), b.text().as_ptr());
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats(), (1, 1));
+
+        let c = cache.intern(PredecodedProgram::new(
+            &assemble("LI t3, 2\nJAL t0, 0\n").unwrap(),
+        ));
+        assert_ne!(a.text().as_ptr(), c.text().as_ptr());
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats(), (1, 2));
+    }
+}

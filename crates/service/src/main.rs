@@ -1,0 +1,210 @@
+//! `art9-service`: simulation-as-a-service CLI.
+//!
+//! ```text
+//! art9-service serve [--addr A] [--workers N] [--quantum Q]
+//! art9-service load  [--addr A] [--sessions N] [--target-retired R]
+//!                    [--workers N] [--quantum Q] [--connections C]
+//!                    [--fairness-ratio F] [--p99-ms MS]
+//! art9-service run   --program FILE [--resume FILE] [--backend B]
+//!                    [--max-steps N]
+//! ```
+//!
+//! `serve` runs the daemon until a client sends `SHUTDOWN`. `load`
+//! floods a service (an external one via `--addr`, or a self-contained
+//! in-process one) with concurrent sessions and exits non-zero on any
+//! fairness/latency/completion violation. `run` executes one program
+//! to a checkpoint on stdout — the worker half of the cross-process
+//! checkpoint-transfer test.
+
+use std::process::ExitCode;
+
+use art9_service::loadtest::{run_against, run_self_contained, LoadConfig, LoadReport};
+use art9_service::{SchedulerConfig, Server, ServiceConfig};
+use art9_sim::{Backend, Budget, Checkpoint, SimBuilder};
+
+const USAGE: &str = "usage: art9-service <serve|load|run> [options]
+  serve  --addr A --workers N --quantum Q
+  load   [--addr A] --sessions N --target-retired R --workers N
+         --quantum Q --connections C --fairness-ratio F --p99-ms MS
+  run    --program FILE [--resume FILE] [--backend B] [--max-steps N]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let result = match command.as_str() {
+        "serve" => serve(rest),
+        "load" => load(rest),
+        "run" => run(rest),
+        _ => Err(format!("unknown command {command:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("art9-service: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Pulls `--flag value` pairs out of `args`; rejects stray arguments.
+fn parse_flags(args: &[String], allowed: &[&str]) -> Result<Vec<(String, String)>, String> {
+    let mut flags = Vec::new();
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let name = flag
+            .strip_prefix("--")
+            .ok_or_else(|| format!("unexpected argument {flag:?}\n{USAGE}"))?;
+        if !allowed.contains(&name) {
+            return Err(format!("unknown flag --{name}\n{USAGE}"));
+        }
+        let value = iter
+            .next()
+            .ok_or_else(|| format!("--{name} needs a value"))?;
+        flags.push((name.to_string(), value.clone()));
+    }
+    Ok(flags)
+}
+
+fn get<'a>(flags: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    flags
+        .iter()
+        .rev()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v.as_str())
+}
+
+fn parse<T: std::str::FromStr>(
+    flags: &[(String, String)],
+    name: &str,
+) -> Result<Option<T>, String> {
+    get(flags, name)
+        .map(|v| {
+            v.parse::<T>()
+                .map_err(|_| format!("bad value for --{name}: {v:?}"))
+        })
+        .transpose()
+}
+
+fn scheduler_config(flags: &[(String, String)]) -> Result<SchedulerConfig, String> {
+    let mut config = SchedulerConfig::default();
+    if let Some(workers) = parse::<usize>(flags, "workers")? {
+        config.workers = workers.max(1);
+    }
+    if let Some(quantum) = parse::<u64>(flags, "quantum")? {
+        config.quantum = quantum.max(1);
+    }
+    Ok(config)
+}
+
+fn serve(args: &[String]) -> Result<ExitCode, String> {
+    let flags = parse_flags(args, &["addr", "workers", "quantum"])?;
+    let config = ServiceConfig {
+        addr: get(&flags, "addr").unwrap_or("127.0.0.1:9841").to_string(),
+        scheduler: scheduler_config(&flags)?,
+    };
+    let server = Server::start(config).map_err(|e| format!("bind: {e}"))?;
+    println!("listening {}", server.local_addr());
+    server.wait();
+    Ok(ExitCode::SUCCESS)
+}
+
+fn load(args: &[String]) -> Result<ExitCode, String> {
+    let flags = parse_flags(
+        args,
+        &[
+            "addr",
+            "sessions",
+            "target-retired",
+            "workers",
+            "quantum",
+            "connections",
+            "fairness-ratio",
+            "p99-ms",
+        ],
+    )?;
+    let mut config = LoadConfig::default();
+    if let Some(v) = parse(&flags, "sessions")? {
+        config.sessions = v;
+    }
+    if let Some(v) = parse(&flags, "target-retired")? {
+        config.target_retired = v;
+    }
+    if let Some(v) = parse(&flags, "quantum")? {
+        config.quantum = v;
+    }
+    config.workers = parse(&flags, "workers")?;
+    if let Some(v) = parse(&flags, "connections")? {
+        config.connections = v;
+    }
+    if let Some(v) = parse(&flags, "fairness-ratio")? {
+        config.fairness_ratio = v;
+    }
+    if let Some(v) = parse::<f64>(&flags, "p99-ms")? {
+        config.p99_slice_ms = v;
+    }
+    let report = match get(&flags, "addr") {
+        Some(addr) => run_against(addr, &config),
+        None => run_self_contained(&config),
+    }
+    .map_err(|e| format!("load test: {e}"))?;
+    print_report(&report);
+    if report.passed() {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+fn print_report(report: &LoadReport) {
+    println!("sessions            {}", report.sessions);
+    println!("workers             {}", report.workers);
+    println!("sessions-per-second {:.1}", report.sessions_per_second);
+    println!("per-worker-ips      {:.0}", report.per_worker_ips);
+    println!("p50-slice-us        {:.3}", report.p50_slice_us);
+    println!("p99-slice-us        {:.3}", report.p99_slice_us);
+    println!("migrations          {}", report.migrations);
+    println!("steals              {}", report.steals);
+    println!("cache-images        {}", report.cache_images);
+    println!(
+        "fairness            worst ratio {:.2} over {} samples",
+        report.worst_fairness_ratio, report.fairness_samples
+    );
+    if report.passed() {
+        println!("result              PASS");
+    } else {
+        println!("result              FAIL");
+        for violation in &report.violations {
+            println!("violation           {violation}");
+        }
+    }
+}
+
+/// Runs one program (optionally resuming a checkpoint) and writes the
+/// final checkpoint to stdout — the subprocess half of the
+/// cross-process checkpoint-transfer test.
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let flags = parse_flags(args, &["program", "resume", "backend", "max-steps"])?;
+    let path = get(&flags, "program").ok_or("run needs --program FILE")?;
+    let source = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let program = art9_isa::assemble(&source).map_err(|e| format!("assemble {path}: {e}"))?;
+    let backend = match get(&flags, "backend") {
+        None => Backend::Functional,
+        Some(name) => name.parse::<Backend>()?,
+    };
+    let max_steps = parse::<u64>(&flags, "max-steps")?.unwrap_or(10_000_000);
+
+    let mut core = SimBuilder::new(&program).backend(backend).build();
+    if let Some(resume) = get(&flags, "resume") {
+        let text = std::fs::read_to_string(resume).map_err(|e| format!("read {resume}: {e}"))?;
+        let checkpoint = Checkpoint::from_text(&text).map_err(|e| format!("{resume}: {e}"))?;
+        core.restore(&checkpoint)
+            .map_err(|e| format!("restore: {e}"))?;
+    }
+    core.run_for(Budget::Steps(max_steps))
+        .map_err(|e| format!("run: {e}"))?;
+    print!("{}", core.snapshot().to_text());
+    Ok(ExitCode::SUCCESS)
+}

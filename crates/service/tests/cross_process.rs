@@ -1,0 +1,127 @@
+//! Cross-process checkpoint transfer: serialize a mid-run checkpoint
+//! in this process, restore and finish it in a spawned `art9-service
+//! run` subprocess, and compare the child's final checkpoint against
+//! an uninterrupted in-process run — for every backend.
+//!
+//! This is the process-boundary version of the scheduler's worker
+//! migration invariant: a run split across *processes* by checkpoint
+//! text must land in exactly the same final state.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use art9_sim::{Backend, Budget, Checkpoint, SimBuilder};
+
+/// A nested spin loop retiring exactly `2 + 30 * (5 + 4 * 10) = 1352`
+/// instructions (same idiom as the load-test program).
+const PROGRAM: &str = "LI t3, 30\n\
+    outer:\n\
+    LI t4, 10\n\
+    inner:\n\
+    ADDI t4, -1\n\
+    MV t7, t4\n\
+    COMP t7, t0\n\
+    BEQ t7, +, inner\n\
+    ADDI t3, -1\n\
+    MV t7, t3\n\
+    COMP t7, t0\n\
+    BEQ t7, +, outer\n\
+    JAL t0, 0\n";
+
+fn temp_file(name: &str) -> PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!("art9-cross-process-{}-{name}", std::process::id()));
+    path
+}
+
+#[test]
+fn mid_run_checkpoints_resume_in_a_subprocess() {
+    let program = art9_isa::assemble(PROGRAM).unwrap();
+    let program_path = temp_file("program.art9");
+    std::fs::write(&program_path, PROGRAM).unwrap();
+
+    for backend in Backend::ALL {
+        // Straight-line run to completion in this process.
+        let mut straight = SimBuilder::new(&program).backend(backend).build();
+        straight.run_for(Budget::Steps(1_000_000)).unwrap();
+        assert!(
+            straight.halted().is_some(),
+            "{backend}: straight-line halts"
+        );
+        let expected = straight.snapshot();
+
+        // Mid-run checkpoint: stop after 600 retired instructions.
+        let mut half = SimBuilder::new(&program).backend(backend).build();
+        let summary = half.run_for(Budget::Retired(600)).unwrap();
+        assert_eq!(summary.halt, None, "{backend}: cut mid-run, not at halt");
+        let checkpoint_path = temp_file(&format!("{backend}.ckpt"));
+        std::fs::write(&checkpoint_path, half.snapshot().to_text()).unwrap();
+
+        // Restore and finish in a subprocess; its stdout is the final
+        // checkpoint.
+        let output = Command::new(env!("CARGO_BIN_EXE_art9-service"))
+            .args(["run", "--program"])
+            .arg(&program_path)
+            .arg("--resume")
+            .arg(&checkpoint_path)
+            .args(["--backend", backend.name()])
+            .output()
+            .expect("spawn art9-service run");
+        assert!(
+            output.status.success(),
+            "{backend}: child failed: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        let child = Checkpoint::from_text(&String::from_utf8(output.stdout).unwrap())
+            .unwrap_or_else(|e| panic!("{backend}: child checkpoint: {e}"));
+
+        assert_eq!(
+            child, expected,
+            "{backend}: resumed-in-subprocess final state diverged"
+        );
+        std::fs::remove_file(&checkpoint_path).ok();
+    }
+    std::fs::remove_file(&program_path).ok();
+}
+
+#[test]
+fn architectural_checkpoints_cross_backends_across_processes() {
+    // A functional mid-run checkpoint resumes under the *threaded*
+    // backend in the child — architectural checkpoints are
+    // backend-portable, and the process boundary doesn't change that.
+    let program = art9_isa::assemble(PROGRAM).unwrap();
+    let program_path = temp_file("cross-program.art9");
+    std::fs::write(&program_path, PROGRAM).unwrap();
+
+    let mut straight = SimBuilder::new(&program).backend(Backend::Threaded).build();
+    straight.run_for(Budget::Steps(1_000_000)).unwrap();
+    let expected = straight.snapshot();
+
+    let mut half = SimBuilder::new(&program)
+        .backend(Backend::Functional)
+        .build();
+    half.run_for(Budget::Retired(600)).unwrap();
+    let checkpoint_path = temp_file("cross.ckpt");
+    std::fs::write(&checkpoint_path, half.snapshot().to_text()).unwrap();
+
+    let output = Command::new(env!("CARGO_BIN_EXE_art9-service"))
+        .args(["run", "--program"])
+        .arg(&program_path)
+        .arg("--resume")
+        .arg(&checkpoint_path)
+        .args(["--backend", "threaded"])
+        .output()
+        .expect("spawn art9-service run");
+    assert!(
+        output.status.success(),
+        "child failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let child = Checkpoint::from_text(&String::from_utf8(output.stdout).unwrap()).unwrap();
+    assert_eq!(child.state, expected.state);
+    assert_eq!(child.retired, expected.retired);
+    assert_eq!(child.halted, expected.halted);
+
+    std::fs::remove_file(&checkpoint_path).ok();
+    std::fs::remove_file(&program_path).ok();
+}

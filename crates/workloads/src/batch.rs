@@ -7,27 +7,34 @@
 //! A batch is a cross product: every [`Workload`] is prepared once
 //! (parsed, for ART-9 substrates translated and **predecoded into one
 //! shared [`art9_sim::PredecodedProgram`] image**) and then executed
-//! under every [`SimConfig`] — the simulators of all ART-9 configs
+//! under every [`ExecConfig`] — the simulators of all ART-9 configs
 //! fetch from the same `Arc`'d instruction image instead of copying or
 //! re-decoding per run. Preparation and execution both fan out across
 //! OS threads via `rayon`; results come back in deterministic
 //! (workload-major) order regardless of scheduling.
 //!
 //! ```
-//! use workloads::batch::{BatchRunner, SimConfig};
+//! use art9_sim::Backend;
+//! use workloads::batch::{BatchRunner, ExecConfig};
 //!
 //! let report = BatchRunner::new()
 //!     .workload(workloads::bubble_sort(8))
 //!     .workload(workloads::dot_product(6))
-//!     .config(SimConfig::Art9Pipelined { forwarding: true })
-//!     .config(SimConfig::Rv32PicoRv32)
+//!     .config(ExecConfig::art9_pipelined(true))
+//!     .config(ExecConfig::rv32_picorv32())
 //!     .run();
 //!
 //! assert_eq!(report.runs.len(), 4);
 //! assert_eq!(report.failures(), 0);
 //! println!("{}", report.render());
 //! ```
+//!
+//! Errors are captured per record, so one bad program cannot take down
+//! a batch; callers that want a hard stop use [`BatchRunner::try_run`],
+//! which surfaces the first failure as a typed [`WorkloadError`].
 
+use std::fmt;
+use std::str::FromStr;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -37,72 +44,154 @@ use art9_sim::{Backend, Budget, PipelineStats, PredecodedProgram, SimBuilder, Si
 use rayon::prelude::*;
 use rv32::{PicoRv32Model, Rv32Program, VexRiscvModel};
 
-use crate::Workload;
+use crate::{VerifyError, Workload, WorkloadError};
 
 /// Default per-run step/cycle budget (the bench helpers in
 /// `art9-bench` use this same constant).
 pub const DEFAULT_MAX_STEPS: u64 = 500_000_000;
 
-/// One simulator configuration a batch executes every workload under.
+/// Which simulated machine executes a workload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum SimConfig {
-    /// ART-9 architecture-level reference simulator (no timing).
-    Art9Functional,
-    /// ART-9 direct-threaded architecture-level simulator (no timing;
-    /// the fused-superblock fast path).
-    Art9Threaded,
-    /// ART-9 cycle-accurate 5-stage pipeline.
-    Art9Pipelined {
-        /// Forwarding multiplexers enabled (the paper's design point).
-        forwarding: bool,
-    },
+pub enum Machine {
+    /// The ART-9 ternary processor (sources go through the RV32→ART-9
+    /// compiling framework first).
+    Art9,
     /// RV32 substrate under the PicoRV32 (non-pipelined) cycle model.
     Rv32PicoRv32,
     /// RV32 substrate under the VexRiscv (5-stage) cycle model.
     Rv32VexRiscv,
 }
 
-impl SimConfig {
+/// One simulator configuration a batch executes every workload under:
+/// a [`Machine`] plus, for ART-9, the [`Backend`] and its forwarding
+/// setting — plain fields instead of the retired `SimConfig` enum's
+/// `art9_backend() -> Option<(Backend, bool)>` tuple accessor.
+///
+/// `backend` and `forwarding` are carried (and participate in
+/// equality) for every machine but only drive execution on
+/// [`Machine::Art9`]; the constructors normalize them to
+/// `Backend::Functional` / `true` elsewhere, so configs built through
+/// constructors and parsed from names always compare equal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ExecConfig {
+    /// The simulated machine.
+    pub machine: Machine,
+    /// ART-9 execution backend (ignored for RV32 machines).
+    pub backend: Backend,
+    /// Pipeline forwarding multiplexers (meaningful only for
+    /// [`Backend::Pipelined`]; the paper's design point is `true`).
+    pub forwarding: bool,
+}
+
+/// Deprecated name of [`ExecConfig`], kept as an alias for one PR so
+/// downstream code has a deprecation window. The enum variants are
+/// gone; use the [`ExecConfig`] constructors.
+#[deprecated(note = "renamed to ExecConfig; use its constructors instead of enum variants")]
+pub type SimConfig = ExecConfig;
+
+impl ExecConfig {
     /// The full comparison matrix of the paper: every ART-9 simulator
     /// (functional, pipeline with and without forwarding, and the
     /// direct-threaded fast path) and both binary baselines.
-    pub const FULL_MATRIX: [SimConfig; 6] = [
-        SimConfig::Art9Functional,
-        SimConfig::Art9Pipelined { forwarding: true },
-        SimConfig::Art9Pipelined { forwarding: false },
-        SimConfig::Art9Threaded,
-        SimConfig::Rv32PicoRv32,
-        SimConfig::Rv32VexRiscv,
+    pub const FULL_MATRIX: [ExecConfig; 6] = [
+        ExecConfig::art9(Backend::Functional),
+        ExecConfig::art9_pipelined(true),
+        ExecConfig::art9_pipelined(false),
+        ExecConfig::art9(Backend::Threaded),
+        ExecConfig::rv32_picorv32(),
+        ExecConfig::rv32_vexriscv(),
     ];
 
-    /// Stable display name.
-    pub fn name(&self) -> &'static str {
-        match self {
-            SimConfig::Art9Functional => "art9-functional",
-            SimConfig::Art9Threaded => "art9-threaded",
-            SimConfig::Art9Pipelined { forwarding: true } => "art9-pipelined",
-            SimConfig::Art9Pipelined { forwarding: false } => "art9-pipelined-nofwd",
-            SimConfig::Rv32PicoRv32 => "rv32-picorv32",
-            SimConfig::Rv32VexRiscv => "rv32-vexriscv",
+    /// An ART-9 configuration under `backend` (forwarding on, the
+    /// paper's design point — see [`ExecConfig::art9_pipelined`] to
+    /// turn it off).
+    pub const fn art9(backend: Backend) -> ExecConfig {
+        ExecConfig {
+            machine: Machine::Art9,
+            backend,
+            forwarding: true,
         }
     }
 
-    /// The ART-9 [`Backend`] (and forwarding setting) this
-    /// configuration maps to — `None` for the RV32 baselines. This is
-    /// the single point where `SimConfig` meets the simulator API:
-    /// everything downstream goes through [`SimBuilder`] and the
-    /// backend-generic [`art9_sim::Core`] trait.
-    pub fn art9_backend(&self) -> Option<(Backend, bool)> {
-        match self {
-            SimConfig::Art9Functional => Some((Backend::Functional, true)),
-            SimConfig::Art9Threaded => Some((Backend::Threaded, true)),
-            SimConfig::Art9Pipelined { forwarding } => Some((Backend::Pipelined, *forwarding)),
-            SimConfig::Rv32PicoRv32 | SimConfig::Rv32VexRiscv => None,
+    /// The ART-9 cycle-accurate 5-stage pipeline, with or without
+    /// forwarding multiplexers.
+    pub const fn art9_pipelined(forwarding: bool) -> ExecConfig {
+        ExecConfig {
+            machine: Machine::Art9,
+            backend: Backend::Pipelined,
+            forwarding,
         }
+    }
+
+    /// RV32 substrate under the PicoRV32 cycle model.
+    pub const fn rv32_picorv32() -> ExecConfig {
+        ExecConfig {
+            machine: Machine::Rv32PicoRv32,
+            backend: Backend::Functional,
+            forwarding: true,
+        }
+    }
+
+    /// RV32 substrate under the VexRiscv cycle model.
+    pub const fn rv32_vexriscv() -> ExecConfig {
+        ExecConfig {
+            machine: Machine::Rv32VexRiscv,
+            backend: Backend::Functional,
+            forwarding: true,
+        }
+    }
+
+    /// Stable display name; [`FromStr`] parses these back.
+    pub fn name(&self) -> &'static str {
+        match self.machine {
+            Machine::Art9 => match (self.backend, self.forwarding) {
+                (Backend::Functional, _) => "art9-functional",
+                (Backend::Threaded, _) => "art9-threaded",
+                (Backend::Reference, _) => "art9-reference",
+                (Backend::Pipelined, true) => "art9-pipelined",
+                (Backend::Pipelined, false) => "art9-pipelined-nofwd",
+            },
+            Machine::Rv32PicoRv32 => "rv32-picorv32",
+            Machine::Rv32VexRiscv => "rv32-vexriscv",
+        }
+    }
+
+    /// Whether this configuration executes on the ART-9 machine.
+    pub fn is_art9(&self) -> bool {
+        self.machine == Machine::Art9
     }
 
     fn needs_translation(&self) -> bool {
-        self.art9_backend().is_some()
+        self.is_art9()
+    }
+}
+
+impl fmt::Display for ExecConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for ExecConfig {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<ExecConfig, String> {
+        Ok(match s {
+            "art9-functional" => ExecConfig::art9(Backend::Functional),
+            "art9-threaded" => ExecConfig::art9(Backend::Threaded),
+            "art9-reference" => ExecConfig::art9(Backend::Reference),
+            "art9-pipelined" => ExecConfig::art9_pipelined(true),
+            "art9-pipelined-nofwd" => ExecConfig::art9_pipelined(false),
+            "rv32-picorv32" => ExecConfig::rv32_picorv32(),
+            "rv32-vexriscv" => ExecConfig::rv32_vexriscv(),
+            other => {
+                return Err(format!(
+                    "unknown config {other:?} (expected art9-functional, art9-threaded, \
+                     art9-reference, art9-pipelined, art9-pipelined-nofwd, rv32-picorv32 \
+                     or rv32-vexriscv)"
+                ))
+            }
+        })
     }
 }
 
@@ -113,9 +202,20 @@ pub enum RunOutcome {
     Verified,
     /// Simulation completed but the output did not match the golden
     /// reference.
-    VerifyFailed(String),
+    VerifyFailed(VerifyError),
     /// The simulator or the preparation stage reported an error.
-    Error(String),
+    Error(WorkloadError),
+}
+
+impl RunOutcome {
+    /// The typed error behind a non-verified outcome, if any.
+    pub fn error(&self) -> Option<WorkloadError> {
+        match self {
+            RunOutcome::Verified => None,
+            RunOutcome::VerifyFailed(e) => Some(WorkloadError::Verify(e.clone())),
+            RunOutcome::Error(e) => Some(e.clone()),
+        }
+    }
 }
 
 /// The result of one workload under one configuration.
@@ -124,7 +224,7 @@ pub struct RunRecord {
     /// Workload name (e.g. `"bubble-sort"`).
     pub workload: &'static str,
     /// Configuration the run executed under.
-    pub config: SimConfig,
+    pub config: ExecConfig,
     /// Simulated clock cycles, when the configuration has a timing
     /// model (`None` for the functional reference simulator).
     pub cycles: Option<u64>,
@@ -172,7 +272,7 @@ pub struct BatchReport {
 
 impl BatchReport {
     /// The record for one (workload, config) cell of the matrix.
-    pub fn find(&self, workload: &str, config: SimConfig) -> Option<&RunRecord> {
+    pub fn find(&self, workload: &str, config: ExecConfig) -> Option<&RunRecord> {
         self.runs
             .iter()
             .find(|r| r.workload == workload && r.config == config)
@@ -184,6 +284,13 @@ impl BatchReport {
             .iter()
             .filter(|r| r.outcome != RunOutcome::Verified)
             .count()
+    }
+
+    /// The first non-verified run's typed error, in workload-major
+    /// order ([`None`] when every run verified). This is what
+    /// [`BatchRunner::try_run`] surfaces.
+    pub fn first_error(&self) -> Option<WorkloadError> {
+        self.runs.iter().find_map(|r| r.outcome.error())
     }
 
     /// Sum of simulated cycles over all timed runs.
@@ -285,8 +392,8 @@ impl BatchReport {
 /// functionally checked once, shared by every configuration that runs it.
 struct Prepared {
     workload: Workload,
-    rv: Result<Rv32Program, String>,
-    translation: Option<Result<Translation, String>>,
+    rv: Result<Rv32Program, WorkloadError>,
+    translation: Option<Result<Translation, WorkloadError>>,
     /// The ART-9 program decoded once into the shared simulator image;
     /// every ART-9 config of the matrix fetches from this same `Arc`'d
     /// text instead of copying or re-decoding per run (`None` when no
@@ -298,12 +405,27 @@ struct Prepared {
     rv_functional: Option<RunOutcome>,
 }
 
+/// Converts a boxed verifier error (either a [`VerifyError`] or an
+/// address fault while reading the output region) into an outcome.
+fn verify_outcome(workload: &str, result: Result<(), Box<dyn std::error::Error>>) -> RunOutcome {
+    match result {
+        Ok(()) => RunOutcome::Verified,
+        Err(e) => match e.downcast::<VerifyError>() {
+            Ok(ve) => RunOutcome::VerifyFailed(*ve),
+            Err(e) => RunOutcome::Error(WorkloadError::Unavailable {
+                workload: workload.to_string(),
+                detail: format!("verify: {e}"),
+            }),
+        },
+    }
+}
+
 /// Executes many workloads under many simulator configurations in
 /// parallel. See the [module docs](self) for an example.
 #[derive(Debug, Clone)]
 pub struct BatchRunner {
     workloads: Vec<Workload>,
-    configs: Vec<SimConfig>,
+    configs: Vec<ExecConfig>,
     max_steps: u64,
     seed: Option<u64>,
     measure_energy: bool,
@@ -340,13 +462,13 @@ impl BatchRunner {
     }
 
     /// Adds one simulator configuration.
-    pub fn config(mut self, c: SimConfig) -> Self {
+    pub fn config(mut self, c: ExecConfig) -> Self {
         self.configs.push(c);
         self
     }
 
     /// Adds many simulator configurations.
-    pub fn configs(mut self, cs: impl IntoIterator<Item = SimConfig>) -> Self {
+    pub fn configs(mut self, cs: impl IntoIterator<Item = ExecConfig>) -> Self {
         self.configs.extend(cs);
         self
     }
@@ -385,11 +507,8 @@ impl BatchRunner {
     /// bad program cannot take down a batch.
     pub fn run(&self) -> BatchReport {
         let start = Instant::now();
-        let needs_translation = self.configs.iter().any(SimConfig::needs_translation);
-        let needs_rv32 = self
-            .configs
-            .iter()
-            .any(|c| matches!(c, SimConfig::Rv32PicoRv32 | SimConfig::Rv32VexRiscv));
+        let needs_translation = self.configs.iter().any(ExecConfig::needs_translation);
+        let needs_rv32 = self.configs.iter().any(|c| !c.is_art9());
         let max_steps = self.max_steps;
 
         // Reseed (deterministically, by position) before fan-out.
@@ -408,11 +527,20 @@ impl BatchRunner {
             .into_par_iter()
             .map(|w| {
                 let t0 = Instant::now();
-                let rv = w.rv32_program().map_err(|e| e.to_string());
-                let translation = match (&rv, needs_translation) {
-                    (Ok(p), true) => Some(art9_compiler::translate(p).map_err(|e| e.to_string())),
-                    _ => None,
-                };
+                let rv = w.rv32_program().map_err(|e| WorkloadError::Parse {
+                    workload: w.name.to_string(),
+                    detail: e.to_string(),
+                });
+                let translation =
+                    match (&rv, needs_translation) {
+                        (Ok(p), true) => Some(art9_compiler::translate(p).map_err(|e| {
+                            WorkloadError::Translate {
+                                workload: w.name.to_string(),
+                                detail: e.to_string(),
+                            }
+                        })),
+                        _ => None,
+                    };
                 let predecoded = match &translation {
                     Some(Ok(t)) => Some(PredecodedProgram::new(&t.program)),
                     _ => None,
@@ -421,11 +549,11 @@ impl BatchRunner {
                     (Ok(p), true) => {
                         let mut machine = rv32::Machine::new(p);
                         Some(match machine.run(max_steps) {
-                            Err(e) => RunOutcome::Error(e.to_string()),
-                            Ok(_) => match w.verify_rv32(&machine) {
-                                Ok(()) => RunOutcome::Verified,
-                                Err(e) => RunOutcome::VerifyFailed(e.to_string()),
-                            },
+                            Err(e) => RunOutcome::Error(WorkloadError::Rv32 {
+                                workload: w.name.to_string(),
+                                detail: e.to_string(),
+                            }),
+                            Ok(_) => verify_outcome(w.name, w.verify_rv32(&machine)),
                         })
                     }
                     _ => None,
@@ -448,7 +576,7 @@ impl BatchRunner {
         // that one heavy workload's runs spread across the contiguous
         // per-thread chunks instead of piling onto a single worker.
         let n_cfg = self.configs.len();
-        let pairs: Vec<(usize, Arc<Prepared>, SimConfig)> = self
+        let pairs: Vec<(usize, Arc<Prepared>, ExecConfig)> = self
             .configs
             .iter()
             .enumerate()
@@ -475,10 +603,27 @@ impl BatchRunner {
             threads: rayon::current_num_threads(),
         }
     }
+
+    /// Like [`BatchRunner::run`], but fails fast at the API level: the
+    /// report is returned only when **every** run verified; otherwise
+    /// the first failure (workload-major order) comes back as a typed
+    /// [`WorkloadError`]. The whole matrix still executes either way —
+    /// this wraps the outcome, it does not abort mid-batch.
+    ///
+    /// # Errors
+    ///
+    /// The first run whose outcome was not [`RunOutcome::Verified`].
+    pub fn try_run(&self) -> Result<BatchReport, WorkloadError> {
+        let report = self.run();
+        match report.first_error() {
+            None => Ok(report),
+            Some(e) => Err(e),
+        }
+    }
 }
 
 /// Runs one prepared workload under one configuration.
-fn execute(p: &Prepared, config: SimConfig, max_steps: u64, measure_energy: bool) -> RunRecord {
+fn execute(p: &Prepared, config: ExecConfig, max_steps: u64, measure_energy: bool) -> RunRecord {
     let name = p.workload.name;
     // Failure record; `host_time` is whatever the simulator burned
     // before erroring (zero when it never ran).
@@ -495,11 +640,11 @@ fn execute(p: &Prepared, config: SimConfig, max_steps: u64, measure_energy: bool
 
     let rv = match &p.rv {
         Ok(rv) => rv,
-        Err(e) => return fail(RunOutcome::Error(format!("parse: {e}")), Duration::ZERO),
+        Err(e) => return fail(RunOutcome::Error(e.clone()), Duration::ZERO),
     };
 
-    match config.art9_backend() {
-        Some((backend, forwarding)) => {
+    match config.machine {
+        Machine::Art9 => {
             // The prepare stage decoded the program once; all ART-9
             // configs fetch from that shared image. One backend-generic
             // code path serves every ART-9 configuration: construction
@@ -507,20 +652,28 @@ fn execute(p: &Prepared, config: SimConfig, max_steps: u64, measure_energy: bool
             // timing through `Core::pipeline_stats`.
             let image = match (&p.predecoded, p.translation.as_ref()) {
                 (Some(image), _) => image,
-                (None, Some(Err(e))) => {
-                    return fail(RunOutcome::Error(format!("translate: {e}")), Duration::ZERO)
-                }
+                (None, Some(Err(e))) => return fail(RunOutcome::Error(e.clone()), Duration::ZERO),
                 _ => {
                     return fail(
-                        RunOutcome::Error("translation unavailable".into()),
+                        RunOutcome::Error(WorkloadError::Unavailable {
+                            workload: name.to_string(),
+                            detail: "translation unavailable".into(),
+                        }),
                         Duration::ZERO,
                     )
                 }
             };
+            let sim_error = |source: SimError| {
+                RunOutcome::Error(WorkloadError::Sim {
+                    workload: name.to_string(),
+                    config: config.name(),
+                    source,
+                })
+            };
             let start = Instant::now();
             let mut builder = SimBuilder::new(image)
-                .backend(backend)
-                .forwarding(forwarding);
+                .backend(config.backend)
+                .forwarding(config.forwarding);
             let energy = measure_energy.then(|| Arc::new(Mutex::new(EnergyAccounting::new())));
             if let Some(e) = &energy {
                 builder = builder.observer(e.clone());
@@ -528,19 +681,16 @@ fn execute(p: &Prepared, config: SimConfig, max_steps: u64, measure_energy: bool
             let mut core = builder.build();
             let summary = match core.run_for(Budget::Steps(max_steps)) {
                 Ok(s) => s,
-                Err(e) => return fail(RunOutcome::Error(e.to_string()), start.elapsed()),
+                Err(e) => return fail(sim_error(e), start.elapsed()),
             };
             if summary.halt.is_none() {
                 return fail(
-                    RunOutcome::Error(SimError::Timeout { limit: max_steps }.to_string()),
+                    sim_error(SimError::Timeout { limit: max_steps }),
                     start.elapsed(),
                 );
             }
             let host_time = start.elapsed();
-            let outcome = match p.workload.verify_art9(core.state()) {
-                Ok(()) => RunOutcome::Verified,
-                Err(e) => RunOutcome::VerifyFailed(e.to_string()),
-            };
+            let outcome = verify_outcome(name, p.workload.verify_art9(core.state()));
             let stats = core.pipeline_stats();
             RunRecord {
                 workload: name,
@@ -553,14 +703,17 @@ fn execute(p: &Prepared, config: SimConfig, max_steps: u64, measure_energy: bool
                 outcome,
             }
         }
-        None => {
+        Machine::Rv32PicoRv32 | Machine::Rv32VexRiscv => {
             // The functional run + verification happened once in the
             // prepare stage; here only the requested cycle model runs.
             let outcome = match &p.rv_functional {
                 Some(o) => o.clone(),
                 None => {
                     return fail(
-                        RunOutcome::Error("rv32 functional check unavailable".into()),
+                        RunOutcome::Error(WorkloadError::Unavailable {
+                            workload: name.to_string(),
+                            detail: "rv32 functional check unavailable".into(),
+                        }),
                         Duration::ZERO,
                     )
                 }
@@ -569,15 +722,23 @@ fn execute(p: &Prepared, config: SimConfig, max_steps: u64, measure_energy: bool
                 return fail(outcome, Duration::ZERO);
             }
             let start = Instant::now();
-            let timing = match config {
-                SimConfig::Rv32PicoRv32 => {
+            let timing = match config.machine {
+                Machine::Rv32PicoRv32 => {
                     rv32::simulate_cycles(rv, &mut PicoRv32Model::new(), max_steps)
                 }
                 _ => rv32::simulate_cycles(rv, &mut VexRiscvModel::new(), max_steps),
             };
             let report = match timing {
                 Ok(r) => r,
-                Err(e) => return fail(RunOutcome::Error(e.to_string()), start.elapsed()),
+                Err(e) => {
+                    return fail(
+                        RunOutcome::Error(WorkloadError::Rv32 {
+                            workload: name.to_string(),
+                            detail: e.to_string(),
+                        }),
+                        start.elapsed(),
+                    )
+                }
             };
             RunRecord {
                 workload: name,
@@ -603,8 +764,8 @@ mod tests {
             .workload(bubble_sort(8))
             .workload(dot_product(6))
             .configs([
-                SimConfig::Art9Pipelined { forwarding: true },
-                SimConfig::Rv32PicoRv32,
+                ExecConfig::art9_pipelined(true),
+                ExecConfig::rv32_picorv32(),
             ])
             .max_steps(10_000_000)
             .run()
@@ -620,12 +781,26 @@ mod tests {
         assert_eq!(
             names,
             vec![
-                ("bubble-sort", SimConfig::Art9Pipelined { forwarding: true }),
-                ("bubble-sort", SimConfig::Rv32PicoRv32),
-                ("dot-product", SimConfig::Art9Pipelined { forwarding: true }),
-                ("dot-product", SimConfig::Rv32PicoRv32),
+                ("bubble-sort", ExecConfig::art9_pipelined(true)),
+                ("bubble-sort", ExecConfig::rv32_picorv32()),
+                ("dot-product", ExecConfig::art9_pipelined(true)),
+                ("dot-product", ExecConfig::rv32_picorv32()),
             ]
         );
+    }
+
+    #[test]
+    fn config_names_round_trip_through_from_str() {
+        for config in ExecConfig::FULL_MATRIX {
+            let parsed: ExecConfig = config.name().parse().expect("name parses back");
+            assert_eq!(parsed, config, "{}", config.name());
+            assert_eq!(config.to_string(), config.name());
+        }
+        // The reference backend is expressible too (the old enum could
+        // not name it).
+        let reference: ExecConfig = "art9-reference".parse().unwrap();
+        assert_eq!(reference.backend, Backend::Reference);
+        assert!("art9-quantum".parse::<ExecConfig>().is_err());
     }
 
     #[test]
@@ -647,13 +822,13 @@ mod tests {
     fn full_matrix_functional_has_no_cycles() {
         let report = BatchRunner::new()
             .workload(dot_product(4))
-            .configs(SimConfig::FULL_MATRIX)
+            .configs(ExecConfig::FULL_MATRIX)
             .max_steps(10_000_000)
             .run();
         assert_eq!(report.runs.len(), 6);
         assert_eq!(report.failures(), 0, "{}", report.render());
         let functional = &report.runs[0];
-        assert_eq!(functional.config, SimConfig::Art9Functional);
+        assert_eq!(functional.config, ExecConfig::art9(Backend::Functional));
         assert_eq!(functional.cycles, None);
         assert!(functional.instructions > 0);
         // No-forwarding pipeline can never be faster than forwarding.
@@ -663,7 +838,7 @@ mod tests {
         // The threaded backend is architectural too: no timing model,
         // same retirement count as the functional reference.
         let threaded = &report.runs[3];
-        assert_eq!(threaded.config, SimConfig::Art9Threaded);
+        assert_eq!(threaded.config, ExecConfig::art9(Backend::Threaded));
         assert_eq!(threaded.cycles, None);
         assert_eq!(threaded.instructions, functional.instructions);
     }
@@ -675,8 +850,8 @@ mod tests {
                 .workload(bubble_sort(8))
                 .workload(dot_product(6))
                 .configs([
-                    SimConfig::Art9Functional,
-                    SimConfig::Art9Pipelined { forwarding: true },
+                    ExecConfig::art9(Backend::Functional),
+                    ExecConfig::art9_pipelined(true),
                 ])
                 .max_steps(10_000_000)
                 .seed(1234)
@@ -699,7 +874,7 @@ mod tests {
         let run = |seed| {
             BatchRunner::new()
                 .workload(bubble_sort(8))
-                .config(SimConfig::Art9Pipelined { forwarding: true })
+                .config(ExecConfig::art9_pipelined(true))
                 .max_steps(10_000_000)
                 .seed(seed)
                 .run()
@@ -720,13 +895,56 @@ mod tests {
         let report = BatchRunner::new()
             .workload(w)
             .workload(dot_product(4))
-            .config(SimConfig::Rv32PicoRv32)
+            .config(ExecConfig::rv32_picorv32())
             .max_steps(1_000_000)
             .run();
         assert_eq!(report.runs.len(), 2);
         assert_eq!(report.failures(), 1);
-        assert!(matches!(report.runs[0].outcome, RunOutcome::Error(_)));
+        assert!(matches!(
+            report.runs[0].outcome,
+            RunOutcome::Error(WorkloadError::Parse { .. })
+        ));
         assert_eq!(report.runs[1].outcome, RunOutcome::Verified);
+    }
+
+    #[test]
+    fn try_run_surfaces_the_first_typed_error() {
+        let mut bad = bubble_sort(4);
+        bad.source = "this is not assembly".into();
+        let err = BatchRunner::new()
+            .workload(bad)
+            .config(ExecConfig::rv32_picorv32())
+            .max_steps(1_000_000)
+            .try_run()
+            .expect_err("a parse failure must surface");
+        assert!(matches!(err, WorkloadError::Parse { .. }));
+        assert_eq!(err.workload(), "bubble-sort");
+
+        // A clean batch passes the report through.
+        let report = BatchRunner::new()
+            .workload(dot_product(4))
+            .config(ExecConfig::art9(Backend::Functional))
+            .max_steps(10_000_000)
+            .try_run()
+            .expect("clean batch");
+        assert_eq!(report.failures(), 0);
+    }
+
+    #[test]
+    fn try_run_maps_budget_exhaustion_to_sim_timeout() {
+        let err = BatchRunner::new()
+            .workload(bubble_sort(8))
+            .config(ExecConfig::art9(Backend::Functional))
+            .max_steps(10)
+            .try_run()
+            .expect_err("ten steps cannot finish a sort");
+        match err {
+            WorkloadError::Sim { config, source, .. } => {
+                assert_eq!(config, "art9-functional");
+                assert_eq!(source, SimError::Timeout { limit: 10 });
+            }
+            other => panic!("expected Sim timeout, got {other}"),
+        }
     }
 
     #[test]
@@ -734,8 +952,8 @@ mod tests {
         let report = BatchRunner::new()
             .workload(bubble_sort(8))
             .configs([
-                SimConfig::Art9Pipelined { forwarding: true },
-                SimConfig::Rv32PicoRv32,
+                ExecConfig::art9_pipelined(true),
+                ExecConfig::rv32_picorv32(),
             ])
             .max_steps(10_000_000)
             .measure_energy(true)
@@ -755,7 +973,7 @@ mod tests {
         // Off by default: the hot path stays observer-free.
         let quiet = BatchRunner::new()
             .workload(bubble_sort(8))
-            .config(SimConfig::Art9Functional)
+            .config(ExecConfig::art9(Backend::Functional))
             .max_steps(10_000_000)
             .run();
         assert!(quiet.runs[0].energy.is_none());
@@ -786,7 +1004,7 @@ mod tests {
         // A record that retired nothing has no CPI rather than NaN.
         let r = RunRecord {
             workload: "empty",
-            config: SimConfig::Art9Functional,
+            config: ExecConfig::art9(Backend::Functional),
             cycles: Some(0),
             instructions: 0,
             pipeline: None,

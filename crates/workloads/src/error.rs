@@ -1,0 +1,150 @@
+//! Typed errors for batch and service execution.
+//!
+//! One shared enum covers every way a workload run can fail — from
+//! source parsing through translation, simulation and output
+//! verification — so the batch driver ([`crate::batch::BatchRunner`])
+//! and the `art9-service` session scheduler report job-level failures
+//! through the same type. Simulator faults keep the underlying
+//! [`art9_sim::SimError`] intact (reachable through
+//! [`std::error::Error::source`]) instead of flattening it to a string.
+
+use std::error::Error;
+use std::fmt;
+
+use art9_sim::SimError;
+
+use crate::VerifyError;
+
+/// Why one workload run (or service job) failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WorkloadError {
+    /// The RV32 assembly source did not parse.
+    Parse {
+        /// Workload name.
+        workload: String,
+        /// Assembler diagnostic.
+        detail: String,
+    },
+    /// RV32 → ART-9 translation failed.
+    Translate {
+        /// Workload name.
+        workload: String,
+        /// Translator diagnostic.
+        detail: String,
+    },
+    /// The ART-9 simulator faulted or exhausted its budget.
+    Sim {
+        /// Workload name.
+        workload: String,
+        /// Configuration name (see `ExecConfig::name`).
+        config: &'static str,
+        /// The underlying simulator error, preserved whole.
+        source: SimError,
+    },
+    /// The RV32 machine or one of its cycle models faulted.
+    Rv32 {
+        /// Workload name.
+        workload: String,
+        /// Machine diagnostic.
+        detail: String,
+    },
+    /// The output region did not match the golden reference.
+    Verify(VerifyError),
+    /// A prerequisite stage never produced its artifact (e.g. an ART-9
+    /// run was requested but no translation exists).
+    Unavailable {
+        /// Workload name.
+        workload: String,
+        /// What was missing.
+        detail: String,
+    },
+}
+
+impl WorkloadError {
+    /// The name of the workload the error belongs to.
+    pub fn workload(&self) -> &str {
+        match self {
+            WorkloadError::Parse { workload, .. }
+            | WorkloadError::Translate { workload, .. }
+            | WorkloadError::Sim { workload, .. }
+            | WorkloadError::Rv32 { workload, .. }
+            | WorkloadError::Unavailable { workload, .. } => workload,
+            WorkloadError::Verify(e) => e.workload,
+        }
+    }
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::Parse { workload, detail } => {
+                write!(f, "{workload}: parse: {detail}")
+            }
+            WorkloadError::Translate { workload, detail } => {
+                write!(f, "{workload}: translate: {detail}")
+            }
+            WorkloadError::Sim {
+                workload,
+                config,
+                source,
+            } => write!(f, "{workload} [{config}]: {source}"),
+            WorkloadError::Rv32 { workload, detail } => {
+                write!(f, "{workload}: rv32: {detail}")
+            }
+            WorkloadError::Verify(e) => e.fmt(f),
+            WorkloadError::Unavailable { workload, detail } => {
+                write!(f, "{workload}: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for WorkloadError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            WorkloadError::Sim { source, .. } => Some(source),
+            WorkloadError::Verify(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<VerifyError> for WorkloadError {
+    fn from(e: VerifyError) -> Self {
+        WorkloadError::Verify(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_errors_keep_their_source() {
+        let e = WorkloadError::Sim {
+            workload: "gemm".into(),
+            config: "art9-functional",
+            source: SimError::Timeout { limit: 100 },
+        };
+        assert!(e.to_string().contains("gemm"));
+        assert!(e.to_string().contains("art9-functional"));
+        let source = e.source().expect("sim errors carry a source");
+        assert!(source.to_string().contains("100 steps"));
+        assert_eq!(e.workload(), "gemm");
+    }
+
+    #[test]
+    fn verify_errors_convert_and_chain() {
+        let ve = VerifyError {
+            workload: "sobel",
+            index: 2,
+            expected: 1,
+            found: 0,
+        };
+        let e = WorkloadError::from(ve.clone());
+        assert_eq!(e.to_string(), ve.to_string());
+        assert!(e.source().is_some());
+        assert_eq!(e.workload(), "sobel");
+    }
+}

@@ -28,12 +28,15 @@
 
 pub mod batch;
 pub mod energy;
+mod error;
 
 mod bubble;
 mod dhrystone;
 mod extras;
 mod gemm;
 mod sobel;
+
+pub use error::WorkloadError;
 
 use std::error::Error;
 use std::fmt;
@@ -226,6 +229,42 @@ pub fn paper_suite() -> Vec<Workload> {
     ]
 }
 
+/// Wire names accepted by [`by_name`], in registry order — what the
+/// `art9-service` job schema advertises to clients.
+pub const WORKLOAD_NAMES: [&str; 6] = [
+    "bubble-sort",
+    "gemm",
+    "sobel",
+    "dhrystone",
+    "fibonacci",
+    "dot-product",
+];
+
+/// Builds a workload from its wire name — how the `art9-service` job
+/// schema references this library. `n` overrides the size parameter
+/// (array length, matrix dimension, iteration count, …) and is bounded
+/// per workload so a remote job cannot request an image that overflows
+/// the default TDM or the 9-trit word range; `None` picks the paper's
+/// defaults. Returns `None` for unknown names or out-of-range sizes.
+pub fn by_name(name: &str, n: Option<usize>) -> Option<Workload> {
+    // (default, max) per workload: bubble-sort and dot-product are
+    // bounded by the 256-word TDM, gemm by its three n×n matrices,
+    // fibonacci by fib(n) staying within the ±9841 word range.
+    let sized = |default: usize, max: usize, build: fn(usize) -> Workload| {
+        let n = n.unwrap_or(default);
+        (1..=max).contains(&n).then(|| build(n))
+    };
+    match name {
+        "bubble-sort" => sized(20, 64, bubble_sort),
+        "gemm" => sized(6, 8, gemm),
+        "sobel" => Some(sobel()),
+        "dhrystone" => sized(PAPER_DHRYSTONE_ITERATIONS, 10_000, dhrystone),
+        "fibonacci" => sized(12, 20, fibonacci),
+        "dot-product" => sized(16, 100, dot_product),
+        _ => None,
+    }
+}
+
 /// Derives an independent sub-seed for `lane` under `seed` (a
 /// SplitMix64 round): how the batch driver hands every workload its
 /// own input stream, and how multi-stream constructors split one seed.
@@ -274,6 +313,21 @@ mod tests {
         assert!(a.iter().all(|v| (-5..=9).contains(v)));
         // Different seed differs.
         assert_ne!(a, lcg_values(43, 100, -5, 9));
+    }
+
+    #[test]
+    fn by_name_covers_the_registry_and_bounds_sizes() {
+        for name in WORKLOAD_NAMES {
+            let w = by_name(name, None).expect("every registered name builds");
+            assert_eq!(w.name, name);
+        }
+        assert!(by_name("quux", None).is_none());
+        // Size overrides apply and are bounded.
+        assert!(by_name("bubble-sort", Some(8)).is_some());
+        assert!(by_name("bubble-sort", Some(0)).is_none());
+        assert!(by_name("bubble-sort", Some(1000)).is_none());
+        // fib(21) would overflow the 9-trit word range.
+        assert!(by_name("fibonacci", Some(21)).is_none());
     }
 
     #[test]
