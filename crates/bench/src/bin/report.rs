@@ -217,7 +217,21 @@ fn main() {
         service.p99_slice_us, service.migrations, service.steals
     );
 
-    let json = perf::bench_json(&word_ops, &sims, &energy_rows, Some(&service));
+    // ---- Ternary-NN throughput ----------------------------------------
+    // The SIMD-vs-scalar speedup of the host golden path plus simulator
+    // throughput of the nn-mlp workload (docs/WORKLOADS.md).
+    println!("\n=== Ternary NN (bitplane SIMD, see docs/WORKLOADS.md) ===");
+    let nn = perf::measure_nn(Duration::from_millis(300));
+    println!(
+        "  {}x{} ternary matvec: scalar {:.0} ns, simd {:.0} ns, speedup {:.2}x",
+        nn.rows, nn.cols, nn.scalar_ns_per_matvec, nn.simd_ns_per_matvec, nn.simd_speedup
+    );
+    println!(
+        "  {} on art9: {:.3e} i/s functional, {:.3e} i/s threaded",
+        nn.sim.workload, nn.sim.functional_ips, nn.sim.threaded_ips
+    );
+
+    let json = perf::bench_json(&word_ops, &sims, &energy_rows, Some(&service), Some(&nn));
     std::fs::write("BENCH_ternary.json", &json).expect("write BENCH_ternary.json");
     println!("wrote BENCH_ternary.json");
 }

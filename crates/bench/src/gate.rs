@@ -14,6 +14,10 @@
 //! except its `per_worker_ips` is gated at *twice* the allowed
 //! fraction — a threaded scheduler under a full worker fleet is far
 //! noisier on shared runners than a single-threaded simulator loop.
+//! The `nn` section (ternary-NN golden-path SIMD speedup and simulator
+//! throughput) is pinned the same way; its `simd_speedup` is a ratio
+//! of two timings from the same run, so host speed cancels and the
+//! plain threshold applies.
 //! Word-operation timings are reported
 //! but not gated — they are nanosecond-scale and too noisy on shared
 //! CI runners; the whole-simulator rates integrate over millions of
@@ -64,6 +68,17 @@ pub struct ServiceGateRow {
     pub per_worker_ips: f64,
 }
 
+/// The ternary-NN row from a bench document's `nn` section.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NnGateRow {
+    /// Host golden-path speedup of the bitplane-SIMD matvec over the
+    /// scalar word-at-a-time loop.
+    pub simd_speedup: f64,
+    /// Functional-simulator instructions per second of the `nn-mlp`
+    /// workload.
+    pub functional_ips: f64,
+}
+
 /// The gated contents of one `BENCH_ternary.json`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchDoc {
@@ -76,6 +91,9 @@ pub struct BenchDoc {
     /// Scheduler throughput (`None` for baselines committed before the
     /// service existed; pinned once present).
     pub service: Option<ServiceGateRow>,
+    /// Ternary-NN golden-path and simulator rates (`None` for baselines
+    /// committed before the SIMD subsystem; pinned once present).
+    pub nn: Option<NnGateRow>,
 }
 
 /// One metric comparison.
@@ -257,6 +275,27 @@ pub fn compare(baseline: &BenchDoc, current: &BenchDoc, max_regress: f64) -> Gat
         (Some(_), None) => missing.push("service/per_worker_ips".into()),
         (None, _) => {}
     }
+    // Ternary-NN, pin-once. Both gated metrics go down = regression.
+    match (&baseline.nn, &current.nn) {
+        (Some(base), Some(cur)) => {
+            for (metric, b, c) in [
+                ("simd_speedup", base.simd_speedup, cur.simd_speedup),
+                ("functional_ips", base.functional_ips, cur.functional_ips),
+            ] {
+                let delta = MetricDelta {
+                    name: format!("nn/{metric}"),
+                    baseline: b,
+                    current: c,
+                };
+                if c < b * (1.0 - max_regress) {
+                    regressions.push(delta.clone());
+                }
+                deltas.push(delta);
+            }
+        }
+        (Some(_), None) => missing.push("nn/simd_speedup".into()),
+        (None, _) => {}
+    }
     GateResult {
         deltas,
         regressions,
@@ -315,10 +354,25 @@ pub fn parse_bench_json(text: &str) -> Result<BenchDoc, String> {
                 .ok_or_else(|| format!("service row without \"per_worker_ips\": {obj}"))?,
         });
     }
+    // The nn section postdates all of the above: same pin-once
+    // contract. The key search cannot false-positive on the row's
+    // "workload": "nn-mlp" value because the pattern includes the
+    // closing quote.
+    let mut nn = None;
+    if let Some(array) = section(text, "\"nn\"") {
+        let obj = objects(array).next().ok_or("empty \"nn\" array")?;
+        nn = Some(NnGateRow {
+            simd_speedup: number_field(obj, "simd_speedup")
+                .ok_or_else(|| format!("nn row without \"simd_speedup\": {obj}"))?,
+            functional_ips: number_field(obj, "functional_ips")
+                .ok_or_else(|| format!("nn row without \"functional_ips\": {obj}"))?,
+        });
+    }
     Ok(BenchDoc {
         simulators,
         energy,
         service,
+        nn,
     })
 }
 
@@ -394,7 +448,18 @@ mod tests {
                 .collect(),
             energy: Vec::new(),
             service: None,
+            nn: None,
         }
+    }
+
+    /// `doc()` with an nn section at `n_scale` times nominal rates.
+    fn doc_with_nn(n_scale: f64) -> BenchDoc {
+        let mut d = doc(1.0, 1.0);
+        d.nn = Some(NnGateRow {
+            simd_speedup: 5.0 * n_scale,
+            functional_ips: 3.0e7 * n_scale,
+        });
+        d
     }
 
     /// `doc()` with a service section at `s_scale` times a nominal
@@ -466,6 +531,11 @@ mod tests {
         // And the service section, so scheduler throughput is gated on
         // every CI run from here on.
         assert!(d.service.as_ref().unwrap().per_worker_ips > 0.0);
+        // And the nn section: the ISSUE 9 acceptance bar (>= 4x SIMD
+        // speedup) is recorded in the committed baseline and gated.
+        let nn = d.nn.as_ref().unwrap();
+        assert!(nn.simd_speedup >= 4.0);
+        assert!(nn.functional_ips > 0.0);
     }
 
     #[test]
@@ -612,6 +682,48 @@ mod tests {
         // A pre-service baseline gates nothing against a service-bearing
         // current document.
         let r = compare(&doc(1.0, 1.0), &doc_with_service(1.0), 0.25);
+        assert!(r.ok(), "{}", r.render(0.25));
+    }
+
+    #[test]
+    fn nn_section_parses_and_gates() {
+        let text = r#"{
+  "simulators": [
+    {"workload": "gemm", "functional_ips": 6.19e7, "pipelined_cps": 2.12e7}
+  ],
+  "nn": [
+    {"workload": "nn-mlp", "rows": 40, "cols": 40, "scalar_ns_per_matvec": 4200.00, "simd_ns_per_matvec": 860.00, "simd_speedup": 4.88, "instructions": 120000, "cycles": 150000, "functional_ips": 3.1000e7, "threaded_ips": 9.0000e7, "pipelined_cps": 2.0000e7}
+  ]
+}"#;
+        let d = parse_bench_json(text).unwrap();
+        let row = d.nn.as_ref().expect("nn section parses");
+        assert!((row.simd_speedup - 4.88).abs() < 1e-9);
+        assert!((row.functional_ips - 3.1e7).abs() < 1.0);
+        // A present-but-malformed section is rejected, not ignored.
+        assert!(parse_bench_json(&text.replace("simd_speedup", "nope")).is_err());
+        // Pre-nn documents parse to no section at all — and the
+        // "nn-mlp" workload name alone must not look like one.
+        assert!(parse_bench_json(SAMPLE).unwrap().nn.is_none());
+
+        let base = doc_with_nn(1.0);
+        // 10% noise passes; a halved speedup trips the gate.
+        let r = compare(&base, &doc_with_nn(0.9), 0.25);
+        assert!(r.ok(), "{}", r.render(0.25));
+        assert!(r.deltas.iter().any(|d| d.name == "nn/simd_speedup"));
+        let r = compare(&base, &doc_with_nn(0.5), 0.25);
+        assert!(!r.ok());
+        assert!(r.regressions.iter().any(|d| d.name == "nn/simd_speedup"));
+        assert!(r.regressions.iter().any(|d| d.name == "nn/functional_ips"));
+    }
+
+    #[test]
+    fn dropping_the_nn_section_fails_once_pinned() {
+        let r = compare(&doc_with_nn(1.0), &doc(1.0, 1.0), 0.25);
+        assert!(!r.ok());
+        assert!(r.missing.iter().any(|m| m == "nn/simd_speedup"));
+        // A pre-nn baseline gates nothing against an nn-bearing current
+        // document.
+        let r = compare(&doc(1.0, 1.0), &doc_with_nn(1.0), 0.25);
         assert!(r.ok(), "{}", r.render(0.25));
     }
 

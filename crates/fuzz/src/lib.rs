@@ -55,8 +55,8 @@ pub use cosim::{check_compiler_lockstep, cosim_mem_bytes, CoSim, COSIM_TDM_WORDS
 pub use gen::{generate, step_budget, GenConfig, Mix, MIN_TDM_WORDS};
 pub use minimize::{minimize, minimize_rv32, Minimized, MinimizedRv32};
 pub use oracle::{
-    check_arith, check_program, check_program_filtered, lockstep, random_word, Divergence,
-    LockstepOutcome, Oracle, OracleStats, ORACLE_TDM_WORDS,
+    check_arith, check_program, check_program_filtered, check_simd, lockstep, random_word,
+    Divergence, LockstepOutcome, Oracle, OracleStats, ORACLE_TDM_WORDS,
 };
 pub use replay::{
     is_rv32_replay, parse_replay, parse_replay_header, render_replay, render_replay_rv32,
@@ -80,6 +80,10 @@ pub struct FuzzConfig {
     pub gen: GenConfig,
     /// Random word pairs per iteration for the arithmetic oracle.
     pub arith_pairs: usize,
+    /// Random lane configurations per iteration for the SIMD oracle
+    /// (each configuration cross-checks every `Word9xN` lane op
+    /// against its tritwise lanewise reference).
+    pub simd_sets: usize,
     /// RV32 generator tuning for the compiler-lockstep oracle.
     pub rv_gen: Rv32GenConfig,
     /// Rotate through every named [`Mix`] (and [`Rv32Mix`]) by
@@ -103,6 +107,7 @@ impl Default for FuzzConfig {
             gen: GenConfig::default(),
             rv_gen: Rv32GenConfig::default(),
             arith_pairs: 32,
+            simd_sets: 8,
             sweep_mixes: false,
             fail_dir: None,
             oracle: None,
@@ -126,6 +131,7 @@ impl FuzzConfig {
                 ..Rv32GenConfig::default()
             },
             arith_pairs: 16,
+            simd_sets: 4,
             sweep_mixes: true,
             ..Self::default()
         }
@@ -176,10 +182,11 @@ impl FuzzReport {
         );
         let _ = writeln!(
             out,
-            "{} roundtrip checks, {} arithmetic checks, {} energy flips cross-checked | \
-             digest {:016x}",
+            "{} roundtrip checks, {} arithmetic checks, {} simd-lane checks, \
+             {} energy flips cross-checked | digest {:016x}",
             self.stats.roundtrip_checks,
             self.stats.arith_checks,
+            self.stats.simd_checks,
             self.stats.energy_flips,
             self.digest
         );
@@ -293,6 +300,9 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
                 if divergence.is_none() && cfg.oracle.is_none_or(|o| o == Oracle::Arithmetic) {
                     divergence = check_arith(&mut rng, cfg.arith_pairs, &mut stats);
                 }
+                if divergence.is_none() && cfg.oracle.is_none_or(|o| o == Oracle::Simd) {
+                    divergence = check_simd(&mut rng, cfg.simd_sets, &mut stats);
+                }
                 if divergence.is_some() {
                     artifact = Some(CaseArtifact::Art9(program));
                 }
@@ -332,18 +342,22 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
         let Some((iteration, divergence, artifact)) = o.failure else {
             continue;
         };
-        // Arithmetic findings are value-level, not program-level: the
-        // failing operands are in the divergence detail and the case
-        // reproduces from `--seed`/`--iterations` alone. Writing the
-        // (unrelated) generated program as a replay file would record
-        // a "repro" that passes — so no replay is produced.
-        if divergence.oracle == Oracle::Arithmetic {
+        // Arithmetic and SIMD findings are value-level, not
+        // program-level: the failing operands are in the divergence
+        // detail and the case reproduces from `--seed`/`--iterations`
+        // alone. Writing the (unrelated) generated program as a replay
+        // file would record a "repro" that passes — so no replay is
+        // produced.
+        if matches!(divergence.oracle, Oracle::Arithmetic | Oracle::Simd) {
             divergences.push(Failure {
                 iteration,
                 replay_text: format!(
-                    "; arithmetic finding — no program replay; re-run with \
+                    "; {} finding — no program replay; re-run with \
                      --seed {} --iterations {} to reproduce\n; {}",
-                    cfg.seed, cfg.iterations, divergence.detail
+                    divergence.oracle.name(),
+                    cfg.seed,
+                    cfg.iterations,
+                    divergence.detail
                 ),
                 divergence,
                 replay_path: None,

@@ -41,8 +41,8 @@ OPTIONS:
     --oracle NAME     Run only one oracle (functional-vs-reference |
                       functional-vs-threaded | energy | slice-migrate |
                       pipelined-fwd | pipelined-nofwd | toolchain-roundtrip |
-                      arithmetic | compiler-lockstep) — for triaging a
-                      campaign or a replay file
+                      arithmetic | simd | compiler-lockstep) — for triaging
+                      a campaign or a replay file
     --max-len N       Upper bound on generated body length (default 160)
     --smoke           CI budget: 150 small programs across the mixes
     --fail-dir DIR    Write minimized replay files here (default fuzz-failures)
@@ -224,10 +224,11 @@ fn triage(text: &str, divergence: &art9_fuzz::Divergence) {
 }
 
 fn replay_one(path: &std::path::Path, oracle: Option<Oracle>) -> ExitCode {
-    if oracle == Some(Oracle::Arithmetic) {
+    if let Some(o @ (Oracle::Arithmetic | Oracle::Simd)) = oracle {
         eprintln!(
-            "error: the arithmetic oracle is value-level and has no program replay; \
-             reproduce it with --seed/--iterations instead"
+            "error: the {} oracle is value-level and has no program replay; \
+             reproduce it with --seed/--iterations instead",
+            o.name()
         );
         return ExitCode::from(2);
     }

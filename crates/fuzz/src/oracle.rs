@@ -33,6 +33,7 @@ use art9_sim::observers::EnergyAccounting;
 use art9_sim::{
     Backend, Budget, Checkpoint, Core, CoreState, HaltReason, PredecodedProgram, SimBuilder,
 };
+use ternary::simd::{self, LaneWeights, PackedWeights, Word9xN};
 use ternary::{arith, Trit, Trits, Word9};
 
 use crate::gen::MIN_TDM_WORDS;
@@ -77,6 +78,13 @@ pub enum Oracle {
     ToolchainRoundtrip,
     /// Packed bitplane kernels vs the tritwise reference algorithms.
     Arithmetic,
+    /// Bitplane-SIMD lane subsystem ([`Word9xN`]) vs the per-trit
+    /// lanewise references in `ternary::arith`: lane-parallel add,
+    /// subtract, negate, logic, compare, ternary-weight MAC and
+    /// horizontal reduce on adversarial lane counts (word-boundary
+    /// ±1), ±3^k lane values, all-zero weight vectors and mixed-sign
+    /// MACs.
+    Simd,
     /// RV32→ART-9 translation vs the `rv32` machine, in lockstep at
     /// RV32-instruction granularity (see [`crate::CoSim`]). Runs on
     /// generated RV32 programs, not ART-9 ones.
@@ -85,7 +93,7 @@ pub enum Oracle {
 
 impl Oracle {
     /// Every oracle, in campaign order.
-    pub const ALL: [Oracle; 9] = [
+    pub const ALL: [Oracle; 10] = [
         Oracle::FunctionalVsReference,
         Oracle::FunctionalVsThreaded,
         Oracle::Energy,
@@ -94,6 +102,7 @@ impl Oracle {
         Oracle::PipelinedNoForwarding,
         Oracle::ToolchainRoundtrip,
         Oracle::Arithmetic,
+        Oracle::Simd,
         Oracle::CompilerLockstep,
     ];
 
@@ -109,6 +118,7 @@ impl Oracle {
             Oracle::PipelinedNoForwarding => "pipelined-nofwd",
             Oracle::ToolchainRoundtrip => "toolchain-roundtrip",
             Oracle::Arithmetic => "arithmetic",
+            Oracle::Simd => "simd",
             Oracle::CompilerLockstep => "compiler-lockstep",
         }
     }
@@ -173,6 +183,9 @@ pub struct OracleStats {
     pub roundtrip_checks: u64,
     /// Individual arithmetic cross-checks performed.
     pub arith_checks: u64,
+    /// Individual SIMD-lane cross-checks performed (one per lane-op
+    /// comparison against its tritwise lanewise reference).
+    pub simd_checks: u64,
     /// Trit flips cross-checked by the energy oracle (packed total;
     /// the tritwise side counted the same number when the oracle
     /// passed).
@@ -198,6 +211,7 @@ impl OracleStats {
         self.pipelined_cycles += other.pipelined_cycles;
         self.roundtrip_checks += other.roundtrip_checks;
         self.arith_checks += other.arith_checks;
+        self.simd_checks += other.simd_checks;
         self.energy_flips += other.energy_flips;
         self.slice_migrate_slices += other.slice_migrate_slices;
         self.slice_migrate_migrations += other.slice_migrate_migrations;
@@ -994,6 +1008,210 @@ pub fn check_arith(rng: &mut FuzzRng, pairs: usize, stats: &mut OracleStats) -> 
     None
 }
 
+/// Cross-checks the bitplane-SIMD lane subsystem ([`Word9xN`]) against
+/// the per-trit lanewise references in `ternary::arith` on `sets`
+/// random lane configurations.
+///
+/// Adversarial structure every set draws from: lane counts straddling
+/// the 6-lanes-per-u64 word boundary (1, 5, 6, 7, 12, 13), lane values
+/// from the ±3^k sign boundaries and the saturated words (longest
+/// carry chains), all-zero weight vectors (the MAC identity) and
+/// mixed-sign weights. Checked per set: pack/unpack roundtrip, splat,
+/// lane-parallel add/sub/negate, the three trit-logic ops, compare,
+/// ternary-weight MAC (both the mask path and the fused splat path)
+/// and the horizontal reduce.
+pub fn check_simd(rng: &mut FuzzRng, sets: usize, stats: &mut OracleStats) -> Option<Divergence> {
+    let fail = |detail: String| {
+        Some(Divergence {
+            oracle: Oracle::Simd,
+            detail,
+        })
+    };
+    let fmt = |v: &[Word9]| {
+        v.iter()
+            .map(|w| w.to_i64().to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+
+    // The same corner pool as the arithmetic oracle: saturated words,
+    // zero, and the ±3^k sign boundaries.
+    let mut specials = vec![Word9::ZERO, Word9::MAX, Word9::MIN];
+    for k in 0..9 {
+        let p = ternary::pow3(k);
+        for v in [p, -p, (p - 1) / 2, -(p - 1) / 2] {
+            specials.push(Word9::from_i64(v).expect("3^k fits"));
+        }
+    }
+    // Lane counts hugging the 6-lanes-per-u64 word boundary.
+    const BOUNDARY_LANES: [usize; 6] = [1, 5, 6, 7, 12, 13];
+
+    for _ in 0..sets {
+        let lanes = if rng.chance(1, 2) {
+            BOUNDARY_LANES[rng.index(BOUNDARY_LANES.len())]
+        } else {
+            1 + rng.below(16) as usize
+        };
+        let draw = |rng: &mut FuzzRng| -> Vec<Word9> {
+            (0..lanes)
+                .map(|_| {
+                    if rng.chance(1, 3) {
+                        specials[rng.index(specials.len())]
+                    } else {
+                        random_word(rng)
+                    }
+                })
+                .collect()
+        };
+        let a = draw(rng);
+        let b = draw(rng);
+        // One set in five exercises the all-zero weight vector (the MAC
+        // identity); the rest mix all three signs.
+        let weights: Vec<Trit> = if rng.chance(1, 5) {
+            vec![Trit::Z; lanes]
+        } else {
+            (0..lanes)
+                .map(|_| match rng.below(3) {
+                    0 => Trit::N,
+                    1 => Trit::Z,
+                    _ => Trit::P,
+                })
+                .collect()
+        };
+        let va = Word9xN::from_words(&a);
+        let vb = Word9xN::from_words(&b);
+
+        let check = |name: &str, packed: &[Word9], reference: &[Word9]| {
+            if packed == reference {
+                return None;
+            }
+            fail(format!(
+                "{name} over {lanes} lanes: [{}] (packed) vs [{}] (lanewise) \
+                 for a=[{}] b=[{}]",
+                fmt(packed),
+                fmt(reference),
+                fmt(&a),
+                fmt(&b)
+            ))
+        };
+
+        if let Some(d) = check("pack/unpack", &va.to_words(), &a) {
+            return Some(d);
+        }
+        if let Some(d) = check(
+            "add",
+            &va.wrapping_add(&vb).to_words(),
+            &arith::add_lanewise(&a, &b),
+        ) {
+            return Some(d);
+        }
+        if let Some(d) = check(
+            "sub",
+            &va.wrapping_sub(&vb).to_words(),
+            &arith::add_lanewise(&a, &arith::negate_lanewise(&b)),
+        ) {
+            return Some(d);
+        }
+        if let Some(d) = check(
+            "negate",
+            &va.negate().to_words(),
+            &arith::negate_lanewise(&a),
+        ) {
+            return Some(d);
+        }
+        for (name, packed, f) in [
+            ("and", va.and(&vb), Trit::and as fn(Trit, Trit) -> Trit),
+            ("or", va.or(&vb), Trit::or),
+            ("xor", va.xor(&vb), Trit::xor),
+        ] {
+            if let Some(d) = check(name, &packed.to_words(), &arith::logic_lanewise(&a, &b, f)) {
+                return Some(d);
+            }
+        }
+
+        let verdicts = va.compare(&vb).lane_lsts();
+        let reference = arith::compare_lanewise(&a, &b);
+        if verdicts != reference {
+            return fail(format!(
+                "compare over {lanes} lanes: {verdicts:?} (packed) vs {reference:?} \
+                 (lanewise) for a=[{}] b=[{}]",
+                fmt(&a),
+                fmt(&b)
+            ));
+        }
+
+        let masks = LaneWeights::new(&weights);
+        let mac_ref = arith::mac_lanewise(&a, &b, &weights);
+        if let Some(d) = check("mac", &va.mac(&vb, &masks).to_words(), &mac_ref) {
+            return Some(d);
+        }
+        // The fused broadcast path: every lane accumulates the same x.
+        let x = b[0];
+        let mut splat_acc = va.clone();
+        splat_acc.mac_splat(x, &masks);
+        let splat_ref = arith::mac_lanewise(&a, &vec![x; lanes], &weights);
+        if let Some(d) = check("mac_splat", &splat_acc.to_words(), &splat_ref) {
+            return Some(d);
+        }
+
+        let reduced = va.reduce_add();
+        let reduce_ref = arith::reduce_add_lanewise(&a);
+        if reduced != reduce_ref {
+            return fail(format!(
+                "reduce over {lanes} lanes: {} (packed) vs {} (lanewise) for a=[{}]",
+                reduced.to_i64(),
+                reduce_ref.to_i64(),
+                fmt(&a)
+            ));
+        }
+
+        let splat = Word9xN::splat(a[0], lanes);
+        if splat.to_words() != vec![a[0]; lanes] {
+            return fail(format!(
+                "splat of {} over {lanes} lanes did not replicate: [{}]",
+                a[0].to_i64(),
+                fmt(&splat.to_words())
+            ));
+        }
+
+        // The word-major carry-save matvec kernel against a chain of
+        // per-trit lanewise MACs: a random short column count so pass
+        // shapes (3-, 4-, 2- and 1-word tails) all occur across sets.
+        let cols = 1 + rng.below(6) as usize;
+        let cvals: Vec<Word9> = (0..cols).map(|_| random_word(rng)).collect();
+        let cweights: Vec<Vec<Trit>> = (0..cols)
+            .map(|_| {
+                (0..lanes)
+                    .map(|_| match rng.below(3) {
+                        0 => Trit::N,
+                        1 => Trit::Z,
+                        _ => Trit::P,
+                    })
+                    .collect()
+            })
+            .collect();
+        let packed = PackedWeights::from_columns(
+            &cweights
+                .iter()
+                .map(|w| LaneWeights::new(w))
+                .collect::<Vec<_>>(),
+        );
+        let got = simd::matvec(&cvals, &packed).to_words();
+        let mut want = vec![Word9::ZERO; lanes];
+        for (xc, wc) in cvals.iter().zip(&cweights) {
+            want = arith::mac_lanewise(&want, &vec![*xc; lanes], wc);
+        }
+        if let Some(d) = check("matvec", &got, &want) {
+            return Some(d);
+        }
+
+        // Thirteen comparisons per set: pack/unpack, add, sub, negate,
+        // and/or/xor, compare, mac, mac_splat, reduce, splat, matvec.
+        stats.simd_checks += 13;
+    }
+    None
+}
+
 /// A uniformly random trit pattern (covers all 3⁹ words, not just the
 /// value range of any integer conversion path).
 pub fn random_word(rng: &mut FuzzRng) -> Word9 {
@@ -1154,6 +1372,27 @@ mod tests {
         let d = check_arith(&mut rng, 64, &mut stats);
         assert!(d.is_none(), "{}", d.unwrap());
         assert!(stats.arith_checks >= 64);
+    }
+
+    #[test]
+    fn simd_oracle_is_clean_and_counts() {
+        let mut rng = FuzzRng::new(11);
+        let mut stats = OracleStats::default();
+        let d = check_simd(&mut rng, 32, &mut stats);
+        assert!(d.is_none(), "{}", d.unwrap());
+        // Each clean set performs exactly the twelve fixed comparisons.
+        assert_eq!(stats.simd_checks, 32 * 13);
+    }
+
+    #[test]
+    fn simd_oracle_is_deterministic() {
+        let run = |seed| {
+            let mut stats = OracleStats::default();
+            let d = check_simd(&mut FuzzRng::new(seed), 8, &mut stats);
+            (stats.simd_checks, d.is_none())
+        };
+        assert_eq!(run(42), run(42));
+        assert!(run(42).1 && run(7).1);
     }
 
     #[test]

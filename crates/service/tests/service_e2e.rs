@@ -97,6 +97,38 @@ fn workload_jobs_verify_and_stream_events() {
 }
 
 #[test]
+fn nn_session_verifies_over_the_protocol() {
+    let mut server = start_server(2, 150);
+    let addr = server.local_addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+
+    // The ternary-NN workload is addressable by registry name over the
+    // wire like any other; a small quantum slices the inference run.
+    let id = client
+        .submit_workload("nn-mlp", "n=8 config=art9-threaded energy=1")
+        .unwrap();
+    let status = client.wait(id).unwrap();
+    assert_eq!(status.state, "done");
+    assert!(status.retired > 0);
+    assert!(status.slices >= 2, "quantum 150 forces multiple slices");
+
+    let result = client.result(id).unwrap();
+    assert!(result.contains(&"verified ok".to_string()), "{result:?}");
+    assert!(result.iter().any(|l| l.starts_with("mix ")), "{result:?}");
+
+    // The associative-search workload rides the same registry path.
+    let id = client
+        .submit_workload("assoc-match", "n=32 config=art9-functional")
+        .unwrap();
+    let status = client.wait(id).unwrap();
+    assert_eq!(status.state, "done");
+    let result = client.result(id).unwrap();
+    assert!(result.contains(&"verified ok".to_string()), "{result:?}");
+
+    server.shutdown();
+}
+
+#[test]
 fn protocol_errors_are_diagnosed_not_fatal() {
     let mut server = start_server(1, 1_000);
     let addr = server.local_addr().to_string();

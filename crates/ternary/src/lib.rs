@@ -15,6 +15,10 @@
 //!   reference algorithms live in [`arith`].
 //! * [`encoding`] — binary-coded balanced ternary (2 bits/trit), the
 //!   representation the paper's FPGA verification platform uses.
+//! * [`simd`] — bitplane-SIMD lanes ([`simd::Word9xN`]): many 9-trit
+//!   words packed across wide bitplanes, with the word-parallel kernels
+//!   lifted to every lane at once and a ternary-weight
+//!   multiply-accumulate for the NN workloads.
 //! * [`TernaryMemory`] — word-addressed TIM/TDM models with memory-cell
 //!   (trit) accounting for Fig. 5.
 //!
@@ -41,6 +45,7 @@ pub mod arith;
 pub mod encoding;
 mod error;
 mod memory;
+pub mod simd;
 mod trit;
 mod word;
 

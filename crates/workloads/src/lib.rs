@@ -30,10 +30,12 @@ pub mod batch;
 pub mod energy;
 mod error;
 
+pub mod assoc;
 mod bubble;
 mod dhrystone;
 mod extras;
 mod gemm;
+pub mod nn;
 mod sobel;
 
 pub use error::WorkloadError;
@@ -44,10 +46,12 @@ use std::fmt;
 use art9_sim::CoreState;
 use rv32::{Machine, Rv32Error, Rv32Program};
 
+pub use assoc::{assoc_match, assoc_match_seeded};
 pub use bubble::{bubble_sort, bubble_sort_seeded};
 pub use dhrystone::{dhrystone, dhrystone_seeded, DHRYSTONE_DIVISOR};
 pub use extras::{dot_product, dot_product_seeded, fibonacci};
 pub use gemm::{gemm, gemm_seeded};
+pub use nn::{nn_mlp, nn_mlp_seeded};
 pub use sobel::{sobel, sobel_seeded};
 
 /// How a workload's random inputs were generated, so the batch driver
@@ -80,6 +84,16 @@ pub enum Generator {
     /// [`dot_product`] over `n`-vectors.
     DotProduct {
         /// Vector length.
+        n: usize,
+    },
+    /// [`nn_mlp`]: ternary-weight `n → n → n` MLP inference.
+    NnMlp {
+        /// Layer width.
+        n: usize,
+    },
+    /// [`assoc_match`]: associative search over an `n`-entry table.
+    AssocMatch {
+        /// Table size.
         n: usize,
     },
 }
@@ -207,6 +221,8 @@ impl Workload {
             Some(Generator::Sobel) => sobel_seeded(seed),
             Some(Generator::Dhrystone { iterations }) => dhrystone_seeded(iterations, seed),
             Some(Generator::DotProduct { n }) => dot_product_seeded(n, seed),
+            Some(Generator::NnMlp { n }) => nn_mlp_seeded(n, seed),
+            Some(Generator::AssocMatch { n }) => assoc_match_seeded(n, seed),
             // Fibonacci has no random inputs; hand-built workloads
             // cannot be regenerated.
             Some(Generator::Fibonacci { .. }) | None => self.clone(),
@@ -231,13 +247,15 @@ pub fn paper_suite() -> Vec<Workload> {
 
 /// Wire names accepted by [`by_name`], in registry order — what the
 /// `art9-service` job schema advertises to clients.
-pub const WORKLOAD_NAMES: [&str; 6] = [
+pub const WORKLOAD_NAMES: [&str; 8] = [
     "bubble-sort",
     "gemm",
     "sobel",
     "dhrystone",
     "fibonacci",
     "dot-product",
+    "nn-mlp",
+    "assoc-match",
 ];
 
 /// Builds a workload from its wire name — how the `art9-service` job
@@ -261,6 +279,10 @@ pub fn by_name(name: &str, n: Option<usize>) -> Option<Workload> {
         "dhrystone" => sized(PAPER_DHRYSTONE_ITERATIONS, 10_000, dhrystone),
         "fibonacci" => sized(12, 20, fibonacci),
         "dot-product" => sized(16, 100, dot_product),
+        // nn-mlp: three n-vectors + two n×n ternary matrices in the
+        // 256-word TDM; assoc-match: table + keys + per-key outputs.
+        "nn-mlp" => sized(8, 10, nn_mlp),
+        "assoc-match" => sized(32, 128, assoc_match),
         _ => None,
     }
 }
