@@ -2,7 +2,7 @@
 //! every simulated cycle leans on.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use ternary::{arith, encoding, Word9};
+use ternary::{arith, encoding, TernaryReal, Word27, Word81, Word9};
 
 fn bench(c: &mut Criterion) {
     let a = Word9::from_i64(4821).expect("in range");
@@ -53,6 +53,57 @@ fn bench(c: &mut Criterion) {
     });
     g.bench_function("bct_packed_negate", |bn| {
         bn.iter(|| encoding::packed_negate::<9>(black_box(0b01_00_10)))
+    });
+    g.finish();
+
+    // The multi-plane words and the tapered reals: the before/after of
+    // the single-u64-plane ceiling.
+    let w27a = Word27::from_i128_wrapping(0x1234_5678_9ABC);
+    let w27b = Word27::from_i128_wrapping(-0x0FED_CBA9_8765);
+    let w81a = Word81::from_i128_wrapping(0x1234_5678_9ABC_DEF0_1234_5678_9ABC_DEF0);
+    let w81b = Word81::from_i128_wrapping(-0x0FED_CBA9_8765_4321_0FED_CBA9_8765_4321);
+    let ra = TernaryReal::from_scaled(7_450_580_596_923, -20);
+    let rb = TernaryReal::from_scaled(-1_220_703_125, 5);
+
+    let mut g = c.benchmark_group("wide");
+    g.bench_function("word27_add", |bn| {
+        bn.iter(|| black_box(w27a).wrapping_add(black_box(w27b)))
+    });
+    g.bench_function("word27_mul", |bn| {
+        bn.iter(|| black_box(w27a).wrapping_mul(black_box(w27b)))
+    });
+    g.bench_function("word81_add", |bn| {
+        bn.iter(|| black_box(w81a).wrapping_add(black_box(w81b)))
+    });
+    g.bench_function("word81_add_tritwise_ref", |bn| {
+        // The per-trit ripple reference the multi-plane carry loop is
+        // property-tested against.
+        bn.iter(|| arith::wide_add_tritwise(black_box(w81a), black_box(w81b)))
+    });
+    g.bench_function("word81_mul", |bn| {
+        bn.iter(|| black_box(w81a).wrapping_mul(black_box(w81b)))
+    });
+    g.bench_function("word81_negate", |bn| bn.iter(|| black_box(w81a).negate()));
+    g.bench_function("word81_compare", |bn| {
+        bn.iter(|| black_box(w81a).cmp(&black_box(w81b)))
+    });
+    g.bench_function("word81_compress3", |bn| {
+        bn.iter(|| Word81::compress3(black_box(w81a), black_box(w81b), black_box(w81a.negate())))
+    });
+    g.bench_function("word81_to_i128", |bn| {
+        bn.iter(|| black_box(w81a).try_to_i128())
+    });
+    g.bench_function("word81_from_i128_wrapping", |bn| {
+        bn.iter(|| Word81::from_i128_wrapping(black_box(0x0123_4567_89AB_CDEF_0123)))
+    });
+    g.bench_function("real_add", |bn| {
+        bn.iter(|| black_box(ra).add(&black_box(rb)))
+    });
+    g.bench_function("real_mul", |bn| {
+        bn.iter(|| black_box(ra).mul(&black_box(rb)))
+    });
+    g.bench_function("real_tapered_roundtrip", |bn| {
+        bn.iter(|| TernaryReal::from_tapered(black_box(ra).to_tapered()))
     });
     g.finish();
 }

@@ -231,7 +231,23 @@ fn main() {
         nn.sim.workload, nn.sim.functional_ips, nn.sim.threaded_ips
     );
 
-    let json = perf::bench_json(&word_ops, &sims, &energy_rows, Some(&service), Some(&nn));
+    // ---- Wide words and tapered reals ---------------------------------
+    // Etiemble-style per-operation costs of the multi-plane 27/81-trit
+    // words and the tapered-precision reals (docs/ARITHMETIC.md).
+    println!("\n=== Wide ternary words (multi-plane, see docs/ARITHMETIC.md) ===");
+    let wide = perf::measure_wide(Duration::from_millis(40));
+    for op in &wide {
+        println!("  wide/{:<26} {:>8.2} ns/op", op.name, op.ns_per_op);
+    }
+
+    let json = perf::bench_json(
+        &word_ops,
+        &sims,
+        &energy_rows,
+        Some(&service),
+        Some(&nn),
+        &wide,
+    );
     std::fs::write("BENCH_ternary.json", &json).expect("write BENCH_ternary.json");
     println!("wrote BENCH_ternary.json");
 }

@@ -18,7 +18,12 @@
 //! throughput) is pinned the same way; its `simd_speedup` is a ratio
 //! of two timings from the same run, so host speed cancels and the
 //! plain threshold applies.
-//! Word-operation timings are reported
+//! The `wide` section (multi-plane 27/81-trit word and tapered-real
+//! operation timings) is pinned the same way; its rows gate at the
+//! service section's doubled threshold because per-op timings, even
+//! the wide ones, are noisier on shared runners than whole-simulator
+//! rates (`ns_per_op` up = regression).
+//! `Word9`-operation timings are reported
 //! but not gated — they are nanosecond-scale and too noisy on shared
 //! CI runners; the whole-simulator rates integrate over millions of
 //! operations and are the metrics PR 2's history is recorded in.
@@ -79,6 +84,15 @@ pub struct NnGateRow {
     pub functional_ips: f64,
 }
 
+/// One wide-word operation row from a bench document's `wide` section.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WideGateRow {
+    /// Operation name (`word27_add`, `word81_mul`, `real_add`, …).
+    pub name: String,
+    /// Mean nanoseconds per operation.
+    pub ns_per_op: f64,
+}
+
 /// The gated contents of one `BENCH_ternary.json`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchDoc {
@@ -94,6 +108,9 @@ pub struct BenchDoc {
     /// Ternary-NN golden-path and simulator rates (`None` for baselines
     /// committed before the SIMD subsystem; pinned once present).
     pub nn: Option<NnGateRow>,
+    /// Wide-word operation timings (empty for baselines committed
+    /// before the multi-plane subsystem; pinned once present).
+    pub wide: Vec<WideGateRow>,
 }
 
 /// One metric comparison.
@@ -296,6 +313,27 @@ pub fn compare(baseline: &BenchDoc, current: &BenchDoc, max_regress: f64) -> Gat
         (Some(_), None) => missing.push("nn/simd_speedup".into()),
         (None, _) => {}
     }
+    // Wide-word operation timings, pin-once per row. Unlike the Word9
+    // suite these rows integrate enough work per call (multi-word carry
+    // ripples, shift-and-add multiplies) to be gateable, but per-op
+    // timings are still noisier than whole-simulator rates, so the
+    // allowed increase is doubled like the service threshold. More
+    // nanoseconds = regression.
+    for base in &baseline.wide {
+        let Some(cur) = current.wide.iter().find(|r| r.name == base.name) else {
+            missing.push(format!("wide/{}", base.name));
+            continue;
+        };
+        let delta = MetricDelta {
+            name: format!("wide/{}/ns_per_op", base.name),
+            baseline: base.ns_per_op,
+            current: cur.ns_per_op,
+        };
+        if cur.ns_per_op > base.ns_per_op * (1.0 + 2.0 * max_regress) {
+            regressions.push(delta.clone());
+        }
+        deltas.push(delta);
+    }
     GateResult {
         deltas,
         regressions,
@@ -368,11 +406,28 @@ pub fn parse_bench_json(text: &str) -> Result<BenchDoc, String> {
                 .ok_or_else(|| format!("nn row without \"functional_ips\": {obj}"))?,
         });
     }
+    // The wide section postdates everything above: same pin-once
+    // contract, one row per wide operation.
+    let mut wide = Vec::new();
+    if let Some(array) = section(text, "\"wide\"") {
+        for obj in objects(array) {
+            wide.push(WideGateRow {
+                name: string_field(obj, "name")
+                    .ok_or_else(|| format!("wide row without \"name\": {obj}"))?,
+                ns_per_op: number_field(obj, "ns_per_op")
+                    .ok_or_else(|| format!("wide row without \"ns_per_op\": {obj}"))?,
+            });
+        }
+        if wide.is_empty() {
+            return Err("empty \"wide\" array".into());
+        }
+    }
     Ok(BenchDoc {
         simulators,
         energy,
         service,
         nn,
+        wide,
     })
 }
 
@@ -449,7 +504,25 @@ mod tests {
             energy: Vec::new(),
             service: None,
             nn: None,
+            wide: Vec::new(),
         }
+    }
+
+    /// `doc()` with a wide section at `w_scale` times nominal per-op
+    /// costs (scale *up* = slower = worse).
+    fn doc_with_wide(w_scale: f64) -> BenchDoc {
+        let mut d = doc(1.0, 1.0);
+        d.wide = vec![
+            WideGateRow {
+                name: "word81_add".into(),
+                ns_per_op: 7.0 * w_scale,
+            },
+            WideGateRow {
+                name: "real_mul".into(),
+                ns_per_op: 45.0 * w_scale,
+            },
+        ];
+        d
     }
 
     /// `doc()` with an nn section at `n_scale` times nominal rates.
@@ -536,6 +609,12 @@ mod tests {
         let nn = d.nn.as_ref().unwrap();
         assert!(nn.simd_speedup >= 4.0);
         assert!(nn.functional_ips > 0.0);
+        // And the wide section: the multi-plane 27/81-trit words and
+        // the tapered reals are pinned from this PR on.
+        assert!(!d.wide.is_empty());
+        assert!(d.wide.iter().any(|r| r.name == "word81_add"));
+        assert!(d.wide.iter().any(|r| r.name == "real_mul"));
+        assert!(d.wide.iter().all(|r| r.ns_per_op > 0.0));
     }
 
     #[test]
@@ -724,6 +803,58 @@ mod tests {
         // A pre-nn baseline gates nothing against an nn-bearing current
         // document.
         let r = compare(&doc(1.0, 1.0), &doc_with_nn(1.0), 0.25);
+        assert!(r.ok(), "{}", r.render(0.25));
+    }
+
+    #[test]
+    fn wide_section_parses_and_gates_slowdowns_only() {
+        let text = r#"{
+  "simulators": [
+    {"workload": "gemm", "functional_ips": 6.19e7, "pipelined_cps": 2.12e7}
+  ],
+  "wide": [
+    {"name": "word81_add", "ns_per_op": 7.25},
+    {"name": "real_mul", "ns_per_op": 44.50}
+  ]
+}"#;
+        let d = parse_bench_json(text).unwrap();
+        assert_eq!(d.wide.len(), 2);
+        assert_eq!(d.wide[0].name, "word81_add");
+        assert!((d.wide[1].ns_per_op - 44.5).abs() < 1e-9);
+        // A present-but-malformed section is rejected, not ignored.
+        assert!(parse_bench_json(&text.replace("ns_per_op", "nope")).is_err());
+        // Pre-wide documents parse to an empty (ungated) section.
+        assert!(parse_bench_json(SAMPLE).unwrap().wide.is_empty());
+
+        let base = doc_with_wide(1.0);
+        // 40% slower stays inside the doubled 2 * 25% band.
+        let r = compare(&base, &doc_with_wide(1.4), 0.25);
+        assert!(r.ok(), "{}", r.render(0.25));
+        assert!(r
+            .deltas
+            .iter()
+            .any(|d| d.name == "wide/word81_add/ns_per_op"));
+        // 60% slower trips it.
+        let r = compare(&base, &doc_with_wide(1.6), 0.25);
+        assert!(!r.ok());
+        assert!(r
+            .regressions
+            .iter()
+            .any(|d| d.name == "wide/real_mul/ns_per_op"));
+        // Getting *faster* is an improvement, never a regression.
+        let r = compare(&base, &doc_with_wide(0.3), 0.25);
+        assert!(r.ok(), "{}", r.render(0.25));
+    }
+
+    #[test]
+    fn dropping_the_wide_section_fails_once_pinned() {
+        let r = compare(&doc_with_wide(1.0), &doc(1.0, 1.0), 0.25);
+        assert!(!r.ok());
+        assert!(r.missing.iter().any(|m| m == "wide/word81_add"));
+        assert!(r.missing.iter().any(|m| m == "wide/real_mul"));
+        // A pre-wide baseline gates nothing against a wide-bearing
+        // current document.
+        let r = compare(&doc(1.0, 1.0), &doc_with_wide(1.0), 0.25);
         assert!(r.ok(), "{}", r.render(0.25));
     }
 

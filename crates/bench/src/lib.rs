@@ -245,6 +245,167 @@ pub mod perf {
         p().0
     }
 
+    /// One measured multi-plane wide-word (or tapered-real) operation
+    /// cost — a row of the `wide` section of `BENCH_ternary.json`.
+    #[derive(Debug, Clone)]
+    pub struct WidePerf {
+        /// Operation name, `<type>_<op>` (e.g. `word81_add`).
+        pub name: &'static str,
+        /// Mean nanoseconds per operation.
+        pub ns_per_op: f64,
+    }
+
+    /// Rotates through adjacent pairs of a pre-generated operand pool,
+    /// so carry-chain lengths and sign mixes are averaged like the
+    /// `Word9` suite.
+    fn pair_stream<T: Copy>(pool: &[T]) -> impl FnMut() -> (T, T) + '_ {
+        let mut k = 0usize;
+        move || {
+            k = (k + 1) % (pool.len() - 1);
+            (pool[k], pool[k + 1])
+        }
+    }
+
+    /// Measures the wide-word suite (`budget` per operation): the
+    /// Etiemble-style adder/multiplier rows at 27 and 81 trits, the
+    /// 81-trit support ops, and the tapered-precision real arithmetic.
+    pub fn measure_wide(budget: Duration) -> Vec<WidePerf> {
+        use ternary::{TernaryReal, Word27, Word81};
+
+        let mut seed = 0x243F_6A88_85A3_08D3u64;
+        let mut raw = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            seed
+        };
+        let w27: Vec<Word27> = (0..64)
+            .map(|_| Word27::from_i128_wrapping(raw() as i64 as i128))
+            .collect();
+        let w81: Vec<Word81> = (0..64)
+            .map(|_| Word81::from_i128_wrapping((((raw() as u128) << 64) | raw() as u128) as i128))
+            .collect();
+        let reals: Vec<TernaryReal> = (0..64)
+            .map(|_| TernaryReal::from_scaled(raw() as i64 >> 16, (raw() % 121) as i32 - 60))
+            .collect();
+
+        let mut ops: Vec<WidePerf> = Vec::new();
+        {
+            let mut p = pair_stream(&w27);
+            ops.push(WidePerf {
+                name: "word27_add",
+                ns_per_op: ns_per_call(budget, move || {
+                    let (a, b) = p();
+                    a.wrapping_add(b)
+                }),
+            });
+        }
+        {
+            let mut p = pair_stream(&w27);
+            ops.push(WidePerf {
+                name: "word27_mul",
+                ns_per_op: ns_per_call(budget, move || {
+                    let (a, b) = p();
+                    a.wrapping_mul(b)
+                }),
+            });
+        }
+        {
+            let mut p = pair_stream(&w81);
+            ops.push(WidePerf {
+                name: "word81_add",
+                ns_per_op: ns_per_call(budget, move || {
+                    let (a, b) = p();
+                    a.wrapping_add(b)
+                }),
+            });
+        }
+        {
+            let mut p = pair_stream(&w81);
+            ops.push(WidePerf {
+                name: "word81_mul",
+                ns_per_op: ns_per_call(budget, move || {
+                    let (a, b) = p();
+                    a.wrapping_mul(b)
+                }),
+            });
+        }
+        {
+            let mut p = pair_stream(&w81);
+            ops.push(WidePerf {
+                name: "word81_negate",
+                ns_per_op: ns_per_call(budget, move || p().0.negate()),
+            });
+        }
+        {
+            let mut p = pair_stream(&w81);
+            ops.push(WidePerf {
+                name: "word81_compare",
+                ns_per_op: ns_per_call(budget, move || {
+                    let (a, b) = p();
+                    a.cmp(&b)
+                }),
+            });
+        }
+        {
+            let mut p = pair_stream(&w81);
+            ops.push(WidePerf {
+                name: "word81_compress3",
+                ns_per_op: ns_per_call(budget, move || {
+                    let (a, b) = p();
+                    Word81::compress3(a, b, a.negate())
+                }),
+            });
+        }
+        {
+            let mut p = pair_stream(&w81);
+            ops.push(WidePerf {
+                name: "word81_to_i128",
+                ns_per_op: ns_per_call(budget, move || p().0.try_to_i128()),
+            });
+        }
+        {
+            let mut v = 1i128;
+            ops.push(WidePerf {
+                name: "word81_from_i128_wrapping",
+                ns_per_op: ns_per_call(budget, move || {
+                    v = v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    Word81::from_i128_wrapping(v)
+                }),
+            });
+        }
+        {
+            let mut p = pair_stream(&reals);
+            ops.push(WidePerf {
+                name: "real_add",
+                ns_per_op: ns_per_call(budget, move || {
+                    let (a, b) = p();
+                    a.add(&b)
+                }),
+            });
+        }
+        {
+            let mut p = pair_stream(&reals);
+            ops.push(WidePerf {
+                name: "real_mul",
+                ns_per_op: ns_per_call(budget, move || {
+                    let (a, b) = p();
+                    a.mul(&b)
+                }),
+            });
+        }
+        {
+            let mut p = pair_stream(&reals);
+            ops.push(WidePerf {
+                name: "real_tapered_roundtrip",
+                ns_per_op: ns_per_call(budget, move || {
+                    TernaryReal::from_tapered(p().0.to_tapered())
+                }),
+            });
+        }
+        ops
+    }
+
     /// Measures functional and pipelined throughput of one workload on
     /// its shared predecoded image (`budget` per simulator).
     ///
@@ -451,6 +612,7 @@ pub mod perf {
         energy: &[crate::energy::EnergyRow],
         service: Option<&ServicePerf>,
         nn: Option<&NnPerf>,
+        wide: &[WidePerf],
     ) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
@@ -550,6 +712,18 @@ pub mod perf {
             );
             out.push_str("  ]");
         }
+        if !wide.is_empty() {
+            out.push_str(",\n  \"wide\": [\n");
+            for (i, op) in wide.iter().enumerate() {
+                let comma = if i + 1 < wide.len() { "," } else { "" };
+                let _ = writeln!(
+                    out,
+                    "    {{\"name\": \"{}\", \"ns_per_op\": {:.2}}}{comma}",
+                    op.name, op.ns_per_op
+                );
+            }
+            out.push_str("  ]");
+        }
         out.push_str("\n}\n");
         out
     }
@@ -591,6 +765,15 @@ pub mod perf {
         fn word_ops_measure_quickly_and_positively() {
             let ops = measure_word_ops(Duration::from_millis(2));
             assert!(ops.iter().any(|o| o.name == "add"));
+            assert!(ops.iter().all(|o| o.ns_per_op > 0.0));
+        }
+
+        #[test]
+        fn wide_ops_measure_quickly_and_positively() {
+            let ops = measure_wide(Duration::from_millis(2));
+            assert!(ops.iter().any(|o| o.name == "word27_add"));
+            assert!(ops.iter().any(|o| o.name == "word81_mul"));
+            assert!(ops.iter().any(|o| o.name == "real_add"));
             assert!(ops.iter().all(|o| o.ns_per_op > 0.0));
         }
 
@@ -653,7 +836,17 @@ pub mod perf {
                     pipelined_cps: 1.9e7,
                 },
             };
-            let json = bench_json(&ops, &sims, &energy, Some(&service), Some(&nn));
+            let wide = vec![
+                WidePerf {
+                    name: "word81_add",
+                    ns_per_op: 6.5,
+                },
+                WidePerf {
+                    name: "real_mul",
+                    ns_per_op: 42.75,
+                },
+            ];
+            let json = bench_json(&ops, &sims, &energy, Some(&service), Some(&nn), &wide);
             assert!(json.contains("\"schema\": \"art9-bench-ternary/v1\""));
             assert!(json.contains("\"functional_speedup\""));
             assert!(json.contains("\"threaded_ips\""));
@@ -669,6 +862,9 @@ pub mod perf {
             assert!(json.contains("\"nn\""));
             assert!(json.contains("\"workload\": \"nn-mlp\""));
             assert!(json.contains("\"simd_speedup\": 8.00"));
+            assert!(json.contains("\"wide\""));
+            assert!(json.contains("\"name\": \"word81_add\", \"ns_per_op\": 6.50"));
+            assert!(json.contains("\"name\": \"real_mul\", \"ns_per_op\": 42.75"));
             assert_eq!(
                 json.matches('{').count(),
                 json.matches('}').count(),
@@ -676,13 +872,14 @@ pub mod perf {
             );
             assert_eq!(json.matches('[').count(), json.matches(']').count());
 
-            // Without energy rows, a service run or an NN measurement
-            // the sections are omitted entirely (the shape older
-            // baselines have).
-            let bare = bench_json(&ops, &sims, &[], None, None);
+            // Without energy rows, a service run, an NN measurement or
+            // wide rows the sections are omitted entirely (the shape
+            // older baselines have).
+            let bare = bench_json(&ops, &sims, &[], None, None, &[]);
             assert!(!bare.contains("\"energy\""));
             assert!(!bare.contains("\"service\""));
             assert!(!bare.contains("\"nn\""));
+            assert!(!bare.contains("\"wide\""));
             assert_eq!(bare.matches('{').count(), bare.matches('}').count());
         }
 

@@ -55,8 +55,8 @@ pub use cosim::{check_compiler_lockstep, cosim_mem_bytes, CoSim, COSIM_TDM_WORDS
 pub use gen::{generate, step_budget, GenConfig, Mix, MIN_TDM_WORDS};
 pub use minimize::{minimize, minimize_rv32, Minimized, MinimizedRv32};
 pub use oracle::{
-    check_arith, check_program, check_program_filtered, check_simd, lockstep, random_word,
-    Divergence, LockstepOutcome, Oracle, OracleStats, ORACLE_TDM_WORDS,
+    check_arith, check_program, check_program_filtered, check_simd, check_wide, lockstep,
+    random_word, Divergence, LockstepOutcome, Oracle, OracleStats, ORACLE_TDM_WORDS,
 };
 pub use replay::{
     is_rv32_replay, parse_replay, parse_replay_header, render_replay, render_replay_rv32,
@@ -84,6 +84,11 @@ pub struct FuzzConfig {
     /// (each configuration cross-checks every `Word9xN` lane op
     /// against its tritwise lanewise reference).
     pub simd_sets: usize,
+    /// Random operand sets per iteration for the wide-width oracle
+    /// (each set cross-checks the `Trits<40>`/`Trits<63>` band, the
+    /// multi-plane `Word27`/`Word81` words and the tapered reals
+    /// against their trit-serial references).
+    pub wide_sets: usize,
     /// RV32 generator tuning for the compiler-lockstep oracle.
     pub rv_gen: Rv32GenConfig,
     /// Rotate through every named [`Mix`] (and [`Rv32Mix`]) by
@@ -108,6 +113,7 @@ impl Default for FuzzConfig {
             rv_gen: Rv32GenConfig::default(),
             arith_pairs: 32,
             simd_sets: 8,
+            wide_sets: 8,
             sweep_mixes: false,
             fail_dir: None,
             oracle: None,
@@ -132,6 +138,7 @@ impl FuzzConfig {
             },
             arith_pairs: 16,
             simd_sets: 4,
+            wide_sets: 4,
             sweep_mixes: true,
             ..Self::default()
         }
@@ -183,10 +190,11 @@ impl FuzzReport {
         let _ = writeln!(
             out,
             "{} roundtrip checks, {} arithmetic checks, {} simd-lane checks, \
-             {} energy flips cross-checked | digest {:016x}",
+             {} wide-width checks, {} energy flips cross-checked | digest {:016x}",
             self.stats.roundtrip_checks,
             self.stats.arith_checks,
             self.stats.simd_checks,
+            self.stats.wide_checks,
             self.stats.energy_flips,
             self.digest
         );
@@ -303,6 +311,9 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
                 if divergence.is_none() && cfg.oracle.is_none_or(|o| o == Oracle::Simd) {
                     divergence = check_simd(&mut rng, cfg.simd_sets, &mut stats);
                 }
+                if divergence.is_none() && cfg.oracle.is_none_or(|o| o == Oracle::Wide) {
+                    divergence = check_wide(&mut rng, cfg.wide_sets, &mut stats);
+                }
                 if divergence.is_some() {
                     artifact = Some(CaseArtifact::Art9(program));
                 }
@@ -348,7 +359,10 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
         // alone. Writing the (unrelated) generated program as a replay
         // file would record a "repro" that passes — so no replay is
         // produced.
-        if matches!(divergence.oracle, Oracle::Arithmetic | Oracle::Simd) {
+        if matches!(
+            divergence.oracle,
+            Oracle::Arithmetic | Oracle::Simd | Oracle::Wide
+        ) {
             divergences.push(Failure {
                 iteration,
                 replay_text: format!(

@@ -41,8 +41,8 @@ OPTIONS:
     --oracle NAME     Run only one oracle (functional-vs-reference |
                       functional-vs-threaded | energy | slice-migrate |
                       pipelined-fwd | pipelined-nofwd | toolchain-roundtrip |
-                      arithmetic | simd | compiler-lockstep) — for triaging
-                      a campaign or a replay file
+                      arithmetic | simd | wide | compiler-lockstep) —
+                      for triaging a campaign or a replay file
     --max-len N       Upper bound on generated body length (default 160)
     --smoke           CI budget: 150 small programs across the mixes
     --fail-dir DIR    Write minimized replay files here (default fuzz-failures)
@@ -67,7 +67,7 @@ fn main() -> ExitCode {
 }
 
 enum Cmd {
-    Run(FuzzConfig),
+    Run(Box<FuzzConfig>),
     Replay {
         path: PathBuf,
         oracle: Option<Oracle>,
@@ -157,7 +157,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Cmd, String> {
     if let Some(mix) = explicit_rv_mix {
         cfg.rv_gen.mix = mix;
     }
-    Ok(Cmd::Run(cfg))
+    Ok(Cmd::Run(Box::new(cfg)))
 }
 
 fn parse_num(s: &str) -> Result<u64, String> {
@@ -224,7 +224,7 @@ fn triage(text: &str, divergence: &art9_fuzz::Divergence) {
 }
 
 fn replay_one(path: &std::path::Path, oracle: Option<Oracle>) -> ExitCode {
-    if let Some(o @ (Oracle::Arithmetic | Oracle::Simd)) = oracle {
+    if let Some(o @ (Oracle::Arithmetic | Oracle::Simd | Oracle::Wide)) = oracle {
         eprintln!(
             "error: the {} oracle is value-level and has no program replay; \
              reproduce it with --seed/--iterations instead",

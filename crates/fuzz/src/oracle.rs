@@ -85,6 +85,15 @@ pub enum Oracle {
     /// ±1), ±3^k lane values, all-zero weight vectors and mixed-sign
     /// MACs.
     Simd,
+    /// Wide-width arithmetic: packed kernels vs the trit-serial
+    /// references at every width past the 9-trit machine word —
+    /// single-plane `Trits<40>`/`Trits<63>` (the band the pre-fix
+    /// constants made uninstantiable), the multi-plane
+    /// `Word27`/`Word81` words (cross-plane carry ripple, the 81-trit
+    /// range exceeding `i128`), and the tapered-precision
+    /// `TernaryReal` add/mul against the exact-integer rounding
+    /// reference.
+    Wide,
     /// RV32→ART-9 translation vs the `rv32` machine, in lockstep at
     /// RV32-instruction granularity (see [`crate::CoSim`]). Runs on
     /// generated RV32 programs, not ART-9 ones.
@@ -93,7 +102,7 @@ pub enum Oracle {
 
 impl Oracle {
     /// Every oracle, in campaign order.
-    pub const ALL: [Oracle; 10] = [
+    pub const ALL: [Oracle; 11] = [
         Oracle::FunctionalVsReference,
         Oracle::FunctionalVsThreaded,
         Oracle::Energy,
@@ -103,6 +112,7 @@ impl Oracle {
         Oracle::ToolchainRoundtrip,
         Oracle::Arithmetic,
         Oracle::Simd,
+        Oracle::Wide,
         Oracle::CompilerLockstep,
     ];
 
@@ -119,6 +129,7 @@ impl Oracle {
             Oracle::ToolchainRoundtrip => "toolchain-roundtrip",
             Oracle::Arithmetic => "arithmetic",
             Oracle::Simd => "simd",
+            Oracle::Wide => "wide",
             Oracle::CompilerLockstep => "compiler-lockstep",
         }
     }
@@ -186,6 +197,9 @@ pub struct OracleStats {
     /// Individual SIMD-lane cross-checks performed (one per lane-op
     /// comparison against its tritwise lanewise reference).
     pub simd_checks: u64,
+    /// Individual wide-width cross-checks performed (one per packed-op
+    /// comparison against its trit-serial or exact-integer reference).
+    pub wide_checks: u64,
     /// Trit flips cross-checked by the energy oracle (packed total;
     /// the tritwise side counted the same number when the oracle
     /// passed).
@@ -212,6 +226,7 @@ impl OracleStats {
         self.roundtrip_checks += other.roundtrip_checks;
         self.arith_checks += other.arith_checks;
         self.simd_checks += other.simd_checks;
+        self.wide_checks += other.wide_checks;
         self.energy_flips += other.energy_flips;
         self.slice_migrate_slices += other.slice_migrate_slices;
         self.slice_migrate_migrations += other.slice_migrate_migrations;
@@ -1212,6 +1227,143 @@ pub fn check_simd(rng: &mut FuzzRng, sets: usize, stats: &mut OracleStats) -> Op
     None
 }
 
+/// Cross-checks the wide-width arithmetic subsystem on `sets` random
+/// operand sets: single-plane `Trits<40>`/`Trits<63>` words (the band
+/// the pre-fix constants made uninstantiable), the multi-plane
+/// `Word27`/`Word81` words, and `TernaryReal` tapered-precision
+/// add/mul. Every packed kernel is pinned against its trit-serial (or
+/// exact-integer) reference in `ternary::arith`.
+///
+/// Adversarial structure every set draws from: the ±3^k carry corners
+/// up to 3^80 and the `i128` extremes, plus operands shifted past the
+/// `i128` range where only the 81-trit word (and its per-trit oracle)
+/// can represent the values at all.
+pub fn check_wide(rng: &mut FuzzRng, sets: usize, stats: &mut OracleStats) -> Option<Divergence> {
+    use ternary::{TernaryReal, Trits, WideTrits, Word27, Word81};
+
+    let fail = |detail: String| {
+        Some(Divergence {
+            oracle: Oracle::Wide,
+            detail,
+        })
+    };
+
+    // Corner pool: zero/±1, the i128 extremes and the ±3^k sign
+    // boundaries (and neighbours) across the whole wide range.
+    let mut corners = vec![0i128, 1, -1, i128::MAX, i128::MIN];
+    for k in (4..=80usize).step_by(4) {
+        let p = ternary::pow3_i128(k);
+        corners.extend([p, -p, p - 1, -p + 1, p + 1, -p - 1]);
+    }
+    let draw = |rng: &mut FuzzRng| -> i128 {
+        if rng.chance(1, 3) {
+            corners[rng.index(corners.len())]
+        } else {
+            (((rng.next_u64() as u128) << 64) | rng.next_u64() as u128) as i128
+        }
+    };
+
+    for _ in 0..sets {
+        let (a, b) = (draw(rng), draw(rng));
+
+        // Single-plane wide widths: packed vs trit-serial references.
+        macro_rules! check_trits {
+            ($n:literal) => {{
+                let wa = Trits::<$n>::from_i128_wrapping(a);
+                let wb = Trits::<$n>::from_i128_wrapping(b);
+                if Trits::<$n>::from_i128_wrapping(wa.to_i128()) != wa {
+                    return fail(format!("Trits<{}>: {} does not roundtrip via i128", $n, wa));
+                }
+                if wa.carrying_add(wb) != arith::add_tritwise(wa, wb) {
+                    return fail(format!("Trits<{}> add: {} + {} diverged", $n, wa, wb));
+                }
+                if wa.wrapping_mul(wb) != arith::mul_tritwise(wa, wb) {
+                    return fail(format!("Trits<{}> mul: {} * {} diverged", $n, wa, wb));
+                }
+                if wa.negate() != arith::negate_tritwise(wa) {
+                    return fail(format!("Trits<{}> negate of {} diverged", $n, wa));
+                }
+                if wa.flips_from(&wb) != arith::flips_tritwise(wa, wb) {
+                    return fail(format!("Trits<{}> flips: {} vs {} diverged", $n, wa, wb));
+                }
+                if !wb.is_zero() && wa.div_rem(wb).ok() != arith::div_rem_tritwise(wa, wb).ok() {
+                    return fail(format!("Trits<{}> div: {} / {} diverged", $n, wa, wb));
+                }
+                stats.wide_checks += 6;
+            }};
+        }
+        check_trits!(40);
+        check_trits!(63);
+
+        // Multi-plane words, including the beyond-i128 region at 81
+        // trits (reached by shifting left past the i128 ceiling).
+        fn check_planes<const N: usize, const W: usize>(
+            wa: WideTrits<N, W>,
+            wb: WideTrits<N, W>,
+        ) -> Option<String> {
+            if wa.carrying_add(wb) != arith::wide_add_tritwise(wa, wb) {
+                return Some(format!("WideTrits<{N},{W}> add: {wa} + {wb} diverged"));
+            }
+            if wa.wrapping_mul(wb) != arith::wide_mul_tritwise(wa, wb) {
+                return Some(format!("WideTrits<{N},{W}> mul: {wa} * {wb} diverged"));
+            }
+            if wa.negate() != arith::wide_negate_tritwise(wa) {
+                return Some(format!("WideTrits<{N},{W}> negate of {wa} diverged"));
+            }
+            if wa.cmp(&wb) != arith::wide_compare_tritwise(wa, wb) {
+                return Some(format!("WideTrits<{N},{W}> compare: {wa} vs {wb} diverged"));
+            }
+            if wa.flips_from(&wb) != arith::wide_flips_tritwise(wa, wb) {
+                return Some(format!("WideTrits<{N},{W}> flips: {wa} vs {wb} diverged"));
+            }
+            let (s, c) = WideTrits::<N, W>::compress3(wa, wb, wa.negate());
+            if s.wrapping_add(c) != wa.wrapping_add(wb).wrapping_add(wa.negate()) {
+                return Some(format!(
+                    "WideTrits<{N},{W}> compress3 over {wa}, {wb} diverged"
+                ));
+            }
+            None
+        }
+        if let Some(d) = check_planes(Word27::from_i128_wrapping(a), Word27::from_i128_wrapping(b))
+        {
+            return fail(d);
+        }
+        stats.wide_checks += 6;
+        let shift = rng.index(40);
+        if let Some(d) = check_planes(
+            Word81::from_i128_wrapping(a).shl(shift),
+            Word81::from_i128_wrapping(b).shl(shift / 2),
+        ) {
+            return fail(d);
+        }
+        stats.wide_checks += 6;
+
+        // Tapered reals: packed 55-trit-intermediate rounding vs the
+        // exact-integer rounding reference.
+        let ra = TernaryReal::from_scaled(a as i64 >> 16, (rng.below(121) as i32) - 60);
+        let rb = TernaryReal::from_scaled(b as i64 >> 16, (rng.below(121) as i32) - 60);
+        let sum = ra.add(&rb);
+        if arith::real_parts(&sum) != arith::real_add_ref(&ra, &rb) {
+            return fail(format!(
+                "TernaryReal add: {ra} + {rb} diverged from reference"
+            ));
+        }
+        let product = ra.mul(&rb);
+        if arith::real_parts(&product) != arith::real_mul_ref(&ra, &rb) {
+            return fail(format!(
+                "TernaryReal mul: {ra} * {rb} diverged from reference"
+            ));
+        }
+        if TernaryReal::from_tapered(TernaryReal::from_tapered(sum.to_tapered()).to_tapered())
+            != TernaryReal::from_tapered(sum.to_tapered())
+        {
+            return fail(format!("TernaryReal taper of {sum} is not idempotent"));
+        }
+        stats.wide_checks += 3;
+    }
+    None
+}
+
 /// A uniformly random trit pattern (covers all 3⁹ words, not just the
 /// value range of any integer conversion path).
 pub fn random_word(rng: &mut FuzzRng) -> Word9 {
@@ -1382,6 +1534,29 @@ mod tests {
         assert!(d.is_none(), "{}", d.unwrap());
         // Each clean set performs exactly the twelve fixed comparisons.
         assert_eq!(stats.simd_checks, 32 * 13);
+    }
+
+    #[test]
+    fn wide_oracle_is_clean_and_counts() {
+        let mut rng = FuzzRng::new(13);
+        let mut stats = OracleStats::default();
+        let d = check_wide(&mut rng, 32, &mut stats);
+        assert!(d.is_none(), "{}", d.unwrap());
+        // Each clean set performs exactly 27 fixed comparisons:
+        // 6 per Trits width (40, 63), 6 per plane geometry (27/1,
+        // 81/2), 3 for the tapered reals.
+        assert_eq!(stats.wide_checks, 32 * 27);
+    }
+
+    #[test]
+    fn wide_oracle_is_deterministic() {
+        let run = |seed| {
+            let mut stats = OracleStats::default();
+            let d = check_wide(&mut FuzzRng::new(seed), 8, &mut stats);
+            (stats.wide_checks, d.is_none())
+        };
+        assert_eq!(run(42), run(42));
+        assert!(run(42).1 && run(7).1);
     }
 
     #[test]

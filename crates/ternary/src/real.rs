@@ -1,0 +1,517 @@
+//! Tapered-precision balanced-ternary real arithmetic.
+//!
+//! [`TernaryReal`] is a floating-point number over the balanced ternary
+//! substrate, in the spirit of the Tekum format (arXiv:2512.10964): a
+//! 27-trit balanced significand paired with a power-of-three exponent,
+//! plus a *tapered* packed interchange encoding
+//! ([`TernaryReal::to_tapered`]) where a posit-like regime run spends
+//! trits on exponent range, so precision tapers away from magnitude
+//! one.
+//!
+//! The value of `{ sig, exp }` is `sig · 3^(exp − 26)` — the exponent
+//! names the weight of the significand's *top* trit, so `exp = 0` puts
+//! the value in `(±½, ±(3 − 3^−26)/2)`.
+//!
+//! Balanced ternary makes the rounding story unusually clean: because
+//! every trit is symmetric around zero, truncating low trits rounds to
+//! the **nearest** representable value, and a tie would need a
+//! discarded tail of exactly half an ulp — impossible, as powers of
+//! three are odd. There is no rounding mode, no bias and no
+//! double-rounding hazard: every operation here computes its result
+//! exactly in a 55-trit intermediate ([`Trits<55>`]) and truncates
+//! once.
+//!
+//! The per-trit reference formulation (exact `i128` arithmetic with
+//! explicit nearest-rounding division) lives in [`crate::arith`]; the
+//! property tests pin this packed path against it.
+//!
+//! # Examples
+//!
+//! ```
+//! use ternary::TernaryReal;
+//!
+//! let a = TernaryReal::from_int(6);
+//! let b = TernaryReal::from_int(7);
+//! assert_eq!(a.mul(&b), TernaryReal::from_int(42));
+//! assert_eq!(a.add(&b).sub(&b), a); // exact: both fit 27 trits
+//! assert!(a < b);
+//! ```
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::trit::Trit;
+use crate::word::Trits;
+
+/// Significand width in trits.
+pub const SIG_TRITS: usize = 27;
+
+/// Width of the exact intermediate every operation rounds from:
+/// wide enough for a full 27×27-trit product (54 trits) and for any
+/// aligned sum this type performs.
+const WIDE: usize = 55;
+
+/// Most positive regime-encodable exponent (see
+/// [`TernaryReal::to_tapered`]); at least one significand trit must
+/// survive the regime and its terminator.
+const TAPER_EXP_MAX: i32 = 24;
+
+/// Most negative regime-encodable exponent.
+const TAPER_EXP_MIN: i32 = -25;
+
+/// A balanced-ternary real: 27-trit significand × power-of-three
+/// exponent, value `sig · 3^(exp − 26)`.
+///
+/// Non-zero values are kept **normalized** — the significand's top trit
+/// (position 26) is non-zero, which also carries the value's sign — and
+/// zero is canonically `{ sig: 0, exp: 0 }`. Normal forms are unique,
+/// so the derived structural equality is value equality.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TernaryReal {
+    sig: Trits<SIG_TRITS>,
+    exp: i32,
+}
+
+impl Default for TernaryReal {
+    fn default() -> Self {
+        Self::ZERO
+    }
+}
+
+impl TernaryReal {
+    /// The canonical zero.
+    pub const ZERO: Self = Self {
+        sig: Trits::ZERO,
+        exp: 0,
+    };
+
+    /// One.
+    pub fn one() -> Self {
+        Self::from_int(1)
+    }
+
+    /// Builds the value `v`, rounded to the nearest 27-trit significand
+    /// (exact whenever `|v| ≤ (3^27 − 1)/2`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ternary::TernaryReal;
+    ///
+    /// let x = TernaryReal::from_int(1_000_000);
+    /// assert_eq!(x.exponent(), 13); // balanced top trit of 10^6 is 3^13
+    /// assert_eq!(x.significand().to_i64(), 1_000_000 * 3i64.pow(13));
+    /// ```
+    pub fn from_int(v: i64) -> Self {
+        Self::from_wide(Trits::<WIDE>::from_i128_wrapping(v as i128), 0)
+    }
+
+    /// Builds `m · 3^exp_lsb`, rounded to the nearest 27-trit
+    /// significand — the general constructor for exact ternary
+    /// fractions (negative `exp_lsb`) as well as large scaled values.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ternary::TernaryReal;
+    ///
+    /// let third = TernaryReal::from_scaled(1, -1); // exactly 1/3
+    /// assert_eq!(third.add(&third).add(&third), TernaryReal::one());
+    /// ```
+    pub fn from_scaled(m: i64, exp_lsb: i32) -> Self {
+        Self::from_wide(Trits::<WIDE>::from_i128_wrapping(m as i128), exp_lsb)
+    }
+
+    /// The normalized significand (top trit at position 26 when
+    /// non-zero).
+    pub fn significand(&self) -> Trits<SIG_TRITS> {
+        self.sig
+    }
+
+    /// The exponent: the power of three weighting the significand's top
+    /// trit.
+    pub fn exponent(&self) -> i32 {
+        self.exp
+    }
+
+    /// `true` for the canonical zero.
+    pub fn is_zero(&self) -> bool {
+        self.sig.is_zero()
+    }
+
+    /// Normalizes `v · 3^exp_lsb` (where `exp_lsb` weights trit 0 of
+    /// `v`) into a `TernaryReal`, rounding by a single balanced
+    /// truncation.
+    ///
+    /// The top non-zero trit is moved to significand position 26. A
+    /// right shift rounds to nearest (ties impossible); the rounded
+    /// magnitude stays within 27 trits and cannot fall below the normal
+    /// range, so one shift always normalizes.
+    fn from_wide(v: Trits<WIDE>, exp_lsb: i32) -> Self {
+        let (p, n) = v.bitplanes();
+        let occupied = p | n;
+        if occupied == 0 {
+            return Self::ZERO;
+        }
+        let top = (63 - occupied.leading_zeros()) as usize;
+        let shifted = if top >= 26 {
+            v.shr(top - 26)
+        } else {
+            v.shl(26 - top)
+        };
+        // `shifted` now occupies at most trits 0..=26 (a rounding carry
+        // past trit 26 is impossible: |round(x / 3^k)| ≤ (3^27 − 1)/2
+        // whenever the top trit of x is at position 26 + k).
+        let sig = Trits::<SIG_TRITS>::from_i128(shifted.to_i128())
+            .expect("normalized significand fits 27 trits");
+        Self {
+            sig,
+            exp: exp_lsb + top as i32,
+        }
+    }
+
+    /// Sum, correctly rounded to nearest.
+    ///
+    /// The smaller operand is aligned into a 55-trit intermediate and
+    /// added exactly, then the shared normalization truncates
+    /// once — so there is no double rounding. When the exponents differ
+    /// by 28 or more the smaller operand is below one sixth of the
+    /// larger's ulp and cannot move the rounded result, so the larger
+    /// operand is returned as-is.
+    #[must_use]
+    pub fn add(&self, rhs: &Self) -> Self {
+        if self.is_zero() {
+            return *rhs;
+        }
+        if rhs.is_zero() {
+            return *self;
+        }
+        let (hi, lo) = if self.exp >= rhs.exp {
+            (self, rhs)
+        } else {
+            (rhs, self)
+        };
+        let shift = i64::from(hi.exp) - i64::from(lo.exp);
+        if shift >= 28 {
+            return *hi;
+        }
+        let wide_hi = Trits::<WIDE>::from_i128_wrapping(hi.sig.to_i128()).shl(shift as usize);
+        let wide_lo = Trits::<WIDE>::from_i128_wrapping(lo.sig.to_i128());
+        // |hi·3^shift| + |lo| < 3^27/2 · (3^27 + 1) < (3^55 − 1)/2: the
+        // wide sum is exact, never wrapped.
+        Self::from_wide(wide_hi.wrapping_add(wide_lo), lo.exp - 26)
+    }
+
+    /// Difference, correctly rounded to nearest.
+    #[must_use]
+    pub fn sub(&self, rhs: &Self) -> Self {
+        self.add(&rhs.negate())
+    }
+
+    /// Product, correctly rounded to nearest: the full 54-trit
+    /// significand product is formed exactly in `i128` (bounded by
+    /// `((3^27 − 1)/2)^2 < 1.5 × 10^25`), then truncated once.
+    #[must_use]
+    pub fn mul(&self, rhs: &Self) -> Self {
+        if self.is_zero() || rhs.is_zero() {
+            return Self::ZERO;
+        }
+        let product = self.sig.to_i128() * rhs.sig.to_i128();
+        Self::from_wide(
+            Trits::<WIDE>::from_i128_wrapping(product),
+            self.exp + rhs.exp - 52,
+        )
+    }
+
+    /// Exact negation (significand plane swap; the exponent is
+    /// sign-free).
+    #[must_use]
+    pub fn negate(&self) -> Self {
+        Self {
+            sig: self.sig.negate(),
+            exp: self.exp,
+        }
+    }
+
+    /// The nearest `f64` (convenience for inspection; the `f64` is not
+    /// the source of truth).
+    pub fn to_f64(&self) -> f64 {
+        self.sig.to_i64() as f64 * 3f64.powi(self.exp - 26)
+    }
+
+    /// Packs into the 27-trit **tapered** interchange word: a
+    /// posit-style regime run encodes the exponent, a zero trit
+    /// terminates it, and the remaining trits carry the top of the
+    /// significand — so precision tapers as the magnitude leaves the
+    /// vicinity of one.
+    ///
+    /// Layout, most significant trit first:
+    ///
+    /// * `exp ≥ 0`: a run of `exp + 1` `+` trits, then a `0`;
+    /// * `exp < 0`: a run of `−exp` `−` trits, then a `0`;
+    /// * then the top `26 − run` significand trits (the first of which
+    ///   is the value's sign — non-zero by normalization).
+    ///
+    /// Dropped significand trits are truncated, which rounds to
+    /// nearest. Exponents outside `−25..=24` saturate the regime
+    /// (keeping one significand trit), and zero packs as the all-zero
+    /// word — the only word whose leading trit is `0`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ternary::TernaryReal;
+    ///
+    /// // 5 = +−− (top trit at 3^2), so the regime is a run of 3.
+    /// let x = TernaryReal::from_int(5);
+    /// let packed = x.to_tapered();
+    /// assert_eq!(packed.to_string(), "+++0+--00000000000000000000");
+    /// assert_eq!(TernaryReal::from_tapered(packed), x); // 5 fits 23 trits
+    /// ```
+    pub fn to_tapered(&self) -> Trits<SIG_TRITS> {
+        if self.is_zero() {
+            return Trits::ZERO;
+        }
+        let e = self.exp.clamp(TAPER_EXP_MIN, TAPER_EXP_MAX);
+        let (mark, run) = if e >= 0 {
+            (Trit::P, (e + 1) as usize)
+        } else {
+            (Trit::N, (-e) as usize)
+        };
+        let mut out = Trits::<SIG_TRITS>::ZERO;
+        for i in 0..run {
+            out = out.with_trit(26 - i, mark);
+        }
+        // Terminator at trit 26 − run stays 0; then `m` significand
+        // trits, top-aligned to the low field.
+        let m = 26 - run;
+        for j in 0..m {
+            out = out.with_trit(m - 1 - j, self.sig.trit(26 - j));
+        }
+        out
+    }
+
+    /// Unpacks a tapered word (inverse of [`Self::to_tapered`] up to
+    /// the trits the taper discarded). Any 27-trit word decodes: the
+    /// leading-trit run is the regime, and a significand field of all
+    /// zeros decodes to zero.
+    pub fn from_tapered(packed: Trits<SIG_TRITS>) -> Self {
+        let lead = packed.trit(26);
+        if lead == Trit::Z {
+            return Self::ZERO;
+        }
+        let mut run = 1;
+        while run < 26 && packed.trit(26 - run) == lead {
+            run += 1;
+        }
+        let e = if lead == Trit::P {
+            run as i32 - 1
+        } else {
+            -(run as i32)
+        };
+        let m = 26usize.saturating_sub(run);
+        let mut sig = Trits::<SIG_TRITS>::ZERO;
+        for j in 0..m {
+            sig = sig.with_trit(26 - j, packed.trit(m - 1 - j));
+        }
+        // Route through the normalizer so denormal significand fields
+        // in arbitrary input still yield a canonical value.
+        Self::from_wide(Trits::<WIDE>::from_i128_wrapping(sig.to_i128()), e - 26)
+    }
+}
+
+impl PartialOrd for TernaryReal {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TernaryReal {
+    /// Total numeric order. Normalization makes this cheap: sign first,
+    /// then exponent (normal magnitudes of adjacent exponents cannot
+    /// overlap), then the significands at equal scale.
+    fn cmp(&self, other: &Self) -> Ordering {
+        let sa = self.sig.cmp(&Trits::ZERO);
+        let sb = other.sig.cmp(&Trits::ZERO);
+        if sa != sb {
+            return sa.cmp(&sb);
+        }
+        match sa {
+            Ordering::Equal => Ordering::Equal,
+            Ordering::Greater => self
+                .exp
+                .cmp(&other.exp)
+                .then_with(|| self.sig.cmp(&other.sig)),
+            Ordering::Less => other
+                .exp
+                .cmp(&self.exp)
+                .then_with(|| self.sig.cmp(&other.sig)),
+        }
+    }
+}
+
+impl fmt::Debug for TernaryReal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "TernaryReal({} × 3^{} ≈ {})",
+            self.sig.to_i64(),
+            self.exp - 26,
+            self.to_f64()
+        )
+    }
+}
+
+impl fmt::Display for TernaryReal {
+    /// Writes `<significand trits>p<exponent>`, the ternary analogue of
+    /// hex-float notation.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}p{}", self.sig, self.exp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn real(v: i64) -> TernaryReal {
+        TernaryReal::from_int(v)
+    }
+
+    #[test]
+    fn canonical_forms_are_unique() {
+        assert_eq!(TernaryReal::ZERO, real(0));
+        assert!(real(0).is_zero());
+        for v in [1, -1, 3, 9, 1_000_000, -99_999_999] {
+            let x = real(v);
+            assert!(x.significand().trit(26) != Trit::Z, "{v}");
+            assert_eq!(x.negate().negate(), x);
+        }
+    }
+
+    #[test]
+    fn small_integers_are_exact() {
+        for a in [-50i64, -7, -1, 0, 1, 2, 7, 50, 12345] {
+            for b in [-50i64, -3, 0, 5, 12345] {
+                assert_eq!(real(a).add(&real(b)), real(a + b), "{a} + {b}");
+                assert_eq!(real(a).mul(&real(b)), real(a * b), "{a} * {b}");
+                assert_eq!(real(a).sub(&real(b)), real(a - b), "{a} - {b}");
+                assert_eq!(real(a).cmp(&real(b)), a.cmp(&b), "{a} cmp {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn rounding_is_to_nearest_by_truncation() {
+        // 3^27 does not fit 27 trits: from_int must round to the
+        // nearest representable, which it is exactly (3^27 = 3 · 3^26).
+        let v = 3i64.pow(27);
+        let x = real(v);
+        assert_eq!(x.to_f64(), v as f64);
+        // 3^27 + 1 rounds back down to 3^27 (the discarded +1 is less
+        // than half the ulp of 3).
+        assert_eq!(real(v + 1), x);
+        // 3^27 + 2 rounds up to 3^27 + 3.
+        assert_eq!(real(v + 2), real(v + 3));
+        // Negative mirror: truncation has no sign bias.
+        assert_eq!(real(-v - 1), real(-v));
+        assert_eq!(real(-v - 2), real(-v - 3));
+    }
+
+    #[test]
+    fn far_apart_addends_do_not_move_the_sum() {
+        let big = real(3i64.pow(30));
+        let tiny = TernaryReal::from_wide(Trits::<WIDE>::from_i128_wrapping(1), -60);
+        assert_eq!(big.add(&tiny), big);
+        assert_eq!(tiny.add(&big), big);
+        // But a half-way-significant addend does participate.
+        let mid = real(3i64.pow(4));
+        assert_eq!(big.add(&mid), real(3i64.pow(30) + 3i64.pow(4)));
+    }
+
+    #[test]
+    fn catastrophic_cancellation_is_exact() {
+        let a = real(3i64.pow(26) + 1);
+        let b = real(3i64.pow(26));
+        assert_eq!(a.sub(&b), real(1)); // exact: the wide sum keeps every trit
+    }
+
+    #[test]
+    fn ordering_crosses_exponents_and_signs() {
+        let vals = [
+            real(-3i64.pow(20)),
+            real(-12345),
+            real(-1),
+            TernaryReal::ZERO,
+            real(1),
+            real(2),
+            real(12345),
+            real(3i64.pow(20)),
+        ];
+        for (i, a) in vals.iter().enumerate() {
+            for (j, b) in vals.iter().enumerate() {
+                assert_eq!(a.cmp(b), i.cmp(&j), "{a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn tapered_roundtrip_is_truncation() {
+        for v in [0i64, 1, -1, 5, -5, 42, 1000, -31250] {
+            let x = real(v);
+            assert_eq!(TernaryReal::from_tapered(x.to_tapered()), x, "{v}");
+        }
+        // A full-precision significand with a large exponent loses
+        // exactly the trits the regime displaced — nothing more.
+        let x = real(3i64.pow(26) + 1); // 27 significant trits, exp 26
+        let back = TernaryReal::from_tapered(x.to_tapered());
+        assert_eq!(back.exponent(), TAPER_EXP_MAX); // saturated
+        assert_eq!(back.significand().trit(26), Trit::P);
+    }
+
+    #[test]
+    fn tapered_precision_tapers_with_exponent() {
+        // exp 0 leaves 25 significand trits; exp 10 leaves only 15.
+        let near_one = TernaryReal::from_wide(
+            Trits::<WIDE>::from_i128_wrapping(3i128.pow(26) + 3i128.pow(3)),
+            -26,
+        );
+        assert_eq!(near_one.exponent(), 0);
+        assert_eq!(TernaryReal::from_tapered(near_one.to_tapered()), near_one);
+        let shifted = near_one.mul(&real(3i64.pow(10)));
+        assert_eq!(shifted.exponent(), 10);
+        let back = TernaryReal::from_tapered(shifted.to_tapered());
+        // The 3^3 tail sits 23 trits below the top: kept at exp 0,
+        // truncated away at exp 10.
+        assert_ne!(back, shifted);
+        assert_eq!(back, real(3i64.pow(10)));
+    }
+
+    #[test]
+    fn tapered_regime_saturates_but_keeps_sign() {
+        let huge = real(1).mul(&real(3i64.pow(30))).mul(&real(3i64.pow(30)));
+        assert_eq!(huge.exponent(), 60);
+        let packed = huge.to_tapered();
+        let back = TernaryReal::from_tapered(packed);
+        assert_eq!(back.exponent(), TAPER_EXP_MAX);
+        assert!(back > TernaryReal::ZERO);
+        let tiny = TernaryReal::from_wide(Trits::<WIDE>::from_i128_wrapping(-1), -80);
+        let back = TernaryReal::from_tapered(tiny.to_tapered());
+        assert_eq!(back.exponent(), TAPER_EXP_MIN);
+        assert!(back < TernaryReal::ZERO);
+    }
+
+    #[test]
+    fn zero_packs_as_the_all_zero_word() {
+        assert!(TernaryReal::ZERO.to_tapered().is_zero());
+        assert_eq!(TernaryReal::from_tapered(Trits::ZERO), TernaryReal::ZERO);
+    }
+
+    #[test]
+    fn display_shows_significand_and_exponent() {
+        let x = real(1);
+        let s = x.to_string();
+        assert!(s.ends_with("p0"), "{s}");
+        assert!(format!("{x:?}").contains("3^-26"));
+    }
+}

@@ -92,10 +92,9 @@ fn add_planes(ap: u64, an: u64, bp: u64, bn: u64) -> (u64, u64) {
     let (mut sp, mut sn) = (ap, an);
     let (mut cp, mut cn) = (bp, bn);
     while cp | cn != 0 {
-        let np = ((sp ^ cp) & !(sn | cn)) | (sn & cn);
-        let nn = ((sn ^ cn) & !(sp | cp)) | (sp & cp);
-        cp = ((sp & cp) << 1) & CARRY_MASK;
-        cn = ((sn & cn) << 1) & CARRY_MASK;
+        let (np, nn, gp, gn) = crate::planes::digit_sum(sp, sn, cp, cn);
+        cp = (gp << 1) & CARRY_MASK;
+        cn = (gn << 1) & CARRY_MASK;
         sp = np;
         sn = nn;
     }
@@ -114,16 +113,7 @@ fn add_planes(ap: u64, an: u64, bp: u64, bn: u64) -> (u64, u64) {
 /// exactly the per-lane wrap-around.
 #[inline]
 fn compress_planes(sp: u64, sn: u64, cp: u64, cn: u64, bp: u64, bn: u64) -> (u64, u64, u64, u64) {
-    let tp = ((sp ^ cp) & !(sn | cn)) | (sn & cn);
-    let tn = ((sn ^ cn) & !(sp | cp)) | (sp & cp);
-    let g1p = sp & cp;
-    let g1n = sn & cn;
-    let up = ((tp ^ bp) & !(tn | bn)) | (tn & bn);
-    let un = ((tn ^ bn) & !(tp | bp)) | (tp & bp);
-    let g2p = tp & bp;
-    let g2n = tn & bn;
-    let gp = (g1p | g2p) & !(g1n | g2n);
-    let gn = (g1n | g2n) & !(g1p | g2p);
+    let (up, un, gp, gn) = crate::planes::compress(sp, sn, cp, cn, bp, bn);
     (up, un, (gp << 1) & CARRY_MASK, (gn << 1) & CARRY_MASK)
 }
 

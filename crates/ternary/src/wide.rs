@@ -1,0 +1,989 @@
+//! Multi-plane balanced-ternary words past the one-`u64`-per-plane
+//! ceiling: [`WideTrits<N, W>`] stores each bitplane as `[u64; W]`.
+//!
+//! [`Trits`] packs a word's two bitplanes into one `u64`
+//! each, which caps the width at 63 trits (a guard bit above trit
+//! `N − 1` catches the adder's carry-out). `WideTrits` lifts every
+//! word-parallel kernel — the carry-loop adder, negate, the tritwise
+//! logic family, compare, shifts, `flips_from`, and the carry-save 3:2
+//! compressor from [`crate::simd`] — to plane *arrays*, where carries
+//! ripple across word boundaries. The digit-sum algebra itself is a
+//! private `planes` module shared with `Trits` and the SIMD lanes, so
+//! all three packed layers compute
+//! with one set of formulas.
+//!
+//! The two workhorse widths are [`Word27`] (27 trits, one plane word —
+//! a triple-length accumulator for 9-trit MACs) and [`Word81`]
+//! (81 trits, two plane words — the paper-family "word of words" whose
+//! range exceeds even `i128`, so its oracle checks run packed vs
+//! per-trit rather than through integers; see
+//! [`crate::arith::wide_add_tritwise`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use ternary::{Trit, Word81};
+//!
+//! let a = Word81::from_i128(i128::MAX)?; // every i128 fits 81 trits
+//! let b = Word81::from_i128(1)?;
+//! assert_eq!(a.wrapping_add(b).wrapping_sub(b), a);
+//! assert_eq!(a.negate().negate(), a);
+//! assert_eq!(a.sign(), Trit::P);
+//! # Ok::<(), ternary::TernaryError>(())
+//! ```
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::TernaryError;
+use crate::planes;
+use crate::trit::Trit;
+use crate::word::{pow3_i128, Trits};
+
+/// A fixed-width balanced-ternary word of `N` trits stored as two
+/// `[u64; W]` bitplane arrays, little-endian in both trit index and
+/// plane word index.
+///
+/// Invariants mirror [`Trits`]: `pos[w] & neg[w] == 0`
+/// and both planes are masked so only trit positions below `N` are
+/// populated. `W` must provide at least one guard bit above trit
+/// `N − 1` (`N ≤ 64·W − 1`) and must not be wastefully large
+/// (`N > 64·(W − 1)` when `W > 1`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WideTrits<const N: usize, const W: usize> {
+    /// Bit `i % 64` of word `i / 64` set ⇔ trit `i` = +1.
+    pos: [u64; W],
+    /// Bit `i % 64` of word `i / 64` set ⇔ trit `i` = −1.
+    neg: [u64; W],
+}
+
+/// A 27-trit word in one plane word: the triple-length accumulator
+/// width (sums of up to 3^18 nine-trit products stay exact).
+pub type Word27 = WideTrits<27, 1>;
+
+/// An 81-trit word across two plane words. Its symmetric range,
+/// ±(3^81 − 1)/2, exceeds the `i128` range — every `i128` converts in
+/// ([`WideTrits::from_i128`] is total at this width), but values only
+/// convert out when they happen to fit ([`WideTrits::try_to_i128`]).
+pub type Word81 = WideTrits<81, 2>;
+
+impl<const N: usize, const W: usize> Default for WideTrits<N, W> {
+    fn default() -> Self {
+        Self::ZERO
+    }
+}
+
+impl<const N: usize, const W: usize> WideTrits<N, W> {
+    /// Per-plane-word masks keeping only trit positions below `N`; the
+    /// width/plane-count guards live here so they fire on first use of
+    /// any kernel.
+    const MASKS: [u64; W] = {
+        assert!(W >= 1, "at least one plane word");
+        assert!(N >= 1, "zero-width wide words are not supported");
+        assert!(N < 64 * W, "no guard bit: N must be at most 64*W - 1 trits");
+        assert!(
+            W == 1 || N > 64 * (W - 1),
+            "too many plane words for this width"
+        );
+        let mut m = [0u64; W];
+        let mut w = 0;
+        while w < W {
+            let lo = w * 64;
+            if N >= lo + 64 {
+                m[w] = u64::MAX;
+            } else if N > lo {
+                m[w] = (1u64 << (N - lo)) - 1;
+            }
+            w += 1;
+        }
+        m
+    };
+
+    /// The all-zero word.
+    pub const ZERO: Self = Self {
+        pos: [0; W],
+        neg: [0; W],
+    };
+
+    /// The most positive representable word (all trits +1).
+    pub const MAX: Self = Self {
+        pos: Self::MASKS,
+        neg: [0; W],
+    };
+
+    /// The most negative representable word (all trits −1).
+    pub const MIN: Self = Self {
+        pos: [0; W],
+        neg: Self::MASKS,
+    };
+
+    /// Width of the word in trits.
+    pub const WIDTH: usize = N;
+
+    /// Plane words per bitplane.
+    pub const PLANE_WORDS: usize = W;
+
+    /// Largest magnitude representable, `(3^N − 1)/2`, clamped to
+    /// `i128::MAX` for widths past 80 trits (where every `i128` is
+    /// representable and the true bound exceeds the type).
+    pub const MAX_VALUE_I128: i128 = if N <= 80 {
+        (pow3_i128(N) - 1) / 2
+    } else {
+        i128::MAX
+    };
+
+    /// Builds a word directly from its trits (index 0 = least
+    /// significant).
+    pub const fn from_trits(trits: [Trit; N]) -> Self {
+        let mut pos = [0u64; W];
+        let mut neg = [0u64; W];
+        let mut i = 0;
+        while i < N {
+            let (w, b) = (i / 64, i % 64);
+            match trits[i] {
+                Trit::P => pos[w] |= 1 << b,
+                Trit::N => neg[w] |= 1 << b,
+                Trit::Z => {}
+            }
+            i += 1;
+        }
+        Self { pos, neg }
+    }
+
+    /// The trits of the word, index 0 least significant.
+    pub const fn trits(&self) -> [Trit; N] {
+        let mut out = [Trit::Z; N];
+        let mut i = 0;
+        while i < N {
+            let (w, b) = (i / 64, i % 64);
+            if (self.pos[w] >> b) & 1 == 1 {
+                out[i] = Trit::P;
+            } else if (self.neg[w] >> b) & 1 == 1 {
+                out[i] = Trit::N;
+            }
+            i += 1;
+        }
+        out
+    }
+
+    /// The trit at position `i` (0 = least significant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= N`.
+    #[inline]
+    pub fn trit(&self, i: usize) -> Trit {
+        assert!(i < N, "trit index {i} out of a {N}-trit word");
+        let (w, b) = (i / 64, i % 64);
+        if (self.pos[w] >> b) & 1 == 1 {
+            Trit::P
+        } else if (self.neg[w] >> b) & 1 == 1 {
+            Trit::N
+        } else {
+            Trit::Z
+        }
+    }
+
+    /// Returns a copy with the trit at position `i` replaced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= N`.
+    #[must_use]
+    pub fn with_trit(mut self, i: usize, t: Trit) -> Self {
+        assert!(i < N, "trit index {i} out of a {N}-trit word");
+        let (w, b) = (i / 64, i % 64);
+        let bit = 1u64 << b;
+        self.pos[w] &= !bit;
+        self.neg[w] &= !bit;
+        match t {
+            Trit::P => self.pos[w] |= bit,
+            Trit::N => self.neg[w] |= bit,
+            Trit::Z => {}
+        }
+        self
+    }
+
+    /// The packed bitplane arrays `(pos, neg)`.
+    #[inline]
+    pub const fn bitplanes(&self) -> ([u64; W], [u64; W]) {
+        (self.pos, self.neg)
+    }
+
+    /// Builds a word from its two bitplane arrays.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TernaryError::InvalidBctPair`] (with the offending trit
+    /// index) when a bit is set in both planes or at position `N` or
+    /// above.
+    pub fn from_bitplanes(pos: [u64; W], neg: [u64; W]) -> Result<Self, TernaryError> {
+        for w in 0..W {
+            let bad = (pos[w] & neg[w]) | ((pos[w] | neg[w]) & !Self::MASKS[w]);
+            if bad != 0 {
+                return Err(TernaryError::InvalidBctPair {
+                    index: w * 64 + bad.trailing_zeros() as usize,
+                });
+            }
+        }
+        Ok(Self { pos, neg })
+    }
+
+    /// Widens a single-plane [`Trits`] word of the same trit count into
+    /// its multi-plane representation (plane word 0).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ternary::{Trits, Word27};
+    ///
+    /// let t = Trits::<27>::from_i64(-1_000_000)?;
+    /// assert_eq!(Word27::from_word(t).try_to_i128(), Some(-1_000_000));
+    /// # Ok::<(), ternary::TernaryError>(())
+    /// ```
+    pub fn from_word(t: Trits<N>) -> Self {
+        let (p, n) = t.bitplanes();
+        let mut pos = [0u64; W];
+        let mut neg = [0u64; W];
+        pos[0] = p;
+        neg[0] = n;
+        Self { pos, neg }
+    }
+
+    /// `true` when every trit is zero.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        let mut any = 0u64;
+        for w in 0..W {
+            any |= self.pos[w] | self.neg[w];
+        }
+        any == 0
+    }
+
+    /// The sign of the word as a trit (the most significant non-zero
+    /// trit, which in balanced ternary equals the numeric sign).
+    pub fn sign(&self) -> Trit {
+        for w in (0..W).rev() {
+            let nonzero = self.pos[w] | self.neg[w];
+            if nonzero != 0 {
+                let top = 63 - nonzero.leading_zeros();
+                return if (self.pos[w] >> top) & 1 == 1 {
+                    Trit::P
+                } else {
+                    Trit::N
+                };
+            }
+        }
+        Trit::Z
+    }
+
+    /// Wrapping addition with the ripple adder's carry-out trit
+    /// (`a + b = sum + 3^N · carry`) — the carry-loop kernel of
+    /// [`Trits::carrying_add`](crate::Trits::carrying_add) lifted to
+    /// plane arrays.
+    ///
+    /// Each round applies the shared digit-sum formulas (the private
+    /// `planes` module) to every plane word, then shifts the carry
+    /// planes one trit position up with the top bit of each word
+    /// rippling into the next. The carry word gains a trailing zero
+    /// every round, so at most `N + 1` rounds run; the guard bit above
+    /// trit `N − 1` (guaranteed by `N ≤ 64·W − 1`) catches the final
+    /// carry-out exactly as in the single-plane adder.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ternary::{Trit, Word81};
+    ///
+    /// let one = Word81::from_i128(1)?;
+    /// let (s, c) = Word81::MAX.carrying_add(one);
+    /// assert_eq!(s, Word81::MIN); // wrapped
+    /// assert_eq!(c, Trit::P);
+    /// # Ok::<(), ternary::TernaryError>(())
+    /// ```
+    pub fn carrying_add(&self, rhs: Self) -> (Self, Trit) {
+        let mut sp = self.pos;
+        let mut sn = self.neg;
+        let mut cp = rhs.pos;
+        let mut cn = rhs.neg;
+        loop {
+            let mut any = 0u64;
+            for w in 0..W {
+                any |= cp[w] | cn[w];
+            }
+            if any == 0 {
+                break;
+            }
+            let mut rp = 0u64; // carry bit rippling into the next plane word
+            let mut rn = 0u64;
+            for w in 0..W {
+                let (np, nn, gp, gn) = planes::digit_sum(sp[w], sn[w], cp[w], cn[w]);
+                sp[w] = np;
+                sn[w] = nn;
+                let (next_rp, next_rn) = (gp >> 63, gn >> 63);
+                cp[w] = (gp << 1) | rp;
+                cn[w] = (gn << 1) | rn;
+                rp = next_rp;
+                rn = next_rn;
+            }
+            // rp/rn past the top plane word cannot occur: |a + b| <
+            // 3^(N+1)/2 bounds the planes to one guard bit above trit
+            // N − 1, and N ≤ 64·W − 1 keeps that bit in-array.
+            debug_assert_eq!(rp | rn, 0, "carry escaped the guard bit");
+        }
+        let (gw, gb) = (N / 64, N % 64);
+        let carry = if (sp[gw] >> gb) & 1 == 1 {
+            Trit::P
+        } else if (sn[gw] >> gb) & 1 == 1 {
+            Trit::N
+        } else {
+            Trit::Z
+        };
+        let mut out = Self { pos: sp, neg: sn };
+        for w in 0..W {
+            out.pos[w] &= Self::MASKS[w];
+            out.neg[w] &= Self::MASKS[w];
+        }
+        (out, carry)
+    }
+
+    /// Wrapping addition (discards the carry-out).
+    #[inline]
+    #[must_use]
+    pub fn wrapping_add(&self, rhs: Self) -> Self {
+        self.carrying_add(rhs).0
+    }
+
+    /// Wrapping subtraction: `a − b = a + STI(b)`, exact in balanced
+    /// ternary.
+    #[inline]
+    #[must_use]
+    pub fn wrapping_sub(&self, rhs: Self) -> Self {
+        self.wrapping_add(rhs.negate())
+    }
+
+    /// Exact negation — a plane-array swap, still a true involution.
+    #[inline]
+    #[must_use]
+    pub fn negate(&self) -> Self {
+        Self {
+            pos: self.neg,
+            neg: self.pos,
+        }
+    }
+
+    /// Wrapping multiplication by packed balanced shift-and-add: each
+    /// multiplier trit selects add, subtract or skip of the shifted
+    /// multiplicand. Wraps modulo 3^N like the hardware.
+    #[must_use]
+    pub fn wrapping_mul(&self, rhs: Self) -> Self {
+        let mut acc = Self::ZERO;
+        let mut shifted = *self;
+        for i in 0..N {
+            match rhs.trit(i) {
+                Trit::P => acc = acc.wrapping_add(shifted),
+                Trit::N => acc = acc.wrapping_sub(shifted),
+                Trit::Z => {}
+            }
+            shifted = shifted.shl(1);
+        }
+        acc
+    }
+
+    /// One 3:2 carry-save compression step on plane arrays: folds `b`
+    /// into the redundant sum/carry pair `(s, c)` without propagating
+    /// any carry chain — the [`crate::simd`] compressor lifted from
+    /// lane-clipped planes to word-boundary-crossing planes.
+    ///
+    /// The returned pair satisfies `s' + c' ≡ s + c + b (mod 3^N)`;
+    /// resolve with one [`WideTrits::wrapping_add`] after the last
+    /// step. `K` chained compressions cost `K` rounds of boolean ops
+    /// plus a single carry loop, instead of `K` carry loops.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ternary::Word81;
+    ///
+    /// let a = Word81::from_i128(1 << 100)?;
+    /// let b = Word81::from_i128(-(1 << 90))?;
+    /// let d = Word81::from_i128(12345)?;
+    /// let (s, c) = Word81::compress3(a, b, d);
+    /// assert_eq!(s.wrapping_add(c), a.wrapping_add(b).wrapping_add(d));
+    /// # Ok::<(), ternary::TernaryError>(())
+    /// ```
+    #[must_use]
+    pub fn compress3(s: Self, c: Self, b: Self) -> (Self, Self) {
+        let mut up = [0u64; W];
+        let mut un = [0u64; W];
+        let mut vp = [0u64; W];
+        let mut vn = [0u64; W];
+        let mut rp = 0u64;
+        let mut rn = 0u64;
+        for w in 0..W {
+            let (sp, sn, gp, gn) =
+                planes::compress(s.pos[w], s.neg[w], c.pos[w], c.neg[w], b.pos[w], b.neg[w]);
+            up[w] = sp;
+            un[w] = sn;
+            let (next_rp, next_rn) = (gp >> 63, gn >> 63);
+            vp[w] = ((gp << 1) | rp) & Self::MASKS[w];
+            vn[w] = ((gn << 1) | rn) & Self::MASKS[w];
+            rp = next_rp;
+            rn = next_rn;
+        }
+        // Bits shifted past trit N − 1 are multiples of 3^N: the wrap.
+        (Self { pos: up, neg: un }, Self { pos: vp, neg: vn })
+    }
+
+    /// Shift left by `k` trit positions (×3^k, wrapping); `k ≥ N`
+    /// yields zero.
+    #[must_use]
+    pub fn shl(&self, k: usize) -> Self {
+        if k >= N {
+            return Self::ZERO;
+        }
+        let (ws, bs) = (k / 64, k % 64);
+        let mut out = Self::ZERO;
+        for w in (ws..W).rev() {
+            let src = w - ws;
+            let mut p = self.pos[src] << bs;
+            let mut n = self.neg[src] << bs;
+            if bs > 0 && src > 0 {
+                p |= self.pos[src - 1] >> (64 - bs);
+                n |= self.neg[src - 1] >> (64 - bs);
+            }
+            out.pos[w] = p & Self::MASKS[w];
+            out.neg[w] = n & Self::MASKS[w];
+        }
+        out
+    }
+
+    /// Shift right by `k` trit positions. As in the single-plane word,
+    /// dropping low trits rounds to the *nearest* multiple of 3^k (ties
+    /// cannot occur), so this computes `round(x / 3^k)`; `k ≥ N` yields
+    /// zero.
+    #[must_use]
+    pub fn shr(&self, k: usize) -> Self {
+        if k >= N {
+            return Self::ZERO;
+        }
+        let (ws, bs) = (k / 64, k % 64);
+        let mut out = Self::ZERO;
+        for w in 0..W - ws {
+            let src = w + ws;
+            let mut p = self.pos[src] >> bs;
+            let mut n = self.neg[src] >> bs;
+            if bs > 0 && src + 1 < W {
+                p |= self.pos[src + 1] << (64 - bs);
+                n |= self.neg[src + 1] << (64 - bs);
+            }
+            out.pos[w] = p;
+            out.neg[w] = n;
+        }
+        out
+    }
+
+    /// Trit-wise ternary AND (minimum).
+    #[must_use]
+    pub fn and(&self, rhs: Self) -> Self {
+        let mut out = Self::ZERO;
+        for w in 0..W {
+            out.pos[w] = self.pos[w] & rhs.pos[w];
+            out.neg[w] = self.neg[w] | rhs.neg[w];
+        }
+        out
+    }
+
+    /// Trit-wise ternary OR (maximum).
+    #[must_use]
+    pub fn or(&self, rhs: Self) -> Self {
+        let mut out = Self::ZERO;
+        for w in 0..W {
+            out.pos[w] = self.pos[w] | rhs.pos[w];
+            out.neg[w] = self.neg[w] & rhs.neg[w];
+        }
+        out
+    }
+
+    /// Trit-wise ternary XOR: `−(a·b)` per trit.
+    #[must_use]
+    pub fn xor(&self, rhs: Self) -> Self {
+        let mut out = Self::ZERO;
+        for w in 0..W {
+            out.pos[w] = (self.pos[w] & rhs.neg[w]) | (self.neg[w] & rhs.pos[w]);
+            out.neg[w] = (self.pos[w] & rhs.pos[w]) | (self.neg[w] & rhs.neg[w]);
+        }
+        out
+    }
+
+    /// Trit-wise standard ternary inversion (same as
+    /// [`WideTrits::negate`]).
+    #[inline]
+    #[must_use]
+    pub fn sti(&self) -> Self {
+        self.negate()
+    }
+
+    /// Trit-wise negative ternary inversion: the output is +1 only
+    /// where the input was −1, −1 everywhere else.
+    #[must_use]
+    pub fn nti(&self) -> Self {
+        let mut out = Self::ZERO;
+        for w in 0..W {
+            out.pos[w] = self.neg[w];
+            out.neg[w] = !self.neg[w] & Self::MASKS[w];
+        }
+        out
+    }
+
+    /// Trit-wise positive ternary inversion: the output is −1 only
+    /// where the input was +1, +1 everywhere else.
+    #[must_use]
+    pub fn pti(&self) -> Self {
+        let mut out = Self::ZERO;
+        for w in 0..W {
+            out.pos[w] = !self.pos[w] & Self::MASKS[w];
+            out.neg[w] = self.pos[w];
+        }
+        out
+    }
+
+    /// Number of trit positions whose value differs from `prev` — the
+    /// multi-plane [`flips_from`](crate::Trits::flips_from), one
+    /// XOR+OR+popcount per plane word.
+    #[must_use]
+    pub fn flips_from(&self, prev: &Self) -> u32 {
+        let mut flips = 0u32;
+        for w in 0..W {
+            flips += (((self.pos[w] ^ prev.pos[w]) | (self.neg[w] ^ prev.neg[w])) & Self::MASKS[w])
+                .count_ones();
+        }
+        flips
+    }
+
+    /// The COMP result: every-trit comparison sign word (see
+    /// [`Trits::compare`](crate::Trits::compare)).
+    #[must_use]
+    pub fn compare(&self, rhs: Self) -> Self {
+        match self.cmp(&rhs) {
+            Ordering::Less => Self::ZERO.with_trit(0, Trit::N),
+            Ordering::Equal => Self::ZERO,
+            Ordering::Greater => Self::ZERO.with_trit(0, Trit::P),
+        }
+    }
+
+    /// Converts an `i128`, wrapping modulo 3^N onto the symmetric
+    /// range. For `N ≥ 81` the modulus exceeds the `i128` range, so
+    /// every input converts exactly (no wrap can occur).
+    ///
+    /// Uses the textbook balanced digit recurrence (`d = v mod 3`
+    /// rebalanced to {−1, 0, +1}, `v ← (v − d)/3`), which needs no
+    /// wide modulus constant.
+    pub fn from_i128_wrapping(v: i128) -> Self {
+        let mut v = v;
+        let mut pos = [0u64; W];
+        let mut neg = [0u64; W];
+        for i in 0..N {
+            if v == 0 {
+                break;
+            }
+            let (w, b) = (i / 64, i % 64);
+            // v = 3·q + r with r ∈ {0, 1, 2}; rebalance r = 2 to digit
+            // −1 by bumping the quotient. Phrased over euclidean
+            // div/rem the loop never leaves the i128 range, even at
+            // `i128::MIN` (where the naive `v -= 1` for digit +1, or a
+            // reconstructed `3·q`, would overflow).
+            let mut q = v.div_euclid(3);
+            match v.rem_euclid(3) {
+                1 => pos[w] |= 1 << b,
+                2 => {
+                    neg[w] |= 1 << b;
+                    q += 1;
+                }
+                _ => {}
+            }
+            v = q;
+        }
+        Self { pos, neg }
+    }
+
+    /// Converts an `i128` that must fit the word exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TernaryError::WordRangeWide`] when `v` exceeds the
+    /// representable range (never at `N ≥ 81`, where every `i128`
+    /// fits).
+    pub fn from_i128(v: i128) -> Result<Self, TernaryError> {
+        if N <= 80 && (v < -Self::MAX_VALUE_I128 || v > Self::MAX_VALUE_I128) {
+            return Err(TernaryError::WordRangeWide { value: v, width: N });
+        }
+        Ok(Self::from_i128_wrapping(v))
+    }
+
+    /// The numeric value when it fits an `i128`; `None` for the wide
+    /// values only an `N ≥ 81` word can hold. A checked Horner walk, so
+    /// it is total at every width.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ternary::Word81;
+    ///
+    /// assert_eq!(Word81::from_i128(-42)?.try_to_i128(), Some(-42));
+    /// assert_eq!(Word81::MAX.try_to_i128(), None); // (3^81 − 1)/2 > i128::MAX
+    /// # Ok::<(), ternary::TernaryError>(())
+    /// ```
+    pub fn try_to_i128(&self) -> Option<i128> {
+        // Sum the positive and negative plane contributions separately
+        // in u128 (each is at most (3^81 − 1)/2, which fits), then take
+        // the signed difference. A checked Horner walk would falsely
+        // reject values within one digit of the i128 boundary.
+        let mut top = None;
+        for i in (0..N).rev() {
+            let (w, b) = (i / 64, i % 64);
+            if ((self.pos[w] | self.neg[w]) >> b) & 1 == 1 {
+                top = Some(i);
+                break;
+            }
+        }
+        let top = match top {
+            None => return Some(0),
+            // A non-zero trit at 3^81 or above forces |v| ≥ (3^81 + 1)/2
+            // > i128::MAX: unrepresentable regardless of lower trits.
+            Some(t) if t > 80 => return None,
+            Some(t) => t,
+        };
+        let mut plus: u128 = 0;
+        let mut minus: u128 = 0;
+        let mut pow: u128 = 1;
+        for i in 0..=top {
+            let (w, b) = (i / 64, i % 64);
+            if (self.pos[w] >> b) & 1 == 1 {
+                plus += pow;
+            } else if (self.neg[w] >> b) & 1 == 1 {
+                minus += pow;
+            }
+            if i < top {
+                pow *= 3; // 3^80 fits u128
+            }
+        }
+        if plus >= minus {
+            i128::try_from(plus - minus).ok()
+        } else {
+            let mag = minus - plus;
+            if mag > i128::MAX as u128 + 1 {
+                None
+            } else {
+                // mag = 2^127 maps to i128::MIN via the wrapping cast.
+                Some((mag as i128).wrapping_neg())
+            }
+        }
+    }
+}
+
+impl<const N: usize, const W: usize> PartialOrd for WideTrits<N, W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<const N: usize, const W: usize> Ord for WideTrits<N, W> {
+    /// Words order by numeric value: the most significant differing
+    /// trit decides, scanning plane words from the top.
+    fn cmp(&self, other: &Self) -> Ordering {
+        for w in (0..W).rev() {
+            let differ = (self.pos[w] ^ other.pos[w]) | (self.neg[w] ^ other.neg[w]);
+            if differ == 0 {
+                continue;
+            }
+            let top = 63 - differ.leading_zeros();
+            let a = ((self.pos[w] >> top) & 1) as i8 - ((self.neg[w] >> top) & 1) as i8;
+            let b = ((other.pos[w] >> top) & 1) as i8 - ((other.neg[w] >> top) & 1) as i8;
+            return a.cmp(&b);
+        }
+        Ordering::Equal
+    }
+}
+
+impl<const N: usize, const W: usize> fmt::Debug for WideTrits<N, W> {
+    /// Shows the trit string, and the decimal value when it fits an
+    /// `i128` (an 81-trit word can exceed it).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "WideTrits<{N}, {W}>(\"{self}\"")?;
+        if let Some(v) = self.try_to_i128() {
+            write!(f, " = {v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl<const N: usize, const W: usize> fmt::Display for WideTrits<N, W> {
+    /// Writes the trits most-significant first, like [`Trits`].
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in (0..N).rev() {
+            write!(f, "{}", self.trit(i))?;
+        }
+        Ok(())
+    }
+}
+
+impl<const N: usize, const W: usize> FromStr for WideTrits<N, W> {
+    type Err = TernaryError;
+
+    /// Parses exactly `N` trit characters, most significant first;
+    /// underscores are ignored as digit separators.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let chars: Vec<char> = s.chars().filter(|c| *c != '_').collect();
+        if chars.len() != N {
+            return Err(TernaryError::WordLength {
+                found: chars.len(),
+                expected: N,
+            });
+        }
+        let mut out = Self::ZERO;
+        for (i, c) in chars.iter().enumerate() {
+            out = out.with_trit(N - 1 - i, Trit::try_from_char(*c)?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word27_agrees_with_single_plane_word() {
+        // One-plane wide words and Trits<27> are the same arithmetic.
+        let samples = [
+            -Trits::<27>::MAX_VALUE_I128,
+            -1_000_000,
+            -1,
+            0,
+            1,
+            1_000_000,
+            Trits::<27>::MAX_VALUE_I128,
+        ];
+        for &a in &samples {
+            let t = Trits::<27>::from_i128(a).unwrap();
+            let w = Word27::from_word(t);
+            assert_eq!(w.try_to_i128(), Some(a));
+            assert_eq!(Word27::from_i128(a).unwrap(), w);
+            for &b in &samples {
+                let tb = Trits::<27>::from_i128(b).unwrap();
+                let wb = Word27::from_word(tb);
+                let (ts, tc) = t.carrying_add(tb);
+                let (ws, wc) = w.carrying_add(wb);
+                assert_eq!(ws, Word27::from_word(ts), "{a} + {b}");
+                assert_eq!(wc, tc, "{a} + {b} carry");
+                assert_eq!(w.wrapping_mul(wb), Word27::from_word(t.wrapping_mul(tb)));
+                assert_eq!(w.cmp(&wb), t.cmp(&tb));
+                assert_eq!(w.flips_from(&wb), t.flips_from(&tb));
+            }
+        }
+    }
+
+    #[test]
+    fn word81_roundtrips_every_i128_corner() {
+        for v in [
+            i128::MIN,
+            i128::MIN + 1,
+            -(1i128 << 100),
+            -1,
+            0,
+            1,
+            1i128 << 100,
+            i128::MAX - 1,
+            i128::MAX,
+        ] {
+            let w = Word81::from_i128(v).unwrap();
+            assert_eq!(w.try_to_i128(), Some(v), "{v}");
+        }
+        assert_eq!(Word81::MAX.try_to_i128(), None);
+        assert_eq!(Word81::MIN.try_to_i128(), None);
+    }
+
+    #[test]
+    fn word81_addition_crosses_the_plane_boundary() {
+        // Trit 63/64 straddle the two plane words: exercise carries
+        // rippling across.
+        let a = Word81::ZERO.with_trit(63, Trit::P);
+        let b = Word81::ZERO.with_trit(63, Trit::P);
+        let sum = a.wrapping_add(b);
+        // 3^63 + 3^63 = 2·3^63 = 3^64 − 3^63: trit 64 = +1, trit 63 = −1.
+        assert_eq!(sum.trit(64), Trit::P);
+        assert_eq!(sum.trit(63), Trit::N);
+        assert_eq!(sum.try_to_i128(), Some(2 * pow3_i128(63)), "{sum}");
+    }
+
+    #[test]
+    fn word81_arithmetic_matches_integers_where_representable() {
+        let samples = [
+            -(1i128 << 126),
+            -(3i128.pow(70)),
+            -123_456_789,
+            -1,
+            0,
+            1,
+            987_654_321,
+            3i128.pow(70),
+            1i128 << 126,
+        ];
+        for &a in &samples {
+            let wa = Word81::from_i128(a).unwrap();
+            assert_eq!(wa.negate().try_to_i128(), Some(-a));
+            if let Some(tripled) = a.checked_mul(3) {
+                assert_eq!(wa.shl(1).try_to_i128(), Some(tripled));
+            }
+            for &b in &samples {
+                let wb = Word81::from_i128(b).unwrap();
+                if let Some(exact) = a.checked_add(b) {
+                    assert_eq!(wa.wrapping_add(wb).try_to_i128(), Some(exact), "{a}+{b}");
+                }
+                if let Some(exact) = a.checked_mul(b) {
+                    assert_eq!(wa.wrapping_mul(wb).try_to_i128(), Some(exact), "{a}*{b}");
+                }
+                assert_eq!(wa.cmp(&wb), a.cmp(&b), "{a} cmp {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn carry_out_identity_at_81_trits() {
+        let one = Word81::from_i128(1).unwrap();
+        let (s, c) = Word81::MAX.carrying_add(one);
+        assert_eq!(s, Word81::MIN);
+        assert_eq!(c, Trit::P);
+        let (s, c) = Word81::MIN.carrying_add(one.negate());
+        assert_eq!(s, Word81::MAX);
+        assert_eq!(c, Trit::N);
+    }
+
+    #[test]
+    fn compress3_preserves_sums() {
+        let vals = [
+            -(1i128 << 120),
+            -(3i128.pow(64)),
+            -5,
+            0,
+            7,
+            3i128.pow(64) + 1,
+            1i128 << 119,
+        ];
+        for &a in &vals {
+            for &b in &vals {
+                for &c in &vals {
+                    let (s, cc) = Word81::compress3(
+                        Word81::from_i128(a).unwrap(),
+                        Word81::from_i128(b).unwrap(),
+                        Word81::from_i128(c).unwrap(),
+                    );
+                    assert_eq!(
+                        s.wrapping_add(cc).try_to_i128(),
+                        Some(a + b + c),
+                        "{a} + {b} + {c}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shifts_cross_plane_words() {
+        // Top trit of v sits at position 40, so shifts up to 40 keep
+        // every trit; larger ones wrap high trits away.
+        let v = 3i128.pow(40) + 3i128.pow(3) - 1;
+        let w = Word81::from_i128(v).unwrap();
+        for k in [0usize, 1, 26, 40, 63, 64, 65, 80] {
+            let shifted = w.shl(k);
+            if k <= 40 {
+                assert_eq!(
+                    shifted.try_to_i128(),
+                    Some(v * 3i128.pow(k as u32)),
+                    "shl {k}"
+                );
+                // shr after a lossless shl(k) is the identity.
+                assert_eq!(shifted.shr(k).try_to_i128(), Some(v), "shr after shl {k}");
+            } else {
+                // High trits wrapped away; what survives still shifts
+                // back down exactly (a multiple of 3^k loses nothing
+                // to rounding).
+                let kept = shifted.shr(k);
+                assert_eq!(kept.shl(k), shifted, "reshift {k}");
+            }
+        }
+        assert_eq!(w.shl(81), Word81::ZERO);
+        assert_eq!(w.shr(81), Word81::ZERO);
+        // Balanced right shift rounds to nearest.
+        let five = Word81::from_i128(5).unwrap();
+        assert_eq!(five.shr(1).try_to_i128(), Some(2));
+        assert_eq!(five.negate().shr(1).try_to_i128(), Some(-2));
+    }
+
+    #[test]
+    fn logic_family_matches_trit_tables() {
+        let a: Word81 = Word81::from_i128(3i128.pow(65) - 12345).unwrap();
+        let b: Word81 = Word81::from_i128(-(3i128.pow(64)) + 999).unwrap();
+        for i in 0..81 {
+            assert_eq!(a.and(b).trit(i), a.trit(i).and(b.trit(i)), "and {i}");
+            assert_eq!(a.or(b).trit(i), a.trit(i).or(b.trit(i)), "or {i}");
+            assert_eq!(a.xor(b).trit(i), a.trit(i).xor(b.trit(i)), "xor {i}");
+            assert_eq!(a.sti().trit(i), a.trit(i).sti(), "sti {i}");
+            assert_eq!(a.nti().trit(i), a.trit(i).nti(), "nti {i}");
+            assert_eq!(a.pti().trit(i), a.trit(i).pti(), "pti {i}");
+        }
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        for v in [-(1i128 << 99), -8, 0, 8, 1i128 << 99] {
+            let w = Word81::from_i128(v).unwrap();
+            let s = w.to_string();
+            assert_eq!(s.len(), 81);
+            assert_eq!(s.parse::<Word81>().unwrap(), w);
+        }
+        assert!("++".parse::<Word81>().is_err());
+    }
+
+    #[test]
+    fn debug_includes_value_only_when_it_fits() {
+        let small = Word81::from_i128(8).unwrap();
+        assert!(format!("{small:?}").contains("= 8"));
+        assert!(!format!("{:?}", Word81::MAX).contains('='));
+    }
+
+    #[test]
+    fn bitplanes_validation() {
+        let w = Word81::from_i128(1i128 << 70).unwrap();
+        let (p, n) = w.bitplanes();
+        assert_eq!(Word81::from_bitplanes(p, n).unwrap(), w);
+        // Overlapping planes at a cross-word index are rejected with
+        // the global trit index.
+        let mut bad_p = [0u64; 2];
+        let mut bad_n = [0u64; 2];
+        bad_p[1] |= 1 << 5;
+        bad_n[1] |= 1 << 5;
+        match Word81::from_bitplanes(bad_p, bad_n) {
+            Err(TernaryError::InvalidBctPair { index }) => assert_eq!(index, 69),
+            other => panic!("expected InvalidBctPair, got {other:?}"),
+        }
+        // Bits at or above trit N are rejected.
+        let mut high = [0u64; 2];
+        high[1] |= 1 << (81 - 64);
+        assert!(Word81::from_bitplanes(high, [0; 2]).is_err());
+    }
+
+    #[test]
+    fn flips_and_sign() {
+        let a = Word81::from_i128(1i128 << 100).unwrap();
+        assert_eq!(a.flips_from(&a), 0);
+        assert_eq!(a.sign(), Trit::P);
+        assert_eq!(a.negate().sign(), Trit::N);
+        assert_eq!(Word81::ZERO.sign(), Trit::Z);
+        assert_eq!(Word81::MAX.flips_from(&Word81::MIN), 81);
+        let expect = (0..81).filter(|&i| a.trit(i) != a.negate().trit(i)).count() as u32;
+        assert_eq!(a.flips_from(&a.negate()), expect);
+    }
+}

@@ -5,7 +5,7 @@
 
 use proptest::prelude::*;
 use ternary::simd::Word9xN;
-use ternary::{arith, encoding, pow3, Trit, Trits, Word9};
+use ternary::{arith, encoding, pow3, TernaryReal, Trit, Trits, WideTrits, Word27, Word81, Word9};
 
 const W9_MAX: i64 = 9841;
 
@@ -386,6 +386,192 @@ fn check_flips<const N: usize>(a: i64, b: i64) {
     let reference = ternary::arith::flips_tritwise(wa, wb);
     assert_eq!(packed, reference, "width {N} with {a} vs {b}");
     assert!(packed <= N as u32);
+}
+
+// ---- Width-parametric: packed kernels vs per-trit references --------
+//
+// The same carry-loop, shift-and-add and plane-swap kernels must hold
+// at every width the crate supports — including the once-broken
+// 40..=63 band and the multi-plane 27/81-trit words. Each check pins
+// the packed operation against the trit-serial reference in `arith`.
+
+proptest! {
+    #[test]
+    fn packed_matches_tritwise_every_width(a in wide_operand(), b in wide_operand()) {
+        check_width::<1>(a, b);
+        check_width::<13>(a, b);
+        check_width::<27>(a, b);
+        check_width::<40>(a, b);
+        check_width::<63>(a, b);
+    }
+
+    #[test]
+    fn multi_plane_words_match_references(a in wide_operand(), b in wide_operand()) {
+        check_planes::<27, 1>(a, b);
+        check_planes::<81, 2>(a, b);
+    }
+
+    #[test]
+    fn word27_agrees_with_single_plane_trits27(a in wide_operand(), b in wide_operand()) {
+        // The one-plane wide word and Trits<27> are the same arithmetic.
+        let ta = Trits::<27>::from_i128_wrapping(a);
+        let tb = Trits::<27>::from_i128_wrapping(b);
+        let (wa, wb) = (Word27::from_word(ta), Word27::from_word(tb));
+        let (ts, tc) = ta.carrying_add(tb);
+        prop_assert_eq!(wa.carrying_add(wb), (Word27::from_word(ts), tc));
+        prop_assert_eq!(wa.wrapping_mul(wb), Word27::from_word(ta.wrapping_mul(tb)));
+        prop_assert_eq!(wa.cmp(&wb), ta.cmp(&tb));
+    }
+
+    #[test]
+    fn word81_beyond_i128_still_matches_tritwise(
+        a in wide_operand(),
+        b in wide_operand(),
+        k in 0usize..40
+    ) {
+        // Shift the operands into the region only 81 trits can hold
+        // (no integer oracle exists there) and pin packed vs per-trit.
+        let wa = Word81::from_i128_wrapping(a).shl(k);
+        let wb = Word81::from_i128_wrapping(b).shl(k / 2);
+        prop_assert_eq!(wa.carrying_add(wb), arith::wide_add_tritwise(wa, wb));
+        prop_assert_eq!(wa.negate(), arith::wide_negate_tritwise(wa));
+        prop_assert_eq!(wa.cmp(&wb), arith::wide_compare_tritwise(wa, wb));
+        prop_assert_eq!(wa.flips_from(&wb), arith::wide_flips_tritwise(wa, wb));
+    }
+
+    #[test]
+    fn wide_conversions_roundtrip(v in any_i128()) {
+        // Every i128 fits an 81-trit word exactly.
+        prop_assert_eq!(Word81::from_i128(v).unwrap().try_to_i128(), Some(v));
+        // At 63 trits the wrap is mod 3^63 onto the symmetric range.
+        let w = Trits::<63>::from_i128_wrapping(v);
+        let m = ternary::pow3_i128(63);
+        let wrapped = {
+            let mut r = v.rem_euclid(m);
+            if r > (m - 1) / 2 {
+                r -= m;
+            }
+            r
+        };
+        prop_assert_eq!(w.to_i128(), wrapped);
+    }
+
+    #[test]
+    fn tapered_real_add_mul_match_reference(a in real_operand(), b in real_operand()) {
+        prop_assert_eq!(arith::real_parts(&a.add(&b)), arith::real_add_ref(&a, &b));
+        prop_assert_eq!(arith::real_parts(&a.mul(&b)), arith::real_mul_ref(&a, &b));
+        // Commutativity holds exactly (both sides round the same sum).
+        prop_assert_eq!(a.add(&b), b.add(&a));
+        prop_assert_eq!(a.mul(&b), b.mul(&a));
+        // a − a is exactly zero: no cancellation error.
+        prop_assert_eq!(a.sub(&a), TernaryReal::ZERO);
+    }
+
+    #[test]
+    fn tapered_packing_is_idempotent(a in real_operand()) {
+        // One encode/decode may shed taper-displaced trits; a second
+        // pass must be exact.
+        let once = TernaryReal::from_tapered(a.to_tapered());
+        prop_assert_eq!(TernaryReal::from_tapered(once.to_tapered()), once);
+    }
+}
+
+/// Whole-domain `i128` strategy (the vendored proptest only ships
+/// 64-bit primitives, so compose one from two halves).
+fn any_i128() -> impl Strategy<Value = i128> {
+    (proptest::num::u64::ANY, proptest::num::u64::ANY)
+        .prop_map(|(hi, lo)| (((hi as u128) << 64) | lo as u128) as i128)
+}
+
+/// Operand strategy for the wide widths: uniform `i128` values mixed
+/// with the ±3^k carry corners (and neighbours) up to 3^80.
+fn wide_operand() -> impl Strategy<Value = i128> {
+    let corners: Vec<i128> = (0..=80)
+        .step_by(4)
+        .flat_map(|k| {
+            let p = ternary::pow3_i128(k);
+            [p - 1, p, p + 1, -p + 1, -p, -p - 1]
+        })
+        .chain([i128::MIN, i128::MAX, 0])
+        .collect();
+    let len = corners.len();
+    prop_oneof![
+        3 => any_i128(),
+        2 => (0usize..len).prop_map(move |i| corners[i]),
+    ]
+}
+
+/// Strategy over tapered reals spanning the exponent range, built from
+/// a scaled significand so negative exponents occur too.
+fn real_operand() -> impl Strategy<Value = TernaryReal> {
+    (proptest::num::i64::ANY, -60i32..=60).prop_map(|(m, e)| TernaryReal::from_scaled(m, e))
+}
+
+/// Pins every packed `Trits<N>` kernel to its trit-serial reference at
+/// one width, operands wrapped into range.
+fn check_width<const N: usize>(a: i128, b: i128) {
+    let wa = Trits::<N>::from_i128_wrapping(a);
+    let wb = Trits::<N>::from_i128_wrapping(b);
+    assert_eq!(
+        Trits::<N>::from_i128_wrapping(wa.to_i128()),
+        wa,
+        "width {N} roundtrip of {a}"
+    );
+    assert_eq!(
+        wa.carrying_add(wb),
+        arith::add_tritwise(wa, wb),
+        "width {N} add {a} {b}"
+    );
+    assert_eq!(
+        wa.wrapping_mul(wb),
+        arith::mul_tritwise(wa, wb),
+        "width {N} mul {a} {b}"
+    );
+    assert_eq!(wa.negate(), arith::negate_tritwise(wa), "width {N} neg");
+    assert_eq!(
+        wa.flips_from(&wb),
+        arith::flips_tritwise(wa, wb),
+        "width {N} flips"
+    );
+    assert_eq!(
+        wa.cmp(&wb),
+        wa.to_i128().cmp(&wb.to_i128()),
+        "width {N} ord"
+    );
+    if !wb.is_zero() {
+        let (q, r) = wa.div_rem(wb).unwrap();
+        let (qr, rr) = arith::div_rem_tritwise(wa, wb).unwrap();
+        assert_eq!((q, r), (qr, rr), "width {N} div {a} {b}");
+    }
+}
+
+/// Pins every multi-plane `WideTrits<N, W>` kernel to its trit-serial
+/// reference at one geometry.
+fn check_planes<const N: usize, const W: usize>(a: i128, b: i128) {
+    let wa = WideTrits::<N, W>::from_i128_wrapping(a);
+    let wb = WideTrits::<N, W>::from_i128_wrapping(b);
+    assert_eq!(
+        wa.carrying_add(wb),
+        arith::wide_add_tritwise(wa, wb),
+        "planes {N}/{W} add {a} {b}"
+    );
+    assert_eq!(
+        wa.wrapping_mul(wb),
+        arith::wide_mul_tritwise(wa, wb),
+        "planes {N}/{W} mul {a} {b}"
+    );
+    assert_eq!(wa.negate(), arith::wide_negate_tritwise(wa));
+    assert_eq!(wa.cmp(&wb), arith::wide_compare_tritwise(wa, wb));
+    assert_eq!(wa.flips_from(&wb), arith::wide_flips_tritwise(wa, wb));
+    assert_eq!(wa.and(wb), arith::wide_logic_tritwise(wa, wb, Trit::and));
+    assert_eq!(wa.or(wb), arith::wide_logic_tritwise(wa, wb, Trit::or));
+    assert_eq!(wa.xor(wb), arith::wide_logic_tritwise(wa, wb, Trit::xor));
+    // The carry-save compressor preserves three-way sums.
+    let (s, c) = WideTrits::<N, W>::compress3(wa, wb, wa.negate());
+    assert_eq!(
+        s.wrapping_add(c),
+        wa.wrapping_add(wb).wrapping_add(wa.negate())
+    );
 }
 
 /// Helper used by `mul_matches_wrapped_integer_mul`: an i128 wrap without
